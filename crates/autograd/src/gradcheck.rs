@@ -1,0 +1,94 @@
+//! Finite-difference gradient checking utilities for tests.
+
+use sesr_tensor::Tensor;
+
+/// Result of a gradient check: worst absolute and relative error observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest `|analytic - numeric|` across probed coordinates.
+    pub max_abs_err: f64,
+    /// Largest `|analytic - numeric| / max(1, |numeric|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// True if both error measures are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compares an analytic gradient against central finite differences of a
+/// scalar-valued function `f` of a single tensor.
+///
+/// Probes at most `max_probes` coordinates (deterministically strided) to
+/// keep tests fast on large tensors.
+///
+/// # Panics
+///
+/// Panics if `analytic` does not match `point`'s shape.
+pub fn check_gradient(
+    f: &dyn Fn(&Tensor) -> f64,
+    point: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    max_probes: usize,
+) -> GradCheckReport {
+    assert_eq!(
+        point.shape(),
+        analytic.shape(),
+        "analytic gradient shape mismatch"
+    );
+    let n = point.len();
+    let stride = (n / max_probes.max(1)).max(1);
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
+    for idx in (0..n).step_by(stride) {
+        let mut plus = point.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = point.clone();
+        minus.data_mut()[idx] -= eps;
+        let numeric = (f(&plus) - f(&minus)) / (2.0 * eps as f64);
+        let a = analytic.data()[idx] as f64;
+        let abs = (a - numeric).abs();
+        let rel = abs / numeric.abs().max(1.0);
+        report.max_abs_err = report.max_abs_err.max(abs);
+        report.max_rel_err = report.max_rel_err.max(rel);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_exact_gradient() {
+        // f(x) = sum(x^2), grad = 2x
+        let x = Tensor::randn(&[10], 0.0, 1.0, 1);
+        let grad = x.scale(2.0);
+        let f = |t: &Tensor| t.data().iter().map(|&v| (v * v) as f64).sum::<f64>();
+        let report = check_gradient(&f, &x, &grad, 1e-3, 10);
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn fails_on_wrong_gradient() {
+        let x = Tensor::randn(&[10], 0.0, 1.0, 2);
+        let wrong = x.scale(5.0); // truth is 2x
+        let f = |t: &Tensor| t.data().iter().map(|&v| (v * v) as f64).sum::<f64>();
+        let report = check_gradient(&f, &x, &wrong, 1e-3, 10);
+        assert!(!report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn probe_striding_covers_large_tensors() {
+        let x = Tensor::randn(&[1000], 0.0, 1.0, 3);
+        let grad = Tensor::ones(&[1000]);
+        let f = |t: &Tensor| t.sum();
+        let report = check_gradient(&f, &x, &grad, 1e-3, 7);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+}

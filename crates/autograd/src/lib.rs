@@ -1,0 +1,47 @@
+//! # sesr-autograd
+//!
+//! A small tape-based reverse-mode automatic differentiation engine over
+//! [`sesr_tensor::Tensor`], purpose-built for the SESR (MLSys 2022)
+//! reproduction.
+//!
+//! The design follows the classic Wengert-list structure: a [`Tape`] records
+//! every operation as it executes the forward pass; [`Tape::backward`]
+//! replays the list in reverse, accumulating gradients into each node.
+//! Variables are identified by lightweight [`VarId`] handles into the tape's
+//! arena, so graphs are cheap to build per training step and dropped
+//! wholesale afterwards.
+//!
+//! Two design points are specific to this reproduction:
+//!
+//! * **Collapse is a tape op.** The paper's efficient training methodology
+//!   (Sec. 3.3) runs the forward pass with *collapsed* weights while the
+//!   optimizer updates the *expanded* weights. [`Tape::collapse_1x1`]
+//!   implements the analytic collapse of a `k x k` convolution followed by a
+//!   `1 x 1` convolution as a differentiable tensor contraction, so the
+//!   expanded weights receive gradients through the collapse automatically.
+//! * **Only what SESR needs.** Conv2d (with asymmetric kernels), transposed
+//!   conv (for the FSRCNN baseline), ReLU/PReLU, depth-to-space, elementwise
+//!   arithmetic, and L1/L2 losses. No broadcasting, no views.
+//!
+//! ## Example
+//!
+//! ```
+//! use sesr_autograd::Tape;
+//! use sesr_tensor::{conv::Conv2dParams, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::randn(&[1, 1, 8, 8], 0.0, 1.0, 1), false);
+//! let w = tape.leaf(Tensor::randn(&[4, 1, 3, 3], 0.0, 0.1, 2), true);
+//! let y = tape.conv2d(x, w, None, Conv2dParams::same());
+//! let target = Tensor::zeros(&[1, 4, 8, 8]);
+//! let loss = tape.l1_loss(y, &target);
+//! tape.backward(loss);
+//! assert!(tape.grad(w).is_some());
+//! ```
+
+pub mod gradcheck;
+pub mod optim;
+pub mod tape;
+
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use tape::{Tape, VarId};

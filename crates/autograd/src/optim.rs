@@ -1,0 +1,238 @@
+//! Optimizers: Adam (the paper's choice, Sec. 5.1) and plain SGD.
+
+use sesr_tensor::Tensor;
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate. The paper uses a constant `5e-4`.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 5e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Config with the given learning rate and standard betas.
+    pub fn with_lr(lr: f32) -> Self {
+        Self {
+            lr,
+            ..Self::default()
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015).
+///
+/// Holds first/second moment estimates per parameter; parameters are
+/// identified positionally, so callers must pass the same parameter list in
+/// the same order on every step.
+///
+/// # Example
+///
+/// ```
+/// use sesr_autograd::{Adam, AdamConfig};
+/// use sesr_tensor::Tensor;
+///
+/// let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
+/// let grads = vec![Tensor::from_vec(vec![0.5], &[1])];
+/// let mut opt = Adam::new(AdamConfig::with_lr(0.1));
+/// opt.step(&mut params, &grads);
+/// assert!(params[0].data()[0] < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given hyper-parameters.
+    pub fn new(config: AdamConfig) -> Self {
+        Self {
+            config,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// The configured hyper-parameters.
+    pub fn config(&self) -> AdamConfig {
+        self.config
+    }
+
+    /// Updates the learning rate (moment estimates are kept) — used by
+    /// learning-rate schedules.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update. `grads[i]` must be the gradient of
+    /// `params[i]`; a gradient may be zero-filled for parameters that did
+    /// not participate in the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths or a shape changed
+    /// between steps.
+    pub fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed");
+        self.t += 1;
+        let AdamConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+        } = self.config;
+        let bias1 = 1.0 - beta1.powi(self.t as i32);
+        let bias2 = 1.0 - beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            for i in 0..p.len() {
+                let gi = g.data()[i];
+                let mi = beta1 * m.data()[i] + (1.0 - beta1) * gi;
+                let vi = beta2 * v.data()[i] + (1.0 - beta2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                p.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent, used by the theory experiments
+/// (Sec. 4) where the closed-form update rules assume vanilla SGD.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies `p -= lr * g` to every parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths or shapes mismatch.
+    pub fn step(&self, params: &mut [Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            for i in 0..p.len() {
+                p.data_mut()[i] -= self.lr * g.data()[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_first_step_matches_hand_computation() {
+        // With a single parameter and gradient g, the first Adam step moves
+        // the parameter by exactly -lr * g/|g| (bias correction cancels).
+        let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
+        let grads = vec![Tensor::from_vec(vec![0.3], &[1])];
+        let mut opt = Adam::new(AdamConfig::with_lr(0.01));
+        opt.step(&mut params, &grads);
+        let expected = 1.0 - 0.01 * 0.3 / (0.3f32 + 1e-8);
+        assert!((params[0].data()[0] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)^2.
+        let mut params = vec![Tensor::from_vec(vec![0.0], &[1])];
+        let mut opt = Adam::new(AdamConfig::with_lr(0.1));
+        for _ in 0..300 {
+            let x = params[0].data()[0];
+            let grads = vec![Tensor::from_vec(vec![2.0 * (x - 3.0)], &[1])];
+            opt.step(&mut params, &grads);
+        }
+        assert!((params[0].data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut params = vec![
+            Tensor::from_vec(vec![1.0, 2.0], &[2]),
+            Tensor::from_vec(vec![3.0], &[1]),
+        ];
+        let grads = vec![
+            Tensor::from_vec(vec![1.0, -1.0], &[2]),
+            Tensor::from_vec(vec![0.0], &[1]),
+        ];
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut params, &grads);
+        assert!(params[0].data()[0] < 1.0);
+        assert!(params[0].data()[1] > 2.0);
+        // Zero gradient leaves parameter unchanged.
+        assert_eq!(params[1].data()[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn adam_rejects_mismatched_lists() {
+        let mut params = vec![Tensor::ones(&[1])];
+        Adam::new(AdamConfig::default()).step(&mut params, &[]);
+    }
+
+    #[test]
+    fn sgd_applies_plain_update() {
+        let mut params = vec![Tensor::from_vec(vec![1.0, 2.0], &[2])];
+        let grads = vec![Tensor::from_vec(vec![0.5, -0.5], &[2])];
+        Sgd::new(0.1).step(&mut params, &grads);
+        assert_eq!(params[0].data(), &[0.95, 2.05]);
+    }
+
+    #[test]
+    fn step_counter_increments() {
+        let mut opt = Adam::new(AdamConfig::default());
+        let mut params = vec![Tensor::ones(&[1])];
+        let grads = vec![Tensor::ones(&[1])];
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut params, &grads);
+        opt.step(&mut params, &grads);
+        assert_eq!(opt.steps(), 2);
+    }
+}

@@ -1,0 +1,1074 @@
+//! The Wengert-list tape: forward-mode op recording, reverse-mode gradient
+//! accumulation.
+
+use sesr_tensor::activations::{prelu, prelu_backward, relu, relu_backward};
+use sesr_tensor::conv::{
+    conv2d, conv2d_backward, conv2d_grouped, conv2d_grouped_backward, conv_transpose2d,
+    conv_transpose2d_backward, Conv2dParams,
+};
+use sesr_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use sesr_tensor::pixel_shuffle::{depth_to_space, depth_to_space_backward};
+use sesr_tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// The raw arena index (useful for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    MulElem(VarId, VarId),
+    Scale(VarId, f32),
+    /// Adds a constant (non-differentiable) tensor, e.g. the identity
+    /// residual kernel of Algorithm 2.
+    AddConst(VarId),
+    Conv2d {
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        params: Conv2dParams,
+    },
+    ConvTranspose2d {
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        stride: usize,
+        pad: usize,
+        output_padding: usize,
+    },
+    Conv2dGrouped {
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        params: Conv2dParams,
+        groups: usize,
+    },
+    /// Channel-dimension concatenation of NCHW tensors.
+    ConcatChannels(Vec<VarId>),
+    Relu(VarId),
+    Prelu {
+        input: VarId,
+        alpha: VarId,
+    },
+    DepthToSpace {
+        input: VarId,
+        scale: usize,
+    },
+    /// Analytic collapse of `w1: [p, x, kh, kw]` followed by a 1x1 conv
+    /// `w2: [y, p, 1, 1]` into a single `[y, x, kh, kw]` kernel.
+    Collapse1x1 {
+        w1: VarId,
+        w2: VarId,
+    },
+    /// `a + broadcast(b)` where `b` has one channel that is added to every
+    /// channel of `a` (SESR's input-to-output long residual).
+    AddBroadcastChannel(VarId, VarId),
+    /// Embeds a `[y, x, 1, 1]` kernel at tap `(row, col)` of a zero
+    /// `[y, x, kh, kw]` kernel (RepVGG's / NAS skip 1x1 branch folded into
+    /// the main kernel).
+    EmbedAt {
+        input: VarId,
+        row: usize,
+        col: usize,
+    },
+    /// Shape change with identical element order.
+    Reshape {
+        input: VarId,
+        original: Vec<usize>,
+    },
+    Sum(VarId),
+    L1Loss {
+        pred: VarId,
+        target: Tensor,
+    },
+    MseLoss {
+        pred: VarId,
+        target: Tensor,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A reverse-mode automatic differentiation tape.
+///
+/// Build one per forward pass; every method both computes a value and
+/// records the op. Call [`Tape::backward`] on a scalar node to populate
+/// gradients, then read them with [`Tape::grad`].
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> VarId {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        self.grads.push(None);
+        VarId(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, id: VarId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    /// Registers an input tensor. Set `requires_grad` for trainable
+    /// parameters; leave it false for data.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> VarId {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient accumulated at a node, if [`Tape::backward`] has run and
+    /// the node participates in differentiation.
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Element-wise sum of two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Element-wise difference of two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Element-wise product of two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_elem(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MulElem(a, b), rg)
+    }
+
+    /// Multiplies a node by a scalar.
+    pub fn scale(&mut self, a: VarId, factor: f32) -> VarId {
+        let value = self.value(a).scale(factor);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a, factor), rg)
+    }
+
+    /// Adds a constant tensor (no gradient flows into the constant). Used
+    /// for the identity residual kernel `W_R` of Algorithm 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_const(&mut self, a: VarId, constant: &Tensor) -> VarId {
+        let value = self.value(a).add(constant);
+        let rg = self.rg(a);
+        self.push(value, Op::AddConst(a), rg)
+    }
+
+    /// 2-D convolution (see [`sesr_tensor::conv::conv2d`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn conv2d(
+        &mut self,
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        params: Conv2dParams,
+    ) -> VarId {
+        let value = conv2d(
+            self.value(input),
+            self.value(weight),
+            bias.map(|b| self.value(b)),
+            params,
+        );
+        let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
+        self.push(
+            value,
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                params,
+            },
+            rg,
+        )
+    }
+
+    /// Transposed 2-D convolution (see
+    /// [`sesr_tensor::conv::conv_transpose2d`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn conv_transpose2d(
+        &mut self,
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        stride: usize,
+        pad: usize,
+        output_padding: usize,
+    ) -> VarId {
+        let value = conv_transpose2d(
+            self.value(input),
+            self.value(weight),
+            bias.map(|b| self.value(b)),
+            stride,
+            pad,
+            output_padding,
+        );
+        let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
+        self.push(
+            value,
+            Op::ConvTranspose2d {
+                input,
+                weight,
+                bias,
+                stride,
+                pad,
+                output_padding,
+            },
+            rg,
+        )
+    }
+
+    /// Grouped 2-D convolution (see
+    /// [`sesr_tensor::conv::conv2d_grouped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch or indivisible channel counts.
+    pub fn conv2d_grouped(
+        &mut self,
+        input: VarId,
+        weight: VarId,
+        bias: Option<VarId>,
+        params: Conv2dParams,
+        groups: usize,
+    ) -> VarId {
+        let value = conv2d_grouped(
+            self.value(input),
+            self.value(weight),
+            bias.map(|b| self.value(b)),
+            params,
+            groups,
+        );
+        let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
+        self.push(
+            value,
+            Op::Conv2dGrouped {
+                input,
+                weight,
+                bias,
+                params,
+                groups,
+            },
+            rg,
+        )
+    }
+
+    /// Concatenates NCHW tensors along the channel dimension (CARN-style
+    /// cascading connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no inputs are given or batch/spatial dims disagree.
+    pub fn concat_channels(&mut self, inputs: &[VarId]) -> VarId {
+        assert!(!inputs.is_empty(), "concat needs at least one input");
+        let tensors: Vec<&Tensor> = inputs.iter().map(|&id| self.value(id)).collect();
+        let (n, _, h, w) = tensors[0].shape_obj().as_nchw();
+        let mut total_c = 0usize;
+        for t in &tensors {
+            let (tn, tc, th, tw) = t.shape_obj().as_nchw();
+            assert_eq!((tn, th, tw), (n, h, w), "concat operands disagree");
+            total_c += tc;
+        }
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, total_c, h, w]);
+        for ni in 0..n {
+            let mut c_off = 0usize;
+            for t in &tensors {
+                let tc = t.shape()[1];
+                let src = ni * tc * plane;
+                let dst = (ni * total_c + c_off) * plane;
+                out.data_mut()[dst..dst + tc * plane]
+                    .copy_from_slice(&t.data()[src..src + tc * plane]);
+                c_off += tc;
+            }
+        }
+        let rg = inputs.iter().any(|&id| self.rg(id));
+        self.push(out, Op::ConcatChannels(inputs.to_vec()), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, input: VarId) -> VarId {
+        let value = relu(self.value(input));
+        let rg = self.rg(input);
+        self.push(value, Op::Relu(input), rg)
+    }
+
+    /// Parametric ReLU with per-channel slopes `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` does not have one element per channel.
+    pub fn prelu(&mut self, input: VarId, alpha: VarId) -> VarId {
+        let value = prelu(self.value(input), self.value(alpha));
+        let rg = self.rg(input) || self.rg(alpha);
+        self.push(value, Op::Prelu { input, alpha }, rg)
+    }
+
+    /// Depth-to-space (pixel shuffle) by factor `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channels are not divisible by `scale^2`.
+    pub fn depth_to_space(&mut self, input: VarId, scale: usize) -> VarId {
+        let value = depth_to_space(self.value(input), scale);
+        let rg = self.rg(input);
+        self.push(value, Op::DepthToSpace { input, scale }, rg)
+    }
+
+    /// Collapses the linear block `(w1: [p, x, kh, kw], w2: [y, p, 1, 1])`
+    /// into a single `[y, x, kh, kw]` kernel:
+    /// `W_c[o,i,·] = Σ_m w2[o,m] · w1[m,i,·]`.
+    ///
+    /// This is the differentiable fast path of the paper's Algorithm 1 for
+    /// the two-layer linear blocks used throughout SESR; gradients flow into
+    /// both expanded weights (Sec. 3.3's efficient training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w2` is not a 1x1 kernel or the intermediate channel
+    /// counts disagree.
+    pub fn collapse_1x1(&mut self, w1: VarId, w2: VarId) -> VarId {
+        let value = collapse_1x1_forward(self.value(w1), self.value(w2));
+        let rg = self.rg(w1) || self.rg(w2);
+        self.push(value, Op::Collapse1x1 { w1, w2 }, rg)
+    }
+
+    /// Adds a single-channel tensor `b: [N, 1, H, W]` to every channel of
+    /// `a: [N, C, H, W]`. This is the paper's long input-to-output residual
+    /// (black residual in Fig. 2(a)): the input image is added back to all
+    /// `scale^2` output activations before depth-to-space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not have exactly one channel or batch/spatial
+    /// dimensions disagree.
+    pub fn add_broadcast_channel(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = add_broadcast_channel_forward(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::AddBroadcastChannel(a, b), rg)
+    }
+
+    /// Embeds a `[y, x, 1, 1]` kernel into the center tap of a zero
+    /// `[y, x, kh, kw]` kernel. This is how RepVGG's parallel 1x1 branch
+    /// folds into the main kernel analytically (paper Sec. 4.3); keeping it
+    /// on the tape lets the 1x1 branch train through the collapsed forward
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a 1x1 kernel or `kh`/`kw` are even
+    /// (an even kernel has no center tap).
+    pub fn embed_center(&mut self, input: VarId, kh: usize, kw: usize) -> VarId {
+        assert!(kh % 2 == 1 && kw % 2 == 1, "target kernel must be odd-sized");
+        self.embed_at(input, kh, kw, kh / 2, kw / 2)
+    }
+
+    /// Embeds a `[y, x, 1, 1]` kernel at tap `(row, col)` of a zero
+    /// `[y, x, kh, kw]` kernel. For even or asymmetric kernels with
+    /// TensorFlow-style "same" padding, the tap aligned with the output
+    /// pixel is `(pad_top, pad_left) = ((kh-1)/2, (kw-1)/2)` — that is
+    /// where a parallel 1x1 branch folds (paper Sec. 3.4's NAS skip
+    /// branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 1x1 or the tap is out of range.
+    pub fn embed_at(&mut self, input: VarId, kh: usize, kw: usize, row: usize, col: usize) -> VarId {
+        let v = self.value(input);
+        let (y, x, one_h, one_w) = v.shape_obj().as_nchw();
+        assert_eq!((one_h, one_w), (1, 1), "embed_at input must be 1x1");
+        assert!(row < kh && col < kw, "tap ({row},{col}) outside {kh}x{kw}");
+        let mut out = Tensor::zeros(&[y, x, kh, kw]);
+        for o in 0..y {
+            for i in 0..x {
+                *out.at_mut(&[o, i, row, col]) = v.at(&[o, i, 0, 0]);
+            }
+        }
+        let rg = self.rg(input);
+        self.push(out, Op::EmbedAt { input, row, col }, rg)
+    }
+
+    /// Reshapes a node (element order unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(&mut self, input: VarId, dims: &[usize]) -> VarId {
+        let original = self.value(input).shape().to_vec();
+        let value = self.value(input).reshape(dims);
+        let rg = self.rg(input);
+        self.push(value, Op::Reshape { input, original }, rg)
+    }
+
+    /// Sum of all elements, producing a scalar node of shape `[1]`.
+    pub fn sum(&mut self, input: VarId) -> VarId {
+        let value = Tensor::from_vec(vec![self.value(input).sum() as f32], &[1]);
+        let rg = self.rg(input);
+        self.push(value, Op::Sum(input), rg)
+    }
+
+    /// Mean absolute error against a constant target, producing a scalar
+    /// node. This is the paper's training loss (Sec. 5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn l1_loss(&mut self, pred: VarId, target: &Tensor) -> VarId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "l1_loss shape mismatch");
+        let n = p.len() as f64;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .map(|(&a, &b)| (a - b).abs() as f64)
+            .sum::<f64>()
+            / n;
+        let rg = self.rg(pred);
+        self.push(
+            Tensor::from_vec(vec![loss as f32], &[1]),
+            Op::L1Loss {
+                pred,
+                target: target.clone(),
+            },
+            rg,
+        )
+    }
+
+    /// Mean squared error against a constant target, producing a scalar
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mse_loss(&mut self, pred: VarId, target: &Tensor) -> VarId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+        let n = p.len() as f64;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let rg = self.rg(pred);
+        self.push(
+            Tensor::from_vec(vec![loss as f32], &[1]),
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
+            rg,
+        )
+    }
+
+    fn accumulate(&mut self, id: VarId, grad: Tensor) {
+        if !self.nodes[id.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from `loss`, which must be a
+    /// scalar (single-element) node. Gradients accumulate into every node
+    /// with `requires_grad` on the path; read them with [`Tape::grad`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(
+            self.value(loss).len(),
+            1,
+            "backward() must start from a scalar node"
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = self.grads[i].clone() else {
+                continue;
+            };
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.scale(-1.0));
+                }
+                Op::MulElem(a, b) => {
+                    let ga = grad.mul(self.value(b));
+                    let gb = grad.mul(self.value(a));
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Scale(a, factor) => {
+                    self.accumulate(a, grad.scale(factor));
+                }
+                Op::AddConst(a) => {
+                    self.accumulate(a, grad);
+                }
+                Op::Conv2d {
+                    input,
+                    weight,
+                    bias,
+                    params,
+                } => {
+                    let grads =
+                        conv2d_backward(self.value(input), self.value(weight), &grad, params);
+                    self.accumulate(input, grads.d_input);
+                    self.accumulate(weight, grads.d_weight);
+                    if let Some(b) = bias {
+                        self.accumulate(b, grads.d_bias);
+                    }
+                }
+                Op::ConvTranspose2d {
+                    input,
+                    weight,
+                    bias,
+                    stride,
+                    pad,
+                    output_padding,
+                } => {
+                    let grads = conv_transpose2d_backward(
+                        self.value(input),
+                        self.value(weight),
+                        &grad,
+                        stride,
+                        pad,
+                        output_padding,
+                    );
+                    self.accumulate(input, grads.d_input);
+                    self.accumulate(weight, grads.d_weight);
+                    if let Some(b) = bias {
+                        self.accumulate(b, grads.d_bias);
+                    }
+                }
+                Op::Conv2dGrouped {
+                    input,
+                    weight,
+                    bias,
+                    params,
+                    groups,
+                } => {
+                    let grads = conv2d_grouped_backward(
+                        self.value(input),
+                        self.value(weight),
+                        &grad,
+                        params,
+                        groups,
+                    );
+                    self.accumulate(input, grads.d_input);
+                    self.accumulate(weight, grads.d_weight);
+                    if let Some(b) = bias {
+                        self.accumulate(b, grads.d_bias);
+                    }
+                }
+                Op::ConcatChannels(inputs) => {
+                    // Split the gradient back along channels.
+                    let (n, _, h, w) = grad.shape_obj().as_nchw();
+                    let plane = h * w;
+                    let total_c: usize = inputs
+                        .iter()
+                        .map(|&id| self.value(id).shape()[1])
+                        .sum();
+                    let mut c_off = 0usize;
+                    for &id in &inputs {
+                        let tc = self.value(id).shape()[1];
+                        let mut g = Tensor::zeros(self.value(id).shape());
+                        for ni in 0..n {
+                            let src = (ni * total_c + c_off) * plane;
+                            let dst = ni * tc * plane;
+                            g.data_mut()[dst..dst + tc * plane]
+                                .copy_from_slice(&grad.data()[src..src + tc * plane]);
+                        }
+                        self.accumulate(id, g);
+                        c_off += tc;
+                    }
+                }
+                Op::Relu(input) => {
+                    let g = relu_backward(self.value(input), &grad);
+                    self.accumulate(input, g);
+                }
+                Op::Prelu { input, alpha } => {
+                    let (gx, ga) = prelu_backward(self.value(input), self.value(alpha), &grad);
+                    self.accumulate(input, gx);
+                    self.accumulate(alpha, ga);
+                }
+                Op::DepthToSpace { input, scale } => {
+                    let g = depth_to_space_backward(&grad, scale);
+                    self.accumulate(input, g);
+                }
+                Op::Collapse1x1 { w1, w2 } => {
+                    let (g1, g2) = collapse_1x1_backward(self.value(w1), self.value(w2), &grad);
+                    self.accumulate(w1, g1);
+                    self.accumulate(w2, g2);
+                }
+                Op::AddBroadcastChannel(a, b) => {
+                    // d/da is identity; d/db sums the gradient over channels.
+                    let (n, c, h, w) = grad.shape_obj().as_nchw();
+                    let mut gb = Tensor::zeros(&[n, 1, h, w]);
+                    let plane = h * w;
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * plane;
+                            let dst = ni * plane;
+                            for i in 0..plane {
+                                gb.data_mut()[dst + i] += grad.data()[base + i];
+                            }
+                        }
+                    }
+                    self.accumulate(a, grad);
+                    self.accumulate(b, gb);
+                }
+                Op::EmbedAt { input, row, col } => {
+                    let (y, x, _, _) = grad.shape_obj().as_nchw();
+                    let mut g = Tensor::zeros(&[y, x, 1, 1]);
+                    for o in 0..y {
+                        for i in 0..x {
+                            *g.at_mut(&[o, i, 0, 0]) = grad.at(&[o, i, row, col]);
+                        }
+                    }
+                    self.accumulate(input, g);
+                }
+                Op::Reshape { input, original } => {
+                    self.accumulate(input, grad.reshape(&original));
+                }
+                Op::Sum(input) => {
+                    let g = Tensor::full(self.value(input).shape(), grad.data()[0]);
+                    self.accumulate(input, g);
+                }
+                Op::L1Loss { pred, target } => {
+                    let p = self.value(pred);
+                    let n = p.len() as f32;
+                    let scale = grad.data()[0] / n;
+                    let g = p.zip_with(&target, |a, b| {
+                        if a > b {
+                            scale
+                        } else if a < b {
+                            -scale
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(pred, g);
+                }
+                Op::MseLoss { pred, target } => {
+                    let p = self.value(pred);
+                    let n = p.len() as f32;
+                    let scale = 2.0 * grad.data()[0] / n;
+                    let g = p.zip_with(&target, |a, b| scale * (a - b));
+                    self.accumulate(pred, g);
+                }
+            }
+        }
+    }
+}
+
+/// Adds a `[N, 1, H, W]` tensor to every channel of a `[N, C, H, W]`
+/// tensor.
+///
+/// # Panics
+///
+/// Panics if `b` does not have one channel or other dimensions disagree.
+pub fn add_broadcast_channel_forward(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, c, h, w) = a.shape_obj().as_nchw();
+    assert_eq!(
+        b.shape(),
+        &[n, 1, h, w],
+        "broadcast operand must be [N, 1, H, W] matching a's batch/spatial dims"
+    );
+    let mut out = a.clone();
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let src = ni * plane;
+            for i in 0..plane {
+                out.data_mut()[base + i] += b.data()[src + i];
+            }
+        }
+    }
+    out
+}
+
+/// Forward collapse: `W_c = w2 ⊛ w1` as a matrix product over the expanded
+/// channel dimension.
+///
+/// # Panics
+///
+/// Panics if `w2` is not 1x1 or channel counts disagree.
+pub fn collapse_1x1_forward(w1: &Tensor, w2: &Tensor) -> Tensor {
+    let (p, x, kh, kw) = w1.shape_obj().as_nchw();
+    let (y, p2, k2h, k2w) = w2.shape_obj().as_nchw();
+    assert_eq!((k2h, k2w), (1, 1), "second conv of a linear block must be 1x1");
+    assert_eq!(p, p2, "expanded channel mismatch: {p} vs {p2}");
+    let mut out = vec![0.0f32; y * x * kh * kw];
+    gemm(w2.data(), w1.data(), &mut out, y, p, x * kh * kw);
+    Tensor::from_vec(out, &[y, x, kh, kw])
+}
+
+/// Backward of [`collapse_1x1_forward`]: given `dWc`, returns `(dW1, dW2)`.
+pub fn collapse_1x1_backward(w1: &Tensor, w2: &Tensor, d_out: &Tensor) -> (Tensor, Tensor) {
+    let (p, x, kh, kw) = w1.shape_obj().as_nchw();
+    let (y, _, _, _) = w2.shape_obj().as_nchw();
+    let cols = x * kh * kw;
+    // dW1 = w2^T @ dWc : (p, y) x (y, cols)
+    let mut dw1 = vec![0.0f32; p * cols];
+    gemm_at_b(w2.data(), d_out.data(), &mut dw1, p, y, cols);
+    // dW2 = dWc @ w1^T : (y, cols) x (cols, p)
+    let mut dw2 = vec![0.0f32; y * p];
+    gemm_a_bt(d_out.data(), w1.data(), &mut dw2, y, cols, p);
+    (
+        Tensor::from_vec(dw1, &[p, x, kh, kw]),
+        Tensor::from_vec(dw2, &[y, p, 1, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::conv::conv2d as conv2d_fn;
+
+    #[test]
+    fn add_backward_distributes_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]), true);
+        let c = tape.add(a, b);
+        let s = tape.sum(c);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates_second_operand() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0], &[1]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![2.0], &[1]), true);
+        let c = tape.sub(a, b);
+        tape.backward(c);
+        assert_eq!(tape.grad(a).unwrap().data(), &[1.0]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn mul_elem_backward_is_product_rule() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![3.0], &[1]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![5.0], &[1]), true);
+        let c = tape.mul_elem(a, b);
+        tape.backward(c);
+        assert_eq!(tape.grad(a).unwrap().data(), &[5.0]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // loss = sum(a * a) => dL/da = 2a
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, -3.0], &[2]), true);
+        let sq = tape.mul_elem(a, a);
+        let s = tape.sum(sq);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().data(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    fn no_grad_for_non_required_leaves() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2]), false);
+        let b = tape.leaf(Tensor::ones(&[2]), true);
+        let c = tape.add(a, b);
+        let s = tape.sum(c);
+        tape.backward(s);
+        assert!(tape.grad(a).is_none());
+        assert!(tape.grad(b).is_some());
+    }
+
+    #[test]
+    fn collapse_forward_equals_sequential_convs() {
+        // conv(conv(x, w1), w2_1x1) == conv(x, collapse(w1, w2))
+        let x = Tensor::randn(&[1, 3, 6, 6], 0.0, 1.0, 1);
+        let w1 = Tensor::randn(&[16, 3, 3, 3], 0.0, 0.3, 2);
+        let w2 = Tensor::randn(&[4, 16, 1, 1], 0.0, 0.3, 3);
+        let p = Conv2dParams::same();
+        let seq = conv2d_fn(&conv2d_fn(&x, &w1, None, p), &w2, None, p);
+        let wc = collapse_1x1_forward(&w1, &w2);
+        assert_eq!(wc.shape(), &[4, 3, 3, 3]);
+        let col = conv2d_fn(&x, &wc, None, p);
+        assert!(seq.approx_eq(&col, 1e-3), "diff={}", seq.max_abs_diff(&col));
+    }
+
+    #[test]
+    fn collapse_backward_finite_diff() {
+        let w1 = Tensor::randn(&[8, 2, 3, 3], 0.0, 0.5, 4);
+        let w2 = Tensor::randn(&[3, 8, 1, 1], 0.0, 0.5, 5);
+        let g = Tensor::randn(&[3, 2, 3, 3], 0.0, 1.0, 6);
+        let loss = |w1: &Tensor, w2: &Tensor| collapse_1x1_forward(w1, w2).mul(&g).sum();
+        let (d1, d2) = collapse_1x1_backward(&w1, &w2, &g);
+        let eps = 1e-3f32;
+        for idx in [0usize, 17, 100, 143] {
+            let mut wp = w1.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w1.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&wp, &w2) - loss(&wm, &w2)) / (2.0 * eps as f64);
+            assert!(
+                (fd - d1.data()[idx] as f64).abs() < 1e-2,
+                "dW1[{idx}] fd={fd} an={}",
+                d1.data()[idx]
+            );
+        }
+        for idx in [0usize, 7, 13, 23] {
+            let mut wp = w2.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w2.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&w1, &wp) - loss(&w1, &wm)) / (2.0 * eps as f64);
+            assert!(
+                (fd - d2.data()[idx] as f64).abs() < 1e-2,
+                "dW2[{idx}] fd={fd} an={}",
+                d2.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn l1_loss_value_and_gradient() {
+        let mut tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(vec![1.0, -2.0, 0.0, 3.0], &[4]), true);
+        let target = Tensor::from_vec(vec![0.0, 0.0, 0.0, 5.0], &[4]);
+        let loss = tape.l1_loss(p, &target);
+        // (1 + 2 + 0 + 2) / 4 = 1.25
+        assert!((tape.value(loss).data()[0] - 1.25).abs() < 1e-6);
+        tape.backward(loss);
+        assert_eq!(tape.grad(p).unwrap().data(), &[0.25, -0.25, 0.0, -0.25]);
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(vec![2.0, 0.0], &[2]), true);
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let loss = tape.mse_loss(p, &target);
+        assert!((tape.value(loss).data()[0] - 2.0).abs() < 1e-6); // (4+0)/2
+        tape.backward(loss);
+        assert_eq!(tape.grad(p).unwrap().data(), &[2.0, 0.0]); // 2*(2)/2
+    }
+
+    #[test]
+    fn end_to_end_conv_chain_gradients_flow() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[2, 1, 6, 6], 0.0, 1.0, 7), false);
+        let w1 = tape.leaf(Tensor::randn(&[8, 1, 5, 5], 0.0, 0.2, 8), true);
+        let w2 = tape.leaf(Tensor::randn(&[4, 8, 1, 1], 0.0, 0.2, 9), true);
+        let alpha = tape.leaf(Tensor::full(&[8], 0.1), true);
+        let h = tape.conv2d(x, w1, None, Conv2dParams::same());
+        let h = tape.prelu(h, alpha);
+        let y = tape.conv2d(h, w2, None, Conv2dParams::same());
+        let d2s = tape.depth_to_space(y, 2);
+        let target = Tensor::zeros(&[2, 1, 12, 12]);
+        let loss = tape.l1_loss(d2s, &target);
+        tape.backward(loss);
+        for id in [w1, w2, alpha] {
+            let g = tape.grad(id).expect("gradient must exist");
+            assert!(g.max_abs() > 0.0, "gradient must be non-zero");
+        }
+        assert!(tape.grad(x).is_none());
+    }
+
+    #[test]
+    fn add_broadcast_channel_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::randn(&[1, 4, 2, 2], 0.0, 1.0, 20), true);
+        let b = tape.leaf(Tensor::randn(&[1, 1, 2, 2], 0.0, 1.0, 21), true);
+        let c = tape.add_broadcast_channel(a, b);
+        // Forward: every channel of c equals a's channel plus b.
+        for ch in 0..4 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    let expected = tape.value(a).at(&[0, ch, y, x]) + tape.value(b).at(&[0, 0, y, x]);
+                    assert!((tape.value(c).at(&[0, ch, y, x]) - expected).abs() < 1e-6);
+                }
+            }
+        }
+        let s = tape.sum(c);
+        tape.backward(s);
+        // d/da = 1 everywhere; d/db = C (summed over 4 channels).
+        assert!(tape.grad(a).unwrap().approx_eq(&Tensor::ones(&[1, 4, 2, 2]), 1e-6));
+        assert!(tape
+            .grad(b)
+            .unwrap()
+            .approx_eq(&Tensor::full(&[1, 1, 2, 2], 4.0), 1e-6));
+    }
+
+    #[test]
+    fn concat_channels_forward_and_backward() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, 80), true);
+        let b = tape.leaf(Tensor::randn(&[1, 1, 3, 3], 0.0, 1.0, 81), true);
+        let c = tape.concat_channels(&[a, b]);
+        assert_eq!(tape.value(c).shape(), &[1, 3, 3, 3]);
+        // Forward layout: channels of a, then b.
+        assert_eq!(tape.value(c).at(&[0, 0, 1, 1]), tape.value(a).at(&[0, 0, 1, 1]));
+        assert_eq!(tape.value(c).at(&[0, 2, 0, 2]), tape.value(b).at(&[0, 0, 0, 2]));
+        // Backward: gradient splits back.
+        let g = Tensor::randn(&[1, 3, 3, 3], 0.0, 1.0, 82);
+        let gi = tape.leaf(g.clone(), false);
+        let prod = tape.mul_elem(c, gi);
+        let s = tape.sum(prod);
+        tape.backward(s);
+        let ga = tape.grad(a).unwrap();
+        let gb = tape.grad(b).unwrap();
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(ga.at(&[0, 1, y, x]), g.at(&[0, 1, y, x]));
+                assert_eq!(gb.at(&[0, 0, y, x]), g.at(&[0, 2, y, x]));
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_conv_on_tape_has_gradients() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(&[1, 4, 5, 5], 0.0, 1.0, 83), false);
+        let w = tape.leaf(Tensor::randn(&[4, 2, 3, 3], 0.0, 0.4, 84), true);
+        let b = tape.leaf(Tensor::zeros(&[4]), true);
+        let y = tape.conv2d_grouped(x, w, Some(b), Conv2dParams::same(), 2);
+        assert_eq!(tape.value(y).shape(), &[1, 4, 5, 5]);
+        let target = Tensor::zeros(&[1, 4, 5, 5]);
+        let loss = tape.l1_loss(y, &target);
+        tape.backward(loss);
+        assert!(tape.grad(w).unwrap().max_abs() > 0.0);
+        assert!(tape.grad(b).is_some());
+    }
+
+    #[test]
+    fn reshape_roundtrips_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]), true);
+        let r = tape.reshape(a, &[4]);
+        assert_eq!(tape.value(r).shape(), &[4]);
+        let s = tape.sum(r);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().shape(), &[2, 2]);
+        assert_eq!(tape.grad(a).unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn embed_center_forward_and_backward() {
+        let mut tape = Tape::new();
+        let w = tape.leaf(Tensor::from_vec(vec![2.0, -1.0], &[2, 1, 1, 1]), true);
+        let e = tape.embed_center(w, 3, 3);
+        assert_eq!(tape.value(e).shape(), &[2, 1, 3, 3]);
+        assert_eq!(tape.value(e).at(&[0, 0, 1, 1]), 2.0);
+        assert_eq!(tape.value(e).at(&[1, 0, 1, 1]), -1.0);
+        assert_eq!(tape.value(e).at(&[0, 0, 0, 0]), 0.0);
+        // Gradient: only center taps flow back.
+        let g = Tensor::ones(&[2, 1, 3, 3]);
+        let prod = tape.leaf(g, false);
+        let m = tape.mul_elem(e, prod);
+        let s = tape.sum(m);
+        tape.backward(s);
+        assert_eq!(tape.grad(w).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar node")]
+    fn backward_from_non_scalar_panics() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2]), true);
+        tape.backward(a);
+    }
+
+    #[test]
+    fn backward_twice_resets_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0], &[1]), true);
+        let b = tape.scale(a, 3.0);
+        tape.backward(b);
+        tape.backward(b);
+        assert_eq!(tape.grad(a).unwrap().data(), &[3.0]);
+    }
+}

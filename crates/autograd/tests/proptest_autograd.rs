@@ -1,0 +1,162 @@
+//! Property-based gradient checking: for randomly composed tape programs,
+//! the analytic gradients must match central finite differences.
+
+use proptest::prelude::*;
+use sesr_autograd::gradcheck::check_gradient;
+use sesr_autograd::Tape;
+use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::Tensor;
+
+/// Builds `loss(theta) = L1(net(x; theta), target)` where `net` is a small
+/// conv -> prelu -> conv -> (+skip) -> depth_to_space program and `theta`
+/// is the first conv weight; returns the loss value.
+fn loss_for(
+    w1: &Tensor,
+    w2: &Tensor,
+    alpha: &Tensor,
+    x: &Tensor,
+    target: &Tensor,
+    use_skip: bool,
+) -> f64 {
+    let mut tape = Tape::new();
+    let xi = tape.leaf(x.clone(), false);
+    let w1i = tape.leaf(w1.clone(), true);
+    let w2i = tape.leaf(w2.clone(), true);
+    let ai = tape.leaf(alpha.clone(), true);
+    let h = tape.conv2d(xi, w1i, None, Conv2dParams::same());
+    let h = tape.prelu(h, ai);
+    let mut y = tape.conv2d(h, w2i, None, Conv2dParams::same());
+    if use_skip {
+        y = tape.add(y, h);
+    }
+    let y = tape.depth_to_space(y, 2);
+    let loss = tape.l1_loss(y, target);
+    tape.value(loss).data()[0] as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conv_prelu_chain_gradients_match_finite_differences(
+        seed in 0u64..500,
+        use_skip in any::<bool>(),
+    ) {
+        let x = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, seed);
+        let w1 = Tensor::randn(&[4, 2, 3, 3], 0.0, 0.4, seed ^ 1);
+        let w2 = Tensor::randn(&[4, 4, 3, 3], 0.0, 0.4, seed ^ 2);
+        let alpha = Tensor::rand_uniform(&[4], 0.05, 0.3, seed ^ 3);
+        let target = Tensor::randn(&[1, 1, 12, 12], 0.0, 1.0, seed ^ 4);
+
+        // Analytic gradients from one backward pass.
+        let mut tape = Tape::new();
+        let xi = tape.leaf(x.clone(), false);
+        let w1i = tape.leaf(w1.clone(), true);
+        let w2i = tape.leaf(w2.clone(), true);
+        let ai = tape.leaf(alpha.clone(), true);
+        let h = tape.conv2d(xi, w1i, None, Conv2dParams::same());
+        let h = tape.prelu(h, ai);
+        let mut y = tape.conv2d(h, w2i, None, Conv2dParams::same());
+        if use_skip {
+            y = tape.add(y, h);
+        }
+        let y = tape.depth_to_space(y, 2);
+        let loss = tape.l1_loss(y, &target);
+        tape.backward(loss);
+
+        let g1 = tape.grad(w1i).unwrap().clone();
+        let report = check_gradient(
+            &|w: &Tensor| loss_for(w, &w2, &alpha, &x, &target, use_skip),
+            &w1,
+            &g1,
+            1e-3,
+            8,
+        );
+        // L1 is piecewise-linear; FD across a kink can be off, so accept a
+        // loose-but-meaningful tolerance.
+        prop_assert!(report.passes(5e-2), "{report:?}");
+
+        let g2 = tape.grad(w2i).unwrap().clone();
+        let report2 = check_gradient(
+            &|w: &Tensor| loss_for(&w1, w, &alpha, &x, &target, use_skip),
+            &w2,
+            &g2,
+            1e-3,
+            8,
+        );
+        prop_assert!(report2.passes(5e-2), "{report2:?}");
+    }
+
+    #[test]
+    fn collapse_gradients_match_finite_differences(
+        seed in 0u64..500,
+        p in 2usize..10,
+    ) {
+        let w1 = Tensor::randn(&[p, 2, 3, 3], 0.0, 0.5, seed);
+        let w2 = Tensor::randn(&[3, p, 1, 1], 0.0, 0.5, seed ^ 9);
+        let g = Tensor::randn(&[3, 2, 3, 3], 0.0, 1.0, seed ^ 10);
+        let loss_fn = |a: &Tensor, b: &Tensor| -> f64 {
+            let mut tape = Tape::new();
+            let ai = tape.leaf(a.clone(), true);
+            let bi = tape.leaf(b.clone(), true);
+            let wc = tape.collapse_1x1(ai, bi);
+            let gi = tape.leaf(g.clone(), false);
+            let prod = tape.mul_elem(wc, gi);
+            let s = tape.sum(prod);
+            tape.value(s).data()[0] as f64
+        };
+        // Analytic gradients.
+        let mut tape = Tape::new();
+        let ai = tape.leaf(w1.clone(), true);
+        let bi = tape.leaf(w2.clone(), true);
+        let wc = tape.collapse_1x1(ai, bi);
+        let gi = tape.leaf(g.clone(), false);
+        let prod = tape.mul_elem(wc, gi);
+        let s = tape.sum(prod);
+        tape.backward(s);
+        let d1 = tape.grad(ai).unwrap().clone();
+        let d2 = tape.grad(bi).unwrap().clone();
+        let r1 = check_gradient(&|t: &Tensor| loss_fn(t, &w2), &w1, &d1, 1e-3, 8);
+        prop_assert!(r1.passes(1e-2), "dW1 {r1:?}");
+        let r2 = check_gradient(&|t: &Tensor| loss_fn(&w1, t), &w2, &d2, 1e-3, 8);
+        prop_assert!(r2.passes(1e-2), "dW2 {r2:?}");
+    }
+
+    /// Backward must not touch nodes recorded after the loss node.
+    #[test]
+    fn backward_ignores_later_nodes(seed in 0u64..500) {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::randn(&[3], 0.0, 1.0, seed), true);
+        let s = tape.sum(a);
+        // Unrelated later computation.
+        let b = tape.leaf(Tensor::randn(&[3], 0.0, 1.0, seed ^ 1), true);
+        let t = tape.sum(b);
+        tape.backward(s);
+        prop_assert!(tape.grad(a).is_some());
+        prop_assert!(tape.grad(b).is_none());
+        let _ = t;
+    }
+
+    /// Linearity of backward: grad of (c1*f + c2*f) == (c1+c2) * grad f.
+    #[test]
+    fn gradient_scales_linearly(
+        c1 in -2.0f32..2.0,
+        c2 in -2.0f32..2.0,
+        seed in 0u64..500,
+    ) {
+        let x = Tensor::randn(&[4], 0.0, 1.0, seed);
+        let run = |k1: f32, k2: f32| -> Tensor {
+            let mut tape = Tape::new();
+            let a = tape.leaf(x.clone(), true);
+            let f1 = tape.scale(a, k1);
+            let f2 = tape.scale(a, k2);
+            let s = tape.add(f1, f2);
+            let loss = tape.sum(s);
+            tape.backward(loss);
+            tape.grad(a).unwrap().clone()
+        };
+        let g = run(c1, c2);
+        let expected = Tensor::full(&[4], c1 + c2);
+        prop_assert!(g.approx_eq(&expected, 1e-5));
+    }
+}

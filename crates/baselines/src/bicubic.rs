@@ -1,0 +1,92 @@
+//! The bicubic interpolation baseline — the first row of the paper's
+//! Tables 1 and 2.
+
+use sesr_autograd::{Tape, VarId};
+use sesr_core::train::SrNetwork;
+use sesr_data::resize::upscale;
+use sesr_tensor::Tensor;
+
+/// A parameter-free bicubic upscaler wrapped in the [`SrNetwork`] interface
+/// so it slots into the same evaluation harness as the learned models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BicubicUpscaler {
+    scale: usize,
+}
+
+impl BicubicUpscaler {
+    /// Creates an upscaler for the given factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn new(scale: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        Self { scale }
+    }
+}
+
+impl SrNetwork for BicubicUpscaler {
+    fn scale(&self) -> usize {
+        self.scale
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) {
+        assert!(params.is_empty(), "bicubic has no parameters");
+    }
+
+    fn forward(&self, tape: &mut Tape, input: VarId) -> (VarId, Vec<VarId>) {
+        // Bicubic is not trainable; expose it as a constant upscale so the
+        // shared harness can still "run" it. Gradients do not flow.
+        let v = tape.value(input).clone();
+        let (n, c, h, w) = v.shape_obj().as_nchw();
+        let mut out = Tensor::zeros(&[n, c, h * self.scale, w * self.scale]);
+        let plane_in = h * w;
+        let plane_out = plane_in * self.scale * self.scale;
+        for i in 0..n * c {
+            let img = Tensor::from_vec(
+                v.data()[i * plane_in..(i + 1) * plane_in].to_vec(),
+                &[1, h, w],
+            );
+            let up = upscale(&img, self.scale);
+            out.data_mut()[i * plane_out..(i + 1) * plane_out].copy_from_slice(up.data());
+        }
+        let id = tape.leaf(out, false);
+        (id, Vec::new())
+    }
+
+    fn infer(&self, lr: &Tensor) -> Tensor {
+        upscale(lr, self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_data::Benchmark;
+
+    #[test]
+    fn infers_at_each_scale() {
+        for scale in [2usize, 3, 4] {
+            let up = BicubicUpscaler::new(scale);
+            let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 1);
+            assert_eq!(up.infer(&lr).shape(), &[1, 8 * scale, 8 * scale]);
+        }
+    }
+
+    #[test]
+    fn produces_reasonable_psnr_on_benchmarks() {
+        let bench = Benchmark::new(sesr_data::Family::Smooth, 2, 48, 2);
+        let up = BicubicUpscaler::new(2);
+        let q = bench.evaluate(&|lr| up.infer(lr));
+        assert!(q.psnr > 25.0, "bicubic on smooth content: {}", q.psnr);
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        assert!(BicubicUpscaler::new(2).parameters().is_empty());
+    }
+}

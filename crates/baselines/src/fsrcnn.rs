@@ -1,0 +1,359 @@
+//! FSRCNN (Dong et al., ECCV 2016) — the paper's primary small-network
+//! baseline.
+//!
+//! Architecture (for the standard `d = 56, s = 12, m = 4` configuration):
+//! feature extraction `5x5 (1 → d)`, shrinking `1x1 (d → s)`, `m` mapping
+//! layers `3x3 (s → s)`, expanding `1x1 (s → d)`, and a strided `9x9`
+//! deconvolution head (`d → 1`) that performs the upscaling. PReLU after
+//! every layer except the head. 12,464 weight parameters — the "12.46K"
+//! of the paper's tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sesr_autograd::{Tape, VarId};
+use sesr_core::ir::{LayerIr, NetworkIr};
+use sesr_core::train::SrNetwork;
+use sesr_tensor::conv::{conv2d, conv_transpose2d, Conv2dParams};
+use sesr_tensor::activations::prelu;
+use sesr_tensor::Tensor;
+
+/// FSRCNN hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsrcnnConfig {
+    /// Feature dimension `d` (56 in the published model).
+    pub d: usize,
+    /// Shrunk dimension `s` (12).
+    pub s: usize,
+    /// Mapping layers `m` (4).
+    pub m: usize,
+    /// Upscaling factor (2 or 4).
+    pub scale: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl FsrcnnConfig {
+    /// The published FSRCNN configuration (`d = 56, s = 12, m = 4`).
+    pub fn standard(scale: usize) -> Self {
+        Self {
+            d: 56,
+            s: 12,
+            m: 4,
+            scale,
+            seed: 0xF5
+        }
+    }
+
+    /// A narrow configuration for fast tests.
+    pub fn tiny(scale: usize) -> Self {
+        Self {
+            d: 8,
+            s: 4,
+            m: 1,
+            scale,
+            seed: 0xF5
+        }
+    }
+}
+
+/// A trainable FSRCNN network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fsrcnn {
+    config: FsrcnnConfig,
+    /// `(weight OIHW, bias)` for each conv layer (feature, shrink, m maps,
+    /// expand), in order.
+    convs: Vec<(Tensor, Tensor)>,
+    /// Deconvolution weight, IOHW `[d, 1, 9, 9]`, and bias `[1]`.
+    deconv: (Tensor, Tensor),
+    /// PReLU slopes after each conv layer.
+    alphas: Vec<Tensor>,
+}
+
+impl Fsrcnn {
+    /// Builds FSRCNN with He initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not 2 or 4.
+    pub fn new(config: FsrcnnConfig) -> Self {
+        assert!(
+            config.scale == 2 || config.scale == 4,
+            "FSRCNN here supports x2 and x4"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut mk = |cout: usize, cin: usize, k: usize| {
+            let fan_in = (cin * k * k) as f32;
+            let w = Tensor::randn(&[cout, cin, k, k], 0.0, (2.0 / fan_in).sqrt(), rng.gen());
+            (w, Tensor::zeros(&[cout]))
+        };
+        let mut convs = vec![mk(config.d, 1, 5), mk(config.s, config.d, 1)];
+        for _ in 0..config.m {
+            convs.push(mk(config.s, config.s, 3));
+        }
+        convs.push(mk(config.d, config.s, 1));
+        // Deconv: IOHW [d, 1, 9, 9]; smaller init for a stable output head.
+        let dw = Tensor::randn(
+            &[config.d, 1, 9, 9],
+            0.0,
+            (2.0 / (config.d as f32 * 81.0)).sqrt(),
+            rng.gen(),
+        );
+        let alphas = convs
+            .iter()
+            .map(|(w, _)| Tensor::full(&[w.shape()[0]], 0.1))
+            .collect();
+        Self {
+            config,
+            convs,
+            deconv: (dw, Tensor::zeros(&[1])),
+            alphas,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FsrcnnConfig {
+        &self.config
+    }
+
+    /// Weight-only parameter count (the paper's convention).
+    pub fn num_weight_params(&self) -> usize {
+        self.convs.iter().map(|(w, _)| w.len()).sum::<usize>() + self.deconv.0.len()
+    }
+
+    fn deconv_geometry(&self) -> (usize, usize, usize) {
+        // stride = scale, pad = 4, output_padding = scale - 1 makes the
+        // output exactly `scale` times the input.
+        (self.config.scale, 4, self.config.scale - 1)
+    }
+
+    /// Builds the layer IR for an `h x w` LR input (consumed by the NPU
+    /// simulator).
+    pub fn ir(&self, h: usize, w: usize) -> NetworkIr {
+        let c = &self.config;
+        let mut layers = vec![LayerIr::Conv {
+            cin: 1,
+            cout: c.d,
+            kh: 5,
+            kw: 5,
+            h,
+            w,
+        }];
+        layers.push(LayerIr::Conv {
+            cin: c.d,
+            cout: c.s,
+            kh: 1,
+            kw: 1,
+            h,
+            w,
+        });
+        for _ in 0..c.m {
+            layers.push(LayerIr::Conv {
+                cin: c.s,
+                cout: c.s,
+                kh: 3,
+                kw: 3,
+                h,
+                w,
+            });
+        }
+        layers.push(LayerIr::Conv {
+            cin: c.s,
+            cout: c.d,
+            kh: 1,
+            kw: 1,
+            h,
+            w,
+        });
+        layers.push(LayerIr::Deconv {
+            cin: c.d,
+            cout: 1,
+            kh: 9,
+            kw: 9,
+            h,
+            w,
+            stride: c.scale,
+        });
+        NetworkIr {
+            name: "FSRCNN".into(),
+            layers,
+        }
+    }
+}
+
+impl SrNetwork for Fsrcnn {
+    fn scale(&self) -> usize {
+        self.config.scale
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        for (w, b) in &self.convs {
+            out.push(w.clone());
+            out.push(b.clone());
+        }
+        out.push(self.deconv.0.clone());
+        out.push(self.deconv.1.clone());
+        out.extend(self.alphas.iter().cloned());
+        out
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) {
+        let mut it = params.iter();
+        for (w, b) in &mut self.convs {
+            *w = it.next().expect("parameter list too short").clone();
+            *b = it.next().expect("parameter list too short").clone();
+        }
+        self.deconv.0 = it.next().expect("parameter list too short").clone();
+        self.deconv.1 = it.next().expect("parameter list too short").clone();
+        for a in &mut self.alphas {
+            *a = it.next().expect("parameter list too short").clone();
+        }
+        assert!(it.next().is_none(), "parameter list too long");
+    }
+
+    fn forward(&self, tape: &mut Tape, input: VarId) -> (VarId, Vec<VarId>) {
+        let mut param_ids = Vec::new();
+        let mut conv_ids = Vec::new();
+        for (w, b) in &self.convs {
+            let wi = tape.leaf(w.clone(), true);
+            let bi = tape.leaf(b.clone(), true);
+            param_ids.push(wi);
+            param_ids.push(bi);
+            conv_ids.push((wi, bi));
+        }
+        let dw = tape.leaf(self.deconv.0.clone(), true);
+        let db = tape.leaf(self.deconv.1.clone(), true);
+        param_ids.push(dw);
+        param_ids.push(db);
+        let alpha_ids: Vec<VarId> = self
+            .alphas
+            .iter()
+            .map(|a| tape.leaf(a.clone(), true))
+            .collect();
+        param_ids.extend(alpha_ids.iter().copied());
+
+        let same = Conv2dParams::same();
+        let mut x = input;
+        for ((wi, bi), ai) in conv_ids.iter().zip(alpha_ids.iter()) {
+            x = tape.conv2d(x, *wi, Some(*bi), same);
+            x = tape.prelu(x, *ai);
+        }
+        let (stride, pad, out_pad) = self.deconv_geometry();
+        let y = tape.conv_transpose2d(x, dw, Some(db), stride, pad, out_pad);
+        (y, param_ids)
+    }
+
+    fn infer(&self, lr: &Tensor) -> Tensor {
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        let mut x = lr.reshape(&[1, 1, dims[1], dims[2]]);
+        let same = Conv2dParams::same();
+        for ((w, b), a) in self.convs.iter().zip(self.alphas.iter()) {
+            x = prelu(&conv2d(&x, w, Some(b), same), a);
+        }
+        let (stride, pad, out_pad) = self.deconv_geometry();
+        let y = conv_transpose2d(&x, &self.deconv.0, Some(&self.deconv.1), stride, pad, out_pad);
+        let s = self.config.scale;
+        y.reshape(&[1, dims[1] * s, dims[2] * s])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_has_published_param_count() {
+        // 12.46K weights: 1400 + 672 + 4*1296 + 672 + 4536.
+        let net = Fsrcnn::new(FsrcnnConfig::standard(2));
+        assert_eq!(net.num_weight_params(), 12_464);
+        // Same for x4 (the deconv stride changes, not the weights).
+        let net4 = Fsrcnn::new(FsrcnnConfig::standard(4));
+        assert_eq!(net4.num_weight_params(), 12_464);
+    }
+
+    #[test]
+    fn mac_counts_match_paper_tables() {
+        // Table 1: 6.00G MACs to 720p at x2; Table 2: 4.63G at x4;
+        // Table 3: 54G from 1080p at x2.
+        let net2 = Fsrcnn::new(FsrcnnConfig::standard(2));
+        let macs_720p_x2 = net2.ir(720 / 2, 1280 / 2).total_macs();
+        assert!(
+            (macs_720p_x2 as f64 - 6.00e9).abs() / 6.00e9 < 0.01,
+            "{macs_720p_x2}"
+        );
+        let net4 = Fsrcnn::new(FsrcnnConfig::standard(4));
+        let macs_720p_x4 = net4.ir(720 / 4, 1280 / 4).total_macs();
+        assert!(
+            (macs_720p_x4 as f64 - 4.63e9).abs() / 4.63e9 < 0.01,
+            "{macs_720p_x4}"
+        );
+        let macs_1080p = net2.ir(1080, 1920).total_macs();
+        assert!((macs_1080p as f64 - 54e9).abs() / 54e9 < 0.01, "{macs_1080p}");
+    }
+
+    #[test]
+    fn peak_activation_is_d_channels() {
+        // Paper Sec. 5.6: FSRCNN's largest tensor is H x W x 56 — 3.5x
+        // SESR-M5's H x W x 16.
+        let net = Fsrcnn::new(FsrcnnConfig::standard(2));
+        let ir = net.ir(1080, 1920);
+        assert_eq!(ir.peak_activation_elements(), 56 * 1080 * 1920);
+        let sesr = sesr_core::ir::sesr_ir(16, 5, 2, false, 1080, 1920);
+        let ratio =
+            ir.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
+        assert!((ratio - 3.5).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn infer_shapes() {
+        for scale in [2usize, 4] {
+            let net = Fsrcnn::new(FsrcnnConfig::tiny(scale));
+            let lr = Tensor::rand_uniform(&[1, 10, 12], 0.0, 1.0, 1);
+            let sr = net.infer(&lr);
+            assert_eq!(sr.shape(), &[1, 10 * scale, 12 * scale]);
+        }
+    }
+
+    #[test]
+    fn train_and_infer_forward_agree() {
+        let net = Fsrcnn::new(FsrcnnConfig::tiny(2));
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 2);
+        let mut tape = Tape::new();
+        let x = tape.leaf(lr.reshape(&[1, 1, 8, 8]), false);
+        let (y, _) = net.forward(&mut tape, x);
+        let train_out = tape.value(y).reshape(&[1, 16, 16]);
+        let infer_out = net.infer(&lr);
+        assert!(train_out.approx_eq(&infer_out, 1e-4));
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let net = Fsrcnn::new(FsrcnnConfig::tiny(2));
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, 3), false);
+        let (y, ids) = net.forward(&mut tape, x);
+        let target = Tensor::zeros(&[1, 1, 16, 16]);
+        let loss = tape.l1_loss(y, &target);
+        tape.backward(loss);
+        for (i, id) in ids.iter().enumerate() {
+            assert!(tape.grad(*id).is_some(), "param {i} got no gradient");
+        }
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let net = Fsrcnn::new(FsrcnnConfig::tiny(2));
+        let params = net.parameters();
+        let mut other = Fsrcnn::new(FsrcnnConfig {
+            seed: 9,
+            ..FsrcnnConfig::tiny(2)
+        });
+        other.set_parameters(&params);
+        assert_eq!(other.parameters().len(), params.len());
+        for (a, b) in other.parameters().iter().zip(params.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+}

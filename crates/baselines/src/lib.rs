@@ -1,0 +1,34 @@
+//! # sesr-baselines
+//!
+//! Every comparison point the SESR paper evaluates against:
+//!
+//! * [`fsrcnn`] — a full, trainable FSRCNN implementation (Dong et al.,
+//!   2016), the paper's main small-regime comparison. Matches the
+//!   published 12.46K-parameter configuration exactly.
+//! * [`bicubic`] — the bicubic interpolation baseline (first row of
+//!   Tables 1–2).
+//! * [`vdsr`] — a full, trainable VDSR (Kim et al., 2016): the paper's
+//!   large-regime reference (664,704 weights, 612.6G MACs at 720p, both
+//!   matched exactly).
+//! * [`zoo`] — the published-model zoo: parameter counts, MACs, and
+//!   reported PSNR/SSIM of VDSR, LapSRN, BTSRN, CARN-M, TPSR-NoGAN,
+//!   MOREMNAS-B/C, straight from the paper's tables. These feed the
+//!   Pareto plot (Fig. 1(a)), the FPS chart (Fig. 1(b)), and the published
+//!   rows of the regenerated tables.
+//!
+//! The paper's other comparison networks — ExpandNet-style, RepVGG-style,
+//! plain-conv, and VGG-style variants (Secs. 5.4–5.5) — are configuration
+//! switches of the SESR model itself and live in
+//! [`sesr_core::model::SesrConfig`].
+
+pub mod bicubic;
+pub mod carn;
+pub mod fsrcnn;
+pub mod vdsr;
+pub mod zoo;
+
+pub use bicubic::BicubicUpscaler;
+pub use carn::{CarnM, CarnMConfig};
+pub use fsrcnn::{Fsrcnn, FsrcnnConfig};
+pub use vdsr::{Vdsr, VdsrConfig};
+pub use zoo::{published_models, PublishedModel, Regime};

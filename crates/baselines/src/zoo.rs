@@ -1,0 +1,510 @@
+//! The published-model zoo: every comparison row of the paper's Tables 1–2
+//! and the models plotted in Fig. 1, with their reported parameter counts,
+//! MACs (to-720p convention) and PSNR/SSIM.
+//!
+//! These are *published* numbers transcribed from the paper — we do not
+//! retrain VDSR-class networks (665K+ parameters, 300 GPU-epochs); the
+//! reproduction trains the small models (SESR variants, FSRCNN) and uses
+//! the zoo for the large-regime rows, exactly the role the paper's tables
+//! give them.
+
+use serde::{Deserialize, Serialize};
+
+/// Size regime used to group the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regime {
+    /// ≤ 25K parameters.
+    Small,
+    /// 25K–100K parameters.
+    Medium,
+    /// > 100K parameters.
+    Large,
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::Small => write!(f, "Small"),
+            Regime::Medium => write!(f, "Medium"),
+            Regime::Large => write!(f, "Large"),
+        }
+    }
+}
+
+/// Reported quality on one benchmark: `(PSNR dB, SSIM)`; SSIM is `None`
+/// where the source paper did not report it (e.g. BTSRN).
+pub type ReportedQuality = Option<(f64, Option<f64>)>;
+
+/// A published model row (per scale factor).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PublishedModel {
+    /// Model name as printed in the paper.
+    pub name: &'static str,
+    /// Table regime.
+    pub regime: Regime,
+    /// Parameter count (thousands); `None` for bicubic.
+    pub params_k: Option<f64>,
+    /// MACs in G, to-720p convention; `None` for bicubic.
+    pub macs_g: Option<f64>,
+    /// Quality on [Set5, Set14, BSD100, Urban100, Manga109, DIV2K].
+    pub quality: [ReportedQuality; 6],
+}
+
+impl PublishedModel {
+    /// MACs from a 1080p input (the Fig. 1(b)/Table 3 convention). MACs
+    /// scale linearly with pixel count at a fixed scale factor; 1080p has
+    /// 9x the pixels of the to-720p convention's LR/HR pair.
+    pub fn macs_g_from_1080p(&self) -> Option<f64> {
+        self.macs_g.map(|g| g * 9.0)
+    }
+
+    /// Best-case (100% utilization) FPS on an accelerator with `tops`
+    /// tera-ops/s, counting 2 ops per MAC — the model behind Fig. 1(b)'s
+    /// "theoretical FPS" axis.
+    pub fn fps_best_case(&self, tops: f64) -> Option<f64> {
+        self.macs_g_from_1080p()
+            .map(|g| tops * 1e12 / (2.0 * g * 1e9))
+    }
+}
+
+const fn q(psnr: f64, ssim: f64) -> ReportedQuality {
+    Some((psnr, Some(ssim)))
+}
+const fn qp(psnr: f64) -> ReportedQuality {
+    Some((psnr, None))
+}
+const NA: ReportedQuality = None;
+
+/// The published ×2 rows of Table 1 (excluding the SESR rows, which this
+/// reproduction trains itself).
+pub fn published_models_x2() -> Vec<PublishedModel> {
+    vec![
+        PublishedModel {
+            name: "Bicubic",
+            regime: Regime::Small,
+            params_k: None,
+            macs_g: None,
+            quality: [
+                q(33.68, 0.9307),
+                q(30.24, 0.8693),
+                q(29.56, 0.8439),
+                q(26.88, 0.8408),
+                q(30.82, 0.9349),
+                q(32.45, 0.9043),
+            ],
+        },
+        PublishedModel {
+            name: "FSRCNN",
+            regime: Regime::Small,
+            params_k: Some(12.46),
+            macs_g: Some(6.00),
+            quality: [
+                q(36.98, 0.9556),
+                q(32.62, 0.9087),
+                q(31.50, 0.8904),
+                q(29.85, 0.9009),
+                q(36.62, 0.9710),
+                q(34.74, 0.9340),
+            ],
+        },
+        PublishedModel {
+            name: "MOREMNAS-C",
+            regime: Regime::Small,
+            params_k: Some(25.0),
+            macs_g: Some(5.5),
+            quality: [
+                q(37.06, 0.9561),
+                q(32.75, 0.9094),
+                q(31.50, 0.8904),
+                q(29.92, 0.9023),
+                NA,
+                NA,
+            ],
+        },
+        PublishedModel {
+            name: "TPSR-NoGAN",
+            regime: Regime::Medium,
+            params_k: Some(60.0),
+            macs_g: Some(14.0),
+            quality: [
+                q(37.38, 0.9583),
+                q(33.00, 0.9123),
+                q(31.75, 0.8942),
+                q(30.61, 0.9119),
+                NA,
+                NA,
+            ],
+        },
+        PublishedModel {
+            name: "VDSR",
+            regime: Regime::Large,
+            params_k: Some(665.0),
+            macs_g: Some(612.6),
+            quality: [
+                q(37.53, 0.9587),
+                q(33.05, 0.9127),
+                q(31.90, 0.8960),
+                q(30.77, 0.9141),
+                q(37.16, 0.9740),
+                q(35.43, 0.9410),
+            ],
+        },
+        PublishedModel {
+            name: "LapSRN",
+            regime: Regime::Large,
+            params_k: Some(813.0),
+            macs_g: Some(29.9),
+            quality: [
+                q(37.52, 0.9590),
+                q(33.08, 0.9130),
+                q(31.80, 0.8950),
+                q(30.41, 0.9100),
+                q(37.53, 0.9740),
+                q(35.31, 0.9400),
+            ],
+        },
+        PublishedModel {
+            name: "BTSRN",
+            regime: Regime::Large,
+            params_k: Some(410.0),
+            macs_g: Some(207.7),
+            quality: [qp(37.75), qp(33.20), qp(32.05), qp(31.63), NA, NA],
+        },
+        PublishedModel {
+            name: "CARN-M",
+            regime: Regime::Large,
+            params_k: Some(412.0),
+            macs_g: Some(91.2),
+            quality: [
+                q(37.53, 0.9583),
+                q(33.26, 0.9141),
+                q(31.92, 0.8960),
+                q(31.23, 0.9193),
+                NA,
+                NA,
+            ],
+        },
+        PublishedModel {
+            name: "MOREMNAS-B",
+            regime: Regime::Large,
+            params_k: Some(1118.0),
+            macs_g: Some(256.9),
+            quality: [
+                q(37.58, 0.9584),
+                q(33.22, 0.9135),
+                q(31.91, 0.8959),
+                q(31.14, 0.9175),
+                NA,
+                NA,
+            ],
+        },
+    ]
+}
+
+/// The published ×4 rows of Table 2 (excluding the SESR rows).
+pub fn published_models_x4() -> Vec<PublishedModel> {
+    vec![
+        PublishedModel {
+            name: "Bicubic",
+            regime: Regime::Small,
+            params_k: None,
+            macs_g: None,
+            quality: [
+                q(28.43, 0.8113),
+                q(26.00, 0.7025),
+                q(25.96, 0.6682),
+                q(23.14, 0.6577),
+                q(24.90, 0.7855),
+                q(28.10, 0.7745),
+            ],
+        },
+        PublishedModel {
+            name: "FSRCNN",
+            regime: Regime::Small,
+            params_k: Some(12.46),
+            macs_g: Some(4.63),
+            quality: [
+                q(30.70, 0.8657),
+                q(27.59, 0.7535),
+                q(26.96, 0.7128),
+                q(24.60, 0.7258),
+                q(27.89, 0.8590),
+                q(29.36, 0.8110),
+            ],
+        },
+        PublishedModel {
+            name: "TPSR-NoGAN",
+            regime: Regime::Medium,
+            params_k: Some(61.0),
+            macs_g: Some(3.6),
+            quality: [
+                q(31.10, 0.8779),
+                q(27.95, 0.7663),
+                q(27.15, 0.7214),
+                q(24.97, 0.7456),
+                NA,
+                NA,
+            ],
+        },
+        PublishedModel {
+            name: "VDSR",
+            regime: Regime::Large,
+            params_k: Some(665.0),
+            macs_g: Some(612.6),
+            quality: [
+                q(31.35, 0.8838),
+                q(28.02, 0.7678),
+                q(27.29, 0.7252),
+                q(25.18, 0.7525),
+                q(28.82, 0.8860),
+                q(29.82, 0.8240),
+            ],
+        },
+        PublishedModel {
+            name: "LapSRN",
+            regime: Regime::Large,
+            params_k: Some(813.0),
+            macs_g: Some(149.4),
+            quality: [
+                q(31.54, 0.8850),
+                q(28.19, 0.7720),
+                q(27.32, 0.7280),
+                q(25.21, 0.7560),
+                q(29.09, 0.8900),
+                q(29.88, 0.8250),
+            ],
+        },
+        PublishedModel {
+            name: "BTSRN",
+            regime: Regime::Large,
+            params_k: Some(410.0),
+            macs_g: Some(165.2),
+            quality: [qp(31.85), qp(28.20), qp(27.47), qp(25.74), NA, NA],
+        },
+        PublishedModel {
+            name: "CARN-M",
+            regime: Regime::Large,
+            params_k: Some(412.0),
+            macs_g: Some(32.5),
+            quality: [
+                q(31.92, 0.8903),
+                q(28.42, 0.7762),
+                q(27.44, 0.7304),
+                q(25.62, 0.7694),
+                NA,
+                NA,
+            ],
+        },
+    ]
+}
+
+/// Published rows for the requested scale (2 or 4).
+///
+/// # Panics
+///
+/// Panics for any other scale.
+pub fn published_models(scale: usize) -> Vec<PublishedModel> {
+    match scale {
+        2 => published_models_x2(),
+        4 => published_models_x4(),
+        _ => panic!("published tables cover x2 and x4 only"),
+    }
+}
+
+/// The paper's own reported SESR quality rows (Tables 1–2), used by
+/// EXPERIMENTS.md to place our retrained numbers side by side with the
+/// originals. Returns `(name, [quality; 6])` rows.
+pub fn paper_sesr_rows(scale: usize) -> Vec<(&'static str, [ReportedQuality; 6])> {
+    match scale {
+        2 => vec![
+            (
+                "SESR-M3",
+                [
+                    q(37.21, 0.9577),
+                    q(32.70, 0.9100),
+                    q(31.56, 0.8920),
+                    q(29.92, 0.9034),
+                    q(36.47, 0.9717),
+                    q(35.03, 0.9373),
+                ],
+            ),
+            (
+                "SESR-M5",
+                [
+                    q(37.39, 0.9585),
+                    q(32.84, 0.9115),
+                    q(31.70, 0.8938),
+                    q(30.33, 0.9087),
+                    q(37.07, 0.9734),
+                    q(35.24, 0.9389),
+                ],
+            ),
+            (
+                "SESR-M7",
+                [
+                    q(37.47, 0.9588),
+                    q(32.91, 0.9118),
+                    q(31.77, 0.8946),
+                    q(30.49, 0.9105),
+                    q(37.14, 0.9738),
+                    q(35.32, 0.9395),
+                ],
+            ),
+            (
+                "SESR-M11",
+                [
+                    q(37.58, 0.9593),
+                    q(33.03, 0.9128),
+                    q(31.85, 0.8956),
+                    q(30.72, 0.9136),
+                    q(37.40, 0.9746),
+                    q(35.45, 0.9404),
+                ],
+            ),
+            (
+                "SESR-XL",
+                [
+                    q(37.77, 0.9601),
+                    q(33.24, 0.9145),
+                    q(31.99, 0.8976),
+                    q(31.16, 0.9184),
+                    q(38.01, 0.9759),
+                    q(35.67, 0.9420),
+                ],
+            ),
+        ],
+        4 => vec![
+            (
+                "SESR-M3",
+                [
+                    q(30.75, 0.8714),
+                    q(27.62, 0.7579),
+                    q(27.00, 0.7166),
+                    q(24.61, 0.7304),
+                    q(27.90, 0.8644),
+                    q(29.52, 0.8155),
+                ],
+            ),
+            (
+                "SESR-M5",
+                [
+                    q(30.99, 0.8764),
+                    q(27.81, 0.7624),
+                    q(27.11, 0.7199),
+                    q(24.80, 0.7389),
+                    q(28.29, 0.8734),
+                    q(29.65, 0.8189),
+                ],
+            ),
+            (
+                "SESR-M7",
+                [
+                    q(31.14, 0.8787),
+                    q(27.88, 0.7641),
+                    q(27.13, 0.7209),
+                    q(24.90, 0.7436),
+                    q(28.53, 0.8778),
+                    q(29.72, 0.8204),
+                ],
+            ),
+            (
+                "SESR-M11",
+                [
+                    q(31.27, 0.8810),
+                    q(27.94, 0.7660),
+                    q(27.20, 0.7225),
+                    q(25.00, 0.7466),
+                    q(28.73, 0.8815),
+                    q(29.81, 0.8221),
+                ],
+            ),
+            (
+                "SESR-XL",
+                [
+                    q(31.54, 0.8866),
+                    q(28.12, 0.7712),
+                    q(27.31, 0.7277),
+                    q(25.31, 0.7604),
+                    q(29.04, 0.8901),
+                    q(29.94, 0.8266),
+                ],
+            ),
+        ],
+        _ => panic!("published tables cover x2 and x4 only"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_row_counts() {
+        assert_eq!(published_models_x2().len(), 9);
+        assert_eq!(published_models_x4().len(), 7);
+        assert_eq!(paper_sesr_rows(2).len(), 5);
+        assert_eq!(paper_sesr_rows(4).len(), 5);
+    }
+
+    #[test]
+    fn fsrcnn_best_case_fps_matches_intro() {
+        // The paper's intro: FSRCNN achieves "only 37 FPS" best case on a
+        // 4-TOP/s NPU for 1080p -> 4K.
+        let fsrcnn = published_models_x2()
+            .into_iter()
+            .find(|m| m.name == "FSRCNN")
+            .unwrap();
+        let fps = fsrcnn.fps_best_case(4.0).unwrap();
+        assert!((fps - 37.0).abs() < 1.0, "fps = {fps}");
+    }
+
+    #[test]
+    fn most_models_below_3fps_as_fig1b_shows() {
+        // Fig. 1(b): most published methods achieve < 3 FPS on the
+        // 4-TOP/s NPU. Check the large-regime x2 models.
+        let below: Vec<_> = published_models_x2()
+            .into_iter()
+            .filter(|m| m.regime == Regime::Large)
+            .filter(|m| m.fps_best_case(4.0).unwrap() < 3.0)
+            .map(|m| m.name)
+            .collect();
+        assert!(below.contains(&"VDSR"));
+        assert!(below.contains(&"BTSRN"));
+        // VDSR: 612.6G * 9 = 5513G MACs -> ~0.36 FPS.
+        let vdsr = published_models_x2()
+            .into_iter()
+            .find(|m| m.name == "VDSR")
+            .unwrap();
+        assert!(vdsr.fps_best_case(4.0).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn quality_entries_are_sane() {
+        for m in published_models_x2().iter().chain(published_models_x4().iter()) {
+            for entry in m.quality.iter().flatten() {
+                assert!(entry.0 > 20.0 && entry.0 < 40.0, "{}: {}", m.name, entry.0);
+                if let Some(s) = entry.1 {
+                    assert!(s > 0.6 && s <= 1.0, "{}: ssim {s}", m.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x4_has_lower_psnr_than_x2_for_same_model() {
+        // Physical sanity: x4 is harder.
+        let x2 = published_models_x2();
+        let x4 = published_models_x4();
+        for name in ["FSRCNN", "VDSR", "CARN-M"] {
+            let a = x2.iter().find(|m| m.name == name).unwrap().quality[0].unwrap().0;
+            let b = x4.iter().find(|m| m.name == name).unwrap().quality[0].unwrap().0;
+            assert!(a > b, "{name}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x2 and x4 only")]
+    fn bad_scale_rejected() {
+        published_models(3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion benchmarks for the collapse machinery (paper Sec. 3.3 /
+//! Fig. 3): the per-step collapse must be cheap relative to the forward
+//! pass, and the collapsed forward must be much faster than the expanded
+//! one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sesr_autograd::tape::collapse_1x1_forward;
+use sesr_core::collapse::collapse_linear_chain;
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::train::SrNetwork;
+use sesr_autograd::Tape;
+use sesr_tensor::conv::{conv2d, Conv2dParams};
+use sesr_tensor::Tensor;
+
+fn bench_collapse_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collapse");
+    // SESR's middle-block shape: 3x3, 16 -> 256 -> 16.
+    let w1 = Tensor::randn(&[256, 16, 3, 3], 0.0, 0.1, 1);
+    let w2 = Tensor::randn(&[16, 256, 1, 1], 0.0, 0.1, 2);
+    group.bench_function("fast_tensordot", |b| {
+        b.iter(|| collapse_1x1_forward(&w1, &w2))
+    });
+    group.bench_function("algorithm1_conv_on_identity", |b| {
+        b.iter(|| collapse_linear_chain(&[&w1, &w2]))
+    });
+    group.finish();
+}
+
+fn bench_expanded_vs_collapsed_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_forward");
+    group.sample_size(10);
+    let p = 128;
+    let model = Sesr::new(SesrConfig::m(3).with_expanded(p));
+    let input = Tensor::rand_uniform(&[1, 1, 32, 32], 0.0, 1.0, 3);
+
+    group.bench_function("collapsed_space_tape", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(input.clone(), false);
+            let (y, _) = model.forward(&mut tape, x);
+            tape.value(y).clone()
+        })
+    });
+
+    // Expanded: run each linear block as two convolutions.
+    let blocks: Vec<(Tensor, Tensor)> = model
+        .stages()
+        .iter()
+        .map(|s| match s {
+            sesr_core::model::StageParams::Linear(b) => (b.w1.clone(), b.w2.clone()),
+            other => panic!("unexpected stage {other:?}"),
+        })
+        .collect();
+    group.bench_function("expanded_space", |b| {
+        b.iter(|| {
+            let same = Conv2dParams::same();
+            let mut x = input.clone();
+            for (w1, w2) in &blocks {
+                x = conv2d(&conv2d(&x, w1, None, same), w2, None, same);
+            }
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+    let model = Sesr::new(SesrConfig::m(3).with_expanded(64));
+    let input = Tensor::rand_uniform(&[2, 1, 16, 16], 0.0, 1.0, 4);
+    let target = Tensor::rand_uniform(&[2, 1, 32, 32], 0.0, 1.0, 5);
+    group.bench_function("forward_backward_m3", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(input.clone(), false);
+            let (y, ids) = model.forward(&mut tape, x);
+            let loss = tape.l1_loss(y, &target);
+            tape.backward(loss);
+            tape.grad(ids[0]).cloned()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collapse_paths,
+    bench_expanded_vs_collapsed_forward,
+    bench_full_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the convolution kernels that dominate
+//! SESR training and inference time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesr_tensor::conv::{conv2d, conv2d_backward, Conv2dParams};
+use sesr_tensor::winograd::winograd_conv3x3;
+use sesr_tensor::Tensor;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    // The layer shapes SESR actually runs: 5x5 1->16, 3x3 16->16, 5x5 16->4.
+    for (name, cin, cout, k) in [
+        ("first_5x5_1to16", 1usize, 16usize, 5usize),
+        ("middle_3x3_16to16", 16, 16, 3),
+        ("head_5x5_16to4", 16, 4, 5),
+    ] {
+        let x = Tensor::randn(&[1, cin, 64, 64], 0.0, 1.0, 1);
+        let w = Tensor::randn(&[cout, cin, k, k], 0.0, 0.1, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| conv2d(&x, &w, None, Conv2dParams::same()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_backward");
+    let x = Tensor::randn(&[1, 16, 64, 64], 0.0, 1.0, 3);
+    let w = Tensor::randn(&[16, 16, 3, 3], 0.0, 0.1, 4);
+    let g = Tensor::randn(&[1, 16, 64, 64], 0.0, 1.0, 5);
+    group.bench_function("middle_3x3_16to16", |b| {
+        b.iter(|| conv2d_backward(&x, &w, &g, Conv2dParams::same()))
+    });
+    group.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_batch");
+    for batch in [1usize, 4, 16] {
+        let x = Tensor::randn(&[batch, 16, 32, 32], 0.0, 1.0, 6);
+        let w = Tensor::randn(&[16, 16, 3, 3], 0.0, 0.1, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| conv2d(&x, &w, None, Conv2dParams::same()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_winograd_vs_gemm(c: &mut Criterion) {
+    // The SESR middle-layer shape where Winograd's 2.25x multiply saving
+    // applies (3x3, 16 -> 16 channels).
+    let mut group = c.benchmark_group("conv3x3_16ch_64px");
+    let x = Tensor::randn(&[1, 16, 64, 64], 0.0, 1.0, 8);
+    let w = Tensor::randn(&[16, 16, 3, 3], 0.0, 0.1, 9);
+    group.bench_function("gemm_im2col", |b| {
+        b.iter(|| conv2d(&x, &w, None, Conv2dParams::same()))
+    });
+    group.bench_function("winograd_f2x2", |b| {
+        b.iter(|| winograd_conv3x3(&x, &w, None))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_backward,
+    bench_batch_scaling,
+    bench_winograd_vs_gemm
+);
+criterion_main!(benches);

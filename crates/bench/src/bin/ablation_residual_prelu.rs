@@ -1,0 +1,75 @@
+//! Regenerates **Sec. 5.5**: the residual / linear-block / PReLU-vs-ReLU
+//! ablations.
+//!
+//! Paper findings on SESR-M11 (DIV2K-val, real data):
+//! * with residuals but **no linear blocks**: 35.25 dB vs full SESR's
+//!   35.45 dB — short residuals alone are not enough;
+//! * ReLU instead of PReLU **plus** removing the long input residual
+//!   (the hardware-efficient variant): loses only ~0.1 dB.
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin ablation_residual_prelu [--steps N] [--full]`
+
+use sesr_bench::parse_args;
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::train::{SrNetwork, Trainer};
+use sesr_data::{Benchmark, Family, TrainSet};
+
+fn main() {
+    let args = parse_args();
+    let full = std::env::args().any(|a| a == "--full");
+    let m = if full { 11 } else { 5 };
+    println!(
+        "# Sec. 5.5 reproduction: residual & PReLU ablations (m = {m}, steps = {})\n",
+        args.steps
+    );
+
+    let base = SesrConfig::m(m).with_expanded(args.expanded);
+    let variants: Vec<(&str, SesrConfig, &str)> = vec![
+        ("SESR (full: linear blocks + PReLU + residuals)", base, "35.45"),
+        (
+            "no linear blocks (plain convs + residuals)",
+            base.plain_with_residuals(),
+            "35.25",
+        ),
+        (
+            "hardware-efficient (ReLU, no input residual)",
+            base.hardware_efficient(),
+            "~35.35 (-0.1)",
+        ),
+    ];
+
+    let set = TrainSet::synthetic(args.train_images, 96, 2, 0x55AB);
+    let bench = Benchmark::new(Family::Mixed, args.eval_images, args.eval_size, 2);
+    let trainer = Trainer::new(args.train_config(0x55AC));
+
+    println!(
+        "| {:<46} | {:>10} | {:>10} | {:>16} |",
+        "Variant", "final loss", "PSNR (dB)", "paper PSNR (dB)"
+    );
+    let mut results = Vec::new();
+    for (name, config, paper) in &variants {
+        let mut model = Sesr::new(*config);
+        let report = trainer.train(&mut model, &set);
+        let q = bench.evaluate(&|lr| model.infer(lr));
+        println!(
+            "| {:<46} | {:>10.4} | {:>10.2} | {:>16} |",
+            name, report.final_loss, q.psnr, paper
+        );
+        results.push(q.psnr);
+    }
+
+    println!("\nstructural checks (paper's conclusions):");
+    println!(
+        "  linear blocks help beyond residuals: {} ({:+.2} dB; paper: +0.20 dB)",
+        results[0] > results[1],
+        results[0] - results[1]
+    );
+    println!(
+        "  hardware-efficient variant stays close: {} ({:+.2} dB; paper: about -0.1 dB)",
+        (results[0] - results[2]).abs() < 0.8,
+        results[2] - results[0]
+    );
+    println!(
+        "\nnote (paper): even 0.1-0.2 dB is significant at these model sizes; run std dev is ~0.02 dB at the paper's full training scale."
+    );
+}

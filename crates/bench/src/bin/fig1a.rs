@@ -1,0 +1,111 @@
+//! Regenerates **Fig. 1(a)**: PSNR on Set14 vs MACs for 360p→720p ×2
+//! SISR — the quality/computation Pareto frontier.
+//!
+//! Published points come from the model zoo and the paper's SESR rows;
+//! the series is printed as CSV (`name,macs_g,psnr_db,pareto`) plus an
+//! ASCII scatter so the frontier is visible in a terminal.
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin fig1a`
+
+use sesr_baselines::published_models;
+use sesr_baselines::zoo::paper_sesr_rows;
+use sesr_core::macs::sesr_macs_to_720p;
+
+#[derive(Debug, Clone)]
+struct Point {
+    name: String,
+    macs_g: f64,
+    psnr: f64,
+}
+
+fn pareto_flags(points: &[Point]) -> Vec<bool> {
+    // A point is on the frontier if no other point has both fewer MACs and
+    // higher-or-equal PSNR.
+    points
+        .iter()
+        .map(|p| {
+            !points
+                .iter()
+                .any(|q| q.macs_g < p.macs_g && q.psnr >= p.psnr)
+        })
+        .collect()
+}
+
+fn main() {
+    let set14 = 1usize; // index of Set14 in the benchmark order
+    let mut points: Vec<Point> = Vec::new();
+    for m in published_models(2) {
+        if let (Some(g), Some((p, _))) = (m.macs_g, m.quality[set14]) {
+            points.push(Point {
+                name: m.name.to_string(),
+                macs_g: g,
+                psnr: p,
+            });
+        }
+    }
+    let sesr_macs = [(3usize, "SESR-M3"), (5, "SESR-M5"), (7, "SESR-M7"), (11, "SESR-M11")];
+    for ((m, name), (row_name, q)) in sesr_macs.iter().zip(paper_sesr_rows(2)) {
+        debug_assert_eq!(*name, row_name);
+        let macs_g = sesr_macs_to_720p(16, *m, 2) as f64 / 1e9;
+        points.push(Point {
+            name: name.to_string(),
+            macs_g,
+            psnr: q[set14].unwrap().0,
+        });
+    }
+    points.push(Point {
+        name: "SESR-XL".into(),
+        macs_g: sesr_macs_to_720p(32, 11, 2) as f64 / 1e9,
+        psnr: paper_sesr_rows(2)[4].1[set14].unwrap().0,
+    });
+
+    points.sort_by(|a, b| a.macs_g.partial_cmp(&b.macs_g).unwrap());
+    let flags = pareto_flags(&points);
+
+    println!("# Fig. 1(a): PSNR (Set14) vs MACs, x2 SISR (360p -> 720p)\n");
+    println!("name,macs_g,psnr_db,pareto");
+    for (p, on) in points.iter().zip(flags.iter()) {
+        println!("{},{:.2},{:.2},{}", p.name, p.macs_g, p.psnr, on);
+    }
+
+    // ASCII scatter: log-x MACs, y PSNR.
+    let (w, h) = (72usize, 18usize);
+    let xmin = points.iter().map(|p| p.macs_g.ln()).fold(f64::MAX, f64::min);
+    let xmax = points.iter().map(|p| p.macs_g.ln()).fold(f64::MIN, f64::max);
+    let ymin = points.iter().map(|p| p.psnr).fold(f64::MAX, f64::min) - 0.1;
+    let ymax = points.iter().map(|p| p.psnr).fold(f64::MIN, f64::max) + 0.1;
+    let mut grid = vec![vec![' '; w]; h];
+    for (p, on) in points.iter().zip(flags.iter()) {
+        let x = ((p.macs_g.ln() - xmin) / (xmax - xmin) * (w - 1) as f64) as usize;
+        let y = ((p.psnr - ymin) / (ymax - ymin) * (h - 1) as f64) as usize;
+        let row = h - 1 - y;
+        grid[row][x] = if p.name.starts_with("SESR") {
+            if *on {
+                'S'
+            } else {
+                's'
+            }
+        } else if *on {
+            'O'
+        } else {
+            'o'
+        };
+    }
+    println!("\nPSNR (dB), S = SESR (Pareto), o/O = prior art:");
+    for (i, row) in grid.iter().enumerate() {
+        let label = ymax - (ymax - ymin) * i as f64 / (h - 1) as f64;
+        println!("{label:6.2} |{}|", row.iter().collect::<String>());
+    }
+    println!("        {}^ MACs {:.1}G .. {:.0}G (log scale)", " ".repeat(0), xmin.exp(), xmax.exp());
+
+    // Structural check mirrored in the integration tests: every SESR point
+    // is on the Pareto frontier.
+    let sesr_on_frontier = points
+        .iter()
+        .zip(flags.iter())
+        .filter(|(p, _)| p.name.starts_with("SESR"))
+        .all(|(_, on)| *on);
+    println!(
+        "\nall SESR points on Pareto frontier: {sesr_on_frontier} (paper: SESR establishes the frontier)"
+    );
+}

@@ -1,0 +1,106 @@
+//! Regenerates the **qualitative comparison** (Figs. 5–8 in spirit):
+//! trains FSRCNN and SESR models on the synthetic corpus, super-resolves
+//! held-out images, and writes side-by-side PGM panels
+//! (`HR | bicubic | FSRCNN | SESR`) with PSNR/SSIM captions to
+//! `qualitative_out/`.
+//!
+//! PGM (portable graymap) is used because the paper operates on the Y
+//! channel; any image viewer opens it.
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin qualitative [--steps N]`
+
+use sesr_baselines::{Fsrcnn, FsrcnnConfig};
+use sesr_bench::parse_args;
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::train::{SrNetwork, Trainer};
+use sesr_data::metrics::{psnr, ssim};
+use sesr_data::resize::{downscale, upscale};
+use sesr_data::synth::{generate, Family};
+use sesr_data::TrainSet;
+use sesr_tensor::Tensor;
+use std::fs;
+use std::path::Path;
+
+/// Writes a `[1, H, W]` tensor in `[0, 1]` as a binary PGM file.
+fn write_pgm(img: &Tensor, path: &Path) -> std::io::Result<()> {
+    let dims = img.shape();
+    let (h, w) = (dims[1], dims[2]);
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.extend(
+        img.data()
+            .iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
+    fs::write(path, out)
+}
+
+/// Horizontally concatenates same-height single-channel images with a
+/// 2-pixel white separator.
+fn hconcat(images: &[&Tensor]) -> Tensor {
+    let h = images[0].shape()[1];
+    let sep = 2usize;
+    let total_w: usize =
+        images.iter().map(|i| i.shape()[2]).sum::<usize>() + sep * (images.len() - 1);
+    let mut out = Tensor::ones(&[1, h, total_w]);
+    let mut x0 = 0usize;
+    for img in images {
+        let w = img.shape()[2];
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(&[0, y, x0 + x]) = img.at(&[0, y, x]);
+            }
+        }
+        x0 += w + sep;
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let out_dir = Path::new("qualitative_out");
+    fs::create_dir_all(out_dir).expect("create output directory");
+    println!("# Qualitative comparison (Figs. 5-8 substitute) — steps={}", args.steps);
+
+    let scale = 2;
+    let set = TrainSet::synthetic(args.train_images, 96, scale, 0x0F1C);
+    let trainer = Trainer::new(args.train_config(0x0F1D));
+
+    println!("training FSRCNN...");
+    let mut fsrcnn = Fsrcnn::new(FsrcnnConfig::standard(scale));
+    trainer.train(&mut fsrcnn, &set);
+    println!("training SESR-M5...");
+    let mut sesr = Sesr::new(SesrConfig::m(5).with_expanded(args.expanded));
+    trainer.train(&mut sesr, &set);
+    let sesr = sesr.collapse();
+
+    println!(
+        "\n| {:<10} | {:>14} | {:>14} | {:>14} |",
+        "Image", "Bicubic", "FSRCNN", "SESR-M5"
+    );
+    for (family, tag) in [
+        (Family::Urban, "urban"),
+        (Family::LineArt, "lineart"),
+        (Family::Detail, "detail"),
+        (Family::Natural, "natural"),
+    ] {
+        let hr = generate(family, 128, 128, 0xBEEF);
+        let lr = downscale(&hr, scale);
+        let cubic = upscale(&lr, scale);
+        let f_out = fsrcnn.infer(&lr);
+        let s_out = sesr.run(&lr);
+        println!(
+            "| {:<10} | {:>6.2}/{:.4} | {:>6.2}/{:.4} | {:>6.2}/{:.4} |",
+            tag,
+            psnr(&cubic, &hr, 1.0),
+            ssim(&cubic, &hr, 1.0),
+            psnr(&f_out, &hr, 1.0),
+            ssim(&f_out, &hr, 1.0),
+            psnr(&s_out, &hr, 1.0),
+            ssim(&s_out, &hr, 1.0),
+        );
+        let panel = hconcat(&[&hr, &cubic, &f_out, &s_out]);
+        let path = out_dir.join(format!("{tag}_x{scale}.pgm"));
+        write_pgm(&panel, &path).expect("write panel");
+    }
+    println!("\npanels written to {}/ (HR | bicubic | FSRCNN | SESR-M5)", out_dir.display());
+}

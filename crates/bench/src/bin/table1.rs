@@ -1,0 +1,120 @@
+//! Regenerates **Table 1**: PSNR/SSIM for ×2 super resolution across the
+//! six benchmark stand-ins.
+//!
+//! Trains bicubic/FSRCNN/SESR models on the synthetic DIV2K stand-in and
+//! evaluates on the six-benchmark suite, then prints the paper's published
+//! table for side-by-side comparison. Absolute PSNRs differ (synthetic
+//! data); the orderings are the reproduction target.
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin table1 [--steps N] [--full]`
+
+use sesr_baselines::{published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig};
+use sesr_bench::harness::print_table;
+use sesr_bench::{parse_args, train_and_eval, EvalRow};
+use sesr_core::macs::{sesr_macs_to_720p, sesr_weight_params};
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::train::SrNetwork;
+use sesr_data::Benchmark;
+
+fn main() {
+    let args = parse_args();
+    let full = std::env::args().any(|a| a == "--full");
+    println!("# Table 1 reproduction (x2 SISR) — steps={}, p={}", args.steps, args.expanded);
+
+    let benches = Benchmark::standard_suite(args.eval_images, args.eval_size, 2);
+    let mut rows: Vec<EvalRow> = Vec::new();
+
+    // Bicubic: no training.
+    let bicubic = BicubicUpscaler::new(2);
+    rows.push(EvalRow {
+        name: "Bicubic".into(),
+        params: None,
+        macs: None,
+        quality: benches.iter().map(|b| b.evaluate(&|lr| bicubic.infer(lr))).collect(),
+        final_loss: None,
+    });
+
+    // FSRCNN (published architecture, our training setup).
+    let mut fsrcnn = Fsrcnn::new(FsrcnnConfig::standard(2));
+    let fsrcnn_macs = fsrcnn.ir(360, 640).total_macs();
+    let fsrcnn_params = fsrcnn.num_weight_params();
+    println!("training FSRCNN ({} params)...", fsrcnn_params);
+    rows.push(train_and_eval(
+        "FSRCNN (our setup)",
+        &mut fsrcnn,
+        Some(fsrcnn_params),
+        Some(fsrcnn_macs),
+        &args,
+        &benches,
+        11,
+    ));
+
+    // SESR family.
+    let ms: &[usize] = if full { &[3, 5, 7, 11] } else { &[3, 5] };
+    for &m in ms {
+        let config = SesrConfig::m(m).with_expanded(args.expanded);
+        let mut model = Sesr::new(config);
+        println!("training SESR-M{m}...");
+        rows.push(train_and_eval(
+            &format!("SESR-M{m} (f=16, m={m})"),
+            &mut model,
+            Some(sesr_weight_params(16, m, 2)),
+            Some(sesr_macs_to_720p(16, m, 2)),
+            &args,
+            &benches,
+            20 + m as u64,
+        ));
+    }
+    if full {
+        let mut xl = Sesr::new(SesrConfig::xl().with_expanded(args.expanded));
+        println!("training SESR-XL...");
+        rows.push(train_and_eval(
+            "SESR-XL (f=32, m=11)",
+            &mut xl,
+            Some(sesr_weight_params(32, 11, 2)),
+            Some(sesr_macs_to_720p(32, 11, 2)),
+            &args,
+            &benches,
+            99,
+        ));
+    }
+
+    print_table("Measured (synthetic benchmarks)", &benches, &rows);
+
+    println!("\n## Published values (paper Table 1, real benchmarks)\n");
+    for m in published_models(2) {
+        let cells: Vec<String> = m
+            .quality
+            .iter()
+            .map(|q| match q {
+                Some((p, Some(s))) => format!("{p:.2}/{s:.4}"),
+                Some((p, None)) => format!("{p:.2}/-"),
+                None => "-/-".into(),
+            })
+            .collect();
+        println!("| {:<22} | {} |", m.name, cells.join(" | "));
+    }
+    for (name, quality) in paper_sesr_rows(2) {
+        let cells: Vec<String> = quality
+            .iter()
+            .map(|q| match q {
+                Some((p, Some(s))) => format!("{p:.2}/{s:.4}"),
+                _ => "-/-".into(),
+            })
+            .collect();
+        println!("| {:<22} | {} |", name, cells.join(" | "));
+    }
+
+    // Headline check (paper): SESR-M5 beats FSRCNN at ~2x fewer MACs.
+    let fsrcnn_row = &rows[1];
+    let m5_row = rows.iter().find(|r| r.name.starts_with("SESR-M5"));
+    if let Some(m5) = m5_row {
+        let f_avg: f64 =
+            fsrcnn_row.quality.iter().map(|q| q.psnr).sum::<f64>() / 6.0;
+        let m5_avg: f64 = m5.quality.iter().map(|q| q.psnr).sum::<f64>() / 6.0;
+        let mac_ratio = fsrcnn_row.macs.unwrap() as f64 / m5.macs.unwrap() as f64;
+        println!(
+            "\nheadline: SESR-M5 mean PSNR {m5_avg:.2} dB vs FSRCNN {f_avg:.2} dB at {mac_ratio:.2}x fewer MACs"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Regenerates **Table 2**: PSNR/SSIM for ×4 super resolution, using the
+//! paper's protocol of starting from pretrained ×2 weights, swapping the
+//! head, and fine-tuning (Sec. 5.1).
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin table2 [--steps N] [--full]`
+
+use sesr_baselines::{published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig};
+use sesr_bench::harness::print_table;
+use sesr_bench::{parse_args, train_and_eval, EvalRow};
+use sesr_core::macs::{sesr_macs_to_720p, sesr_weight_params};
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::train::{SrNetwork, Trainer};
+use sesr_data::{Benchmark, TrainSet};
+
+fn main() {
+    let args = parse_args();
+    let full = std::env::args().any(|a| a == "--full");
+    println!("# Table 2 reproduction (x4 SISR) — steps={}, p={}", args.steps, args.expanded);
+
+    let benches = Benchmark::standard_suite(args.eval_images, args.eval_size, 4);
+    let mut rows: Vec<EvalRow> = Vec::new();
+
+    let bicubic = BicubicUpscaler::new(4);
+    rows.push(EvalRow {
+        name: "Bicubic".into(),
+        params: None,
+        macs: None,
+        quality: benches.iter().map(|b| b.evaluate(&|lr| bicubic.infer(lr))).collect(),
+        final_loss: None,
+    });
+
+    let mut fsrcnn = Fsrcnn::new(FsrcnnConfig::standard(4));
+    let fsrcnn_macs = fsrcnn.ir(180, 320).total_macs();
+    let fsrcnn_params = fsrcnn.num_weight_params();
+    println!("training FSRCNN x4...");
+    rows.push(train_and_eval(
+        "FSRCNN (our setup)",
+        &mut fsrcnn,
+        Some(fsrcnn_params),
+        Some(fsrcnn_macs),
+        &args,
+        &benches,
+        31,
+    ));
+
+    let ms: &[usize] = if full { &[3, 5, 7, 11] } else { &[3, 5] };
+    for &m in ms {
+        // Paper protocol: pretrain x2, swap head, finetune x4.
+        let config = SesrConfig::m(m).with_expanded(args.expanded);
+        let mut x2 = Sesr::new(config);
+        println!("pretraining SESR-M{m} at x2...");
+        let x2_set = TrainSet::synthetic(args.train_images, 96, 2, 41 + m as u64);
+        let pre_cfg = sesr_core::train::TrainConfig {
+            steps: args.steps / 2,
+            ..args.train_config(77 + m as u64)
+        };
+        Trainer::new(pre_cfg).train(&mut x2, &x2_set);
+        let mut x4 = x2.retarget_scale(4);
+        println!("finetuning SESR-M{m} at x4...");
+        rows.push(train_and_eval(
+            &format!("SESR-M{m} (f=16, m={m})"),
+            &mut x4,
+            Some(sesr_weight_params(16, m, 4)),
+            Some(sesr_macs_to_720p(16, m, 4)),
+            &args,
+            &benches,
+            50 + m as u64,
+        ));
+    }
+
+    print_table("Measured (synthetic benchmarks)", &benches, &rows);
+
+    println!("\n## Published values (paper Table 2, real benchmarks)\n");
+    for m in published_models(4) {
+        let cells: Vec<String> = m
+            .quality
+            .iter()
+            .map(|q| match q {
+                Some((p, Some(s))) => format!("{p:.2}/{s:.4}"),
+                Some((p, None)) => format!("{p:.2}/-"),
+                None => "-/-".into(),
+            })
+            .collect();
+        println!("| {:<22} | {} |", m.name, cells.join(" | "));
+    }
+    for (name, quality) in paper_sesr_rows(4) {
+        let cells: Vec<String> = quality
+            .iter()
+            .map(|q| match q {
+                Some((p, Some(s))) => format!("{p:.2}/{s:.4}"),
+                _ => "-/-".into(),
+            })
+            .collect();
+        println!("| {:<22} | {} |", name, cells.join(" | "));
+    }
+
+    println!(
+        "\nnote: SESR's x4 MAC advantage over FSRCNN is {:.1}x (paper: 4.4x for M5)",
+        fsrcnn_macs as f64 / sesr_macs_to_720p(16, 5, 4) as f64
+    );
+}

@@ -1,0 +1,314 @@
+//! The `sesr` subcommands.
+
+use crate::args::{ArgError, Args};
+use crate::pgm;
+use sesr_core::ir::sesr_ir;
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::model_io::{load_model, save_model};
+use sesr_core::train::{TrainConfig, Trainer};
+use sesr_core::CollapsedSesr;
+use sesr_data::TrainSet;
+use sesr_npu::{simulate, EthosN78Like};
+use std::fmt;
+use std::path::Path;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Missing/invalid options.
+    Args(ArgError),
+    /// Unknown or missing subcommand; carries the usage text.
+    Usage(String),
+    /// I/O or decode failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Usage(u) => write!(f, "{u}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text shown for bad invocations.
+pub const USAGE: &str = "\
+sesr — Super-Efficient Super Resolution (MLSys 2022 reproduction)
+
+USAGE:
+  sesr train    --out <model.sesr> [--m 5] [--f 16] [--scale 2] [--steps 500]
+                [--expanded 64] [--batch 8] [--lr 5e-4] [--relu] [--seed N]
+  sesr upscale  --model <model.sesr> --in <image.pgm> --out <sr.pgm> [--tile N]
+  sesr simulate --model <model.sesr> [--height 1080] [--width 1920] [--tops 4]
+  sesr info     --model <model.sesr>
+";
+
+/// Runs the CLI and returns its textual report.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad arguments, unknown subcommands, or I/O
+/// failure.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.subcommand() {
+        Some("train") => train(args),
+        Some("upscale") => upscale(args),
+        Some("simulate") => simulate_cmd(args),
+        Some("info") => info(args),
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
+fn train(args: &Args) -> Result<String, CliError> {
+    let out = args.required("out")?.to_string();
+    let m = args.parsed_or("m", 5usize)?;
+    let f = args.parsed_or("f", 16usize)?;
+    let scale = args.parsed_or("scale", 2usize)?;
+    let steps = args.parsed_or("steps", 500usize)?;
+    let expanded = args.parsed_or("expanded", 64usize)?;
+    let batch = args.parsed_or("batch", 8usize)?;
+    let lr = args.parsed_or("lr", 5e-4f32)?;
+    let seed = args.parsed_or("seed", 0x5E5Eu64)?;
+    let images = args.parsed_or("images", 12usize)?;
+
+    let mut config = SesrConfig {
+        f,
+        m,
+        ..SesrConfig::m(m).with_expanded(expanded).with_seed(seed)
+    }
+    .with_scale(scale);
+    if args.has("relu") {
+        config = config.hardware_efficient();
+    }
+    let mut model = Sesr::new(config);
+    let set = TrainSet::synthetic(images, 96, scale, seed ^ 0xDA7A);
+    let trainer = Trainer::new(TrainConfig {
+        steps,
+        batch,
+        hr_patch: 32,
+        lr,
+        log_every: (steps / 10).max(1),
+        seed: seed ^ 0x57E9,
+            ..TrainConfig::default()
+        });
+    let report = trainer.train(&mut model, &set);
+    let collapsed = model.collapse();
+    save_model(&collapsed, Path::new(&out))?;
+    Ok(format!(
+        "trained {} for {steps} steps (final L1 loss {:.4});\ncollapsed to {} layers / {} weight params;\nsaved to {out}",
+        config.name(),
+        report.final_loss,
+        collapsed.layers().len(),
+        collapsed.num_weight_params()
+    ))
+}
+
+fn upscale(args: &Args) -> Result<String, CliError> {
+    let model_path = args.required("model")?.to_string();
+    let input = args.required("in")?.to_string();
+    let output = args.required("out")?.to_string();
+    let tile = args.parsed_or("tile", 0usize)?;
+    let model = load_model(Path::new(&model_path))?;
+    let lr = pgm::read(Path::new(&input))?;
+    let sr = if tile > 0 {
+        // Halo: the collapsed receptive-field radius is bounded by
+        // 2 + (layers - 2) + 2; use it directly so tiling is seamless.
+        let radius = model.layers().len() + 2;
+        model.run_tiled(&lr, tile, radius)
+    } else {
+        model.run(&lr)
+    };
+    pgm::write(&sr, Path::new(&output))?;
+    Ok(format!(
+        "upscaled {}x{} -> {}x{} (x{}), wrote {output}",
+        lr.shape()[1],
+        lr.shape()[2],
+        sr.shape()[1],
+        sr.shape()[2],
+        model.scale()
+    ))
+}
+
+fn model_dims(model: &CollapsedSesr) -> (usize, usize) {
+    // (f, m): middle layers have f output channels.
+    let f = model.layers()[0].weight.shape()[0];
+    let m = model.layers().len() - 2;
+    (f, m)
+}
+
+fn simulate_cmd(args: &Args) -> Result<String, CliError> {
+    let model_path = args.required("model")?.to_string();
+    let h = args.parsed_or("height", 1080usize)?;
+    let w = args.parsed_or("width", 1920usize)?;
+    let tops = args.parsed_or("tops", 4.0f64)?;
+    let model = load_model(Path::new(&model_path))?;
+    let (f, m) = model_dims(&model);
+    let mut cfg = EthosN78Like::default().0;
+    cfg.peak_tops = tops;
+    let ir = sesr_ir(f, m, model.scale(), model.has_input_residual(), h, w);
+    let report = simulate(&ir, &cfg);
+    let mut out = format!(
+        "{} on a {tops}-TOP/s NPU, {h}x{w} input (x{}):\n  {:.2} GMACs, {:.1} MB DRAM, {:.2} ms -> {:.1} FPS ({:.0}% memory-bound)\n",
+        ir.name,
+        model.scale(),
+        report.total_macs() as f64 / 1e9,
+        report.dram_mb(),
+        report.total_ms(),
+        report.fps(),
+        report.memory_bound_fraction() * 100.0
+    );
+    for l in &report.layers {
+        out.push_str(&format!(
+            "  {:<24} {:>7.3} ms {}\n",
+            l.label,
+            l.time_ms,
+            if l.is_memory_bound() { "[mem]" } else { "[mac]" }
+        ));
+    }
+    Ok(out)
+}
+
+fn info(args: &Args) -> Result<String, CliError> {
+    let model_path = args.required("model")?.to_string();
+    let model = load_model(Path::new(&model_path))?;
+    let (f, m) = model_dims(&model);
+    let mut out = format!(
+        "SESR collapsed model: x{} SISR, {} layers (f = {f}, m = {m}), {} weight params ({} total)\nresiduals: feature={}, input={}\n",
+        model.scale(),
+        model.layers().len(),
+        model.num_weight_params(),
+        model.num_params(),
+        model.has_feature_residual(),
+        model.has_input_residual()
+    );
+    for (i, layer) in model.layers().iter().enumerate() {
+        let s = layer.weight.shape();
+        out.push_str(&format!(
+            "  layer {i}: conv {}->{} {}x{} {}\n",
+            s[1],
+            s[0],
+            s[2],
+            s[3],
+            match &layer.act {
+                None => "(linear)",
+                Some(sesr_core::collapsed::Act::Relu) => "+ ReLU",
+                Some(sesr_core::collapsed::Act::PRelu(_)) => "+ PReLU",
+            }
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_tensor::Tensor;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sesr_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_train_upscale_info_simulate_pipeline() {
+        let model_path = tmp("pipeline.sesr");
+        let report = run(&args(&format!(
+            "train --out {} --m 1 --steps 2 --expanded 4 --batch 2 --images 2",
+            model_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("saved to"));
+
+        // Write a tiny input image.
+        let img_path = tmp("in.pgm");
+        let img = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 1);
+        pgm::write(&img, &img_path).unwrap();
+        let out_path = tmp("out.pgm");
+        let report = run(&args(&format!(
+            "upscale --model {} --in {} --out {}",
+            model_path.display(),
+            img_path.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("16x16 -> 32x32"));
+        let sr = pgm::read(&out_path).unwrap();
+        assert_eq!(sr.shape(), &[1, 32, 32]);
+
+        let report = run(&args(&format!("info --model {}", model_path.display()))).unwrap();
+        assert!(report.contains("x2 SISR"));
+        assert!(report.contains("layer 0"));
+
+        let report = run(&args(&format!(
+            "simulate --model {} --height 270 --width 480",
+            model_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("FPS"));
+    }
+
+    #[test]
+    fn tiled_upscale_matches_whole() {
+        let model_path = tmp("tiled.sesr");
+        run(&args(&format!(
+            "train --out {} --m 1 --steps 1 --expanded 4 --batch 2 --images 2",
+            model_path.display()
+        )))
+        .unwrap();
+        let img_path = tmp("tin.pgm");
+        pgm::write(&Tensor::rand_uniform(&[1, 24, 24], 0.0, 1.0, 2), &img_path).unwrap();
+        let whole_path = tmp("whole.pgm");
+        let tiled_path = tmp("tiled.pgm");
+        run(&args(&format!(
+            "upscale --model {} --in {} --out {}",
+            model_path.display(),
+            img_path.display(),
+            whole_path.display()
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "upscale --model {} --in {} --out {} --tile 12",
+            model_path.display(),
+            img_path.display(),
+            tiled_path.display()
+        )))
+        .unwrap();
+        let whole = pgm::read(&whole_path).unwrap();
+        let tiled = pgm::read(&tiled_path).unwrap();
+        // 8-bit quantization allows at most one level of difference.
+        assert!(whole.max_abs_diff(&tiled) <= 1.5 / 255.0);
+    }
+
+    #[test]
+    fn unknown_subcommand_yields_usage() {
+        let err = run(&args("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_model_is_reported() {
+        let err = run(&args("info --model /nonexistent/x.sesr")).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,23 @@
+//! # sesr-cli
+//!
+//! Library backing the `sesr` command-line tool: a tiny argument parser
+//! (the workspace's offline dependency set has no clap) and the four
+//! subcommands — `train`, `upscale`, `simulate`, `info`.
+//!
+//! The command surface mirrors the deployment story of the paper:
+//!
+//! ```text
+//! sesr train   --out model.sesr [--m 5] [--scale 2] [--steps 500] ...
+//! sesr upscale --model model.sesr --in image.pgm --out sr.pgm [--tile N]
+//! sesr simulate --model model.sesr [--height 1080] [--width 1920]
+//! sesr info    --model model.sesr
+//! ```
+//!
+//! Images are 8-bit PGM (luma), matching the paper's Y-channel pipeline.
+
+pub mod args;
+pub mod commands;
+pub mod pgm;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};

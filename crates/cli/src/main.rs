@@ -1,0 +1,19 @@
+//! The `sesr` command-line entry point. All logic lives in the library
+//! (`sesr_cli`) so the subcommands are unit-testable.
+
+use sesr_cli::{run, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    match run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! 8-bit binary PGM (P5) reading and writing for luma images.
+//!
+//! PGM is the natural container for the paper's Y-channel pipeline: one
+//! gray channel, trivially inspectable, opened by any image viewer.
+
+use sesr_tensor::Tensor;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from PGM decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgmError {
+    /// Not a binary (`P5`) PGM file.
+    BadMagic,
+    /// Header fields missing or malformed.
+    BadHeader(&'static str),
+    /// Pixel payload shorter than `width * height`.
+    Truncated,
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::BadMagic => write!(f, "not a binary PGM (P5) file"),
+            PgmError::BadHeader(what) => write!(f, "malformed PGM header: {what}"),
+            PgmError::Truncated => write!(f, "PGM pixel data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+/// Encodes a `[1, H, W]` tensor in `[0, 1]` as binary PGM bytes.
+///
+/// # Panics
+///
+/// Panics if the tensor is not single-channel rank 3.
+pub fn encode(img: &Tensor) -> Vec<u8> {
+    let dims = img.shape();
+    assert_eq!(dims.len(), 3, "expected [1, H, W]");
+    assert_eq!(dims[0], 1, "expected a single-channel luma image");
+    let (h, w) = (dims[1], dims[2]);
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.extend(
+        img.data()
+            .iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
+    out
+}
+
+/// Decodes binary PGM bytes into a `[1, H, W]` tensor in `[0, 1]`.
+///
+/// Handles comments (`#`) and arbitrary whitespace in the header. Maxval
+/// up to 255 is supported.
+///
+/// # Errors
+///
+/// Returns [`PgmError`] for malformed files.
+pub fn decode(bytes: &[u8]) -> Result<Tensor, PgmError> {
+    if bytes.len() < 2 || &bytes[0..2] != b"P5" {
+        return Err(PgmError::BadMagic);
+    }
+    // Tokenize the header: magic, width, height, maxval; comments run to
+    // end of line.
+    let mut pos = 2usize;
+    let mut fields = Vec::with_capacity(3);
+    while fields.len() < 3 {
+        // Skip whitespace and comments.
+        loop {
+            match bytes.get(pos) {
+                Some(b'#') => {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                }
+                Some(c) if c.is_ascii_whitespace() => pos += 1,
+                Some(_) => break,
+                None => return Err(PgmError::BadHeader("unexpected end of header")),
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(PgmError::BadHeader("expected a number"));
+        }
+        let text = std::str::from_utf8(&bytes[start..pos])
+            .map_err(|_| PgmError::BadHeader("non-ascii number"))?;
+        fields.push(
+            text.parse::<usize>()
+                .map_err(|_| PgmError::BadHeader("number out of range"))?,
+        );
+    }
+    let (w, h, maxval) = (fields[0], fields[1], fields[2]);
+    if w == 0 || h == 0 {
+        return Err(PgmError::BadHeader("zero dimension"));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(PgmError::BadHeader("maxval must be 1..=255"));
+    }
+    // Exactly one whitespace byte separates header and pixels.
+    if bytes.get(pos).is_none_or(|c| !c.is_ascii_whitespace()) {
+        return Err(PgmError::BadHeader("missing separator before pixels"));
+    }
+    pos += 1;
+    let need = w * h;
+    if bytes.len() < pos + need {
+        return Err(PgmError::Truncated);
+    }
+    let data: Vec<f32> = bytes[pos..pos + need]
+        .iter()
+        .map(|&b| b as f32 / maxval as f32)
+        .collect();
+    Ok(Tensor::from_vec(data, &[1, h, w]))
+}
+
+/// Reads a PGM file as a `[1, H, W]` tensor.
+///
+/// # Errors
+///
+/// Propagates I/O errors; wraps decode failures as `InvalidData`.
+pub fn read(path: &Path) -> std::io::Result<Tensor> {
+    let bytes = fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a `[1, H, W]` tensor as a PGM file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write(img: &Tensor, path: &Path) -> std::io::Result<()> {
+    fs::write(path, encode(img))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact_at_8bit() {
+        let img = Tensor::from_vec(
+            (0..64).map(|i| (i as f32 * 4.0 / 255.0).min(1.0)).collect(),
+            &[1, 8, 8],
+        );
+        let decoded = decode(&encode(&img)).unwrap();
+        assert_eq!(decoded.shape(), &[1, 8, 8]);
+        // Quantization error bounded by half a step.
+        assert!(img.max_abs_diff(&decoded) <= 0.5 / 255.0 + 1e-6);
+    }
+
+    #[test]
+    fn header_with_comments() {
+        let mut bytes = b"P5\n# a comment\n2 2\n# more\n255\n".to_vec();
+        bytes.extend([0u8, 128, 255, 64]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.shape(), &[1, 2, 2]);
+        assert!((img.at(&[0, 0, 1]) - 128.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode(b"P2\n1 1\n255\n0").unwrap_err(), PgmError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        let bytes = b"P5\n4 4\n255\n\x00\x01".to_vec();
+        assert_eq!(decode(&bytes).unwrap_err(), PgmError::Truncated);
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert_eq!(
+            decode(b"P5\n0 4\n255\n").unwrap_err(),
+            PgmError::BadHeader("zero dimension")
+        );
+    }
+
+    #[test]
+    fn nonstandard_maxval_scales() {
+        let mut bytes = b"P5\n1 1\n100\n".to_vec();
+        bytes.push(50);
+        let img = decode(&bytes).unwrap();
+        assert!((img.at(&[0, 0, 0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamps_out_of_range_on_encode() {
+        let img = Tensor::from_vec(vec![-0.5, 1.5], &[1, 1, 2]);
+        let bytes = encode(&img);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0u8, 255]);
+    }
+}

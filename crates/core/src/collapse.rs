@@ -1,0 +1,209 @@
+//! The paper's collapse procedures, implemented verbatim.
+//!
+//! * [`collapse_linear_chain`] — **Algorithm 1**: collapses an arbitrary
+//!   chain of linear convolutions into one equivalent kernel by convolving
+//!   the chain over a zero-padded identity stack, then reversing and
+//!   transposing the response. Works for any number of layers and any
+//!   kernel shapes; the two-layer fast path used on the training tape
+//!   ([`sesr_autograd::tape::collapse_1x1_forward`]) is property-tested
+//!   against it.
+//! * [`residual_weight`] — **Algorithm 2**: expresses a short residual
+//!   (identity) connection as a convolution kernel so that
+//!   `W = W_C + W_R` absorbs the skip into the collapsed weight.
+
+use sesr_tensor::conv::{conv2d, Conv2dParams};
+use sesr_tensor::Tensor;
+
+/// Algorithm 1: collapses a chain of linear convolution weights
+/// (each OIHW) into a single equivalent kernel `[n_out, n_in, KH, KW]`,
+/// where `KH = Σ(kh_i - 1) + 1` (likewise `KW`).
+///
+/// The procedure follows the paper exactly:
+///
+/// 1. build `Δ`, an identity stack — `n_in` images, each with `n_in`
+///    channels, where image `i` is the indicator of channel `i`;
+/// 2. zero-pad `Δ` spatially by `KH - 1`, `KW - 1`;
+/// 3. push `Δ` through the chain with VALID padding;
+/// 4. reverse the spatial axes of the response and transpose
+///    (image, channel) → (out-channel, in-channel).
+///
+/// # Panics
+///
+/// Panics if the chain is empty or adjacent layer channel counts disagree.
+pub fn collapse_linear_chain(weights: &[&Tensor]) -> Tensor {
+    assert!(!weights.is_empty(), "chain must contain at least one layer");
+    let n_in = weights[0].shape()[1];
+    let n_out = weights.last().unwrap().shape()[0];
+    for pair in weights.windows(2) {
+        assert_eq!(
+            pair[0].shape()[0],
+            pair[1].shape()[1],
+            "adjacent layers disagree on channel count"
+        );
+    }
+    let total_kh: usize = weights.iter().map(|w| w.shape()[2] - 1).sum::<usize>() + 1;
+    let total_kw: usize = weights.iter().map(|w| w.shape()[3] - 1).sum::<usize>() + 1;
+
+    // Δ: [n_in (batch), n_in (channels), 1, 1] identity, zero-padded.
+    let mut delta = Tensor::zeros(&[n_in, n_in, 1, 1]);
+    for i in 0..n_in {
+        *delta.at_mut(&[i, i, 0, 0]) = 1.0;
+    }
+    let mut x = delta.zero_pad_hw(total_kh - 1, total_kw - 1);
+    for w in weights {
+        x = conv2d(&x, w, None, Conv2dParams::valid());
+    }
+    debug_assert_eq!(x.shape(), &[n_in, n_out, total_kh, total_kw]);
+    // reverse(x, spatial) then transpose (batch, channel) -> (out, in).
+    x.reverse(&[2, 3]).permute(&[1, 0, 2, 3])
+}
+
+/// Algorithm 2: the residual weight `W_R` — an identity convolution kernel
+/// matching the shape of a collapsed weight `W_C`, so that convolving with
+/// `W_C + W_R` equals `conv(x, W_C) + x`.
+///
+/// # Panics
+///
+/// Panics if `W_C` is not square-kerneled with odd size, or input/output
+/// channel counts differ (a residual requires matching dimensions).
+pub fn residual_weight(collapsed: &Tensor) -> Tensor {
+    let (out_c, in_c, kh, kw) = collapsed.shape_obj().as_nchw();
+    assert_eq!(
+        out_c, in_c,
+        "residual addition requires matching channel counts ({out_c} vs {in_c})"
+    );
+    assert_eq!(kh, kw, "Algorithm 2 assumes square kernels");
+    assert!(kh % 2 == 1, "identity tap requires an odd kernel size");
+    Tensor::identity_kernel(out_c, kh)
+}
+
+/// Collapses a linear block *and* its short residual into one kernel:
+/// `W = collapse(chain) + W_R` (paper Fig. 2(c)).
+///
+/// # Panics
+///
+/// Same conditions as [`collapse_linear_chain`] and [`residual_weight`].
+pub fn collapse_block_with_residual(weights: &[&Tensor]) -> Tensor {
+    let wc = collapse_linear_chain(weights);
+    let wr = residual_weight(&wc);
+    wc.add(&wr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::LinearBlock;
+    use sesr_autograd::tape::collapse_1x1_forward;
+
+    #[test]
+    fn single_layer_chain_is_identity_transform() {
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 1.0, 1);
+        let c = collapse_linear_chain(&[&w]);
+        assert!(c.approx_eq(&w, 1e-5), "diff {}", c.max_abs_diff(&w));
+    }
+
+    #[test]
+    fn algorithm1_matches_fast_path_for_linear_blocks() {
+        for (kh, kw, x, p, y) in [(3, 3, 16, 256, 16), (5, 5, 1, 64, 16), (2, 3, 4, 32, 8)] {
+            let block = LinearBlock::new(x, y, p, kh, kw, 11);
+            let alg1 = collapse_linear_chain(&[&block.w1, &block.w2]);
+            let fast = collapse_1x1_forward(&block.w1, &block.w2);
+            assert!(
+                alg1.approx_eq(&fast, 1e-3),
+                "kernel {kh}x{kw}: diff {}",
+                alg1.max_abs_diff(&fast)
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm1_matches_sequential_execution() {
+        // conv(conv(x, w1), w2) == conv(x, collapse([w1, w2])) with same padding.
+        let w1 = Tensor::randn(&[8, 2, 3, 3], 0.0, 0.5, 2);
+        let w2 = Tensor::randn(&[4, 8, 1, 1], 0.0, 0.5, 3);
+        let wc = collapse_linear_chain(&[&w1, &w2]);
+        let x = Tensor::randn(&[1, 2, 9, 9], 0.0, 1.0, 4);
+        let p = Conv2dParams::same();
+        let seq = conv2d(&conv2d(&x, &w1, None, p), &w2, None, p);
+        let col = conv2d(&x, &wc, None, p);
+        assert!(seq.approx_eq(&col, 1e-3), "diff {}", seq.max_abs_diff(&col));
+    }
+
+    #[test]
+    fn three_layer_chain_collapses() {
+        // k x k followed by 1x1 followed by 1x1 — the generality ExpandNets
+        // style blocks need.
+        let w1 = Tensor::randn(&[8, 2, 3, 3], 0.0, 0.5, 5);
+        let w2 = Tensor::randn(&[16, 8, 1, 1], 0.0, 0.5, 6);
+        let w3 = Tensor::randn(&[4, 16, 1, 1], 0.0, 0.5, 7);
+        let wc = collapse_linear_chain(&[&w1, &w2, &w3]);
+        assert_eq!(wc.shape(), &[4, 2, 3, 3]);
+        let x = Tensor::randn(&[1, 2, 7, 7], 0.0, 1.0, 8);
+        let p = Conv2dParams::same();
+        let seq = conv2d(&conv2d(&conv2d(&x, &w1, None, p), &w2, None, p), &w3, None, p);
+        let col = conv2d(&x, &wc, None, p);
+        assert!(seq.approx_eq(&col, 1e-3));
+    }
+
+    #[test]
+    fn two_spatial_kernels_grow_receptive_field() {
+        // 3x3 then 3x3 collapses to a 5x5 kernel; must match VALID-mode
+        // sequential execution on interior pixels.
+        let w1 = Tensor::randn(&[4, 1, 3, 3], 0.0, 0.5, 9);
+        let w2 = Tensor::randn(&[2, 4, 3, 3], 0.0, 0.5, 10);
+        let wc = collapse_linear_chain(&[&w1, &w2]);
+        assert_eq!(wc.shape(), &[2, 1, 5, 5]);
+        let x = Tensor::randn(&[1, 1, 10, 10], 0.0, 1.0, 11);
+        let v = Conv2dParams::valid();
+        let seq = conv2d(&conv2d(&x, &w1, None, v), &w2, None, v);
+        let col = conv2d(&x, &wc, None, v);
+        assert!(seq.approx_eq(&col, 1e-3), "diff {}", seq.max_abs_diff(&col));
+    }
+
+    #[test]
+    fn residual_weight_is_identity_under_convolution() {
+        let wc = Tensor::randn(&[6, 6, 3, 3], 0.0, 1.0, 12);
+        let wr = residual_weight(&wc);
+        let x = Tensor::randn(&[1, 6, 5, 5], 0.0, 1.0, 13);
+        let y = conv2d(&x, &wr, None, Conv2dParams::same());
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn residual_weight_matches_paper_index_rule() {
+        // Paper Algorithm 2: W_R[idx, idx, i, i] = 1 with idx = 1 for k=3,
+        // idx = 2 for k=5 (NHWC indexing; (center, center, in, out) taps).
+        for k in [3usize, 5] {
+            let wc = Tensor::zeros(&[2, 2, k, k]);
+            let wr = residual_weight(&wc);
+            let idx = k / 2;
+            for i in 0..2 {
+                assert_eq!(wr.at(&[i, i, idx, idx]), 1.0);
+            }
+            assert_eq!(wr.sum(), 2.0);
+        }
+    }
+
+    #[test]
+    fn block_plus_residual_equals_conv_plus_skip() {
+        let block = LinearBlock::new(4, 4, 32, 3, 3, 14);
+        let w = collapse_block_with_residual(&[&block.w1, &block.w2]);
+        let x = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, 15);
+        let p = Conv2dParams::same();
+        let skip = conv2d(&conv2d(&x, &block.w1, None, p), &block.w2, None, p).add(&x);
+        let fused = conv2d(&x, &w, None, p);
+        assert!(skip.approx_eq(&fused, 1e-3), "diff {}", skip.max_abs_diff(&fused));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching channel counts")]
+    fn residual_rejects_channel_mismatch() {
+        residual_weight(&Tensor::zeros(&[4, 2, 3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_chain_rejected() {
+        collapse_linear_chain(&[]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The inference-time SESR network (paper Fig. 2(d)).
+//!
+//! After collapse, SESR is a VGG-like stack of `m + 2` narrow convolutions
+//! with two long residuals and a final depth-to-space — no linear blocks,
+//! no short skips, no extra feature-map traffic. This module executes that
+//! network with plain tensor ops (no tape), which is what a deployment
+//! runtime would ship.
+
+use serde::{Deserialize, Serialize};
+use sesr_tensor::activations::{prelu, relu};
+use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::pixel_shuffle::depth_to_space;
+use sesr_tensor::winograd::conv2d_auto;
+use sesr_tensor::Tensor;
+
+/// Activation attached to a collapsed layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Act {
+    /// Parametric ReLU with stored per-channel slopes.
+    PRelu(Tensor),
+    /// Plain ReLU.
+    Relu,
+}
+
+/// One collapsed convolution layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollapsedLayer {
+    /// OIHW weight of the single narrow convolution.
+    pub weight: Tensor,
+    /// Per-output-channel bias.
+    pub bias: Tensor,
+    /// Optional activation applied after the convolution.
+    pub act: Option<Act>,
+}
+
+impl CollapsedLayer {
+    fn apply(&self, x: &Tensor) -> Tensor {
+        // Winograd F(2x2, 3x3) for the 3x3 layers (6x+ faster than the
+        // GEMM lowering on SESR's shapes), GEMM for everything else.
+        let y = conv2d_auto(x, &self.weight, Some(&self.bias), Conv2dParams::same());
+        match &self.act {
+            Some(Act::PRelu(alpha)) => prelu(&y, alpha),
+            Some(Act::Relu) => relu(&y),
+            None => y,
+        }
+    }
+}
+
+/// The collapsed, deployment-ready SESR network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollapsedSesr {
+    layers: Vec<CollapsedLayer>,
+    scale: usize,
+    feature_residual: bool,
+    input_residual: bool,
+}
+
+impl CollapsedSesr {
+    /// Assembles a collapsed network. `layers` must contain the first 5x5
+    /// stage, the intermediate stages, and the head, in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers are supplied or the scale is not 2
+    /// or 4.
+    pub fn new(
+        layers: Vec<CollapsedLayer>,
+        scale: usize,
+        feature_residual: bool,
+        input_residual: bool,
+    ) -> Self {
+        assert!(layers.len() >= 2, "need at least first and last stages");
+        assert!(scale == 2 || scale == 4, "scale must be 2 or 4");
+        Self {
+            layers,
+            scale,
+            feature_residual,
+            input_residual,
+        }
+    }
+
+    /// The collapsed layers.
+    pub fn layers(&self) -> &[CollapsedLayer] {
+        &self.layers
+    }
+
+    /// The upscaling factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Whether the input-to-output residual is present (absent in the
+    /// hardware-efficient variant).
+    pub fn has_input_residual(&self) -> bool {
+        self.input_residual
+    }
+
+    /// Whether the long feature residual (first stage output added before
+    /// the head) is present.
+    pub fn has_feature_residual(&self) -> bool {
+        self.feature_residual
+    }
+
+    /// Total parameter count of the collapsed network, weights plus biases
+    /// and PReLU slopes.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.weight.len()
+                    + l.bias.len()
+                    + match &l.act {
+                        Some(Act::PRelu(a)) => a.len(),
+                        _ => 0,
+                    }
+            })
+            .sum()
+    }
+
+    /// Weight-only parameter count — the paper's closed-form `P`
+    /// (Sec. 3.2) counts convolution weights only.
+    pub fn num_weight_params(&self) -> usize {
+        self.layers.iter().map(|l| l.weight.len()).sum()
+    }
+
+    /// Super-resolves a batch `[N, 1, h, w]` → `[N, 1, h*scale, w*scale]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not single-channel NCHW.
+    pub fn run_batch(&self, input: &Tensor) -> Tensor {
+        let (n, c, h, w) = input.shape_obj().as_nchw();
+        assert_eq!(c, 1, "SESR operates on the Y channel (1 input channel)");
+        let mut x = self.layers[0].apply(input);
+        let first = x.clone();
+        for layer in &self.layers[1..self.layers.len() - 1] {
+            x = layer.apply(&x);
+        }
+        if self.feature_residual {
+            x = x.add(&first);
+        }
+        x = self.layers[self.layers.len() - 1].apply(&x);
+        if self.input_residual {
+            x = sesr_autograd::tape::add_broadcast_channel_forward(&x, input);
+        }
+        x = depth_to_space(&x, 2);
+        if self.scale == 4 {
+            x = depth_to_space(&x, 2);
+        }
+        debug_assert_eq!(x.shape(), &[n, 1, h * self.scale, w * self.scale]);
+        x
+    }
+
+    /// Super-resolves a single `[1, h, w]` luma image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a single-channel `[1, h, w]` tensor.
+    pub fn run(&self, lr: &Tensor) -> Tensor {
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        assert_eq!(dims[0], 1, "expected a luma image");
+        let batched = lr.reshape(&[1, 1, dims[1], dims[2]]);
+        let out = self.run_batch(&batched);
+        out.reshape(&[1, dims[1] * self.scale, dims[2] * self.scale])
+    }
+
+    /// Super-resolves a large image tile by tile (the paper's DRAM
+    /// optimization, Sec. 5.6). `tile` is the LR tile side length; tiles at
+    /// the right/bottom edges may be smaller. `overlap` LR pixels of halo
+    /// are added around every tile and cropped after upscaling, avoiding
+    /// seams at tile boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is zero.
+    pub fn run_tiled(&self, lr: &Tensor, tile: usize, overlap: usize) -> Tensor {
+        assert!(tile > 0, "tile size must be positive");
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        let (h, w) = (dims[1], dims[2]);
+        let s = self.scale;
+        let mut out = Tensor::zeros(&[1, h * s, w * s]);
+        let mut y0 = 0;
+        while y0 < h {
+            let y1 = (y0 + tile).min(h);
+            let mut x0 = 0;
+            while x0 < w {
+                let x1 = (x0 + tile).min(w);
+                // Expand by the halo, clamped to the image.
+                let ey0 = y0.saturating_sub(overlap);
+                let ex0 = x0.saturating_sub(overlap);
+                let ey1 = (y1 + overlap).min(h);
+                let ex1 = (x1 + overlap).min(w);
+                let (th, tw) = (ey1 - ey0, ex1 - ex0);
+                let mut patch = Tensor::zeros(&[1, th, tw]);
+                for y in 0..th {
+                    for x in 0..tw {
+                        *patch.at_mut(&[0, y, x]) = lr.at(&[0, ey0 + y, ex0 + x]);
+                    }
+                }
+                let sr = self.run(&patch);
+                // Copy the interior (tile region) into the output.
+                for y in y0 * s..y1 * s {
+                    for x in x0 * s..x1 * s {
+                        let py = y - ey0 * s;
+                        let px = x - ex0 * s;
+                        *out.at_mut(&[0, y, x]) = sr.at(&[0, py, px]);
+                    }
+                }
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sesr, SesrConfig};
+
+    fn tiny_collapsed() -> CollapsedSesr {
+        Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(3)).collapse()
+    }
+
+    #[test]
+    fn run_shapes() {
+        let net = tiny_collapsed();
+        let lr = Tensor::rand_uniform(&[1, 9, 13], 0.0, 1.0, 1);
+        let sr = net.run(&lr);
+        assert_eq!(sr.shape(), &[1, 18, 26]);
+    }
+
+    #[test]
+    fn batch_and_single_agree() {
+        let net = tiny_collapsed();
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 2);
+        let single = net.run(&lr);
+        let batched = net.run_batch(&lr.reshape(&[1, 1, 8, 8]));
+        assert!(single.approx_eq(&batched.reshape(&[1, 16, 16]), 1e-6));
+    }
+
+    #[test]
+    fn weight_param_count_matches_closed_form() {
+        // P = 25f + m * 9f^2 + 100f for x2 (paper Sec. 3.2).
+        let f = 16;
+        for m in [3usize, 5, 7, 11] {
+            let net = Sesr::new(SesrConfig::m(m).with_expanded(8)).collapse();
+            let expected = 25 * f + m * 9 * f * f + 100 * f;
+            assert_eq!(net.num_weight_params(), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn tiled_equals_whole_image_with_sufficient_overlap() {
+        // Receptive field of SESR-M2 collapsed: 5x5 + 2x 3x3 + 5x5 ->
+        // radius (2 + 1 + 1 + 2) = 6; overlap 8 is safely larger.
+        let net = tiny_collapsed();
+        let lr = sesr_data::synth::generate(sesr_data::Family::Mixed, 24, 24, 5);
+        let whole = net.run(&lr);
+        let tiled = net.run_tiled(&lr, 12, 8);
+        assert!(
+            whole.approx_eq(&tiled, 1e-4),
+            "max diff {}",
+            whole.max_abs_diff(&tiled)
+        );
+    }
+
+    #[test]
+    fn tiled_without_overlap_differs_at_seams() {
+        let net = tiny_collapsed();
+        let lr = sesr_data::synth::generate(sesr_data::Family::Urban, 24, 24, 6);
+        let whole = net.run(&lr);
+        let tiled = net.run_tiled(&lr, 12, 0);
+        // Boundary effects must exist (otherwise the overlap logic is
+        // vacuous) but stay small.
+        let diff = whole.max_abs_diff(&tiled);
+        assert!(diff > 0.0, "expected seam differences");
+    }
+
+    #[test]
+    fn uneven_tiles_cover_whole_image() {
+        let net = tiny_collapsed();
+        let lr = Tensor::rand_uniform(&[1, 17, 23], 0.0, 1.0, 7);
+        let tiled = net.run_tiled(&lr, 10, 6);
+        assert_eq!(tiled.shape(), &[1, 34, 46]);
+        let whole = net.run(&lr);
+        assert!(whole.approx_eq(&tiled, 1e-4));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_function() {
+        // Models must survive serialization (deployment artifact).
+        let net = tiny_collapsed();
+        let bytes = crate::model_io::encode_model(&net);
+        let decoded = crate::model_io::decode_model(&bytes).expect("decode");
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 8);
+        assert!(net.run(&lr).approx_eq(&decoded.run(&lr), 0.0));
+    }
+}

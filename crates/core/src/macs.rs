@@ -1,0 +1,196 @@
+//! Closed-form parameter and MAC accounting (paper Secs. 3.2–3.3).
+//!
+//! These formulas anchor the reproduction to the paper's reported numbers:
+//! the parameter column of Tables 1–2, the MAC columns (720p convention),
+//! the 1080p MAC column of Table 3, and the training-efficiency numbers of
+//! Sec. 3.3 / Fig. 3 (41.77B expanded vs 1.84B collapsed forward MACs for
+//! SESR-M5). Unit tests pin each of these against the paper's values.
+
+/// Head output channels: `scale^2` for ×2, 16 for ×4 (single conv before
+/// two depth-to-space steps, Sec. 5.1).
+///
+/// # Panics
+///
+/// Panics if `scale` is not 2 or 4.
+pub fn head_channels(scale: usize) -> usize {
+    match scale {
+        2 => 4,
+        4 => 16,
+        _ => panic!("SESR supports x2 and x4 only, got {scale}"),
+    }
+}
+
+/// Collapsed (inference-time) weight parameter count,
+/// `P = (5·5·1·f) + m·(3·3·f·f) + (5·5·f·head)` — paper Sec. 3.2.
+pub fn sesr_weight_params(f: usize, m: usize, scale: usize) -> usize {
+    25 * f + m * 9 * f * f + 25 * f * head_channels(scale)
+}
+
+/// MACs to process an `lr_h x lr_w` low-resolution input:
+/// `#MACs = H · W · P` (paper Sec. 3.2).
+pub fn macs_for_params(params: usize, lr_h: usize, lr_w: usize) -> u64 {
+    params as u64 * lr_h as u64 * lr_w as u64
+}
+
+/// MACs for the paper's table convention: upscaling *to* 720p
+/// (1280x720), so the LR input is `1280/scale x 720/scale`.
+pub fn sesr_macs_to_720p(f: usize, m: usize, scale: usize) -> u64 {
+    let params = sesr_weight_params(f, m, scale);
+    macs_for_params(params, 720 / scale, 1280 / scale)
+}
+
+/// MACs for 1080p input (Table 3's convention: 1080p → 4K for ×2,
+/// 1080p → 8K for ×4).
+pub fn sesr_macs_from_1080p(f: usize, m: usize, scale: usize) -> u64 {
+    macs_for_params(sesr_weight_params(f, m, scale), 1080, 1920)
+}
+
+/// Per-pixel MACs of the *expanded* (training-space) SESR forward pass
+/// with expansion width `p`.
+pub fn expanded_macs_per_pixel(f: usize, m: usize, scale: usize, p: usize) -> u64 {
+    let first = 25 * p + p * f; // 5x5 (1 -> p) then 1x1 (p -> f)
+    let middle = 9 * f * p + p * f; // 3x3 (f -> p) then 1x1 (p -> f)
+    let last = 25 * f * p + p * head_channels(scale); // 5x5 (f -> p), 1x1 (p -> head)
+    (first + m * middle + last) as u64
+}
+
+/// Forward-pass MACs when training in expanded space: batch x patch^2
+/// pixels through [`expanded_macs_per_pixel`]. This is the "41.77B" number
+/// of Sec. 3.3 for SESR-M5 (`batch = 32`, `patch = 64`, `p = 256`).
+pub fn training_forward_macs_expanded(
+    f: usize,
+    m: usize,
+    scale: usize,
+    p: usize,
+    batch: usize,
+    patch: usize,
+) -> u64 {
+    expanded_macs_per_pixel(f, m, scale, p) * (batch * patch * patch) as u64
+}
+
+/// MACs to collapse all linear blocks once per training step using the
+/// Algorithm-1 procedure (convolving over the zero-padded identity stack).
+///
+/// For a `k x k` block with `x` input, `p` expanded, `y` output channels
+/// the identity stack holds `x` images of spatial size `(2k-1)^2`; the
+/// first conv produces `k x k x p` per image, the `1x1` conv `k x k x y`.
+pub fn collapse_macs_algorithm1(k: usize, x: usize, p: usize, y: usize) -> u64 {
+    let positions = (k * k) as u64; // valid conv output positions per image
+    let images = x as u64;
+    let conv1 = images * positions * (k * k * x) as u64 * p as u64;
+    let conv2 = images * positions * p as u64 * y as u64;
+    conv1 + conv2
+}
+
+/// Total per-step collapse cost for a SESR network (all `m + 2` blocks).
+pub fn sesr_collapse_macs(f: usize, m: usize, scale: usize, p: usize) -> u64 {
+    collapse_macs_algorithm1(5, 1, p, f)
+        + m as u64 * collapse_macs_algorithm1(3, f, p, f)
+        + collapse_macs_algorithm1(5, f, p, head_channels(scale))
+}
+
+/// Forward-pass MACs with the paper's efficient implementation
+/// (Sec. 3.3): collapse each step (Algorithm 1 cost) plus the collapsed
+/// narrow forward. This is the "1.84B" number for SESR-M5.
+pub fn training_forward_macs_collapsed(
+    f: usize,
+    m: usize,
+    scale: usize,
+    p: usize,
+    batch: usize,
+    patch: usize,
+) -> u64 {
+    let per_pixel = sesr_weight_params(f, m, scale) as u64;
+    per_pixel * (batch * patch * patch) as u64 + sesr_collapse_macs(f, m, scale, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's parameter column (×2): the closed form must reproduce the
+    /// paper's numbers exactly.
+    #[test]
+    fn x2_param_counts_match_table1() {
+        assert_eq!(sesr_weight_params(16, 3, 2), 8_912); // SESR-M3: 8.91K
+        assert_eq!(sesr_weight_params(16, 5, 2), 13_520); // SESR-M5: 13.52K
+        assert_eq!(sesr_weight_params(16, 7, 2), 18_128); // SESR-M7: 18.12K
+        assert_eq!(sesr_weight_params(16, 11, 2), 27_344); // SESR-M11: 27.34K
+        assert_eq!(sesr_weight_params(32, 11, 2), 105_376); // SESR-XL: 105.37K
+    }
+
+    /// Table 2's parameter column (×4).
+    #[test]
+    fn x4_param_counts_match_table2() {
+        assert_eq!(sesr_weight_params(16, 3, 4), 13_712); // 13.71K
+        assert_eq!(sesr_weight_params(16, 5, 4), 18_320); // 18.32K
+        assert_eq!(sesr_weight_params(16, 7, 4), 22_928); // 22.92K
+        assert_eq!(sesr_weight_params(16, 11, 4), 32_144); // 32.14K
+        assert_eq!(sesr_weight_params(32, 11, 4), 114_976); // 114.97K
+    }
+
+    /// Table 1/2 MAC columns (to-720p convention), within rounding of the
+    /// paper's 2-significant-digit reporting.
+    #[test]
+    fn mac_columns_match_tables() {
+        let close = |a: u64, b: f64| (a as f64 - b).abs() / b < 0.01;
+        assert!(close(sesr_macs_to_720p(16, 3, 2), 2.05e9), "M3 x2");
+        assert!(close(sesr_macs_to_720p(16, 5, 2), 3.11e9), "M5 x2");
+        assert!(close(sesr_macs_to_720p(16, 7, 2), 4.17e9), "M7 x2");
+        assert!(close(sesr_macs_to_720p(16, 11, 2), 6.30e9), "M11 x2");
+        assert!(close(sesr_macs_to_720p(32, 11, 2), 24.27e9), "XL x2");
+        assert!(close(sesr_macs_to_720p(16, 3, 4), 0.79e9), "M3 x4");
+        assert!(close(sesr_macs_to_720p(16, 5, 4), 1.05e9), "M5 x4");
+        assert!(close(sesr_macs_to_720p(16, 7, 4), 1.32e9), "M7 x4");
+        assert!(close(sesr_macs_to_720p(16, 11, 4), 1.85e9), "M11 x4");
+        assert!(close(sesr_macs_to_720p(32, 11, 4), 6.62e9), "XL x4");
+    }
+
+    /// Table 3's MAC column: SESR-M5 from 1080p.
+    #[test]
+    fn table3_macs_from_1080p() {
+        let m5_x2 = sesr_macs_from_1080p(16, 5, 2);
+        assert!((m5_x2 as f64 - 28e9).abs() / 28e9 < 0.01, "{m5_x2}"); // "28G"
+        let m5_x4 = sesr_macs_from_1080p(16, 5, 4);
+        assert!((m5_x4 as f64 - 38e9).abs() / 38e9 < 0.01, "{m5_x4}"); // "38G"
+    }
+
+    /// Sec. 3.3: expanded-space training forward for SESR-M5 is 41.77B
+    /// MACs at batch 32, 64x64 patches, p = 256.
+    #[test]
+    fn expanded_training_macs_match_section33() {
+        let macs = training_forward_macs_expanded(16, 5, 2, 256, 32, 64);
+        assert!(
+            (macs as f64 - 41.77e9).abs() / 41.77e9 < 0.005,
+            "expanded {macs}"
+        );
+    }
+
+    /// Sec. 3.3: the efficient implementation takes 1.84B MACs — collapsed
+    /// forward (1.77B) plus the Algorithm-1 collapse cost (~0.07B).
+    #[test]
+    fn collapsed_training_macs_match_section33() {
+        let macs = training_forward_macs_collapsed(16, 5, 2, 256, 32, 64);
+        assert!(
+            (macs as f64 - 1.84e9).abs() / 1.84e9 < 0.01,
+            "collapsed {macs}"
+        );
+        // And the headline ratio: ~22.7x cheaper.
+        let expanded = training_forward_macs_expanded(16, 5, 2, 256, 32, 64);
+        let ratio = expanded as f64 / macs as f64;
+        assert!(ratio > 20.0 && ratio < 25.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn collapse_cost_is_negligible_vs_forward() {
+        let collapse = sesr_collapse_macs(16, 5, 2, 256);
+        let forward = sesr_weight_params(16, 5, 2) as u64 * 32 * 64 * 64;
+        assert!((collapse as f64) < 0.05 * forward as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "x2 and x4 only")]
+    fn bad_scale_rejected() {
+        head_channels(3);
+    }
+}

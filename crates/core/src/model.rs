@@ -1,0 +1,678 @@
+//! The SESR training-time network (paper Fig. 2(a)) and its ablation
+//! variants.
+//!
+//! The training network is: one `5x5` linear block (1 → f channels), `m`
+//! `3x3` linear blocks (f → f) with short residuals, one `5x5` linear block
+//! (f → `scale^2` channels for ×2, f → 16 for ×4), two long residuals
+//! (feature-level and input-to-output), PReLU activations, and a final
+//! depth-to-space. Following Sec. 3.3, the forward pass — even at training
+//! time — runs in *collapsed* space: every linear block is collapsed on the
+//! autograd tape, the short residual is folded in as a constant identity
+//! kernel (Algorithm 2), and a single narrow convolution executes. The
+//! optimizer nevertheless updates the expanded weights, because the
+//! collapse is itself a differentiable tape op.
+//!
+//! The same struct also realizes every comparison network of Secs. 5.4–5.5
+//! through [`SesrConfig`] switches:
+//!
+//! * [`BlockKind::Linear`] without short residuals → **ExpandNet-style**;
+//! * [`BlockKind::RepVgg`] → the RepVGG comparison block (`k x k` +
+//!   parallel `1x1` branch + identity);
+//! * [`BlockKind::Plain`] with short residuals → "residuals but no linear
+//!   blocks" (Sec. 5.5);
+//! * [`BlockKind::Plain`] without short residuals → the directly-trained
+//!   VGG-style collapsed network.
+
+use crate::block::LinearBlock;
+use crate::collapsed::{CollapsedLayer, CollapsedSesr};
+use crate::train::SrNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sesr_autograd::{Tape, VarId};
+use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::Tensor;
+
+/// Activation used after residual additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Parametric ReLU (the paper's default).
+    PRelu,
+    /// Plain ReLU (the hardware-efficient variant of Sec. 5.5).
+    Relu,
+}
+
+/// What each convolutional stage is made of at training time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Collapsible linear block with `expanded` intermediate channels
+    /// (SESR and ExpandNet-style training).
+    Linear {
+        /// Intermediate channel count `p` (the paper uses 256).
+        expanded: usize,
+    },
+    /// A single narrow convolution (no overparameterization).
+    Plain,
+    /// RepVGG-style: `k x k` kernel plus a parallel `1 x 1` branch (the
+    /// identity branch comes from the short-residual switch).
+    RepVgg,
+}
+
+/// Full configuration of a SESR-family network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SesrConfig {
+    /// Feature channels `f` for every stage but the last (paper: 16, or 32
+    /// for SESR-XL).
+    pub f: usize,
+    /// Number of intermediate `3x3` stages `m` (paper: 3, 5, 7, 11).
+    pub m: usize,
+    /// Upscaling factor: 2 or 4.
+    pub scale: usize,
+    /// Stage construction (linear blocks / plain convs / RepVGG blocks).
+    pub kind: BlockKind,
+    /// Activation after the first stage and each intermediate stage.
+    pub activation: Activation,
+    /// Short residuals over the `3x3` stages (collapsed via Algorithm 2).
+    pub short_residuals: bool,
+    /// Long feature residual from the first stage's output to the last
+    /// intermediate stage's output (blue residual in Fig. 2(a)).
+    pub feature_residual: bool,
+    /// Long input-to-output residual (black residual in Fig. 2(a)).
+    pub input_residual: bool,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl SesrConfig {
+    /// SESR-M`m` for ×2 SISR: `f = 16`, `p = 256`, PReLU, all residuals —
+    /// the paper's main configuration (Sec. 5.1).
+    pub fn m(m: usize) -> Self {
+        Self {
+            f: 16,
+            m,
+            scale: 2,
+            kind: BlockKind::Linear { expanded: 256 },
+            activation: Activation::PRelu,
+            short_residuals: true,
+            feature_residual: true,
+            input_residual: true,
+            seed: 0x5E5E,
+        }
+    }
+
+    /// SESR-XL: `f = 32`, `m = 11` (Table 1's large-regime entry).
+    pub fn xl() -> Self {
+        Self {
+            f: 32,
+            m: 11,
+            ..Self::m(11)
+        }
+    }
+
+    /// Switches the network to ×4 SISR (final stage emits 16 channels and
+    /// depth-to-space runs twice, Sec. 5.1).
+    pub fn with_scale(self, scale: usize) -> Self {
+        assert!(scale == 2 || scale == 4, "SESR supports x2 and x4 only");
+        Self { scale, ..self }
+    }
+
+    /// Uses a different initialization seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self { seed, ..self }
+    }
+
+    /// Smaller expansion width (useful for fast tests).
+    pub fn with_expanded(self, expanded: usize) -> Self {
+        Self {
+            kind: BlockKind::Linear { expanded },
+            ..self
+        }
+    }
+
+    /// The hardware-efficient variant of Sec. 5.5: ReLU instead of PReLU
+    /// and no input-to-output residual (loses ≈ 0.1 dB, runs much better
+    /// on NPUs).
+    pub fn hardware_efficient(self) -> Self {
+        Self {
+            activation: Activation::Relu,
+            input_residual: false,
+            ..self
+        }
+    }
+
+    /// ExpandNet-style training (Sec. 5.4): linear blocks but **no** short
+    /// residuals. The long residuals remain, exactly as the paper's
+    /// comparison.
+    pub fn expandnet_style(self) -> Self {
+        Self {
+            short_residuals: false,
+            ..self
+        }
+    }
+
+    /// RepVGG-style training (Sec. 5.4): `k x k` + `1x1` branch + identity.
+    pub fn repvgg_style(self) -> Self {
+        Self {
+            kind: BlockKind::RepVgg,
+            short_residuals: true,
+            ..self
+        }
+    }
+
+    /// Residuals-but-no-linear-blocks ablation (Sec. 5.5).
+    pub fn plain_with_residuals(self) -> Self {
+        Self {
+            kind: BlockKind::Plain,
+            short_residuals: true,
+            ..self
+        }
+    }
+
+    /// The directly-trained collapsed network (VGG-like, Fig. 2(d), used as
+    /// the RepVGG-vs-VGG control in Sec. 5.4): plain convs, no short
+    /// residuals, long residuals kept.
+    pub fn vgg_style(self) -> Self {
+        Self {
+            kind: BlockKind::Plain,
+            short_residuals: false,
+            ..self
+        }
+    }
+
+    /// Output channels of the final stage: `scale^2` for ×2, 16 for ×4
+    /// (the paper replaces the head rather than stacking upsamplers).
+    pub fn head_channels(&self) -> usize {
+        match self.scale {
+            2 => 4,
+            4 => 16,
+            _ => unreachable!("scale validated at construction"),
+        }
+    }
+
+    /// Human-readable model name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        if self.f == 32 {
+            "SESR-XL".to_string()
+        } else {
+            format!("SESR-M{}", self.m)
+        }
+    }
+}
+
+/// Parameters of one training-time stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageParams {
+    /// A collapsible linear block.
+    Linear(LinearBlock),
+    /// A single convolution.
+    Plain {
+        /// OIHW weight.
+        w: Tensor,
+        /// Per-output-channel bias.
+        b: Tensor,
+    },
+    /// RepVGG-style: main `k x k` kernel plus a `1x1` branch.
+    RepVgg {
+        /// Main OIHW weight.
+        wk: Tensor,
+        /// Main bias.
+        bk: Tensor,
+        /// Parallel 1x1-branch weight.
+        w1: Tensor,
+        /// Parallel 1x1-branch bias.
+        b1: Tensor,
+    },
+}
+
+impl StageParams {
+    fn new(kind: BlockKind, in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        match kind {
+            BlockKind::Linear { expanded } => {
+                StageParams::Linear(LinearBlock::new(in_c, out_c, expanded, k, k, seed))
+            }
+            BlockKind::Plain => {
+                // Glorot, matching the linear blocks (see LinearBlock::new).
+                let std = (2.0 / ((k * k * (in_c + out_c)) as f32)).sqrt();
+                StageParams::Plain {
+                    w: Tensor::randn(&[out_c, in_c, k, k], 0.0, std, seed),
+                    b: Tensor::zeros(&[out_c]),
+                }
+            }
+            BlockKind::RepVgg => {
+                let std = (2.0 / ((k * k * (in_c + out_c)) as f32)).sqrt();
+                let std1 = (2.0 / (in_c + out_c) as f32).sqrt();
+                StageParams::RepVgg {
+                    wk: Tensor::randn(&[out_c, in_c, k, k], 0.0, std, seed),
+                    bk: Tensor::zeros(&[out_c]),
+                    w1: Tensor::randn(&[out_c, in_c, 1, 1], 0.0, std1, seed ^ 0xABCD),
+                    b1: Tensor::zeros(&[out_c]),
+                }
+            }
+        }
+    }
+
+    /// Flat list of this stage's parameter tensors (stable order).
+    pub fn tensors(&self) -> Vec<&Tensor> {
+        match self {
+            StageParams::Linear(b) => vec![&b.w1, &b.b1, &b.w2, &b.b2],
+            StageParams::Plain { w, b } => vec![w, b],
+            StageParams::RepVgg { wk, bk, w1, b1 } => vec![wk, bk, w1, b1],
+        }
+    }
+
+    fn tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            StageParams::Linear(b) => vec![&mut b.w1, &mut b.b1, &mut b.w2, &mut b.b2],
+            StageParams::Plain { w, b } => vec![w, b],
+            StageParams::RepVgg { wk, bk, w1, b1 } => vec![wk, bk, w1, b1],
+        }
+    }
+}
+
+/// The SESR training-time network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sesr {
+    config: SesrConfig,
+    /// `m + 2` stages: first 5x5, m intermediate 3x3, last 5x5.
+    stages: Vec<StageParams>,
+    /// PReLU slopes, one tensor per activation site (`m + 1` sites). Kept
+    /// (but unused) in ReLU mode so parameter layout is stable.
+    alphas: Vec<Tensor>,
+}
+
+impl Sesr {
+    /// Builds a network with freshly initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not 2 or 4, or `m == 0`.
+    pub fn new(config: SesrConfig) -> Self {
+        assert!(config.scale == 2 || config.scale == 4, "scale must be 2 or 4");
+        assert!(config.m > 0, "at least one intermediate stage required");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut stages = Vec::with_capacity(config.m + 2);
+        stages.push(StageParams::new(config.kind, 1, config.f, 5, rng.gen()));
+        for _ in 0..config.m {
+            stages.push(StageParams::new(config.kind, config.f, config.f, 3, rng.gen()));
+        }
+        stages.push(StageParams::new(
+            config.kind,
+            config.f,
+            config.head_channels(),
+            5,
+            rng.gen(),
+        ));
+        let alphas = (0..config.m + 1).map(|_| Tensor::full(&[config.f], 0.1)).collect();
+        Self {
+            config,
+            stages,
+            alphas,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SesrConfig {
+        &self.config
+    }
+
+    /// The training-time stages.
+    pub fn stages(&self) -> &[StageParams] {
+        &self.stages
+    }
+
+    /// Replaces the upsampling head to retarget the network to a new scale
+    /// while keeping the body — the paper's ×4 protocol starts from
+    /// pretrained ×2 weights and swaps the final `5x5 x f x 4` layer for
+    /// `5x5 x f x 16` (Sec. 5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 2 or 4.
+    pub fn retarget_scale(&self, scale: usize) -> Sesr {
+        assert!(scale == 2 || scale == 4, "scale must be 2 or 4");
+        let config = SesrConfig {
+            scale,
+            ..self.config
+        };
+        let mut out = self.clone();
+        out.config = config;
+        let last = out.stages.len() - 1;
+        out.stages[last] = StageParams::new(
+            config.kind,
+            config.f,
+            config.head_channels(),
+            5,
+            config.seed ^ 0xF00D,
+        );
+        out
+    }
+
+    /// Emits the effective (collapsed-space) weight and bias of stage `i`
+    /// onto a tape, folding in the short residual where configured. Returns
+    /// `(weight, bias)` var ids.
+    fn stage_weight_on_tape(
+        &self,
+        tape: &mut Tape,
+        stage_ids: &[VarId],
+        stage_index: usize,
+    ) -> (VarId, VarId) {
+        let stage = &self.stages[stage_index];
+        let is_middle = stage_index > 0 && stage_index < self.stages.len() - 1;
+        let (mut w_id, b_id) = match stage {
+            StageParams::Linear(block) => {
+                let [w1, b1, w2, b2] = [stage_ids[0], stage_ids[1], stage_ids[2], stage_ids[3]];
+                let wc = tape.collapse_1x1(w1, w2);
+                // b_c = W2 · b1 + b2, expressed as a 1x1 collapse of b1
+                // viewed as a [p, 1, 1, 1] kernel.
+                let p = block.expanded_channels();
+                let y = block.out_channels();
+                let b1k = tape.reshape(b1, &[p, 1, 1, 1]);
+                let bck = tape.collapse_1x1(b1k, w2);
+                let bc_part = tape.reshape(bck, &[y]);
+                let bc = tape.add(bc_part, b2);
+                (wc, bc)
+            }
+            StageParams::Plain { .. } => (stage_ids[0], stage_ids[1]),
+            StageParams::RepVgg { wk, .. } => {
+                let [wk_id, bk_id, w1_id, b1_id] =
+                    [stage_ids[0], stage_ids[1], stage_ids[2], stage_ids[3]];
+                let (kh, kw) = (wk.shape()[2], wk.shape()[3]);
+                let w1_embedded = tape.embed_center(w1_id, kh, kw);
+                let w = tape.add(wk_id, w1_embedded);
+                let b = tape.add(bk_id, b1_id);
+                (w, b)
+            }
+        };
+        if is_middle && self.config.short_residuals {
+            // Algorithm 2: fold the identity skip into the kernel.
+            let identity = Tensor::identity_kernel(self.config.f, 3);
+            w_id = tape.add_const(w_id, &identity);
+        }
+        (w_id, b_id)
+    }
+
+    fn apply_activation(&self, tape: &mut Tape, x: VarId, alpha: VarId) -> VarId {
+        match self.config.activation {
+            Activation::PRelu => tape.prelu(x, alpha),
+            Activation::Relu => tape.relu(x),
+        }
+    }
+
+    /// Runs the training-time forward pass in collapsed space (Sec. 3.3) on
+    /// the given tape. `input` must be an NCHW `[N, 1, h, w]` node already
+    /// on the tape. Returns the super-resolved output node and the var ids
+    /// of every parameter, in [`Sesr::parameters`] order.
+    pub fn forward_train(&self, tape: &mut Tape, input: VarId) -> (VarId, Vec<VarId>) {
+        // Leaf every parameter.
+        let mut param_ids: Vec<VarId> = Vec::new();
+        let mut stage_id_ranges: Vec<Vec<VarId>> = Vec::new();
+        for stage in &self.stages {
+            let ids: Vec<VarId> = stage
+                .tensors()
+                .into_iter()
+                .map(|t| tape.leaf(t.clone(), true))
+                .collect();
+            param_ids.extend(ids.iter().copied());
+            stage_id_ranges.push(ids);
+        }
+        let alpha_ids: Vec<VarId> = self
+            .alphas
+            .iter()
+            .map(|a| tape.leaf(a.clone(), true))
+            .collect();
+        param_ids.extend(alpha_ids.iter().copied());
+
+        let same = Conv2dParams::same();
+        // First stage (5x5) + activation.
+        let (w0, b0) = self.stage_weight_on_tape(tape, &stage_id_ranges[0], 0);
+        let mut x = tape.conv2d(input, w0, Some(b0), same);
+        x = self.apply_activation(tape, x, alpha_ids[0]);
+        let first_features = x;
+
+        // Intermediate 3x3 stages. The short residual is already inside
+        // the weights (Algorithm 2), so each stage is one conv + act.
+        for s in 1..=self.config.m {
+            let (w, b) = self.stage_weight_on_tape(tape, &stage_id_ranges[s], s);
+            x = tape.conv2d(x, w, Some(b), same);
+            x = self.apply_activation(tape, x, alpha_ids[s]);
+        }
+
+        // Long feature residual (blue in Fig. 2(a)).
+        if self.config.feature_residual {
+            x = tape.add(x, first_features);
+        }
+
+        // Last stage (5x5 to scale^2 or 16 channels), no activation.
+        let last = self.stages.len() - 1;
+        let (wl, bl) = self.stage_weight_on_tape(tape, &stage_id_ranges[last], last);
+        x = tape.conv2d(x, wl, Some(bl), same);
+
+        // Long input residual (black in Fig. 2(a)).
+        if self.config.input_residual {
+            x = tape.add_broadcast_channel(x, input);
+        }
+
+        // Depth-to-space: once for x2, twice for x4 (Sec. 5.1).
+        x = tape.depth_to_space(x, 2);
+        if self.config.scale == 4 {
+            x = tape.depth_to_space(x, 2);
+        }
+        (x, param_ids)
+    }
+
+    /// Collapses the trained network into the inference-time VGG-like
+    /// architecture of Fig. 2(d).
+    pub fn collapse(&self) -> CollapsedSesr {
+        let mut layers = Vec::with_capacity(self.stages.len());
+        for (i, stage) in self.stages.iter().enumerate() {
+            let is_middle = i > 0 && i < self.stages.len() - 1;
+            let (mut w, b) = match stage {
+                StageParams::Linear(block) => block.collapse(),
+                StageParams::Plain { w, b } => (w.clone(), b.clone()),
+                StageParams::RepVgg { wk, bk, w1, b1 } => {
+                    let (kh, kw) = (wk.shape()[2], wk.shape()[3]);
+                    let mut w = wk.clone();
+                    let (y, x_c) = (wk.shape()[0], wk.shape()[1]);
+                    for o in 0..y {
+                        for ic in 0..x_c {
+                            *w.at_mut(&[o, ic, kh / 2, kw / 2]) += w1.at(&[o, ic, 0, 0]);
+                        }
+                    }
+                    (w, bk.add(b1))
+                }
+            };
+            if is_middle && self.config.short_residuals {
+                w = w.add(&Tensor::identity_kernel(self.config.f, 3));
+            }
+            let act = if i < self.stages.len() - 1 {
+                Some(match self.config.activation {
+                    Activation::PRelu => crate::collapsed::Act::PRelu(self.alphas[i].clone()),
+                    Activation::Relu => crate::collapsed::Act::Relu,
+                })
+            } else {
+                None
+            };
+            layers.push(CollapsedLayer {
+                weight: w,
+                bias: b,
+                act,
+            });
+        }
+        CollapsedSesr::new(
+            layers,
+            self.config.scale,
+            self.config.feature_residual,
+            self.config.input_residual,
+        )
+    }
+}
+
+impl SrNetwork for Sesr {
+    fn scale(&self) -> usize {
+        self.config.scale
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut out: Vec<Tensor> = Vec::new();
+        for stage in &self.stages {
+            out.extend(stage.tensors().into_iter().cloned());
+        }
+        out.extend(self.alphas.iter().cloned());
+        out
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) {
+        let mut it = params.iter();
+        for stage in &mut self.stages {
+            for slot in stage.tensors_mut() {
+                *slot = it.next().expect("parameter list too short").clone();
+            }
+        }
+        for alpha in &mut self.alphas {
+            *alpha = it.next().expect("parameter list too short").clone();
+        }
+        assert!(it.next().is_none(), "parameter list too long");
+    }
+
+    fn forward(&self, tape: &mut Tape, input: VarId) -> (VarId, Vec<VarId>) {
+        self.forward_train(tape, input)
+    }
+
+    fn infer(&self, lr: &Tensor) -> Tensor {
+        self.collapse().run(lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_data::metrics::psnr;
+
+    fn tiny() -> SesrConfig {
+        SesrConfig::m(2).with_expanded(8).with_seed(7)
+    }
+
+    #[test]
+    fn construction_counts_stages() {
+        let model = Sesr::new(SesrConfig::m(5));
+        assert_eq!(model.stages().len(), 7); // 5 + 2
+        assert_eq!(model.config().name(), "SESR-M5");
+        assert_eq!(Sesr::new(SesrConfig::xl()).config().name(), "SESR-XL");
+    }
+
+    #[test]
+    fn forward_shapes_x2_and_x4() {
+        for scale in [2usize, 4] {
+            let model = Sesr::new(tiny().with_scale(scale));
+            let mut tape = Tape::new();
+            let x = tape.leaf(Tensor::rand_uniform(&[1, 1, 12, 12], 0.0, 1.0, 1), false);
+            let (y, _) = model.forward_train(&mut tape, x);
+            assert_eq!(
+                tape.value(y).shape(),
+                &[1, 1, 12 * scale, 12 * scale],
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn collapsed_inference_matches_training_forward() {
+        // The central claim: training-time (collapsed-space tape) forward
+        // and the collapsed inference network compute the same function.
+        for config in [
+            tiny(),
+            tiny().hardware_efficient(),
+            tiny().expandnet_style(),
+            tiny().repvgg_style(),
+            tiny().plain_with_residuals(),
+            tiny().vgg_style(),
+            tiny().with_scale(4),
+        ] {
+            let model = Sesr::new(config);
+            let lr = Tensor::rand_uniform(&[1, 10, 10], 0.0, 1.0, 3);
+            let mut tape = Tape::new();
+            let batched = lr.reshape(&[1, 1, 10, 10]);
+            let x = tape.leaf(batched, false);
+            let (y, _) = model.forward_train(&mut tape, x);
+            let train_out = tape
+                .value(y)
+                .reshape(&[1, 10 * config.scale, 10 * config.scale]);
+            let infer_out = model.infer(&lr);
+            assert!(
+                train_out.approx_eq(&infer_out, 1e-3),
+                "config {config:?}: max diff {}",
+                train_out.max_abs_diff(&infer_out)
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let model = Sesr::new(tiny());
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, 5), false);
+        let (y, param_ids) = model.forward_train(&mut tape, x);
+        let target = Tensor::rand_uniform(&[2, 1, 16, 16], 0.0, 1.0, 6);
+        let loss = tape.l1_loss(y, &target);
+        tape.backward(loss);
+        for (i, id) in param_ids.iter().enumerate() {
+            let g = tape.grad(*id);
+            assert!(g.is_some(), "parameter {i} received no gradient");
+        }
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let model = Sesr::new(tiny());
+        let params = model.parameters();
+        let mut clone = Sesr::new(tiny().with_seed(99));
+        assert_ne!(clone.parameters()[0], params[0]);
+        clone.set_parameters(&params);
+        for (a, b) in clone.parameters().iter().zip(params.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn retarget_scale_keeps_body_swaps_head() {
+        let x2 = Sesr::new(tiny());
+        let x4 = x2.retarget_scale(4);
+        assert_eq!(x4.config().scale, 4);
+        // Body stages identical.
+        for i in 0..x2.stages().len() - 1 {
+            assert_eq!(x2.stages()[i], x4.stages()[i]);
+        }
+        // Head differs in output channels.
+        let head = x4.stages().last().unwrap();
+        match head {
+            StageParams::Linear(b) => assert_eq!(b.out_channels(), 16),
+            other => panic!("unexpected head {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrained_model_with_input_residual_is_near_identityish() {
+        // With the input residual, even an untrained SESR output correlates
+        // with a bicubic-like upscale of the input (sanity of the long
+        // residual path): PSNR against the nearest-neighbor replication of
+        // the input should be finite and not absurdly low.
+        let model = Sesr::new(tiny());
+        let lr = sesr_data::synth::generate(sesr_data::Family::Smooth, 16, 16, 4);
+        let sr = model.infer(&lr);
+        assert_eq!(sr.shape(), &[1, 32, 32]);
+        // Not NaN, bounded output.
+        assert!(sr.data().iter().all(|v| v.is_finite()));
+        let up = sesr_data::resize::upscale(&lr, 2);
+        let db = psnr(&sr, &up, 1.0);
+        assert!(db.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be 2 or 4")]
+    fn bad_scale_rejected() {
+        Sesr::new(tiny().with_scale(2).with_scale(4)); // fine so far
+        let mut c = tiny();
+        c.scale = 3;
+        Sesr::new(c);
+    }
+}

@@ -1,0 +1,285 @@
+//! Binary serialization of collapsed networks — the artifact a deployment
+//! pipeline would ship to a device after training and collapsing.
+//!
+//! Format (`SESR` magic, version 1, little-endian):
+//!
+//! ```text
+//! magic: b"SESR" | version: u32 | scale: u32 | flags: u32 | n_layers: u32
+//! per layer:
+//!   act: u8 (0 = none, 1 = relu, 2 = prelu)
+//!   [if prelu] alpha: tensor
+//!   weight: tensor | bias: tensor
+//! tensor := rank: u32 | dims: u32 x rank | data: f32 x len
+//! ```
+
+use crate::collapsed::{Act, CollapsedLayer, CollapsedSesr};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sesr_tensor::Tensor;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SESR";
+const VERSION: u32 = 1;
+const FLAG_FEATURE_RESIDUAL: u32 = 1;
+const FLAG_INPUT_RESIDUAL: u32 = 2;
+
+/// Errors from decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeModelError {
+    /// The buffer does not start with the `SESR` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A field held an invalid value (e.g. unknown activation tag).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeModelError::BadMagic => write!(f, "not a SESR model file"),
+            DecodeModelError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            DecodeModelError::Truncated => write!(f, "model file is truncated"),
+            DecodeModelError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeModelError {}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(t.shape().len() as u32);
+    for &d in t.shape() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeModelError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeModelError::Truncated);
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(DecodeModelError::Corrupt("tensor rank too large"));
+    }
+    if buf.remaining() < 4 * rank {
+        return Err(DecodeModelError::Truncated);
+    }
+    let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+    if dims.contains(&0) {
+        return Err(DecodeModelError::Corrupt("zero tensor dimension"));
+    }
+    let len: usize = dims.iter().product();
+    if len > (1 << 28) {
+        return Err(DecodeModelError::Corrupt("tensor too large"));
+    }
+    if buf.remaining() < 4 * len {
+        return Err(DecodeModelError::Truncated);
+    }
+    let data: Vec<f32> = (0..len).map(|_| buf.get_f32_le()).collect();
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+/// Encodes a collapsed network to its binary wire format.
+pub fn encode_model(model: &CollapsedSesr) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(model.scale() as u32);
+    let mut flags = 0u32;
+    if model.has_feature_residual() {
+        flags |= FLAG_FEATURE_RESIDUAL;
+    }
+    if model.has_input_residual() {
+        flags |= FLAG_INPUT_RESIDUAL;
+    }
+    buf.put_u32_le(flags);
+    buf.put_u32_le(model.layers().len() as u32);
+    for layer in model.layers() {
+        match &layer.act {
+            None => buf.put_u8(0),
+            Some(Act::Relu) => buf.put_u8(1),
+            Some(Act::PRelu(alpha)) => {
+                buf.put_u8(2);
+                put_tensor(&mut buf, alpha);
+            }
+        }
+        put_tensor(&mut buf, &layer.weight);
+        put_tensor(&mut buf, &layer.bias);
+    }
+    buf.freeze()
+}
+
+/// Decodes a collapsed network from its binary wire format.
+///
+/// # Errors
+///
+/// Returns a [`DecodeModelError`] for malformed input.
+pub fn decode_model(bytes: &[u8]) -> Result<CollapsedSesr, DecodeModelError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(DecodeModelError::BadMagic);
+    }
+    if buf.remaining() < 16 {
+        return Err(DecodeModelError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeModelError::BadVersion(version));
+    }
+    let scale = buf.get_u32_le() as usize;
+    if scale != 2 && scale != 4 {
+        return Err(DecodeModelError::Corrupt("scale must be 2 or 4"));
+    }
+    let flags = buf.get_u32_le();
+    let n_layers = buf.get_u32_le() as usize;
+    if !(2..=1024).contains(&n_layers) {
+        return Err(DecodeModelError::Corrupt("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        if buf.remaining() < 1 {
+            return Err(DecodeModelError::Truncated);
+        }
+        let act = match buf.get_u8() {
+            0 => None,
+            1 => Some(Act::Relu),
+            2 => Some(Act::PRelu(get_tensor(&mut buf)?)),
+            _ => return Err(DecodeModelError::Corrupt("unknown activation tag")),
+        };
+        let weight = get_tensor(&mut buf)?;
+        if weight.shape().len() != 4 {
+            return Err(DecodeModelError::Corrupt("weight must be OIHW"));
+        }
+        let bias = get_tensor(&mut buf)?;
+        layers.push(CollapsedLayer { weight, bias, act });
+    }
+    Ok(CollapsedSesr::new(
+        layers,
+        scale,
+        flags & FLAG_FEATURE_RESIDUAL != 0,
+        flags & FLAG_INPUT_RESIDUAL != 0,
+    ))
+}
+
+/// Writes a collapsed network to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_model(model: &CollapsedSesr, path: &Path) -> std::io::Result<()> {
+    fs::write(path, encode_model(model))
+}
+
+/// Reads a collapsed network from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and wraps decode failures in
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_model(path: &Path) -> std::io::Result<CollapsedSesr> {
+    let bytes = fs::read(path)?;
+    decode_model(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sesr, SesrConfig};
+
+    fn sample() -> CollapsedSesr {
+        Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(1)).collapse()
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let model = sample();
+        let decoded = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(decoded, model);
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 2);
+        assert!(model.run(&lr).approx_eq(&decoded.run(&lr), 0.0));
+    }
+
+    #[test]
+    fn roundtrip_relu_variant() {
+        let model = Sesr::new(
+            SesrConfig::m(1)
+                .with_expanded(4)
+                .hardware_efficient()
+                .with_seed(3),
+        )
+        .collapse();
+        let decoded = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(decoded, model);
+        assert!(!decoded.has_input_residual());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode_model(b"NOPE1234").unwrap_err(), DecodeModelError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode_model(&sample());
+        // Chop at several points; every prefix must fail cleanly, never
+        // panic.
+        for cut in [3usize, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_model(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeModelError::Truncated | DecodeModelError::BadMagic),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode_model(&sample()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode_model(&bytes).unwrap_err(),
+            DecodeModelError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_activation_tag() {
+        let bytes = encode_model(&sample()).to_vec();
+        let mut corrupted = bytes.clone();
+        corrupted[20] = 200; // first layer's act tag
+        let err = decode_model(&corrupted).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeModelError::Corrupt(_) | DecodeModelError::Truncated
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = sample();
+        let dir = std::env::temp_dir().join("sesr_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m2.sesr");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded, model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoded_size_tracks_param_count() {
+        let model = sample();
+        let bytes = encode_model(&model);
+        // 4 bytes per parameter plus bounded overhead.
+        let params = model.num_params();
+        assert!(bytes.len() >= params * 4);
+        assert!(bytes.len() < params * 4 + 1024);
+    }
+}

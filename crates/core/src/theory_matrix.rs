@@ -1,0 +1,326 @@
+//! Matrix form of the Sec. 4 analysis.
+//!
+//! The paper states Eqs. (3)–(5) for a *vector/matrix* collapsed weight
+//! `β` overparameterized by a single scalar `w2` (following Arora et al.):
+//! `β = W₁·w₂ (+ I)`. [`crate::theory`] verifies the scalar specialization;
+//! this module verifies the statement at full rank — `W₁ ∈ R^{d×d}`,
+//! `w₂ ∈ R`, identity `I ∈ R^{d×d}` — on a multivariate linear-regression
+//! problem `L(β) = E‖βx − y‖²/2`.
+//!
+//! The predictions mirror the paper exactly:
+//!
+//! * ExpandNet (Eq. 3): `β⁺ = β − ηw₂²∇β − η∇w₂ w₂⁻¹ β`
+//! * SESR (Eq. 4):      `β⁺ = β − ηw₂²∇β − η∇w₂ w₂⁻¹ (β − I)`
+//! * RepVGG (Eq. 5):    `β⁺ = β − 2η∇β` (exact)
+//! * VGG:               `β⁺ = β − η∇β` (exact)
+//!
+//! with `∇w₂ = ⟨∇β, W₁⟩` (Frobenius inner product) by the chain rule.
+
+use crate::theory::Scheme;
+
+/// A small dense row-major `d x d` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    /// Dimension.
+    pub d: usize,
+    /// Row-major entries.
+    pub a: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(d: usize) -> Self {
+        Self { d, a: vec![0.0; d * d] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(d: usize) -> Self {
+        let mut m = Self::zeros(d);
+        for i in 0..d {
+            m.a[i * d + i] = 1.0;
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `(-1, 1)`.
+    pub fn random(d: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        Self {
+            d,
+            a: (0..d * d).map(|_| next()).collect(),
+        }
+    }
+
+    /// `self + other * c`.
+    pub fn axpy(&self, other: &Mat, c: f64) -> Mat {
+        assert_eq!(self.d, other.d, "dimension mismatch");
+        Mat {
+            d: self.d,
+            a: self
+                .a
+                .iter()
+                .zip(other.a.iter())
+                .map(|(&x, &y)| x + c * y)
+                .collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, c: f64) -> Mat {
+        Mat {
+            d: self.d,
+            a: self.a.iter().map(|&x| x * c).collect(),
+        }
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn dot(&self, other: &Mat) -> f64 {
+        assert_eq!(self.d, other.d, "dimension mismatch");
+        self.a.iter().zip(other.a.iter()).map(|(&x, &y)| x * y).sum()
+    }
+
+    /// Frobenius norm of `self - other`.
+    pub fn dist(&self, other: &Mat) -> f64 {
+        assert_eq!(self.d, other.d, "dimension mismatch");
+        self.a
+            .iter()
+            .zip(other.a.iter())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.d, "dimension mismatch");
+        (0..self.d)
+            .map(|r| (0..self.d).map(|c| self.a[r * self.d + c] * x[c]).sum())
+            .collect()
+    }
+}
+
+/// Multivariate regression `y = B* x` over a finite sample.
+#[derive(Debug, Clone)]
+pub struct MatrixRegression {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<Vec<f64>>,
+    d: usize,
+}
+
+impl MatrixRegression {
+    /// A deterministic random instance with true map `target`.
+    pub fn random(n: usize, target: &Mat, seed: u64) -> Self {
+        let d = target.d;
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+        let ys = xs.iter().map(|x| target.matvec(x)).collect();
+        Self { xs, ys, d }
+    }
+
+    /// Loss `E ‖βx − y‖² / 2`.
+    pub fn loss(&self, beta: &Mat) -> f64 {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(x, y)| {
+                let p = beta.matvec(x);
+                p.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>() * 0.5
+            })
+            .sum::<f64>()
+            / self.xs.len() as f64
+    }
+
+    /// Gradient `∇β = E[(βx − y) xᵀ]`.
+    pub fn grad(&self, beta: &Mat) -> Mat {
+        let d = self.d;
+        let mut g = Mat::zeros(d);
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            let p = beta.matvec(x);
+            for r in 0..d {
+                let e = p[r] - y[r];
+                for c in 0..d {
+                    g.a[r * d + c] += e * x[c];
+                }
+            }
+        }
+        g.scale(1.0 / self.xs.len() as f64)
+    }
+}
+
+/// Collapsed weight for the matrix schemes. `w1` is the matrix parameter;
+/// `w2` is the *scalar* overparameterization of ExpandNet/SESR (following
+/// Arora et al., as the paper does). For RepVGG the second branch is a
+/// full 1x1-conv *matrix* initialized to `w2·I` — that is what makes its
+/// chain rule `∇W₂ = ∇β` and Eq. 5 exact.
+pub fn beta_matrix(scheme: Scheme, w1: &Mat, w2: f64) -> Mat {
+    let i = Mat::eye(w1.d);
+    match scheme {
+        Scheme::ExpandNet => w1.scale(w2),
+        Scheme::Sesr => w1.scale(w2).axpy(&i, 1.0),
+        // RepVGG: W₁ + W₂ + I with W₂ = w2·I at this point in training.
+        Scheme::RepVgg => w1.axpy(&i, w2).axpy(&i, 1.0),
+        Scheme::Vgg => w1.clone(),
+    }
+}
+
+/// Result of one matrix-form update comparison.
+#[derive(Debug, Clone)]
+pub struct MatrixComparison {
+    /// Frobenius distance between the empirical and predicted updates.
+    pub error: f64,
+    /// Frobenius norm of the step actually taken (for scale reference).
+    pub step_norm: f64,
+}
+
+/// One exact SGD step on `(W₁, w₂)` versus the paper's closed-form
+/// prediction for the collapsed matrix.
+///
+/// # Panics
+///
+/// Panics if `w2 == 0` for a multiplicative scheme.
+pub fn compare_update_matrix(
+    problem: &MatrixRegression,
+    scheme: Scheme,
+    w1: &Mat,
+    w2: f64,
+    eta: f64,
+) -> MatrixComparison {
+    let beta = beta_matrix(scheme, w1, w2);
+    let g = problem.grad(&beta);
+    // Chain rule on the underlying parameters, then one SGD step.
+    let empirical = match scheme {
+        Scheme::ExpandNet | Scheme::Sesr => {
+            let dw1 = g.scale(w2);
+            let dw2 = g.dot(w1);
+            let w1n = w1.axpy(&dw1, -eta);
+            let w2n = w2 - eta * dw2;
+            beta_matrix(scheme, &w1n, w2n)
+        }
+        Scheme::RepVgg => {
+            // Both the main kernel and the 1x1 branch are full matrices
+            // with gradient ∇β each; the identity is parameter-free.
+            let w1n = w1.axpy(&g, -eta);
+            let w2_mat = Mat::eye(w1.d).scale(w2).axpy(&g, -eta);
+            w1n.axpy(&w2_mat, 1.0).axpy(&Mat::eye(w1.d), 1.0)
+        }
+        Scheme::Vgg => w1.axpy(&g, -eta),
+    };
+
+    let predicted = match scheme {
+        Scheme::ExpandNet => {
+            assert!(w2 != 0.0, "w2 must be non-zero");
+            let gamma = eta * g.dot(w1) / w2;
+            beta.axpy(&g, -eta * w2 * w2).axpy(&beta, -gamma)
+        }
+        Scheme::Sesr => {
+            assert!(w2 != 0.0, "w2 must be non-zero");
+            let gamma = eta * g.dot(w1) / w2;
+            let beta_minus_i = beta.axpy(&Mat::eye(w1.d), -1.0);
+            beta.axpy(&g, -eta * w2 * w2).axpy(&beta_minus_i, -gamma)
+        }
+        Scheme::RepVgg => beta.axpy(&g, -2.0 * eta),
+        Scheme::Vgg => beta.axpy(&g, -eta),
+    };
+    MatrixComparison {
+        error: empirical.dist(&predicted),
+        step_norm: empirical.dist(&beta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(d: usize) -> MatrixRegression {
+        MatrixRegression::random(128, &Mat::random(d, 5), 7)
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = problem(3);
+        let beta = Mat::random(3, 9);
+        let g = p.grad(&beta);
+        let eps = 1e-6;
+        for idx in [0usize, 4, 8] {
+            let mut bp = beta.clone();
+            bp.a[idx] += eps;
+            let mut bm = beta.clone();
+            bm.a[idx] -= eps;
+            let fd = (p.loss(&bp) - p.loss(&bm)) / (2.0 * eps);
+            assert!((fd - g.a[idx]).abs() < 1e-6, "idx {idx}: {fd} vs {}", g.a[idx]);
+        }
+    }
+
+    #[test]
+    fn repvgg_and_vgg_predictions_exact_in_matrix_form() {
+        let p = problem(4);
+        let w1 = Mat::random(4, 11);
+        for scheme in [Scheme::RepVgg, Scheme::Vgg] {
+            let c = compare_update_matrix(&p, scheme, &w1, 0.3, 0.02);
+            assert!(c.error < 1e-12, "{scheme:?}: error {}", c.error);
+        }
+    }
+
+    #[test]
+    fn expandnet_and_sesr_second_order_in_matrix_form() {
+        let p = problem(3);
+        let w1 = Mat::random(3, 13);
+        for scheme in [Scheme::ExpandNet, Scheme::Sesr] {
+            let e1 = compare_update_matrix(&p, scheme, &w1, 0.7, 0.02).error;
+            let e2 = compare_update_matrix(&p, scheme, &w1, 0.7, 0.01).error;
+            assert!(e1 > 0.0, "{scheme:?} error unexpectedly zero");
+            let ratio = e1 / e2;
+            assert!((3.0..5.0).contains(&ratio), "{scheme:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn truncation_error_is_small_relative_to_step() {
+        // O(η²) error must be far smaller than the O(η) step itself.
+        let p = problem(3);
+        let w1 = Mat::random(3, 17);
+        for scheme in [Scheme::ExpandNet, Scheme::Sesr] {
+            let c = compare_update_matrix(&p, scheme, &w1, 0.6, 0.005);
+            assert!(
+                c.error < 0.05 * c.step_norm,
+                "{scheme:?}: error {} vs step {}",
+                c.error,
+                c.step_norm
+            );
+        }
+    }
+
+    #[test]
+    fn sesr_identity_keeps_beta_near_identity_at_small_weights() {
+        // β(SESR) = w1·w2 + I stays near I for small weights — the matrix
+        // analogue of the warm-start property.
+        let w1 = Mat::random(3, 19).scale(0.01);
+        let beta = beta_matrix(Scheme::Sesr, &w1, 0.01);
+        assert!(beta.dist(&Mat::eye(3)) < 1e-3);
+        let beta_e = beta_matrix(Scheme::ExpandNet, &w1, 0.01);
+        assert!(beta_e.dist(&Mat::zeros(3)) < 1e-3);
+    }
+
+    #[test]
+    fn matrix_helpers_behave() {
+        let i = Mat::eye(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(i.matvec(&x), x);
+        assert_eq!(i.dot(&i), 3.0);
+        let z = Mat::zeros(3);
+        assert_eq!(i.dist(&z), 3.0f64.sqrt());
+        assert_eq!(i.axpy(&i, 1.0).a[0], 2.0);
+    }
+}

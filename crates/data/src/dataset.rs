@@ -1,0 +1,537 @@
+//! Dataset containers and patch sampling.
+//!
+//! Mirrors the paper's training protocol (Sec. 5.1): train on random
+//! `64 x 64` HR crops of DIV2K-like images (with matching bicubic LR
+//! crops), evaluate on six benchmark-like sets computing PSNR/SSIM on the Y
+//! channel.
+
+use crate::metrics::{psnr_shaved, ssim};
+use crate::resize::downscale;
+use crate::synth::{generate, Family};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sesr_tensor::Tensor;
+
+/// A high-/low-resolution image pair. Both are `[1, H, W]` luma tensors;
+/// `hr` is exactly `scale` times larger than `lr` along each axis.
+#[derive(Debug, Clone)]
+pub struct SrPair {
+    /// High-resolution ground truth.
+    pub hr: Tensor,
+    /// Bicubically downscaled input.
+    pub lr: Tensor,
+    /// Upscaling factor relating the two.
+    pub scale: usize,
+}
+
+impl SrPair {
+    /// Builds a pair by degrading `hr` with bicubic downscaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hr`'s dimensions are not divisible by `scale`.
+    pub fn from_hr(hr: Tensor, scale: usize) -> Self {
+        let lr = downscale(&hr, scale);
+        Self { hr, lr, scale }
+    }
+}
+
+/// A training set of synthetic HR/LR image pairs.
+#[derive(Debug, Clone)]
+pub struct TrainSet {
+    pairs: Vec<SrPair>,
+    scale: usize,
+}
+
+impl TrainSet {
+    /// Generates a DIV2K-like (Mixed family) training set of `count` images
+    /// of size `size x size`, degraded by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not divisible by `scale` or `count` is zero.
+    pub fn synthetic(count: usize, size: usize, scale: usize, seed: u64) -> Self {
+        assert!(count > 0, "training set must contain at least one image");
+        assert_eq!(size % scale, 0, "image size must be divisible by scale");
+        let pairs = (0..count)
+            .map(|i| SrPair::from_hr(generate(Family::Mixed, size, size, seed + i as u64), scale))
+            .collect();
+        Self { pairs, scale }
+    }
+
+    /// The contained pairs.
+    pub fn pairs(&self) -> &[SrPair] {
+        &self.pairs
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the set holds no images (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The upscaling factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+}
+
+/// One of the eight dihedral (flip/rotate) symmetries of a square patch.
+/// Applying the *same* transform to the LR and HR crops keeps them
+/// aligned, which is why this is the standard SISR augmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dihedral {
+    /// Transpose (reflect across the main diagonal) first.
+    pub transpose: bool,
+    /// Then flip vertically.
+    pub flip_v: bool,
+    /// Then flip horizontally.
+    pub flip_h: bool,
+}
+
+impl Dihedral {
+    /// The identity transform.
+    pub const IDENTITY: Dihedral = Dihedral {
+        transpose: false,
+        flip_v: false,
+        flip_h: false,
+    };
+
+    /// Applies the transform to a square `[1, p, p]` patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch is not square single-channel.
+    pub fn apply(&self, patch: &Tensor) -> Tensor {
+        let dims = patch.shape();
+        assert_eq!(dims.len(), 3, "expected [1, p, p]");
+        assert_eq!(dims[1], dims[2], "dihedral transforms need square patches");
+        let p = dims[1];
+        let mut out = Tensor::zeros(dims);
+        for y in 0..p {
+            for x in 0..p {
+                let (mut sy, mut sx) = if self.transpose { (x, y) } else { (y, x) };
+                if self.flip_v {
+                    sy = p - 1 - sy;
+                }
+                if self.flip_h {
+                    sx = p - 1 - sx;
+                }
+                *out.at_mut(&[0, y, x]) = patch.at(&[0, sy, sx]);
+            }
+        }
+        out
+    }
+}
+
+/// Samples aligned random LR/HR patch batches from a [`TrainSet`],
+/// reproducing the paper's 64x64-crop training pipeline, optionally with
+/// dihedral augmentation.
+#[derive(Debug)]
+pub struct PatchSampler {
+    rng: StdRng,
+    /// LR patch side length; HR patches are `scale` times larger.
+    lr_patch: usize,
+    augment: bool,
+}
+
+impl PatchSampler {
+    /// Creates a sampler producing `hr_patch x hr_patch` HR crops (so LR
+    /// crops are `hr_patch / scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hr_patch` is not divisible by the training scale.
+    pub fn new(hr_patch: usize, scale: usize, seed: u64) -> Self {
+        assert_eq!(hr_patch % scale, 0, "patch size must be divisible by scale");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            lr_patch: hr_patch / scale,
+            augment: false,
+        }
+    }
+
+    /// Like [`PatchSampler::new`] but applies a random dihedral transform
+    /// (identical on the LR/HR pair) to every sampled patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hr_patch` is not divisible by the training scale.
+    pub fn with_augmentation(hr_patch: usize, scale: usize, seed: u64) -> Self {
+        Self {
+            augment: true,
+            ..Self::new(hr_patch, scale, seed)
+        }
+    }
+
+    /// Draws a batch: `(lr_batch [N,1,p,p], hr_batch [N,1,p*s,p*s])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any training image is smaller than the patch size.
+    pub fn sample_batch(&mut self, set: &TrainSet, batch: usize) -> (Tensor, Tensor) {
+        let scale = set.scale();
+        let p = self.lr_patch;
+        let hp = p * scale;
+        let mut lr = Tensor::zeros(&[batch, 1, p, p]);
+        let mut hr = Tensor::zeros(&[batch, 1, hp, hp]);
+        for b in 0..batch {
+            let pair = &set.pairs()[self.rng.gen_range(0..set.len())];
+            let lh = pair.lr.shape()[1];
+            let lw = pair.lr.shape()[2];
+            assert!(lh >= p && lw >= p, "image {lh}x{lw} smaller than patch {p}");
+            let y0 = self.rng.gen_range(0..=lh - p);
+            let x0 = self.rng.gen_range(0..=lw - p);
+            let mut lr_patch = Tensor::zeros(&[1, p, p]);
+            let mut hr_patch = Tensor::zeros(&[1, hp, hp]);
+            for y in 0..p {
+                for x in 0..p {
+                    *lr_patch.at_mut(&[0, y, x]) = pair.lr.at(&[0, y0 + y, x0 + x]);
+                }
+            }
+            for y in 0..hp {
+                for x in 0..hp {
+                    *hr_patch.at_mut(&[0, y, x]) =
+                        pair.hr.at(&[0, y0 * scale + y, x0 * scale + x]);
+                }
+            }
+            if self.augment {
+                let t = Dihedral {
+                    transpose: self.rng.gen(),
+                    flip_v: self.rng.gen(),
+                    flip_h: self.rng.gen(),
+                };
+                lr_patch = t.apply(&lr_patch);
+                hr_patch = t.apply(&hr_patch);
+            }
+            lr.data_mut()[b * p * p..(b + 1) * p * p].copy_from_slice(lr_patch.data());
+            hr.data_mut()[b * hp * hp..(b + 1) * hp * hp].copy_from_slice(hr_patch.data());
+        }
+        (lr, hr)
+    }
+}
+
+/// Aggregate quality over a benchmark: mean PSNR (dB) and mean SSIM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Mean PSNR in dB, border-shaved by the scale factor.
+    pub psnr: f64,
+    /// Mean SSIM.
+    pub ssim: f64,
+}
+
+impl std::fmt::Display for Quality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}/{:.4}", self.psnr, self.ssim)
+    }
+}
+
+/// An evaluation benchmark: a named family of synthetic image pairs.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    family: Family,
+    pairs: Vec<SrPair>,
+    scale: usize,
+}
+
+impl Benchmark {
+    /// Builds a benchmark of `count` images of the given family, sized
+    /// `size x size`, degraded by `scale`. Seeds are offset by a large
+    /// constant so benchmark images never collide with training images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not divisible by `scale`.
+    pub fn new(family: Family, count: usize, size: usize, scale: usize) -> Self {
+        assert_eq!(size % scale, 0, "image size must be divisible by scale");
+        let pairs = (0..count)
+            .map(|i| {
+                SrPair::from_hr(generate(family, size, size, 1_000_000 + i as u64), scale)
+            })
+            .collect();
+        Self {
+            family,
+            pairs,
+            scale,
+        }
+    }
+
+    /// The standard six-benchmark suite of the paper's tables, in table
+    /// order (Set5 … DIV2K stand-ins).
+    pub fn standard_suite(count: usize, size: usize, scale: usize) -> Vec<Benchmark> {
+        Family::ALL
+            .iter()
+            .map(|&f| Benchmark::new(f, count, size, scale))
+            .collect()
+    }
+
+    /// The synthetic family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The benchmark's display name (the paper benchmark it stands in for).
+    pub fn name(&self) -> &'static str {
+        self.family.benchmark_name()
+    }
+
+    /// The contained pairs.
+    pub fn pairs(&self) -> &[SrPair] {
+        &self.pairs
+    }
+
+    /// The upscaling factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Evaluates an upscaling function `f: lr -> sr` (both `[1, H, W]`),
+    /// returning mean PSNR/SSIM against ground truth. PSNR shaves `scale`
+    /// border pixels, the standard SISR convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns an image whose shape differs from the ground
+    /// truth.
+    pub fn evaluate(&self, f: &dyn Fn(&Tensor) -> Tensor) -> Quality {
+        self.evaluate_detailed(f).mean
+    }
+
+    /// Like [`Benchmark::evaluate`] but also returns per-image qualities
+    /// and their standard deviation — the paper notes run std devs of
+    /// ~0.02 dB matter at these model sizes (Sec. 5.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns an image whose shape differs from the ground
+    /// truth.
+    pub fn evaluate_detailed(&self, f: &dyn Fn(&Tensor) -> Tensor) -> QualityStats {
+        let per_image: Vec<Quality> = self
+            .pairs
+            .iter()
+            .map(|pair| {
+                let sr = f(&pair.lr);
+                assert_eq!(
+                    sr.shape(),
+                    pair.hr.shape(),
+                    "model output shape mismatch on {}",
+                    self.name()
+                );
+                Quality {
+                    psnr: psnr_shaved(&sr, &pair.hr, 1.0, self.scale),
+                    ssim: ssim(&sr, &pair.hr, 1.0),
+                }
+            })
+            .collect();
+        QualityStats::from_samples(per_image)
+    }
+}
+
+/// Per-image quality samples with their mean and standard deviation.
+#[derive(Debug, Clone)]
+pub struct QualityStats {
+    /// Quality per image, in benchmark order.
+    pub per_image: Vec<Quality>,
+    /// Mean over images.
+    pub mean: Quality,
+    /// Population standard deviation of the per-image PSNR (dB).
+    pub psnr_std: f64,
+}
+
+impl QualityStats {
+    /// Aggregates per-image samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_image` is empty.
+    pub fn from_samples(per_image: Vec<Quality>) -> Self {
+        assert!(!per_image.is_empty(), "need at least one sample");
+        let n = per_image.len() as f64;
+        let mean = Quality {
+            psnr: per_image.iter().map(|q| q.psnr).sum::<f64>() / n,
+            ssim: per_image.iter().map(|q| q.ssim).sum::<f64>() / n,
+        };
+        let psnr_std = (per_image
+            .iter()
+            .map(|q| (q.psnr - mean.psnr).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        Self {
+            per_image,
+            mean,
+            psnr_std,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resize::upscale;
+
+    #[test]
+    fn trainset_pairs_are_consistent() {
+        let set = TrainSet::synthetic(4, 64, 2, 1);
+        assert_eq!(set.len(), 4);
+        for pair in set.pairs() {
+            assert_eq!(pair.hr.shape(), &[1, 64, 64]);
+            assert_eq!(pair.lr.shape(), &[1, 32, 32]);
+            assert_eq!(pair.scale, 2);
+        }
+    }
+
+    #[test]
+    fn sampler_produces_aligned_patches() {
+        let set = TrainSet::synthetic(2, 64, 2, 2);
+        let mut sampler = PatchSampler::new(32, 2, 3);
+        let (lr, hr) = sampler.sample_batch(&set, 5);
+        assert_eq!(lr.shape(), &[5, 1, 16, 16]);
+        assert_eq!(hr.shape(), &[5, 1, 32, 32]);
+        // Alignment: bicubic upscale of the LR patch should correlate
+        // strongly with the HR patch (same location).
+        for b in 0..5 {
+            let lr_img = Tensor::from_vec(
+                (0..16 * 16).map(|i| lr.data()[b * 256 + i]).collect(),
+                &[1, 16, 16],
+            );
+            let hr_img = Tensor::from_vec(
+                (0..32 * 32).map(|i| hr.data()[b * 1024 + i]).collect(),
+                &[1, 32, 32],
+            );
+            let up = upscale(&lr_img, 2);
+            let db = crate::metrics::psnr(&up, &hr_img, 1.0);
+            assert!(db > 15.0, "patch {b} misaligned: {db} dB");
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let set = TrainSet::synthetic(2, 64, 2, 2);
+        let (lr1, _) = PatchSampler::new(32, 2, 7).sample_batch(&set, 3);
+        let (lr2, _) = PatchSampler::new(32, 2, 7).sample_batch(&set, 3);
+        assert_eq!(lr1, lr2);
+    }
+
+    #[test]
+    fn dihedral_transforms_are_bijective() {
+        let patch = Tensor::rand_uniform(&[1, 6, 6], 0.0, 1.0, 9);
+        let mut seen = Vec::new();
+        for transpose in [false, true] {
+            for flip_v in [false, true] {
+                for flip_h in [false, true] {
+                    let t = Dihedral {
+                        transpose,
+                        flip_v,
+                        flip_h,
+                    };
+                    let out = t.apply(&patch);
+                    // Energy preserved (pure permutation).
+                    let e_in: f64 = patch.data().iter().map(|&v| (v * v) as f64).sum();
+                    let e_out: f64 = out.data().iter().map(|&v| (v * v) as f64).sum();
+                    assert!((e_in - e_out).abs() < 1e-6);
+                    seen.push(out);
+                }
+            }
+        }
+        // All eight transforms of a generic patch are distinct.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert!(
+                    seen[i].max_abs_diff(&seen[j]) > 1e-6,
+                    "transforms {i} and {j} coincide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_dihedral_is_identity() {
+        let patch = Tensor::rand_uniform(&[1, 5, 5], 0.0, 1.0, 10);
+        assert_eq!(Dihedral::IDENTITY.apply(&patch), patch);
+    }
+
+    #[test]
+    fn augmented_patches_stay_aligned() {
+        // Upscaling the augmented LR patch must still correlate with the
+        // augmented HR patch: the transform is applied jointly.
+        let set = TrainSet::synthetic(2, 64, 2, 21);
+        let mut sampler = PatchSampler::with_augmentation(32, 2, 22);
+        let (lr, hr) = sampler.sample_batch(&set, 6);
+        for b in 0..6 {
+            let lr_img = Tensor::from_vec(
+                (0..16 * 16).map(|i| lr.data()[b * 256 + i]).collect(),
+                &[1, 16, 16],
+            );
+            let hr_img = Tensor::from_vec(
+                (0..32 * 32).map(|i| hr.data()[b * 1024 + i]).collect(),
+                &[1, 32, 32],
+            );
+            let up = upscale(&lr_img, 2);
+            let db = crate::metrics::psnr(&up, &hr_img, 1.0);
+            assert!(db > 15.0, "augmented patch {b} misaligned: {db} dB");
+        }
+    }
+
+    #[test]
+    fn standard_suite_has_six_benchmarks() {
+        let suite = Benchmark::standard_suite(1, 32, 2);
+        assert_eq!(suite.len(), 6);
+        let names: Vec<_> = suite.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Set5", "Set14", "BSD100", "Urban100", "Manga109", "DIV2K"]
+        );
+    }
+
+    #[test]
+    fn evaluate_bicubic_baseline_beats_nothing() {
+        let bench = Benchmark::new(Family::Smooth, 2, 48, 2);
+        let bicubic = |lr: &Tensor| upscale(lr, 2);
+        let q = bench.evaluate(&bicubic);
+        assert!(q.psnr > 20.0, "bicubic PSNR {}", q.psnr);
+        assert!(q.ssim > 0.5 && q.ssim <= 1.0);
+        // A constant-gray upscaler must be much worse.
+        let gray = |lr: &Tensor| {
+            Tensor::full(&[1, lr.shape()[1] * 2, lr.shape()[2] * 2], 0.5)
+        };
+        let qg = bench.evaluate(&gray);
+        assert!(q.psnr > qg.psnr, "{} vs {}", q.psnr, qg.psnr);
+    }
+
+    #[test]
+    fn detailed_evaluation_reports_per_image_stats() {
+        let bench = Benchmark::new(Family::Natural, 3, 48, 2);
+        let stats = bench.evaluate_detailed(&|lr| upscale(lr, 2));
+        assert_eq!(stats.per_image.len(), 3);
+        assert!(stats.psnr_std >= 0.0);
+        // Mean consistency with the plain evaluate().
+        let q = bench.evaluate(&|lr| upscale(lr, 2));
+        assert!((q.psnr - stats.mean.psnr).abs() < 1e-12);
+        // Identical per-image samples -> zero std.
+        let same = QualityStats::from_samples(vec![
+            Quality { psnr: 30.0, ssim: 0.9 };
+            4
+        ]);
+        assert_eq!(same.psnr_std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_stats_rejected() {
+        QualityStats::from_samples(Vec::new());
+    }
+
+    #[test]
+    fn quality_display_matches_table_format() {
+        let q = Quality {
+            psnr: 37.39,
+            ssim: 0.9585,
+        };
+        assert_eq!(q.to_string(), "37.39/0.9585");
+    }
+}

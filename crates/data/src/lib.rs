@@ -1,0 +1,43 @@
+//! # sesr-data
+//!
+//! Data substrate for the SESR (MLSys 2022) reproduction: synthetic SISR
+//! datasets, the bicubic degradation model, Y-channel color handling, patch
+//! sampling, and image-quality metrics (PSNR/SSIM).
+//!
+//! ## Substitution note
+//!
+//! The paper trains on DIV2K and evaluates on Set5, Set14, BSD100,
+//! Urban100, Manga109 and the DIV2K validation split. Those datasets are
+//! not redistributable here, so this crate provides a **procedural image
+//! generator** ([`synth`]) with six families whose statistics echo the
+//! benchmarks' character (smooth structures, rectilinear "urban" geometry,
+//! line-art "manga", mixed natural-like content, …). Low-resolution inputs
+//! come from the same degradation the paper uses: bicubic downscaling with
+//! antialiasing ([`resize`]). Absolute PSNR values therefore differ from
+//! the paper, but every code path — degradation, Y-channel training,
+//! per-dataset evaluation — is exercised identically, and model *orderings*
+//! are preserved.
+//!
+//! ## Example
+//!
+//! ```
+//! use sesr_data::synth::{generate, Family};
+//! use sesr_data::resize::bicubic_resize;
+//! use sesr_data::metrics::psnr;
+//!
+//! let hr = generate(Family::Mixed, 64, 64, 7);
+//! let lr = bicubic_resize(&hr, 32, 32);
+//! let up = bicubic_resize(&lr, 64, 64);
+//! let db = psnr(&up, &hr, 1.0);
+//! assert!(db > 20.0);
+//! ```
+
+pub mod dataset;
+pub mod metrics;
+pub mod resize;
+pub mod synth;
+pub mod ycbcr;
+
+pub use dataset::{Benchmark, PatchSampler, SrPair, TrainSet};
+pub use metrics::{psnr, ssim};
+pub use synth::Family;

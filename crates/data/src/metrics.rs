@@ -1,0 +1,259 @@
+//! Image-quality metrics: PSNR and SSIM, computed on the Y channel exactly
+//! as the paper reports them (Sec. 5.1).
+
+use sesr_tensor::Tensor;
+
+/// Peak signal-to-noise ratio in decibels.
+///
+/// `peak` is the dynamic range of the data (1.0 for `[0, 1]` images, 255.0
+/// for 8-bit). Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// # Example
+///
+/// ```
+/// use sesr_data::metrics::psnr;
+/// use sesr_tensor::Tensor;
+/// let a = Tensor::full(&[1, 4, 4], 0.5);
+/// let b = Tensor::full(&[1, 4, 4], 0.6);
+/// let db = psnr(&a, &b, 1.0);
+/// assert!((db - 20.0).abs() < 1e-4); // mse = 0.01 -> 20 dB
+/// ```
+pub fn psnr(a: &Tensor, b: &Tensor, peak: f64) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "psnr shape mismatch");
+    let mse: f64 = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// PSNR restricted to a centered crop that shaves `border` pixels from each
+/// spatial edge — standard SISR practice is to ignore `scale` border pixels
+/// that the degradation model cannot constrain.
+///
+/// # Panics
+///
+/// Panics if the images are not `[C, H, W]`, shapes mismatch, or the border
+/// consumes the whole image.
+pub fn psnr_shaved(a: &Tensor, b: &Tensor, peak: f64, border: usize) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "psnr shape mismatch");
+    let dims = a.shape();
+    assert_eq!(dims.len(), 3, "expected [C, H, W]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    assert!(
+        h > 2 * border && w > 2 * border,
+        "border {border} too large for {h}x{w}"
+    );
+    let mut se = 0.0f64;
+    let mut n = 0usize;
+    for ci in 0..c {
+        for y in border..h - border {
+            for x in border..w - border {
+                let d = (a.at(&[ci, y, x]) - b.at(&[ci, y, x])) as f64;
+                se += d * d;
+                n += 1;
+            }
+        }
+    }
+    let mse = se / n as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+fn gaussian_window(size: usize, sigma: f64) -> Vec<f64> {
+    let half = (size - 1) as f64 / 2.0;
+    let mut w: Vec<f64> = (0..size)
+        .map(|i| {
+            let d = i as f64 - half;
+            (-d * d / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let sum: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// Structural similarity index (Wang et al., 2004) with the standard
+/// 11x11 Gaussian window (sigma 1.5) and `K1 = 0.01`, `K2 = 0.03`.
+///
+/// Computes mean SSIM over all valid (fully-covered) window positions for a
+/// `[C, H, W]` image pair; channels are averaged.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or if the image is smaller than the window.
+pub fn ssim(a: &Tensor, b: &Tensor, peak: f64) -> f64 {
+    const WIN: usize = 11;
+    const SIGMA: f64 = 1.5;
+    assert_eq!(a.shape(), b.shape(), "ssim shape mismatch");
+    let dims = a.shape();
+    assert_eq!(dims.len(), 3, "expected [C, H, W]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    assert!(h >= WIN && w >= WIN, "image {h}x{w} smaller than SSIM window");
+    let window = gaussian_window(WIN, SIGMA);
+    let c1 = (0.01 * peak) * (0.01 * peak);
+    let c2 = (0.03 * peak) * (0.03 * peak);
+
+    // Separable weighted means via two passes.
+    let blur = |src: &[f32]| -> Vec<f64> {
+        // Horizontal pass.
+        let mut tmp = vec![0.0f64; h * (w - WIN + 1)];
+        for y in 0..h {
+            for x in 0..w - WIN + 1 {
+                let mut acc = 0.0;
+                for (k, &wk) in window.iter().enumerate() {
+                    acc += wk * src[y * w + x + k] as f64;
+                }
+                tmp[y * (w - WIN + 1) + x] = acc;
+            }
+        }
+        // Vertical pass.
+        let ow = w - WIN + 1;
+        let oh = h - WIN + 1;
+        let mut out = vec![0.0f64; oh * ow];
+        for y in 0..oh {
+            for x in 0..ow {
+                let mut acc = 0.0;
+                for (k, &wk) in window.iter().enumerate() {
+                    acc += wk * tmp[(y + k) * ow + x];
+                }
+                out[y * ow + x] = acc;
+            }
+        }
+        out
+    };
+
+    let mut total = 0.0f64;
+    for ci in 0..c {
+        let pa = &a.data()[ci * h * w..(ci + 1) * h * w];
+        let pb = &b.data()[ci * h * w..(ci + 1) * h * w];
+        let pa2: Vec<f32> = pa.iter().map(|&v| v * v).collect();
+        let pb2: Vec<f32> = pb.iter().map(|&v| v * v).collect();
+        let pab: Vec<f32> = pa.iter().zip(pb.iter()).map(|(&x, &y)| x * y).collect();
+        let mu_a = blur(pa);
+        let mu_b = blur(pb);
+        let s_a2 = blur(&pa2);
+        let s_b2 = blur(&pb2);
+        let s_ab = blur(&pab);
+        let mut acc = 0.0f64;
+        for i in 0..mu_a.len() {
+            let (ma, mb) = (mu_a[i], mu_b[i]);
+            let va = s_a2[i] - ma * ma;
+            let vb = s_b2[i] - mb * mb;
+            let cov = s_ab[i] - ma * mb;
+            let num = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+            let den = (ma * ma + mb * mb + c1) * (va + vb + c2);
+            acc += num / den;
+        }
+        total += acc / mu_a.len() as f64;
+    }
+    total / c as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let a = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 1);
+        assert!(psnr(&a, &a, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Uniform error of 0.1 -> MSE 0.01 -> 20 dB at peak 1.0.
+        let a = Tensor::zeros(&[1, 4, 4]);
+        let b = Tensor::full(&[1, 4, 4], 0.1);
+        assert!((psnr(&a, &b, 1.0) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_scales_with_peak() {
+        let a = Tensor::zeros(&[1, 4, 4]);
+        let b = Tensor::full(&[1, 4, 4], 25.5);
+        // Same relative error as 0.1 at peak 1.
+        assert!((psnr(&a, &b, 255.0) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_shaved_ignores_border_errors() {
+        let a = Tensor::full(&[1, 10, 10], 0.5);
+        let mut b = a.clone();
+        // Corrupt only the outer ring.
+        for i in 0..10 {
+            *b.at_mut(&[0, 0, i]) = 1.0;
+            *b.at_mut(&[0, 9, i]) = 1.0;
+            *b.at_mut(&[0, i, 0]) = 1.0;
+            *b.at_mut(&[0, i, 9]) = 1.0;
+        }
+        assert!(psnr(&a, &b, 1.0) < 20.0);
+        assert!(psnr_shaved(&a, &b, 1.0, 1).is_infinite());
+    }
+
+    #[test]
+    fn ssim_is_one_for_identical_images() {
+        let a = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 2);
+        let s = ssim(&a, &a, 1.0);
+        assert!((s - 1.0).abs() < 1e-9, "ssim={s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let a = crate::synth::generate(crate::Family::Mixed, 32, 32, 3);
+        let noise = Tensor::randn(&[1, 32, 32], 0.0, 0.05, 4);
+        let small = a.add(&noise.scale(0.5)).map(|v| v.clamp(0.0, 1.0));
+        let big = a.add(&noise.scale(3.0)).map(|v| v.clamp(0.0, 1.0));
+        let s_small = ssim(&a, &small, 1.0);
+        let s_big = ssim(&a, &big, 1.0);
+        assert!(s_small > s_big, "{s_small} vs {s_big}");
+        assert!(s_small > 0.8 && s_small < 1.0);
+    }
+
+    #[test]
+    fn ssim_bounded() {
+        let a = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 5);
+        let b = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 6);
+        let s = ssim(&a, &b, 1.0);
+        assert!((-1.0..=1.0).contains(&s), "ssim={s}");
+    }
+
+    #[test]
+    fn ssim_penalizes_constant_shift_less_than_psnr() {
+        // SSIM is mostly structure; a uniform brightness shift should keep
+        // SSIM high even though PSNR drops.
+        let a = crate::synth::generate(crate::Family::Natural, 32, 32, 7);
+        let shifted = a.map(|v| (v + 0.05).clamp(0.0, 1.0));
+        assert!(ssim(&a, &shifted, 1.0) > 0.9);
+        assert!(psnr(&a, &shifted, 1.0) < 30.0);
+    }
+
+    #[test]
+    fn gaussian_window_normalized() {
+        let w = gaussian_window(11, 1.5);
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Symmetric and peaked at the center.
+        assert!((w[0] - w[10]).abs() < 1e-15);
+        assert!(w[5] > w[4] && w[4] > w[3]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Bicubic resampling — the paper's degradation model.
+//!
+//! Standard SISR practice (followed by SESR, FSRCNN, and every baseline in
+//! the paper's tables) generates low-resolution inputs by bicubic
+//! downscaling of the high-resolution ground truth. This module implements
+//! separable bicubic interpolation with the Catmull-Rom kernel (`a = -0.5`,
+//! the same kernel family MATLAB's `imresize` uses) including the
+//! antialiasing kernel-widening that `imresize` applies when downscaling.
+//!
+//! Images are `[C, H, W]` tensors; each channel is resampled
+//! independently. Borders use edge replication.
+
+use sesr_tensor::Tensor;
+
+/// The cubic convolution kernel with `a = -0.5` (Catmull-Rom / Keys).
+fn cubic(x: f64) -> f64 {
+    let a = -0.5;
+    let x = x.abs();
+    if x <= 1.0 {
+        (a + 2.0) * x * x * x - (a + 3.0) * x * x + 1.0
+    } else if x < 2.0 {
+        a * x * x * x - 5.0 * a * x * x + 8.0 * a * x - 4.0 * a
+    } else {
+        0.0
+    }
+}
+
+/// Precomputed contribution of input samples to one output coordinate.
+struct Contrib {
+    start: isize,
+    weights: Vec<f64>,
+}
+
+/// Builds the resampling weights for one axis (`in_len` → `out_len`).
+///
+/// When downscaling, the kernel support is widened by `1/scale` so the
+/// filter acts as an antialiasing low-pass (MATLAB `imresize` behavior).
+fn build_contribs(in_len: usize, out_len: usize) -> Vec<Contrib> {
+    let scale = out_len as f64 / in_len as f64;
+    // Kernel width multiplier for antialiasing on downscale.
+    let (kscale, support) = if scale < 1.0 {
+        (scale, 2.0 / scale)
+    } else {
+        (1.0, 2.0)
+    };
+    (0..out_len)
+        .map(|o| {
+            // Map output pixel center into input coordinates.
+            let center = (o as f64 + 0.5) / scale - 0.5;
+            let start = (center - support).ceil() as isize;
+            let end = (center + support).floor() as isize;
+            let mut weights: Vec<f64> = (start..=end)
+                .map(|i| cubic((center - i as f64) * kscale) * kscale)
+                .collect();
+            let sum: f64 = weights.iter().sum();
+            if sum != 0.0 {
+                for w in &mut weights {
+                    *w /= sum;
+                }
+            }
+            Contrib { start, weights }
+        })
+        .collect()
+}
+
+/// Resamples one axis of a row-major `rows x cols` plane along `cols`.
+fn resample_cols(plane: &[f32], rows: usize, cols: usize, contribs: &[Contrib]) -> Vec<f32> {
+    let out_cols = contribs.len();
+    let mut out = vec![0.0f32; rows * out_cols];
+    for r in 0..rows {
+        let src = &plane[r * cols..(r + 1) * cols];
+        for (o, c) in contribs.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for (j, &w) in c.weights.iter().enumerate() {
+                let idx = (c.start + j as isize).clamp(0, cols as isize - 1) as usize;
+                acc += w * src[idx] as f64;
+            }
+            out[r * out_cols + o] = acc as f32;
+        }
+    }
+    out
+}
+
+fn transpose(plane: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; plane.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = plane[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Bicubic-resamples a `[C, H, W]` image to `[C, out_h, out_w]`.
+///
+/// Downscaling applies antialiasing; upscaling is plain Catmull-Rom. This
+/// single function serves both as the paper's degradation model (HR → LR)
+/// and as the "Bicubic" baseline row of Tables 1–2 (LR → HR).
+///
+/// # Panics
+///
+/// Panics if the input is not rank 3 or a target dimension is zero.
+pub fn bicubic_resize(image: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    let dims = image.shape();
+    assert_eq!(dims.len(), 3, "image must be [C, H, W], got {dims:?}");
+    assert!(out_h > 0 && out_w > 0, "target size must be positive");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let col_contribs = build_contribs(w, out_w);
+    let row_contribs = build_contribs(h, out_h);
+    let mut out = Tensor::zeros(&[c, out_h, out_w]);
+    for ci in 0..c {
+        let plane = &image.data()[ci * h * w..(ci + 1) * h * w];
+        // Resample width, then height (via transpose).
+        let horiz = resample_cols(plane, h, w, &col_contribs);
+        let horiz_t = transpose(&horiz, h, out_w);
+        let both_t = resample_cols(&horiz_t, out_w, h, &row_contribs);
+        let both = transpose(&both_t, out_w, out_h);
+        out.data_mut()[ci * out_h * out_w..(ci + 1) * out_h * out_w].copy_from_slice(&both);
+    }
+    out
+}
+
+/// Downscales by an integer factor (the paper's ×2 / ×4 degradations).
+///
+/// # Panics
+///
+/// Panics if the dimensions are not divisible by `factor`.
+pub fn downscale(image: &Tensor, factor: usize) -> Tensor {
+    let dims = image.shape();
+    assert_eq!(dims.len(), 3, "image must be [C, H, W]");
+    assert!(
+        dims[1].is_multiple_of(factor) && dims[2].is_multiple_of(factor),
+        "dimensions {}x{} not divisible by {factor}",
+        dims[1],
+        dims[2]
+    );
+    bicubic_resize(image, dims[1] / factor, dims[2] / factor)
+}
+
+/// Upscales by an integer factor — the "Bicubic" baseline.
+pub fn upscale(image: &Tensor, factor: usize) -> Tensor {
+    let dims = image.shape();
+    assert_eq!(dims.len(), 3, "image must be [C, H, W]");
+    bicubic_resize(image, dims[1] * factor, dims[2] * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_properties() {
+        assert!((cubic(0.0) - 1.0).abs() < 1e-12);
+        assert!(cubic(1.0).abs() < 1e-12);
+        assert!(cubic(2.0).abs() < 1e-12);
+        assert!(cubic(2.5).abs() < 1e-12);
+        // Partition of unity at integer offsets: sum of kernel at x-1, x, x+1, x+2.
+        for frac in [0.1, 0.25, 0.5, 0.9] {
+            let s: f64 = (-1..=2).map(|i| cubic(frac - i as f64)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "frac={frac} sum={s}");
+        }
+    }
+
+    #[test]
+    fn identity_resize_preserves_image() {
+        let img = Tensor::randn(&[1, 8, 8], 0.5, 0.1, 1);
+        let same = bicubic_resize(&img, 8, 8);
+        assert!(same.approx_eq(&img, 1e-5));
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let img = Tensor::full(&[2, 10, 12], 0.7);
+        for (h, w) in [(5, 6), (20, 24), (7, 9)] {
+            let r = bicubic_resize(&img, h, w);
+            assert_eq!(r.shape(), &[2, h, w]);
+            for &v in r.data() {
+                assert!((v - 0.7).abs() < 1e-5, "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_ramp_is_reproduced_exactly_by_upscale() {
+        // Cubic interpolation reproduces degree-1 polynomials exactly
+        // (away from clamped borders).
+        let w = 16;
+        let data: Vec<f32> = (0..w).map(|x| x as f32).collect();
+        let img = Tensor::from_vec(data, &[1, 1, w]);
+        let up = bicubic_resize(&img, 1, 2 * w);
+        for x in 4..2 * w - 4 {
+            let expected = (x as f32 + 0.5) / 2.0 - 0.5;
+            assert!(
+                (up.at(&[0, 0, x]) - expected).abs() < 1e-4,
+                "x={x}: {} vs {expected}",
+                up.at(&[0, 0, x])
+            );
+        }
+    }
+
+    #[test]
+    fn downscale_antialiasing_averages_high_frequency() {
+        // A (+1, -1) checker column pattern should downscale to ~0, not ±1.
+        let w = 32;
+        let data: Vec<f32> = (0..w * w)
+            .map(|i| if (i % w) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let img = Tensor::from_vec(data, &[1, w, w]);
+        let down = downscale(&img, 2);
+        let mean_abs: f32 =
+            down.data().iter().map(|v| v.abs()).sum::<f32>() / down.len() as f32;
+        assert!(mean_abs < 0.25, "antialiasing too weak: {mean_abs}");
+    }
+
+    #[test]
+    fn down_then_up_recovers_smooth_images() {
+        // A smooth low-frequency image survives a x2 round trip well.
+        let n = 32;
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| {
+                let (y, x) = (i / n, i % n);
+                (0.3 * (x as f32 / n as f32) + 0.5 * (y as f32 / n as f32)).sin() * 0.5 + 0.5
+            })
+            .collect();
+        let img = Tensor::from_vec(data, &[1, n, n]);
+        let rt = upscale(&downscale(&img, 2), 2);
+        let err = rt.max_abs_diff(&img);
+        assert!(err < 0.05, "round-trip error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn downscale_rejects_indivisible() {
+        downscale(&Tensor::ones(&[1, 9, 9]), 2);
+    }
+
+    #[test]
+    fn multi_channel_resize_is_per_channel() {
+        let a = Tensor::randn(&[1, 8, 8], 0.0, 1.0, 2);
+        let b = Tensor::randn(&[1, 8, 8], 0.0, 1.0, 3);
+        let mut stacked = Tensor::zeros(&[2, 8, 8]);
+        stacked.data_mut()[..64].copy_from_slice(a.data());
+        stacked.data_mut()[64..].copy_from_slice(b.data());
+        let rs = bicubic_resize(&stacked, 4, 4);
+        let ra = bicubic_resize(&a, 4, 4);
+        let rb = bicubic_resize(&b, 4, 4);
+        assert!(Tensor::from_vec(rs.data()[..16].to_vec(), &[1, 4, 4]).approx_eq(&ra, 1e-6));
+        assert!(Tensor::from_vec(rs.data()[16..].to_vec(), &[1, 4, 4]).approx_eq(&rb, 1e-6));
+    }
+}

@@ -1,0 +1,373 @@
+//! Procedural image synthesis — the offline stand-in for DIV2K/Set5/Set14/
+//! BSD100/Urban100/Manga109.
+//!
+//! Each [`Family`] mimics the dominant statistics of one benchmark:
+//! Urban100's rectilinear self-similar facades, Manga109's hard-edged line
+//! art, BSD100's natural multi-scale textures, and so on. Images are
+//! single-channel (luma) `[1, H, W]` tensors with values in `[0, 1]`,
+//! deterministic in the seed.
+//!
+//! Smooth structures are produced by bicubically upsampling coarse random
+//! grids (value noise), so the generator depends only on
+//! [`crate::resize`] — no extra noise-library dependency.
+
+use crate::resize::bicubic_resize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sesr_tensor::Tensor;
+
+/// A synthetic dataset family, one per benchmark in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Smooth large structures — stands in for **Set5**.
+    Smooth,
+    /// Smooth structures plus moderate texture — stands in for **Set14**.
+    Detail,
+    /// Natural multi-scale texture — stands in for **BSD100**.
+    Natural,
+    /// Rectilinear, self-similar geometry — stands in for **Urban100**.
+    Urban,
+    /// Hard-edged line art and screentone — stands in for **Manga109**.
+    LineArt,
+    /// A mixture of everything — stands in for **DIV2K**.
+    Mixed,
+}
+
+impl Family {
+    /// All six families, in the order the paper's tables list their
+    /// benchmark counterparts.
+    pub const ALL: [Family; 6] = [
+        Family::Smooth,
+        Family::Detail,
+        Family::Natural,
+        Family::Urban,
+        Family::LineArt,
+        Family::Mixed,
+    ];
+
+    /// The benchmark this family stands in for.
+    pub fn benchmark_name(self) -> &'static str {
+        match self {
+            Family::Smooth => "Set5",
+            Family::Detail => "Set14",
+            Family::Natural => "BSD100",
+            Family::Urban => "Urban100",
+            Family::LineArt => "Manga109",
+            Family::Mixed => "DIV2K",
+        }
+    }
+}
+
+/// Smooth value noise: a coarse random grid bicubically upsampled to the
+/// target size. `cell` controls feature size (larger = smoother).
+fn value_noise(h: usize, w: usize, cell: usize, rng: &mut StdRng) -> Tensor {
+    let gh = (h / cell).max(2);
+    let gw = (w / cell).max(2);
+    let grid = Tensor::from_vec(
+        (0..gh * gw).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        &[1, gh, gw],
+    );
+    bicubic_resize(&grid, h, w)
+}
+
+/// Multi-octave fractal noise in `[0, 1]`.
+fn fractal_noise(h: usize, w: usize, octaves: usize, rng: &mut StdRng) -> Tensor {
+    let mut acc = Tensor::zeros(&[1, h, w]);
+    let mut amp = 1.0f32;
+    let mut total = 0.0f32;
+    for o in 0..octaves {
+        let cell = (h.max(w) >> (o + 1)).max(2);
+        let layer = value_noise(h, w, cell, rng);
+        acc = acc.add(&layer.scale(amp));
+        total += amp;
+        amp *= 0.5;
+    }
+    acc.scale(1.0 / total)
+}
+
+fn clamp01(t: Tensor) -> Tensor {
+    t.map(|x| x.clamp(0.0, 1.0))
+}
+
+fn fill_rect(img: &mut Tensor, y0: usize, x0: usize, y1: usize, x1: usize, v: f32) {
+    let dims = img.shape().to_vec();
+    let (h, w) = (dims[1], dims[2]);
+    for y in y0..y1.min(h) {
+        for x in x0..x1.min(w) {
+            *img.at_mut(&[0, y, x]) = v;
+        }
+    }
+}
+
+fn draw_disc(img: &mut Tensor, cy: f32, cx: f32, r: f32, v: f32, soft: f32) {
+    let dims = img.shape().to_vec();
+    let (h, w) = (dims[1], dims[2]);
+    let y0 = ((cy - r - soft).floor().max(0.0)) as usize;
+    let y1 = ((cy + r + soft).ceil().min(h as f32)) as usize;
+    let x0 = ((cx - r - soft).floor().max(0.0)) as usize;
+    let x1 = ((cx + r + soft).ceil().min(w as f32)) as usize;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let d = ((y as f32 - cy).powi(2) + (x as f32 - cx).powi(2)).sqrt();
+            if d < r {
+                *img.at_mut(&[0, y, x]) = v;
+            } else if d < r + soft {
+                let t = (d - r) / soft;
+                let cur = img.at(&[0, y, x]);
+                *img.at_mut(&[0, y, x]) = v * (1.0 - t) + cur * t;
+            }
+        }
+    }
+}
+
+fn draw_line(img: &mut Tensor, y0: f32, x0: f32, y1: f32, x1: f32, thickness: f32, v: f32) {
+    let steps = ((y1 - y0).abs().max((x1 - x0).abs()) * 2.0).ceil() as usize + 1;
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        let cy = y0 + (y1 - y0) * t;
+        let cx = x0 + (x1 - x0) * t;
+        draw_disc(img, cy, cx, thickness / 2.0, v, 0.5);
+    }
+}
+
+fn smooth_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let mut img = value_noise(h, w, h.max(w) / 2, rng);
+    let blobs = rng.gen_range(3..7);
+    for _ in 0..blobs {
+        let cy = rng.gen_range(0.0..h as f32);
+        let cx = rng.gen_range(0.0..w as f32);
+        let r = rng.gen_range(h as f32 / 10.0..h as f32 / 3.0);
+        let v = rng.gen_range(0.1..0.9);
+        draw_disc(&mut img, cy, cx, r, v, r * 0.4);
+    }
+    img
+}
+
+fn detail_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let base = smooth_scene(h, w, rng);
+    let texture = fractal_noise(h, w, 3, rng);
+    clamp01(base.scale(0.7).add(&texture.scale(0.3)))
+}
+
+fn natural_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let noise = fractal_noise(h, w, 5, rng);
+    // Soft horizon gradient, like landscape photographs.
+    let mut img = noise;
+    let horizon = rng.gen_range(0.3..0.7) * h as f32;
+    for y in 0..h {
+        let shade = if (y as f32) < horizon { 0.15 } else { -0.1 };
+        for x in 0..w {
+            let v = img.at(&[0, y, x]) + shade;
+            *img.at_mut(&[0, y, x]) = v;
+        }
+    }
+    clamp01(img)
+}
+
+fn urban_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let mut img = value_noise(h, w, h.max(w), rng).scale(0.5);
+    // Buildings: rectangles with periodic window grids (self-similar
+    // repeating structure is what makes Urban100 hard).
+    let buildings = rng.gen_range(2..5);
+    for _ in 0..buildings {
+        let bw = rng.gen_range(w / 5..w / 2 + 1);
+        let bh = rng.gen_range(h / 3..h - 1);
+        let x0 = rng.gen_range(0..w.saturating_sub(bw).max(1));
+        let y0 = h - bh;
+        let shade = rng.gen_range(0.2..0.8);
+        fill_rect(&mut img, y0, x0, h, x0 + bw, shade);
+        // Window grid.
+        let pitch_y = rng.gen_range(4..9);
+        let pitch_x = rng.gen_range(4..9);
+        let win = rng.gen_range(0.0..0.3);
+        let mut y = y0 + 2;
+        while y + 2 < h {
+            let mut x = x0 + 2;
+            while x + 2 < x0 + bw {
+                fill_rect(&mut img, y, x, y + pitch_y / 2, x + pitch_x / 2, win);
+                x += pitch_x;
+            }
+            y += pitch_y;
+        }
+    }
+    // A few diagonal structural lines.
+    for _ in 0..rng.gen_range(1..4) {
+        let v = rng.gen_range(0.6..1.0);
+        draw_line(
+            &mut img,
+            rng.gen_range(0.0..h as f32),
+            0.0,
+            rng.gen_range(0.0..h as f32),
+            w as f32,
+            rng.gen_range(1.0..2.5),
+            v,
+        );
+    }
+    clamp01(img)
+}
+
+fn lineart_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let mut img = Tensor::full(&[1, h, w], 0.95);
+    // Screentone region (halftone dots).
+    if rng.gen_bool(0.7) {
+        let y0 = rng.gen_range(0..h / 2);
+        let x0 = rng.gen_range(0..w / 2);
+        let y1 = rng.gen_range(y0 + h / 4..h);
+        let x1 = rng.gen_range(x0 + w / 4..w);
+        let pitch = rng.gen_range(3..6);
+        let mut y = y0;
+        while y < y1 {
+            let mut x = x0;
+            while x < x1 {
+                draw_disc(&mut img, y as f32, x as f32, 0.8, 0.3, 0.4);
+                x += pitch;
+            }
+            y += pitch;
+        }
+    }
+    // Bold strokes.
+    for _ in 0..rng.gen_range(5..12) {
+        let (y0, x0) = (rng.gen_range(0.0..h as f32), rng.gen_range(0.0..w as f32));
+        let (y1, x1) = (rng.gen_range(0.0..h as f32), rng.gen_range(0.0..w as f32));
+        draw_line(&mut img, y0, x0, y1, x1, rng.gen_range(1.0..3.0), 0.05);
+    }
+    // Filled shapes (speech-bubble-like discs).
+    for _ in 0..rng.gen_range(1..4) {
+        let cy = rng.gen_range(0.0..h as f32);
+        let cx = rng.gen_range(0.0..w as f32);
+        let r = rng.gen_range(h as f32 / 12.0..h as f32 / 5.0);
+        draw_disc(&mut img, cy, cx, r, if rng.gen_bool(0.5) { 0.1 } else { 0.9 }, 1.0);
+    }
+    img
+}
+
+fn mixed_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    match rng.gen_range(0..5) {
+        0 => smooth_scene(h, w, rng),
+        1 => detail_scene(h, w, rng),
+        2 => natural_scene(h, w, rng),
+        3 => urban_scene(h, w, rng),
+        _ => {
+            // Blend of texture and geometry, unique to the Mixed family.
+            let a = natural_scene(h, w, rng);
+            let b = urban_scene(h, w, rng);
+            clamp01(a.scale(0.5).add(&b.scale(0.5)))
+        }
+    }
+}
+
+/// Generates one `[1, H, W]` luma image of the given family,
+/// deterministically from the seed.
+///
+/// # Panics
+///
+/// Panics if `h` or `w` is smaller than 16 (the generators assume room for
+/// structure).
+///
+/// # Example
+///
+/// ```
+/// use sesr_data::synth::{generate, Family};
+/// let img = generate(Family::Urban, 64, 64, 1);
+/// assert_eq!(img.shape(), &[1, 64, 64]);
+/// assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+/// ```
+pub fn generate(family: Family, h: usize, w: usize, seed: u64) -> Tensor {
+    assert!(h >= 16 && w >= 16, "synthetic images must be at least 16x16");
+    // Mix the family into the seed so different families with the same seed
+    // do not share structure.
+    let tag = match family {
+        Family::Smooth => 1u64,
+        Family::Detail => 2,
+        Family::Natural => 3,
+        Family::Urban => 4,
+        Family::LineArt => 5,
+        Family::Mixed => 6,
+    };
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag);
+    let img = match family {
+        Family::Smooth => smooth_scene(h, w, &mut rng),
+        Family::Detail => detail_scene(h, w, &mut rng),
+        Family::Natural => natural_scene(h, w, &mut rng),
+        Family::Urban => urban_scene(h, w, &mut rng),
+        Family::LineArt => lineart_scene(h, w, &mut rng),
+        Family::Mixed => mixed_scene(h, w, &mut rng),
+    };
+    clamp01(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_generate_in_range() {
+        for family in Family::ALL {
+            let img = generate(family, 48, 64, 3);
+            assert_eq!(img.shape(), &[1, 48, 64]);
+            assert!(
+                img.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{family:?} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Family::Urban, 32, 32, 42);
+        let b = generate(Family::Urban, 32, 32, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_content() {
+        let a = generate(Family::Mixed, 32, 32, 1);
+        let b = generate(Family::Mixed, 32, 32, 2);
+        assert!(a.max_abs_diff(&b) > 0.05);
+    }
+
+    #[test]
+    fn families_differ_for_same_seed() {
+        let a = generate(Family::Smooth, 32, 32, 5);
+        let b = generate(Family::LineArt, 32, 32, 5);
+        assert!(a.max_abs_diff(&b) > 0.05);
+    }
+
+    #[test]
+    fn images_are_not_constant() {
+        for family in Family::ALL {
+            let img = generate(family, 64, 64, 11);
+            let mean = img.mean();
+            let var: f64 = img
+                .data()
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / img.len() as f64;
+            assert!(var > 1e-4, "{family:?} variance {var} too small");
+        }
+    }
+
+    #[test]
+    fn lineart_has_high_contrast() {
+        let img = generate(Family::LineArt, 64, 64, 1);
+        let min = img.data().iter().cloned().fold(f32::MAX, f32::min);
+        let max = img.data().iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max - min > 0.6, "contrast {}", max - min);
+    }
+
+    #[test]
+    fn benchmark_names_are_the_papers() {
+        let names: Vec<_> = Family::ALL.iter().map(|f| f.benchmark_name()).collect();
+        assert_eq!(
+            names,
+            vec!["Set5", "Set14", "BSD100", "Urban100", "Manga109", "DIV2K"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16x16")]
+    fn tiny_images_rejected() {
+        generate(Family::Smooth, 8, 8, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! RGB ↔ YCbCr conversion (ITU-R BT.601, the SISR-standard variant).
+//!
+//! Following standard practice (paper footnote 1 and Sec. 5.1), super
+//! resolution operates on the luma (Y) channel only, and PSNR/SSIM are
+//! computed on Y. These conversions use the BT.601 full-range matrix on
+//! `[0, 1]`-valued images.
+
+use sesr_tensor::Tensor;
+
+/// Converts an RGB `[3, H, W]` image in `[0, 1]` to YCbCr (Y in `[0, 1]`,
+/// Cb/Cr centered at 0.5).
+///
+/// # Panics
+///
+/// Panics if the image does not have exactly three channels.
+pub fn rgb_to_ycbcr(rgb: &Tensor) -> Tensor {
+    let dims = rgb.shape();
+    assert_eq!(dims.len(), 3, "image must be [3, H, W]");
+    assert_eq!(dims[0], 3, "rgb image must have 3 channels");
+    let plane = dims[1] * dims[2];
+    let mut out = Tensor::zeros(dims);
+    for i in 0..plane {
+        let r = rgb.data()[i];
+        let g = rgb.data()[plane + i];
+        let b = rgb.data()[2 * plane + i];
+        out.data_mut()[i] = 0.299 * r + 0.587 * g + 0.114 * b;
+        out.data_mut()[plane + i] = 0.5 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+        out.data_mut()[2 * plane + i] = 0.5 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    }
+    out
+}
+
+/// Inverse of [`rgb_to_ycbcr`].
+///
+/// # Panics
+///
+/// Panics if the image does not have exactly three channels.
+pub fn ycbcr_to_rgb(ycbcr: &Tensor) -> Tensor {
+    let dims = ycbcr.shape();
+    assert_eq!(dims.len(), 3, "image must be [3, H, W]");
+    assert_eq!(dims[0], 3, "ycbcr image must have 3 channels");
+    let plane = dims[1] * dims[2];
+    let mut out = Tensor::zeros(dims);
+    for i in 0..plane {
+        let y = ycbcr.data()[i];
+        let cb = ycbcr.data()[plane + i] - 0.5;
+        let cr = ycbcr.data()[2 * plane + i] - 0.5;
+        out.data_mut()[i] = y + 1.402 * cr;
+        out.data_mut()[plane + i] = y - 0.344_136 * cb - 0.714_136 * cr;
+        out.data_mut()[2 * plane + i] = y + 1.772 * cb;
+    }
+    out
+}
+
+/// Extracts the Y channel as a `[1, H, W]` tensor.
+///
+/// # Panics
+///
+/// Panics if the image does not have exactly three channels.
+pub fn luma(rgb: &Tensor) -> Tensor {
+    let y = rgb_to_ycbcr(rgb);
+    let dims = y.shape();
+    let plane = dims[1] * dims[2];
+    Tensor::from_vec(y.data()[..plane].to_vec(), &[1, dims[1], dims[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_maps_to_unit_luma_neutral_chroma() {
+        let white = Tensor::ones(&[3, 1, 1]);
+        let ycc = rgb_to_ycbcr(&white);
+        assert!((ycc.at(&[0, 0, 0]) - 1.0).abs() < 1e-4);
+        assert!((ycc.at(&[1, 0, 0]) - 0.5).abs() < 1e-4);
+        assert!((ycc.at(&[2, 0, 0]) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn black_maps_to_zero_luma() {
+        let black = Tensor::zeros(&[3, 1, 1]);
+        let ycc = rgb_to_ycbcr(&black);
+        assert!(ycc.at(&[0, 0, 0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let rgb = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, 9);
+        let rt = ycbcr_to_rgb(&rgb_to_ycbcr(&rgb));
+        assert!(rt.approx_eq(&rgb, 1e-4), "err={}", rt.max_abs_diff(&rgb));
+    }
+
+    #[test]
+    fn luma_weights_sum_to_one() {
+        // A gray image (r=g=b=v) must have Y = v.
+        for v in [0.25f32, 0.5, 0.75] {
+            let gray = Tensor::full(&[3, 2, 2], v);
+            let y = luma(&gray);
+            assert!((y.at(&[0, 0, 0]) - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn luma_shape() {
+        let rgb = Tensor::rand_uniform(&[3, 5, 7], 0.0, 1.0, 10);
+        assert_eq!(luma(&rgb).shape(), &[1, 5, 7]);
+    }
+}

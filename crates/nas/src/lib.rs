@@ -1,0 +1,34 @@
+//! # sesr-nas
+//!
+//! Preliminary neural architecture search over SESR-style collapsible
+//! linear blocks (paper Secs. 3.4 and 5.6, Fig. 9).
+//!
+//! The search space lets every intermediate block pick its kernel shape —
+//! including the even-sized (`2x2`) and asymmetric (`2x1`, `3x2`, `2x3`)
+//! kernels the paper shows reduce NPU inference time by ~15% at matched
+//! accuracy — along with the channel count and block count. A parallel
+//! `1x1` skip branch on every block (foldable into the main kernel at the
+//! padding-aligned tap) mirrors the paper's depth-selection shortcut.
+//!
+//! The paper's DNAS is substituted with a latency-constrained evolutionary
+//! search (see DESIGN.md): the latency oracle is the `sesr-npu` roofline
+//! simulator on the `200x200 -> 400x400` NAS task, the quality oracle is a
+//! short proxy training run.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sesr_nas::{search, SearchConfig};
+//! use sesr_npu::EthosN78Like;
+//!
+//! let result = search(&SearchConfig::default(), &EthosN78Like::default().0);
+//! println!("best architecture: {}", result.best.candidate.describe());
+//! ```
+
+pub mod nasnet;
+pub mod search;
+pub mod space;
+
+pub use nasnet::NasNet;
+pub use search::{search, ScoredCandidate, SearchConfig, SearchResult};
+pub use space::Candidate;

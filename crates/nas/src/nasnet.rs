@@ -1,0 +1,298 @@
+//! Trainable network for a NAS [`Candidate`].
+//!
+//! Same skeleton as SESR — collapsible linear blocks, two long residuals,
+//! PReLU, depth-to-space — but with per-stage kernel shapes from the
+//! search space and a parallel `1x1` skip branch on every intermediate
+//! block (paper Sec. 3.4). Even/asymmetric kernels have no center tap, so
+//! the skip branch folds at the padding-aligned tap
+//! `((kh-1)/2, (kw-1)/2)` instead of an identity kernel.
+
+use crate::space::Candidate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sesr_autograd::{Tape, VarId};
+use sesr_core::block::LinearBlock;
+use sesr_core::collapsed::{Act, CollapsedLayer, CollapsedSesr};
+use sesr_core::macs::head_channels;
+use sesr_core::train::SrNetwork;
+use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::Tensor;
+
+/// A trainable instantiation of a search-space candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasNet {
+    candidate: Candidate,
+    /// First + middle + last linear blocks.
+    blocks: Vec<LinearBlock>,
+    /// 1x1 skip branches for the middle blocks: `(weight [f,f,1,1])`.
+    skips: Vec<Tensor>,
+    /// PReLU slopes (first + middle activation sites).
+    alphas: Vec<Tensor>,
+}
+
+impl NasNet {
+    /// Builds a network for `candidate` with expansion width `expanded`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's scale is not 2 or 4.
+    pub fn new(candidate: Candidate, expanded: usize, seed: u64) -> Self {
+        assert!(
+            candidate.scale == 2 || candidate.scale == 4,
+            "scale must be 2 or 4"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = candidate.f;
+        let mut blocks = vec![LinearBlock::new(
+            1,
+            f,
+            expanded,
+            candidate.first_k,
+            candidate.first_k,
+            rng.gen(),
+        )];
+        let mut skips = Vec::new();
+        for &(kh, kw) in &candidate.kernels {
+            blocks.push(LinearBlock::new(f, f, expanded, kh, kw, rng.gen()));
+            skips.push(Tensor::randn(
+                &[f, f, 1, 1],
+                0.0,
+                (2.0 / (2 * f) as f32).sqrt(),
+                rng.gen(),
+            ));
+        }
+        blocks.push(LinearBlock::new(
+            f,
+            head_channels(candidate.scale),
+            expanded,
+            candidate.last_k,
+            candidate.last_k,
+            rng.gen(),
+        ));
+        let alphas = (0..candidate.kernels.len() + 1)
+            .map(|_| Tensor::full(&[f], 0.1))
+            .collect();
+        Self {
+            candidate,
+            blocks,
+            skips,
+            alphas,
+        }
+    }
+
+    /// The architecture this network instantiates.
+    pub fn candidate(&self) -> &Candidate {
+        &self.candidate
+    }
+
+    /// The padding-aligned tap where a 1x1 branch folds into a `kh x kw`
+    /// kernel under TensorFlow-style "same" padding.
+    fn fold_tap(kh: usize, kw: usize) -> (usize, usize) {
+        ((kh - 1) / 2, (kw - 1) / 2)
+    }
+
+    /// Collapses into the deployment network.
+    pub fn collapse(&self) -> CollapsedSesr {
+        let mut layers = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let (mut w, b) = block.collapse();
+            if i > 0 && i < self.blocks.len() - 1 {
+                let skip = &self.skips[i - 1];
+                let (kh, kw) = block.kernel();
+                let (r, c) = Self::fold_tap(kh, kw);
+                let f = self.candidate.f;
+                for o in 0..f {
+                    for ic in 0..f {
+                        *w.at_mut(&[o, ic, r, c]) += skip.at(&[o, ic, 0, 0]);
+                    }
+                }
+            }
+            let act = (i < self.blocks.len() - 1)
+                .then(|| Act::PRelu(self.alphas[i].clone()));
+            layers.push(CollapsedLayer {
+                weight: w,
+                bias: b,
+                act,
+            });
+        }
+        CollapsedSesr::new(layers, self.candidate.scale, true, true)
+    }
+}
+
+impl SrNetwork for NasNet {
+    fn scale(&self) -> usize {
+        self.candidate.scale
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            out.extend([b.w1.clone(), b.b1.clone(), b.w2.clone(), b.b2.clone()]);
+        }
+        out.extend(self.skips.iter().cloned());
+        out.extend(self.alphas.iter().cloned());
+        out
+    }
+
+    fn set_parameters(&mut self, params: &[Tensor]) {
+        let mut it = params.iter();
+        for b in &mut self.blocks {
+            b.w1 = it.next().expect("parameter list too short").clone();
+            b.b1 = it.next().expect("parameter list too short").clone();
+            b.w2 = it.next().expect("parameter list too short").clone();
+            b.b2 = it.next().expect("parameter list too short").clone();
+        }
+        for s in &mut self.skips {
+            *s = it.next().expect("parameter list too short").clone();
+        }
+        for a in &mut self.alphas {
+            *a = it.next().expect("parameter list too short").clone();
+        }
+        assert!(it.next().is_none(), "parameter list too long");
+    }
+
+    fn forward(&self, tape: &mut Tape, input: VarId) -> (VarId, Vec<VarId>) {
+        let mut param_ids = Vec::new();
+        let mut block_ids = Vec::new();
+        for b in &self.blocks {
+            let ids = [
+                tape.leaf(b.w1.clone(), true),
+                tape.leaf(b.b1.clone(), true),
+                tape.leaf(b.w2.clone(), true),
+                tape.leaf(b.b2.clone(), true),
+            ];
+            param_ids.extend(ids);
+            block_ids.push(ids);
+        }
+        let skip_ids: Vec<VarId> = self
+            .skips
+            .iter()
+            .map(|s| tape.leaf(s.clone(), true))
+            .collect();
+        param_ids.extend(skip_ids.iter().copied());
+        let alpha_ids: Vec<VarId> = self
+            .alphas
+            .iter()
+            .map(|a| tape.leaf(a.clone(), true))
+            .collect();
+        param_ids.extend(alpha_ids.iter().copied());
+
+        let same = Conv2dParams::same();
+        let collapse_stage = |tape: &mut Tape, ids: &[VarId; 4], block: &LinearBlock| {
+            let wc = tape.collapse_1x1(ids[0], ids[2]);
+            let p = block.expanded_channels();
+            let y = block.out_channels();
+            let b1k = tape.reshape(ids[1], &[p, 1, 1, 1]);
+            let bck = tape.collapse_1x1(b1k, ids[2]);
+            let bc_part = tape.reshape(bck, &[y]);
+            let bc = tape.add(bc_part, ids[3]);
+            (wc, bc)
+        };
+
+        // First stage.
+        let (w0, b0) = collapse_stage(tape, &block_ids[0], &self.blocks[0]);
+        let mut x = tape.conv2d(input, w0, Some(b0), same);
+        x = tape.prelu(x, alpha_ids[0]);
+        let first = x;
+
+        // Middle stages with folded 1x1 skip branches.
+        for (i, _) in self.candidate.kernels.iter().enumerate() {
+            let stage = i + 1;
+            let block = &self.blocks[stage];
+            let (mut w, b) = collapse_stage(tape, &block_ids[stage], block);
+            let (kh, kw) = block.kernel();
+            let (r, c) = Self::fold_tap(kh, kw);
+            let skip_embedded = tape.embed_at(skip_ids[i], kh, kw, r, c);
+            w = tape.add(w, skip_embedded);
+            x = tape.conv2d(x, w, Some(b), same);
+            x = tape.prelu(x, alpha_ids[stage]);
+        }
+
+        // Long residuals + head, mirroring SESR.
+        x = tape.add(x, first);
+        let last = self.blocks.len() - 1;
+        let (wl, bl) = collapse_stage(tape, &block_ids[last], &self.blocks[last]);
+        x = tape.conv2d(x, wl, Some(bl), same);
+        x = tape.add_broadcast_channel(x, input);
+        x = tape.depth_to_space(x, 2);
+        if self.candidate.scale == 4 {
+            x = tape.depth_to_space(x, 2);
+        }
+        (x, param_ids)
+    }
+
+    fn infer(&self, lr: &Tensor) -> Tensor {
+        self.collapse().run(lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_candidate() -> Candidate {
+        Candidate {
+            f: 8,
+            first_k: 3,
+            last_k: 3,
+            kernels: vec![(2, 2), (3, 2)],
+            scale: 2,
+        }
+    }
+
+    #[test]
+    fn forward_and_collapsed_agree_with_asymmetric_kernels() {
+        let net = NasNet::new(tiny_candidate(), 16, 1);
+        let lr = Tensor::rand_uniform(&[1, 10, 10], 0.0, 1.0, 2);
+        let mut tape = Tape::new();
+        let x = tape.leaf(lr.reshape(&[1, 1, 10, 10]), false);
+        let (y, _) = net.forward(&mut tape, x);
+        let train_out = tape.value(y).reshape(&[1, 20, 20]);
+        let infer_out = net.infer(&lr);
+        assert!(
+            train_out.approx_eq(&infer_out, 1e-3),
+            "max diff {}",
+            train_out.max_abs_diff(&infer_out)
+        );
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let net = NasNet::new(tiny_candidate(), 8, 3);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, 4), false);
+        let (y, ids) = net.forward(&mut tape, x);
+        let target = Tensor::zeros(&[1, 1, 16, 16]);
+        let loss = tape.l1_loss(y, &target);
+        tape.backward(loss);
+        for (i, id) in ids.iter().enumerate() {
+            assert!(tape.grad(*id).is_some(), "param {i} got no gradient");
+        }
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let net = NasNet::new(tiny_candidate(), 8, 5);
+        let params = net.parameters();
+        let mut other = NasNet::new(tiny_candidate(), 8, 99);
+        other.set_parameters(&params);
+        assert_eq!(other.parameters(), params);
+    }
+
+    #[test]
+    fn fold_tap_matches_same_padding() {
+        assert_eq!(NasNet::fold_tap(3, 3), (1, 1));
+        assert_eq!(NasNet::fold_tap(2, 2), (0, 0));
+        assert_eq!(NasNet::fold_tap(3, 2), (1, 0));
+        assert_eq!(NasNet::fold_tap(5, 5), (2, 2));
+    }
+
+    #[test]
+    fn x4_candidate_works() {
+        let mut c = tiny_candidate();
+        c.scale = 4;
+        let net = NasNet::new(c, 8, 6);
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 7);
+        assert_eq!(net.infer(&lr).shape(), &[1, 32, 32]);
+    }
+}

@@ -1,0 +1,255 @@
+//! The NAS search space (paper Sec. 3.4).
+//!
+//! Each intermediate collapsible linear block may choose the height and
+//! width of its kernel independently — including even-sized (`2x2`) and
+//! asymmetric (`2x1`, `3x2`, `2x3`) kernels, which need fewer operations
+//! and less memory than `3x3` on a commercial NPU. The first/last blocks
+//! choose between `3x3` and `5x5`, the channel count and the number of
+//! intermediate blocks are searchable, and every intermediate block
+//! carries a parallel `1x1` skip branch (the paper's shortcut for choosing
+//! the number of layers).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sesr_core::ir::{LayerIr, NetworkIr};
+use sesr_core::macs::head_channels;
+
+/// Kernel options for intermediate blocks, mirroring Fig. 9's discovered
+/// shapes.
+pub const MIDDLE_KERNELS: [(usize, usize); 7] =
+    [(1, 1), (2, 1), (1, 2), (2, 2), (2, 3), (3, 2), (3, 3)];
+
+/// Kernel options for the first and last blocks.
+pub const EDGE_KERNELS: [usize; 2] = [3, 5];
+
+/// Channel-count options.
+pub const CHANNEL_OPTIONS: [usize; 3] = [8, 16, 24];
+
+/// Bounds on the number of intermediate blocks.
+pub const MIN_BLOCKS: usize = 2;
+/// Upper bound on the number of intermediate blocks.
+pub const MAX_BLOCKS: usize = 8;
+
+/// One point in the search space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Feature channels.
+    pub f: usize,
+    /// First-block square kernel size.
+    pub first_k: usize,
+    /// Last-block square kernel size.
+    pub last_k: usize,
+    /// Intermediate kernels `(kh, kw)`.
+    pub kernels: Vec<(usize, usize)>,
+    /// Upscaling factor.
+    pub scale: usize,
+}
+
+impl Candidate {
+    /// The SESR-M5-equivalent point (f = 16, 5x5 edges, five 3x3 blocks) —
+    /// the search's reference architecture.
+    pub fn sesr_m5(scale: usize) -> Self {
+        Self {
+            f: 16,
+            first_k: 5,
+            last_k: 5,
+            kernels: vec![(3, 3); 5],
+            scale,
+        }
+    }
+
+    /// Draws a uniformly random candidate.
+    pub fn random(scale: usize, rng: &mut StdRng) -> Self {
+        let blocks = rng.gen_range(MIN_BLOCKS..=MAX_BLOCKS);
+        Self {
+            f: CHANNEL_OPTIONS[rng.gen_range(0..CHANNEL_OPTIONS.len())],
+            first_k: EDGE_KERNELS[rng.gen_range(0..EDGE_KERNELS.len())],
+            last_k: EDGE_KERNELS[rng.gen_range(0..EDGE_KERNELS.len())],
+            kernels: (0..blocks)
+                .map(|_| MIDDLE_KERNELS[rng.gen_range(0..MIDDLE_KERNELS.len())])
+                .collect(),
+            scale,
+        }
+    }
+
+    /// Returns a mutated copy: one of kernel change, channel change, block
+    /// insertion, or block removal.
+    pub fn mutate(&self, rng: &mut StdRng) -> Self {
+        let mut out = self.clone();
+        match rng.gen_range(0..5) {
+            0 => {
+                let i = rng.gen_range(0..out.kernels.len());
+                out.kernels[i] = MIDDLE_KERNELS[rng.gen_range(0..MIDDLE_KERNELS.len())];
+            }
+            1 => {
+                out.f = CHANNEL_OPTIONS[rng.gen_range(0..CHANNEL_OPTIONS.len())];
+            }
+            2 if out.kernels.len() < MAX_BLOCKS => {
+                let i = rng.gen_range(0..=out.kernels.len());
+                out.kernels
+                    .insert(i, MIDDLE_KERNELS[rng.gen_range(0..MIDDLE_KERNELS.len())]);
+            }
+            3 if out.kernels.len() > MIN_BLOCKS => {
+                let i = rng.gen_range(0..out.kernels.len());
+                out.kernels.remove(i);
+            }
+            _ => {
+                if rng.gen_bool(0.5) {
+                    out.first_k = EDGE_KERNELS[rng.gen_range(0..EDGE_KERNELS.len())];
+                } else {
+                    out.last_k = EDGE_KERNELS[rng.gen_range(0..EDGE_KERNELS.len())];
+                }
+            }
+        }
+        out
+    }
+
+    /// Collapsed weight-parameter count.
+    pub fn weight_params(&self) -> usize {
+        let head = head_channels(self.scale);
+        self.first_k * self.first_k * self.f
+            + self
+                .kernels
+                .iter()
+                .map(|&(kh, kw)| kh * kw * self.f * self.f)
+                .sum::<usize>()
+            + self.last_k * self.last_k * self.f * head
+    }
+
+    /// Builds the collapsed-network IR for an `h x w` LR input (consumed
+    /// by the NPU latency oracle).
+    pub fn ir(&self, h: usize, w: usize) -> NetworkIr {
+        let head = head_channels(self.scale);
+        let mut layers = vec![LayerIr::Conv {
+            cin: 1,
+            cout: self.f,
+            kh: self.first_k,
+            kw: self.first_k,
+            h,
+            w,
+        }];
+        for &(kh, kw) in &self.kernels {
+            layers.push(LayerIr::Conv {
+                cin: self.f,
+                cout: self.f,
+                kh,
+                kw,
+                h,
+                w,
+            });
+        }
+        layers.push(LayerIr::Add { c: self.f, h, w });
+        layers.push(LayerIr::Conv {
+            cin: self.f,
+            cout: head,
+            kh: self.last_k,
+            kw: self.last_k,
+            h,
+            w,
+        });
+        layers.push(LayerIr::DepthToSpace { c: head, h, w, r: 2 });
+        if self.scale == 4 {
+            layers.push(LayerIr::DepthToSpace {
+                c: head / 4,
+                h: h * 2,
+                w: w * 2,
+                r: 2,
+            });
+        }
+        NetworkIr {
+            name: self.describe(),
+            layers,
+        }
+    }
+
+    /// Short human-readable architecture string, e.g.
+    /// `f16 5x5 | 2x2 3x2 | 5x5`.
+    pub fn describe(&self) -> String {
+        let mids: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|&(kh, kw)| format!("{kh}x{kw}"))
+            .collect();
+        format!(
+            "f{} {}x{} | {} | {}x{}",
+            self.f,
+            self.first_k,
+            self.first_k,
+            mids.join(" "),
+            self.last_k,
+            self.last_k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_matches_sesr_m5_params() {
+        let c = Candidate::sesr_m5(2);
+        assert_eq!(c.weight_params(), sesr_core::macs::sesr_weight_params(16, 5, 2));
+    }
+
+    #[test]
+    fn random_candidates_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = Candidate::random(2, &mut rng);
+            assert!(CHANNEL_OPTIONS.contains(&c.f));
+            assert!(EDGE_KERNELS.contains(&c.first_k));
+            assert!((MIN_BLOCKS..=MAX_BLOCKS).contains(&c.kernels.len()));
+            for k in &c.kernels {
+                assert!(MIDDLE_KERNELS.contains(k), "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_aspect_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = Candidate::sesr_m5(2);
+        let mut any_changed = false;
+        for _ in 0..30 {
+            let m = base.mutate(&mut rng);
+            if m != base {
+                any_changed = true;
+            }
+            assert!((MIN_BLOCKS..=MAX_BLOCKS).contains(&m.kernels.len()));
+        }
+        assert!(any_changed);
+    }
+
+    #[test]
+    fn smaller_kernels_reduce_params_and_macs() {
+        let big = Candidate::sesr_m5(2);
+        let mut small = big.clone();
+        small.kernels = vec![(2, 2); 5];
+        assert!(small.weight_params() < big.weight_params());
+        assert!(small.ir(100, 100).total_macs() < big.ir(100, 100).total_macs());
+    }
+
+    #[test]
+    fn ir_macs_match_closed_form() {
+        let c = Candidate::sesr_m5(2);
+        assert_eq!(
+            c.ir(200, 200).total_macs(),
+            (c.weight_params() * 200 * 200) as u64
+        );
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let c = Candidate {
+            f: 16,
+            first_k: 3,
+            last_k: 3,
+            kernels: vec![(2, 2), (3, 2)],
+            scale: 2,
+        };
+        assert_eq!(c.describe(), "f16 3x3 | 2x2 3x2 | 3x3");
+    }
+}

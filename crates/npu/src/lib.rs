@@ -1,0 +1,44 @@
+//! # sesr-npu
+//!
+//! An analytic mobile-NPU performance model standing in for the
+//! proprietary Arm Ethos-N78 performance estimator the paper uses for its
+//! hardware results (Sec. 5.6, Table 3, Fig. 1(b)).
+//!
+//! ## Model
+//!
+//! The simulator is a calibrated roofline over the layer IR of
+//! [`sesr_core::ir`]: each layer takes
+//! `max(compute_time, dram_time)` where
+//!
+//! * `compute_time = MACs / (peak_MACs_per_s · utilization)`, with
+//!   utilization capturing the two effects the paper highlights — shallow
+//!   channel counts underfill the MAC array
+//!   (`min(cin, channels_per_cycle) / channels_per_cycle`) and strided
+//!   deconvolutions run at a fraction of peak because of zero insertion;
+//! * `dram_time = bytes / bandwidth`, where a layer spills its input and
+//!   output feature maps to DRAM whenever their combined size exceeds the
+//!   on-chip SRAM, and always streams its weights.
+//!
+//! Constants (4 TOP/s peak, DRAM bandwidth, SRAM capacity, 16-channel MAC
+//! width) are calibrated once against Table 3's FSRCNN row and then held
+//! fixed for every other network and resolution, so all relative results
+//! (the 6×–8× SESR speedups, the tiling gains, Fig. 1(b)'s FPS ordering)
+//! are genuine predictions of the model rather than per-row fits.
+//! EXPERIMENTS.md records measured-vs-published values for every cell.
+//!
+//! ## Example
+//!
+//! ```
+//! use sesr_npu::{EthosN78Like, simulate};
+//! use sesr_core::ir::sesr_ir;
+//!
+//! let cfg = EthosN78Like::default();
+//! let report = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg.0);
+//! assert!(report.fps() > 20.0); // SESR-M5 runs 1080p->4K at interactive rates
+//! ```
+
+pub mod simulator;
+pub mod tiling;
+
+pub use simulator::{simulate, EthosN78Like, LayerPerf, NpuConfig, PerfReport};
+pub use tiling::{best_tile, simulate_tiled, TiledReport, TileSearchResult};

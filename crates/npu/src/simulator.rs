@@ -1,0 +1,305 @@
+//! The roofline NPU model.
+
+use serde::{Deserialize, Serialize};
+use sesr_core::ir::{LayerIr, NetworkIr};
+
+/// Hardware parameters of the simulated NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Peak throughput in tera-ops per second (1 MAC = 2 ops).
+    pub peak_tops: f64,
+    /// Sustained DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// On-chip SRAM capacity in bytes. A layer whose input + output
+    /// feature maps exceed this spills both to DRAM.
+    pub sram_bytes: u64,
+    /// MAC-array channel width: layers with fewer input channels underfill
+    /// the array proportionally.
+    pub channels_per_cycle: usize,
+    /// Extra inefficiency multiplier for strided deconvolutions
+    /// (zero-insertion lowers effective utilization by ~stride^2).
+    pub deconv_inefficiency: f64,
+}
+
+/// A 4-TOP/s Ethos-N78-like configuration, calibrated against Table 3's
+/// FSRCNN row (see crate docs). Newtype so the calibration is a named,
+/// documented artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EthosN78Like(pub NpuConfig);
+
+impl Default for EthosN78Like {
+    fn default() -> Self {
+        Self(NpuConfig {
+            peak_tops: 4.0,
+            dram_gbps: 20.0,
+            sram_bytes: 4 << 20,
+            channels_per_cycle: 16,
+            // Stride-2 zero insertion (4x) compounded with single-output-
+            // channel underfill on the 9x9 deconv; calibrated so FSRCNN's
+            // Table 3 row lands at ~160 ms (published: 167.38 ms).
+            deconv_inefficiency: 6.0,
+        })
+    }
+}
+
+impl NpuConfig {
+    /// Peak MACs per second.
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.peak_tops * 1e12 / 2.0
+    }
+}
+
+/// Per-layer simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPerf {
+    /// Short layer description (e.g. `conv 16->16 3x3`).
+    pub label: String,
+    /// MACs executed.
+    pub macs: u64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Time spent if purely compute-bound, in ms.
+    pub compute_ms: f64,
+    /// Time spent if purely memory-bound, in ms.
+    pub dram_ms: f64,
+    /// Modeled layer time: `max(compute_ms, dram_ms)`.
+    pub time_ms: f64,
+}
+
+impl LayerPerf {
+    /// True if the layer's time is set by DRAM traffic rather than MACs.
+    pub fn is_memory_bound(&self) -> bool {
+        self.dram_ms >= self.compute_ms
+    }
+}
+
+/// Whole-network simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Network name.
+    pub name: String,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerPerf>,
+}
+
+impl PerfReport {
+    /// Total modeled runtime in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.time_ms).sum()
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        1000.0 / self.total_ms()
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total DRAM traffic in MB.
+    pub fn dram_mb(&self) -> f64 {
+        self.layers.iter().map(|l| l.dram_bytes).sum::<u64>() as f64 / 1e6
+    }
+
+    /// Fraction of runtime spent memory-bound.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let mem: f64 = self
+            .layers
+            .iter()
+            .filter(|l| l.is_memory_bound())
+            .map(|l| l.time_ms)
+            .sum();
+        mem / self.total_ms()
+    }
+}
+
+fn utilization(layer: &LayerIr, cfg: &NpuConfig) -> f64 {
+    let ch = cfg.channels_per_cycle as f64;
+    match *layer {
+        LayerIr::Conv { cin, .. } => (cin as f64).min(ch) / ch,
+        LayerIr::Deconv { cin, .. } => ((cin as f64).min(ch) / ch) / cfg.deconv_inefficiency,
+        // Pure data movement.
+        LayerIr::DepthToSpace { .. } | LayerIr::Add { .. } => 1.0,
+    }
+}
+
+fn label(layer: &LayerIr) -> String {
+    match *layer {
+        LayerIr::Conv {
+            cin,
+            cout,
+            kh,
+            kw,
+            ..
+        } => format!("conv {cin}->{cout} {kh}x{kw}"),
+        LayerIr::Deconv {
+            cin,
+            cout,
+            kh,
+            kw,
+            stride,
+            ..
+        } => format!("deconv {cin}->{cout} {kh}x{kw} s{stride}"),
+        LayerIr::DepthToSpace { r, .. } => format!("depth_to_space r{r}"),
+        LayerIr::Add { c, .. } => format!("residual add ({c}ch)"),
+    }
+}
+
+/// DRAM bytes the layer moves: weights always stream; feature maps spill
+/// when the working set exceeds SRAM.
+fn dram_bytes(layer: &LayerIr, cfg: &NpuConfig) -> u64 {
+    let fmaps = layer.input_bytes() + layer.output_bytes();
+    let spill = if fmaps > cfg.sram_bytes { fmaps } else { 0 };
+    spill + layer.weight_bytes()
+}
+
+/// Simulates one network on the configured NPU.
+pub fn simulate(ir: &NetworkIr, cfg: &NpuConfig) -> PerfReport {
+    let layers = ir
+        .layers
+        .iter()
+        .map(|layer| {
+            let macs = layer.macs();
+            let bytes = dram_bytes(layer, cfg);
+            let util = utilization(layer, cfg);
+            let compute_ms = if macs == 0 {
+                0.0
+            } else {
+                macs as f64 / (cfg.peak_macs_per_s() * util) * 1e3
+            };
+            let dram_ms = bytes as f64 / (cfg.dram_gbps * 1e9) * 1e3;
+            LayerPerf {
+                label: label(layer),
+                macs,
+                dram_bytes: bytes,
+                compute_ms,
+                dram_ms,
+                time_ms: compute_ms.max(dram_ms),
+            }
+        })
+        .collect();
+    PerfReport {
+        name: ir.name.clone(),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_core::ir::sesr_ir;
+
+    fn fsrcnn_ir(h: usize, w: usize, scale: usize) -> NetworkIr {
+        sesr_baselines::Fsrcnn::new(sesr_baselines::FsrcnnConfig::standard(scale)).ir(h, w)
+    }
+
+    fn cfg() -> NpuConfig {
+        EthosN78Like::default().0
+    }
+
+    /// Table 3 structure: SESR-M5 must be several times faster than FSRCNN
+    /// for 1080p -> 4K even though its MACs are only ~2x lower (the paper
+    /// reports 6.15x).
+    #[test]
+    fn sesr_m5_beats_fsrcnn_by_much_more_than_mac_ratio() {
+        let fsrcnn = simulate(&fsrcnn_ir(1080, 1920, 2), &cfg());
+        let sesr = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg());
+        let mac_ratio = fsrcnn.total_macs() as f64 / sesr.total_macs() as f64;
+        let time_ratio = fsrcnn.total_ms() / sesr.total_ms();
+        assert!((1.8..2.2).contains(&mac_ratio), "mac ratio {mac_ratio}");
+        assert!(
+            time_ratio > 3.0,
+            "runtime ratio {time_ratio} should far exceed the MAC ratio"
+        );
+        assert!(time_ratio > mac_ratio * 1.5);
+    }
+
+    /// Fig. 1(b) headline: FSRCNN lands in the tens of FPS, SESR-M5 near
+    /// or above 30 FPS at 1080p -> 4K.
+    #[test]
+    fn absolute_fps_in_published_ballpark() {
+        let fsrcnn = simulate(&fsrcnn_ir(1080, 1920, 2), &cfg());
+        let sesr = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg());
+        // Published: 5.97 FPS and 36.73 FPS. Allow a generous band — the
+        // estimator is proprietary; the *ordering and regime* must hold.
+        assert!(fsrcnn.fps() < 15.0, "FSRCNN fps {}", fsrcnn.fps());
+        assert!(sesr.fps() > 20.0, "SESR fps {}", sesr.fps());
+    }
+
+    /// Table 3 x4 row: SESR-M5 for 1080p -> 8K still beats FSRCNN's x2 FPS
+    /// (the paper reports 22.17 vs 5.97, i.e. > 3.7x).
+    #[test]
+    fn sesr_x4_faster_than_fsrcnn_x2() {
+        let fsrcnn_x2 = simulate(&fsrcnn_ir(1080, 1920, 2), &cfg());
+        let sesr_x4 = simulate(&sesr_ir(16, 5, 4, false, 1080, 1920), &cfg());
+        let ratio = sesr_x4.fps() / fsrcnn_x2.fps();
+        assert!(ratio > 3.0, "ratio {ratio}");
+    }
+
+    /// The paper's diagnosis (Sec. 5.6): SISR at these sizes is heavily
+    /// memory-bound on the NPU.
+    #[test]
+    fn full_frame_sisr_is_memory_bound() {
+        let sesr = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg());
+        assert!(
+            sesr.memory_bound_fraction() > 0.5,
+            "memory-bound fraction {}",
+            sesr.memory_bound_fraction()
+        );
+    }
+
+    #[test]
+    fn small_inputs_fit_sram_and_become_compute_bound() {
+        let sesr = simulate(&sesr_ir(16, 5, 2, false, 96, 96), &cfg());
+        assert!(
+            sesr.memory_bound_fraction() < 0.5,
+            "fraction {}",
+            sesr.memory_bound_fraction()
+        );
+    }
+
+    #[test]
+    fn dram_traffic_scales_with_resolution() {
+        let small = simulate(&sesr_ir(16, 5, 2, false, 540, 960), &cfg());
+        let large = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg());
+        let ratio = large.dram_mb() / small.dram_mb();
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn report_totals_are_sums() {
+        let r = simulate(&sesr_ir(16, 3, 2, true, 256, 256), &cfg());
+        let sum: f64 = r.layers.iter().map(|l| l.time_ms).sum();
+        assert!((r.total_ms() - sum).abs() < 1e-12);
+        assert_eq!(
+            r.total_macs(),
+            sesr_core::macs::macs_for_params(sesr_core::macs::sesr_weight_params(16, 3, 2), 256, 256)
+        );
+    }
+
+    #[test]
+    fn input_residual_adds_traffic() {
+        let with = simulate(&sesr_ir(16, 5, 2, true, 1080, 1920), &cfg());
+        let without = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg());
+        assert!(with.dram_mb() > without.dram_mb());
+        assert!(with.total_ms() > without.total_ms());
+    }
+
+    #[test]
+    fn published_mac_columns_reproduced() {
+        // Table 3 MAC column: 54G (FSRCNN x2), 28G (SESR-M5 x2),
+        // 38G (SESR-M5 x4).
+        let close = |a: u64, b: f64| (a as f64 - b).abs() / b < 0.01;
+        assert!(close(simulate(&fsrcnn_ir(1080, 1920, 2), &cfg()).total_macs(), 54e9));
+        assert!(close(
+            simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg()).total_macs(),
+            28e9
+        ));
+        assert!(close(
+            simulate(&sesr_ir(16, 5, 4, false, 1080, 1920), &cfg()).total_macs(),
+            38e9
+        ));
+    }
+}

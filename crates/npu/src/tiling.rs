@@ -1,0 +1,204 @@
+//! Tiled inference modeling — the paper's DRAM optimization (Sec. 5.6).
+//!
+//! Breaking the input into tiles shrinks every layer's working set so
+//! feature maps stay in on-chip SRAM, collapsing DRAM traffic. The paper's
+//! proof of concept tiles 1080p into `400 x 300` pieces: each tile runs in
+//! 1.26 ms and `(1920/400) x (1080/300) = 17.28` tile-runs cover the frame,
+//! giving ≈ 46 FPS — nearly 8x faster than FSRCNN. This module reproduces
+//! that arithmetic on top of the roofline simulator.
+
+use crate::simulator::{simulate, NpuConfig, PerfReport};
+use serde::{Deserialize, Serialize};
+use sesr_core::ir::NetworkIr;
+
+/// Result of simulating tiled execution of a network over a full frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledReport {
+    /// Simulation of one tile.
+    pub per_tile: PerfReport,
+    /// Fractional number of tile executions needed to cover the frame
+    /// (the paper uses the fractional count, e.g. 17.28 — boundary tiles
+    /// are partially filled).
+    pub tile_runs: f64,
+}
+
+impl TiledReport {
+    /// Total frame time in ms (`per-tile time x tile runs`), matching the
+    /// paper's "performance for one tile x 17.28" arithmetic.
+    pub fn total_ms(&self) -> f64 {
+        self.per_tile.total_ms() * self.tile_runs
+    }
+
+    /// Frames per second for the whole frame.
+    pub fn fps(&self) -> f64 {
+        1000.0 / self.total_ms()
+    }
+}
+
+/// Simulates running `build_ir(tile_h, tile_w)` over a `full_h x full_w`
+/// frame in tiles.
+///
+/// # Panics
+///
+/// Panics if the tile is larger than the frame or any dimension is zero.
+pub fn simulate_tiled(
+    build_ir: &dyn Fn(usize, usize) -> NetworkIr,
+    full: (usize, usize),
+    tile: (usize, usize),
+    cfg: &NpuConfig,
+) -> TiledReport {
+    let (fh, fw) = full;
+    let (th, tw) = tile;
+    assert!(th > 0 && tw > 0 && fh > 0 && fw > 0, "dimensions must be positive");
+    assert!(th <= fh && tw <= fw, "tile larger than frame");
+    let per_tile = simulate(&build_ir(th, tw), cfg);
+    let tile_runs = (fh as f64 / th as f64) * (fw as f64 / tw as f64);
+    TiledReport {
+        per_tile,
+        tile_runs,
+    }
+}
+
+/// Result of searching over tile sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileSearchResult {
+    /// Best tile `(height, width)`.
+    pub tile: (usize, usize),
+    /// Full-frame report for that tile.
+    pub report: TiledReport,
+}
+
+/// Searches a grid of candidate tile sizes for the one minimizing
+/// full-frame time — automating the paper's manual 400x300 choice
+/// ("the input can be broken down into tiles so that the DRAM traffic is
+/// minimized", Sec. 5.6). Candidates are divisor-friendly fractions of the
+/// frame from 1/8 up to the full frame.
+///
+/// # Panics
+///
+/// Panics if the frame has a zero dimension.
+pub fn best_tile(
+    build_ir: &dyn Fn(usize, usize) -> NetworkIr,
+    full: (usize, usize),
+    cfg: &NpuConfig,
+) -> TileSearchResult {
+    let (fh, fw) = full;
+    assert!(fh > 0 && fw > 0, "frame dimensions must be positive");
+    let fractions = [1usize, 2, 3, 4, 5, 6, 8];
+    let mut best: Option<TileSearchResult> = None;
+    for &dy in &fractions {
+        for &dx in &fractions {
+            let tile = ((fh / dy).max(16), (fw / dx).max(16));
+            let report = simulate_tiled(build_ir, full, tile, cfg);
+            let candidate = TileSearchResult { tile, report };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.report.total_ms() < b.report.total_ms(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.expect("at least one candidate evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::EthosN78Like;
+    use sesr_core::ir::sesr_ir;
+
+    fn cfg() -> NpuConfig {
+        EthosN78Like::default().0
+    }
+
+    #[test]
+    fn paper_tile_count_is_17_28() {
+        let build = |h: usize, w: usize| sesr_ir(16, 5, 2, false, h, w);
+        let r = simulate_tiled(&build, (1080, 1920), (300, 400), &cfg());
+        assert!((r.tile_runs - 17.28).abs() < 1e-9);
+    }
+
+    /// Sec. 5.6: tiling gives a large end-to-end speedup over full-frame
+    /// execution (published: 27.22 ms -> 21.77 ms for x2; and per-tile
+    /// DRAM collapses from hundreds of MB to single-digit MB).
+    #[test]
+    fn tiling_slashes_dram_traffic() {
+        let build = |h: usize, w: usize| sesr_ir(16, 5, 2, false, h, w);
+        let full = simulate(&build(1080, 1920), &cfg());
+        let tiled = simulate_tiled(&build, (1080, 1920), (300, 400), &cfg());
+        let full_dram = full.dram_mb();
+        let tile_dram = tiled.per_tile.dram_mb();
+        assert!(
+            tile_dram < 10.0,
+            "per-tile DRAM should be single-digit MB, got {tile_dram}"
+        );
+        assert!(full_dram > 100.0, "full-frame DRAM {full_dram}");
+        // End-to-end time improves.
+        assert!(
+            tiled.total_ms() < full.total_ms(),
+            "tiled {} vs full {}",
+            tiled.total_ms(),
+            full.total_ms()
+        );
+    }
+
+    /// The x4 tiled numbers of Table 3 follow the same structure: per-tile
+    /// time around the paper's 2.12 ms magnitude and ~27 FPS full-frame.
+    #[test]
+    fn x4_tiled_structure() {
+        let build = |h: usize, w: usize| sesr_ir(16, 5, 4, false, h, w);
+        let r = simulate_tiled(&build, (1080, 1920), (300, 400), &cfg());
+        assert!(r.per_tile.total_ms() < 5.0, "per-tile {}", r.per_tile.total_ms());
+        assert!(r.fps() > 10.0, "fps {}", r.fps());
+        // x4 is slower than x2 tiled (more MACs in the head).
+        let build2 = |h: usize, w: usize| sesr_ir(16, 5, 2, false, h, w);
+        let r2 = simulate_tiled(&build2, (1080, 1920), (300, 400), &cfg());
+        assert!(r.total_ms() > r2.total_ms());
+    }
+
+    #[test]
+    fn whole_frame_as_single_tile_matches_direct_simulation() {
+        let build = |h: usize, w: usize| sesr_ir(16, 3, 2, true, h, w);
+        let direct = simulate(&build(256, 256), &cfg());
+        let tiled = simulate_tiled(&build, (256, 256), (256, 256), &cfg());
+        assert!((tiled.total_ms() - direct.total_ms()).abs() < 1e-9);
+        assert!((tiled.tile_runs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile larger than frame")]
+    fn oversized_tile_rejected() {
+        let build = |h: usize, w: usize| sesr_ir(16, 3, 2, true, h, w);
+        simulate_tiled(&build, (100, 100), (200, 200), &cfg());
+    }
+
+    #[test]
+    fn best_tile_beats_full_frame_at_1080p() {
+        // The optimizer must find a tiling at least as fast as running the
+        // whole memory-bound frame at once.
+        let build = |h: usize, w: usize| sesr_ir(16, 5, 2, false, h, w);
+        let full = crate::simulator::simulate(&build(1080, 1920), &cfg());
+        let found = best_tile(&build, (1080, 1920), &cfg());
+        assert!(
+            found.report.total_ms() < full.total_ms(),
+            "best tile {:?} gives {:.2} ms vs full {:.2} ms",
+            found.tile,
+            found.report.total_ms(),
+            full.total_ms()
+        );
+        // The winning tile keeps its working set in SRAM: per-tile DRAM is
+        // tiny.
+        assert!(found.report.per_tile.dram_mb() < 10.0);
+    }
+
+    #[test]
+    fn best_tile_on_small_frames_is_whole_frame() {
+        // Compute-bound small frames gain nothing from tiling.
+        let build = |h: usize, w: usize| sesr_ir(16, 3, 2, false, h, w);
+        let found = best_tile(&build, (96, 96), &cfg());
+        let whole = simulate_tiled(&build, (96, 96), (96, 96), &cfg());
+        assert!(found.report.total_ms() <= whole.total_ms() + 1e-9);
+    }
+}

@@ -1,0 +1,333 @@
+//! Integer execution of a quantized collapsed network.
+//!
+//! Each convolution runs in true integer arithmetic: uint8 activations
+//! (affine), int8 per-channel weights (symmetric), i32 accumulators —
+//! exactly the datapath of a mobile NPU. Between layers, the result is
+//! rescaled to the next wire's uint8 grid (requantization); activations
+//! and the two long residual additions are applied at wire precision, so
+//! the model faithfully accumulates the per-wire precision loss that
+//! determines deployed PSNR.
+
+use crate::qtensor::{AffineParams, QTensorU8, QWeightI8};
+use crate::scheme::ActivationProfile;
+use sesr_core::collapsed::{Act, CollapsedLayer, CollapsedSesr};
+use sesr_tensor::Tensor;
+
+/// One quantized layer: integer weights plus the float bias and
+/// activation (applied during requantization, as NPUs do via lookup
+/// tables / fused rescale).
+#[derive(Debug, Clone)]
+struct QLayer {
+    weight: QWeightI8,
+    bias: Vec<f32>,
+    act: Option<Act>,
+    /// Output wire parameters.
+    out_params: AffineParams,
+}
+
+/// A fully quantized SESR network.
+#[derive(Debug, Clone)]
+pub struct QuantizedSesr {
+    layers: Vec<QLayer>,
+    input_params: AffineParams,
+    scale: usize,
+    feature_residual: bool,
+    input_residual: bool,
+}
+
+impl QuantizedSesr {
+    /// Quantizes a collapsed float network using calibrated activation
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's layer count disagrees with the network's.
+    pub fn quantize(net: &CollapsedSesr, profile: &ActivationProfile) -> Self {
+        assert_eq!(
+            profile.layer_outputs.len(),
+            net.layers().len(),
+            "profile does not match network"
+        );
+        let layers = net
+            .layers()
+            .iter()
+            .zip(profile.layer_outputs.iter())
+            .map(|(layer, &out_params)| QLayer {
+                weight: QWeightI8::quantize(&layer.weight),
+                bias: layer.bias.data().to_vec(),
+                act: layer.act.clone(),
+                out_params,
+            })
+            .collect();
+        Self {
+            layers,
+            input_params: profile.input,
+            scale: net.scale(),
+            feature_residual: net.has_feature_residual(),
+            input_residual: net.has_input_residual(),
+        }
+    }
+
+    /// The upscaling factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Total quantized model size in bytes (int8 weights + f32 biases +
+    /// scales) — the number that matters for flash/DRAM footprint.
+    pub fn model_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weight.data.len() + 4 * (l.bias.len() + l.weight.scales.len()))
+            .sum()
+    }
+
+    /// Integer convolution of a uint8 activation with an int8 weight,
+    /// producing the real-valued result (`f32`) before requantization.
+    fn conv_q(input: &QTensorU8, layer: &QLayer) -> Tensor {
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
+        let dims = &layer.weight.shape;
+        let (o, ci, kh, kw) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, ci, "channel mismatch");
+        let (pt, pl) = ((kh - 1) / 2, (kw - 1) / 2);
+        let zp = input.params.zero_point;
+        let s_in = input.params.scale;
+        let mut out = Tensor::zeros(&[n, o, h, w]);
+        for ni in 0..n {
+            for oi in 0..o {
+                let w_base_o = oi * c * kh * kw;
+                let scale = s_in * layer.weight.scales[oi];
+                let bias = layer.bias[oi];
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let mut acc: i32 = 0;
+                        for cc in 0..c {
+                            let in_base = (ni * c + cc) * h * w;
+                            let w_base = w_base_o + cc * kh * kw;
+                            for ky in 0..kh {
+                                let iy = oy as isize + ky as isize - pt as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    // Zero padding: real zero is exactly
+                                    // representable, level == zero_point,
+                                    // so (q - zp) contributes 0. Skip.
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = ox as isize + kx as isize - pl as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let q_in = input.data
+                                        [in_base + iy as usize * w + ix as usize]
+                                        as i32;
+                                    let q_w =
+                                        layer.weight.data[w_base + ky * kw + kx] as i32;
+                                    acc += (q_in - zp) * q_w;
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, oi, oy, ox]) = scale * acc as f32 + bias;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_act(t: &Tensor, act: &Option<Act>) -> Tensor {
+        match act {
+            Some(Act::PRelu(a)) => sesr_tensor::activations::prelu(t, a),
+            Some(Act::Relu) => sesr_tensor::activations::relu(t),
+            None => t.clone(),
+        }
+    }
+
+    /// Runs quantized inference on a `[1, H, W]` luma image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[1, H, W]`.
+    pub fn run(&self, lr: &Tensor) -> Tensor {
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        let (h, w) = (dims[1], dims[2]);
+        let x0 = lr.reshape(&[1, 1, h, w]);
+        let q0 = QTensorU8::quantize(&x0, self.input_params);
+
+        // First layer.
+        let mut real = Self::apply_act(&Self::conv_q(&q0, &self.layers[0]), &self.layers[0].act);
+        let mut qx = QTensorU8::quantize(&real, self.layers[0].out_params);
+        let first = qx.clone();
+
+        // Middle layers.
+        let n_layers = self.layers.len();
+        for layer in &self.layers[1..n_layers - 1] {
+            real = Self::apply_act(&Self::conv_q(&qx, layer), &layer.act);
+            qx = QTensorU8::quantize(&real, layer.out_params);
+        }
+
+        // Long feature residual at wire precision.
+        if self.feature_residual {
+            let a = qx.dequantize();
+            let b = first.dequantize();
+            let sum = a.add(&b);
+            // Residual sum re-enters the last conv on its own wire; reuse
+            // the incoming wire's params widened by 2x range.
+            let p = AffineParams {
+                scale: qx.params.scale * 2.0,
+                zero_point: qx.params.zero_point,
+            };
+            qx = QTensorU8::quantize(&sum, p);
+        }
+
+        // Head.
+        let last = &self.layers[n_layers - 1];
+        let mut y = Self::apply_act(&Self::conv_q(&qx, last), &last.act);
+        if self.input_residual {
+            let x_dq = q0.dequantize();
+            let (n, c, hh, ww) = y.shape_obj().as_nchw();
+            let plane = hh * ww;
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        y.data_mut()[base + i] += x_dq.data()[ni * plane + i];
+                    }
+                }
+            }
+        }
+        // Final output quantized to the head wire, then shuffled.
+        let qy = QTensorU8::quantize(&y, last.out_params);
+        let y = qy.dequantize();
+        let mut out = sesr_tensor::pixel_shuffle::depth_to_space(&y, 2);
+        if self.scale == 4 {
+            out = sesr_tensor::pixel_shuffle::depth_to_space(&out, 2);
+        }
+        out.reshape(&[1, h * self.scale, w * self.scale])
+    }
+}
+
+/// Produces a float network whose weights have been through
+/// quantize-dequantize ("fake quant") — a cheap way to isolate the PSNR
+/// impact of weight quantization alone.
+pub fn fake_quantize_weights(net: &CollapsedSesr) -> CollapsedSesr {
+    let layers = net
+        .layers()
+        .iter()
+        .map(|layer| CollapsedLayer {
+            weight: QWeightI8::quantize(&layer.weight).dequantize(),
+            bias: layer.bias.clone(),
+            act: layer.act.clone(),
+        })
+        .collect();
+    CollapsedSesr::new(
+        layers,
+        net.scale(),
+        net.has_feature_residual(),
+        net.has_input_residual(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::calibrate;
+    use sesr_core::model::{Sesr, SesrConfig};
+    use sesr_data::metrics::psnr;
+
+    fn net_and_calib() -> (CollapsedSesr, Vec<Tensor>) {
+        let net = Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(11)).collapse();
+        let calib: Vec<Tensor> = (0..4)
+            .map(|i| sesr_data::synth::generate(sesr_data::Family::Mixed, 24, 24, 50 + i))
+            .collect();
+        (net, calib)
+    }
+
+    #[test]
+    fn quantized_output_tracks_float_output() {
+        let (net, calib) = net_and_calib();
+        let profile = calibrate(&net, &calib);
+        let qnet = QuantizedSesr::quantize(&net, &profile);
+        let test = sesr_data::synth::generate(sesr_data::Family::Urban, 24, 24, 99);
+        let f_out = net.run(&test);
+        let q_out = qnet.run(&test);
+        assert_eq!(q_out.shape(), f_out.shape());
+        let db = psnr(&q_out, &f_out, 1.0);
+        assert!(db > 30.0, "int8 vs f32 agreement only {db:.1} dB");
+    }
+
+    #[test]
+    fn x4_quantized_network_runs() {
+        let net = Sesr::new(
+            SesrConfig::m(1)
+                .with_expanded(4)
+                .with_scale(4)
+                .with_seed(12),
+        )
+        .collapse();
+        let calib = vec![Tensor::rand_uniform(&[1, 12, 12], 0.0, 1.0, 3)];
+        let profile = calibrate(&net, &calib);
+        let qnet = QuantizedSesr::quantize(&net, &profile);
+        assert_eq!(qnet.run(&calib[0]).shape(), &[1, 48, 48]);
+    }
+
+    #[test]
+    fn model_bytes_are_roughly_param_count() {
+        let (net, calib) = net_and_calib();
+        let profile = calibrate(&net, &calib);
+        let qnet = QuantizedSesr::quantize(&net, &profile);
+        let params = net.num_weight_params();
+        assert!(qnet.model_bytes() >= params); // 1 byte per weight
+        assert!(qnet.model_bytes() < params + 4096); // + small overhead
+        // 4x smaller than the f32 artifact, minus overheads.
+        let f32_bytes = sesr_core::model_io::encode_model(&net).len();
+        assert!((qnet.model_bytes() as f64) < 0.4 * f32_bytes as f64);
+    }
+
+    #[test]
+    fn fake_quant_weights_stay_close() {
+        let (net, _) = net_and_calib();
+        let fq = fake_quantize_weights(&net);
+        let test = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 5);
+        let db = psnr(&fq.run(&test), &net.run(&test), 1.0);
+        assert!(db > 40.0, "weight-only fake quant PSNR {db:.1}");
+    }
+
+    #[test]
+    fn integer_conv_matches_float_conv_on_exact_grid() {
+        // If inputs and weights are exactly representable, integer conv
+        // must equal float conv exactly.
+        let mut layer_w = Tensor::zeros(&[1, 1, 1, 1]);
+        layer_w.data_mut()[0] = 0.5;
+        let layer = QLayer {
+            weight: QWeightI8::quantize(&layer_w),
+            bias: vec![0.25],
+            act: None,
+            out_params: AffineParams::from_range_u8(0.0, 1.0),
+        };
+        let x = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[1, 1, 2, 2]);
+        let q = QTensorU8::quantize(&x, AffineParams::from_range_u8(0.0, 1.0));
+        let y = QuantizedSesr::conv_q(&q, &layer);
+        for (i, &expect) in [0.25f32, 0.5, 0.75, 0.375].iter().enumerate() {
+            assert!(
+                (y.data()[i] - expect).abs() < 2e-3,
+                "{} vs {expect}",
+                y.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_profile_rejected() {
+        let (net, calib) = net_and_calib();
+        let mut profile = calibrate(&net, &calib);
+        profile.layer_outputs.pop();
+        QuantizedSesr::quantize(&net, &profile);
+    }
+}

@@ -1,0 +1,227 @@
+//! Quantized tensor containers and the scalar quantize/dequantize math.
+
+use serde::{Deserialize, Serialize};
+use sesr_tensor::Tensor;
+
+/// Affine quantization parameters for one tensor (or one channel):
+/// `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineParams {
+    /// Step size between adjacent quantized levels.
+    pub scale: f32,
+    /// The integer level representing real zero.
+    pub zero_point: i32,
+}
+
+impl AffineParams {
+    /// Derives uint8 parameters covering `[lo, hi]` (inclusive), with the
+    /// range widened to contain zero so that zero is exactly
+    /// representable — required for zero padding to be exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn from_range_u8(lo: f32, hi: f32) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "range must be finite");
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let span = (hi - lo).max(f32::EPSILON);
+        let scale = span / 255.0;
+        let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as i32;
+        Self { scale, zero_point }
+    }
+
+    /// Symmetric int8 parameters for `[-amax, amax]` (zero-point 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amax` is negative or non-finite.
+    pub fn symmetric_i8(amax: f32) -> Self {
+        assert!(amax.is_finite() && amax >= 0.0, "invalid amax {amax}");
+        Self {
+            scale: (amax / 127.0).max(f32::EPSILON),
+            zero_point: 0,
+        }
+    }
+
+    /// Quantizes a real value to the integer grid (unclamped).
+    pub fn quantize(&self, x: f32) -> i32 {
+        (x / self.scale).round() as i32 + self.zero_point
+    }
+
+    /// Dequantizes an integer level.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        self.scale * (q - self.zero_point) as f32
+    }
+}
+
+/// A uint8 activation tensor with per-tensor affine parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTensorU8 {
+    /// Quantized values, row-major, same logical shape as the source.
+    pub data: Vec<u8>,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Quantization parameters.
+    pub params: AffineParams,
+}
+
+impl QTensorU8 {
+    /// Quantizes a float tensor with the given parameters (saturating).
+    pub fn quantize(t: &Tensor, params: AffineParams) -> Self {
+        let data = t
+            .data()
+            .iter()
+            .map(|&x| params.quantize(x).clamp(0, 255) as u8)
+            .collect();
+        Self {
+            data,
+            shape: t.shape().to_vec(),
+            params,
+        }
+    }
+
+    /// Dequantizes back to float.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.data
+                .iter()
+                .map(|&q| self.params.dequantize(q as i32))
+                .collect(),
+            &self.shape,
+        )
+    }
+}
+
+/// An int8 weight tensor with per-output-channel symmetric scales
+/// (OIHW layout; channel = outermost dimension).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QWeightI8 {
+    /// Quantized values, row-major OIHW.
+    pub data: Vec<i8>,
+    /// OIHW shape.
+    pub shape: Vec<usize>,
+    /// One scale per output channel.
+    pub scales: Vec<f32>,
+}
+
+impl QWeightI8 {
+    /// Quantizes an OIHW weight tensor per output channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn quantize(w: &Tensor) -> Self {
+        let dims = w.shape();
+        assert_eq!(dims.len(), 4, "weights must be OIHW");
+        let per_channel = dims[1] * dims[2] * dims[3];
+        let mut scales = Vec::with_capacity(dims[0]);
+        let mut data = Vec::with_capacity(w.len());
+        for o in 0..dims[0] {
+            let slice = &w.data()[o * per_channel..(o + 1) * per_channel];
+            let amax = slice.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let p = AffineParams::symmetric_i8(amax);
+            scales.push(p.scale);
+            data.extend(
+                slice
+                    .iter()
+                    .map(|&v| (v / p.scale).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+        Self {
+            data,
+            shape: dims.to_vec(),
+            scales,
+        }
+    }
+
+    /// Dequantizes back to float.
+    pub fn dequantize(&self) -> Tensor {
+        let per_channel: usize = self.shape[1..].iter().product();
+        let mut out = Vec::with_capacity(self.data.len());
+        for (o, &scale) in self.scales.iter().enumerate() {
+            out.extend(
+                self.data[o * per_channel..(o + 1) * per_channel]
+                    .iter()
+                    .map(|&q| q as f32 * scale),
+            );
+        }
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// Worst-case relative quantization error of the weights
+    /// (`max |w - dq(q(w))| / max |w|`).
+    pub fn relative_error(&self, original: &Tensor) -> f32 {
+        let dq = self.dequantize();
+        let denom = original.max_abs().max(f32::EPSILON);
+        original.max_abs_diff(&dq) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_u8_represents_zero_exactly() {
+        for (lo, hi) in [(-1.0f32, 1.0f32), (0.0, 5.0), (-3.0, -1.0), (0.2, 0.9)] {
+            let p = AffineParams::from_range_u8(lo, hi);
+            let z = p.quantize(0.0);
+            assert!((0..=255).contains(&z), "zero point {z} out of range");
+            assert!(p.dequantize(z).abs() < 1e-7, "zero not exact for [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn u8_roundtrip_error_bounded_by_half_step() {
+        let t = Tensor::rand_uniform(&[64], -0.5, 1.5, 1);
+        let p = AffineParams::from_range_u8(-0.5, 1.5);
+        let q = QTensorU8::quantize(&t, p);
+        let dq = q.dequantize();
+        assert!(t.max_abs_diff(&dq) <= p.scale / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn symmetric_i8_zero_point_is_zero() {
+        let p = AffineParams::symmetric_i8(2.0);
+        assert_eq!(p.zero_point, 0);
+        assert_eq!(p.quantize(0.0), 0);
+        assert!((p.dequantize(127) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_channel_weights_roundtrip_tightly() {
+        // Two channels with wildly different magnitudes: per-channel
+        // scales keep both accurate.
+        let mut w = Tensor::zeros(&[2, 1, 2, 2]);
+        for i in 0..4 {
+            w.data_mut()[i] = (i as f32 - 1.5) * 10.0; // channel 0: ~±15
+            w.data_mut()[4 + i] = (i as f32 - 1.5) * 0.01; // channel 1: ~±0.015
+        }
+        let q = QWeightI8::quantize(&w);
+        assert!(q.relative_error(&w) < 0.01, "error {}", q.relative_error(&w));
+        // A per-tensor scheme would lose channel 1 almost entirely; check
+        // channel 1 survives on its own terms.
+        let dq = q.dequantize();
+        for i in 0..4 {
+            let orig = w.data()[4 + i];
+            let got = dq.data()[4 + i];
+            assert!((orig - got).abs() < 0.001, "{orig} vs {got}");
+        }
+    }
+
+    #[test]
+    fn zero_amax_channel_is_stable() {
+        let w = Tensor::zeros(&[1, 1, 3, 3]);
+        let q = QWeightI8::quantize(&w);
+        let dq = q.dequantize();
+        assert!(dq.max_abs() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_rejected() {
+        AffineParams::from_range_u8(1.0, -1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Calibration: measuring activation ranges on representative data.
+
+use crate::qtensor::AffineParams;
+use serde::{Deserialize, Serialize};
+use sesr_core::CollapsedSesr;
+use sesr_tensor::activations::{prelu, relu};
+use sesr_tensor::conv::{conv2d, Conv2dParams};
+use sesr_tensor::Tensor;
+
+/// Quantization parameters for a whole network: one activation range per
+/// "wire" (network input, each layer output, and the pre-shuffle output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationProfile {
+    /// Affine parameters for the network input.
+    pub input: AffineParams,
+    /// Affine parameters for each layer's (post-activation) output, in
+    /// layer order; the last entry covers the head output after the
+    /// residual additions.
+    pub layer_outputs: Vec<AffineParams>,
+}
+
+/// Convenience alias used by the executor.
+pub type QuantParams = AffineParams;
+
+/// Observed min/max tracker.
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    lo: f32,
+    hi: f32,
+}
+
+impl Range {
+    fn new() -> Self {
+        Self {
+            lo: f32::MAX,
+            hi: f32::MIN,
+        }
+    }
+    fn update(&mut self, t: &Tensor) {
+        for &v in t.data() {
+            self.lo = self.lo.min(v);
+            self.hi = self.hi.max(v);
+        }
+    }
+    fn params(&self) -> AffineParams {
+        AffineParams::from_range_u8(self.lo, self.hi)
+    }
+}
+
+/// Runs the float network over a calibration set, recording the observed
+/// range of every wire, and returns uint8 parameters for each.
+///
+/// Mirrors [`CollapsedSesr::run`]'s dataflow exactly (residuals included),
+/// so the executor can replay it with quantized wires.
+///
+/// # Panics
+///
+/// Panics if `calibration` is empty or images are not `[1, H, W]`.
+pub fn calibrate(net: &CollapsedSesr, calibration: &[Tensor]) -> ActivationProfile {
+    assert!(
+        !calibration.is_empty(),
+        "calibration requires at least one image"
+    );
+    let n_layers = net.layers().len();
+    let mut input_range = Range::new();
+    let mut out_ranges = vec![Range::new(); n_layers];
+    let same = Conv2dParams::same();
+    for img in calibration {
+        let dims = img.shape();
+        assert_eq!(dims.len(), 3, "calibration images must be [1, H, W]");
+        let x0 = img.reshape(&[1, 1, dims[1], dims[2]]);
+        input_range.update(&x0);
+        let mut x = apply_layer(&net.layers()[0], &x0, same);
+        out_ranges[0].update(&x);
+        let first = x.clone();
+        for (i, layer) in net.layers()[1..n_layers - 1].iter().enumerate() {
+            x = apply_layer(layer, &x, same);
+            out_ranges[i + 1].update(&x);
+        }
+        if net.has_feature_residual() {
+            x = x.add(&first);
+        }
+        let mut y = apply_layer(&net.layers()[n_layers - 1], &x, same);
+        if net.has_input_residual() {
+            y = sesr_autograd_free_broadcast(&y, &x0);
+        }
+        out_ranges[n_layers - 1].update(&y);
+    }
+    ActivationProfile {
+        input: input_range.params(),
+        layer_outputs: out_ranges.iter().map(Range::params).collect(),
+    }
+}
+
+fn apply_layer(
+    layer: &sesr_core::collapsed::CollapsedLayer,
+    x: &Tensor,
+    same: Conv2dParams,
+) -> Tensor {
+    let y = conv2d(x, &layer.weight, Some(&layer.bias), same);
+    match &layer.act {
+        Some(sesr_core::collapsed::Act::PRelu(a)) => prelu(&y, a),
+        Some(sesr_core::collapsed::Act::Relu) => relu(&y),
+        None => y,
+    }
+}
+
+/// Broadcast-add without depending on sesr-autograd: adds the
+/// single-channel `b` to every channel of `a`.
+fn sesr_autograd_free_broadcast(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, c, h, w) = a.shape_obj().as_nchw();
+    let mut out = a.clone();
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let src = ni * plane;
+            for i in 0..plane {
+                out.data_mut()[base + i] += b.data()[src + i];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_core::model::{Sesr, SesrConfig};
+
+    fn tiny_net() -> CollapsedSesr {
+        Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(4)).collapse()
+    }
+
+    #[test]
+    fn profile_covers_every_layer() {
+        let net = tiny_net();
+        let calib: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::rand_uniform(&[1, 12, 12], 0.0, 1.0, i))
+            .collect();
+        let profile = calibrate(&net, &calib);
+        assert_eq!(profile.layer_outputs.len(), net.layers().len());
+        for p in &profile.layer_outputs {
+            assert!(p.scale > 0.0);
+        }
+    }
+
+    #[test]
+    fn input_range_reflects_data() {
+        let net = tiny_net();
+        let calib = vec![Tensor::rand_uniform(&[1, 12, 12], 0.0, 1.0, 7)];
+        let profile = calibrate(&net, &calib);
+        // Input in [0, 1]: one step must be ~1/255.
+        assert!((profile.input.scale - 1.0 / 255.0).abs() < 0.2 / 255.0);
+    }
+
+    #[test]
+    fn wider_calibration_data_widens_ranges() {
+        let net = tiny_net();
+        let narrow = vec![Tensor::rand_uniform(&[1, 12, 12], 0.4, 0.6, 1)];
+        let wide = vec![Tensor::rand_uniform(&[1, 12, 12], 0.0, 1.0, 1)];
+        let pn = calibrate(&net, &narrow);
+        let pw = calibrate(&net, &wide);
+        assert!(pw.input.scale > pn.input.scale);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one image")]
+    fn empty_calibration_rejected() {
+        calibrate(&tiny_net(), &[]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the quantization schemes.
+
+use proptest::prelude::*;
+use sesr_quant::qtensor::{AffineParams, QTensorU8, QWeightI8};
+use sesr_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize-dequantize error is bounded by half a step for values
+    /// inside the calibrated range.
+    #[test]
+    fn u8_roundtrip_error_bounded(
+        lo in -10.0f32..0.0,
+        span in 0.01f32..20.0,
+        seed in 0u64..1000,
+    ) {
+        let hi = lo + span;
+        let t = Tensor::rand_uniform(&[64], lo, hi, seed);
+        let p = AffineParams::from_range_u8(lo, hi);
+        let q = QTensorU8::quantize(&t, p);
+        let dq = q.dequantize();
+        prop_assert!(t.max_abs_diff(&dq) <= p.scale / 2.0 + 1e-5);
+    }
+
+    /// Zero is always exactly representable (required for zero padding).
+    #[test]
+    fn zero_exactly_representable(
+        lo in -10.0f32..10.0,
+        span in 0.01f32..20.0,
+    ) {
+        let p = AffineParams::from_range_u8(lo, lo + span);
+        let z = p.quantize(0.0).clamp(0, 255);
+        prop_assert!(p.dequantize(z).abs() < 1e-6);
+    }
+
+    /// Out-of-range values saturate to the range bounds (no wraparound).
+    #[test]
+    fn saturation_is_monotone(seed in 0u64..1000) {
+        let p = AffineParams::from_range_u8(0.0, 1.0);
+        let t = Tensor::rand_uniform(&[32], -5.0, 5.0, seed);
+        let q = QTensorU8::quantize(&t, p);
+        let dq = q.dequantize();
+        for (&orig, &back) in t.data().iter().zip(dq.data().iter()) {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&back));
+            if orig < -0.1 {
+                prop_assert!(back < 0.05, "negative input mapped to {back}");
+            }
+            if orig > 1.1 {
+                prop_assert!(back > 0.95, "large input mapped to {back}");
+            }
+        }
+    }
+
+    /// Per-channel int8 weight quantization keeps relative error small for
+    /// every channel independently of magnitude disparities.
+    #[test]
+    fn per_channel_relative_error_small(
+        o in 1usize..5,
+        i in 1usize..4,
+        k in 1usize..4,
+        magnitude_spread in 1.0f32..1000.0,
+        seed in 0u64..1000,
+    ) {
+        let mut w = Tensor::randn(&[o, i, k, k], 0.0, 1.0, seed);
+        // Scale each output channel by a wildly different factor.
+        let per = i * k * k;
+        for ch in 0..o {
+            let f = magnitude_spread.powf(ch as f32 / o.max(1) as f32);
+            for v in &mut w.data_mut()[ch * per..(ch + 1) * per] {
+                *v *= f;
+            }
+        }
+        let q = QWeightI8::quantize(&w);
+        let dq = q.dequantize();
+        for ch in 0..o {
+            let orig = &w.data()[ch * per..(ch + 1) * per];
+            let back = &dq.data()[ch * per..(ch + 1) * per];
+            let amax = orig.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if amax == 0.0 {
+                continue;
+            }
+            let err = orig
+                .iter()
+                .zip(back.iter())
+                .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()));
+            prop_assert!(err / amax <= 1.0 / 127.0 + 1e-6, "channel {ch}: {}", err / amax);
+        }
+    }
+
+    /// Quantization commutes with positive scaling of the whole weight
+    /// tensor (scales absorb the factor).
+    #[test]
+    fn weight_quant_scale_invariance(
+        factor in 0.01f32..100.0,
+        seed in 0u64..1000,
+    ) {
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.0, 1.0, seed);
+        let q1 = QWeightI8::quantize(&w);
+        let q2 = QWeightI8::quantize(&w.scale(factor));
+        // Integer codes identical; scales differ by the factor.
+        prop_assert_eq!(&q1.data, &q2.data);
+        for (a, b) in q1.scales.iter().zip(q2.scales.iter()) {
+            prop_assert!((b / a / factor - 1.0).abs() < 1e-4);
+        }
+    }
+}

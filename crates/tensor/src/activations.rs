@@ -1,0 +1,146 @@
+//! ReLU and PReLU forward/backward.
+//!
+//! SESR uses PReLU after each residual addition at training time and offers
+//! a ReLU variant for hardware efficiency (paper Secs. 3.1 and 5.5).
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes the gradient where the input was
+/// positive.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `input` and `d_out`.
+pub fn relu_backward(input: &Tensor, d_out: &Tensor) -> Tensor {
+    input.zip_with(d_out, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Parametric ReLU with one learnable slope per channel:
+/// `x >= 0 ? x : alpha[c] * x` for NCHW input.
+///
+/// # Panics
+///
+/// Panics if `alpha` does not have one element per channel or `input` is not
+/// 4-D.
+pub fn prelu(input: &Tensor, alpha: &Tensor) -> Tensor {
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    assert_eq!(alpha.shape(), &[c], "alpha must have one slope per channel");
+    let mut out = Tensor::zeros(input.shape());
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let a = alpha.data()[ci];
+            let base = (ni * c + ci) * plane;
+            for i in base..base + plane {
+                let x = input.data()[i];
+                out.data_mut()[i] = if x >= 0.0 { x } else { a * x };
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of [`prelu`]: `(d_input, d_alpha)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn prelu_backward(input: &Tensor, alpha: &Tensor, d_out: &Tensor) -> (Tensor, Tensor) {
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    assert_eq!(alpha.shape(), &[c], "alpha must have one slope per channel");
+    assert_eq!(input.shape(), d_out.shape(), "d_out shape mismatch");
+    let mut d_input = Tensor::zeros(input.shape());
+    let mut d_alpha = Tensor::zeros(&[c]);
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let a = alpha.data()[ci];
+            let base = (ni * c + ci) * plane;
+            let mut da = 0.0f32;
+            for i in base..base + plane {
+                let x = input.data()[i];
+                let g = d_out.data()[i];
+                if x >= 0.0 {
+                    d_input.data_mut()[i] = g;
+                } else {
+                    d_input.data_mut()[i] = a * g;
+                    da += x * g;
+                }
+            }
+            d_alpha.data_mut()[ci] += da;
+        }
+    }
+    (d_input, d_alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]);
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn prelu_applies_per_channel_slope() {
+        let x = Tensor::from_vec(vec![-2.0, 2.0, -2.0, 2.0], &[1, 2, 1, 2]);
+        let a = Tensor::from_vec(vec![0.5, 0.25], &[2]);
+        let y = prelu(&x, &a);
+        assert_eq!(y.data(), &[-1.0, 2.0, -0.5, 2.0]);
+    }
+
+    #[test]
+    fn prelu_with_zero_alpha_is_relu() {
+        let x = Tensor::randn(&[1, 3, 4, 4], 0.0, 1.0, 1);
+        let a = Tensor::zeros(&[3]);
+        assert!(prelu(&x, &a).approx_eq(&relu(&x), 0.0));
+    }
+
+    #[test]
+    fn prelu_backward_finite_diff() {
+        let x = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, 2);
+        let a = Tensor::from_vec(vec![0.3, -0.2], &[2]);
+        let g = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, 3);
+        let loss = |x: &Tensor, a: &Tensor| prelu(x, a).mul(&g).sum();
+        let (dx, da) = prelu_backward(&x, &a, &g);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &a) - loss(&xm, &a)) / (2.0 * eps as f64);
+            assert!(
+                (fd - dx.data()[idx] as f64).abs() < 1e-2,
+                "dX[{idx}] fd={fd} an={}",
+                dx.data()[idx]
+            );
+        }
+        for idx in 0..2 {
+            let mut ap = a.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a.clone();
+            am.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &ap) - loss(&x, &am)) / (2.0 * eps as f64);
+            assert!(
+                (fd - da.data()[idx] as f64).abs() < 1e-2,
+                "dA[{idx}] fd={fd} an={}",
+                da.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,835 @@
+//! 2-D convolution: forward, backward, and transposed variants.
+//!
+//! The fast path lowers each batch image with [`crate::im2col`] and runs a
+//! single GEMM; a direct (naive) implementation is kept as the
+//! property-tested reference. All kernels support rectangular (asymmetric)
+//! and even-sized kernels — the paper's NAS search space (Sec. 3.4) uses
+//! 2x2, 2x1, 3x2 and 2x3 kernels, which require asymmetric "same" padding.
+
+use crate::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use crate::im2col::{col2im, im2col, ConvGeometry};
+use crate::tensor::Tensor;
+
+/// Padding policy for a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// Output spatial size equals input size (stride 1); for even kernels
+    /// the extra padding goes on the bottom/right (TensorFlow convention).
+    Same,
+    /// No padding.
+    Valid,
+    /// Explicit `(top, bottom, left, right)` padding.
+    Explicit(usize, usize, usize, usize),
+}
+
+/// Stride and padding of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride along the height axis.
+    pub stride_h: usize,
+    /// Stride along the width axis.
+    pub stride_w: usize,
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+impl Conv2dParams {
+    /// Stride 1, "same" padding — the configuration used by every layer of
+    /// the SESR inference network.
+    pub fn same() -> Self {
+        Self {
+            stride_h: 1,
+            stride_w: 1,
+            padding: Padding::Same,
+        }
+    }
+
+    /// Stride 1, no padding.
+    pub fn valid() -> Self {
+        Self {
+            stride_h: 1,
+            stride_w: 1,
+            padding: Padding::Valid,
+        }
+    }
+
+    /// Resolves the padding policy to explicit amounts for a `kh x kw`
+    /// kernel.
+    pub fn resolve_padding(&self, kh: usize, kw: usize) -> (usize, usize, usize, usize) {
+        match self.padding {
+            Padding::Valid => (0, 0, 0, 0),
+            Padding::Explicit(t, b, l, r) => (t, b, l, r),
+            Padding::Same => {
+                let ph = kh - 1;
+                let pw = kw - 1;
+                (ph / 2, ph - ph / 2, pw / 2, pw - pw / 2)
+            }
+        }
+    }
+
+    fn geometry(&self, c: usize, h: usize, w: usize, kh: usize, kw: usize) -> ConvGeometry {
+        let (pt, pb, pl, pr) = self.resolve_padding(kh, kw);
+        ConvGeometry {
+            channels: c,
+            in_h: h,
+            in_w: w,
+            kh,
+            kw,
+            stride_h: self.stride_h,
+            stride_w: self.stride_w,
+            pad_top: pt,
+            pad_bottom: pb,
+            pad_left: pl,
+            pad_right: pr,
+        }
+    }
+}
+
+fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) {
+    assert_eq!(input.shape().len(), 4, "input must be NCHW");
+    assert_eq!(weight.shape().len(), 4, "weight must be OIHW");
+    assert_eq!(
+        input.shape()[1],
+        weight.shape()[1],
+        "input channels {} != weight in-channels {}",
+        input.shape()[1],
+        weight.shape()[1]
+    );
+    if let Some(b) = bias {
+        assert_eq!(
+            b.shape(),
+            &[weight.shape()[0]],
+            "bias must have one element per output channel"
+        );
+    }
+}
+
+/// GEMM-based 2-D convolution.
+///
+/// `input` is NCHW, `weight` is OIHW, `bias` (optional) has one element per
+/// output channel.
+///
+/// # Panics
+///
+/// Panics on layout mismatches or degenerate geometry.
+///
+/// # Example
+///
+/// ```
+/// use sesr_tensor::{Tensor, conv::{conv2d, Conv2dParams}};
+/// let x = Tensor::ones(&[1, 1, 4, 4]);
+/// let w = Tensor::ones(&[1, 1, 3, 3]);
+/// let y = conv2d(&x, &w, None, Conv2dParams::same());
+/// // Center pixels see all nine taps.
+/// assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+/// // Corner pixels see four taps.
+/// assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+/// ```
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, params: Conv2dParams) -> Tensor {
+    check_conv_args(input, weight, bias);
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, _, kh, kw) = weight.shape_obj().as_nchw();
+    let geo = params.geometry(c, h, w, kh, kw);
+    geo.validate();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut col = vec![0.0f32; geo.col_rows() * geo.col_cols()];
+    let image = c * h * w;
+    let out_image = o * oh * ow;
+    for ni in 0..n {
+        im2col(&input.data()[ni * image..(ni + 1) * image], &geo, &mut col);
+        gemm(
+            weight.data(),
+            &col,
+            &mut out.data_mut()[ni * out_image..(ni + 1) * out_image],
+            o,
+            geo.col_rows(),
+            geo.col_cols(),
+        );
+    }
+    if let Some(b) = bias {
+        let plane = oh * ow;
+        for ni in 0..n {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                let base = (ni * o + oi) * plane;
+                for v in &mut out.data_mut()[base..base + plane] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive direct convolution used as the property-test reference.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
+    check_conv_args(input, weight, bias);
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, _, kh, kw) = weight.shape_obj().as_nchw();
+    let geo = params.geometry(c, h, w, kh, kw);
+    geo.validate();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    for ni in 0..n {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| b.data()[oi]);
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * geo.stride_h + ky) as isize - geo.pad_top as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix =
+                                    (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at(&[ni, ci, iy as usize, ix as usize])
+                                    * weight.at(&[oi, ci, ky, kx]);
+                            }
+                        }
+                    }
+                    *out.at_mut(&[ni, oi, oy, ox]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of a convolution: `(d_input, d_weight, d_bias)`.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, same shape as the input.
+    pub d_input: Tensor,
+    /// Gradient with respect to the weight, same shape as the weight.
+    pub d_weight: Tensor,
+    /// Gradient with respect to the bias (one element per output channel).
+    pub d_bias: Tensor,
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// Given `d_out = dL/d(conv2d(input, weight))`, returns gradients with
+/// respect to input, weight and bias.
+///
+/// # Panics
+///
+/// Panics if `d_out` does not have the forward output's shape.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+) -> Conv2dGrads {
+    check_conv_args(input, weight, None);
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, _, kh, kw) = weight.shape_obj().as_nchw();
+    let geo = params.geometry(c, h, w, kh, kw);
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    assert_eq!(
+        d_out.shape(),
+        &[n, o, oh, ow],
+        "d_out shape mismatch: expected {:?}",
+        [n, o, oh, ow]
+    );
+    let col_rows = geo.col_rows();
+    let col_cols = geo.col_cols();
+    let image = c * h * w;
+    let out_image = o * oh * ow;
+
+    let mut d_input = Tensor::zeros(input.shape());
+    let mut d_weight = Tensor::zeros(weight.shape());
+    let mut d_bias = Tensor::zeros(&[o]);
+
+    let mut col = vec![0.0f32; col_rows * col_cols];
+    let mut dcol = vec![0.0f32; col_rows * col_cols];
+    let mut dw_acc = vec![0.0f32; o * col_rows];
+    let mut dx_img = vec![0.0f32; image];
+
+    for ni in 0..n {
+        let dy = &d_out.data()[ni * out_image..(ni + 1) * out_image];
+        // d_bias: sum of dy over spatial positions.
+        for oi in 0..o {
+            let mut s = 0.0f32;
+            for v in &dy[oi * col_cols..(oi + 1) * col_cols] {
+                s += v;
+            }
+            d_bias.data_mut()[oi] += s;
+        }
+        // d_weight += dy (o x col_cols) * col^T (col_cols x col_rows)
+        im2col(&input.data()[ni * image..(ni + 1) * image], &geo, &mut col);
+        gemm_a_bt(dy, &col, &mut dw_acc, o, col_cols, col_rows);
+        for (dst, src) in d_weight.data_mut().iter_mut().zip(dw_acc.iter()) {
+            *dst += src;
+        }
+        // d_input = col2im( W^T (col_rows x o) * dy (o x col_cols) )
+        gemm_at_b(weight.data(), dy, &mut dcol, col_rows, o, col_cols);
+        col2im(&dcol, &geo, &mut dx_img);
+        d_input.data_mut()[ni * image..(ni + 1) * image]
+            .iter_mut()
+            .zip(dx_img.iter())
+            .for_each(|(dst, &src)| *dst += src);
+    }
+    Conv2dGrads {
+        d_input,
+        d_weight,
+        d_bias,
+    }
+}
+
+/// Grouped 2-D convolution: input channels are split into `groups`
+/// contiguous chunks, each convolved with its own weight slice. Weight
+/// layout is `[O, C/groups, kh, kw]` with the first `O/groups` output
+/// channels reading group 0, and so on — the layout CARN-M-style
+/// efficient residual blocks use.
+///
+/// # Panics
+///
+/// Panics if channel counts are not divisible by `groups` or layouts
+/// disagree.
+pub fn conv2d_grouped(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    groups: usize,
+) -> Tensor {
+    if groups == 1 {
+        return conv2d(input, weight, bias, params);
+    }
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, cg, kh, kw) = weight.shape_obj().as_nchw();
+    assert!(groups > 0, "groups must be positive");
+    assert_eq!(c % groups, 0, "input channels {c} not divisible by {groups}");
+    assert_eq!(o % groups, 0, "output channels {o} not divisible by {groups}");
+    assert_eq!(cg, c / groups, "weight in-channels must be C/groups");
+    let (og, icg) = (o / groups, c / groups);
+    let geo = params.geometry(icg, h, w, kh, kw);
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    for g in 0..groups {
+        // Slice input channels of this group.
+        let mut xin = Tensor::zeros(&[n, icg, h, w]);
+        for ni in 0..n {
+            for cc in 0..icg {
+                let src = ((ni * c) + g * icg + cc) * h * w;
+                let dst = (ni * icg + cc) * h * w;
+                xin.data_mut()[dst..dst + h * w]
+                    .copy_from_slice(&input.data()[src..src + h * w]);
+            }
+        }
+        let wslice = Tensor::from_vec(
+            weight.data()[g * og * icg * kh * kw..(g + 1) * og * icg * kh * kw].to_vec(),
+            &[og, icg, kh, kw],
+        );
+        let bslice = bias.map(|b| Tensor::from_vec(b.data()[g * og..(g + 1) * og].to_vec(), &[og]));
+        let y = conv2d(&xin, &wslice, bslice.as_ref(), params);
+        for ni in 0..n {
+            for oo in 0..og {
+                let src = (ni * og + oo) * oh * ow;
+                let dst = ((ni * o) + g * og + oo) * oh * ow;
+                out.data_mut()[dst..dst + oh * ow]
+                    .copy_from_slice(&y.data()[src..src + oh * ow]);
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`conv2d_grouped`].
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_grouped`]; `d_out` must match the forward
+/// output's shape.
+pub fn conv2d_grouped_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    params: Conv2dParams,
+    groups: usize,
+) -> Conv2dGrads {
+    if groups == 1 {
+        return conv2d_backward(input, weight, d_out, params);
+    }
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, _, kh, kw) = weight.shape_obj().as_nchw();
+    let (og, icg) = (o / groups, c / groups);
+    let geo = params.geometry(icg, h, w, kh, kw);
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut d_input = Tensor::zeros(input.shape());
+    let mut d_weight = Tensor::zeros(weight.shape());
+    let mut d_bias = Tensor::zeros(&[o]);
+    for g in 0..groups {
+        let mut xin = Tensor::zeros(&[n, icg, h, w]);
+        let mut gout = Tensor::zeros(&[n, og, oh, ow]);
+        for ni in 0..n {
+            for cc in 0..icg {
+                let src = ((ni * c) + g * icg + cc) * h * w;
+                let dst = (ni * icg + cc) * h * w;
+                xin.data_mut()[dst..dst + h * w]
+                    .copy_from_slice(&input.data()[src..src + h * w]);
+            }
+            for oo in 0..og {
+                let src = ((ni * o) + g * og + oo) * oh * ow;
+                let dst = (ni * og + oo) * oh * ow;
+                gout.data_mut()[dst..dst + oh * ow]
+                    .copy_from_slice(&d_out.data()[src..src + oh * ow]);
+            }
+        }
+        let wslice = Tensor::from_vec(
+            weight.data()[g * og * icg * kh * kw..(g + 1) * og * icg * kh * kw].to_vec(),
+            &[og, icg, kh, kw],
+        );
+        let grads = conv2d_backward(&xin, &wslice, &gout, params);
+        for ni in 0..n {
+            for cc in 0..icg {
+                let dst = ((ni * c) + g * icg + cc) * h * w;
+                let src = (ni * icg + cc) * h * w;
+                d_input.data_mut()[dst..dst + h * w]
+                    .copy_from_slice(&grads.d_input.data()[src..src + h * w]);
+            }
+        }
+        let wbase = g * og * icg * kh * kw;
+        d_weight.data_mut()[wbase..wbase + og * icg * kh * kw]
+            .copy_from_slice(grads.d_weight.data());
+        d_bias.data_mut()[g * og..(g + 1) * og].copy_from_slice(grads.d_bias.data());
+    }
+    Conv2dGrads {
+        d_input,
+        d_weight,
+        d_bias,
+    }
+}
+
+/// Transposed convolution (a.k.a. deconvolution), weight layout IOHW
+/// (`[in_channels, out_channels, kh, kw]`), as used by the FSRCNN baseline's
+/// upsampling head.
+///
+/// Output size follows the usual formula
+/// `out = (in - 1) * stride - pad_total + k + output_padding` per axis, with
+/// symmetric padding `pad` on both sides.
+///
+/// # Panics
+///
+/// Panics on layout mismatch or if padding exceeds what the kernel allows.
+pub fn conv_transpose2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    output_padding: usize,
+) -> Tensor {
+    assert_eq!(input.shape().len(), 4, "input must be NCHW");
+    assert_eq!(weight.shape().len(), 4, "weight must be IOHW");
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (wi, o, kh, kw) = weight.shape_obj().as_nchw();
+    assert_eq!(c, wi, "input channels {c} != weight in-channels {wi}");
+    assert!(output_padding < stride.max(1), "output_padding must be < stride");
+    let oh = (h - 1) * stride + kh + output_padding;
+    let ow = (w - 1) * stride + kw + output_padding;
+    assert!(oh > 2 * pad && ow > 2 * pad, "padding too large for output");
+    let (oh, ow) = (oh - 2 * pad, ow - 2 * pad);
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[o], "bias must have one element per output channel");
+    }
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let in_data = input.data();
+    let w_data = weight.data();
+    let out_data = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let w_base_c = ci * o * kh * kw;
+            for iy in 0..h {
+                for ix in 0..w {
+                    let x = in_data[in_base + iy * w + ix];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    for oi in 0..o {
+                        let out_base = (ni * o + oi) * oh * ow;
+                        let w_base = w_base_c + oi * kh * kw;
+                        for ky in 0..kh {
+                            let oy = (iy * stride + ky) as isize - pad as isize;
+                            if oy < 0 || oy >= oh as isize {
+                                continue;
+                            }
+                            let out_row = out_base + oy as usize * ow;
+                            let w_row = w_base + ky * kw;
+                            for kx in 0..kw {
+                                let ox = (ix * stride + kx) as isize - pad as isize;
+                                if ox < 0 || ox >= ow as isize {
+                                    continue;
+                                }
+                                out_data[out_row + ox as usize] += x * w_data[w_row + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(b) = bias {
+        let plane = oh * ow;
+        for ni in 0..n {
+            for oi in 0..o {
+                let bv = b.data()[oi];
+                let base = (ni * o + oi) * plane;
+                for v in &mut out.data_mut()[base..base + plane] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`conv_transpose2d`]; returns `(d_input, d_weight,
+/// d_bias)` given the upstream gradient `d_out`.
+///
+/// # Panics
+///
+/// Panics if `d_out` does not match the forward output's shape.
+pub fn conv_transpose2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    output_padding: usize,
+) -> Conv2dGrads {
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (_, o, kh, kw) = weight.shape_obj().as_nchw();
+    let oh = (h - 1) * stride + kh + output_padding - 2 * pad;
+    let ow = (w - 1) * stride + kw + output_padding - 2 * pad;
+    assert_eq!(d_out.shape(), &[n, o, oh, ow], "d_out shape mismatch");
+    let mut d_input = Tensor::zeros(input.shape());
+    let mut d_weight = Tensor::zeros(weight.shape());
+    let mut d_bias = Tensor::zeros(&[o]);
+    let in_data = input.data();
+    let w_data = weight.data();
+    let g_data = d_out.data();
+    for ni in 0..n {
+        for oi in 0..o {
+            let g_base = (ni * o + oi) * oh * ow;
+            let mut s = 0.0f32;
+            for v in &g_data[g_base..g_base + oh * ow] {
+                s += v;
+            }
+            d_bias.data_mut()[oi] += s;
+        }
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let w_base_c = ci * o * kh * kw;
+            for iy in 0..h {
+                for ix in 0..w {
+                    let x = in_data[in_base + iy * w + ix];
+                    let mut dx = 0.0f32;
+                    for oi in 0..o {
+                        let g_base = (ni * o + oi) * oh * ow;
+                        let w_base = w_base_c + oi * kh * kw;
+                        for ky in 0..kh {
+                            let oy = (iy * stride + ky) as isize - pad as isize;
+                            if oy < 0 || oy >= oh as isize {
+                                continue;
+                            }
+                            let g_row = g_base + oy as usize * ow;
+                            let w_row = w_base + ky * kw;
+                            for kx in 0..kw {
+                                let ox = (ix * stride + kx) as isize - pad as isize;
+                                if ox < 0 || ox >= ow as isize {
+                                    continue;
+                                }
+                                let g = g_data[g_row + ox as usize];
+                                dx += g * w_data[w_row + kx];
+                                d_weight.data_mut()[w_row + kx] += g * x;
+                            }
+                        }
+                    }
+                    d_input.data_mut()[in_base + iy * w + ix] += dx;
+                }
+            }
+        }
+    }
+    Conv2dGrads {
+        d_input,
+        d_weight,
+        d_bias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_path_matches_direct_odd_kernel() {
+        let x = Tensor::randn(&[2, 3, 7, 6], 0.0, 1.0, 1);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.5, 2);
+        let b = Tensor::randn(&[4], 0.0, 0.5, 3);
+        let fast = conv2d(&x, &w, Some(&b), Conv2dParams::same());
+        let slow = conv2d_direct(&x, &w, Some(&b), Conv2dParams::same());
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn gemm_path_matches_direct_asymmetric_kernel() {
+        for (kh, kw) in [(2, 2), (2, 1), (3, 2), (2, 3), (1, 1), (5, 5)] {
+            let x = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, 10 + kh as u64);
+            let w = Tensor::randn(&[3, 2, kh, kw], 0.0, 0.5, 20 + kw as u64);
+            let fast = conv2d(&x, &w, None, Conv2dParams::same());
+            let slow = conv2d_direct(&x, &w, None, Conv2dParams::same());
+            assert_eq!(fast.shape(), &[1, 3, 6, 6], "same padding keeps size for {kh}x{kw}");
+            assert!(fast.approx_eq(&slow, 1e-4), "kernel {kh}x{kw}");
+        }
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        let x = Tensor::ones(&[1, 1, 5, 5]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dParams::valid());
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert!(y.data().iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let x = Tensor::randn(&[1, 3, 5, 5], 0.0, 1.0, 5);
+        let w = Tensor::identity_kernel(3, 3);
+        let y = conv2d(&x, &w, None, Conv2dParams::same());
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn strided_conv() {
+        let x = Tensor::randn(&[1, 1, 8, 8], 0.0, 1.0, 6);
+        let w = Tensor::randn(&[2, 1, 3, 3], 0.0, 1.0, 7);
+        let p = Conv2dParams {
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Explicit(1, 1, 1, 1),
+        };
+        let fast = conv2d(&x, &w, None, p);
+        let slow = conv2d_direct(&x, &w, None, p);
+        assert_eq!(fast.shape(), &[1, 2, 4, 4]);
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    /// Finite-difference check of all three gradients.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, 30);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, 31);
+        let b = Tensor::randn(&[3], 0.0, 0.5, 32);
+        let p = Conv2dParams::same();
+        // Loss = sum(conv(x, w, b) * g) for fixed random g.
+        let g = Tensor::randn(&[1, 3, 4, 4], 0.0, 1.0, 33);
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
+            conv2d(x, w, Some(b), p).mul(&g).sum()
+        };
+        let grads = conv2d_backward(&x, &w, &g, p);
+        let eps = 1e-3f32;
+        // Weight gradient.
+        for idx in [0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64);
+            let an = grads.d_weight.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dW[{idx}]: fd={fd} an={an}");
+        }
+        // Input gradient.
+        for idx in [0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps as f64);
+            let an = grads.d_input.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dX[{idx}]: fd={fd} an={an}");
+        }
+        // Bias gradient.
+        for idx in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps as f64);
+            let an = grads.d_bias.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dB[{idx}]: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose_upsamples() {
+        // FSRCNN-style: stride 2, 9x9 kernel, pad 4, output_padding 1 doubles size.
+        let x = Tensor::randn(&[1, 4, 5, 5], 0.0, 1.0, 40);
+        let w = Tensor::randn(&[4, 1, 9, 9], 0.0, 0.2, 41);
+        let y = conv_transpose2d(&x, &w, None, 2, 4, 1);
+        assert_eq!(y.shape(), &[1, 1, 10, 10]);
+    }
+
+    #[test]
+    fn conv_transpose_stride1_equals_full_correlation() {
+        // stride-1 transposed conv with pad p equals conv with flipped
+        // kernel and pad (k-1-p).
+        let x = Tensor::randn(&[1, 1, 5, 5], 0.0, 1.0, 42);
+        let w = Tensor::randn(&[1, 1, 3, 3], 0.0, 1.0, 43);
+        let y = conv_transpose2d(&x, &w, None, 1, 1, 0);
+        let w_flipped = w.reverse(&[2, 3]);
+        let y2 = conv2d(
+            &x,
+            &w_flipped,
+            None,
+            Conv2dParams {
+                stride_h: 1,
+                stride_w: 1,
+                padding: Padding::Explicit(1, 1, 1, 1),
+            },
+        );
+        assert!(y.approx_eq(&y2, 1e-4));
+    }
+
+    #[test]
+    fn conv_transpose_backward_finite_diff() {
+        let x = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, 50);
+        let w = Tensor::randn(&[2, 1, 4, 4], 0.0, 0.5, 51);
+        let g = Tensor::randn(&[1, 1, 6, 6], 0.0, 1.0, 52);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            conv_transpose2d(x, w, None, 2, 1, 0).mul(&g).sum()
+        };
+        let grads = conv_transpose2d_backward(&x, &w, &g, 2, 1, 0);
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 9, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64);
+            let an = grads.d_input.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dX[{idx}]: fd={fd} an={an}");
+        }
+        for idx in [0usize, 8, 19, 31] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64);
+            let an = grads.d_weight.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dW[{idx}]: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn channel_mismatch_rejected() {
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let w = Tensor::ones(&[1, 3, 3, 3]);
+        conv2d(&x, &w, None, Conv2dParams::same());
+    }
+
+    #[test]
+    fn grouped_conv_with_one_group_equals_dense() {
+        let x = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, 70);
+        let w = Tensor::randn(&[6, 4, 3, 3], 0.0, 0.5, 71);
+        let dense = conv2d(&x, &w, None, Conv2dParams::same());
+        let grouped = conv2d_grouped(&x, &w, None, Conv2dParams::same(), 1);
+        assert!(dense.approx_eq(&grouped, 0.0));
+    }
+
+    #[test]
+    fn grouped_conv_matches_blockdiagonal_dense() {
+        // g groups == a dense conv with a block-diagonal weight.
+        let (c, o, g) = (4usize, 4usize, 2usize);
+        let x = Tensor::randn(&[2, c, 5, 5], 0.0, 1.0, 72);
+        let wg = Tensor::randn(&[o, c / g, 3, 3], 0.0, 0.5, 73);
+        let grouped = conv2d_grouped(&x, &wg, None, Conv2dParams::same(), g);
+        // Expand to dense block-diagonal.
+        let mut dense_w = Tensor::zeros(&[o, c, 3, 3]);
+        let (og, icg) = (o / g, c / g);
+        for gi in 0..g {
+            for oo in 0..og {
+                for ii in 0..icg {
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            *dense_w.at_mut(&[gi * og + oo, gi * icg + ii, ky, kx]) =
+                                wg.at(&[gi * og + oo, ii, ky, kx]);
+                        }
+                    }
+                }
+            }
+        }
+        let dense = conv2d(&x, &dense_w, None, Conv2dParams::same());
+        assert!(
+            grouped.approx_eq(&dense, 1e-4),
+            "diff {}",
+            grouped.max_abs_diff(&dense)
+        );
+    }
+
+    #[test]
+    fn grouped_backward_finite_diff() {
+        let x = Tensor::randn(&[1, 4, 4, 4], 0.0, 1.0, 74);
+        let w = Tensor::randn(&[4, 2, 3, 3], 0.0, 0.5, 75);
+        let g = Tensor::randn(&[1, 4, 4, 4], 0.0, 1.0, 76);
+        let p = Conv2dParams::same();
+        let loss = |x: &Tensor, w: &Tensor| conv2d_grouped(x, w, None, p, 2).mul(&g).sum();
+        let grads = conv2d_grouped_backward(&x, &w, &g, p, 2);
+        let eps = 1e-3f32;
+        for idx in [0usize, 17, 40, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64);
+            let an = grads.d_input.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dX[{idx}] fd={fd} an={an}");
+        }
+        for idx in [0usize, 20, 50, 71] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64);
+            let an = grads.d_weight.data()[idx] as f64;
+            assert!((fd - an).abs() < 2e-2, "dW[{idx}] fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn grouped_rejects_indivisible_channels() {
+        let x = Tensor::ones(&[1, 3, 4, 4]);
+        let w = Tensor::ones(&[4, 1, 3, 3]);
+        conv2d_grouped(&x, &w, None, Conv2dParams::same(), 2);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input() {
+        let x1 = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, 60);
+        let x2 = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, 61);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.0, 1.0, 62);
+        let p = Conv2dParams::same();
+        let lhs = conv2d(&x1.add(&x2), &w, None, p);
+        let rhs = conv2d(&x1, &w, None, p).add(&conv2d(&x2, &w, None, p));
+        assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+}

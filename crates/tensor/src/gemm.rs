@@ -1,0 +1,217 @@
+//! Row-major single-precision matrix multiplication.
+//!
+//! `C = A * B` with `A: m x k`, `B: k x n`, `C: m x n`, all row-major. The
+//! kernel is a cache-blocked loop nest parallelized over rows of `C`; it is
+//! deliberately simple (no SIMD intrinsics) but vectorizes well under
+//! `-C opt-level=3` thanks to the unit-stride inner loop over `n`.
+
+use crate::parallel::{parallel_for, SendPtr};
+
+/// Computes `C = A * B` for row-major matrices.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(b.len(), k * n, "B must be k x n");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    c.fill(0.0);
+    gemm_accumulate(a, b, c, m, k, n);
+}
+
+/// Computes `C += A * B` (no zeroing of `C`).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`.
+pub fn gemm_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(b.len(), k * n, "B must be k x n");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    const KC: usize = 256; // k-dimension blocking to keep B panels in cache
+    let cp = SendPtr(c.as_mut_ptr());
+    parallel_for(m, 8, |row_start, row_end| {
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            for i in row_start..row_end {
+                for p in kb..kend {
+                    let aip = a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..p * n + n];
+                    let cbase = i * n;
+                    for (j, &bv) in brow.iter().enumerate() {
+                        // SAFETY: rows in [row_start, row_end) are disjoint
+                        // across parallel_for chunks.
+                        unsafe { cp.add_assign(cbase + j, aip * bv) };
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Computes `C = A^T * B` where `A: k x m` (row-major), yielding `C: m x n`.
+/// Used by convolution weight gradients.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match.
+pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A must be k x m (transposed view)");
+    assert_eq!(b.len(), k * n, "B must be k x n");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    c.fill(0.0);
+    let cp = SendPtr(c.as_mut_ptr());
+    parallel_for(m, 8, |row_start, row_end| {
+        for p in 0..k {
+            let arow = &a[p * m..p * m + m];
+            let brow = &b[p * n..p * n + n];
+            for (i, &av) in arow.iter().enumerate().take(row_end).skip(row_start) {
+                if av == 0.0 {
+                    continue;
+                }
+                let cbase = i * n;
+                for (j, &bv) in brow.iter().enumerate() {
+                    // SAFETY: disjoint rows per parallel_for contract.
+                    unsafe { cp.add_assign(cbase + j, av * bv) };
+                }
+            }
+        }
+    });
+}
+
+/// Computes `C = A * B^T` where `B: n x k` (row-major), yielding `C: m x n`.
+/// Used by convolution input gradients.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match.
+pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(b.len(), n * k, "B must be n x k (transposed view)");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    let cp = SendPtr(c.as_mut_ptr());
+    parallel_for(m, 8, |row_start, row_end| {
+        for i in row_start..row_end {
+            let arow = &a[i * k..i * k + k];
+            for j in 0..n {
+                let brow = &b[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                // SAFETY: disjoint rows per parallel_for contract.
+                unsafe { cp.write(i * n + j, acc) };
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        crate::Tensor::randn(&[n], 0.0, 1.0, seed).into_vec()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_large_parallel() {
+        let (m, k, n) = (64, 300, 37);
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 4);
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &b, m, k, n), 1e-2);
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0; 4];
+        gemm_accumulate(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let (m, k, n) = (5, 7, 3);
+        // A stored as k x m.
+        let a_t = rand_vec(k * m, 5);
+        let b = rand_vec(k * n, 6);
+        // Build explicit A (m x k).
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(&a_t, &b, &mut c1, m, k, n);
+        assert_close(&c1, &naive(&a, &b, m, k, n), 1e-3);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let (m, k, n) = (4, 6, 5);
+        let a = rand_vec(m * k, 7);
+        // B stored as n x k.
+        let b_t = rand_vec(n * k, 8);
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_a_bt(&a, &b_t, &mut c1, m, k, n);
+        assert_close(&c1, &naive(&a, &b, m, k, n), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m x k")]
+    fn rejects_bad_dims() {
+        let mut c = vec![0.0; 4];
+        gemm(&[1.0; 3], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut c = vec![0.0];
+        gemm(&[3.0], &[4.0], &mut c, 1, 1, 1);
+        assert_eq!(c, vec![12.0]);
+    }
+}

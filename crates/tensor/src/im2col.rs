@@ -1,0 +1,248 @@
+//! im2col / col2im lowering for GEMM-based convolution.
+//!
+//! `im2col` unfolds every receptive field of a (single-image) CHW input into
+//! a column of a `(C*KH*KW) x (OH*OW)` matrix so convolution becomes one
+//! GEMM against the `(O) x (C*KH*KW)` weight matrix. `col2im` is its adjoint
+//! (scatter-accumulate), used by the convolution input-gradient.
+
+/// Geometry of one convolution, resolved to explicit padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height / width.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along height / width.
+    pub stride_h: usize,
+    /// Stride along width.
+    pub stride_w: usize,
+    /// Padding rows added above the image.
+    pub pad_top: usize,
+    /// Padding rows added below the image.
+    pub pad_bottom: usize,
+    /// Padding columns added left of the image.
+    pub pad_left: usize,
+    /// Padding columns added right of the image.
+    pub pad_right: usize,
+}
+
+impl ConvGeometry {
+    /// Output height for this geometry.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + self.pad_top + self.pad_bottom - self.kh) / self.stride_h + 1
+    }
+
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + self.pad_left + self.pad_right - self.kw) / self.stride_w + 1
+    }
+
+    /// Rows of the im2col matrix (`channels * kh * kw`).
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kh * self.kw
+    }
+
+    /// Columns of the im2col matrix (`out_h * out_w`).
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validates that the geometry produces a non-degenerate output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn validate(&self) {
+        assert!(
+            self.in_h + self.pad_top + self.pad_bottom >= self.kh
+                && self.in_w + self.pad_left + self.pad_right >= self.kw,
+            "kernel {}x{} larger than padded input {}x{}",
+            self.kh,
+            self.kw,
+            self.in_h + self.pad_top + self.pad_bottom,
+            self.in_w + self.pad_left + self.pad_right
+        );
+        assert!(self.stride_h > 0 && self.stride_w > 0, "stride must be positive");
+    }
+}
+
+/// Unfolds a CHW image into the im2col matrix.
+///
+/// `input` must hold `channels * in_h * in_w` elements; `col` must hold
+/// `col_rows() * col_cols()` elements and is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer sizes disagree with the geometry.
+pub fn im2col(input: &[f32], geo: &ConvGeometry, col: &mut [f32]) {
+    geo.validate();
+    assert_eq!(input.len(), geo.channels * geo.in_h * geo.in_w, "input size");
+    assert_eq!(col.len(), geo.col_rows() * geo.col_cols(), "col size");
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let ncols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geo.channels {
+        let plane = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for ky in 0..geo.kh {
+            for kx in 0..geo.kw {
+                let dst = &mut col[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride_h + ky) as isize - geo.pad_top as isize;
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geo.in_w..(iy as usize + 1) * geo.in_w];
+                    for (ox, slot) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
+                        *slot = if ix < 0 || ix >= geo.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-accumulates a column matrix back into a
+/// CHW image buffer. `output` is zeroed first.
+///
+/// # Panics
+///
+/// Panics if buffer sizes disagree with the geometry.
+pub fn col2im(col: &[f32], geo: &ConvGeometry, output: &mut [f32]) {
+    geo.validate();
+    assert_eq!(output.len(), geo.channels * geo.in_h * geo.in_w, "output size");
+    assert_eq!(col.len(), geo.col_rows() * geo.col_cols(), "col size");
+    output.fill(0.0);
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let ncols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geo.channels {
+        let base = c * geo.in_h * geo.in_w;
+        for ky in 0..geo.kh {
+            for kx in 0..geo.kw {
+                let src = &col[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride_h + ky) as isize - geo.pad_top as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
+                        if ix < 0 || ix >= geo.in_w as isize {
+                            continue;
+                        }
+                        output[base + iy as usize * geo.in_w + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: usize, h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> ConvGeometry {
+        ConvGeometry {
+            channels: c,
+            in_h: h,
+            in_w: w,
+            kh,
+            kw,
+            stride_h: 1,
+            stride_w: 1,
+            pad_top: pad,
+            pad_bottom: pad,
+            pad_left: pad,
+            pad_right: pad,
+        }
+    }
+
+    #[test]
+    fn identity_kernel_geometry() {
+        let g = geo(1, 4, 4, 1, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+        let input: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&input, &g, &mut col);
+        assert_eq!(col, input); // 1x1 kernel: im2col is identity
+    }
+
+    #[test]
+    fn same_padding_3x3_center_column() {
+        let g = geo(1, 3, 3, 3, 3, 1);
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&input, &g, &mut col);
+        // Center tap row (ky=1, kx=1 => row 4) must equal the input itself.
+        let ncols = 9;
+        assert_eq!(&col[4 * ncols..5 * ncols], input.as_slice());
+        // Top-left tap at output (0,0) reads padding => 0.
+        assert_eq!(col[0], 0.0);
+        // Top-left tap at output (2,2) reads input (1,1) = 5.
+        assert_eq!(col[8], 5.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let g = geo(2, 5, 4, 3, 2, 1);
+        let x = crate::Tensor::randn(&[g.channels * g.in_h * g.in_w], 0.0, 1.0, 11).into_vec();
+        let y =
+            crate::Tensor::randn(&[g.col_rows() * g.col_cols()], 0.0, 1.0, 12).into_vec();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&x, &g, &mut cx);
+        let lhs: f64 = cx.iter().zip(y.iter()).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut aty = vec![0.0; x.len()];
+        col2im(&y, &g, &mut aty);
+        let rhs: f64 = x.iter().zip(aty.iter()).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn strided_geometry_shrinks_output() {
+        let g = ConvGeometry {
+            stride_h: 2,
+            stride_w: 2,
+            ..geo(1, 8, 8, 3, 3, 1)
+        };
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn asymmetric_padding_for_even_kernel() {
+        // 2x2 kernel, "same": pad (0,1,0,1) keeps the size.
+        let g = ConvGeometry {
+            kh: 2,
+            kw: 2,
+            pad_top: 0,
+            pad_bottom: 1,
+            pad_left: 0,
+            pad_right: 1,
+            ..geo(1, 5, 5, 2, 2, 0)
+        };
+        assert_eq!((g.out_h(), g.out_w()), (5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_rejected() {
+        geo(1, 2, 2, 5, 5, 0).validate();
+    }
+}

@@ -1,0 +1,53 @@
+//! # sesr-tensor
+//!
+//! Minimal, dependency-light CPU tensor library underpinning the SESR
+//! (Super-Efficient Super Resolution, MLSys 2022) reproduction.
+//!
+//! The crate provides exactly what a compact SISR training/inference stack
+//! needs and nothing more:
+//!
+//! * [`Tensor`] — a dense, row-major `f32` tensor with NCHW conventions for
+//!   4-D data (`[batch, channels, height, width]`) and OIHW for weights
+//!   (`[out_channels, in_channels, kernel_h, kernel_w]`).
+//! * 2-D convolution forward and backward passes (direct and im2col/GEMM
+//!   paths), including asymmetric and even-sized kernels as used by the
+//!   paper's NAS search space (Sec. 3.4).
+//! * Transposed convolution (needed by the FSRCNN baseline's deconvolution
+//!   head).
+//! * `depth_to_space` / `space_to_depth` (pixel shuffle), the paper's
+//!   upsampling primitive (Sec. 3.1).
+//! * ReLU / PReLU forward and backward.
+//! * A tiny scoped thread pool ([`parallel`]) used by the GEMM kernel.
+//!
+//! ## Example
+//!
+//! ```
+//! use sesr_tensor::{Tensor, conv::{conv2d, Conv2dParams}};
+//!
+//! let input = Tensor::randn(&[1, 1, 8, 8], 0.0, 1.0, 42);
+//! let weight = Tensor::randn(&[16, 1, 3, 3], 0.0, 0.1, 7);
+//! let out = conv2d(&input, &weight, None, Conv2dParams::same());
+//! assert_eq!(out.shape(), &[1, 16, 8, 8]);
+//! ```
+
+pub mod activations;
+pub mod conv;
+pub mod gemm;
+pub mod im2col;
+pub mod parallel;
+pub mod pixel_shuffle;
+pub mod shape;
+pub mod tensor;
+pub mod winograd;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crate_reexports_work() {
+        let t = crate::Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+    }
+}

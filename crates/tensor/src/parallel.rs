@@ -1,0 +1,158 @@
+//! Tiny scoped data-parallel helpers.
+//!
+//! The heavy kernels in this crate (GEMM, direct convolution) are
+//! embarrassingly parallel over output rows. Rather than pulling in a full
+//! work-stealing runtime, this module provides a scoped `parallel_for` that
+//! splits an index range into contiguous chunks across the machine's cores
+//! using `crossbeam::scope`.
+
+use parking_lot::Once;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+static INIT: Once = Once::new();
+
+/// Number of worker threads used by [`parallel_for`].
+///
+/// Defaults to the machine's available parallelism, clamped to 16 (conv
+/// workloads here stop scaling beyond that). Override with
+/// [`set_num_threads`].
+pub fn num_threads() -> usize {
+    INIT.call_once(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        THREADS.store(n, Ordering::SeqCst);
+    });
+    THREADS.load(Ordering::SeqCst).max(1)
+}
+
+/// Overrides the worker-thread count (1 = fully sequential). Intended for
+/// benchmarking and tests.
+pub fn set_num_threads(n: usize) {
+    INIT.call_once(|| {});
+    THREADS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Runs `body(start, end)` over disjoint chunks of `0..n` in parallel.
+///
+/// The closure receives half-open chunk bounds. Chunks never overlap, so the
+/// typical pattern is to have each invocation write a disjoint slice of a
+/// shared output buffer obtained via `split_at_mut` logic inside the caller;
+/// this helper instead hands out index ranges and lets the caller index
+/// thread-safely (e.g. through raw pointers wrapped in a `SendPtr`).
+///
+/// Falls back to a single sequential call when `n` is small or only one
+/// thread is configured.
+pub fn parallel_for(n: usize, min_chunk: usize, body: impl Fn(usize, usize) + Sync) {
+    let threads = num_threads();
+    if threads <= 1 || n <= min_chunk {
+        body(0, n);
+        return;
+    }
+    let chunks = threads.min(n.div_ceil(min_chunk.max(1)));
+    let chunk = n.div_ceil(chunks);
+    crossbeam::scope(|scope| {
+        for t in 0..chunks {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move |_| body(start, end));
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// A `Send`/`Sync` wrapper around a raw mutable pointer, used to let
+/// disjoint chunks of one output buffer be written from multiple threads.
+///
+/// # Safety contract
+///
+/// Callers must guarantee that concurrent users write disjoint index
+/// ranges. [`parallel_for`] hands out disjoint ranges, so pairing the two is
+/// safe by construction.
+#[derive(Clone, Copy)]
+pub struct SendPtr(pub *mut f32);
+
+// SAFETY: `SendPtr` is only used with `parallel_for`, whose chunks index
+// disjoint regions of the pointee buffer.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Writes `value` at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// `offset` must be in bounds for the allocation and not concurrently
+    /// written by another thread.
+    #[inline]
+    pub unsafe fn write(&self, offset: usize, value: f32) {
+        *self.0.add(offset) = value;
+    }
+
+    /// Adds `value` at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SendPtr::write`].
+    #[inline]
+    pub unsafe fn add_assign(&self, offset: usize, value: f32) {
+        *self.0.add(offset) += value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn covers_full_range_once() {
+        let sum = AtomicU64::new(0);
+        parallel_for(1000, 10, |s, e| {
+            let local: u64 = (s..e).map(|i| i as u64).sum();
+            sum.fetch_add(local, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn small_ranges_run_sequentially() {
+        let sum = AtomicU64::new(0);
+        parallel_for(3, 100, |s, e| {
+            assert_eq!((s, e), (0, 3));
+            sum.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop_call() {
+        parallel_for(0, 1, |s, e| assert_eq!(s, e));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn sendptr_disjoint_writes() {
+        let mut buf = vec![0.0f32; 64];
+        let ptr = SendPtr(buf.as_mut_ptr());
+        parallel_for(64, 4, |s, e| {
+            for i in s..e {
+                // SAFETY: ranges are disjoint per parallel_for contract.
+                unsafe { ptr.write(i, i as f32) };
+            }
+        });
+        assert_eq!(buf[63], 63.0);
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(buf[10], 10.0);
+    }
+}

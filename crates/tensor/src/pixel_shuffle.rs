@@ -1,0 +1,158 @@
+//! Depth-to-space (pixel shuffle) and its inverse.
+//!
+//! SESR upsamples by emitting `scale^2` channels from its last convolution
+//! and rearranging them into a `scale x` larger image (paper Sec. 3.1); the
+//! ×4 variant applies a ×2 depth-to-space twice (Sec. 5.1).
+
+use crate::tensor::Tensor;
+
+/// Rearranges `[N, C*r^2, H, W]` into `[N, C, H*r, W*r]`.
+///
+/// Channel `c*r^2 + dy*r + dx` supplies the output pixel at sub-position
+/// `(dy, dx)` inside each `r x r` block (the standard sub-pixel convolution
+/// layout of Shi et al.).
+///
+/// # Panics
+///
+/// Panics if the channel count is not divisible by `r^2` or `r == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sesr_tensor::{Tensor, pixel_shuffle::depth_to_space};
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4, 1, 1]);
+/// let y = depth_to_space(&x, 2);
+/// assert_eq!(y.shape(), &[1, 1, 2, 2]);
+/// assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+/// ```
+pub fn depth_to_space(input: &Tensor, r: usize) -> Tensor {
+    assert!(r > 0, "scale factor must be positive");
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    assert_eq!(
+        c % (r * r),
+        0,
+        "channels {c} not divisible by scale^2 = {}",
+        r * r
+    );
+    let oc = c / (r * r);
+    let mut out = Tensor::zeros(&[n, oc, h * r, w * r]);
+    for ni in 0..n {
+        for co in 0..oc {
+            for dy in 0..r {
+                for dx in 0..r {
+                    let ci = co * r * r + dy * r + dx;
+                    for y in 0..h {
+                        for x in 0..w {
+                            *out.at_mut(&[ni, co, y * r + dy, x * r + dx]) =
+                                input.at(&[ni, ci, y, x]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`depth_to_space`]: `[N, C, H*r, W*r]` → `[N, C*r^2, H, W]`.
+///
+/// # Panics
+///
+/// Panics if the spatial dimensions are not divisible by `r` or `r == 0`.
+pub fn space_to_depth(input: &Tensor, r: usize) -> Tensor {
+    assert!(r > 0, "scale factor must be positive");
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    assert_eq!(h % r, 0, "height {h} not divisible by scale {r}");
+    assert_eq!(w % r, 0, "width {w} not divisible by scale {r}");
+    let (oh, ow) = (h / r, w / r);
+    let mut out = Tensor::zeros(&[n, c * r * r, oh, ow]);
+    for ni in 0..n {
+        for co in 0..c {
+            for dy in 0..r {
+                for dx in 0..r {
+                    let ci = co * r * r + dy * r + dx;
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            *out.at_mut(&[ni, ci, y, x]) =
+                                input.at(&[ni, co, y * r + dy, x * r + dx]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`depth_to_space`]: routes the upstream gradient back to
+/// the packed-channel layout. Because depth-to-space is a permutation, its
+/// adjoint is exactly [`space_to_depth`].
+pub fn depth_to_space_backward(d_out: &Tensor, r: usize) -> Tensor {
+    space_to_depth(d_out, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let x = Tensor::randn(&[2, 8, 3, 5], 0.0, 1.0, 1);
+        let y = depth_to_space(&x, 2);
+        assert_eq!(y.shape(), &[2, 2, 6, 10]);
+        let back = space_to_depth(&y, 2);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn roundtrip_other_direction() {
+        let x = Tensor::randn(&[1, 1, 6, 6], 0.0, 1.0, 2);
+        let packed = space_to_depth(&x, 3);
+        assert_eq!(packed.shape(), &[1, 9, 2, 2]);
+        assert_eq!(depth_to_space(&packed, 3), x);
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let x = Tensor::randn(&[1, 3, 4, 4], 0.0, 1.0, 3);
+        assert_eq!(depth_to_space(&x, 1), x);
+        assert_eq!(space_to_depth(&x, 1), x);
+    }
+
+    #[test]
+    fn two_x2_shuffles_match_spatial_x4_structure() {
+        // The paper's x4 head applies depth-to-space twice on 16 channels.
+        let x = Tensor::randn(&[1, 16, 2, 2], 0.0, 1.0, 4);
+        let y = depth_to_space(&depth_to_space(&x, 2), 2);
+        assert_eq!(y.shape(), &[1, 1, 8, 8]);
+        // Energy is preserved (pure permutation).
+        let ex: f64 = x.data().iter().map(|&v| (v * v) as f64).sum();
+        let ey: f64 = y.data().iter().map(|&v| (v * v) as f64).sum();
+        assert!((ex - ey).abs() < 1e-4);
+    }
+
+    #[test]
+    fn layout_matches_subpixel_convention() {
+        // channels [c0..c3], r=2: output block rows are (c0 c1 / c2 c3).
+        let x = Tensor::from_vec((1..=8).map(|v| v as f32).collect(), &[1, 8, 1, 1]);
+        let y = depth_to_space(&x, 2);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_is_adjoint() {
+        // <d2s(x), g> == <x, s2d(g)>
+        let x = Tensor::randn(&[1, 4, 3, 3], 0.0, 1.0, 5);
+        let g = Tensor::randn(&[1, 1, 6, 6], 0.0, 1.0, 6);
+        let lhs = depth_to_space(&x, 2).mul(&g).sum();
+        let rhs = x.mul(&depth_to_space_backward(&g, 2)).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_channels() {
+        depth_to_space(&Tensor::ones(&[1, 3, 2, 2]), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Winograd fast convolution `F(2x2, 3x3)` for stride-1, same-padding 3x3
+//! convolutions — the kernel shape that dominates collapsed SESR networks
+//! (`m` of the `m + 2` layers are 3x3).
+//!
+//! Winograd computes each 2x2 output tile with 16 multiplies instead of
+//! the direct method's 36 (2.25x fewer), at the cost of small linear
+//! transforms. Production NPU/CPU runtimes (including the compilers that
+//! would deploy SESR) use exactly this transformation; having it here lets
+//! the benchmarks compare direct, GEMM-lowered, and Winograd execution of
+//! the same collapsed network.
+//!
+//! Transforms (Lavin & Gray, 2016):
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with the canonical 4x4/4x3/4x2 matrices `B`, `G`, `A` below.
+
+use crate::conv::{Conv2dParams, Padding};
+use crate::tensor::Tensor;
+
+/// Applies `Bᵀ d B` to a 4x4 input tile (in place on a scratch array).
+#[inline]
+fn input_transform(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+    let mut tmp = [0.0f32; 16];
+    // rows: tmp = Bᵀ * d
+    for c in 0..4 {
+        tmp[c] = d[c] - d[8 + c];
+        tmp[4 + c] = d[4 + c] + d[8 + c];
+        tmp[8 + c] = d[8 + c] - d[4 + c];
+        tmp[12 + c] = d[4 + c] - d[12 + c];
+    }
+    // cols: out = tmp * B
+    let mut out = [0.0f32; 16];
+    for r in 0..4 {
+        let row = &tmp[4 * r..4 * r + 4];
+        out[4 * r] = row[0] - row[2];
+        out[4 * r + 1] = row[1] + row[2];
+        out[4 * r + 2] = row[2] - row[1];
+        out[4 * r + 3] = row[1] - row[3];
+    }
+    out
+}
+
+/// Applies `G g Gᵀ` to a 3x3 kernel, producing the 4x4 transformed kernel.
+#[inline]
+fn kernel_transform(g: &[f32]) -> [f32; 16] {
+    // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+    debug_assert_eq!(g.len(), 9);
+    let mut tmp = [0.0f32; 12]; // 4x3 = G * g
+    for c in 0..3 {
+        let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+        tmp[c] = g0;
+        tmp[3 + c] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + c] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + c] = g2;
+    }
+    let mut out = [0.0f32; 16]; // 4x4 = tmp * Gᵀ
+    for r in 0..4 {
+        let (t0, t1, t2) = (tmp[3 * r], tmp[3 * r + 1], tmp[3 * r + 2]);
+        out[4 * r] = t0;
+        out[4 * r + 1] = 0.5 * (t0 + t1 + t2);
+        out[4 * r + 2] = 0.5 * (t0 - t1 + t2);
+        out[4 * r + 3] = t2;
+    }
+    out
+}
+
+/// Applies `Aᵀ m A` to a 4x4 element-product tile, producing 2x2 outputs.
+#[inline]
+fn output_transform(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [0.0f32; 8]; // 2x4
+    for c in 0..4 {
+        tmp[c] = m[c] + m[4 + c] + m[8 + c];
+        tmp[4 + c] = m[4 + c] - m[8 + c] - m[12 + c];
+    }
+    [
+        tmp[0] + tmp[1] + tmp[2],
+        tmp[1] - tmp[2] - tmp[3],
+        tmp[4] + tmp[5] + tmp[6],
+        tmp[5] - tmp[6] - tmp[7],
+    ]
+}
+
+/// Winograd `F(2x2, 3x3)` convolution: stride 1, "same" padding, square
+/// 3x3 kernels. Bit-compatible (up to ~1e-4 float error) with
+/// [`crate::conv::conv2d`] under [`Conv2dParams::same`].
+///
+/// # Panics
+///
+/// Panics if the weight is not 3x3 or channel counts disagree.
+pub fn winograd_conv3x3(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let (n, c, h, w) = input.shape_obj().as_nchw();
+    let (o, ci, kh, kw) = weight.shape_obj().as_nchw();
+    assert_eq!((kh, kw), (3, 3), "winograd_conv3x3 requires 3x3 kernels");
+    assert_eq!(c, ci, "input channels {c} != weight in-channels {ci}");
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[o], "bias must have one element per channel");
+    }
+
+    // Transform all kernels once: U[o][i] is a 4x4 tile.
+    let mut u = vec![[0.0f32; 16]; o * c];
+    for oo in 0..o {
+        for ii in 0..c {
+            let base = (oo * c + ii) * 9;
+            u[oo * c + ii] = kernel_transform(&weight.data()[base..base + 9]);
+        }
+    }
+
+    let tiles_y = h.div_ceil(2);
+    let tiles_x = w.div_ceil(2);
+    let mut out = Tensor::zeros(&[n, o, h, w]);
+    let in_data = input.data();
+
+    // Scratch for the transformed input tiles of one spatial tile.
+    let mut v = vec![[0.0f32; 16]; c];
+    for ni in 0..n {
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Gather the 4x4 input patch (with same-padding offset -1).
+                let oy = 2 * ty;
+                let ox = 2 * tx;
+                for (cc, v_cc) in v.iter_mut().enumerate() {
+                    let plane = &in_data[(ni * c + cc) * h * w..(ni * c + cc + 1) * h * w];
+                    let mut d = [0.0f32; 16];
+                    for dy in 0..4 {
+                        let iy = oy as isize + dy as isize - 1;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for dx in 0..4 {
+                            let ix = ox as isize + dx as isize - 1;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            d[4 * dy + dx] = plane[iy as usize * w + ix as usize];
+                        }
+                    }
+                    *v_cc = input_transform(&d);
+                }
+                // Accumulate per output channel.
+                for oo in 0..o {
+                    let mut m = [0.0f32; 16];
+                    for (cc, v_cc) in v.iter().enumerate() {
+                        let u_tile = &u[oo * c + cc];
+                        for k in 0..16 {
+                            m[k] += u_tile[k] * v_cc[k];
+                        }
+                    }
+                    let y = output_transform(&m);
+                    let b = bias.map_or(0.0, |b| b.data()[oo]);
+                    let out_plane = (ni * o + oo) * h * w;
+                    for dy in 0..2 {
+                        let yy = oy + dy;
+                        if yy >= h {
+                            continue;
+                        }
+                        for dx in 0..2 {
+                            let xx = ox + dx;
+                            if xx >= w {
+                                continue;
+                            }
+                            out.data_mut()[out_plane + yy * w + xx] = y[2 * dy + dx] + b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplications per output element for Winograd vs direct 3x3
+/// convolution: `(16/4) / 9 = 4/9`, i.e. 2.25x fewer.
+pub const WINOGRAD_MUL_RATIO: f64 = 4.0 / 9.0;
+
+/// Dispatches to Winograd for 3x3 same-padding kernels, falling back to
+/// [`crate::conv::conv2d`] otherwise. Drop-in for inference runtimes.
+pub fn conv2d_auto(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, params: Conv2dParams) -> Tensor {
+    let is_3x3_same = weight.shape()[2] == 3
+        && weight.shape()[3] == 3
+        && params.stride_h == 1
+        && params.stride_w == 1
+        && matches!(params.padding, Padding::Same);
+    if is_3x3_same {
+        winograd_conv3x3(input, weight, bias)
+    } else {
+        crate::conv::conv2d(input, weight, bias, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+
+    #[test]
+    fn matches_direct_conv_even_sizes() {
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, 1);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.5, 2);
+        let b = Tensor::randn(&[4], 0.0, 0.5, 3);
+        let fast = winograd_conv3x3(&x, &w, Some(&b));
+        let refr = conv2d(&x, &w, Some(&b), Conv2dParams::same());
+        assert!(fast.approx_eq(&refr, 1e-4), "diff {}", fast.max_abs_diff(&refr));
+    }
+
+    #[test]
+    fn matches_direct_conv_odd_sizes() {
+        // Odd spatial sizes exercise the partial boundary tiles.
+        for (h, w) in [(5usize, 7usize), (7, 5), (9, 9), (2, 2), (1, 6)] {
+            let x = Tensor::randn(&[1, 2, h, w], 0.0, 1.0, 10 + h as u64);
+            let k = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, 20 + w as u64);
+            let fast = winograd_conv3x3(&x, &k, None);
+            let refr = conv2d(&x, &k, None, Conv2dParams::same());
+            assert!(
+                fast.approx_eq(&refr, 1e-4),
+                "{h}x{w}: diff {}",
+                fast.max_abs_diff(&refr)
+            );
+        }
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let x = Tensor::randn(&[1, 4, 6, 6], 0.0, 1.0, 30);
+        let w = Tensor::identity_kernel(4, 3);
+        let y = winograd_conv3x3(&x, &w, None);
+        assert!(y.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn kernel_transform_of_delta_is_consistent() {
+        // A centered delta kernel transforms to a tile that reconstructs
+        // the identity under the output transform.
+        let mut g = [0.0f32; 9];
+        g[4] = 1.0;
+        let u = kernel_transform(&g);
+        // Convolving a constant-1 input tile must produce 1s.
+        let d = [1.0f32; 16];
+        let v = input_transform(&d);
+        let mut m = [0.0f32; 16];
+        for k in 0..16 {
+            m[k] = u[k] * v[k];
+        }
+        let y = output_transform(&m);
+        for &val in &y {
+            assert!((val - 1.0).abs() < 1e-6, "{y:?}");
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_reference_for_both_shapes() {
+        let x = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, 40);
+        // 3x3 path.
+        let w3 = Tensor::randn(&[2, 2, 3, 3], 0.0, 0.5, 41);
+        let auto3 = conv2d_auto(&x, &w3, None, Conv2dParams::same());
+        let ref3 = conv2d(&x, &w3, None, Conv2dParams::same());
+        assert!(auto3.approx_eq(&ref3, 1e-4));
+        // 5x5 fallback path.
+        let w5 = Tensor::randn(&[2, 2, 5, 5], 0.0, 0.5, 42);
+        let auto5 = conv2d_auto(&x, &w5, None, Conv2dParams::same());
+        let ref5 = conv2d(&x, &w5, None, Conv2dParams::same());
+        assert!(auto5.approx_eq(&ref5, 0.0));
+    }
+
+    #[test]
+    fn linearity_holds() {
+        let x1 = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, 50);
+        let x2 = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, 51);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.0, 0.5, 52);
+        let lhs = winograd_conv3x3(&x1.add(&x2), &w, None);
+        let rhs = winograd_conv3x3(&x1, &w, None).add(&winograd_conv3x3(&x2, &w, None));
+        assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn rejects_non_3x3() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 5, 5]);
+        winograd_conv3x3(&x, &w, None);
+    }
+}

@@ -1,0 +1,68 @@
+//! Full deployment walkthrough: train → collapse → serialize → calibrate
+//! → quantize to int8 → integer inference — the pipeline a device runtime
+//! would run, with the quality cost measured at each stage.
+//!
+//! Run with: `cargo run --release --example quantize_deploy`
+
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::model_io::{decode_model, encode_model};
+use sesr::core::train::{TrainConfig, Trainer};
+use sesr::data::metrics::psnr;
+use sesr::data::synth::{generate, Family};
+use sesr::data::TrainSet;
+use sesr::quant::{calibrate, QuantizedSesr};
+use sesr::tensor::Tensor;
+
+fn main() {
+    // 1. Train.
+    println!("stage 1: training SESR-M3 (x2)...");
+    let mut model = Sesr::new(SesrConfig::m(3).with_expanded(48));
+    let set = TrainSet::synthetic(8, 96, 2, 2024);
+    Trainer::new(TrainConfig {
+        steps: 300,
+        batch: 8,
+        hr_patch: 32,
+        lr: 5e-4,
+        log_every: 100,
+        seed: 5,
+        augment: true,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &set);
+
+    // 2. Collapse + serialize (the shippable f32 artifact).
+    let collapsed = model.collapse();
+    let artifact = encode_model(&collapsed);
+    println!(
+        "stage 2: collapsed to {} layers, f32 artifact {} bytes",
+        collapsed.layers().len(),
+        artifact.len()
+    );
+    let shipped = decode_model(&artifact).expect("artifact decodes");
+
+    // 3. Calibrate activation ranges on representative content.
+    let calib: Vec<Tensor> = (0..8)
+        .map(|i| generate(Family::Mixed, 48, 48, 31_000 + i))
+        .collect();
+    let profile = calibrate(&shipped, &calib);
+    println!("stage 3: calibrated {} activation wires", profile.layer_outputs.len());
+
+    // 4. Quantize to int8.
+    let qnet = QuantizedSesr::quantize(&shipped, &profile);
+    println!(
+        "stage 4: int8 model {} bytes ({:.2}x smaller than f32)",
+        qnet.model_bytes(),
+        artifact.len() as f64 / qnet.model_bytes() as f64
+    );
+
+    // 5. Compare f32 vs int8 on held-out images.
+    println!("\nstage 5: quality check (PSNR vs ground truth):");
+    for (family, tag) in [(Family::Urban, "urban"), (Family::Detail, "detail")] {
+        let hr = generate(family, 96, 96, 77_000);
+        let lr = sesr::data::resize::downscale(&hr, 2);
+        let f_db = psnr(&shipped.run(&lr), &hr, 1.0);
+        let q_db = psnr(&qnet.run(&lr), &hr, 1.0);
+        println!("  {tag:<8} f32 {f_db:.2} dB | int8 {q_db:.2} dB | drop {:.3} dB", f_db - q_db);
+    }
+    println!("\nthe int8 path is what the paper's NPU numbers assume (1 byte/element DRAM accounting).");
+}

@@ -1,0 +1,65 @@
+//! Overparameterization shoot-out (paper Sec. 5.4 in miniature): train
+//! the same architecture with SESR linear blocks, ExpandNet-style blocks
+//! (no short residuals), RepVGG-style blocks, and plain VGG-style convs,
+//! and watch the convergence difference.
+//!
+//! Run with: `cargo run --release --example train_compare`
+
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::train::{SrNetwork, TrainConfig, Trainer};
+use sesr::data::{Benchmark, Family, TrainSet};
+
+fn main() {
+    let base = SesrConfig::m(4).with_expanded(48);
+    let variants: Vec<(&str, SesrConfig)> = vec![
+        ("SESR", base),
+        ("ExpandNet-style", base.expandnet_style()),
+        ("RepVGG-style", base.repvgg_style()),
+        ("VGG-style", base.vgg_style()),
+    ];
+
+    let set = TrainSet::synthetic(8, 96, 2, 0xC0FFEE);
+    let bench = Benchmark::new(Family::Mixed, 3, 96, 2);
+    let trainer = Trainer::new(TrainConfig {
+        steps: 250,
+        batch: 8,
+        hr_patch: 32,
+        lr: 5e-4,
+        log_every: 50,
+        seed: 0xF00,
+            ..TrainConfig::default()
+        });
+
+    println!("training four block variants with identical setups...\n");
+    let mut final_psnr = Vec::new();
+    for (name, config) in &variants {
+        let mut model = Sesr::new(*config);
+        let report = trainer.train(&mut model, &set);
+        let q = bench.evaluate(&|lr| model.infer(lr));
+        println!(
+            "{name:<16} loss curve: {}  -> final {:.4}, PSNR {:.2} dB",
+            report
+                .losses
+                .iter()
+                .map(|s| format!("{:.3}", s.loss))
+                .collect::<Vec<_>>()
+                .join(" "),
+            report.final_loss,
+            q.psnr
+        );
+        final_psnr.push((name.to_string(), q.psnr));
+    }
+
+    println!("\npaper's conclusion (Sec. 5.4, at m = 11 and 480k training steps):");
+    println!("short residuals are essential — ExpandNet-style training trails SESR");
+    println!("by 1.8 dB, while RepVGG-style matches the directly-trained VGG network.");
+    println!("At this example's small depth and budget the variants are much closer");
+    println!("(the ExpandNet penalty is a deep-network, long-horizon effect); the");
+    println!("exact update-rule claims are verified in `theory_updates` instead.");
+    let sesr = final_psnr[0].1;
+    let expand = final_psnr[1].1;
+    println!(
+        "\nhere: SESR {sesr:.2} dB vs ExpandNet-style {expand:.2} dB ({:+.2} dB)",
+        sesr - expand
+    );
+}

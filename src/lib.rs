@@ -1,0 +1,58 @@
+//! # sesr
+//!
+//! A pure-Rust, end-to-end reproduction of **"Collapsible Linear Blocks
+//! for Super-Efficient Super Resolution"** (Bhardwaj et al., MLSys 2022).
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — NCHW tensors and CPU convolution kernels;
+//! * [`autograd`] — tape-based reverse-mode AD with the differentiable
+//!   collapse op;
+//! * [`data`] — synthetic SISR datasets, bicubic degradation, PSNR/SSIM;
+//! * [`core`] — collapsible linear blocks, the SESR model family, the
+//!   collapse algorithms, MAC/parameter accounting, and the paper's
+//!   gradient-update theory;
+//! * [`baselines`] — FSRCNN, the bicubic baseline, and the published-model
+//!   zoo;
+//! * [`npu`] — the Ethos-N78-like roofline performance model with tiling;
+//! * [`nas`] — latency-constrained architecture search with even-sized and
+//!   asymmetric kernels;
+//! * [`quant`] — post-training int8 quantization (per-channel weights,
+//!   calibrated activations, integer execution) for the deployment path.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sesr::core::model::{Sesr, SesrConfig};
+//! use sesr::tensor::Tensor;
+//!
+//! // Build SESR-M5, collapse it, and upscale an image x2.
+//! let model = Sesr::new(SesrConfig::m(5).with_expanded(16));
+//! let collapsed = model.collapse();
+//! let lr = Tensor::rand_uniform(&[1, 32, 32], 0.0, 1.0, 7);
+//! let sr = collapsed.run(&lr);
+//! assert_eq!(sr.shape(), &[1, 64, 64]);
+//! ```
+//!
+//! See `examples/` for full train-collapse-deploy walkthroughs and
+//! `crates/bench` for the binaries that regenerate every table and figure
+//! of the paper (documented in EXPERIMENTS.md).
+
+pub use sesr_autograd as autograd;
+pub use sesr_baselines as baselines;
+pub use sesr_core as core;
+pub use sesr_data as data;
+pub use sesr_nas as nas;
+pub use sesr_npu as npu;
+pub use sesr_quant as quant;
+pub use sesr_tensor as tensor;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        let t = crate::tensor::Tensor::zeros(&[1]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(crate::core::macs::sesr_weight_params(16, 5, 2), 13_520);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full train → collapse → deploy loop.
+
+use sesr::baselines::{BicubicUpscaler, Fsrcnn, FsrcnnConfig};
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::train::{SrNetwork, TrainConfig, Trainer};
+use sesr::data::{Benchmark, Family, TrainSet};
+use sesr::tensor::Tensor;
+
+fn quick_trainer(steps: usize) -> Trainer {
+    Trainer::new(TrainConfig {
+        steps,
+        batch: 4,
+        hr_patch: 24,
+        lr: 2e-3,
+        log_every: steps,
+        seed: 0xE2E,
+            ..TrainConfig::default()
+        })
+}
+
+#[test]
+fn short_training_lifts_psnr_dramatically() {
+    // An untrained SESR produces garbage (large negative PSNR); 100 steps
+    // of the paper's recipe must already recover a recognizable image.
+    // (Beating bicubic needs a long run — see the ignored test below.)
+    let bench = Benchmark::new(Family::Mixed, 2, 64, 2);
+    let untrained = Sesr::new(SesrConfig::m(2).with_expanded(16).with_seed(5));
+    let q0 = bench.evaluate(&|lr| untrained.infer(lr));
+    let set = TrainSet::synthetic(4, 64, 2, 101);
+    let mut model = Sesr::new(SesrConfig::m(2).with_expanded(16).with_seed(5));
+    Trainer::new(TrainConfig {
+        steps: 100,
+        batch: 4,
+        hr_patch: 24,
+        lr: 5e-3,
+        log_every: 100,
+        seed: 0xE2E,
+            ..TrainConfig::default()
+        })
+    .train(&mut model, &set);
+    let q = bench.evaluate(&|lr| model.infer(lr));
+    assert!(q.psnr > 10.0, "trained PSNR {:.2} dB too low", q.psnr);
+    assert!(
+        q.psnr > q0.psnr + 15.0,
+        "training moved PSNR only {:.2} -> {:.2} dB",
+        q0.psnr,
+        q.psnr
+    );
+}
+
+/// Long-run check that the trained model overtakes bicubic on structured
+/// content (the paper's qualitative claim). Takes minutes in release mode:
+/// `cargo test --release -p sesr --test end_to_end -- --ignored`.
+#[test]
+#[ignore = "long training run; execute with --release -- --ignored"]
+fn trained_sesr_beats_bicubic_on_urban_content() {
+    let set = TrainSet::synthetic(8, 96, 2, 101);
+    let mut model = Sesr::new(SesrConfig::m(2).with_expanded(32).with_seed(5));
+    Trainer::new(TrainConfig {
+        steps: 4000,
+        batch: 8,
+        hr_patch: 32,
+        lr: 2e-3,
+        log_every: 1000,
+        seed: 0xE2E,
+            ..TrainConfig::default()
+        })
+    .train(&mut model, &set);
+    let bench = Benchmark::new(Family::Urban, 2, 72, 2);
+    let sesr_q = bench.evaluate(&|lr| model.infer(lr));
+    let bicubic = BicubicUpscaler::new(2);
+    let cubic_q = bench.evaluate(&|lr| bicubic.infer(lr));
+    assert!(
+        sesr_q.psnr > cubic_q.psnr,
+        "SESR {:.2} dB did not beat bicubic {:.2} dB",
+        sesr_q.psnr,
+        cubic_q.psnr
+    );
+}
+
+#[test]
+fn collapse_preserves_function_after_training() {
+    // The paper's central mechanism must hold for *trained* weights, not
+    // just random initialization.
+    let set = TrainSet::synthetic(2, 48, 2, 102);
+    let mut model = Sesr::new(SesrConfig::m(2).with_expanded(16).with_seed(6));
+    quick_trainer(20).train(&mut model, &set);
+    let lr = sesr::data::synth::generate(Family::Mixed, 32, 32, 9);
+    let collapsed = model.collapse();
+    let via_collapse = collapsed.run(&lr);
+    // Training-time forward on a tape.
+    let mut tape = sesr::autograd::Tape::new();
+    let x = tape.leaf(lr.reshape(&[1, 1, 32, 32]), false);
+    let (y, _) = model.forward(&mut tape, x);
+    let via_tape = tape.value(y).reshape(&[1, 64, 64]);
+    assert!(
+        via_collapse.approx_eq(&via_tape, 1e-3),
+        "max diff {}",
+        via_collapse.max_abs_diff(&via_tape)
+    );
+}
+
+#[test]
+fn x2_pretrain_then_x4_retarget_trains() {
+    let x2_set = TrainSet::synthetic(2, 48, 2, 103);
+    let mut x2 = Sesr::new(SesrConfig::m(1).with_expanded(8).with_seed(7));
+    quick_trainer(15).train(&mut x2, &x2_set);
+    let mut x4 = x2.retarget_scale(4);
+    let x4_set = TrainSet::synthetic(2, 48, 4, 104);
+    let report = quick_trainer(15).train(&mut x4, &x4_set);
+    assert!(report.final_loss.is_finite());
+    let lr = Tensor::rand_uniform(&[1, 12, 12], 0.0, 1.0, 10);
+    assert_eq!(x4.infer(&lr).shape(), &[1, 48, 48]);
+}
+
+#[test]
+fn fsrcnn_trains_through_the_same_harness() {
+    let set = TrainSet::synthetic(2, 48, 2, 105);
+    let mut fsrcnn = Fsrcnn::new(FsrcnnConfig::tiny(2));
+    let report = quick_trainer(30).train(&mut fsrcnn, &set);
+    let first = report.losses.first().unwrap().loss;
+    assert!(
+        report.final_loss < first,
+        "FSRCNN loss did not decrease: {first} -> {}",
+        report.final_loss
+    );
+}
+
+#[test]
+fn all_ablation_variants_train_one_step() {
+    let set = TrainSet::synthetic(2, 48, 2, 106);
+    let base = SesrConfig::m(2).with_expanded(8);
+    for config in [
+        base,
+        base.expandnet_style(),
+        base.repvgg_style(),
+        base.plain_with_residuals(),
+        base.vgg_style(),
+        base.hardware_efficient(),
+    ] {
+        let mut model = Sesr::new(config);
+        let report = quick_trainer(2).train(&mut model, &set);
+        assert!(report.final_loss.is_finite(), "{config:?}");
+    }
+}
+
+#[test]
+fn evaluation_suite_is_deterministic() {
+    let model = Sesr::new(SesrConfig::m(1).with_expanded(8).with_seed(8));
+    let bench = Benchmark::new(Family::Natural, 2, 48, 2);
+    let q1 = bench.evaluate(&|lr| model.infer(lr));
+    let q2 = bench.evaluate(&|lr| model.infer(lr));
+    assert_eq!(q1.psnr.to_bits(), q2.psnr.to_bits());
+    assert_eq!(q1.ssim.to_bits(), q2.ssim.to_bits());
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the NPU simulator and NAS against the paper's
+//! Table 3 / Fig. 9 structure.
+
+use sesr::baselines::{Fsrcnn, FsrcnnConfig};
+use sesr::core::ir::sesr_ir;
+use sesr::nas::search::latency_ms;
+use sesr::nas::{search, Candidate, SearchConfig};
+use sesr::npu::{simulate, simulate_tiled, EthosN78Like};
+
+#[test]
+fn table3_runtime_structure() {
+    let cfg = EthosN78Like::default().0;
+    let fsrcnn = simulate(&Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920), &cfg);
+    let sesr_x2 = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg);
+    let sesr_x4 = simulate(&sesr_ir(16, 5, 4, false, 1080, 1920), &cfg);
+
+    // Published: 167.38 / 27.22 / 45.09 ms. Calibration targets the FSRCNN
+    // row; the others must land in the right regime.
+    assert!(
+        (120.0..220.0).contains(&fsrcnn.total_ms()),
+        "FSRCNN {} ms",
+        fsrcnn.total_ms()
+    );
+    assert!(
+        (15.0..50.0).contains(&sesr_x2.total_ms()),
+        "SESR x2 {} ms",
+        sesr_x2.total_ms()
+    );
+    assert!(
+        (25.0..70.0).contains(&sesr_x4.total_ms()),
+        "SESR x4 {} ms",
+        sesr_x4.total_ms()
+    );
+    // Orderings.
+    assert!(sesr_x2.total_ms() < sesr_x4.total_ms());
+    assert!(sesr_x4.total_ms() < fsrcnn.total_ms());
+    // Speedup far exceeds the 2x MAC ratio (paper: 6.15x).
+    let speedup = fsrcnn.total_ms() / sesr_x2.total_ms();
+    assert!(speedup > 3.5, "speedup {speedup}");
+}
+
+#[test]
+fn table3_tiling_structure() {
+    let cfg = EthosN78Like::default().0;
+    let fsrcnn = simulate(&Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920), &cfg);
+    let tiled = simulate_tiled(
+        &|h, w| sesr_ir(16, 5, 2, false, h, w),
+        (1080, 1920),
+        (300, 400),
+        &cfg,
+    );
+    // Published per-tile: 1.26 ms, 1.62G MACs, 6.46 MB.
+    assert!(
+        (tiled.per_tile.total_macs() as f64 - 1.62e9).abs() / 1.62e9 < 0.01,
+        "tile MACs {}",
+        tiled.per_tile.total_macs()
+    );
+    assert!(tiled.per_tile.total_ms() < 3.0, "per tile {}", tiled.per_tile.total_ms());
+    assert!(tiled.per_tile.dram_mb() < 10.0);
+    // End-to-end: tiled SESR vs FSRCNN should be roughly an order of
+    // magnitude (paper: ~8x).
+    let ratio = fsrcnn.total_ms() / tiled.total_ms();
+    assert!(ratio > 5.0, "tiled speedup {ratio}");
+    // Tile-run arithmetic matches the paper's 17.28.
+    assert!((tiled.tile_runs - 17.28).abs() < 1e-9);
+}
+
+#[test]
+fn fig1b_fps_ordering() {
+    // Simulated FPS must preserve the MAC-based ordering of the SESR
+    // family (smaller m => faster).
+    let cfg = EthosN78Like::default().0;
+    let fps: Vec<f64> = [3usize, 5, 7, 11]
+        .iter()
+        .map(|&m| simulate(&sesr_ir(16, m, 2, false, 1080, 1920), &cfg).fps())
+        .collect();
+    for pair in fps.windows(2) {
+        assert!(pair[0] > pair[1], "{fps:?}");
+    }
+}
+
+#[test]
+fn nas_finds_faster_architecture_within_budget() {
+    let npu = EthosN78Like::default().0;
+    let ref_latency = latency_ms(&Candidate::sesr_m5(2), (200, 200), &npu);
+    let cfg = SearchConfig {
+        population: 5,
+        generations: 2,
+        latency_budget_ms: ref_latency * 0.85,
+        proxy_steps: 2,
+        expanded: 8,
+        ..SearchConfig::default()
+    };
+    let result = search(&cfg, &npu);
+    assert!(
+        result.best.latency_ms <= ref_latency * 0.85,
+        "budget violated: {} vs {}",
+        result.best.latency_ms,
+        ref_latency * 0.85
+    );
+    // The history must contain the infeasible-or-not reference too.
+    assert!(result.history.len() >= cfg.population);
+}
+
+#[test]
+fn asymmetric_kernels_reduce_simulated_latency() {
+    // The mechanism behind the paper's 15% NAS gain.
+    let npu = EthosN78Like::default().0;
+    let reference = Candidate::sesr_m5(2);
+    let mut asym = reference.clone();
+    asym.kernels = vec![(2, 2), (2, 1), (3, 2), (2, 3), (2, 2)];
+    let l_ref = latency_ms(&reference, (200, 200), &npu);
+    let l_asym = latency_ms(&asym, (200, 200), &npu);
+    assert!(
+        l_asym < 0.9 * l_ref,
+        "asymmetric kernels saved only {:.1}%",
+        (1.0 - l_asym / l_ref) * 100.0
+    );
+}

@@ -1,0 +1,162 @@
+//! Integration tests pinning the reproduction to the paper's published
+//! numbers: parameter counts, MAC columns, FPS arithmetic, and the
+//! training-efficiency figures. These are the hard anchors — if any of
+//! them drifts, the reproduction no longer matches the paper.
+
+use sesr::baselines::{published_models, Fsrcnn, FsrcnnConfig};
+use sesr::core::ir::sesr_ir;
+use sesr::core::macs::*;
+use sesr::core::model::{Sesr, SesrConfig};
+
+fn within(actual: f64, expected: f64, tol: f64) -> bool {
+    (actual - expected).abs() / expected.abs() <= tol
+}
+
+#[test]
+fn table1_parameter_column() {
+    // (model, params) straight from Table 1.
+    for (f, m, expected) in [
+        (16usize, 3usize, 8_912usize),
+        (16, 5, 13_520),
+        (16, 7, 18_128),
+        (16, 11, 27_344),
+        (32, 11, 105_376),
+    ] {
+        assert_eq!(sesr_weight_params(f, m, 2), expected);
+        // The actual constructed model must agree with the closed form.
+        let net = Sesr::new(SesrConfig {
+            f,
+            m,
+            ..SesrConfig::m(m).with_expanded(8)
+        })
+        .collapse();
+        assert_eq!(net.num_weight_params(), expected);
+    }
+}
+
+#[test]
+fn table2_parameter_column() {
+    for (f, m, expected) in [
+        (16usize, 3usize, 13_712usize),
+        (16, 5, 18_320),
+        (16, 7, 22_928),
+        (16, 11, 32_144),
+        (32, 11, 114_976),
+    ] {
+        assert_eq!(sesr_weight_params(f, m, 4), expected);
+    }
+}
+
+#[test]
+fn mac_columns_both_tables() {
+    for (f, m, scale, g) in [
+        (16usize, 3usize, 2usize, 2.05),
+        (16, 5, 2, 3.11),
+        (16, 7, 2, 4.17),
+        (16, 11, 2, 6.30),
+        (32, 11, 2, 24.27),
+        (16, 3, 4, 0.79),
+        (16, 5, 4, 1.05),
+        (16, 7, 4, 1.32),
+        (16, 11, 4, 1.85),
+        (32, 11, 4, 6.62),
+    ] {
+        let macs = sesr_macs_to_720p(f, m, scale) as f64 / 1e9;
+        assert!(within(macs, g, 0.01), "f={f} m={m} x{scale}: {macs} vs {g}");
+    }
+}
+
+#[test]
+fn fsrcnn_published_numbers() {
+    let net = Fsrcnn::new(FsrcnnConfig::standard(2));
+    assert_eq!(net.num_weight_params(), 12_464); // "12.46K"
+    assert!(within(net.ir(360, 640).total_macs() as f64, 6.00e9, 0.01));
+    assert!(within(net.ir(1080, 1920).total_macs() as f64, 54e9, 0.01));
+    let net4 = Fsrcnn::new(FsrcnnConfig::standard(4));
+    assert!(within(net4.ir(180, 320).total_macs() as f64, 4.63e9, 0.01));
+}
+
+#[test]
+fn headline_mac_ratios_from_abstract() {
+    // "2x fewer MACs" (SESR-M5 vs FSRCNN at x2).
+    let r = 6.00e9 / sesr_macs_to_720p(16, 5, 2) as f64;
+    assert!((1.8..2.1).contains(&r), "x2 ratio {r}");
+    // "4.4x fewer MACs" at x4.
+    let r4 = 4.63e9 / sesr_macs_to_720p(16, 5, 4) as f64;
+    assert!((4.2..4.6).contains(&r4), "x4 ratio {r4}");
+    // "331x fewer MACs than VDSR" for SESR-M11 at x4.
+    let vdsr = published_models(4)
+        .into_iter()
+        .find(|m| m.name == "VDSR")
+        .unwrap();
+    let rv = vdsr.macs_g.unwrap() * 1e9 / sesr_macs_to_720p(16, 11, 4) as f64;
+    assert!((320.0..340.0).contains(&rv), "VDSR ratio {rv}");
+    // "97x fewer MACs than VDSR" for SESR-M11 at x2.
+    let vdsr2 = published_models(2)
+        .into_iter()
+        .find(|m| m.name == "VDSR")
+        .unwrap();
+    let rv2 = vdsr2.macs_g.unwrap() * 1e9 / sesr_macs_to_720p(16, 11, 2) as f64;
+    assert!((95.0..100.0).contains(&rv2), "VDSR x2 ratio {rv2}");
+}
+
+#[test]
+fn section33_training_efficiency_numbers() {
+    // 41.77B expanded vs 1.84B efficient for SESR-M5.
+    let e = training_forward_macs_expanded(16, 5, 2, 256, 32, 64) as f64;
+    let c = training_forward_macs_collapsed(16, 5, 2, 256, 32, 64) as f64;
+    assert!(within(e, 41.77e9, 0.005), "expanded {e}");
+    assert!(within(c, 1.84e9, 0.01), "collapsed {c}");
+}
+
+#[test]
+fn table3_mac_column() {
+    assert!(within(sesr_macs_from_1080p(16, 5, 2) as f64, 28e9, 0.01));
+    assert!(within(sesr_macs_from_1080p(16, 5, 4) as f64, 38e9, 0.01));
+    // Tiled tile MACs: 400x300 tile of SESR-M5 x2 = 1.62G.
+    let tile = macs_for_params(sesr_weight_params(16, 5, 2), 300, 400) as f64;
+    assert!(within(tile, 1.62e9, 0.01), "tile {tile}");
+    let tile4 = macs_for_params(sesr_weight_params(16, 5, 4), 300, 400) as f64;
+    assert!(within(tile4, 2.19e9, 0.01), "tile x4 {tile4}");
+}
+
+#[test]
+fn intro_fps_arithmetic() {
+    // FSRCNN: "only 37 FPS" best case on 4 TOP/s.
+    let fsrcnn = published_models(2)
+        .into_iter()
+        .find(|m| m.name == "FSRCNN")
+        .unwrap();
+    assert!(within(fsrcnn.fps_best_case(4.0).unwrap(), 37.0, 0.03));
+    // Three of five SESR nets at ~60+ FPS best case.
+    let near60 = [(16, 3), (16, 5), (16, 7), (16, 11), (32, 11)]
+        .iter()
+        .filter(|(f, m)| {
+            4.0e12 / (2.0 * sesr_macs_from_1080p(*f, *m, 2) as f64) >= 50.0
+        })
+        .count();
+    assert_eq!(near60, 3);
+}
+
+#[test]
+fn ir_and_closed_form_agree_everywhere() {
+    for (f, m, scale) in [(16usize, 3usize, 2usize), (16, 11, 2), (32, 11, 4)] {
+        for (h, w) in [(360, 640), (1080, 1920)] {
+            assert_eq!(
+                sesr_ir(f, m, scale, true, h, w).total_macs(),
+                macs_for_params(sesr_weight_params(f, m, scale), h, w)
+            );
+        }
+    }
+}
+
+#[test]
+fn largest_activation_ratio_is_3_5x() {
+    // Sec. 5.6: FSRCNN's largest tensor (H x W x 56) is 3.5x SESR-M5's
+    // (H x W x 16), driving the 2x DRAM difference.
+    let fsrcnn = Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920);
+    let sesr = sesr_ir(16, 5, 2, false, 1080, 1920);
+    let ratio =
+        fsrcnn.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
+    assert!((ratio - 3.5).abs() < 1e-9);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the paper's central invariant: analytic
+//! collapse preserves network function, for arbitrary shapes, kernels and
+//! weights.
+
+use proptest::prelude::*;
+use sesr::autograd::tape::collapse_1x1_forward;
+use sesr::core::block::LinearBlock;
+use sesr::core::collapse::{collapse_block_with_residual, collapse_linear_chain, residual_weight};
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::train::SrNetwork;
+use sesr::tensor::conv::{conv2d, Conv2dParams};
+use sesr::tensor::Tensor;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// conv(conv(x, W1), W2_1x1) == conv(x, collapse(W1, W2)) for random
+    /// shapes, kernels (odd, even, asymmetric) and weights.
+    #[test]
+    fn linear_block_collapse_preserves_function(
+        x_ch in small_dim(),
+        y_ch in small_dim(),
+        p in 1usize..9,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let block = LinearBlock::new(x_ch, y_ch, p, kh, kw, seed);
+        let input = Tensor::randn(&[1, x_ch, 6, 6], 0.0, 1.0, seed ^ 0xAA);
+        let same = Conv2dParams::same();
+        let sequential = conv2d(
+            &conv2d(&input, &block.w1, Some(&block.b1), same),
+            &block.w2,
+            Some(&block.b2),
+            same,
+        );
+        let (wc, bc) = block.collapse();
+        let collapsed = conv2d(&input, &wc, Some(&bc), same);
+        prop_assert!(
+            sequential.approx_eq(&collapsed, 1e-3),
+            "max diff {}",
+            sequential.max_abs_diff(&collapsed)
+        );
+    }
+
+    /// Algorithm 1 (conv over identity stack) agrees with the fast
+    /// tensordot path for every block shape.
+    #[test]
+    fn algorithm1_equals_fast_path(
+        x_ch in small_dim(),
+        y_ch in small_dim(),
+        p in 1usize..9,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let block = LinearBlock::new(x_ch, y_ch, p, kh, kw, seed);
+        let alg1 = collapse_linear_chain(&[&block.w1, &block.w2]);
+        let fast = collapse_1x1_forward(&block.w1, &block.w2);
+        prop_assert!(alg1.approx_eq(&fast, 1e-3), "diff {}", alg1.max_abs_diff(&fast));
+    }
+
+    /// Algorithm 2: convolving with W_C + W_R equals conv + skip, for any
+    /// channel count and odd square kernel.
+    #[test]
+    fn residual_fold_preserves_function(
+        ch in small_dim(),
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        seed in 0u64..1000,
+    ) {
+        let wc = Tensor::randn(&[ch, ch, k, k], 0.0, 1.0, seed);
+        let x = Tensor::randn(&[1, ch, 6, 6], 0.0, 1.0, seed ^ 0x3);
+        let same = Conv2dParams::same();
+        let with_skip = conv2d(&x, &wc, None, same).add(&x);
+        let folded = conv2d(&x, &wc.add(&residual_weight(&wc)), None, same);
+        prop_assert!(with_skip.approx_eq(&folded, 1e-4));
+    }
+
+    /// Chains of arbitrary depth collapse correctly (VALID-mode check on
+    /// interior pixels).
+    #[test]
+    fn deep_chain_collapse(
+        depth in 1usize..4,
+        ch in small_dim(),
+        seed in 0u64..1000,
+    ) {
+        let mut weights = Vec::new();
+        let mut c_in = ch;
+        for d in 0..depth {
+            let c_out = if d == depth - 1 { ch } else { ch + 1 };
+            weights.push(Tensor::randn(&[c_out, c_in, 3, 3], 0.0, 0.5, seed + d as u64));
+            c_in = c_out;
+        }
+        let refs: Vec<&Tensor> = weights.iter().collect();
+        let wc = collapse_linear_chain(&refs);
+        let k_total = 2 * depth + 1;
+        prop_assert_eq!(wc.shape(), &[ch, ch, k_total, k_total]);
+        let x = Tensor::randn(&[1, ch, 12, 12], 0.0, 1.0, seed ^ 0x7);
+        let v = Conv2dParams::valid();
+        let mut seq = x.clone();
+        for w in &weights {
+            seq = conv2d(&seq, w, None, v);
+        }
+        let col = conv2d(&x, &wc, None, v);
+        prop_assert!(seq.approx_eq(&col, 1e-2), "diff {}", seq.max_abs_diff(&col));
+    }
+
+    /// Whole-model invariant: for random configurations, the collapsed
+    /// SESR network computes what the training-time network computes.
+    #[test]
+    fn full_model_collapse_equivalence(
+        m in 1usize..4,
+        expanded in 2usize..8,
+        seed in 0u64..500,
+        short in any::<bool>(),
+        input_res in any::<bool>(),
+    ) {
+        let mut config = SesrConfig::m(m).with_expanded(expanded).with_seed(seed);
+        config.short_residuals = short;
+        config.input_residual = input_res;
+        let model = Sesr::new(config);
+        let lr = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, seed ^ 0xF);
+        let collapsed_out = model.collapse().run(&lr);
+        let mut tape = sesr::autograd::Tape::new();
+        let x = tape.leaf(lr.reshape(&[1, 1, 8, 8]), false);
+        let (y, _) = model.forward(&mut tape, x);
+        let tape_out = tape.value(y).reshape(&[1, 16, 16]);
+        prop_assert!(
+            collapsed_out.approx_eq(&tape_out, 1e-3),
+            "diff {}",
+            collapsed_out.max_abs_diff(&tape_out)
+        );
+    }
+
+    /// The fused block+residual helper agrees with doing the two steps
+    /// separately.
+    #[test]
+    fn block_with_residual_helper(
+        ch in small_dim(),
+        p in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let block = LinearBlock::new(ch, ch, p, 3, 3, seed);
+        let fused = collapse_block_with_residual(&[&block.w1, &block.w2]);
+        let expected = collapse_linear_chain(&[&block.w1, &block.w2])
+            .add(&Tensor::identity_kernel(ch, 3));
+        prop_assert!(fused.approx_eq(&expected, 1e-6));
+    }
+}

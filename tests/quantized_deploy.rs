@@ -1,0 +1,125 @@
+//! Integration test of the full deployment pipeline: train → collapse →
+//! serialize → quantize → integer inference, end to end.
+
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::model_io::{decode_model, encode_model};
+use sesr::core::train::{SrNetwork, TrainConfig, Trainer};
+use sesr::data::metrics::psnr;
+use sesr::data::synth::{generate, Family};
+use sesr::data::TrainSet;
+use sesr::quant::{calibrate, QuantizedSesr};
+use sesr::tensor::Tensor;
+
+#[test]
+fn train_collapse_serialize_quantize_infer() {
+    // 1. Train briefly.
+    let set = TrainSet::synthetic(3, 64, 2, 777);
+    let mut model = Sesr::new(SesrConfig::m(2).with_expanded(16).with_seed(88));
+    Trainer::new(TrainConfig {
+        steps: 40,
+        batch: 4,
+        hr_patch: 24,
+        lr: 2e-3,
+        log_every: 40,
+        seed: 9,
+        augment: true,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &set);
+
+    // 2. Collapse and round-trip through the binary format (the artifact
+    //    that would be shipped).
+    let collapsed = model.collapse();
+    let shipped = decode_model(&encode_model(&collapsed)).expect("decode shipped model");
+
+    // 3. Calibrate + quantize the shipped model.
+    let calib: Vec<Tensor> = (0..4)
+        .map(|i| generate(Family::Mixed, 32, 32, 9000 + i))
+        .collect();
+    let profile = calibrate(&shipped, &calib);
+    let qnet = QuantizedSesr::quantize(&shipped, &profile);
+
+    // 4. Integer inference tracks float inference closely on held-out data.
+    let test = generate(Family::Urban, 32, 32, 31337);
+    let f_out = shipped.run(&test);
+    let q_out = qnet.run(&test);
+    assert_eq!(q_out.shape(), f_out.shape());
+    let agreement = psnr(&q_out, &f_out, 1.0);
+    assert!(
+        agreement > 30.0,
+        "int8 vs f32 agreement only {agreement:.1} dB"
+    );
+
+    // 5. And the quantized artifact is ~4x smaller.
+    let f32_size = encode_model(&shipped).len();
+    assert!(qnet.model_bytes() * 3 < f32_size);
+}
+
+#[test]
+fn quantized_x4_pipeline() {
+    let model = Sesr::new(
+        SesrConfig::m(1)
+            .with_expanded(8)
+            .with_scale(4)
+            .with_seed(4),
+    );
+    let collapsed = model.collapse();
+    let calib = vec![generate(Family::Smooth, 24, 24, 1)];
+    let qnet = QuantizedSesr::quantize(&collapsed, &calibrate(&collapsed, &calib));
+    let out = qnet.run(&calib[0]);
+    assert_eq!(out.shape(), &[1, 96, 96]);
+    assert!(out.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn augmented_training_works_end_to_end() {
+    // The augmentation path must not break alignment: loss still falls.
+    let set = TrainSet::synthetic(2, 48, 2, 555);
+    let mut model = Sesr::new(SesrConfig::m(1).with_expanded(8).with_seed(5));
+    let report = Trainer::new(TrainConfig {
+        steps: 30,
+        batch: 4,
+        hr_patch: 16,
+        lr: 2e-3,
+        log_every: 10,
+        seed: 6,
+        augment: true,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &set);
+    let first = report.losses.first().unwrap().loss;
+    assert!(
+        report.final_loss < first,
+        "augmented training diverged: {first} -> {}",
+        report.final_loss
+    );
+}
+
+#[test]
+fn lr_schedules_change_trajectories() {
+    use sesr::core::train::LrSchedule;
+    let set = TrainSet::synthetic(2, 48, 2, 556);
+    let run = |schedule: LrSchedule| {
+        let mut model = Sesr::new(SesrConfig::m(1).with_expanded(8).with_seed(7));
+        Trainer::new(TrainConfig {
+            steps: 20,
+            batch: 2,
+            hr_patch: 16,
+            lr: 2e-3,
+            log_every: 20,
+            seed: 8,
+            schedule,
+            ..TrainConfig::default()
+        })
+        .train(&mut model, &set);
+        model.parameters()[0].clone()
+    };
+    let constant = run(LrSchedule::Constant);
+    let decayed = run(LrSchedule::StepDecay {
+        every: 5,
+        factor: 0.5,
+    });
+    let cosine = run(LrSchedule::Cosine { floor: 1e-5 });
+    assert!(constant.max_abs_diff(&decayed) > 0.0);
+    assert!(constant.max_abs_diff(&cosine) > 0.0);
+}

@@ -1,0 +1,145 @@
+//! Integration tests for Sec. 4's theory, including the cross-check
+//! between the scalar closed forms and the *actual autograd engine* — the
+//! tape must realize exactly the update rules the paper derives.
+
+use sesr::autograd::{Sgd, Tape};
+use sesr::core::theory::{compare_update, training_trajectory, ScalarRegression, Scheme};
+use sesr::tensor::Tensor;
+
+/// One SGD step of the scalar ExpandNet/SESR/RepVGG/VGG schemes executed
+/// through the real tape, returning the new collapsed weight.
+fn tape_step(scheme: Scheme, w1: f32, w2: f32, grad_beta: f32, eta: f32) -> f32 {
+    // Represent the collapsed weight computation on the tape and backprop
+    // a synthetic dL/dβ = grad_beta through it.
+    let mut tape = Tape::new();
+    let w1_id = tape.leaf(Tensor::from_vec(vec![w1], &[1]), true);
+    let w2_id = tape.leaf(Tensor::from_vec(vec![w2], &[1]), true);
+    let one = tape.leaf(Tensor::from_vec(vec![1.0], &[1]), false);
+    let beta = match scheme {
+        Scheme::ExpandNet => tape.mul_elem(w1_id, w2_id),
+        Scheme::Sesr => {
+            let prod = tape.mul_elem(w1_id, w2_id);
+            tape.add(prod, one)
+        }
+        Scheme::RepVgg => {
+            let s = tape.add(w1_id, w2_id);
+            tape.add(s, one)
+        }
+        Scheme::Vgg => tape.scale(w1_id, 1.0),
+    };
+    let g = tape.leaf(Tensor::from_vec(vec![grad_beta], &[1]), false);
+    let loss = tape.mul_elem(beta, g);
+    let loss = tape.sum(loss);
+    tape.backward(loss);
+    let mut params = vec![
+        Tensor::from_vec(vec![w1], &[1]),
+        Tensor::from_vec(vec![w2], &[1]),
+    ];
+    let grads = vec![
+        tape.grad(w1_id)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(&[1])),
+        tape.grad(w2_id)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(&[1])),
+    ];
+    Sgd::new(eta).step(&mut params, &grads);
+    let (n1, n2) = (params[0].data()[0] as f64, params[1].data()[0] as f64);
+    scheme.beta(n1, n2) as f32
+}
+
+#[test]
+fn tape_realizes_the_papers_update_rules() {
+    let problem = ScalarRegression::random(128, 1.5, 42);
+    let (w1, w2, eta) = (0.7f64, 0.6f64, 0.01f64);
+    for scheme in Scheme::ALL {
+        let beta = scheme.beta(w1, w2);
+        let g = problem.grad_beta(beta);
+        let via_tape = tape_step(scheme, w1 as f32, w2 as f32, g as f32, eta as f32) as f64;
+        let analysis = compare_update(&problem, scheme, w1, w2, eta);
+        assert!(
+            (via_tape - analysis.beta_empirical).abs() < 1e-5,
+            "{scheme:?}: tape {via_tape} vs analytic {}",
+            analysis.beta_empirical
+        );
+    }
+}
+
+#[test]
+fn repvgg_has_no_adaptivity_but_sesr_does() {
+    let problem = ScalarRegression::random(128, 2.0, 7);
+    // RepVGG: the effective step is exactly -2η∇β regardless of w1/w2
+    // split; SESR's effective step depends on w2 (adaptive LR).
+    let g = |w1: f64, w2: f64, scheme: Scheme| {
+        let c = compare_update(&problem, scheme, w1, w2, 0.01);
+        c.beta_empirical - c.beta_before
+    };
+    let rep_a = g(0.3, 0.2, Scheme::RepVgg);
+    let rep_b = g(0.1, 0.4, Scheme::RepVgg); // same β = w1 + w2 + 1
+    assert!((rep_a - rep_b).abs() < 1e-12, "RepVGG step depends on split");
+
+    // Same collapsed β for SESR via different (w1, w2) splits.
+    let beta_target = 1.3;
+    let sesr_a = g((beta_target - 1.0) / 0.5, 0.5, Scheme::Sesr);
+    let sesr_b = g((beta_target - 1.0) / 1.5, 1.5, Scheme::Sesr);
+    assert!(
+        (sesr_a - sesr_b).abs() > 1e-6,
+        "SESR step must be adaptive in w2: {sesr_a} vs {sesr_b}"
+    );
+}
+
+#[test]
+fn identity_offset_improves_trainability_near_small_init() {
+    // The trainability claim, made precise: both multiplicative schemes
+    // share the (0, 0) saddle with vanishing gradients, but SESR's
+    // identity offset places that saddle at the identity map (β = 1)
+    // instead of the zero map (β = 0). For SISR-like problems whose
+    // optimum is near identity, small-weight initialization therefore
+    // starts SESR close to the optimum while ExpandNet must crawl out of
+    // the flat region — the scalar analogue of the vanishing-gradient
+    // failure the paper observes for ExpandNet-style training (Sec. 5.4).
+    let problem = ScalarRegression::random(128, 1.2, 9); // β* = 1.2, near identity
+    let expand = training_trajectory(&problem, Scheme::ExpandNet, 0.1, 0.1, 0.1, 200);
+    let sesr = training_trajectory(&problem, Scheme::Sesr, 0.1, 0.1, 0.1, 200);
+    assert!(
+        sesr[0] < expand[0],
+        "SESR must start closer to the optimum: {} vs {}",
+        sesr[0],
+        expand[0]
+    );
+    // ...and stays ahead throughout the early phase (the regime that
+    // matters under a fixed step budget).
+    for t in 0..50 {
+        assert!(
+            sesr[t] < expand[t],
+            "SESR fell behind at step {t}: {} vs {}",
+            sesr[t],
+            expand[t]
+        );
+    }
+    // And the exact saddle: gradients vanish at (0, 0) for both, but the
+    // stalled loss differs — ExpandNet is stuck at the zero map.
+    let expand_saddle = training_trajectory(&problem, Scheme::ExpandNet, 0.0, 0.0, 0.1, 50);
+    let sesr_saddle = training_trajectory(&problem, Scheme::Sesr, 0.0, 0.0, 0.1, 50);
+    assert!((expand_saddle[0] - expand_saddle[49]).abs() < 1e-12);
+    assert!((sesr_saddle[0] - sesr_saddle[49]).abs() < 1e-12);
+    assert!(sesr_saddle[0] < expand_saddle[0]);
+}
+
+#[test]
+fn second_order_error_scaling_over_many_etas() {
+    let problem = ScalarRegression::random(256, 1.0, 11);
+    for scheme in [Scheme::ExpandNet, Scheme::Sesr] {
+        let errors: Vec<f64> = [0.04, 0.02, 0.01, 0.005]
+            .iter()
+            .map(|&eta| compare_update(&problem, scheme, 0.9, 0.4, eta).error)
+            .collect();
+        for pair in errors.windows(2) {
+            let ratio = pair[0] / pair[1];
+            assert!(
+                (3.0..5.0).contains(&ratio),
+                "{scheme:?}: ratios {errors:?}"
+            );
+        }
+    }
+}
