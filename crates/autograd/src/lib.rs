@@ -43,5 +43,5 @@ pub mod gradcheck;
 pub mod optim;
 pub mod tape;
 
-pub use optim::{Adam, AdamConfig, Sgd};
+pub use optim::{Adam, AdamConfig, AdamState, Sgd};
 pub use tape::{Tape, VarId};

@@ -36,6 +36,20 @@ impl AdamConfig {
     }
 }
 
+/// A serializable snapshot of an [`Adam`] optimizer's mutable state: the
+/// step counter and the first/second moment estimates, positionally matched
+/// to the parameter list. Captured by [`Adam::export_state`] and restored
+/// with [`Adam::from_state`] so checkpointed training resumes bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates, one per parameter.
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates, one per parameter.
+    pub v: Vec<Tensor>,
+}
+
 /// The Adam optimizer (Kingma & Ba, 2015).
 ///
 /// Holds first/second moment estimates per parameter; parameters are
@@ -87,6 +101,43 @@ impl Adam {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Snapshot of the optimizer's mutable state (step counter and moment
+    /// estimates) for checkpointing. Moments are empty before the first
+    /// [`Adam::step`]; restoring such a state reproduces the lazy-init
+    /// behaviour exactly.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Rebuilds an optimizer from hyper-parameters plus an
+    /// [`Adam::export_state`] snapshot, continuing the update sequence
+    /// bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is inconsistent: `m` and `v` differ in length
+    /// or any paired moment tensors differ in shape.
+    pub fn from_state(config: AdamConfig, state: AdamState) -> Self {
+        assert_eq!(
+            state.m.len(),
+            state.v.len(),
+            "moment list length mismatch in Adam state"
+        );
+        for (m, v) in state.m.iter().zip(state.v.iter()) {
+            assert_eq!(m.shape(), v.shape(), "moment shape mismatch in Adam state");
+        }
+        Self {
+            config,
+            m: state.m,
+            v: state.v,
+            t: state.t,
+        }
     }
 
     /// Applies one Adam update. `grads[i]` must be the gradient of
@@ -223,6 +274,62 @@ mod tests {
         let grads = vec![Tensor::from_vec(vec![0.5, -0.5], &[2])];
         Sgd::new(0.1).step(&mut params, &grads);
         assert_eq!(params[0].data(), &[0.95, 2.05]);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_exactly() {
+        // Run 5 steps, snapshot, run 5 more; a fresh optimizer restored
+        // from the snapshot must produce identical parameters.
+        let grads_for = |params: &[Tensor]| {
+            vec![Tensor::from_vec(
+                params[0].data().iter().map(|&x| 2.0 * (x - 3.0)).collect(),
+                &[2],
+            )]
+        };
+        let mut params = vec![Tensor::from_vec(vec![0.0, 1.0], &[2])];
+        let mut opt = Adam::new(AdamConfig::with_lr(0.05));
+        for _ in 0..5 {
+            let g = grads_for(&params);
+            opt.step(&mut params, &g);
+        }
+        let state = opt.export_state();
+        let params_at_snapshot = params.clone();
+        for _ in 0..5 {
+            let g = grads_for(&params);
+            opt.step(&mut params, &g);
+        }
+        let mut resumed = Adam::from_state(AdamConfig::with_lr(0.05), state);
+        assert_eq!(resumed.steps(), 5);
+        let mut resumed_params = params_at_snapshot;
+        for _ in 0..5 {
+            let g = grads_for(&resumed_params);
+            resumed.step(&mut resumed_params, &g);
+        }
+        assert_eq!(params[0].data(), resumed_params[0].data());
+    }
+
+    #[test]
+    fn pre_step_state_roundtrips_with_lazy_init() {
+        let opt = Adam::new(AdamConfig::default());
+        let state = opt.export_state();
+        assert_eq!(state.t, 0);
+        assert!(state.m.is_empty() && state.v.is_empty());
+        let mut restored = Adam::from_state(AdamConfig::default(), state);
+        let mut params = vec![Tensor::ones(&[2])];
+        let grads = vec![Tensor::ones(&[2])];
+        restored.step(&mut params, &grads);
+        assert_eq!(restored.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "moment list length mismatch")]
+    fn inconsistent_state_rejected() {
+        let state = AdamState {
+            t: 1,
+            m: vec![Tensor::zeros(&[2])],
+            v: vec![],
+        };
+        Adam::from_state(AdamConfig::default(), state);
     }
 
     #[test]

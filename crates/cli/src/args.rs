@@ -46,7 +46,7 @@ impl Args {
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                    Some(next) if !next.starts_with("--") => it.next().unwrap_or_default(),
                     _ => String::new(),
                 };
                 out.options.insert(key.to_string(), value);

@@ -5,7 +5,7 @@ use crate::pgm;
 use sesr_core::ir::sesr_ir;
 use sesr_core::model::{Sesr, SesrConfig};
 use sesr_core::model_io::{load_model, save_model};
-use sesr_core::train::{TrainConfig, Trainer};
+use sesr_core::train::{DivergenceGuard, TrainConfig, TrainError, Trainer};
 use sesr_core::CollapsedSesr;
 use sesr_data::TrainSet;
 use sesr_npu::{simulate, EthosN78Like};
@@ -21,6 +21,8 @@ pub enum CliError {
     Usage(String),
     /// I/O or decode failure.
     Io(std::io::Error),
+    /// Training failed: divergence-guard abort or a bad checkpoint.
+    Train(TrainError),
 }
 
 impl fmt::Display for CliError {
@@ -29,6 +31,7 @@ impl fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Usage(u) => write!(f, "{u}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Train(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,6 +50,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        CliError::Train(e)
+    }
+}
+
 /// Usage text shown for bad invocations.
 pub const USAGE: &str = "\
 sesr — Super-Efficient Super Resolution (MLSys 2022 reproduction)
@@ -54,9 +63,17 @@ sesr — Super-Efficient Super Resolution (MLSys 2022 reproduction)
 USAGE:
   sesr train    --out <model.sesr> [--m 5] [--f 16] [--scale 2] [--steps 500]
                 [--expanded 64] [--batch 8] [--lr 5e-4] [--relu] [--seed N]
+                [--ckpt <run.ckpt>] [--ckpt-every 50] [--resume <run.ckpt>]
+                [--clip <max-grad-norm>] [--guard]
   sesr upscale  --model <model.sesr> --in <image.pgm> --out <sr.pgm> [--tile N]
   sesr simulate --model <model.sesr> [--height 1080] [--width 1920] [--tops 4]
   sesr info     --model <model.sesr>
+
+Crash safety: with --ckpt, training state is checkpointed atomically every
+--ckpt-every steps; after an interruption, rerun the same command with
+--resume <run.ckpt> (and identical hyper-parameters) to continue
+bit-identically. --guard enables divergence detection with automatic
+rollback and learning-rate backoff.
 ";
 
 /// Runs the CLI and returns its textual report.
@@ -86,6 +103,17 @@ fn train(args: &Args) -> Result<String, CliError> {
     let lr = args.parsed_or("lr", 5e-4f32)?;
     let seed = args.parsed_or("seed", 0x5E5Eu64)?;
     let images = args.parsed_or("images", 12usize)?;
+    let ckpt_every = args.parsed_or("ckpt-every", 50usize)?;
+    let resume = args.get("resume").filter(|v| !v.is_empty()).map(String::from);
+    let ckpt = args
+        .get("ckpt")
+        .filter(|v| !v.is_empty())
+        .map(String::from)
+        .or_else(|| resume.clone());
+    let grad_clip = match args.get("clip") {
+        None => None,
+        Some(_) => Some(args.parsed_or("clip", 1.0f32)?),
+    };
 
     let mut config = SesrConfig {
         f,
@@ -105,18 +133,42 @@ fn train(args: &Args) -> Result<String, CliError> {
         lr,
         log_every: (steps / 10).max(1),
         seed: seed ^ 0x57E9,
-            ..TrainConfig::default()
-        });
-    let report = trainer.train(&mut model, &set);
+        grad_clip,
+        guard: args.has("guard").then(DivergenceGuard::default),
+        ..TrainConfig::default()
+    });
+    let report = match &ckpt {
+        Some(path) => trainer.try_train_checkpointed(
+            &mut model,
+            &set,
+            Path::new(path),
+            ckpt_every,
+            resume.is_some(),
+        )?,
+        None => trainer.try_train(&mut model, &set)?,
+    };
     let collapsed = model.collapse();
     save_model(&collapsed, Path::new(&out))?;
-    Ok(format!(
+    let mut summary = format!(
         "trained {} for {steps} steps (final L1 loss {:.4});\ncollapsed to {} layers / {} weight params;\nsaved to {out}",
         config.name(),
         report.final_loss,
         collapsed.layers().len(),
         collapsed.num_weight_params()
-    ))
+    );
+    if let Some(step) = report.resumed_at {
+        summary.push_str(&format!("\nresumed from checkpoint at step {step}"));
+    }
+    if !report.recoveries.is_empty() {
+        summary.push_str(&format!(
+            "\nrecovered from {} divergence event(s)",
+            report.recoveries.len()
+        ));
+    }
+    if let Some(path) = &ckpt {
+        summary.push_str(&format!("\ncheckpoint: {path}"));
+    }
+    Ok(summary)
 }
 
 fn upscale(args: &Args) -> Result<String, CliError> {
@@ -298,6 +350,75 @@ mod tests {
         let tiled = pgm::read(&tiled_path).unwrap();
         // 8-bit quantization allows at most one level of difference.
         assert!(whole.max_abs_diff(&tiled) <= 1.5 / 255.0);
+    }
+
+    #[test]
+    fn checkpointed_train_writes_and_resumes() {
+        let model_path = tmp("ckpt_train.sesr");
+        let ckpt_path = tmp("ckpt_train.ckpt");
+        std::fs::remove_file(&ckpt_path).ok();
+        let flags = "--m 1 --steps 4 --expanded 4 --batch 2 --images 2 --ckpt-every 2 --guard --clip 5";
+        let report = run(&args(&format!(
+            "train --out {} --ckpt {} {flags}",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("checkpoint:"));
+        assert!(ckpt_path.exists());
+        // Resuming the completed run is a no-op that reports its origin.
+        let report = run(&args(&format!(
+            "train --out {} --resume {} {flags}",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("resumed from checkpoint at step 4"));
+    }
+
+    #[test]
+    fn resume_with_different_config_is_rejected() {
+        let model_path = tmp("mismatch.sesr");
+        let ckpt_path = tmp("mismatch.ckpt");
+        std::fs::remove_file(&ckpt_path).ok();
+        run(&args(&format!(
+            "train --out {} --ckpt {} --m 1 --steps 2 --expanded 4 --batch 2 --images 2",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap();
+        let err = run(&args(&format!(
+            "train --out {} --resume {} --m 1 --steps 9 --expanded 4 --batch 2 --images 2",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Train(_)), "{err:?}");
+        assert!(err.to_string().contains("different run"));
+    }
+
+    #[test]
+    fn resume_from_corrupt_checkpoint_is_a_typed_error() {
+        let model_path = tmp("corrupt.sesr");
+        let ckpt_path = tmp("corrupt.ckpt");
+        std::fs::remove_file(&ckpt_path).ok();
+        run(&args(&format!(
+            "train --out {} --ckpt {} --m 1 --steps 2 --expanded 4 --batch 2 --images 2",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap();
+        let mut bytes = std::fs::read(&ckpt_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&ckpt_path, &bytes).unwrap();
+        let err = run(&args(&format!(
+            "train --out {} --resume {} --m 1 --steps 2 --expanded 4 --batch 2 --images 2",
+            model_path.display(),
+            ckpt_path.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! ```
 //!
 //! Images are 8-bit PGM (luma), matching the paper's Y-channel pipeline.
+//!
+//! Error handling policy: user-facing code never panics on bad input —
+//! every failure surfaces as a typed [`CliError`] mapped to a non-zero
+//! exit code. The lint gate below enforces it.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod args;
 pub mod commands;

@@ -1,7 +1,10 @@
 //! The `sesr` command-line entry point. All logic lives in the library
 //! (`sesr_cli`) so the subcommands are unit-testable.
+//!
+//! Exit codes: 0 on success, 2 for usage/argument errors, 1 for runtime
+//! failures (I/O, corrupt files, diverged training).
 
-use sesr_cli::{run, Args};
+use sesr_cli::{run, Args, CliError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -13,7 +16,10 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("{err}");
-            ExitCode::FAILURE
+            match err {
+                CliError::Usage(_) | CliError::Args(_) => ExitCode::from(2),
+                _ => ExitCode::from(1),
+            }
         }
     }
 }

@@ -1,0 +1,496 @@
+//! Versioned, checksummed training checkpoints.
+//!
+//! A [`Checkpoint`] captures *everything* the training loop needs to
+//! continue bit-identically after a crash: model parameters, the full Adam
+//! moment state, the patch sampler's RNG state, the step counter, the loss
+//! history, and the divergence-guard bookkeeping (LR backoff scale, retry
+//! count, recovery events).
+//!
+//! Format (`SESRCKPT` magic, version 1, little-endian):
+//!
+//! ```text
+//! magic: b"SESRCKPT" | version: u32
+//! fingerprint: u64 | step: u64 | lr_scale: f32 | retries: u32
+//! sampler_state: u64 x 4
+//! adam_t: u64 | n_moments: u32 | m: tensor x n_moments | v: tensor x n_moments
+//! n_params: u32 | params: tensor x n_params
+//! n_losses: u32 | (step: u64, loss: f64) x n_losses
+//! n_tail: u32 | f64 x n_tail
+//! n_recent: u32 | f64 x n_recent
+//! n_events: u32 | (step: u64, kind: u8, loss: f64,
+//!                  rolled_back_to: u64, lr_scale: f32) x n_events
+//! crc: u32   (CRC-32/IEEE over every preceding byte)
+//! tensor := rank: u32 | dims: u32 x rank | data: f32 x len
+//! ```
+//!
+//! [`save_checkpoint`] writes atomically (temp file + rename), and
+//! [`decode_checkpoint`] verifies the trailing CRC before parsing, so a
+//! checkpoint file is either complete and intact or rejected with a typed
+//! error — never half-loaded.
+
+use crate::crc32::crc32;
+use crate::model_io::{atomic_write, get_tensor, put_tensor, DecodeModelError};
+use crate::train::{LossSample, RecoveryEvent, RecoveryKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sesr_autograd::AdamState;
+use sesr_tensor::Tensor;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SESRCKPT";
+const VERSION: u32 = 1;
+/// Upper bounds rejecting absurd counts before any allocation.
+const MAX_TENSORS: usize = 1 << 12;
+const MAX_SAMPLES: usize = 1 << 22;
+
+/// Errors from loading or decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file does not start with the `SESRCKPT` magic.
+    BadMagic,
+    /// Unsupported checkpoint version.
+    BadVersion(u32),
+    /// The file ended before the structure was complete.
+    Truncated,
+    /// The trailing CRC-32 does not match the content (bit rot or a torn
+    /// write).
+    BadChecksum,
+    /// A field held an invalid value.
+    Corrupt(&'static str),
+    /// The checkpoint was produced by a run with different training
+    /// hyper-parameters or data, so resuming from it would not continue
+    /// the same trajectory.
+    ConfigMismatch {
+        /// Fingerprint of the current run configuration.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// An I/O error while reading the file.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a SESR checkpoint file"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::BadChecksum => {
+                write!(f, "checkpoint checksum mismatch (corrupted or torn write)")
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run \
+                 (config fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::Io(kind) => write!(f, "checkpoint I/O error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<DecodeModelError> for CheckpointError {
+    fn from(e: DecodeModelError) -> Self {
+        match e {
+            DecodeModelError::Truncated => CheckpointError::Truncated,
+            DecodeModelError::Corrupt(what) => CheckpointError::Corrupt(what),
+            _ => CheckpointError::Corrupt("embedded tensor"),
+        }
+    }
+}
+
+/// A complete snapshot of training state at a step boundary. Restoring it
+/// continues the run bit-identically (see `sesr-core::train::TrainLoop`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the run configuration that produced this snapshot;
+    /// resume refuses to mix checkpoints across configurations.
+    pub fingerprint: u64,
+    /// Next step to execute.
+    pub step: usize,
+    /// Divergence-guard learning-rate backoff multiplier currently in
+    /// effect (1.0 until a rollback happens).
+    pub lr_scale: f32,
+    /// Rollbacks consumed from the retry budget so far.
+    pub retries: u32,
+    /// Patch sampler RNG state.
+    pub sampler_state: [u64; 4],
+    /// Adam step counter and moment estimates.
+    pub adam: AdamState,
+    /// Model parameters (stable order, as `SrNetwork::parameters`).
+    pub params: Vec<Tensor>,
+    /// Loss samples recorded so far.
+    pub losses: Vec<LossSample>,
+    /// Losses collected so far for the final-10% convergence proxy.
+    pub tail: Vec<f64>,
+    /// Trailing loss window feeding the divergence guard's median.
+    pub recent: Vec<f64>,
+    /// Recovery events so far.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CheckpointError> {
+    if buf.remaining() < n {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(())
+}
+
+fn get_count(buf: &mut Bytes, cap: usize, what: &'static str) -> Result<usize, CheckpointError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    if n > cap {
+        return Err(CheckpointError::Corrupt(what));
+    }
+    Ok(n)
+}
+
+/// Encodes a checkpoint to its binary wire format (including the trailing
+/// CRC).
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(ckpt.fingerprint);
+    buf.put_u64_le(ckpt.step as u64);
+    buf.put_f32_le(ckpt.lr_scale);
+    buf.put_u32_le(ckpt.retries);
+    for &w in &ckpt.sampler_state {
+        buf.put_u64_le(w);
+    }
+    buf.put_u64_le(ckpt.adam.t);
+    buf.put_u32_le(ckpt.adam.m.len() as u32);
+    for t in ckpt.adam.m.iter().chain(ckpt.adam.v.iter()) {
+        put_tensor(&mut buf, t);
+    }
+    buf.put_u32_le(ckpt.params.len() as u32);
+    for t in &ckpt.params {
+        put_tensor(&mut buf, t);
+    }
+    buf.put_u32_le(ckpt.losses.len() as u32);
+    for s in &ckpt.losses {
+        buf.put_u64_le(s.step as u64);
+        buf.put_f64_le(s.loss);
+    }
+    buf.put_u32_le(ckpt.tail.len() as u32);
+    for &v in &ckpt.tail {
+        buf.put_f64_le(v);
+    }
+    buf.put_u32_le(ckpt.recent.len() as u32);
+    for &v in &ckpt.recent {
+        buf.put_f64_le(v);
+    }
+    buf.put_u32_le(ckpt.recoveries.len() as u32);
+    for e in &ckpt.recoveries {
+        buf.put_u64_le(e.step as u64);
+        buf.put_u8(match e.kind {
+            RecoveryKind::NonFiniteLoss => 0,
+            RecoveryKind::NonFiniteGrad => 1,
+            RecoveryKind::LossSpike => 2,
+        });
+        buf.put_f64_le(e.loss);
+        buf.put_u64_le(e.rolled_back_to as u64);
+        buf.put_f32_le(e.lr_scale);
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+/// Decodes a checkpoint, verifying the trailing CRC first.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] for malformed input; never panics.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if bytes.len() < 16 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (content, tail_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(tail_bytes.try_into().expect("4-byte slice"));
+    if crc32(content) != stored {
+        return Err(CheckpointError::BadChecksum);
+    }
+    let mut buf = Bytes::copy_from_slice(content);
+    buf.copy_to_bytes(12); // magic + version, validated above
+
+    need(&buf, 8 + 8 + 4 + 4 + 8 * 4 + 8)?;
+    let fingerprint = buf.get_u64_le();
+    let step = buf.get_u64_le() as usize;
+    let lr_scale = buf.get_f32_le();
+    let retries = buf.get_u32_le();
+    if !(lr_scale.is_finite() && lr_scale > 0.0) {
+        return Err(CheckpointError::Corrupt("non-positive lr scale"));
+    }
+    let mut sampler_state = [0u64; 4];
+    for w in &mut sampler_state {
+        *w = buf.get_u64_le();
+    }
+    let adam_t = buf.get_u64_le();
+
+    let n_moments = get_count(&mut buf, MAX_TENSORS, "implausible moment count")?;
+    let mut moments = Vec::with_capacity(2 * n_moments);
+    for _ in 0..2 * n_moments {
+        moments.push(get_tensor(&mut buf)?);
+    }
+    let v = moments.split_off(n_moments);
+    let m = moments;
+    for (a, b) in m.iter().zip(v.iter()) {
+        if a.shape() != b.shape() {
+            return Err(CheckpointError::Corrupt("moment shape mismatch"));
+        }
+    }
+
+    let n_params = get_count(&mut buf, MAX_TENSORS, "implausible parameter count")?;
+    if n_moments != 0 && n_moments != n_params {
+        return Err(CheckpointError::Corrupt("moment/parameter count mismatch"));
+    }
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(get_tensor(&mut buf)?);
+    }
+    for (p, mo) in params.iter().zip(m.iter()) {
+        if p.shape() != mo.shape() {
+            return Err(CheckpointError::Corrupt("moment/parameter shape mismatch"));
+        }
+    }
+
+    let n_losses = get_count(&mut buf, MAX_SAMPLES, "implausible loss count")?;
+    need(&buf, 16 * n_losses)?;
+    let losses = (0..n_losses)
+        .map(|_| LossSample {
+            step: buf.get_u64_le() as usize,
+            loss: buf.get_f64_le(),
+        })
+        .collect();
+
+    let n_tail = get_count(&mut buf, MAX_SAMPLES, "implausible tail count")?;
+    need(&buf, 8 * n_tail)?;
+    let tail = (0..n_tail).map(|_| buf.get_f64_le()).collect();
+
+    let n_recent = get_count(&mut buf, MAX_SAMPLES, "implausible window count")?;
+    need(&buf, 8 * n_recent)?;
+    let recent = (0..n_recent).map(|_| buf.get_f64_le()).collect();
+
+    let n_events = get_count(&mut buf, MAX_SAMPLES, "implausible event count")?;
+    need(&buf, 29 * n_events)?;
+    let mut recoveries = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let step = buf.get_u64_le() as usize;
+        let kind = match buf.get_u8() {
+            0 => RecoveryKind::NonFiniteLoss,
+            1 => RecoveryKind::NonFiniteGrad,
+            2 => RecoveryKind::LossSpike,
+            _ => return Err(CheckpointError::Corrupt("unknown recovery kind")),
+        };
+        let loss = buf.get_f64_le();
+        let rolled_back_to = buf.get_u64_le() as usize;
+        let lr_scale = buf.get_f32_le();
+        recoveries.push(RecoveryEvent {
+            step,
+            kind,
+            loss,
+            rolled_back_to,
+            lr_scale,
+        });
+    }
+
+    if buf.remaining() != 0 {
+        return Err(CheckpointError::Corrupt("trailing bytes after structure"));
+    }
+    Ok(Checkpoint {
+        fingerprint,
+        step,
+        lr_scale,
+        retries,
+        sampler_state,
+        adam: AdamState {
+            t: adam_t,
+            m,
+            v,
+        },
+        params,
+        losses,
+        tail,
+        recent,
+        recoveries,
+    })
+}
+
+/// Writes a checkpoint to `path` atomically (temp file + rename): a crash
+/// mid-save leaves the previous checkpoint intact.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_checkpoint(ckpt: &Checkpoint, path: &Path) -> std::io::Result<()> {
+    atomic_write(path, &encode_checkpoint(ckpt))
+}
+
+/// Reads and validates a checkpoint from `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] for filesystem failures and the other
+/// variants for malformed content.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| CheckpointError::Io(e.kind()))?;
+    decode_checkpoint(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            step: 42,
+            lr_scale: 0.5,
+            retries: 1,
+            sampler_state: [1, 2, 3, 4],
+            adam: AdamState {
+                t: 42,
+                m: vec![Tensor::from_vec(vec![0.1, 0.2], &[2]), Tensor::ones(&[1])],
+                v: vec![Tensor::from_vec(vec![0.3, 0.4], &[2]), Tensor::zeros(&[1])],
+            },
+            params: vec![Tensor::from_vec(vec![1.0, -2.0], &[2]), Tensor::ones(&[1])],
+            losses: vec![
+                LossSample { step: 0, loss: 0.5 },
+                LossSample { step: 25, loss: 0.25 },
+            ],
+            tail: vec![0.25, 0.24],
+            recent: vec![0.3, 0.27, 0.25],
+            recoveries: vec![RecoveryEvent {
+                step: 30,
+                kind: RecoveryKind::LossSpike,
+                loss: 97.0,
+                rolled_back_to: 20,
+                lr_scale: 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ckpt = sample();
+        let decoded = decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn roundtrip_with_empty_moments_and_history() {
+        // A step-0 checkpoint: Adam not yet lazily initialized, nothing
+        // recorded.
+        let ckpt = Checkpoint {
+            step: 0,
+            retries: 0,
+            lr_scale: 1.0,
+            adam: AdamState {
+                t: 0,
+                m: vec![],
+                v: vec![],
+            },
+            losses: vec![],
+            tail: vec![],
+            recent: vec![],
+            recoveries: vec![],
+            ..sample()
+        };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert_eq!(
+            decode_checkpoint(b"NOTACKPT____").unwrap_err(),
+            CheckpointError::BadMagic
+        );
+        let mut bytes = encode_checkpoint(&sample());
+        bytes[8] = 99;
+        assert_eq!(
+            decode_checkpoint(&bytes).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly() {
+        let bytes = encode_checkpoint(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_checkpoint(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic
+                        | CheckpointError::BadChecksum
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = encode_checkpoint(&sample());
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x04;
+            assert!(decode_checkpoint(&flipped).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn structural_checks_run_behind_valid_checksum() {
+        // Corrupt the retries field to an absurd moment count downstream:
+        // easiest structural break is mismatched moment/param shapes.
+        let mut ckpt = sample();
+        ckpt.adam.m[0] = Tensor::ones(&[3]);
+        ckpt.adam.v[0] = Tensor::ones(&[3]);
+        let err = decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Corrupt("moment/parameter shape mismatch")
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("sesr_checkpoint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ckpt = sample();
+        save_checkpoint(&ckpt, &path).unwrap();
+        assert!(!dir.join("run.ckpt.tmp").exists());
+        assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+        // Overwrite with a later snapshot; the load must see the new one.
+        let later = Checkpoint {
+            step: 100,
+            ..ckpt
+        };
+        save_checkpoint(&later, &path).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap().step, 100);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_kind() {
+        let err = load_checkpoint(Path::new("/nonexistent/sesr.ckpt")).unwrap_err();
+        assert_eq!(err, CheckpointError::Io(std::io::ErrorKind::NotFound));
+    }
+}

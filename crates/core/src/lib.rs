@@ -34,8 +34,10 @@
 //! ```
 
 pub mod block;
+pub mod checkpoint;
 pub mod collapse;
 pub mod collapsed;
+pub mod crc32;
 pub mod ir;
 pub mod macs;
 pub mod model;
@@ -45,7 +47,14 @@ pub mod theory_matrix;
 pub mod train;
 
 pub use block::LinearBlock;
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint, Checkpoint,
+    CheckpointError,
+};
 pub use collapsed::CollapsedSesr;
 pub use model::{Activation, BlockKind, Sesr, SesrConfig};
 pub use model_io::{decode_model, encode_model, load_model, save_model};
-pub use train::{SrNetwork, TrainConfig, Trainer};
+pub use train::{
+    DivergenceGuard, FaultInjection, RecoveryEvent, RecoveryKind, SrNetwork, StepOutcome,
+    TrainConfig, TrainError, TrainLoop, TrainReport, Trainer,
+};

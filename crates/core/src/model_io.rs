@@ -1,7 +1,7 @@
 //! Binary serialization of collapsed networks — the artifact a deployment
 //! pipeline would ship to a device after training and collapsing.
 //!
-//! Format (`SESR` magic, version 1, little-endian):
+//! Format (`SESR` magic, version 2, little-endian):
 //!
 //! ```text
 //! magic: b"SESR" | version: u32 | scale: u32 | flags: u32 | n_layers: u32
@@ -9,10 +9,17 @@
 //!   act: u8 (0 = none, 1 = relu, 2 = prelu)
 //!   [if prelu] alpha: tensor
 //!   weight: tensor | bias: tensor
+//! crc: u32   (CRC-32/IEEE over every preceding byte; v2 only)
 //! tensor := rank: u32 | dims: u32 x rank | data: f32 x len
 //! ```
+//!
+//! Version 1 files (identical layout minus the trailing CRC) remain
+//! readable. [`save_model`] writes atomically — the encoding goes to a
+//! sibling temp file first and is renamed into place — so a crash
+//! mid-write never leaves a half-written model at the destination path.
 
 use crate::collapsed::{Act, CollapsedLayer, CollapsedSesr};
+use crate::crc32::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sesr_tensor::Tensor;
 use std::fmt;
@@ -20,9 +27,28 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SESR";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const FLAG_FEATURE_RESIDUAL: u32 = 1;
 const FLAG_INPUT_RESIDUAL: u32 = 2;
+
+/// Writes `data` to `path` via a sibling temp file plus atomic rename, so
+/// readers never observe a torn write at `path`.
+pub(crate) fn atomic_write(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, data)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
 
 /// Errors from decoding a serialized model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +59,9 @@ pub enum DecodeModelError {
     BadVersion(u32),
     /// The buffer ended before the structure was complete.
     Truncated,
+    /// The trailing CRC-32 does not match the content (bit rot or a torn
+    /// write).
+    BadChecksum,
     /// A field held an invalid value (e.g. unknown activation tag).
     Corrupt(&'static str),
 }
@@ -43,6 +72,9 @@ impl fmt::Display for DecodeModelError {
             DecodeModelError::BadMagic => write!(f, "not a SESR model file"),
             DecodeModelError::BadVersion(v) => write!(f, "unsupported model version {v}"),
             DecodeModelError::Truncated => write!(f, "model file is truncated"),
+            DecodeModelError::BadChecksum => {
+                write!(f, "model file checksum mismatch (corrupted or torn write)")
+            }
             DecodeModelError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
         }
     }
@@ -50,7 +82,7 @@ impl fmt::Display for DecodeModelError {
 
 impl std::error::Error for DecodeModelError {}
 
-fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+pub(crate) fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     buf.put_u32_le(t.shape().len() as u32);
     for &d in t.shape() {
         buf.put_u32_le(d as u32);
@@ -60,7 +92,7 @@ fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     }
 }
 
-fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeModelError> {
+pub(crate) fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeModelError> {
     if buf.remaining() < 4 {
         return Err(DecodeModelError::Truncated);
     }
@@ -113,6 +145,8 @@ pub fn encode_model(model: &CollapsedSesr) -> Bytes {
         put_tensor(&mut buf, &layer.weight);
         put_tensor(&mut buf, &layer.bias);
     }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
     buf.freeze()
 }
 
@@ -122,16 +156,33 @@ pub fn encode_model(model: &CollapsedSesr) -> Bytes {
 ///
 /// Returns a [`DecodeModelError`] for malformed input.
 pub fn decode_model(bytes: &[u8]) -> Result<CollapsedSesr, DecodeModelError> {
-    let mut buf = Bytes::copy_from_slice(bytes);
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return Err(DecodeModelError::BadMagic);
     }
-    if buf.remaining() < 16 {
+    if bytes.len() < 8 {
         return Err(DecodeModelError::Truncated);
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(DecodeModelError::BadVersion(version));
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let body = match version {
+        // Version 1 predates the trailing checksum: the body runs to EOF.
+        1 => bytes,
+        VERSION => {
+            if bytes.len() < 12 {
+                return Err(DecodeModelError::Truncated);
+            }
+            let (content, tail) = bytes.split_at(bytes.len() - 4);
+            let stored = u32::from_le_bytes(tail.try_into().expect("4-byte slice"));
+            if crc32(content) != stored {
+                return Err(DecodeModelError::BadChecksum);
+            }
+            content
+        }
+        other => return Err(DecodeModelError::BadVersion(other)),
+    };
+    let mut buf = Bytes::copy_from_slice(body);
+    buf.copy_to_bytes(8); // magic + version, validated above
+    if buf.remaining() < 12 {
+        return Err(DecodeModelError::Truncated);
     }
     let scale = buf.get_u32_le() as usize;
     if scale != 2 && scale != 4 {
@@ -168,13 +219,13 @@ pub fn decode_model(bytes: &[u8]) -> Result<CollapsedSesr, DecodeModelError> {
     ))
 }
 
-/// Writes a collapsed network to a file.
+/// Writes a collapsed network to a file atomically (temp file + rename).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn save_model(model: &CollapsedSesr, path: &Path) -> std::io::Result<()> {
-    fs::write(path, encode_model(model))
+    atomic_write(path, &encode_model(model))
 }
 
 /// Reads a collapsed network from a file.
@@ -229,11 +280,16 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let bytes = encode_model(&sample());
         // Chop at several points; every prefix must fail cleanly, never
-        // panic.
+        // panic. A torn tail lands on the checksum check.
         for cut in [3usize, 8, 20, bytes.len() / 2, bytes.len() - 1] {
             let err = decode_model(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, DecodeModelError::Truncated | DecodeModelError::BadMagic),
+                matches!(
+                    err,
+                    DecodeModelError::Truncated
+                        | DecodeModelError::BadMagic
+                        | DecodeModelError::BadChecksum
+                ),
                 "cut {cut}: {err:?}"
             );
         }
@@ -250,15 +306,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corrupt_activation_tag() {
+    fn checksum_catches_body_corruption() {
         let bytes = encode_model(&sample()).to_vec();
         let mut corrupted = bytes.clone();
         corrupted[20] = 200; // first layer's act tag
-        let err = decode_model(&corrupted).unwrap_err();
-        assert!(matches!(
-            err,
-            DecodeModelError::Corrupt(_) | DecodeModelError::Truncated
-        ));
+        assert_eq!(
+            decode_model(&corrupted).unwrap_err(),
+            DecodeModelError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected() {
+        let bytes = encode_model(&sample()).to_vec();
+        // Flip one bit at a spread of positions, including inside the
+        // trailing CRC itself; none may decode successfully or panic.
+        for pos in (0..bytes.len()).step_by(bytes.len() / 23 + 1) {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            assert!(decode_model(&flipped).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn structural_checks_still_run_behind_valid_checksum() {
+        // Re-checksummed corruption must land on the structural checks,
+        // not decode into a bogus model.
+        let mut bytes = encode_model(&sample()).to_vec();
+        bytes[8] = 77; // scale := 77
+        let crc = crate::crc32::crc32(&bytes[..bytes.len() - 4]).to_le_bytes();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&crc);
+        assert_eq!(
+            decode_model(&bytes).unwrap_err(),
+            DecodeModelError::Corrupt("scale must be 2 or 4")
+        );
+    }
+
+    #[test]
+    fn version1_files_remain_readable() {
+        // A v1 file is the v2 encoding minus the trailing CRC, with the
+        // version field set to 1.
+        let model = sample();
+        let mut v1 = encode_model(&model).to_vec();
+        v1.truncate(v1.len() - 4);
+        v1[4] = 1;
+        assert_eq!(decode_model(&v1).unwrap(), model);
     }
 
     #[test]
@@ -270,6 +363,20 @@ mod tests {
         save_model(&model, &path).unwrap();
         let loaded = load_model(&path).unwrap();
         assert_eq!(loaded, model);
+        // The temp file used for the atomic write must not linger.
+        assert!(!dir.join("m2.sesr.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_overwrites_existing_file_atomically() {
+        let dir = std::env::temp_dir().join("sesr_model_io_overwrite_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.sesr");
+        std::fs::write(&path, b"garbage that must disappear").unwrap();
+        let model = sample();
+        save_model(&model, &path).unwrap();
+        assert_eq!(load_model(&path).unwrap(), model);
         std::fs::remove_file(&path).ok();
     }
 

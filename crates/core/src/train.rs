@@ -5,12 +5,31 @@
 //! ground-truth HR patches, random 64x64 crops. The scale of everything
 //! (steps, batch, patch, dataset size) is configurable so the same code
 //! runs both CI-speed smoke training and full-protocol runs.
+//!
+//! ## Crash safety
+//!
+//! Training is structured as a resumable stepper ([`TrainLoop`]) rather
+//! than a closed loop: every piece of mutable state (parameters, Adam
+//! moments, sampler RNG, step counter, loss history) lives in the loop
+//! object and can be snapshotted into a [`Checkpoint`] at any step
+//! boundary. Restoring that snapshot — in memory for divergence rollback,
+//! or from disk after a crash — continues the run **bit-identically**: the
+//! resumed trajectory is indistinguishable from an uninterrupted one.
+//!
+//! An optional [`DivergenceGuard`] watches the loss stream: a non-finite
+//! loss/gradient or a loss spiking above `spike_factor` times the trailing
+//! median triggers an automatic rollback to the last snapshot with the
+//! learning rate backed off, up to a retry budget. Every recovery is
+//! recorded in the [`TrainReport`].
 
+use crate::checkpoint::{load_checkpoint, save_checkpoint, Checkpoint, CheckpointError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sesr_autograd::{Adam, AdamConfig, Tape, VarId};
 use sesr_data::{Benchmark, PatchSampler, TrainSet};
 use sesr_tensor::Tensor;
+use std::fmt;
+use std::path::Path;
 
 /// A trainable super-resolution network.
 ///
@@ -79,6 +98,46 @@ impl LrSchedule {
     }
 }
 
+/// Divergence-detection and automatic-rollback policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceGuard {
+    /// Trailing window of losses whose median anchors the spike test.
+    pub window: usize,
+    /// A loss above `spike_factor * median(window)` counts as divergence
+    /// (once the window is full).
+    pub spike_factor: f64,
+    /// Rollbacks allowed before the run aborts with
+    /// [`TrainError::Diverged`].
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on every rollback.
+    pub backoff: f32,
+    /// Steps between in-memory rollback snapshots.
+    pub snapshot_every: usize,
+}
+
+impl Default for DivergenceGuard {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            spike_factor: 10.0,
+            max_retries: 3,
+            backoff: 0.5,
+            snapshot_every: 10,
+        }
+    }
+}
+
+/// Deterministic fault injection for recovery testing: each fault fires at
+/// most once per process (rollback does not re-arm it), modelling a
+/// transient corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultInjection {
+    /// Poison one gradient entry with NaN at this step.
+    pub nan_grad_at: Option<usize>,
+    /// Multiply the observed loss by `1e6` at this step.
+    pub spike_loss_at: Option<usize>,
+}
+
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -99,6 +158,13 @@ pub struct TrainConfig {
     pub augment: bool,
     /// Learning-rate schedule.
     pub schedule: LrSchedule,
+    /// Clip gradients to this global L2 norm before the optimizer step.
+    pub grad_clip: Option<f32>,
+    /// Divergence detection with automatic rollback; `None` trains
+    /// unguarded.
+    pub guard: Option<DivergenceGuard>,
+    /// Fault injection for recovery tests (inert by default).
+    pub fault: FaultInjection,
 }
 
 impl Default for TrainConfig {
@@ -112,6 +178,9 @@ impl Default for TrainConfig {
             seed: 0x7_2A19,
             augment: false,
             schedule: LrSchedule::Constant,
+            grad_clip: None,
+            guard: None,
+            fault: FaultInjection::default(),
         }
     }
 }
@@ -128,8 +197,60 @@ impl TrainConfig {
             log_every: (steps / 20).max(1),
             seed,
             augment: true,
-            schedule: LrSchedule::Constant,
+            ..Self::default()
         }
+    }
+
+    /// Fingerprint (FNV-1a) of every knob that shapes the training
+    /// trajectory, plus the dataset's scale and size. Checkpoints embed it
+    /// so a resume against different hyper-parameters or data is rejected
+    /// instead of silently continuing a different run. [`FaultInjection`]
+    /// is deliberately excluded: recovery tests resume fault-free runs.
+    pub fn fingerprint(&self, set: &TrainSet) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        eat(self.steps as u64);
+        eat(self.batch as u64);
+        eat(self.hr_patch as u64);
+        eat(self.lr.to_bits() as u64);
+        eat(self.seed);
+        eat(self.augment as u64);
+        match self.schedule {
+            LrSchedule::Constant => eat(1),
+            LrSchedule::StepDecay { every, factor } => {
+                eat(2);
+                eat(every as u64);
+                eat(factor.to_bits() as u64);
+            }
+            LrSchedule::Cosine { floor } => {
+                eat(3);
+                eat(floor.to_bits() as u64);
+            }
+        }
+        match self.grad_clip {
+            None => eat(0),
+            Some(c) => {
+                eat(1);
+                eat(c.to_bits() as u64);
+            }
+        }
+        match self.guard {
+            None => eat(0),
+            Some(g) => {
+                eat(1);
+                eat(g.window as u64);
+                eat(g.spike_factor.to_bits());
+                eat(g.max_retries as u64);
+                eat(g.backoff.to_bits() as u64);
+                eat(g.snapshot_every as u64);
+            }
+        }
+        eat(set.scale() as u64);
+        eat(set.len() as u64);
+        h
     }
 }
 
@@ -142,6 +263,32 @@ pub struct LossSample {
     pub loss: f64,
 }
 
+/// Why the divergence guard intervened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// The training loss was NaN or infinite.
+    NonFiniteLoss,
+    /// A gradient contained a NaN or infinite entry.
+    NonFiniteGrad,
+    /// The loss exceeded `spike_factor` times the trailing median.
+    LossSpike,
+}
+
+/// One automatic rollback performed by the divergence guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Step at which divergence was detected.
+    pub step: usize,
+    /// What tripped the guard.
+    pub kind: RecoveryKind,
+    /// The offending loss value.
+    pub loss: f64,
+    /// Step the run was rolled back to.
+    pub rolled_back_to: usize,
+    /// Learning-rate scale in effect *after* the backoff.
+    pub lr_scale: f32,
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -149,6 +296,425 @@ pub struct TrainReport {
     pub losses: Vec<LossSample>,
     /// Mean loss over the final 10% of steps — a convergence proxy.
     pub final_loss: f64,
+    /// Automatic rollbacks performed by the divergence guard.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Step the run was resumed from, if it started from a checkpoint.
+    pub resumed_at: Option<usize>,
+    /// True when all configured steps ran (false only for reports built
+    /// from an unfinished loop).
+    pub completed: bool,
+}
+
+/// Errors from a guarded or checkpointed training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The divergence guard exhausted its retry budget.
+    Diverged {
+        /// Step at which the final, unrecoverable divergence occurred.
+        step: usize,
+        /// Rollbacks already spent.
+        retries: u32,
+    },
+    /// A checkpoint could not be loaded or did not match this run.
+    Checkpoint(CheckpointError),
+    /// Writing a checkpoint failed.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged { step, retries } => write!(
+                f,
+                "training diverged at step {step} after {retries} rollback(s); \
+                 retry budget exhausted"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Io(kind) => write!(f, "checkpoint write failed: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// What a single [`TrainLoop::step_once`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One optimizer step was applied.
+    Stepped,
+    /// Divergence was detected; the loop rolled back and backed off the
+    /// learning rate instead of stepping.
+    Recovered,
+    /// All configured steps have already run.
+    Finished,
+}
+
+/// Upper median of a non-empty slice.
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[sorted.len() / 2]
+}
+
+/// Scales `grads` so their global L2 norm is at most `max_norm`, returning
+/// the pre-clip norm. Non-finite entries are zeroed first so one poisoned
+/// gradient cannot wipe out the whole update direction.
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    for g in grads.iter_mut() {
+        for v in g.data_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+    }
+    let norm = grads
+        .iter()
+        .flat_map(|g| g.data().iter())
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// The resumable training stepper.
+///
+/// Owns every piece of mutable training state; [`TrainLoop::checkpoint`]
+/// snapshots it and [`TrainLoop::resume`] rebuilds a loop that continues
+/// bit-identically. [`Trainer`] drives it for whole runs; tests and the
+/// CLI can drive it step by step.
+#[derive(Debug)]
+pub struct TrainLoop<'a> {
+    cfg: TrainConfig,
+    set: &'a TrainSet,
+    fingerprint: u64,
+    sampler: PatchSampler,
+    opt: Adam,
+    params: Vec<Tensor>,
+    step: usize,
+    lr_scale: f32,
+    retries: u32,
+    losses: Vec<LossSample>,
+    tail: Vec<f64>,
+    recent: Vec<f64>,
+    recoveries: Vec<RecoveryEvent>,
+    resumed_at: Option<usize>,
+    rollback: Option<Checkpoint>,
+    nan_fired: bool,
+    spike_fired: bool,
+}
+
+impl<'a> TrainLoop<'a> {
+    /// Starts a fresh run over `set`, taking initial parameters from
+    /// `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set scale disagrees with the model's.
+    pub fn start(cfg: TrainConfig, model: &dyn SrNetwork, set: &'a TrainSet) -> Self {
+        assert_eq!(
+            set.scale(),
+            model.scale(),
+            "training set scale {} != model scale {}",
+            set.scale(),
+            model.scale()
+        );
+        let sampler = if cfg.augment {
+            PatchSampler::with_augmentation(cfg.hr_patch, set.scale(), cfg.seed)
+        } else {
+            PatchSampler::new(cfg.hr_patch, set.scale(), cfg.seed)
+        };
+        let fingerprint = cfg.fingerprint(set);
+        Self {
+            cfg,
+            set,
+            fingerprint,
+            sampler,
+            opt: Adam::new(AdamConfig::with_lr(cfg.lr)),
+            params: model.parameters(),
+            step: 0,
+            lr_scale: 1.0,
+            retries: 0,
+            losses: Vec::new(),
+            tail: Vec::new(),
+            recent: Vec::new(),
+            recoveries: Vec::new(),
+            resumed_at: None,
+            rollback: None,
+            nan_fired: false,
+            spike_fired: false,
+        }
+    }
+
+    /// Rebuilds a loop from a checkpoint, continuing the interrupted run
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ConfigMismatch`] when the checkpoint's
+    /// config fingerprint disagrees with `cfg` + `set`.
+    pub fn resume(
+        cfg: TrainConfig,
+        set: &'a TrainSet,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        let expected = cfg.fingerprint(set);
+        if ckpt.fingerprint != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: ckpt.fingerprint,
+            });
+        }
+        let mut sampler = if cfg.augment {
+            PatchSampler::with_augmentation(cfg.hr_patch, set.scale(), cfg.seed)
+        } else {
+            PatchSampler::new(cfg.hr_patch, set.scale(), cfg.seed)
+        };
+        sampler.restore_rng(ckpt.sampler_state);
+        // Fire-once faults scheduled before the resume point are treated
+        // as already fired: resume never replays a transient fault.
+        let fired_before = |at: Option<usize>| at.is_some_and(|s| s < ckpt.step);
+        Ok(Self {
+            cfg,
+            set,
+            fingerprint: ckpt.fingerprint,
+            sampler,
+            opt: Adam::from_state(AdamConfig::with_lr(cfg.lr), ckpt.adam.clone()),
+            params: ckpt.params.clone(),
+            step: ckpt.step,
+            lr_scale: ckpt.lr_scale,
+            retries: ckpt.retries,
+            losses: ckpt.losses.clone(),
+            tail: ckpt.tail.clone(),
+            recent: ckpt.recent.clone(),
+            recoveries: ckpt.recoveries.clone(),
+            resumed_at: Some(ckpt.step),
+            rollback: Some(ckpt.clone()),
+            nan_fired: fired_before(cfg.fault.nan_grad_at),
+            spike_fired: fired_before(cfg.fault.spike_loss_at),
+        })
+    }
+
+    /// Next step to execute.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// True once all configured steps have run.
+    pub fn is_finished(&self) -> bool {
+        self.step >= self.cfg.steps
+    }
+
+    /// Recovery events so far.
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    /// Snapshot of the complete training state at the current step
+    /// boundary.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            fingerprint: self.fingerprint,
+            step: self.step,
+            lr_scale: self.lr_scale,
+            retries: self.retries,
+            sampler_state: self.sampler.rng_state(),
+            adam: self.opt.export_state(),
+            params: self.params.clone(),
+            losses: self.losses.clone(),
+            tail: self.tail.clone(),
+            recent: self.recent.clone(),
+            recoveries: self.recoveries.clone(),
+        }
+    }
+
+    /// Restores trajectory state (step, RNG, optimizer, parameters, loss
+    /// history) from a rollback point. Guard bookkeeping (`lr_scale`,
+    /// `retries`, `recoveries`) survives the rollback — that is the point.
+    fn restore_trajectory(&mut self, ckpt: &Checkpoint) {
+        self.step = ckpt.step;
+        self.sampler.restore_rng(ckpt.sampler_state);
+        self.opt = Adam::from_state(AdamConfig::with_lr(self.cfg.lr), ckpt.adam.clone());
+        self.params = ckpt.params.clone();
+        self.losses = ckpt.losses.clone();
+        self.tail = ckpt.tail.clone();
+        self.recent = ckpt.recent.clone();
+    }
+
+    fn recover(
+        &mut self,
+        kind: RecoveryKind,
+        loss: f64,
+        guard: DivergenceGuard,
+    ) -> Result<StepOutcome, TrainError> {
+        if self.retries >= guard.max_retries {
+            return Err(TrainError::Diverged {
+                step: self.step,
+                retries: self.retries,
+            });
+        }
+        let detected_at = self.step;
+        let rollback = self
+            .rollback
+            .clone()
+            .expect("guarded loops snapshot before the first step");
+        self.restore_trajectory(&rollback);
+        self.retries += 1;
+        self.lr_scale *= guard.backoff;
+        self.recoveries.push(RecoveryEvent {
+            step: detected_at,
+            kind,
+            loss,
+            rolled_back_to: rollback.step,
+            lr_scale: self.lr_scale,
+        });
+        Ok(StepOutcome::Recovered)
+    }
+
+    /// Runs one training step (or one rollback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Diverged`] when divergence strikes with the
+    /// retry budget exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` disagrees with the loop's parameter shapes.
+    pub fn step_once(&mut self, model: &mut dyn SrNetwork) -> Result<StepOutcome, TrainError> {
+        if self.is_finished() {
+            return Ok(StepOutcome::Finished);
+        }
+        let cfg = self.cfg;
+        if let Some(guard) = cfg.guard {
+            if self.step.is_multiple_of(guard.snapshot_every.max(1)) || self.rollback.is_none() {
+                self.rollback = Some(self.checkpoint());
+            }
+        }
+        self.opt
+            .set_lr(cfg.schedule.rate(cfg.lr, self.step, cfg.steps) * self.lr_scale);
+        let (lr_batch, hr_batch) = self.sampler.sample_batch(self.set, cfg.batch);
+        model.set_parameters(&self.params);
+        let mut tape = Tape::new();
+        let x = tape.leaf(lr_batch, false);
+        let (y, param_ids) = model.forward(&mut tape, x);
+        let loss_id = tape.l1_loss(y, &hr_batch);
+        let mut loss = tape.value(loss_id).data()[0] as f64;
+        tape.backward(loss_id);
+        let mut grads: Vec<Tensor> = param_ids
+            .iter()
+            .zip(self.params.iter())
+            .map(|(id, p)| {
+                tape.grad(*id)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(p.shape()))
+            })
+            .collect();
+
+        if cfg.fault.spike_loss_at == Some(self.step) && !self.spike_fired {
+            self.spike_fired = true;
+            loss *= 1e6;
+        }
+        if cfg.fault.nan_grad_at == Some(self.step) && !self.nan_fired {
+            self.nan_fired = true;
+            if let Some(g) = grads.iter_mut().find(|g| !g.data().is_empty()) {
+                g.data_mut()[0] = f32::NAN;
+            }
+        }
+
+        if let Some(guard) = cfg.guard {
+            let bad_loss = !loss.is_finite();
+            let bad_grad = grads
+                .iter()
+                .any(|g| g.data().iter().any(|v| !v.is_finite()));
+            let spike = self.recent.len() >= guard.window && {
+                let med = median(&self.recent);
+                med > 0.0 && loss > guard.spike_factor * med
+            };
+            if bad_loss || bad_grad || spike {
+                let kind = if bad_loss {
+                    RecoveryKind::NonFiniteLoss
+                } else if bad_grad {
+                    RecoveryKind::NonFiniteGrad
+                } else {
+                    RecoveryKind::LossSpike
+                };
+                return self.recover(kind, loss, guard);
+            }
+        }
+
+        if let Some(max_norm) = cfg.grad_clip {
+            clip_global_norm(&mut grads, max_norm);
+        }
+        self.opt.step(&mut self.params, &grads);
+
+        if self.step.is_multiple_of(cfg.log_every) || self.step + 1 == cfg.steps {
+            self.losses.push(LossSample {
+                step: self.step,
+                loss,
+            });
+        }
+        let tail_len = (cfg.steps / 10).max(1);
+        if self.step + tail_len >= cfg.steps {
+            self.tail.push(loss);
+        }
+        if let Some(guard) = cfg.guard {
+            self.recent.push(loss);
+            if self.recent.len() > guard.window {
+                self.recent.remove(0);
+            }
+        }
+        self.step += 1;
+        Ok(StepOutcome::Stepped)
+    }
+
+    /// Writes the final parameters back into `model` and builds the
+    /// report.
+    pub fn finish(self, model: &mut dyn SrNetwork) -> TrainReport {
+        model.set_parameters(&self.params);
+        let final_loss = if self.tail.is_empty() {
+            f64::NAN
+        } else {
+            self.tail.iter().sum::<f64>() / self.tail.len() as f64
+        };
+        TrainReport {
+            losses: self.losses,
+            final_loss,
+            recoveries: self.recoveries,
+            resumed_at: self.resumed_at,
+            completed: self.step >= self.cfg.steps,
+        }
+    }
+}
+
+/// Rejects a checkpoint whose parameter tensors cannot be loaded into
+/// `model`.
+fn validate_model(model: &dyn SrNetwork, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    let current = model.parameters();
+    let compatible = current.len() == ckpt.params.len()
+        && current
+            .iter()
+            .zip(ckpt.params.iter())
+            .all(|(a, b)| a.shape() == b.shape());
+    if !compatible {
+        return Err(CheckpointError::Corrupt(
+            "checkpoint parameters do not match the model architecture",
+        ));
+    }
+    Ok(())
 }
 
 /// Drives [`SrNetwork`] training on a [`TrainSet`].
@@ -167,56 +733,76 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if the training set scale disagrees with the model's.
+    /// Panics if the training set scale disagrees with the model's, or if
+    /// a configured [`DivergenceGuard`] aborts the run (use
+    /// [`Trainer::try_train`] for a typed error instead).
     pub fn train(&self, model: &mut dyn SrNetwork, set: &TrainSet) -> TrainReport {
-        assert_eq!(
-            set.scale(),
-            model.scale(),
-            "training set scale {} != model scale {}",
-            set.scale(),
-            model.scale()
-        );
-        let cfg = &self.config;
-        let mut sampler = if cfg.augment {
-            PatchSampler::with_augmentation(cfg.hr_patch, set.scale(), cfg.seed)
+        match self.try_train(model, set) {
+            Ok(report) => report,
+            Err(e) => panic!("training failed: {e}"),
+        }
+    }
+
+    /// Trains `model` in place; divergence-guard aborts surface as
+    /// [`TrainError::Diverged`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Diverged`] when the guard's retry budget is
+    /// exhausted.
+    pub fn try_train(
+        &self,
+        model: &mut dyn SrNetwork,
+        set: &TrainSet,
+    ) -> Result<TrainReport, TrainError> {
+        let mut lp = TrainLoop::start(self.config, model, set);
+        while !matches!(lp.step_once(model)?, StepOutcome::Finished) {}
+        Ok(lp.finish(model))
+    }
+
+    /// Trains with periodic on-disk checkpoints at `ckpt_path` (written
+    /// atomically every `every` steps, after every recovery, and at
+    /// completion). With `resume` set, the run continues from the
+    /// checkpoint at `ckpt_path` instead of starting fresh — bit-identical
+    /// to a run that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] for unreadable/mismatched
+    /// checkpoints, [`TrainError::Io`] for failed writes, and
+    /// [`TrainError::Diverged`] when the guard gives up.
+    pub fn try_train_checkpointed(
+        &self,
+        model: &mut dyn SrNetwork,
+        set: &TrainSet,
+        ckpt_path: &Path,
+        every: usize,
+        resume: bool,
+    ) -> Result<TrainReport, TrainError> {
+        let mut lp = if resume {
+            let ckpt = load_checkpoint(ckpt_path)?;
+            validate_model(model, &ckpt)?;
+            TrainLoop::resume(self.config, set, &ckpt)?
         } else {
-            PatchSampler::new(cfg.hr_patch, set.scale(), cfg.seed)
+            TrainLoop::start(self.config, model, set)
         };
-        let mut opt = Adam::new(AdamConfig::with_lr(cfg.lr));
-        let mut params = model.parameters();
-        let mut losses = Vec::new();
-        let mut tail: Vec<f64> = Vec::new();
-        let tail_len = (cfg.steps / 10).max(1);
-        for step in 0..cfg.steps {
-            opt.set_lr(cfg.schedule.rate(cfg.lr, step, cfg.steps));
-            let (lr_batch, hr_batch) = sampler.sample_batch(set, cfg.batch);
-            model.set_parameters(&params);
-            let mut tape = Tape::new();
-            let x = tape.leaf(lr_batch, false);
-            let (y, param_ids) = model.forward(&mut tape, x);
-            let loss_id = tape.l1_loss(y, &hr_batch);
-            let loss = tape.value(loss_id).data()[0] as f64;
-            tape.backward(loss_id);
-            let grads: Vec<Tensor> = param_ids
-                .iter()
-                .zip(params.iter())
-                .map(|(id, p)| {
-                    tape.grad(*id)
-                        .cloned()
-                        .unwrap_or_else(|| Tensor::zeros(p.shape()))
-                })
-                .collect();
-            opt.step(&mut params, &grads);
-            if step % cfg.log_every == 0 || step + 1 == cfg.steps {
-                losses.push(LossSample { step, loss });
-            }
-            if step + tail_len >= cfg.steps {
-                tail.push(loss);
+        let every = every.max(1);
+        let persist = |lp: &TrainLoop| -> Result<(), TrainError> {
+            save_checkpoint(&lp.checkpoint(), ckpt_path).map_err(|e| TrainError::Io(e.kind()))
+        };
+        loop {
+            match lp.step_once(model)? {
+                StepOutcome::Finished => break,
+                StepOutcome::Stepped => {
+                    if lp.step() % every == 0 {
+                        persist(&lp)?;
+                    }
+                }
+                StepOutcome::Recovered => persist(&lp)?,
             }
         }
-        model.set_parameters(&params);
-        let final_loss = tail.iter().sum::<f64>() / tail.len() as f64;
-        TrainReport { losses, final_loss }
+        persist(&lp)?;
+        Ok(lp.finish(model))
     }
 
     /// Evaluates a trained model on a set of benchmarks, returning
@@ -276,6 +862,9 @@ mod tests {
             "loss did not decrease: {first} -> {}",
             report.final_loss
         );
+        assert!(report.completed);
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.resumed_at, None);
     }
 
     #[test]
@@ -343,6 +932,36 @@ mod tests {
     }
 
     #[test]
+    fn lr_schedule_edge_cases_stay_finite() {
+        let base = 5e-4f32;
+        // Step 0 and final step of every schedule.
+        for schedule in [
+            LrSchedule::Constant,
+            LrSchedule::StepDecay {
+                every: 10,
+                factor: 0.5,
+            },
+            LrSchedule::Cosine { floor: 1e-5 },
+        ] {
+            for (step, total) in [(0usize, 100usize), (100, 100), (0, 0), (5, 0)] {
+                let r = schedule.rate(base, step, total);
+                assert!(
+                    r.is_finite() && r >= 0.0,
+                    "{schedule:?} at {step}/{total} gave {r}"
+                );
+            }
+        }
+        // A zero decay interval must not divide by zero.
+        let degenerate = LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.5,
+        };
+        assert!(degenerate.rate(base, 7, 100).is_finite());
+        // Constant schedule ignores totals entirely.
+        assert_eq!(LrSchedule::Constant.rate(base, 0, 0), base);
+    }
+
+    #[test]
     fn paper_protocol_config_matches_section51() {
         let cfg = TrainConfig::paper_protocol(1000, 7);
         assert_eq!(cfg.batch, 32);
@@ -350,6 +969,8 @@ mod tests {
         assert!((cfg.lr - 5e-4).abs() < 1e-9);
         assert!(cfg.augment);
         assert_eq!(cfg.schedule, LrSchedule::Constant);
+        assert_eq!(cfg.guard, None);
+        assert_eq!(cfg.fault, FaultInjection::default());
     }
 
     #[test]
@@ -359,5 +980,92 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_indices_deterministic_per_seed_distinct_across_seeds() {
+        assert_eq!(shuffled_indices(50, 3), shuffled_indices(50, 3));
+        let seeds = [0u64, 1, 2, 3, 4];
+        let perms: Vec<_> = seeds.iter().map(|&s| shuffled_indices(50, s)).collect();
+        for i in 0..perms.len() {
+            for j in i + 1..perms.len() {
+                assert_ne!(perms[i], perms[j], "seeds {i} and {j} collide");
+            }
+        }
+        // Degenerate sizes.
+        assert_eq!(shuffled_indices(0, 9), Vec::<usize>::new());
+        assert_eq!(shuffled_indices(1, 9), vec![0]);
+    }
+
+    #[test]
+    fn grad_clip_bounds_update_norm() {
+        let mut grads = vec![
+            Tensor::from_vec(vec![3.0, 4.0], &[2]),
+            Tensor::from_vec(vec![12.0], &[1]),
+        ];
+        // Global norm is sqrt(9 + 16 + 144) = 13.
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 13.0).abs() < 1e-5);
+        let post = grads
+            .iter()
+            .flat_map(|g| g.data().iter())
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
+        assert!((post - 1.0).abs() < 1e-5, "clipped norm {post}");
+        // Direction preserved.
+        assert!((grads[0].data()[0] / grads[0].data()[1] - 0.75).abs() < 1e-5);
+        // Under the bound: untouched.
+        let mut small = vec![Tensor::from_vec(vec![0.1, 0.2], &[2])];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small[0].data(), &[0.1, 0.2]);
+        // Non-finite entries are zeroed rather than propagated.
+        let mut poisoned = vec![Tensor::from_vec(vec![f32::NAN, 3.0], &[2])];
+        let n = clip_global_norm(&mut poisoned, 10.0);
+        assert!((n - 3.0).abs() < 1e-5);
+        assert_eq!(poisoned[0].data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_sets() {
+        let set_a = TrainSet::synthetic(2, 32, 2, 1);
+        let set_b = TrainSet::synthetic(3, 32, 2, 1);
+        let cfg = tiny_config();
+        assert_eq!(cfg.fingerprint(&set_a), cfg.fingerprint(&set_a));
+        assert_ne!(cfg.fingerprint(&set_a), cfg.fingerprint(&set_b));
+        let other = TrainConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        assert_ne!(cfg.fingerprint(&set_a), other.fingerprint(&set_a));
+        // Fault injection is excluded by design.
+        let faulty = TrainConfig {
+            fault: FaultInjection {
+                nan_grad_at: Some(5),
+                spike_loss_at: None,
+            },
+            ..cfg
+        };
+        assert_eq!(cfg.fingerprint(&set_a), faulty.fingerprint(&set_a));
+    }
+
+    #[test]
+    fn stepper_matches_closed_loop() {
+        // Driving TrainLoop manually gives the same parameters as
+        // Trainer::train with the same config.
+        let set = TrainSet::synthetic(2, 32, 2, 15);
+        let cfg = TrainConfig {
+            steps: 8,
+            ..tiny_config()
+        };
+        let mut m1 = Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(6));
+        let mut m2 = Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(6));
+        Trainer::new(cfg).train(&mut m1, &set);
+        let mut lp = TrainLoop::start(cfg, &m2, &set);
+        while !matches!(lp.step_once(&mut m2).unwrap(), StepOutcome::Finished) {}
+        lp.finish(&mut m2);
+        for (a, b) in m1.parameters().iter().zip(m2.parameters().iter()) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 }

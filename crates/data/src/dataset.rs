@@ -7,9 +7,9 @@
 
 use crate::metrics::{psnr_shaved, ssim};
 use crate::resize::downscale;
+use crate::rng::Xoshiro256pp;
 use crate::synth::{generate, Family};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use sesr_tensor::Tensor;
 
 /// A high-/low-resolution image pair. Both are `[1, H, W]` luma tensors;
@@ -131,9 +131,14 @@ impl Dihedral {
 /// Samples aligned random LR/HR patch batches from a [`TrainSet`],
 /// reproducing the paper's 64x64-crop training pipeline, optionally with
 /// dihedral augmentation.
-#[derive(Debug)]
+///
+/// The sampler's random state is exportable ([`PatchSampler::rng_state`])
+/// and restorable ([`PatchSampler::restore_rng`]) so checkpointed training
+/// runs can resume drawing the exact patch sequence an uninterrupted run
+/// would have seen.
+#[derive(Debug, Clone)]
 pub struct PatchSampler {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     /// LR patch side length; HR patches are `scale` times larger.
     lr_patch: usize,
     augment: bool,
@@ -149,10 +154,21 @@ impl PatchSampler {
     pub fn new(hr_patch: usize, scale: usize, seed: u64) -> Self {
         assert_eq!(hr_patch % scale, 0, "patch size must be divisible by scale");
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             lr_patch: hr_patch / scale,
             augment: false,
         }
+    }
+
+    /// Snapshot of the sampler's 256-bit random state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a [`PatchSampler::rng_state`] snapshot; subsequent batches
+    /// continue the stream bit-exactly from the snapshot point.
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = Xoshiro256pp::from_state(state);
     }
 
     /// Like [`PatchSampler::new`] but applies a random dihedral transform
@@ -415,6 +431,20 @@ mod tests {
         let (lr1, _) = PatchSampler::new(32, 2, 7).sample_batch(&set, 3);
         let (lr2, _) = PatchSampler::new(32, 2, 7).sample_batch(&set, 3);
         assert_eq!(lr1, lr2);
+    }
+
+    #[test]
+    fn sampler_state_roundtrip_resumes_stream() {
+        let set = TrainSet::synthetic(2, 64, 2, 2);
+        let mut sampler = PatchSampler::with_augmentation(32, 2, 11);
+        sampler.sample_batch(&set, 4);
+        let snapshot = sampler.rng_state();
+        let (lr_expected, hr_expected) = sampler.sample_batch(&set, 4);
+        let mut resumed = PatchSampler::with_augmentation(32, 2, 0);
+        resumed.restore_rng(snapshot);
+        let (lr_resumed, hr_resumed) = resumed.sample_batch(&set, 4);
+        assert_eq!(lr_expected, lr_resumed);
+        assert_eq!(hr_expected, hr_resumed);
     }
 
     #[test]

@@ -35,9 +35,11 @@
 pub mod dataset;
 pub mod metrics;
 pub mod resize;
+pub mod rng;
 pub mod synth;
 pub mod ycbcr;
 
 pub use dataset::{Benchmark, PatchSampler, SrPair, TrainSet};
 pub use metrics::{psnr, ssim};
+pub use rng::Xoshiro256pp;
 pub use synth::Family;

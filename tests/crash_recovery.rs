@@ -1,0 +1,310 @@
+//! Fault-injected recovery tests for the crash-safe training layer:
+//! kill-and-resume bit-identity, corrupted-checkpoint rejection, and
+//! divergence rollback with learning-rate backoff.
+
+use sesr::core::checkpoint::{decode_checkpoint, load_checkpoint, save_checkpoint, CheckpointError};
+use sesr::core::model::{Sesr, SesrConfig};
+use sesr::core::train::{
+    DivergenceGuard, FaultInjection, RecoveryKind, SrNetwork, StepOutcome, TrainConfig, TrainError,
+    TrainLoop, Trainer,
+};
+use sesr::data::TrainSet;
+
+fn tiny_model(seed: u64) -> Sesr {
+    Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(seed))
+}
+
+fn tiny_set() -> TrainSet {
+    TrainSet::synthetic(2, 32, 2, 77)
+}
+
+fn tiny_config() -> TrainConfig {
+    TrainConfig {
+        steps: 12,
+        batch: 2,
+        hr_patch: 16,
+        lr: 1e-3,
+        log_every: 4,
+        seed: 5,
+        ..TrainConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sesr_crash_recovery_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Runs a full uninterrupted training and returns the final parameters.
+fn reference_params(cfg: TrainConfig) -> Vec<sesr::tensor::Tensor> {
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    Trainer::new(cfg).train(&mut model, &set);
+    model.parameters()
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let cfg = tiny_config();
+    let expected = reference_params(cfg);
+
+    // "Crash" after 5 steps: persist the checkpoint and drop everything.
+    let set = tiny_set();
+    let ckpt_path = tmp("kill_resume.ckpt");
+    {
+        let mut model = tiny_model(9);
+        let mut lp = TrainLoop::start(cfg, &model, &set);
+        for _ in 0..5 {
+            assert_eq!(lp.step_once(&mut model).unwrap(), StepOutcome::Stepped);
+        }
+        save_checkpoint(&lp.checkpoint(), &ckpt_path).unwrap();
+        // The loop is dropped here without finishing — the "kill".
+    }
+
+    // A fresh process: reload and continue to completion.
+    let ckpt = load_checkpoint(&ckpt_path).unwrap();
+    assert_eq!(ckpt.step, 5);
+    let mut model = tiny_model(9);
+    let mut lp = TrainLoop::resume(cfg, &set, &ckpt).unwrap();
+    while !matches!(lp.step_once(&mut model).unwrap(), StepOutcome::Finished) {}
+    let report = lp.finish(&mut model);
+    assert_eq!(report.resumed_at, Some(5));
+    assert!(report.completed);
+
+    let resumed = model.parameters();
+    assert_eq!(expected.len(), resumed.len());
+    for (e, r) in expected.iter().zip(resumed.iter()) {
+        assert_eq!(e.data(), r.data(), "resumed parameters diverged");
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn trainer_resume_matches_uninterrupted_run() {
+    // Same bit-identity property through the Trainer convenience API,
+    // including the checkpoint files it writes along the way.
+    let cfg = tiny_config();
+    let expected = reference_params(cfg);
+
+    let set = tiny_set();
+    let ckpt_path = tmp("trainer_resume.ckpt");
+    std::fs::remove_file(&ckpt_path).ok();
+    {
+        let mut model = tiny_model(9);
+        let mut lp = TrainLoop::start(cfg, &model, &set);
+        for _ in 0..7 {
+            lp.step_once(&mut model).unwrap();
+        }
+        save_checkpoint(&lp.checkpoint(), &ckpt_path).unwrap();
+    }
+    let mut model = tiny_model(9);
+    let report = Trainer::new(cfg)
+        .try_train_checkpointed(&mut model, &set, &ckpt_path, 3, true)
+        .unwrap();
+    assert_eq!(report.resumed_at, Some(7));
+    for (e, r) in expected.iter().zip(model.parameters().iter()) {
+        assert_eq!(e.data(), r.data());
+    }
+    // The final checkpoint on disk reflects the completed run.
+    assert_eq!(load_checkpoint(&ckpt_path).unwrap().step, cfg.steps);
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn truncated_checkpoints_fail_with_typed_errors() {
+    let cfg = tiny_config();
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let mut lp = TrainLoop::start(cfg, &model, &set);
+    for _ in 0..3 {
+        lp.step_once(&mut model).unwrap();
+    }
+    let bytes = sesr::core::checkpoint::encode_checkpoint(&lp.checkpoint());
+    for cut in 0..bytes.len() {
+        let err = decode_checkpoint(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated
+                    | CheckpointError::BadMagic
+                    | CheckpointError::BadChecksum
+            ),
+            "cut at {cut}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_checkpoints_are_rejected() {
+    let cfg = tiny_config();
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let mut lp = TrainLoop::start(cfg, &model, &set);
+    for _ in 0..3 {
+        lp.step_once(&mut model).unwrap();
+    }
+    let ckpt_path = tmp("bitflip.ckpt");
+    save_checkpoint(&lp.checkpoint(), &ckpt_path).unwrap();
+    let bytes = std::fs::read(&ckpt_path).unwrap();
+    for pos in (0..bytes.len()).step_by(bytes.len() / 97 + 1) {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x20;
+        std::fs::write(&ckpt_path, &flipped).unwrap();
+        let err = load_checkpoint(&ckpt_path).unwrap_err();
+        assert!(
+            !matches!(err, CheckpointError::Io(_)),
+            "flip at {pos} surfaced as I/O instead of a decode error"
+        );
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn nan_gradient_triggers_rollback_with_lr_backoff() {
+    let cfg = TrainConfig {
+        guard: Some(DivergenceGuard::default()),
+        fault: FaultInjection {
+            nan_grad_at: Some(5),
+            spike_loss_at: None,
+        },
+        ..tiny_config()
+    };
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let report = Trainer::new(cfg).try_train(&mut model, &set).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.recoveries.len(), 1);
+    let event = report.recoveries[0];
+    assert_eq!(event.step, 5);
+    assert_eq!(event.kind, RecoveryKind::NonFiniteGrad);
+    assert!(event.rolled_back_to <= 5);
+    assert!((event.lr_scale - 0.5).abs() < 1e-6, "no LR backoff recorded");
+    // The recovered run must end with finite, usable parameters.
+    assert!(report.final_loss.is_finite());
+    for p in model.parameters() {
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn loss_spike_triggers_rollback() {
+    let cfg = TrainConfig {
+        steps: 20,
+        guard: Some(DivergenceGuard {
+            window: 4,
+            spike_factor: 100.0,
+            ..DivergenceGuard::default()
+        }),
+        fault: FaultInjection {
+            nan_grad_at: None,
+            spike_loss_at: Some(8),
+        },
+        ..tiny_config()
+    };
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let report = Trainer::new(cfg).try_train(&mut model, &set).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.recoveries.len(), 1);
+    let event = report.recoveries[0];
+    assert_eq!(event.kind, RecoveryKind::LossSpike);
+    assert_eq!(event.step, 8);
+    // The spiked loss never contaminates the recorded curve.
+    assert!(report.losses.iter().all(|s| s.loss < 1e3));
+}
+
+#[test]
+fn exhausted_retry_budget_aborts_with_typed_error() {
+    let cfg = TrainConfig {
+        guard: Some(DivergenceGuard {
+            max_retries: 0,
+            ..DivergenceGuard::default()
+        }),
+        fault: FaultInjection {
+            nan_grad_at: Some(2),
+            spike_loss_at: None,
+        },
+        ..tiny_config()
+    };
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let err = Trainer::new(cfg).try_train(&mut model, &set).unwrap_err();
+    assert_eq!(
+        err,
+        TrainError::Diverged {
+            step: 2,
+            retries: 0
+        }
+    );
+}
+
+#[test]
+fn resume_rejects_foreign_and_mismatched_checkpoints() {
+    let cfg = tiny_config();
+    let set = tiny_set();
+    let mut model = tiny_model(9);
+    let mut lp = TrainLoop::start(cfg, &model, &set);
+    lp.step_once(&mut model).unwrap();
+    let ckpt = lp.checkpoint();
+
+    // Different hyper-parameters: refused.
+    let other = TrainConfig {
+        seed: cfg.seed + 1,
+        ..cfg
+    };
+    let err = TrainLoop::resume(other, &set, &ckpt).unwrap_err();
+    assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+
+    // Different dataset: refused.
+    let bigger = TrainSet::synthetic(3, 32, 2, 77);
+    let err = TrainLoop::resume(cfg, &bigger, &ckpt).unwrap_err();
+    assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+}
+
+#[test]
+fn recovery_survives_a_crash_between_rollback_and_completion() {
+    // Divergence fires, the recovery checkpoint lands on disk, the process
+    // "dies", and the resumed run still completes with the backoff intact.
+    let cfg = TrainConfig {
+        steps: 16,
+        guard: Some(DivergenceGuard::default()),
+        fault: FaultInjection {
+            nan_grad_at: Some(4),
+            spike_loss_at: None,
+        },
+        ..tiny_config()
+    };
+    let set = tiny_set();
+    let ckpt_path = tmp("recovery_crash.ckpt");
+    {
+        let mut model = tiny_model(9);
+        let mut lp = TrainLoop::start(cfg, &model, &set);
+        loop {
+            match lp.step_once(&mut model).unwrap() {
+                StepOutcome::Recovered => {
+                    save_checkpoint(&lp.checkpoint(), &ckpt_path).unwrap();
+                    break; // crash right after persisting the recovery
+                }
+                StepOutcome::Stepped => {}
+                StepOutcome::Finished => panic!("fault never fired"),
+            }
+        }
+    }
+    let ckpt = load_checkpoint(&ckpt_path).unwrap();
+    assert_eq!(ckpt.retries, 1);
+    assert!((ckpt.lr_scale - 0.5).abs() < 1e-6);
+    // Resume fault-free (the transient fault must not replay).
+    let resume_cfg = TrainConfig {
+        fault: FaultInjection::default(),
+        ..cfg
+    };
+    let mut model = tiny_model(9);
+    let mut lp = TrainLoop::resume(resume_cfg, &set, &ckpt).unwrap();
+    while !matches!(lp.step_once(&mut model).unwrap(), StepOutcome::Finished) {}
+    let report = lp.finish(&mut model);
+    assert!(report.completed);
+    assert_eq!(report.recoveries.len(), 1);
+    assert!(report.final_loss.is_finite());
+    std::fs::remove_file(&ckpt_path).ok();
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam::scope`, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Only the scoped-spawn
+//! surface used by `sesr-tensor::parallel` is provided.
+
+use std::any::Any;
+
+/// A scope handle; closures passed to [`Scope::spawn`] receive a copy so
+/// nested spawning works, mirroring the crossbeam API shape.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is the scope itself
+    /// (crossbeam passes it so spawned threads can spawn more).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        self.inner.spawn(move || f(&me))
+    }
+}
+
+/// Runs `f` with a scope in which threads borrowing local data may be
+/// spawned; all are joined before this returns.
+///
+/// Unlike crossbeam, a panicking child propagates the panic out of `scope`
+/// (std behavior) instead of surfacing it through the `Err` arm — every
+/// caller in this workspace immediately `expect`s the result, so the
+/// observable behavior (a panic) is identical.
+///
+/// # Errors
+///
+/// Never returns `Err` (see above); the `Result` exists for crossbeam API
+/// compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses
+//! (`Once`), wrapping the std equivalent.
+
+/// One-time initialization primitive with the parking_lot API shape.
+#[derive(Debug)]
+pub struct Once(std::sync::Once);
+
+impl Once {
+    /// Creates an unused `Once`.
+    #[allow(clippy::new_without_default)]
+    pub const fn new() -> Self {
+        Self(std::sync::Once::new())
+    }
+
+    /// Runs `f` exactly once across all callers.
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        self.0.call_once(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Once;
+
+    #[test]
+    fn runs_exactly_once() {
+        static ONCE: Once = Once::new();
+        let mut hits = 0;
+        for _ in 0..3 {
+            ONCE.call_once(|| hits += 1);
+        }
+        assert_eq!(hits, 1);
+    }
+}

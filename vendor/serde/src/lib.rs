@@ -1,0 +1,80 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types for
+//! downstream consumers but never instantiates a serializer itself (no
+//! `serde_json`/`bincode` dependency exists). This stub therefore provides:
+//!
+//! - `Serialize`/`Deserialize` as blanket-implemented traits so that both
+//!   derived types and generic calls (`value.serialize(s)?`,
+//!   `T::deserialize(d)?`) type-check;
+//! - `Serializer`/`Deserializer` trait shells for use as generic bounds;
+//! - re-exported no-op derive macros.
+//!
+//! Any attempt to actually drive these impls through a real serializer
+//! fails at runtime with an "unsupported" error — which cannot happen in
+//! this workspace, as no `Serializer`/`Deserializer` implementation exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt::Display;
+
+/// Error construction hook, mirroring `serde::ser::Error`/`de::Error`.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Serializer shell: usable as a generic bound; the only operation the
+/// blanket [`Serialize`] impl needs is [`Serializer::unsupported`].
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Terminates serialization; the stub cannot describe data shapes.
+    fn unsupported(self) -> Result<Self::Ok, Self::Error> {
+        Err(Self::Error::custom("serde stub: serialization unsupported"))
+    }
+}
+
+/// Deserializer shell: usable as a generic bound only.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+}
+
+/// Types convertible to a serialized form. Blanket-implemented for all
+/// types so that `#[derive(Serialize)]` can expand to nothing.
+pub trait Serialize {
+    /// Serializes `self` (always fails in the stub).
+    ///
+    /// # Errors
+    ///
+    /// Always fails: the stub supports type-checking only.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: ?Sized> Serialize for T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.unsupported()
+    }
+}
+
+/// Types constructible from a serialized form. Blanket-implemented for all
+/// sized types so that `#[derive(Deserialize)]` can expand to nothing.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value (always fails in the stub).
+    ///
+    /// # Errors
+    ///
+    /// Always fails: the stub supports type-checking only.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom("serde stub: deserialization unsupported"))
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in: the traits have blanket implementations in the stub `serde`
+//! crate, so the derive only needs to *accept* the syntax (including
+//! `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
