@@ -29,7 +29,10 @@ fn bench_tiled_vs_whole(c: &mut Criterion) {
     let lr = Tensor::rand_uniform(&[1, 96, 96], 0.0, 1.0, 2);
     group.bench_function("whole_96px", |b| b.iter(|| net.run(&lr)));
     group.bench_function("tiled_48px_overlap8", |b| {
-        b.iter(|| net.run_tiled(&lr, 48, 8))
+        b.iter(|| net.run_tiled(&lr, 48, 8).unwrap())
+    });
+    group.bench_function("tiled_parallel_48px_overlap8", |b| {
+        b.iter(|| net.run_tiled_parallel(&lr, 48, 8).unwrap())
     });
     group.finish();
 }

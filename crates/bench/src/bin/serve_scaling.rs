@@ -1,0 +1,88 @@
+//! Worker-count scaling sweep for the serving engine.
+//!
+//! Runs the same seeded closed-loop load against engines with 1, 2, …
+//! worker threads (capped at the host's core count) and prints throughput
+//! and per-stage tail latency side by side, so the parallel speedup — or
+//! a single-core host's lack of one — is visible at a glance.
+//!
+//! Usage: `cargo run --release -p sesr-bench --bin serve_scaling
+//!         [--requests N] [--size PX] [--max-workers N]`
+
+use sesr_serve::engine::EngineConfig;
+use sesr_serve::loadgen::{LoadMode, LoadSpec};
+use sesr_serve::{run_bench, BenchConfig};
+
+fn flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let requests = flag("--requests", 64);
+    let size = flag("--size", 64);
+    let max_workers = flag("--max-workers", cores.min(8));
+
+    println!("# serve worker scaling — m5 x2, {requests} requests of {size}x{size}, {cores} core(s)");
+    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "workers", "req/s", "p50 ms", "p95 ms", "p99 ms");
+
+    let mut workers = 1;
+    let mut baseline = 0.0f64;
+    while workers <= max_workers {
+        let cfg = BenchConfig {
+            engine: EngineConfig {
+                workers,
+                queue_capacity: 256,
+                max_batch: 1, // isolate worker parallelism from batching
+                ..EngineConfig::default()
+            },
+            load: LoadSpec {
+                requests,
+                mode: LoadMode::Closed {
+                    concurrency: (workers * 2).max(4),
+                },
+                height: size,
+                width: size,
+                seed: 7,
+                deadline: None,
+                burst: 0,
+            },
+            // One intra-op thread per request keeps the comparison about
+            // the worker pool, not nested parallelism.
+            intra_op_threads: Some(1),
+            ..BenchConfig::default()
+        };
+        match run_bench(&cfg) {
+            Ok(out) => {
+                let total = out
+                    .snapshot
+                    .stages
+                    .iter()
+                    .find(|(name, _)| *name == "total")
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                let rps = out.report.throughput_rps;
+                if workers == 1 {
+                    baseline = rps;
+                }
+                let speedup = if baseline > 0.0 { rps / baseline } else { 1.0 };
+                println!(
+                    "{:<8} {:>12.1} {:>12.3} {:>12.3} {:>12.3}   ({speedup:.2}x vs 1 worker)",
+                    workers, rps, total.p50_ms, total.p95_ms, total.p99_ms
+                );
+            }
+            Err(e) => {
+                eprintln!("workers={workers}: {e}");
+                std::process::exit(1);
+            }
+        }
+        workers *= 2;
+    }
+    if cores == 1 {
+        println!("(single-core host: no speedup is expected)");
+    }
+}

@@ -5,6 +5,7 @@ use crate::pgm;
 use sesr_core::ir::sesr_ir;
 use sesr_core::model::{Sesr, SesrConfig};
 use sesr_core::model_io::{load_model, save_model};
+use sesr_core::tiling::TileError;
 use sesr_core::train::{DivergenceGuard, TrainConfig, TrainError, Trainer};
 use sesr_core::CollapsedSesr;
 use sesr_data::TrainSet;
@@ -23,6 +24,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Training failed: divergence-guard abort or a bad checkpoint.
     Train(TrainError),
+    /// Invalid tiling geometry (zero tile, or overlap below the
+    /// receptive-field radius).
+    Tile(TileError),
 }
 
 impl fmt::Display for CliError {
@@ -32,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Usage(u) => write!(f, "{u}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Train(e) => write!(f, "{e}"),
+            CliError::Tile(e) => write!(f, "{e}"),
         }
     }
 }
@@ -56,6 +61,12 @@ impl From<TrainError> for CliError {
     }
 }
 
+impl From<TileError> for CliError {
+    fn from(e: TileError) -> Self {
+        CliError::Tile(e)
+    }
+}
+
 /// Usage text shown for bad invocations.
 pub const USAGE: &str = "\
 sesr — Super-Efficient Super Resolution (MLSys 2022 reproduction)
@@ -68,6 +79,12 @@ USAGE:
   sesr upscale  --model <model.sesr> --in <image.pgm> --out <sr.pgm> [--tile N]
   sesr simulate --model <model.sesr> [--height 1080] [--width 1920] [--tops 4]
   sesr info     --model <model.sesr>
+  sesr serve-bench [--arch m5] [--scale 2] [--expanded 32] [--seed 0]
+                [--workers 2] [--queue-cap 64] [--max-batch 8]
+                [--requests 64] [--height 64] [--width 64]
+                [--mode closed|open] [--concurrency 4] [--rate-hz 50]
+                [--deadline-ms N] [--burst N] [--load-seed 0]
+                [--intra-threads N] [--out BENCH_serve.json]
 
 Crash safety: with --ckpt, training state is checkpointed atomically every
 --ckpt-every steps; after an interruption, rerun the same command with
@@ -88,6 +105,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("upscale") => upscale(args),
         Some("simulate") => simulate_cmd(args),
         Some("info") => info(args),
+        Some("serve-bench") => serve_bench(args),
         _ => Err(CliError::Usage(USAGE.to_string())),
     }
 }
@@ -171,24 +189,37 @@ fn train(args: &Args) -> Result<String, CliError> {
     Ok(summary)
 }
 
+/// LR pixel count above which `upscale` switches to the tiled path on its
+/// own: beyond this, the whole-image im2col buffer for the 5x5 stages gets
+/// large enough (~25x the image) to dominate memory.
+const AUTO_TILE_PIXELS: usize = 256 * 256;
+
+/// Tile side used when auto-tiling kicks in.
+const AUTO_TILE_SIDE: usize = 128;
+
 fn upscale(args: &Args) -> Result<String, CliError> {
     let model_path = args.required("model")?.to_string();
     let input = args.required("in")?.to_string();
     let output = args.required("out")?.to_string();
-    let tile = args.parsed_or("tile", 0usize)?;
     let model = load_model(Path::new(&model_path))?;
     let lr = pgm::read(Path::new(&input))?;
-    let sr = if tile > 0 {
-        // Halo: the collapsed receptive-field radius is bounded by
-        // 2 + (layers - 2) + 2; use it directly so tiling is seamless.
-        let radius = model.layers().len() + 2;
-        model.run_tiled(&lr, tile, radius)
+    // Explicit --tile N tiles at that size; --tile 0 forces whole-image;
+    // no flag picks automatically so large inputs never allocate a
+    // full-image im2col buffer.
+    let tile = match args.get("tile") {
+        Some(_) => args.parsed_or("tile", 0usize)?,
+        None if lr.shape()[1] * lr.shape()[2] > AUTO_TILE_PIXELS => AUTO_TILE_SIDE,
+        None => 0,
+    };
+    let (sr, how) = if tile > 0 {
+        let radius = model.receptive_field_radius();
+        (model.run_tiled_parallel(&lr, tile, radius)?, format!("tiled {tile}px"))
     } else {
-        model.run(&lr)
+        (model.run(&lr), "whole-image".to_string())
     };
     pgm::write(&sr, Path::new(&output))?;
     Ok(format!(
-        "upscaled {}x{} -> {}x{} (x{}), wrote {output}",
+        "upscaled {}x{} -> {}x{} (x{}, {how}), wrote {output}",
         lr.shape()[1],
         lr.shape()[2],
         sr.shape()[1],
@@ -265,6 +296,96 @@ fn info(args: &Args) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+fn serve_bench(args: &Args) -> Result<String, CliError> {
+    use sesr_serve::engine::EngineConfig;
+    use sesr_serve::loadgen::{LoadMode, LoadSpec};
+    use sesr_serve::BenchConfig;
+
+    let queue_cap = args.parsed_or("queue-cap", 64usize)?;
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed {
+            concurrency: args.parsed_or("concurrency", 4usize)?,
+        },
+        "open" => LoadMode::Open {
+            rate_hz: args.parsed_or("rate-hz", 50.0f64)?,
+        },
+        other => {
+            return Err(CliError::Args(ArgError::Invalid {
+                key: "mode".to_string(),
+                value: other.to_string(),
+            }))
+        }
+    };
+    let deadline = match args.get("deadline-ms") {
+        None => None,
+        Some(_) => Some(std::time::Duration::from_millis(
+            args.parsed_or("deadline-ms", 50u64)?,
+        )),
+    };
+    let intra_op_threads = match args.get("intra-threads") {
+        None => None,
+        Some(_) => Some(args.parsed_or("intra-threads", 1usize)?),
+    };
+    let cfg = BenchConfig {
+        arch: args.get("arch").unwrap_or("m5").to_string(),
+        scale: args.parsed_or("scale", 2usize)?,
+        expanded: args.parsed_or("expanded", 32usize)?,
+        seed: args.parsed_or("seed", 0u64)?,
+        engine: EngineConfig {
+            workers: args.parsed_or("workers", 2usize)?,
+            queue_capacity: queue_cap,
+            max_batch: args.parsed_or("max-batch", 8usize)?,
+            ..EngineConfig::default()
+        },
+        load: LoadSpec {
+            requests: args.parsed_or("requests", 64usize)?,
+            mode,
+            height: args.parsed_or("height", 64usize)?,
+            width: args.parsed_or("width", 64usize)?,
+            seed: args.parsed_or("load-seed", 0u64)?,
+            deadline,
+            // The default burst oversubscribes the queue against a paused
+            // engine, so every report demonstrates the rejection path.
+            burst: args.parsed_or("burst", queue_cap + 16)?,
+        },
+        intra_op_threads,
+        model_dir: None,
+    };
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+
+    let outcome = sesr_serve::run_bench(&cfg)
+        .map_err(|e| CliError::Io(std::io::Error::other(e)))?;
+    let json = sesr_serve::bench_report_json(&cfg, &outcome);
+    sesr_serve::json::validate(&json)
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("malformed report: {e}"))))?;
+    std::fs::write(Path::new(&out_path), &json)?;
+
+    let r = &outcome.report;
+    let mut summary = format!(
+        "serve-bench {}x{}: {} requests ({} completed, {} rejected, {} expired)\n  throughput {:.1} req/s, {:.2} MP/s output; burst: {}/{} rejected\n",
+        cfg.arch,
+        cfg.scale,
+        r.submitted,
+        r.completed,
+        r.rejected,
+        r.deadline_expired,
+        r.throughput_rps,
+        r.output_megapixels_per_s,
+        r.burst_rejected,
+        r.burst_rejected + r.burst_admitted,
+    );
+    for (name, s) in &outcome.snapshot.stages {
+        if s.count > 0 {
+            summary.push_str(&format!(
+                "  {name:<15} p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms  (n={})\n",
+                s.p50_ms, s.p95_ms, s.p99_ms, s.count
+            ));
+        }
+    }
+    summary.push_str(&format!("wrote {out_path}"));
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -419,6 +540,33 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_writes_valid_report_with_rejections() {
+        let out_path = tmp("bench_serve_test.json");
+        std::fs::remove_file(&out_path).ok();
+        let report = run(&args(&format!(
+            "serve-bench --arch m3 --expanded 8 --workers 1 --queue-cap 4 \
+             --requests 6 --height 16 --width 16 --concurrency 2 --burst 8 \
+             --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("serve-bench m3x2"));
+        assert!(report.contains("p50"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        sesr_serve::json::validate(&json).unwrap();
+        assert!(json.contains("\"throughput_rps\""));
+        assert!(json.contains("\"burst_rejected\":4"), "{json}");
+    }
+
+    #[test]
+    fn serve_bench_rejects_unknown_arch_and_mode() {
+        let err = run(&args("serve-bench --arch nope")).unwrap_err();
+        assert!(err.to_string().contains("unknown arch"));
+        let err = run(&args("serve-bench --mode sideways")).unwrap_err();
+        assert!(matches!(err, CliError::Args(_)));
     }
 
     #[test]

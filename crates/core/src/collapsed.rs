@@ -6,9 +6,11 @@
 //! network with plain tensor ops (no tape), which is what a deployment
 //! runtime would ship.
 
+use crate::tiling::{TileError, TilePlan, TileSpec};
 use serde::{Deserialize, Serialize};
 use sesr_tensor::activations::{prelu, relu};
 use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::parallel::{parallel_for, SendPtr};
 use sesr_tensor::pixel_shuffle::depth_to_space;
 use sesr_tensor::winograd::conv2d_auto;
 use sesr_tensor::Tensor;
@@ -165,54 +167,128 @@ impl CollapsedSesr {
         out.reshape(&[1, dims[1] * self.scale, dims[2] * self.scale])
     }
 
+    /// Receptive-field radius of the collapsed network in LR pixels: the
+    /// sum of each layer's kernel half-width. An output pixel depends only
+    /// on LR pixels within this radius, which is exactly the halo a tiled
+    /// run needs for seam-exact output.
+    pub fn receptive_field_radius(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                let s = l.weight.shape();
+                s[2].max(s[3]).saturating_sub(1) / 2
+            })
+            .sum()
+    }
+
+    /// Builds a [`TilePlan`] for an `h x w` LR image, enforcing that the
+    /// halo covers this network's receptive field.
+    ///
+    /// # Errors
+    ///
+    /// [`TileError::ZeroTile`] for a zero tile side;
+    /// [`TileError::OverlapTooSmall`] when `overlap` is below
+    /// [`CollapsedSesr::receptive_field_radius`] (which would produce
+    /// silent seams).
+    pub fn plan_tiles(&self, h: usize, w: usize, tile: usize, overlap: usize) -> Result<TilePlan, TileError> {
+        let required = self.receptive_field_radius();
+        if overlap < required {
+            return Err(TileError::OverlapTooSmall {
+                required,
+                got: overlap,
+            });
+        }
+        TilePlan::new(h, w, tile, overlap)
+    }
+
+    /// Runs one tile of a plan: crops the halo-expanded patch,
+    /// super-resolves it, and returns the SR patch (still including the
+    /// upscaled halo; callers crop the interior).
+    pub fn run_tile(&self, lr: &Tensor, spec: &TileSpec) -> Tensor {
+        let patch = lr.crop_hw(spec.ey0, spec.ey1, spec.ex0, spec.ex1);
+        self.run(&patch)
+    }
+
     /// Super-resolves a large image tile by tile (the paper's DRAM
     /// optimization, Sec. 5.6). `tile` is the LR tile side length; tiles at
     /// the right/bottom edges may be smaller. `overlap` LR pixels of halo
-    /// are added around every tile and cropped after upscaling, avoiding
-    /// seams at tile boundaries.
+    /// are added around every tile and cropped after upscaling; with the
+    /// plan's receptive-field and alignment guarantees the result is
+    /// bit-identical to [`CollapsedSesr::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollapsedSesr::plan_tiles`].
     ///
     /// # Panics
     ///
-    /// Panics if `tile` is zero.
-    pub fn run_tiled(&self, lr: &Tensor, tile: usize, overlap: usize) -> Tensor {
-        assert!(tile > 0, "tile size must be positive");
+    /// Panics if the input is not a `[1, H, W]` tensor.
+    pub fn run_tiled(&self, lr: &Tensor, tile: usize, overlap: usize) -> Result<Tensor, TileError> {
         let dims = lr.shape();
         assert_eq!(dims.len(), 3, "expected [1, H, W]");
         let (h, w) = (dims[1], dims[2]);
+        let plan = self.plan_tiles(h, w, tile, overlap)?;
         let s = self.scale;
         let mut out = Tensor::zeros(&[1, h * s, w * s]);
-        let mut y0 = 0;
-        while y0 < h {
-            let y1 = (y0 + tile).min(h);
-            let mut x0 = 0;
-            while x0 < w {
-                let x1 = (x0 + tile).min(w);
-                // Expand by the halo, clamped to the image.
-                let ey0 = y0.saturating_sub(overlap);
-                let ex0 = x0.saturating_sub(overlap);
-                let ey1 = (y1 + overlap).min(h);
-                let ex1 = (x1 + overlap).min(w);
-                let (th, tw) = (ey1 - ey0, ex1 - ex0);
-                let mut patch = Tensor::zeros(&[1, th, tw]);
-                for y in 0..th {
-                    for x in 0..tw {
-                        *patch.at_mut(&[0, y, x]) = lr.at(&[0, ey0 + y, ex0 + x]);
-                    }
-                }
-                let sr = self.run(&patch);
-                // Copy the interior (tile region) into the output.
-                for y in y0 * s..y1 * s {
-                    for x in x0 * s..x1 * s {
-                        let py = y - ey0 * s;
-                        let px = x - ex0 * s;
-                        *out.at_mut(&[0, y, x]) = sr.at(&[0, py, px]);
-                    }
-                }
-                x0 = x1;
-            }
-            y0 = y1;
+        for spec in plan.tiles() {
+            let sr = self.run_tile(lr, spec);
+            paste_interior(&sr, spec, s, w * s, out.data_mut());
         }
-        out
+        Ok(out)
+    }
+
+    /// Like [`CollapsedSesr::run_tiled`], but fans the tiles out across
+    /// the machine's cores (`sesr_tensor::parallel`). Tiles write disjoint
+    /// interior regions of the output, so the result is bit-identical to
+    /// both the sequential tiled path and the whole-image [`CollapsedSesr::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CollapsedSesr::plan_tiles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a `[1, H, W]` tensor.
+    pub fn run_tiled_parallel(&self, lr: &Tensor, tile: usize, overlap: usize) -> Result<Tensor, TileError> {
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        let (h, w) = (dims[1], dims[2]);
+        let plan = self.plan_tiles(h, w, tile, overlap)?;
+        let s = self.scale;
+        let mut out = Tensor::zeros(&[1, h * s, w * s]);
+        let ptr = SendPtr(out.data_mut().as_mut_ptr());
+        let tiles = plan.tiles();
+        parallel_for(tiles.len(), 1, |a, b| {
+            for spec in &tiles[a..b] {
+                let sr = self.run_tile(lr, spec);
+                let out_w = w * s;
+                let sr_w = spec.patch_w() * s;
+                for y in spec.y0 * s..spec.y1 * s {
+                    let py = y - spec.ey0 * s;
+                    for x in spec.x0 * s..spec.x1 * s {
+                        let px = x - spec.ex0 * s;
+                        // SAFETY: tile interiors are disjoint regions of
+                        // the output buffer (TilePlan partitions the
+                        // image), so no two threads write the same index.
+                        unsafe { ptr.write(y * out_w + x, sr.data()[py * sr_w + px]) };
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+}
+
+/// Copies the interior (non-halo) region of an upscaled tile into the
+/// full-image output buffer.
+fn paste_interior(sr: &Tensor, spec: &TileSpec, s: usize, out_w: usize, out: &mut [f32]) {
+    let sr_w = spec.patch_w() * s;
+    for y in spec.y0 * s..spec.y1 * s {
+        let py = y - spec.ey0 * s;
+        for x in spec.x0 * s..spec.x1 * s {
+            let px = x - spec.ex0 * s;
+            out[y * out_w + x] = sr.data()[py * sr_w + px];
+        }
     }
 }
 
@@ -254,40 +330,93 @@ mod tests {
     }
 
     #[test]
-    fn tiled_equals_whole_image_with_sufficient_overlap() {
-        // Receptive field of SESR-M2 collapsed: 5x5 + 2x 3x3 + 5x5 ->
-        // radius (2 + 1 + 1 + 2) = 6; overlap 8 is safely larger.
-        let net = tiny_collapsed();
-        let lr = sesr_data::synth::generate(sesr_data::Family::Mixed, 24, 24, 5);
-        let whole = net.run(&lr);
-        let tiled = net.run_tiled(&lr, 12, 8);
-        assert!(
-            whole.approx_eq(&tiled, 1e-4),
-            "max diff {}",
-            whole.max_abs_diff(&tiled)
-        );
+    fn receptive_field_radius_matches_kernel_stack() {
+        // SESR-M2 collapsed: 5x5 + 2x 3x3 + 5x5 -> 2 + 1 + 1 + 2 = 6.
+        assert_eq!(tiny_collapsed().receptive_field_radius(), 6);
     }
 
     #[test]
-    fn tiled_without_overlap_differs_at_seams() {
+    fn tiled_is_bit_identical_with_sufficient_overlap() {
+        let net = tiny_collapsed();
+        let lr = sesr_data::synth::generate(sesr_data::Family::Mixed, 24, 24, 5);
+        let whole = net.run(&lr);
+        let tiled = net.run_tiled(&lr, 12, 8).unwrap();
+        assert_eq!(whole.max_abs_diff(&tiled), 0.0, "tiled output must be bit-exact");
+    }
+
+    #[test]
+    fn overlap_below_receptive_field_is_a_typed_error() {
         let net = tiny_collapsed();
         let lr = sesr_data::synth::generate(sesr_data::Family::Urban, 24, 24, 6);
-        let whole = net.run(&lr);
-        let tiled = net.run_tiled(&lr, 12, 0);
-        // Boundary effects must exist (otherwise the overlap logic is
-        // vacuous) but stay small.
-        let diff = whole.max_abs_diff(&tiled);
-        assert!(diff > 0.0, "expected seam differences");
+        let err = net.run_tiled(&lr, 12, 0).unwrap_err();
+        assert_eq!(
+            err,
+            crate::tiling::TileError::OverlapTooSmall { required: 6, got: 0 }
+        );
+        let err = net.run_tiled_parallel(&lr, 12, 5).unwrap_err();
+        assert_eq!(
+            err,
+            crate::tiling::TileError::OverlapTooSmall { required: 6, got: 5 }
+        );
+        assert_eq!(
+            net.run_tiled(&lr, 0, 8).unwrap_err(),
+            crate::tiling::TileError::ZeroTile
+        );
     }
 
     #[test]
     fn uneven_tiles_cover_whole_image() {
         let net = tiny_collapsed();
         let lr = Tensor::rand_uniform(&[1, 17, 23], 0.0, 1.0, 7);
-        let tiled = net.run_tiled(&lr, 10, 6);
+        let tiled = net.run_tiled(&lr, 10, 6).unwrap();
         assert_eq!(tiled.shape(), &[1, 34, 46]);
         let whole = net.run(&lr);
-        assert!(whole.approx_eq(&tiled, 1e-4));
+        assert_eq!(whole.max_abs_diff(&tiled), 0.0);
+    }
+
+    #[test]
+    fn parallel_tiled_is_bit_identical_across_configs() {
+        // Three distinct collapsed architectures: the default PReLU x2, the
+        // hardware-efficient ReLU variant (no input residual), and an x4
+        // head — the parallel fan-out must be bit-exact on all of them.
+        let configs = [
+            SesrConfig::m(2).with_expanded(8).with_seed(3),
+            SesrConfig::m(3).with_expanded(8).with_seed(4).hardware_efficient(),
+            SesrConfig::m(2).with_expanded(8).with_seed(5).with_scale(4),
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            let net = Sesr::new(*cfg).collapse();
+            let lr = Tensor::rand_uniform(&[1, 21, 27], 0.0, 1.0, 40 + i as u64);
+            let whole = net.run(&lr);
+            let overlap = net.receptive_field_radius() + (i % 2);
+            let par = net.run_tiled_parallel(&lr, 9, overlap).unwrap();
+            assert_eq!(
+                whole.max_abs_diff(&par),
+                0.0,
+                "config {i}: parallel tiled output must be bit-exact"
+            );
+            let seq = net.run_tiled(&lr, 9, overlap).unwrap();
+            assert_eq!(seq.max_abs_diff(&par), 0.0, "config {i}");
+        }
+    }
+
+    #[test]
+    fn run_batch_equals_independent_runs() {
+        // Guards the serving engine's micro-batching path: a batch of N
+        // images must produce exactly the same bits as N single runs.
+        let net = tiny_collapsed();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::rand_uniform(&[1, 10, 14], 0.0, 1.0, 60 + i))
+            .collect();
+        let batch = Tensor::stack(&images.iter().collect::<Vec<_>>());
+        let out = net.run_batch(&batch);
+        let outs = out.unstack();
+        assert_eq!(outs.len(), 4);
+        for (i, (img, got)) in images.iter().zip(&outs).enumerate() {
+            let single = net.run(img);
+            let got = got.reshape(single.shape());
+            assert_eq!(single.max_abs_diff(&got), 0.0, "image {i} diverged from batched run");
+        }
     }
 
     #[test]

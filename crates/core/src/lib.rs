@@ -44,6 +44,7 @@ pub mod model;
 pub mod model_io;
 pub mod theory;
 pub mod theory_matrix;
+pub mod tiling;
 pub mod train;
 
 pub use block::LinearBlock;
@@ -53,6 +54,7 @@ pub use checkpoint::{
 };
 pub use collapsed::CollapsedSesr;
 pub use model::{Activation, BlockKind, Sesr, SesrConfig};
+pub use tiling::{TileError, TilePlan, TileSpec};
 pub use model_io::{decode_model, encode_model, load_model, save_model};
 pub use train::{
     DivergenceGuard, FaultInjection, RecoveryEvent, RecoveryKind, SrNetwork, StepOutcome,

@@ -150,8 +150,8 @@ impl MatrixRegression {
             let p = beta.matvec(x);
             for r in 0..d {
                 let e = p[r] - y[r];
-                for c in 0..d {
-                    g.a[r * d + c] += e * x[c];
+                for (c, xc) in x.iter().enumerate().take(d) {
+                    g.a[r * d + c] += e * xc;
                 }
             }
         }

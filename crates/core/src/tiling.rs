@@ -1,0 +1,238 @@
+//! Tile-plan extraction for seam-exact tiled inference.
+//!
+//! The paper's DRAM optimization (Sec. 5.6) splits a large LR image into
+//! tiles, runs the collapsed network per tile with a halo of `overlap`
+//! pixels, and crops the halo after upscaling. This module extracts that
+//! geometry into a first-class [`TilePlan`] so that every execution
+//! strategy — the sequential loop in `CollapsedSesr::run_tiled`, the
+//! data-parallel fan-out in `run_tiled_parallel`, and the serving engine's
+//! worker pool — iterates the *same* tile set and stays bit-identical to
+//! whole-image execution.
+//!
+//! Two properties make tiling exact rather than merely approximate:
+//!
+//! 1. **Halo ≥ receptive-field radius.** Every output pixel of the
+//!    collapsed network depends on LR pixels within the network's
+//!    receptive-field radius; a halo at least that wide means every
+//!    interior output sees exactly the pixels it would see in a
+//!    whole-image run. Plans with a smaller overlap are rejected with
+//!    [`TileError::OverlapTooSmall`] instead of silently producing seams.
+//! 2. **Even-aligned tile origins.** The Winograd `F(2x2, 3x3)` kernel
+//!    computes 2x2 output tiles anchored at the patch origin; an output
+//!    pixel's floating-point expression depends on its parity relative to
+//!    that origin. [`TilePlan`] therefore rounds every halo origin down to
+//!    an even coordinate (growing the halo by at most one pixel), keeping
+//!    each patch phase-aligned with the full image so the arithmetic — and
+//!    hence the bits — match exactly.
+
+use std::fmt;
+
+/// Typed failure modes of tile-plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The tile side length was zero.
+    ZeroTile,
+    /// The requested halo is smaller than the collapsed network's
+    /// receptive-field radius, which would produce silent seams.
+    OverlapTooSmall {
+        /// Minimum halo for seam-exact output (the receptive-field radius).
+        required: usize,
+        /// The halo that was requested.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::ZeroTile => write!(f, "tile size must be positive"),
+            TileError::OverlapTooSmall { required, got } => write!(
+                f,
+                "tile overlap {got} is below the receptive-field radius {required}; \
+                 output would have visible seams"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// One tile of a [`TilePlan`]: the interior region this tile is
+/// responsible for, plus the halo-expanded region that is actually run
+/// through the network. All coordinates are LR-space, half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSpec {
+    /// Interior rows `[y0, y1)` — the output region this tile owns.
+    pub y0: usize,
+    /// Interior row end (exclusive).
+    pub y1: usize,
+    /// Interior columns `[x0, x1)`.
+    pub x0: usize,
+    /// Interior column end (exclusive).
+    pub x1: usize,
+    /// Halo-expanded row start (even-aligned; see module docs).
+    pub ey0: usize,
+    /// Halo-expanded row end (exclusive, clamped to the image).
+    pub ey1: usize,
+    /// Halo-expanded column start (even-aligned).
+    pub ex0: usize,
+    /// Halo-expanded column end (exclusive, clamped to the image).
+    pub ex1: usize,
+}
+
+impl TileSpec {
+    /// Height of the halo-expanded patch fed to the network.
+    pub fn patch_h(&self) -> usize {
+        self.ey1 - self.ey0
+    }
+
+    /// Width of the halo-expanded patch fed to the network.
+    pub fn patch_w(&self) -> usize {
+        self.ex1 - self.ex0
+    }
+}
+
+/// The full tiling of an `h x w` LR image: a set of non-overlapping
+/// interior regions covering the image, each with its halo-expanded run
+/// region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePlan {
+    tiles: Vec<TileSpec>,
+    h: usize,
+    w: usize,
+    tile: usize,
+    overlap: usize,
+}
+
+impl TilePlan {
+    /// Plans tiles of side `tile` with `overlap` halo pixels over an
+    /// `h x w` image. Validates only the geometry; use
+    /// `CollapsedSesr::plan_tiles` to also enforce the receptive-field
+    /// bound for a specific network.
+    ///
+    /// # Errors
+    ///
+    /// [`TileError::ZeroTile`] when `tile == 0`.
+    pub fn new(h: usize, w: usize, tile: usize, overlap: usize) -> Result<Self, TileError> {
+        if tile == 0 {
+            return Err(TileError::ZeroTile);
+        }
+        let mut tiles = Vec::new();
+        let mut y0 = 0;
+        while y0 < h {
+            let y1 = (y0 + tile).min(h);
+            let mut x0 = 0;
+            while x0 < w {
+                let x1 = (x0 + tile).min(w);
+                // Halo, clamped to the image and rounded down to an even
+                // origin so Winograd tile phase matches the whole image
+                // (bit-identity; see module docs). Extra halo is harmless.
+                let ey0 = y0.saturating_sub(overlap) & !1;
+                let ex0 = x0.saturating_sub(overlap) & !1;
+                let ey1 = (y1 + overlap).min(h);
+                let ex1 = (x1 + overlap).min(w);
+                tiles.push(TileSpec {
+                    y0,
+                    y1,
+                    x0,
+                    x1,
+                    ey0,
+                    ey1,
+                    ex0,
+                    ex1,
+                });
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+        Ok(Self {
+            tiles,
+            h,
+            w,
+            tile,
+            overlap,
+        })
+    }
+
+    /// The planned tiles, row-major over the image.
+    pub fn tiles(&self) -> &[TileSpec] {
+        &self.tiles
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// True when the plan covers a degenerate (empty) image.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// LR image height this plan was built for.
+    pub fn image_h(&self) -> usize {
+        self.h
+    }
+
+    /// LR image width this plan was built for.
+    pub fn image_w(&self) -> usize {
+        self.w
+    }
+
+    /// The requested tile side length.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// The requested halo width.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tile_is_rejected() {
+        assert_eq!(TilePlan::new(8, 8, 0, 2).unwrap_err(), TileError::ZeroTile);
+    }
+
+    #[test]
+    fn interiors_partition_the_image() {
+        let plan = TilePlan::new(17, 23, 6, 4).unwrap();
+        let mut covered = vec![0u8; 17 * 23];
+        for t in plan.tiles() {
+            assert!(t.ey0 <= t.y0 && t.y1 <= t.ey1);
+            assert!(t.ex0 <= t.x0 && t.x1 <= t.ex1);
+            for y in t.y0..t.y1 {
+                for x in t.x0..t.x1 {
+                    covered[y * 23 + x] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "interiors must tile the image exactly once");
+    }
+
+    #[test]
+    fn halo_origins_are_even_aligned() {
+        for (h, w, tile, overlap) in [(24, 24, 7, 3), (31, 19, 5, 6), (16, 16, 4, 1)] {
+            let plan = TilePlan::new(h, w, tile, overlap).unwrap();
+            for t in plan.tiles() {
+                assert_eq!(t.ey0 % 2, 0, "{t:?}");
+                assert_eq!(t.ex0 % 2, 0, "{t:?}");
+                // Even-alignment may grow the halo, never shrink it.
+                assert!(t.y0 - t.ey0 >= overlap.min(t.y0));
+                assert!(t.x0 - t.ex0 >= overlap.min(t.x0));
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        let e = TileError::OverlapTooSmall { required: 9, got: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('2'), "{msg}");
+    }
+}

@@ -1,0 +1,430 @@
+//! The serving engine: worker pool + bounded queue + batcher.
+//!
+//! Requests enter through [`Engine::submit`], which returns a [`Ticket`]
+//! immediately (or a typed [`SubmitError`] when the queue is full or the
+//! model unknown — explicit backpressure, never silent blocking). Worker
+//! threads pull *groups* of same-model, same-shape requests from the
+//! queue and execute them as one batched forward pass; oversized single
+//! requests instead take the tiled path, fanning halo tiles across the
+//! intra-op thread pool. Each request's journey is timed per stage
+//! (queue wait → batch assembly → compute → reassembly) into the shared
+//! [`Telemetry`](crate::telemetry::Telemetry).
+//!
+//! Shutdown is drain-based: dropping the engine closes the queue, the
+//! workers finish everything already admitted, and late `submit`s fail
+//! with [`SubmitError::ShuttingDown`].
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{ModelKey, ModelRegistry};
+use crate::telemetry::{Stage, Telemetry};
+use sesr_core::CollapsedSesr;
+use sesr_tensor::Tensor;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine sizing and batching policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads consuming the queue.
+    pub workers: usize,
+    /// Bound on admitted-but-unstarted requests.
+    pub queue_capacity: usize,
+    /// Largest micro-batch a worker will assemble.
+    pub max_batch: usize,
+    /// Inputs with more than this many pixels take the tiled path.
+    pub tile_threshold_px: usize,
+    /// Interior tile side used by the tiled path.
+    pub tile: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            tile_threshold_px: 256 * 256,
+            tile: 128,
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its bound; shed load or retry later.
+    QueueFull {
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// No model is registered under this key.
+    UnknownModel(ModelKey),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "rejected: queue full (capacity {capacity})")
+            }
+            SubmitError::UnknownModel(k) => write!(f, "rejected: model {k} is not registered"),
+            SubmitError::ShuttingDown => write!(f, "rejected: engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted request did not produce an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The deadline passed before a worker started the request.
+    DeadlineExpired,
+    /// The model failed to load from its registered artifact.
+    ModelLoad(String),
+    /// The engine shut down before the request ran.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DeadlineExpired => write!(f, "deadline expired before compute started"),
+            ServeError::ModelLoad(m) => write!(f, "model load failed: {m}"),
+            ServeError::ShuttingDown => write!(f, "engine shut down before the request ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response slot shared between a worker and a waiting caller.
+struct Slot {
+    value: Mutex<Option<Result<Tensor, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, result: Result<Tensor, ServeError>) {
+        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.is_none() {
+            *g = Some(result);
+        }
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Tensor, ServeError> {
+        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = g.take() {
+                return v;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Handle to an admitted request. Obtain the result with [`Ticket::wait`].
+pub struct Ticket {
+    /// Engine-unique request id (submission order).
+    pub id: u64,
+    slot: Arc<Slot>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket").field("id", &self.id).finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request completes, returning the upscaled tensor
+    /// or the typed reason it was dropped.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`].
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.slot.wait()
+    }
+}
+
+struct Job {
+    key: ModelKey,
+    input: Tensor,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    registry: Arc<ModelRegistry>,
+    telemetry: Arc<Telemetry>,
+    cfg: EngineConfig,
+    ids: AtomicU64,
+}
+
+/// Multi-threaded batched inference engine over a [`ModelRegistry`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts `cfg.workers` worker threads over `registry`.
+    ///
+    /// `workers == 0` is allowed (useful in tests: requests queue but
+    /// nothing consumes them until the engine is dropped).
+    pub fn new(cfg: EngineConfig, registry: Arc<ModelRegistry>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            registry,
+            telemetry: Arc::new(Telemetry::new()),
+            cfg: cfg.clone(),
+            ids: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sesr-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Admits a `[1, H, W]` request for `key`, to be answered within
+    /// `deadline` of now (if given). Returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] before touching the queue,
+    /// [`SubmitError::QueueFull`] at the bound, and
+    /// [`SubmitError::ShuttingDown`] once shutdown began.
+    pub fn submit(
+        &self,
+        key: &ModelKey,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        if !self.shared.registry.contains(key) {
+            return Err(SubmitError::UnknownModel(key.clone()));
+        }
+        let now = Instant::now();
+        let slot = Slot::new();
+        let id = self.shared.ids.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            key: key.clone(),
+            input,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => {
+                self.shared.telemetry.counters(|c| c.submitted += 1);
+                Ok(Ticket { id, slot })
+            }
+            Err(PushError::Full { capacity }) => {
+                self.shared.telemetry.counters(|c| c.rejected_queue_full += 1);
+                Err(SubmitError::QueueFull { capacity })
+            }
+            Err(PushError::Closed) => {
+                self.shared.telemetry.counters(|c| c.rejected_shutdown += 1);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Stops workers from consuming (producers still admit up to the
+    /// bound) — used to demonstrate backpressure deterministically.
+    pub fn pause(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Resumes consumption after [`Engine::pause`].
+    pub fn resume(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
+    /// Requests currently admitted but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The engine's telemetry sink.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// The model registry this engine serves from.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // With zero workers (or after joins) anything left in the queue is
+        // drained here so no caller blocks forever on a ticket.
+        while let Some(group) = self.shared.queue.pop_group(usize::MAX, |_| 0u8) {
+            for job in group {
+                job.slot.fulfill(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let batch_key =
+        |j: &Job| -> (ModelKey, Vec<usize>) { (j.key.clone(), j.input.shape().to_vec()) };
+    while let Some(group) = shared.queue.pop_group(shared.cfg.max_batch, batch_key) {
+        let dequeued = Instant::now();
+        // Queue wait is per-request: admission to first worker attention.
+        for job in &group {
+            shared
+                .telemetry
+                .record(Stage::QueueWait, dequeued.duration_since(job.enqueued));
+        }
+        // Deadline check happens at dequeue: a request that waited past
+        // its deadline is dropped *before* spending compute on it.
+        let (live, expired): (Vec<Job>, Vec<Job>) = group
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| dequeued < d));
+        for job in expired {
+            shared.telemetry.counters(|c| c.rejected_deadline += 1);
+            job.slot.fulfill(Err(ServeError::DeadlineExpired));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let model = match shared.registry.get(&live[0].key) {
+            Ok(m) => m,
+            Err(e) => {
+                let msg = e.to_string();
+                shared.telemetry.counters(|c| c.model_load_failures += 1);
+                for job in live {
+                    job.slot.fulfill(Err(ServeError::ModelLoad(msg.clone())));
+                }
+                continue;
+            }
+        };
+        let shape = live[0].input.shape();
+        let px = shape[1] * shape[2];
+        if live.len() == 1 && px > shared.cfg.tile_threshold_px {
+            run_tiled_job(shared, &model, live.into_iter().next().expect("one job"));
+        } else {
+            run_batch_jobs(shared, &model, live);
+        }
+    }
+}
+
+/// Large single request: halo tiles fan across the intra-op thread pool
+/// (compute), then tile interiors are pasted into the output (reassembly).
+fn run_tiled_job(shared: &Shared, model: &CollapsedSesr, job: Job) {
+    let dims = job.input.shape();
+    let (h, w) = (dims[1], dims[2]);
+    let overlap = model.receptive_field_radius();
+    let plan = match model.plan_tiles(h, w, shared.cfg.tile, overlap) {
+        Ok(p) => p,
+        Err(e) => {
+            // Only reachable with a degenerate config (tile = 0); surface
+            // it rather than panicking a worker.
+            job.slot.fulfill(Err(ServeError::ModelLoad(e.to_string())));
+            return;
+        }
+    };
+    let t0 = Instant::now();
+    let specs = plan.tiles();
+    let mut tiles: Vec<Option<Tensor>> = (0..specs.len()).map(|_| None).collect();
+    {
+        let threads = sesr_tensor::parallel::num_threads().clamp(1, specs.len().max(1));
+        let chunk = specs.len().div_ceil(threads);
+        let mut rest: &mut [Option<Tensor>] = &mut tiles;
+        crossbeam::scope(|s| {
+            for chunk_specs in specs.chunks(chunk) {
+                let (head, tail) = rest.split_at_mut(chunk_specs.len());
+                rest = tail;
+                let input = &job.input;
+                s.spawn(move |_| {
+                    for (slot, spec) in head.iter_mut().zip(chunk_specs) {
+                        *slot = Some(model.run_tile(input, spec));
+                    }
+                });
+            }
+        })
+        .expect("tile workers must not panic");
+    }
+    let t1 = Instant::now();
+    shared.telemetry.record(Stage::Compute, t1 - t0);
+    let s = model.scale();
+    let mut out = Tensor::zeros(&[1, h * s, w * s]);
+    let out_w = w * s;
+    for (spec, sr) in specs.iter().zip(&tiles) {
+        let sr = sr.as_ref().expect("tile computed");
+        let sr_w = spec.patch_w() * s;
+        for y in spec.y0 * s..spec.y1 * s {
+            let py = y - spec.ey0 * s;
+            for x in spec.x0 * s..spec.x1 * s {
+                let px = x - spec.ex0 * s;
+                out.data_mut()[y * out_w + x] = sr.data()[py * sr_w + px];
+            }
+        }
+    }
+    shared.telemetry.record(Stage::Reassembly, t1.elapsed());
+    shared.telemetry.counters(|c| {
+        c.tiled_requests += 1;
+        c.tiles_run += specs.len() as u64;
+    });
+    shared
+        .telemetry
+        .record(Stage::Total, job.enqueued.elapsed());
+    shared.telemetry.counters(|c| c.completed += 1);
+    job.slot.fulfill(Ok(out));
+}
+
+/// Same-shape batch: stack → one `run_batch` forward → unstack.
+fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) {
+    let t0 = Instant::now();
+    let inputs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
+    let batch = Tensor::stack(&inputs);
+    let t1 = Instant::now();
+    shared.telemetry.record(Stage::BatchAssembly, t1 - t0);
+    let sr = model.run_batch(&batch);
+    let t2 = Instant::now();
+    shared.telemetry.record(Stage::Compute, t2 - t1);
+    let outputs = sr.unstack();
+    shared.telemetry.counters(|c| {
+        c.batches += 1;
+        c.batched_requests += jobs.len() as u64;
+        c.max_batch = c.max_batch.max(jobs.len() as u64);
+        c.completed += jobs.len() as u64;
+    });
+    for (job, out) in jobs.into_iter().zip(outputs) {
+        shared
+            .telemetry
+            .record(Stage::Total, job.enqueued.elapsed());
+        job.slot.fulfill(Ok(out));
+    }
+    shared.telemetry.record(Stage::Reassembly, t2.elapsed());
+}

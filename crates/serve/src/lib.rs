@@ -1,0 +1,51 @@
+//! `sesr-serve` — an in-process, multi-threaded batched inference engine
+//! for collapsed SESR models.
+//!
+//! The training-time story of this workspace ends with
+//! [`CollapsedSesr`](sesr_core::CollapsedSesr): a short stack of plain
+//! convolutions cheap enough to run anywhere. This crate answers the next
+//! question — how those models behave *as a service* under concurrent
+//! load — without any network stack, so every queueing and batching
+//! effect measured is the engine's own.
+//!
+//! Architecture (request path, left to right):
+//!
+//! ```text
+//! submit() ──► BoundedQueue ──► worker pool ──► micro-batch / tiles ──► Ticket
+//!   │             │                 │                  │
+//!   reject     deadline          registry           telemetry
+//!   (full)     (expired at      (LRU, lazy       (per-stage latency
+//!              dequeue)          load)            histograms)
+//! ```
+//!
+//! * [`queue`] — bounded MPSC queue; `push` fails fast with a typed
+//!   reason (explicit backpressure), `pop_group` batches same-key
+//!   requests under one lock.
+//! * [`engine`] — worker pool; same-shape requests run as one
+//!   `run_batch` forward pass, oversized single images take the
+//!   halo-tiled path (bit-identical to whole-image inference).
+//! * [`registry`] — models keyed by `(arch, scale)`, lazily loaded from
+//!   `model_io` artifacts, LRU-bounded residency.
+//! * [`telemetry`] — log-scale latency histograms per pipeline stage
+//!   (queue wait, batch assembly, compute, reassembly) plus throughput
+//!   and rejection counters; exportable as JSON.
+//! * [`loadgen`] — deterministic closed/open-loop load generation and a
+//!   paused-engine burst that demonstrates the rejection path.
+//! * [`bench`] — the `serve-bench` harness emitting `BENCH_serve.json`.
+//! * [`json`] — minimal JSON emission + strict validation (the offline
+//!   workspace has no real serde).
+
+pub mod bench;
+pub mod engine;
+pub mod json;
+pub mod loadgen;
+pub mod queue;
+pub mod registry;
+pub mod telemetry;
+
+pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
+pub use engine::{Engine, EngineConfig, ServeError, SubmitError, Ticket};
+pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
+pub use telemetry::{Snapshot, Stage, StageSummary, Telemetry};

@@ -1,0 +1,203 @@
+//! Deterministic load generation against an [`Engine`].
+//!
+//! Two standard load shapes:
+//!
+//! * **Closed loop** — a fixed number of in-flight requests; a new one is
+//!   submitted the moment one completes. Measures saturated throughput.
+//! * **Open loop** — requests arrive on a fixed schedule regardless of
+//!   completion, the textbook way to expose queueing delay (and, at high
+//!   rates, the rejection path).
+//!
+//! Inputs are seeded `Tensor::rand_uniform` images, so two runs with the
+//! same [`LoadSpec`] submit byte-identical work in the same order. An
+//! optional *burst* phase pauses the engine's consumers, oversubmits
+//! beyond the queue bound, and counts the guaranteed rejections — a
+//! deterministic demonstration of backpressure for the benchmark report.
+
+use crate::engine::{Engine, ServeError, SubmitError, Ticket};
+use crate::registry::ModelKey;
+use sesr_tensor::Tensor;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How request arrivals are paced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Keep `concurrency` requests in flight at all times.
+    Closed {
+        /// In-flight bound (≥ 1).
+        concurrency: usize,
+    },
+    /// Submit at `rate_hz` requests per second on a fixed schedule.
+    Open {
+        /// Arrival rate in requests/second (> 0).
+        rate_hz: f64,
+    },
+}
+
+/// A reproducible load profile.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Requests in the main (non-burst) phase.
+    pub requests: usize,
+    /// Arrival pacing.
+    pub mode: LoadMode,
+    /// Input height in pixels.
+    pub height: usize,
+    /// Input width in pixels.
+    pub width: usize,
+    /// Seed for the synthetic input images.
+    pub seed: u64,
+    /// Per-request deadline, if any.
+    pub deadline: Option<Duration>,
+    /// Extra requests submitted against a paused engine to demonstrate
+    /// the rejection path (0 disables the burst phase).
+    pub burst: usize,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            mode: LoadMode::Closed { concurrency: 4 },
+            height: 64,
+            width: 64,
+            seed: 0,
+            deadline: None,
+            burst: 0,
+        }
+    }
+}
+
+/// What the load run observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Requests admitted by the engine (main phase).
+    pub submitted: u64,
+    /// Requests that returned an output image.
+    pub completed: u64,
+    /// Main-phase submissions rejected with `QueueFull`.
+    pub rejected: u64,
+    /// Admitted requests dropped because their deadline expired.
+    pub deadline_expired: u64,
+    /// Burst-phase submissions rejected while the engine was paused.
+    pub burst_rejected: u64,
+    /// Burst-phase submissions that were admitted (and later completed
+    /// or expired after resume).
+    pub burst_admitted: u64,
+    /// Wall-clock time of the main phase in milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Upscaled output pixels produced per second, in megapixels.
+    pub output_megapixels_per_s: f64,
+}
+
+/// Number of distinct synthetic inputs cycled through (bounding memory
+/// while still exercising varied data).
+const DISTINCT_INPUTS: usize = 8;
+
+/// Runs `spec` against `engine`, blocking until every admitted request
+/// resolves. Deterministic given the same spec and engine config
+/// (modulo wall-clock timings).
+pub fn run_load(engine: &Engine, key: &ModelKey, spec: &LoadSpec) -> LoadReport {
+    let inputs: Vec<Tensor> = (0..DISTINCT_INPUTS.min(spec.requests.max(1)))
+        .map(|i| {
+            Tensor::rand_uniform(
+                &[1, spec.height, spec.width],
+                0.0,
+                1.0,
+                spec.seed.wrapping_add(i as u64),
+            )
+        })
+        .collect();
+    let mut report = LoadReport::default();
+    let mut output_px: u64 = 0;
+    let started = Instant::now();
+
+    let resolve = |ticket: Ticket, report: &mut LoadReport, output_px: &mut u64| match ticket
+        .wait()
+    {
+        Ok(sr) => {
+            report.completed += 1;
+            *output_px += sr.shape().iter().skip(1).product::<usize>() as u64;
+        }
+        Err(ServeError::DeadlineExpired) => report.deadline_expired += 1,
+        Err(_) => {}
+    };
+
+    match spec.mode {
+        LoadMode::Closed { concurrency } => {
+            let mut inflight: VecDeque<Ticket> = VecDeque::new();
+            for i in 0..spec.requests {
+                while inflight.len() >= concurrency.max(1) {
+                    let t = inflight.pop_front().expect("inflight non-empty");
+                    resolve(t, &mut report, &mut output_px);
+                }
+                match engine.submit(key, inputs[i % inputs.len()].clone(), spec.deadline) {
+                    Ok(t) => {
+                        report.submitted += 1;
+                        inflight.push_back(t);
+                    }
+                    Err(SubmitError::QueueFull { .. }) => report.rejected += 1,
+                    Err(_) => break,
+                }
+            }
+            for t in inflight {
+                resolve(t, &mut report, &mut output_px);
+            }
+        }
+        LoadMode::Open { rate_hz } => {
+            let rate = rate_hz.max(1e-3);
+            let mut inflight: Vec<Ticket> = Vec::new();
+            for i in 0..spec.requests {
+                let due = started + Duration::from_secs_f64(i as f64 / rate);
+                if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(sleep);
+                }
+                match engine.submit(key, inputs[i % inputs.len()].clone(), spec.deadline) {
+                    Ok(t) => {
+                        report.submitted += 1;
+                        inflight.push(t);
+                    }
+                    Err(SubmitError::QueueFull { .. }) => report.rejected += 1,
+                    Err(_) => break,
+                }
+            }
+            for t in inflight {
+                resolve(t, &mut report, &mut output_px);
+            }
+        }
+    }
+
+    let wall = started.elapsed();
+    report.wall_ms = wall.as_secs_f64() * 1e3;
+    report.throughput_rps = report.completed as f64 / wall.as_secs_f64().max(1e-9);
+    report.output_megapixels_per_s =
+        output_px as f64 / 1e6 / wall.as_secs_f64().max(1e-9);
+
+    if spec.burst > 0 {
+        let mut admitted = Vec::new();
+        engine.pause();
+        for i in 0..spec.burst {
+            match engine.submit(key, inputs[i % inputs.len()].clone(), spec.deadline) {
+                Ok(t) => {
+                    report.burst_admitted += 1;
+                    admitted.push(t);
+                }
+                Err(SubmitError::QueueFull { .. }) => report.burst_rejected += 1,
+                Err(_) => break,
+            }
+        }
+        engine.resume();
+        // Burst completions resolve into a scratch report so the main
+        // phase's completed/throughput numbers stay untouched.
+        let mut scratch = LoadReport::default();
+        let mut scratch_px = 0u64;
+        for t in admitted {
+            resolve(t, &mut scratch, &mut scratch_px);
+        }
+    }
+
+    report
+}

@@ -1,0 +1,310 @@
+//! Model registry: multiple collapsed models keyed by `(arch, scale)`,
+//! lazily loaded from `model_io` files, with LRU eviction.
+//!
+//! The registry separates *registration* (telling the engine a model
+//! exists and where its `.sesr` artifact lives — cheap, done up front)
+//! from *residency* (the decoded weights living in memory — bounded by
+//! `capacity`, managed LRU). Workers call [`ModelRegistry::get`] per
+//! batch; hits are an `Arc` clone, misses decode the artifact and may
+//! evict the least-recently-used resident model. Weights are shared
+//! across worker threads via `Arc<CollapsedSesr>`, which is sound because
+//! tensors are plain owned storage (`Send + Sync`).
+
+use sesr_core::model_io::load_model;
+use sesr_core::CollapsedSesr;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Identity of a servable model: architecture name and upscaling factor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Architecture label, e.g. `"m5"` or `"xl"`.
+    pub arch: String,
+    /// Upscaling factor (2 or 4).
+    pub scale: usize,
+}
+
+impl ModelKey {
+    /// Convenience constructor.
+    pub fn new(arch: &str, scale: usize) -> Self {
+        Self {
+            arch: arch.to_string(),
+            scale,
+        }
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.arch, self.scale)
+    }
+}
+
+/// Failure to produce a resident model for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The key was never registered.
+    Unknown(ModelKey),
+    /// The registered artifact failed to load or decode.
+    Load {
+        /// The model being loaded.
+        key: ModelKey,
+        /// I/O or decode failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Unknown(k) => write!(f, "model {k} is not registered"),
+            RegistryError::Load { key, message } => {
+                write!(f, "loading model {key} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Point-in-time registry statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// `get` calls served from residency.
+    pub hits: u64,
+    /// Artifact loads (cold `get`s).
+    pub loads: u64,
+    /// Models evicted to respect `capacity`.
+    pub evictions: u64,
+    /// Models resident right now.
+    pub resident: usize,
+    /// Keys registered (resident or not).
+    pub registered: usize,
+}
+
+struct Resident {
+    model: Arc<CollapsedSesr>,
+    last_used: u64,
+}
+
+struct Inner {
+    paths: HashMap<ModelKey, PathBuf>,
+    resident: HashMap<ModelKey, Resident>,
+    tick: u64,
+    hits: u64,
+    loads: u64,
+    evictions: u64,
+}
+
+/// Thread-safe LRU-bounded model store.
+pub struct ModelRegistry {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ModelRegistry {
+    /// A registry keeping at most `capacity` (≥ 1) models resident.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                paths: HashMap::new(),
+                resident: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                loads: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a `.sesr` artifact for lazy loading under `key`.
+    pub fn register_path(&self, key: ModelKey, path: PathBuf) {
+        self.lock().paths.insert(key, path);
+    }
+
+    /// Makes an already-decoded model resident under `key` (it also
+    /// becomes the most recently used, possibly evicting another).
+    pub fn insert(&self, key: ModelKey, model: CollapsedSesr) {
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        g.resident.insert(
+            key,
+            Resident {
+                model: Arc::new(model),
+                last_used: tick,
+            },
+        );
+        Self::evict_to_capacity(&mut g, self.capacity);
+    }
+
+    /// True if `key` is servable (resident or registered for lazy load).
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        let g = self.lock();
+        g.resident.contains_key(key) || g.paths.contains_key(key)
+    }
+
+    /// Returns the model for `key`, loading it from its registered
+    /// artifact if not resident (evicting the LRU resident model when
+    /// over capacity).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Unknown`] for unregistered keys;
+    /// [`RegistryError::Load`] when the artifact cannot be read/decoded.
+    pub fn get(&self, key: &ModelKey) -> Result<Arc<CollapsedSesr>, RegistryError> {
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(r) = g.resident.get_mut(key) {
+            r.last_used = tick;
+            let model = Arc::clone(&r.model);
+            g.hits += 1;
+            return Ok(model);
+        }
+        let Some(path) = g.paths.get(key).cloned() else {
+            return Err(RegistryError::Unknown(key.clone()));
+        };
+        // Decoding happens under the lock: it serializes cold loads, but
+        // guarantees a model is decoded at most once per residency and
+        // keeps the LRU bookkeeping race-free. Artifacts are small
+        // (collapsed SESR is tens of KB), so the hold time is short.
+        let model = load_model(&path).map_err(|e| RegistryError::Load {
+            key: key.clone(),
+            message: e.to_string(),
+        })?;
+        g.loads += 1;
+        let model = Arc::new(model);
+        g.resident.insert(
+            key.clone(),
+            Resident {
+                model: Arc::clone(&model),
+                last_used: tick,
+            },
+        );
+        Self::evict_to_capacity(&mut g, self.capacity);
+        Ok(model)
+    }
+
+    fn evict_to_capacity(g: &mut Inner, capacity: usize) {
+        while g.resident.len() > capacity {
+            let Some(lru) = g
+                .resident
+                .iter()
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            g.resident.remove(&lru);
+            g.evictions += 1;
+        }
+    }
+
+    /// Current hit/load/eviction counters and residency.
+    pub fn stats(&self) -> RegistryStats {
+        let g = self.lock();
+        RegistryStats {
+            hits: g.hits,
+            loads: g.loads,
+            evictions: g.evictions,
+            resident: g.resident.len(),
+            registered: g
+                .paths
+                .keys()
+                .chain(g.resident.keys())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_core::model::{Sesr, SesrConfig};
+    use sesr_core::model_io::save_model;
+
+    fn tiny(seed: u64) -> CollapsedSesr {
+        Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(seed)).collapse()
+    }
+
+    fn tmp_model(name: &str, seed: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join("sesr_registry_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        save_model(&tiny(seed), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn unknown_key_is_a_typed_error() {
+        let r = ModelRegistry::new(2);
+        let err = r.get(&ModelKey::new("m5", 2)).unwrap_err();
+        assert_eq!(err, RegistryError::Unknown(ModelKey::new("m5", 2)));
+    }
+
+    #[test]
+    fn lazy_load_then_hit() {
+        let r = ModelRegistry::new(2);
+        let key = ModelKey::new("m1", 2);
+        r.register_path(key.clone(), tmp_model("lazy.sesr", 1));
+        assert!(r.contains(&key));
+        assert_eq!(r.stats().resident, 0, "registration must not load");
+        let a = r.get(&key).unwrap();
+        let b = r.get(&key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the same weights");
+        let s = r.stats();
+        assert_eq!((s.loads, s.hits, s.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let r = ModelRegistry::new(2);
+        let (k1, k2, k3) = (
+            ModelKey::new("a", 2),
+            ModelKey::new("b", 2),
+            ModelKey::new("c", 2),
+        );
+        r.register_path(k1.clone(), tmp_model("lru_a.sesr", 1));
+        r.register_path(k2.clone(), tmp_model("lru_b.sesr", 2));
+        r.register_path(k3.clone(), tmp_model("lru_c.sesr", 3));
+        r.get(&k1).unwrap();
+        r.get(&k2).unwrap();
+        r.get(&k1).unwrap(); // k1 is now most recent; k2 is LRU
+        r.get(&k3).unwrap(); // evicts k2
+        let s = r.stats();
+        assert_eq!((s.evictions, s.resident), (1, 2));
+        // k2 reloads (a second load), k1 would still be a hit if touched
+        // before the k2 reload evicts it.
+        r.get(&k2).unwrap();
+        assert_eq!(r.stats().loads, 4);
+    }
+
+    #[test]
+    fn load_failure_is_reported_with_key() {
+        let r = ModelRegistry::new(1);
+        let key = ModelKey::new("ghost", 4);
+        r.register_path(key.clone(), PathBuf::from("/nonexistent/ghost.sesr"));
+        let err = r.get(&key).unwrap_err();
+        assert!(matches!(err, RegistryError::Load { .. }));
+        assert!(err.to_string().contains("ghostx4"));
+    }
+
+    #[test]
+    fn insert_makes_model_resident_without_a_path() {
+        let r = ModelRegistry::new(1);
+        let key = ModelKey::new("direct", 2);
+        r.insert(key.clone(), tiny(9));
+        assert!(r.contains(&key));
+        r.get(&key).unwrap();
+        assert_eq!(r.stats().hits, 1);
+    }
+}

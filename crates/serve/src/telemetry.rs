@@ -1,0 +1,405 @@
+//! Per-stage latency histograms, throughput and rejection counters.
+//!
+//! Every request that moves through the engine is timed at four stages —
+//! queue wait, batch assembly, compute, reassembly — plus end-to-end
+//! total. Latencies land in log-scale histograms (8 sub-buckets per
+//! power of two, ≤ 12.5% relative quantile error, fixed 512-slot
+//! footprint, no allocation on the record path beyond the initial
+//! vector), from which p50/p95/p99 are read out. Counters track
+//! submissions, completions, and each distinct rejection reason, so a
+//! load run can show its backpressure behavior, not just its happy path.
+
+use crate::json::{array, JsonObject};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pipeline stages measured per request (or per batch where noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Submit → dequeue by a worker.
+    QueueWait,
+    /// Grouping and stacking same-shape requests into one NCHW batch
+    /// (recorded per batch).
+    BatchAssembly,
+    /// Forward pass (recorded per batch / per tiled request).
+    Compute,
+    /// Splitting batched output / pasting tile interiors and fulfilling
+    /// tickets (recorded per batch / per tiled request).
+    Reassembly,
+    /// Submit → response fulfilled (per request).
+    Total,
+}
+
+/// All stages, in display order.
+pub const STAGES: [Stage; 5] = [
+    Stage::QueueWait,
+    Stage::BatchAssembly,
+    Stage::Compute,
+    Stage::Reassembly,
+    Stage::Total,
+];
+
+impl Stage {
+    /// Snake-case stage name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchAssembly => "batch_assembly",
+            Stage::Compute => "compute",
+            Stage::Reassembly => "reassembly",
+            Stage::Total => "total",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::BatchAssembly => 1,
+            Stage::Compute => 2,
+            Stage::Reassembly => 3,
+            Stage::Total => 4,
+        }
+    }
+}
+
+const SUB_BITS: u32 = 3; // 8 sub-buckets per octave
+const BUCKETS: usize = 512;
+
+fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    let idx = ((exp - SUB_BITS + 1) as usize) << SUB_BITS;
+    (idx + sub).min(BUCKETS - 1)
+}
+
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        return idx as u64;
+    }
+    let exp = (idx >> SUB_BITS) as u32 + SUB_BITS - 1;
+    let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+    (1u64 << exp) + (sub + 1) * (1u64 << (exp - SUB_BITS)) - 1
+}
+
+/// Log-scale latency histogram over nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.count as f64 / 1e6
+    }
+
+    /// Maximum recorded latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns as f64 / 1e6
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds, as the upper bound
+    /// of the bucket holding that rank (≤ 12.5% overestimate). Returns 0
+    /// for an empty histogram.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket is open-ended; report the true max there.
+                let ub = bucket_upper(i).min(self.max_ns);
+                return ub as f64 / 1e6;
+            }
+        }
+        self.max_ms()
+    }
+}
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests fulfilled with an output image.
+    pub completed: u64,
+    /// Requests rejected at submit because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub rejected_deadline: u64,
+    /// Requests rejected because the engine was shutting down.
+    pub rejected_shutdown: u64,
+    /// Requests failed because their model could not be loaded.
+    pub model_load_failures: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests executed inside micro-batches (avg batch = this/batches).
+    pub batched_requests: u64,
+    /// Largest micro-batch executed.
+    pub max_batch: u64,
+    /// Requests routed through the tiled path.
+    pub tiled_requests: u64,
+    /// Individual tiles executed by the tiled path.
+    pub tiles_run: u64,
+}
+
+struct Inner {
+    stages: [Histogram; 5],
+    counters: Counters,
+    started: Instant,
+}
+
+/// Thread-safe telemetry hub shared by the engine's workers.
+pub struct Telemetry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry with the epoch set to now.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                stages: [
+                    Histogram::new(),
+                    Histogram::new(),
+                    Histogram::new(),
+                    Histogram::new(),
+                    Histogram::new(),
+                ],
+                counters: Counters::default(),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records a latency sample for one stage.
+    pub fn record(&self, stage: Stage, d: Duration) {
+        self.lock().stages[stage.index()].record(d);
+    }
+
+    /// Applies a mutation to the counters (e.g. bump a rejection reason).
+    pub fn counters<R>(&self, f: impl FnOnce(&mut Counters) -> R) -> R {
+        f(&mut self.lock().counters)
+    }
+
+    /// A point-in-time copy of every stage histogram and counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            stages: STAGES
+                .iter()
+                .map(|s| (s.name(), StageSummary::of(&g.stages[s.index()])))
+                .collect(),
+            counters: g.counters,
+            elapsed_ms: g.started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Latency summary of one stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Maximum (ms).
+    pub max_ms: f64,
+}
+
+impl StageSummary {
+    fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean_ms: h.mean_ms(),
+            p50_ms: h.quantile_ms(0.50),
+            p95_ms: h.quantile_ms(0.95),
+            p99_ms: h.quantile_ms(0.99),
+            max_ms: h.max_ms(),
+        }
+    }
+
+    fn to_json(self, name: &str) -> String {
+        JsonObject::new()
+            .str("stage", name)
+            .int("count", self.count)
+            .num("mean_ms", self.mean_ms)
+            .num("p50_ms", self.p50_ms)
+            .num("p95_ms", self.p95_ms)
+            .num("p99_ms", self.p99_ms)
+            .num("max_ms", self.max_ms)
+            .finish()
+    }
+}
+
+/// A point-in-time view of the engine's telemetry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(stage name, summary)` in pipeline order.
+    pub stages: Vec<(&'static str, StageSummary)>,
+    /// Counter values at snapshot time.
+    pub counters: Counters,
+    /// Milliseconds since the telemetry epoch.
+    pub elapsed_ms: f64,
+}
+
+impl Snapshot {
+    /// Completed requests per second since the epoch.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            return 0.0;
+        }
+        self.counters.completed as f64 / (self.elapsed_ms / 1e3)
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let c = self.counters;
+        let counters = JsonObject::new()
+            .int("submitted", c.submitted)
+            .int("completed", c.completed)
+            .int("rejected_queue_full", c.rejected_queue_full)
+            .int("rejected_deadline", c.rejected_deadline)
+            .int("rejected_shutdown", c.rejected_shutdown)
+            .int("model_load_failures", c.model_load_failures)
+            .int("batches", c.batches)
+            .int("batched_requests", c.batched_requests)
+            .int("max_batch", c.max_batch)
+            .int("tiled_requests", c.tiled_requests)
+            .int("tiles_run", c.tiles_run)
+            .finish();
+        JsonObject::new()
+            .num("elapsed_ms", self.elapsed_ms)
+            .num("throughput_rps", self.throughput_rps())
+            .raw(
+                "stages",
+                &array(self.stages.iter().map(|(n, s)| s.to_json(n))),
+            )
+            .raw("counters", &counters)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotonic_and_tight() {
+        let mut prev = 0;
+        for v in [0u64, 1, 7, 8, 9, 100, 1_000, 65_535, 1 << 30, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev || v < 8, "indices must not decrease");
+            prev = idx;
+            let ub = bucket_upper(idx);
+            assert!(ub >= v, "upper bound {ub} must cover {v}");
+            // ≤ 12.5% relative error beyond the exact range.
+            if v >= 8 && idx < BUCKETS - 1 {
+                assert!((ub - v) as f64 <= v as f64 / 8.0 + 1.0, "v={v} ub={ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for ms in 1..=1000u64 {
+            h.record_ns(ms * 1_000_000);
+        }
+        let p50 = h.quantile_ms(0.5);
+        let p99 = h.quantile_ms(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99={p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_ms() - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_valid_json() {
+        let t = Telemetry::new();
+        t.record(Stage::Compute, Duration::from_millis(3));
+        t.record(Stage::Total, Duration::from_millis(5));
+        t.counters(|c| {
+            c.submitted = 2;
+            c.completed = 1;
+            c.rejected_queue_full = 1;
+        });
+        let snap = t.snapshot();
+        let json = snap.to_json();
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"queue_wait\""));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"rejected_queue_full\":1"));
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests of the serving engine: correctness of batched and
+//! tiled execution against direct `CollapsedSesr::run`, the typed
+//! backpressure and deadline paths, registry LRU behavior through the
+//! engine, and telemetry export.
+
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_core::model_io::save_model;
+use sesr_core::CollapsedSesr;
+use sesr_serve::engine::{Engine, EngineConfig, ServeError, SubmitError};
+use sesr_serve::registry::{ModelKey, ModelRegistry};
+use sesr_tensor::Tensor;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_model(seed: u64) -> CollapsedSesr {
+    Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(seed)).collapse()
+}
+
+fn registry_with(key: &ModelKey, model: CollapsedSesr) -> Arc<ModelRegistry> {
+    let r = Arc::new(ModelRegistry::new(4));
+    r.insert(key.clone(), model);
+    r
+}
+
+fn img(seed: u64, h: usize, w: usize) -> Tensor {
+    Tensor::rand_uniform(&[1, h, w], 0.0, 1.0, seed)
+}
+
+#[test]
+fn batched_results_equal_individual_runs() {
+    let key = ModelKey::new("m2", 2);
+    let model = tiny_model(1);
+    let registry = registry_with(&key, tiny_model(1));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    // Pause so all four requests are queued together, guaranteeing the
+    // worker assembles them into one micro-batch.
+    engine.pause();
+    let inputs: Vec<Tensor> = (0..4).map(|i| img(10 + i, 12, 16)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| engine.submit(&key, x.clone(), None).unwrap())
+        .collect();
+    engine.resume();
+    for (x, t) in inputs.iter().zip(tickets) {
+        let served = t.wait().unwrap();
+        let direct = model.run(x);
+        assert_eq!(served.shape(), direct.shape());
+        let diff = served
+            .data()
+            .iter()
+            .zip(direct.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert_eq!(diff, 0.0, "batched result must be bit-identical");
+    }
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.completed, 4);
+    assert!(c.batches >= 1);
+    assert_eq!(c.batched_requests, 4);
+    assert_eq!(c.max_batch, 4, "paused submissions must form one batch");
+}
+
+#[test]
+fn queue_full_is_an_explicit_rejection() {
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(2));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 3,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    engine.pause();
+    for i in 0..3 {
+        engine.submit(&key, img(i, 8, 8), None).unwrap();
+    }
+    let err = engine.submit(&key, img(9, 8, 8), None).unwrap_err();
+    assert_eq!(err, SubmitError::QueueFull { capacity: 3 });
+    assert_eq!(engine.queue_depth(), 3);
+    engine.resume();
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.rejected_queue_full, 1);
+    assert_eq!(c.submitted, 3);
+}
+
+#[test]
+fn expired_deadlines_are_dropped_before_compute() {
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(3));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    engine.pause();
+    let doomed = engine
+        .submit(&key, img(1, 8, 8), Some(Duration::from_millis(1)))
+        .unwrap();
+    let fine = engine
+        .submit(&key, img(2, 8, 8), Some(Duration::from_secs(3600)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    engine.resume();
+    assert_eq!(doomed.wait().unwrap_err(), ServeError::DeadlineExpired);
+    fine.wait().unwrap();
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.rejected_deadline, 1);
+    assert_eq!(c.completed, 1);
+}
+
+#[test]
+fn unknown_model_is_rejected_at_submit() {
+    let registry = Arc::new(ModelRegistry::new(2));
+    let engine = Engine::new(EngineConfig::default(), registry);
+    let key = ModelKey::new("nope", 2);
+    let err = engine.submit(&key, img(0, 8, 8), None).unwrap_err();
+    assert_eq!(err, SubmitError::UnknownModel(key));
+}
+
+#[test]
+fn oversized_requests_take_the_tiled_path_and_stay_bit_exact() {
+    let key = ModelKey::new("m2", 2);
+    let model = tiny_model(4);
+    let registry = registry_with(&key, tiny_model(4));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            tile_threshold_px: 24 * 24, // low threshold so a small test image tiles
+            tile: 10,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let x = img(7, 30, 26);
+    let served = engine.submit(&key, x.clone(), None).unwrap().wait().unwrap();
+    let direct = model.run(&x);
+    let diff = served
+        .data()
+        .iter()
+        .zip(direct.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert_eq!(diff, 0.0, "tiled serving must match whole-image run");
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.tiled_requests, 1);
+    assert!(c.tiles_run > 1, "a 30x26 image with 10px tiles must split");
+}
+
+#[test]
+fn lazy_load_and_lru_eviction_through_the_engine() {
+    let dir = std::env::temp_dir().join("sesr_engine_lru_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let registry = Arc::new(ModelRegistry::new(2));
+    let keys: Vec<ModelKey> = (0..3)
+        .map(|i| {
+            let key = ModelKey::new(&format!("m2v{i}"), 2);
+            let path: PathBuf = dir.join(format!("{key}.sesr"));
+            save_model(&tiny_model(20 + i as u64), &path).unwrap();
+            registry.register_path(key.clone(), path);
+            key
+        })
+        .collect();
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        Arc::clone(&registry),
+    );
+    for key in &keys {
+        engine.submit(key, img(1, 8, 8), None).unwrap().wait().unwrap();
+    }
+    let s = registry.stats();
+    assert_eq!(s.loads, 3, "each model lazily loads on first use");
+    assert_eq!(s.evictions, 1, "capacity 2 must evict once for 3 models");
+    assert_eq!(s.resident, 2);
+    // Re-serving the evicted model reloads it.
+    engine
+        .submit(&keys[0], img(2, 8, 8), None)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(registry.stats().loads, 4);
+}
+
+#[test]
+fn load_failure_surfaces_as_serve_error() {
+    let registry = Arc::new(ModelRegistry::new(2));
+    let key = ModelKey::new("ghost", 2);
+    registry.register_path(key.clone(), PathBuf::from("/nonexistent/ghost.sesr"));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let err = engine.submit(&key, img(0, 8, 8), None).unwrap().wait().unwrap_err();
+    assert!(matches!(err, ServeError::ModelLoad(_)));
+    assert_eq!(engine.telemetry().snapshot().counters.model_load_failures, 1);
+}
+
+#[test]
+fn drop_drains_queue_instead_of_hanging_callers() {
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(5));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 0, // nothing consumes; Drop must fulfill the tickets
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let t = engine.submit(&key, img(0, 8, 8), None).unwrap();
+    drop(engine);
+    assert_eq!(t.wait().unwrap_err(), ServeError::ShuttingDown);
+}
+
+#[test]
+fn telemetry_snapshot_exports_valid_json_with_stage_quantiles() {
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(6));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    for i in 0..6 {
+        engine.submit(&key, img(i, 10, 10), None).unwrap().wait().unwrap();
+    }
+    let snap = engine.telemetry().snapshot();
+    let json = snap.to_json();
+    sesr_serve::json::validate(&json).expect("telemetry JSON must be well-formed");
+    for stage in ["queue_wait", "compute", "total"] {
+        assert!(json.contains(stage), "snapshot must report {stage}");
+    }
+    let total = &snap
+        .stages
+        .iter()
+        .find(|(name, _)| *name == "total")
+        .expect("total stage present")
+        .1;
+    assert_eq!(total.count, 6);
+    assert!(total.p50_ms > 0.0);
+    assert!(total.p99_ms >= total.p50_ms);
+}
+
+#[test]
+fn more_workers_increase_throughput_on_multicore_hosts() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("skipping multi-worker throughput test on a single-core host");
+        return;
+    }
+    let key = ModelKey::new("m2", 2);
+    let run = |workers: usize| -> f64 {
+        let registry = registry_with(&key, tiny_model(7));
+        let engine = Engine::new(
+            EngineConfig {
+                workers,
+                queue_capacity: 256,
+                max_batch: 1, // force per-request dispatch so workers parallelize
+                ..EngineConfig::default()
+            },
+            registry,
+        );
+        let spec = sesr_serve::loadgen::LoadSpec {
+            requests: 48,
+            mode: sesr_serve::loadgen::LoadMode::Closed {
+                concurrency: workers.max(2) * 2,
+            },
+            height: 48,
+            width: 48,
+            seed: 11,
+            deadline: None,
+            burst: 0,
+        };
+        let report = sesr_serve::loadgen::run_load(&engine, &key, &spec);
+        assert_eq!(report.completed as usize, spec.requests);
+        report.throughput_rps
+    };
+    let single = run(1);
+    let multi = run(cores.min(4));
+    assert!(
+        multi > single,
+        "expected multi-worker throughput ({multi:.1} rps) to beat single-worker ({single:.1} rps)"
+    );
+}

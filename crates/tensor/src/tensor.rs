@@ -206,6 +206,68 @@ impl Tensor {
         }
     }
 
+    /// Stacks tensors of identical shape along a new leading axis — the
+    /// micro-batching primitive of the serving engine (e.g. stacking K
+    /// `[1, h, w]` luma images into a `[K, 1, h, w]` NCHW batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or the shapes disagree.
+    pub fn stack(items: &[&Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let dims = items[0].shape();
+        let mut out_dims = Vec::with_capacity(dims.len() + 1);
+        out_dims.push(items.len());
+        out_dims.extend_from_slice(dims);
+        let mut data = Vec::with_capacity(items.len() * items[0].len());
+        for t in items {
+            assert_eq!(t.shape(), dims, "all stacked tensors must share a shape");
+            data.extend_from_slice(t.data());
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Splits along the leading axis into `shape()[0]` tensors — the
+    /// inverse of [`Tensor::stack`], used to scatter batched outputs back
+    /// to their requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on tensors of rank < 2 (there is no leading batch axis).
+    pub fn unstack(&self) -> Vec<Tensor> {
+        let dims = self.shape();
+        assert!(dims.len() >= 2, "unstack needs a leading batch axis");
+        let n = dims[0];
+        let inner = &dims[1..];
+        let stride: usize = inner.iter().product();
+        (0..n)
+            .map(|i| Tensor::from_vec(self.data[i * stride..(i + 1) * stride].to_vec(), inner))
+            .collect()
+    }
+
+    /// Crops the spatial window `[y0, y1) x [x0, x1)` out of a rank-3
+    /// `[C, H, W]` tensor (tile extraction for tiled inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the window is empty or out of
+    /// bounds.
+    pub fn crop_hw(&self, y0: usize, y1: usize, x0: usize, x1: usize) -> Tensor {
+        let dims = self.shape();
+        assert_eq!(dims.len(), 3, "crop_hw expects a [C, H, W] tensor");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        assert!(y0 < y1 && y1 <= h && x0 < x1 && x1 <= w, "window [{y0},{y1})x[{x0},{x1}) out of bounds for {h}x{w}");
+        let (ch, cw) = (y1 - y0, x1 - x0);
+        let mut data = Vec::with_capacity(c * ch * cw);
+        for cc in 0..c {
+            let plane = &self.data[cc * h * w..(cc + 1) * h * w];
+            for y in y0..y1 {
+                data.extend_from_slice(&plane[y * w + x0..y * w + x1]);
+            }
+        }
+        Tensor::from_vec(data, &[c, ch, cw])
+    }
+
     /// Element-wise addition.
     ///
     /// # Panics
@@ -559,5 +621,45 @@ mod tests {
     // implemented by serializing to a simple in-memory format.
     fn serde_json_like(t: &Tensor) -> String {
         format!("shape={:?} n={}", t.shape(), t.len())
+    }
+
+    #[test]
+    fn stack_then_unstack_roundtrips() {
+        let a = Tensor::rand_uniform(&[1, 3, 4], 0.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[1, 3, 4], 0.0, 1.0, 2);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 1, 3, 4]);
+        let parts = s.unstack();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn stack_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[1, 2, 2]);
+        let b = Tensor::zeros(&[1, 2, 3]);
+        Tensor::stack(&[&a, &b]);
+    }
+
+    #[test]
+    fn crop_hw_extracts_window() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        let c = t.crop_hw(1, 3, 1, 3);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(c.at(&[0, 0, 0]), t.at(&[0, 1, 1]));
+        assert_eq!(c.at(&[1, 1, 1]), t.at(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn tensors_are_shareable_across_threads() {
+        // The serving engine shares collapsed weights between worker
+        // threads via `Arc<CollapsedSesr>`; that is only sound because
+        // `Tensor` is `Send + Sync` (owned contiguous storage, no interior
+        // mutability). Keep this a compile-time guarantee.
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Tensor>();
+        assert_send_sync::<std::sync::Arc<Tensor>>();
     }
 }

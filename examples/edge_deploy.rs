@@ -71,10 +71,11 @@ fn main() {
     let lr = generate(Family::Urban, 96, 96, 5);
     let whole = collapsed.run(&lr);
     // Collapsed SESR-M5 receptive-field radius: 2 + 5*1 + 2 = 9 pixels.
-    let tiled_img = collapsed.run_tiled(&lr, 48, 10);
+    assert_eq!(collapsed.receptive_field_radius(), 9);
+    let tiled_img = collapsed.run_tiled(&lr, 48, 10).expect("overlap covers the receptive field");
     let diff = whole.max_abs_diff(&tiled_img);
     println!("\ntiled inference matches whole-image inference: max diff {diff:.2e}");
-    assert!(diff < 1e-4, "tiling must be seamless with sufficient halo");
+    assert_eq!(diff, 0.0, "tiling must be bit-exact with sufficient halo");
 
     // --- x4 (1080p -> 8K) ---
     let sesr_x4 = simulate(&sesr_ir(16, 5, 4, false, 1080, 1920), &npu);

@@ -18,7 +18,10 @@
 //! * [`nas`] — latency-constrained architecture search with even-sized and
 //!   asymmetric kernels;
 //! * [`quant`] — post-training int8 quantization (per-channel weights,
-//!   calibrated activations, integer execution) for the deployment path.
+//!   calibrated activations, integer execution) for the deployment path;
+//! * [`serve`] — an in-process batched inference engine: bounded queue
+//!   with deadlines and backpressure, micro-batching worker pool,
+//!   parallel tiled execution, LRU model registry, latency telemetry.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use sesr_data as data;
 pub use sesr_nas as nas;
 pub use sesr_npu as npu;
 pub use sesr_quant as quant;
+pub use sesr_serve as serve;
 pub use sesr_tensor as tensor;
 
 #[cfg(test)]
