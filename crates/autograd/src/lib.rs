@@ -44,4 +44,4 @@ pub mod optim;
 pub mod tape;
 
 pub use optim::{Adam, AdamConfig, AdamState, Sgd};
-pub use tape::{Tape, VarId};
+pub use tape::{OpProfile, OpStat, Tape, VarId};

@@ -9,6 +9,8 @@ use sesr_tensor::conv::{
 use sesr_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
 use sesr_tensor::pixel_shuffle::{depth_to_space, depth_to_space_backward};
 use sesr_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +105,86 @@ struct Node {
     requires_grad: bool,
 }
 
+/// Aggregated wall-clock cost of one op kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Number of timed invocations.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those invocations.
+    pub nanos: u64,
+}
+
+/// Per-op wall-clock breakdown of a tape's forward and backward passes,
+/// collected when [`Tape::enable_profiling`] is on. Keys are op names
+/// suffixed with the pass direction (`conv2d.fwd`, `conv2d.bwd`, …).
+///
+/// The profiler only observes; it never changes what is computed, so a
+/// profiled run produces bit-identical values and gradients to an
+/// unprofiled one.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    entries: BTreeMap<&'static str, OpStat>,
+}
+
+impl OpProfile {
+    fn add(&mut self, name: &'static str, elapsed: Duration) {
+        let e = self.entries.entry(name).or_default();
+        e.calls += 1;
+        e.nanos += elapsed.as_nanos() as u64;
+    }
+
+    /// Folds another profile into this one (used to aggregate across
+    /// training steps, each of which builds a fresh tape).
+    pub fn merge(&mut self, other: &OpProfile) {
+        for (name, stat) in &other.entries {
+            let e = self.entries.entry(name).or_default();
+            e.calls += stat.calls;
+            e.nanos += stat.nanos;
+        }
+    }
+
+    /// Iterates `(op name, stat)` in deterministic (alphabetical) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, OpStat)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total timed nanoseconds across all ops.
+    pub fn total_nanos(&self) -> u64 {
+        self.entries.values().map(|s| s.nanos).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Stable profile label for an op's backward arm.
+fn op_bwd_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "leaf.bwd",
+        Op::Add(..) => "add.bwd",
+        Op::Sub(..) => "sub.bwd",
+        Op::MulElem(..) => "mul_elem.bwd",
+        Op::Scale(..) => "scale.bwd",
+        Op::AddConst(..) => "add_const.bwd",
+        Op::Conv2d { .. } => "conv2d.bwd",
+        Op::ConvTranspose2d { .. } => "conv_transpose2d.bwd",
+        Op::Conv2dGrouped { .. } => "conv2d_grouped.bwd",
+        Op::ConcatChannels(..) => "concat_channels.bwd",
+        Op::Relu(..) => "relu.bwd",
+        Op::Prelu { .. } => "prelu.bwd",
+        Op::DepthToSpace { .. } => "depth_to_space.bwd",
+        Op::Collapse1x1 { .. } => "collapse_1x1.bwd",
+        Op::AddBroadcastChannel(..) => "add_broadcast_channel.bwd",
+        Op::EmbedAt { .. } => "embed_at.bwd",
+        Op::Reshape { .. } => "reshape.bwd",
+        Op::Sum(..) => "sum.bwd",
+        Op::L1Loss { .. } => "l1_loss.bwd",
+        Op::MseLoss { .. } => "mse_loss.bwd",
+    }
+}
+
 /// A reverse-mode automatic differentiation tape.
 ///
 /// Build one per forward pass; every method both computes a value and
@@ -112,6 +194,8 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    profiling: bool,
+    profile: OpProfile,
 }
 
 impl Tape {
@@ -142,6 +226,30 @@ impl Tape {
 
     fn rg(&self, id: VarId) -> bool {
         self.nodes[id.0].requires_grad
+    }
+
+    /// Turns on per-op wall-clock profiling for this tape. Profiling only
+    /// measures; values and gradients are bit-identical either way.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// The profile collected so far (empty unless
+    /// [`Tape::enable_profiling`] was called before ops ran).
+    pub fn profile(&self) -> &OpProfile {
+        &self.profile
+    }
+
+    #[inline]
+    fn prof_clock(&self) -> Option<Instant> {
+        self.profiling.then(Instant::now)
+    }
+
+    #[inline]
+    fn prof_record(&mut self, name: &'static str, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.profile.add(name, t0.elapsed());
+        }
     }
 
     /// Registers an input tensor. Set `requires_grad` for trainable
@@ -225,12 +333,14 @@ impl Tape {
         bias: Option<VarId>,
         params: Conv2dParams,
     ) -> VarId {
+        let t0 = self.prof_clock();
         let value = conv2d(
             self.value(input),
             self.value(weight),
             bias.map(|b| self.value(b)),
             params,
         );
+        self.prof_record("conv2d.fwd", t0);
         let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
         self.push(
             value,
@@ -259,6 +369,7 @@ impl Tape {
         pad: usize,
         output_padding: usize,
     ) -> VarId {
+        let t0 = self.prof_clock();
         let value = conv_transpose2d(
             self.value(input),
             self.value(weight),
@@ -267,6 +378,7 @@ impl Tape {
             pad,
             output_padding,
         );
+        self.prof_record("conv_transpose2d.fwd", t0);
         let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
         self.push(
             value,
@@ -296,6 +408,7 @@ impl Tape {
         params: Conv2dParams,
         groups: usize,
     ) -> VarId {
+        let t0 = self.prof_clock();
         let value = conv2d_grouped(
             self.value(input),
             self.value(weight),
@@ -303,6 +416,7 @@ impl Tape {
             params,
             groups,
         );
+        self.prof_record("conv2d_grouped.fwd", t0);
         let rg = self.rg(input) || self.rg(weight) || bias.is_some_and(|b| self.rg(b));
         self.push(
             value,
@@ -363,7 +477,9 @@ impl Tape {
     ///
     /// Panics if `alpha` does not have one element per channel.
     pub fn prelu(&mut self, input: VarId, alpha: VarId) -> VarId {
+        let t0 = self.prof_clock();
         let value = prelu(self.value(input), self.value(alpha));
+        self.prof_record("prelu.fwd", t0);
         let rg = self.rg(input) || self.rg(alpha);
         self.push(value, Op::Prelu { input, alpha }, rg)
     }
@@ -392,7 +508,9 @@ impl Tape {
     /// Panics if `w2` is not a 1x1 kernel or the intermediate channel
     /// counts disagree.
     pub fn collapse_1x1(&mut self, w1: VarId, w2: VarId) -> VarId {
+        let t0 = self.prof_clock();
         let value = collapse_1x1_forward(self.value(w1), self.value(w2));
+        self.prof_record("collapse_1x1.fwd", t0);
         let rg = self.rg(w1) || self.rg(w2);
         self.push(value, Op::Collapse1x1 { w1, w2 }, rg)
     }
@@ -423,7 +541,10 @@ impl Tape {
     /// Panics if the input is not a 1x1 kernel or `kh`/`kw` are even
     /// (an even kernel has no center tap).
     pub fn embed_center(&mut self, input: VarId, kh: usize, kw: usize) -> VarId {
-        assert!(kh % 2 == 1 && kw % 2 == 1, "target kernel must be odd-sized");
+        assert!(
+            kh % 2 == 1 && kw % 2 == 1,
+            "target kernel must be odd-sized"
+        );
         self.embed_at(input, kh, kw, kh / 2, kw / 2)
     }
 
@@ -437,7 +558,14 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if the input is not 1x1 or the tap is out of range.
-    pub fn embed_at(&mut self, input: VarId, kh: usize, kw: usize, row: usize, col: usize) -> VarId {
+    pub fn embed_at(
+        &mut self,
+        input: VarId,
+        kh: usize,
+        kw: usize,
+        row: usize,
+        col: usize,
+    ) -> VarId {
         let v = self.value(input);
         let (y, x, one_h, one_w) = v.shape_obj().as_nchw();
         assert_eq!((one_h, one_w), (1, 1), "embed_at input must be 1x1");
@@ -565,6 +693,8 @@ impl Tape {
                 continue;
             }
             let op = self.nodes[i].op.clone();
+            let bwd_name = op_bwd_name(&op);
+            let t0 = self.prof_clock();
             match op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
@@ -647,10 +777,7 @@ impl Tape {
                     // Split the gradient back along channels.
                     let (n, _, h, w) = grad.shape_obj().as_nchw();
                     let plane = h * w;
-                    let total_c: usize = inputs
-                        .iter()
-                        .map(|&id| self.value(id).shape()[1])
-                        .sum();
+                    let total_c: usize = inputs.iter().map(|&id| self.value(id).shape()[1]).sum();
                     let mut c_off = 0usize;
                     for &id in &inputs {
                         let tc = self.value(id).shape()[1];
@@ -740,6 +867,7 @@ impl Tape {
                     self.accumulate(pred, g);
                 }
             }
+            self.prof_record(bwd_name, t0);
         }
     }
 }
@@ -780,7 +908,11 @@ pub fn add_broadcast_channel_forward(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn collapse_1x1_forward(w1: &Tensor, w2: &Tensor) -> Tensor {
     let (p, x, kh, kw) = w1.shape_obj().as_nchw();
     let (y, p2, k2h, k2w) = w2.shape_obj().as_nchw();
-    assert_eq!((k2h, k2w), (1, 1), "second conv of a linear block must be 1x1");
+    assert_eq!(
+        (k2h, k2w),
+        (1, 1),
+        "second conv of a linear block must be 1x1"
+    );
     assert_eq!(p, p2, "expanded channel mismatch: {p} vs {p2}");
     let mut out = vec![0.0f32; y * x * kh * kw];
     gemm(w2.data(), w1.data(), &mut out, y, p, x * kh * kw);
@@ -968,7 +1100,8 @@ mod tests {
         for ch in 0..4 {
             for y in 0..2 {
                 for x in 0..2 {
-                    let expected = tape.value(a).at(&[0, ch, y, x]) + tape.value(b).at(&[0, 0, y, x]);
+                    let expected =
+                        tape.value(a).at(&[0, ch, y, x]) + tape.value(b).at(&[0, 0, y, x]);
                     assert!((tape.value(c).at(&[0, ch, y, x]) - expected).abs() < 1e-6);
                 }
             }
@@ -976,7 +1109,10 @@ mod tests {
         let s = tape.sum(c);
         tape.backward(s);
         // d/da = 1 everywhere; d/db = C (summed over 4 channels).
-        assert!(tape.grad(a).unwrap().approx_eq(&Tensor::ones(&[1, 4, 2, 2]), 1e-6));
+        assert!(tape
+            .grad(a)
+            .unwrap()
+            .approx_eq(&Tensor::ones(&[1, 4, 2, 2]), 1e-6));
         assert!(tape
             .grad(b)
             .unwrap()
@@ -991,8 +1127,14 @@ mod tests {
         let c = tape.concat_channels(&[a, b]);
         assert_eq!(tape.value(c).shape(), &[1, 3, 3, 3]);
         // Forward layout: channels of a, then b.
-        assert_eq!(tape.value(c).at(&[0, 0, 1, 1]), tape.value(a).at(&[0, 0, 1, 1]));
-        assert_eq!(tape.value(c).at(&[0, 2, 0, 2]), tape.value(b).at(&[0, 0, 0, 2]));
+        assert_eq!(
+            tape.value(c).at(&[0, 0, 1, 1]),
+            tape.value(a).at(&[0, 0, 1, 1])
+        );
+        assert_eq!(
+            tape.value(c).at(&[0, 2, 0, 2]),
+            tape.value(b).at(&[0, 0, 0, 2])
+        );
         // Backward: gradient splits back.
         let g = Tensor::randn(&[1, 3, 3, 3], 0.0, 1.0, 82);
         let gi = tape.leaf(g.clone(), false);

@@ -18,8 +18,8 @@ use serde::{Deserialize, Serialize};
 use sesr_autograd::{Tape, VarId};
 use sesr_core::ir::{LayerIr, NetworkIr};
 use sesr_core::train::SrNetwork;
-use sesr_tensor::conv::{conv2d, conv2d_grouped, Conv2dParams};
 use sesr_tensor::activations::relu;
+use sesr_tensor::conv::{conv2d, conv2d_grouped, Conv2dParams};
 use sesr_tensor::pixel_shuffle::depth_to_space;
 use sesr_tensor::Tensor;
 
@@ -116,7 +116,10 @@ impl CarnM {
     /// Panics if channels are not divisible by groups or scale is not
     /// 2 or 4.
     pub fn new(config: CarnMConfig) -> Self {
-        assert!(config.scale == 2 || config.scale == 4, "scale must be 2 or 4");
+        assert!(
+            config.scale == 2 || config.scale == 4,
+            "scale must be 2 or 4"
+        );
         assert_eq!(
             config.channels % config.groups,
             0,
@@ -400,7 +403,12 @@ impl SrNetwork for CarnM {
                 let y = relu(&y.add(&h));
                 local_cascade.push(y);
                 let cat = concat_nchw(&local_cascade);
-                h = relu(&conv2d(&cat, &b.fusions[ui].0, Some(&b.fusions[ui].1), same));
+                h = relu(&conv2d(
+                    &cat,
+                    &b.fusions[ui].0,
+                    Some(&b.fusions[ui].1),
+                    same,
+                ));
             }
             global_cascade.push(h);
             let cat = concat_nchw(&global_cascade);
@@ -434,8 +442,7 @@ fn concat_nchw(tensors: &[Tensor]) -> Tensor {
             let tc = t.shape()[1];
             let src = ni * tc * plane;
             let dst = (ni * total_c + c_off) * plane;
-            out.data_mut()[dst..dst + tc * plane]
-                .copy_from_slice(&t.data()[src..src + tc * plane]);
+            out.data_mut()[dst..dst + tc * plane].copy_from_slice(&t.data()[src..src + tc * plane]);
             c_off += tc;
         }
     }
@@ -453,7 +460,10 @@ mod tests {
         let net = CarnM::new(CarnMConfig::standard(2));
         let params = net.num_weight_params();
         let rel = (params as f64 - 412_000.0).abs() / 412_000.0;
-        assert!(rel < 0.15, "CARN-M params {params} ({rel:.2} off published)");
+        assert!(
+            rel < 0.15,
+            "CARN-M params {params} ({rel:.2} off published)"
+        );
     }
 
     #[test]
@@ -522,7 +532,11 @@ mod tests {
         })
         .train(&mut net, &set);
         let first = report.losses.first().unwrap().loss;
-        assert!(report.final_loss < first, "{first} -> {}", report.final_loss);
+        assert!(
+            report.final_loss < first,
+            "{first} -> {}",
+            report.final_loss
+        );
     }
 
     #[test]

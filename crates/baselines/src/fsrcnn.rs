@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use sesr_autograd::{Tape, VarId};
 use sesr_core::ir::{LayerIr, NetworkIr};
 use sesr_core::train::SrNetwork;
-use sesr_tensor::conv::{conv2d, conv_transpose2d, Conv2dParams};
 use sesr_tensor::activations::prelu;
+use sesr_tensor::conv::{conv2d, conv_transpose2d, Conv2dParams};
 use sesr_tensor::Tensor;
 
 /// FSRCNN hyper-parameters.
@@ -41,7 +41,7 @@ impl FsrcnnConfig {
             s: 12,
             m: 4,
             scale,
-            seed: 0xF5
+            seed: 0xF5,
         }
     }
 
@@ -52,7 +52,7 @@ impl FsrcnnConfig {
             s: 4,
             m: 1,
             scale,
-            seed: 0xF5
+            seed: 0xF5,
         }
     }
 }
@@ -253,7 +253,14 @@ impl SrNetwork for Fsrcnn {
             x = prelu(&conv2d(&x, w, Some(b), same), a);
         }
         let (stride, pad, out_pad) = self.deconv_geometry();
-        let y = conv_transpose2d(&x, &self.deconv.0, Some(&self.deconv.1), stride, pad, out_pad);
+        let y = conv_transpose2d(
+            &x,
+            &self.deconv.0,
+            Some(&self.deconv.1),
+            stride,
+            pad,
+            out_pad,
+        );
         let s = self.config.scale;
         y.reshape(&[1, dims[1] * s, dims[2] * s])
     }
@@ -290,7 +297,10 @@ mod tests {
             "{macs_720p_x4}"
         );
         let macs_1080p = net2.ir(1080, 1920).total_macs();
-        assert!((macs_1080p as f64 - 54e9).abs() / 54e9 < 0.01, "{macs_1080p}");
+        assert!(
+            (macs_1080p as f64 - 54e9).abs() / 54e9 < 0.01,
+            "{macs_1080p}"
+        );
     }
 
     #[test]
@@ -301,8 +311,7 @@ mod tests {
         let ir = net.ir(1080, 1920);
         assert_eq!(ir.peak_activation_elements(), 56 * 1080 * 1920);
         let sesr = sesr_core::ir::sesr_ir(16, 5, 2, false, 1080, 1920);
-        let ratio =
-            ir.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
+        let ratio = ir.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
         assert!((ratio - 3.5).abs() < 1e-9, "ratio {ratio}");
     }
 

@@ -70,7 +70,10 @@ impl Vdsr {
     ///
     /// Panics if depth < 2 or width == 0.
     pub fn new(config: VdsrConfig) -> Self {
-        assert!(config.depth >= 2, "VDSR needs at least input and output layers");
+        assert!(
+            config.depth >= 2,
+            "VDSR needs at least input and output layers"
+        );
         assert!(config.width > 0, "width must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut mk = |cout: usize, cin: usize| {
@@ -244,8 +247,16 @@ mod tests {
         let vdsr = net.ir(720, 1280).total_macs() as f64;
         let m11_x2 = sesr_core::macs::sesr_macs_to_720p(16, 11, 2) as f64;
         let m11_x4 = sesr_core::macs::sesr_macs_to_720p(16, 11, 4) as f64;
-        assert!((95.0..100.0).contains(&(vdsr / m11_x2)), "{}", vdsr / m11_x2);
-        assert!((320.0..340.0).contains(&(vdsr / m11_x4)), "{}", vdsr / m11_x4);
+        assert!(
+            (95.0..100.0).contains(&(vdsr / m11_x2)),
+            "{}",
+            vdsr / m11_x2
+        );
+        assert!(
+            (320.0..340.0).contains(&(vdsr / m11_x4)),
+            "{}",
+            vdsr / m11_x4
+        );
     }
 
     #[test]

@@ -480,7 +480,10 @@ mod tests {
 
     #[test]
     fn quality_entries_are_sane() {
-        for m in published_models_x2().iter().chain(published_models_x4().iter()) {
+        for m in published_models_x2()
+            .iter()
+            .chain(published_models_x4().iter())
+        {
             for entry in m.quality.iter().flatten() {
                 assert!(entry.0 > 20.0 && entry.0 < 40.0, "{}: {}", m.name, entry.0);
                 if let Some(s) = entry.1 {
@@ -496,8 +499,12 @@ mod tests {
         let x2 = published_models_x2();
         let x4 = published_models_x4();
         for name in ["FSRCNN", "VDSR", "CARN-M"] {
-            let a = x2.iter().find(|m| m.name == name).unwrap().quality[0].unwrap().0;
-            let b = x4.iter().find(|m| m.name == name).unwrap().quality[0].unwrap().0;
+            let a = x2.iter().find(|m| m.name == name).unwrap().quality[0]
+                .unwrap()
+                .0;
+            let b = x4.iter().find(|m| m.name == name).unwrap().quality[0]
+                .unwrap()
+                .0;
             assert!(a > b, "{name}: {a} vs {b}");
         }
     }

@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sesr_autograd::tape::collapse_1x1_forward;
+use sesr_autograd::Tape;
 use sesr_core::collapse::collapse_linear_chain;
 use sesr_core::model::{Sesr, SesrConfig};
 use sesr_core::train::SrNetwork;
-use sesr_autograd::Tape;
 use sesr_tensor::conv::{conv2d, Conv2dParams};
 use sesr_tensor::Tensor;
 

@@ -46,5 +46,10 @@ fn bench_x4_head(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sesr_family, bench_tiled_vs_whole, bench_x4_head);
+criterion_group!(
+    benches,
+    bench_sesr_family,
+    bench_tiled_vs_whole,
+    bench_x4_head
+);
 criterion_main!(benches);

@@ -49,7 +49,11 @@ fn main() {
         };
         println!(
             "| {:<12} | {:>14} | {:>10.4} | {:>10.2} | {:>14.2}M |",
-            if p == 0 { "plain".to_string() } else { p.to_string() },
+            if p == 0 {
+                "plain".to_string()
+            } else {
+                p.to_string()
+            },
             train_params,
             report.final_loss,
             q.psnr,

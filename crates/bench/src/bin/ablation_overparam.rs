@@ -29,9 +29,21 @@ fn main() {
     let base = SesrConfig::m(m).with_expanded(args.expanded);
     let variants: Vec<(&str, SesrConfig, &str)> = vec![
         ("SESR (linear blocks + short residuals)", base, "35.45"),
-        ("ExpandNet-style (no short residuals)", base.expandnet_style(), "33.65"),
-        ("RepVGG-style (kxk + 1x1 + identity)", base.repvgg_style(), "35.35"),
-        ("VGG-style (direct collapsed training)", base.vgg_style(), "35.34"),
+        (
+            "ExpandNet-style (no short residuals)",
+            base.expandnet_style(),
+            "33.65",
+        ),
+        (
+            "RepVGG-style (kxk + 1x1 + identity)",
+            base.repvgg_style(),
+            "35.35",
+        ),
+        (
+            "VGG-style (direct collapsed training)",
+            base.vgg_style(),
+            "35.34",
+        ),
     ];
 
     let set = TrainSet::synthetic(args.train_images, 96, 2, 0xD152);

@@ -25,7 +25,11 @@ fn main() {
 
     let base = SesrConfig::m(m).with_expanded(args.expanded);
     let variants: Vec<(&str, SesrConfig, &str)> = vec![
-        ("SESR (full: linear blocks + PReLU + residuals)", base, "35.45"),
+        (
+            "SESR (full: linear blocks + PReLU + residuals)",
+            base,
+            "35.45",
+        ),
         (
             "no linear blocks (plain convs + residuals)",
             base.plain_with_residuals(),

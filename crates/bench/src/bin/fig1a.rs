@@ -43,7 +43,12 @@ fn main() {
             });
         }
     }
-    let sesr_macs = [(3usize, "SESR-M3"), (5, "SESR-M5"), (7, "SESR-M7"), (11, "SESR-M11")];
+    let sesr_macs = [
+        (3usize, "SESR-M3"),
+        (5, "SESR-M5"),
+        (7, "SESR-M7"),
+        (11, "SESR-M11"),
+    ];
     for ((m, name), (row_name, q)) in sesr_macs.iter().zip(paper_sesr_rows(2)) {
         debug_assert_eq!(*name, row_name);
         let macs_g = sesr_macs_to_720p(16, *m, 2) as f64 / 1e9;
@@ -70,8 +75,14 @@ fn main() {
 
     // ASCII scatter: log-x MACs, y PSNR.
     let (w, h) = (72usize, 18usize);
-    let xmin = points.iter().map(|p| p.macs_g.ln()).fold(f64::MAX, f64::min);
-    let xmax = points.iter().map(|p| p.macs_g.ln()).fold(f64::MIN, f64::max);
+    let xmin = points
+        .iter()
+        .map(|p| p.macs_g.ln())
+        .fold(f64::MAX, f64::min);
+    let xmax = points
+        .iter()
+        .map(|p| p.macs_g.ln())
+        .fold(f64::MIN, f64::max);
     let ymin = points.iter().map(|p| p.psnr).fold(f64::MAX, f64::min) - 0.1;
     let ymax = points.iter().map(|p| p.psnr).fold(f64::MIN, f64::max) + 0.1;
     let mut grid = vec![vec![' '; w]; h];
@@ -96,7 +107,12 @@ fn main() {
         let label = ymax - (ymax - ymin) * i as f64 / (h - 1) as f64;
         println!("{label:6.2} |{}|", row.iter().collect::<String>());
     }
-    println!("        {}^ MACs {:.1}G .. {:.0}G (log scale)", " ".repeat(0), xmin.exp(), xmax.exp());
+    println!(
+        "        {}^ MACs {:.1}G .. {:.0}G (log scale)",
+        " ".repeat(0),
+        xmin.exp(),
+        xmax.exp()
+    );
 
     // Structural check mirrored in the integration tests: every SESR point
     // is on the Pareto frontier.

@@ -21,7 +21,13 @@ fn main() {
         "| {:<14} | {:>10} | {:>13} | {:>14} |",
         "Model", "MACs (G)", "best-case FPS", "simulated FPS"
     );
-    println!("|{}|{}|{}|{}|", "-".repeat(16), "-".repeat(12), "-".repeat(15), "-".repeat(16));
+    println!(
+        "|{}|{}|{}|{}|",
+        "-".repeat(16),
+        "-".repeat(12),
+        "-".repeat(15),
+        "-".repeat(16)
+    );
 
     for m in published_models(2) {
         let Some(g) = m.macs_g_from_1080p() else {
@@ -70,9 +76,7 @@ fn main() {
     println!("\nmodels under 3 FPS even best-case: {}", below3.join(", "));
     let sesr_near_60 = [(16, 3), (16, 5), (16, 7)]
         .iter()
-        .filter(|(f, m)| {
-            tops * 1e12 / (2.0 * sesr_macs_from_1080p(*f, *m, 2) as f64) >= 50.0
-        })
+        .filter(|(f, m)| tops * 1e12 / (2.0 * sesr_macs_from_1080p(*f, *m, 2) as f64) >= 50.0)
         .count();
     println!(
         "SESR networks at ~60+ best-case FPS: {sesr_near_60} of 5 (paper: three of five near 60 FPS or more)"

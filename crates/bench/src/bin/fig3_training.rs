@@ -91,9 +91,7 @@ fn main() {
     // the expanded pass finishes quickly.
     let p = 256;
     let (batch, crop) = (2usize, 32usize);
-    let config = SesrConfig::m(5)
-        .with_expanded(p)
-        .hardware_efficient();
+    let config = SesrConfig::m(5).with_expanded(p).hardware_efficient();
     let model = Sesr::new(SesrConfig {
         input_residual: true,
         ..config

@@ -37,8 +37,16 @@ fn main() {
     };
 
     for (label, budget_frac, paper_note) in [
-        ("Fig. 9(b): 85% latency budget", 0.85, "paper: 15% faster, same PSNR as SESR-M5"),
-        ("Fig. 9(c): 50% latency budget", 0.50, "paper: matches SESR-M3 PSNR, faster than M3"),
+        (
+            "Fig. 9(b): 85% latency budget",
+            0.85,
+            "paper: 15% faster, same PSNR as SESR-M5",
+        ),
+        (
+            "Fig. 9(c): 50% latency budget",
+            0.50,
+            "paper: matches SESR-M3 PSNR, faster than M3",
+        ),
     ] {
         let cfg = SearchConfig {
             latency_budget_ms: ref_latency * budget_frac,

@@ -59,7 +59,10 @@ fn main() {
     let args = parse_args();
     let out_dir = Path::new("qualitative_out");
     fs::create_dir_all(out_dir).expect("create output directory");
-    println!("# Qualitative comparison (Figs. 5-8 substitute) — steps={}", args.steps);
+    println!(
+        "# Qualitative comparison (Figs. 5-8 substitute) — steps={}",
+        args.steps
+    );
 
     let scale = 2;
     let set = TrainSet::synthetic(args.train_images, 96, scale, 0x0F1C);
@@ -102,5 +105,8 @@ fn main() {
         let path = out_dir.join(format!("{tag}_x{scale}.pgm"));
         write_pgm(&panel, &path).expect("write panel");
     }
-    println!("\npanels written to {}/ (HR | bicubic | FSRCNN | SESR-M5)", out_dir.display());
+    println!(
+        "\npanels written to {}/ (HR | bicubic | FSRCNN | SESR-M5)",
+        out_dir.display()
+    );
 }

@@ -40,7 +40,10 @@ fn main() {
     let weight_fq = fake_quantize_weights(&float_net);
 
     // Evaluate against the float network on held-out images.
-    println!("\n| {:<10} | {:>12} | {:>16} | {:>16} |", "Image", "f32 vs HR", "w-only int8 drop", "full int8 drop");
+    println!(
+        "\n| {:<10} | {:>12} | {:>16} | {:>16} |",
+        "Image", "f32 vs HR", "w-only int8 drop", "full int8 drop"
+    );
     let mut worst_drop = 0.0f64;
     for (family, tag) in [
         (Family::Smooth, "smooth"),
@@ -65,7 +68,8 @@ fn main() {
 
     // Artifact sizes.
     let f32_bytes = sesr_core::model_io::encode_model(&float_net).len();
-    println!("\nartifact size: f32 {}B -> int8 {}B ({:.2}x smaller)",
+    println!(
+        "\nartifact size: f32 {}B -> int8 {}B ({:.2}x smaller)",
         f32_bytes,
         qnet.model_bytes(),
         f32_bytes as f64 / qnet.model_bytes() as f64

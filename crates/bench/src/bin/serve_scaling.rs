@@ -27,8 +27,13 @@ fn main() {
     let size = flag("--size", 64);
     let max_workers = flag("--max-workers", cores.min(8));
 
-    println!("# serve worker scaling — m5 x2, {requests} requests of {size}x{size}, {cores} core(s)");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "workers", "req/s", "p50 ms", "p95 ms", "p99 ms");
+    println!(
+        "# serve worker scaling — m5 x2, {requests} requests of {size}x{size}, {cores} core(s)"
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "workers", "req/s", "p50 ms", "p95 ms", "p99 ms"
+    );
 
     let mut workers = 1;
     let mut baseline = 0.0f64;

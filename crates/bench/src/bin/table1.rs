@@ -8,7 +8,9 @@
 //!
 //! Usage: `cargo run --release -p sesr-bench --bin table1 [--steps N] [--full]`
 
-use sesr_baselines::{published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig};
+use sesr_baselines::{
+    published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig,
+};
 use sesr_bench::harness::print_table;
 use sesr_bench::{parse_args, train_and_eval, EvalRow};
 use sesr_core::macs::{sesr_macs_to_720p, sesr_weight_params};
@@ -19,7 +21,10 @@ use sesr_data::Benchmark;
 fn main() {
     let args = parse_args();
     let full = std::env::args().any(|a| a == "--full");
-    println!("# Table 1 reproduction (x2 SISR) — steps={}, p={}", args.steps, args.expanded);
+    println!(
+        "# Table 1 reproduction (x2 SISR) — steps={}, p={}",
+        args.steps, args.expanded
+    );
 
     let benches = Benchmark::standard_suite(args.eval_images, args.eval_size, 2);
     let mut rows: Vec<EvalRow> = Vec::new();
@@ -30,7 +35,10 @@ fn main() {
         name: "Bicubic".into(),
         params: None,
         macs: None,
-        quality: benches.iter().map(|b| b.evaluate(&|lr| bicubic.infer(lr))).collect(),
+        quality: benches
+            .iter()
+            .map(|b| b.evaluate(&|lr| bicubic.infer(lr)))
+            .collect(),
         final_loss: None,
     });
 
@@ -109,8 +117,7 @@ fn main() {
     let fsrcnn_row = &rows[1];
     let m5_row = rows.iter().find(|r| r.name.starts_with("SESR-M5"));
     if let Some(m5) = m5_row {
-        let f_avg: f64 =
-            fsrcnn_row.quality.iter().map(|q| q.psnr).sum::<f64>() / 6.0;
+        let f_avg: f64 = fsrcnn_row.quality.iter().map(|q| q.psnr).sum::<f64>() / 6.0;
         let m5_avg: f64 = m5.quality.iter().map(|q| q.psnr).sum::<f64>() / 6.0;
         let mac_ratio = fsrcnn_row.macs.unwrap() as f64 / m5.macs.unwrap() as f64;
         println!(

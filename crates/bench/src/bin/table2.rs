@@ -4,7 +4,9 @@
 //!
 //! Usage: `cargo run --release -p sesr-bench --bin table2 [--steps N] [--full]`
 
-use sesr_baselines::{published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig};
+use sesr_baselines::{
+    published_models, zoo::paper_sesr_rows, BicubicUpscaler, Fsrcnn, FsrcnnConfig,
+};
 use sesr_bench::harness::print_table;
 use sesr_bench::{parse_args, train_and_eval, EvalRow};
 use sesr_core::macs::{sesr_macs_to_720p, sesr_weight_params};
@@ -15,7 +17,10 @@ use sesr_data::{Benchmark, TrainSet};
 fn main() {
     let args = parse_args();
     let full = std::env::args().any(|a| a == "--full");
-    println!("# Table 2 reproduction (x4 SISR) — steps={}, p={}", args.steps, args.expanded);
+    println!(
+        "# Table 2 reproduction (x4 SISR) — steps={}, p={}",
+        args.steps, args.expanded
+    );
 
     let benches = Benchmark::standard_suite(args.eval_images, args.eval_size, 4);
     let mut rows: Vec<EvalRow> = Vec::new();
@@ -25,7 +30,10 @@ fn main() {
         name: "Bicubic".into(),
         params: None,
         macs: None,
-        quality: benches.iter().map(|b| b.evaluate(&|lr| bicubic.infer(lr))).collect(),
+        quality: benches
+            .iter()
+            .map(|b| b.evaluate(&|lr| bicubic.infer(lr)))
+            .collect(),
         final_loss: None,
     });
 

@@ -30,10 +30,7 @@ fn main() {
     );
 
     // Hardware-efficient SESR variant: ReLU + no input residual (footnote 3).
-    let fsrcnn_x2 = simulate(
-        &Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920),
-        &cfg,
-    );
+    let fsrcnn_x2 = simulate(&Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920), &cfg);
     let sesr_x2 = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg);
     let sesr_x2_tiled = simulate_tiled(
         &|h, w| sesr_ir(16, 5, 2, false, h, w),
@@ -91,7 +88,14 @@ fn main() {
         "| {:<28} | {:>8} | {:>10} | {:>20} | {:>42} |",
         "Model & resolution", "MACs", "DRAM (MB)", "Runtime / FPS", "Published (paper Table 3)"
     );
-    println!("|{}|{}|{}|{}|{}|", "-".repeat(30), "-".repeat(10), "-".repeat(12), "-".repeat(22), "-".repeat(44));
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(30),
+        "-".repeat(10),
+        "-".repeat(12),
+        "-".repeat(22),
+        "-".repeat(44)
+    );
     for r in rows {
         println!(
             "| {:<28} | {:>7.2}G | {:>10.2} | {:>9.2} ms / {:>5.1} | {:>8} {:>12} {:>20} |",
@@ -108,9 +112,7 @@ fn main() {
 
     // Derived headline numbers.
     let speedup = fsrcnn_x2.total_ms() / sesr_x2.total_ms();
-    println!(
-        "\nruntime improvement SESR-M5 vs FSRCNN (x2): {speedup:.2}x (paper: 6.15x)"
-    );
+    println!("\nruntime improvement SESR-M5 vs FSRCNN (x2): {speedup:.2}x (paper: 6.15x)");
     let tiled_frame_ms = sesr_x2_tiled.total_ms();
     println!(
         "tiled x2 full frame: {:.2} ms -> {:.1} FPS over {:.2} tile runs (paper: 21.77 ms / ~46 FPS)",
@@ -141,7 +143,10 @@ fn main() {
 
     // Per-layer breakdown for the x2 full-frame run (diagnostic view the
     // paper discusses: memory-bound SISR).
-    println!("\nSESR-M5 x2 per-layer breakdown (memory-bound fraction {:.0}%):", sesr_x2.memory_bound_fraction() * 100.0);
+    println!(
+        "\nSESR-M5 x2 per-layer breakdown (memory-bound fraction {:.0}%):",
+        sesr_x2.memory_bound_fraction() * 100.0
+    );
     for l in &sesr_x2.layers {
         println!(
             "  {:<24} {:>7.2} ms  (compute {:>6.2}, dram {:>6.2}) {}",
@@ -149,7 +154,11 @@ fn main() {
             l.time_ms,
             l.compute_ms,
             l.dram_ms,
-            if l.is_memory_bound() { "[mem]" } else { "[mac]" }
+            if l.is_memory_bound() {
+                "[mem]"
+            } else {
+                "[mac]"
+            }
         );
     }
 }

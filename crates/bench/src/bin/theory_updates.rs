@@ -98,7 +98,12 @@ fn main() {
     for scheme in Scheme::ALL {
         let e1 = compare_update_matrix(&mp, scheme, &w1m, 0.6, 0.02).error;
         let e2 = compare_update_matrix(&mp, scheme, &w1m, 0.6, 0.01).error;
-        println!("| {:<10} | {:>12.3e} | {:>12.3e} |", format!("{scheme:?}"), e1, e2);
+        println!(
+            "| {:<10} | {:>12.3e} | {:>12.3e} |",
+            format!("{scheme:?}"),
+            e1,
+            e2
+        );
     }
 
     let repvgg = &rows[2].1;

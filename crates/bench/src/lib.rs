@@ -23,5 +23,9 @@
 //! published row next to the measured one.
 
 pub mod harness;
+pub mod train_bench;
 
 pub use harness::{parse_args, print_table, train_and_eval, BenchArgs, EvalRow};
+pub use train_bench::{
+    run_train_bench, train_bench_report_json, ArchResult, PhaseMillis, TrainBenchConfig,
+};

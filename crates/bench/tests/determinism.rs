@@ -1,0 +1,71 @@
+//! Thread-count invariance of training.
+//!
+//! The persistent pool and the batch-parallel conv kernels are only
+//! allowed to change *where* work runs, never the floating-point
+//! reduction order. This test trains the same expanded SESR model twice
+//! — once on a single thread, once on four — and demands a bit-identical
+//! loss trajectory, not an approximate one. Any nondeterministic merge
+//! (accumulating partial gradients in thread-completion order, say)
+//! shows up here as a hard failure on the exact step that diverged.
+
+use sesr_autograd::{Adam, AdamConfig, Tape};
+use sesr_core::model::Sesr;
+use sesr_core::train::SrNetwork;
+use sesr_data::{PatchSampler, TrainSet};
+use sesr_serve::bench::arch_config;
+use sesr_tensor::parallel::set_num_threads;
+use sesr_tensor::Tensor;
+
+const STEPS: usize = 20;
+
+/// Runs `STEPS` real training steps (sample -> forward -> L1 loss ->
+/// backward -> Adam) and returns the loss bit pattern after every step.
+fn loss_trajectory(threads: usize) -> Vec<u32> {
+    set_num_threads(threads);
+    let cfg = arch_config("m5", 2, 8, 7).expect("m5 is a known arch");
+    let mut model = Sesr::new(cfg);
+    let set = TrainSet::synthetic(4, 48, 2, 7 ^ 0x5E5E);
+    let mut sampler = PatchSampler::new(24, 2, 7);
+    let mut opt = Adam::new(AdamConfig::with_lr(5e-4));
+    let mut params = model.parameters();
+
+    let mut losses = Vec::with_capacity(STEPS);
+    for _ in 0..STEPS {
+        let (lr_batch, hr_batch) = sampler.sample_batch(&set, 4);
+        model.set_parameters(&params);
+        let mut tape = Tape::new();
+        let x = tape.leaf(lr_batch, false);
+        let (y, param_ids) = model.forward(&mut tape, x);
+        let loss_id = tape.l1_loss(y, &hr_batch);
+        losses.push(tape.value(loss_id).data()[0].to_bits());
+        tape.backward(loss_id);
+        let grads: Vec<Tensor> = param_ids
+            .iter()
+            .zip(params.iter())
+            .map(|(id, p)| {
+                tape.grad(*id)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(p.shape()))
+            })
+            .collect();
+        opt.step(&mut params, &grads);
+    }
+    losses
+}
+
+#[test]
+fn loss_trajectory_is_bit_identical_across_thread_counts() {
+    let single = loss_trajectory(1);
+    let multi = loss_trajectory(4);
+    set_num_threads(0); // restore autodetect for anything running after us
+    assert_eq!(single.len(), STEPS);
+    for (step, (a, b)) in single.iter().zip(multi.iter()).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "loss diverged at step {step}: 1-thread {} vs 4-thread {}",
+            f32::from_bits(*a),
+            f32::from_bits(*b),
+        );
+    }
+}

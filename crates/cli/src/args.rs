@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn missing_required_reported() {
         let a = parse("upscale");
-        assert_eq!(a.required("model").unwrap_err(), ArgError::Missing("model".into()));
+        assert_eq!(
+            a.required("model").unwrap_err(),
+            ArgError::Missing("model".into())
+        );
     }
 
     #[test]

@@ -85,6 +85,11 @@ USAGE:
                 [--mode closed|open] [--concurrency 4] [--rate-hz 50]
                 [--deadline-ms N] [--burst N] [--load-seed 0]
                 [--intra-threads N] [--out BENCH_serve.json]
+  sesr train-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
+                [--steps 10] [--warmup 2] [--batch 8] [--hr-patch 32]
+                [--threads N] [--out BENCH_train.json]
+  sesr bench-gate --baseline <BENCH_x.json> --fresh <BENCH_x.json>
+                [--max-regress 0.25]
 
 Crash safety: with --ckpt, training state is checkpointed atomically every
 --ckpt-every steps; after an interruption, rerun the same command with
@@ -106,6 +111,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("simulate") => simulate_cmd(args),
         Some("info") => info(args),
         Some("serve-bench") => serve_bench(args),
+        Some("train-bench") => train_bench(args),
+        Some("bench-gate") => bench_gate(args),
         _ => Err(CliError::Usage(USAGE.to_string())),
     }
 }
@@ -122,7 +129,10 @@ fn train(args: &Args) -> Result<String, CliError> {
     let seed = args.parsed_or("seed", 0x5E5Eu64)?;
     let images = args.parsed_or("images", 12usize)?;
     let ckpt_every = args.parsed_or("ckpt-every", 50usize)?;
-    let resume = args.get("resume").filter(|v| !v.is_empty()).map(String::from);
+    let resume = args
+        .get("resume")
+        .filter(|v| !v.is_empty())
+        .map(String::from);
     let ckpt = args
         .get("ckpt")
         .filter(|v| !v.is_empty())
@@ -213,7 +223,10 @@ fn upscale(args: &Args) -> Result<String, CliError> {
     };
     let (sr, how) = if tile > 0 {
         let radius = model.receptive_field_radius();
-        (model.run_tiled_parallel(&lr, tile, radius)?, format!("tiled {tile}px"))
+        (
+            model.run_tiled_parallel(&lr, tile, radius)?,
+            format!("tiled {tile}px"),
+        )
     } else {
         (model.run(&lr), "whole-image".to_string())
     };
@@ -261,7 +274,11 @@ fn simulate_cmd(args: &Args) -> Result<String, CliError> {
             "  {:<24} {:>7.3} ms {}\n",
             l.label,
             l.time_ms,
-            if l.is_memory_bound() { "[mem]" } else { "[mac]" }
+            if l.is_memory_bound() {
+                "[mem]"
+            } else {
+                "[mac]"
+            }
         ));
     }
     Ok(out)
@@ -355,8 +372,8 @@ fn serve_bench(args: &Args) -> Result<String, CliError> {
     };
     let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
 
-    let outcome = sesr_serve::run_bench(&cfg)
-        .map_err(|e| CliError::Io(std::io::Error::other(e)))?;
+    let outcome =
+        sesr_serve::run_bench(&cfg).map_err(|e| CliError::Io(std::io::Error::other(e)))?;
     let json = sesr_serve::bench_report_json(&cfg, &outcome);
     sesr_serve::json::validate(&json)
         .map_err(|e| CliError::Io(std::io::Error::other(format!("malformed report: {e}"))))?;
@@ -385,6 +402,173 @@ fn serve_bench(args: &Args) -> Result<String, CliError> {
         }
     }
     summary.push_str(&format!("wrote {out_path}"));
+    Ok(summary)
+}
+
+fn train_bench(args: &Args) -> Result<String, CliError> {
+    use sesr_bench::TrainBenchConfig;
+
+    let threads = match args.get("threads") {
+        None => None,
+        Some(_) => Some(args.parsed_or("threads", 4usize)?),
+    };
+    let cfg = TrainBenchConfig {
+        archs: args
+            .get("archs")
+            .unwrap_or("m5,m11")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        scale: args.parsed_or("scale", 2usize)?,
+        expanded: args.parsed_or("expanded", 16usize)?,
+        seed: args.parsed_or("seed", 0u64)?,
+        steps: args.parsed_or("steps", 10usize)?,
+        warmup: args.parsed_or("warmup", 2usize)?,
+        batch: args.parsed_or("batch", 8usize)?,
+        hr_patch: args.parsed_or("hr-patch", 32usize)?,
+        threads,
+    };
+    let out_path = args.get("out").unwrap_or("BENCH_train.json").to_string();
+
+    let results =
+        sesr_bench::run_train_bench(&cfg).map_err(|e| CliError::Io(std::io::Error::other(e)))?;
+    let json = sesr_bench::train_bench_report_json(&cfg, &results);
+    sesr_serve::json::validate(&json)
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("malformed report: {e}"))))?;
+    std::fs::write(Path::new(&out_path), &json)?;
+
+    let mut summary = String::new();
+    for r in &results {
+        summary.push_str(&format!(
+            "train-bench {}x{} (expanded {}): {:.3} steps/s over {} steps ({:.0} ms)\n  phases: sample {:.0} ms, forward {:.0} ms, backward {:.0} ms, update {:.0} ms\n",
+            r.arch,
+            cfg.scale,
+            cfg.expanded,
+            r.steps_per_sec,
+            r.steps,
+            r.wall_ms,
+            r.phases.sample,
+            r.phases.forward,
+            r.phases.backward,
+            r.phases.update,
+        ));
+        let mut ops: Vec<_> = r.profile.entries().collect();
+        ops.sort_by_key(|e| std::cmp::Reverse(e.1.nanos));
+        for (name, stat) in ops.iter().take(5) {
+            summary.push_str(&format!(
+                "  {name:<22} {:>8.1} ms  ({} calls)\n",
+                stat.nanos as f64 / 1e6,
+                stat.calls
+            ));
+        }
+    }
+    summary.push_str(&format!("wrote {out_path}"));
+    Ok(summary)
+}
+
+/// Keys the bench gate knows how to compare, per report kind
+/// (identified by the top-level `"bench"` tag).
+fn gate_metric_paths(kind: &str) -> Result<Vec<&'static [&'static str]>, CliError> {
+    match kind {
+        "sesr-serve" => Ok(vec![&["results", "throughput_rps"]]),
+        "sesr-train" => Ok(vec![]), // resolved per-arch below
+        other => Err(CliError::Io(std::io::Error::other(format!(
+            "unknown bench kind {other:?} (expected sesr-serve|sesr-train)"
+        )))),
+    }
+}
+
+fn bench_gate(args: &Args) -> Result<String, CliError> {
+    use sesr_serve::json::JsonValue;
+
+    let baseline_path = args.required("baseline")?.to_string();
+    let fresh_path = args.required("fresh")?.to_string();
+    let max_regress = args.parsed_or("max-regress", 0.25f64)?;
+
+    let load = |path: &str| -> Result<JsonValue, CliError> {
+        let text = std::fs::read_to_string(Path::new(path))?;
+        JsonValue::parse(&text)
+            .map_err(|e| CliError::Io(std::io::Error::other(format!("{path}: {e}"))))
+    };
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+
+    let kind = baseline
+        .get(&["bench"])
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CliError::Io(std::io::Error::other("baseline missing \"bench\" tag")))?
+        .to_string();
+    if fresh.get(&["bench"]).and_then(JsonValue::as_str) != Some(&kind) {
+        return Err(CliError::Io(std::io::Error::other(
+            "baseline and fresh reports are different bench kinds",
+        )));
+    }
+
+    // For train reports the throughput metrics live under
+    // results.<arch>.steps_per_sec; compare every arch in the baseline.
+    let mut metrics: Vec<(String, f64, f64)> = Vec::new();
+    if kind == "sesr-train" {
+        let archs = baseline
+            .get(&["results"])
+            .and_then(JsonValue::as_object_keys)
+            .ok_or_else(|| CliError::Io(std::io::Error::other("baseline missing results")))?;
+        for arch in archs {
+            let path = ["results", arch.as_str(), "steps_per_sec"];
+            let b = baseline.get(&path).and_then(JsonValue::as_f64);
+            let f = fresh.get(&path).and_then(JsonValue::as_f64);
+            match (b, f) {
+                (Some(b), Some(f)) => metrics.push((format!("{arch}.steps_per_sec"), b, f)),
+                _ => {
+                    return Err(CliError::Io(std::io::Error::other(format!(
+                        "missing results.{arch}.steps_per_sec in baseline or fresh report"
+                    ))))
+                }
+            }
+        }
+    } else {
+        for path in gate_metric_paths(&kind)? {
+            let b = baseline.get(path).and_then(JsonValue::as_f64);
+            let f = fresh.get(path).and_then(JsonValue::as_f64);
+            let label = path.join(".");
+            match (b, f) {
+                (Some(b), Some(f)) => metrics.push((label, b, f)),
+                _ => {
+                    return Err(CliError::Io(std::io::Error::other(format!(
+                        "missing {label} in baseline or fresh report"
+                    ))))
+                }
+            }
+        }
+    }
+    if metrics.is_empty() {
+        return Err(CliError::Io(std::io::Error::other(
+            "no comparable metrics found",
+        )));
+    }
+
+    let mut summary = format!(
+        "bench-gate {kind} (max regression {:.0}%)\n",
+        max_regress * 100.0
+    );
+    let mut failed = Vec::new();
+    for (label, base, fresh) in &metrics {
+        let floor = base * (1.0 - max_regress);
+        let verdict = if *fresh >= floor { "ok" } else { "REGRESSED" };
+        summary.push_str(&format!(
+            "  {label:<24} baseline {base:>10.3}  fresh {fresh:>10.3}  floor {floor:>10.3}  {verdict}\n"
+        ));
+        if *fresh < floor {
+            failed.push(label.clone());
+        }
+    }
+    if !failed.is_empty() {
+        return Err(CliError::Io(std::io::Error::other(format!(
+            "{summary}throughput regressed beyond {:.0}%: {}",
+            max_regress * 100.0,
+            failed.join(", ")
+        ))));
+    }
     Ok(summary)
 }
 
@@ -478,7 +662,8 @@ mod tests {
         let model_path = tmp("ckpt_train.sesr");
         let ckpt_path = tmp("ckpt_train.ckpt");
         std::fs::remove_file(&ckpt_path).ok();
-        let flags = "--m 1 --steps 4 --expanded 4 --batch 2 --images 2 --ckpt-every 2 --guard --clip 5";
+        let flags =
+            "--m 1 --steps 4 --expanded 4 --batch 2 --images 2 --ckpt-every 2 --guard --clip 5";
         let report = run(&args(&format!(
             "train --out {} --ckpt {} {flags}",
             model_path.display(),
@@ -567,6 +752,90 @@ mod tests {
         assert!(err.to_string().contains("unknown arch"));
         let err = run(&args("serve-bench --mode sideways")).unwrap_err();
         assert!(matches!(err, CliError::Args(_)));
+    }
+
+    #[test]
+    fn train_bench_writes_valid_report() {
+        let out_path = tmp("bench_train_test.json");
+        std::fs::remove_file(&out_path).ok();
+        let report = run(&args(&format!(
+            "train-bench --archs m5 --expanded 4 --steps 2 --warmup 1 \
+             --batch 2 --hr-patch 16 --threads 1 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("train-bench m5x2"));
+        assert!(report.contains("steps/s"));
+        assert!(report.contains("backward"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        sesr_serve::json::validate(&json).unwrap();
+        assert!(json.contains("\"steps_per_sec\""));
+        assert!(json.contains("\"conv2d.bwd\""));
+    }
+
+    #[test]
+    fn bench_gate_passes_and_fails_on_regression() {
+        let mk = |name: &str, sps: f64| {
+            let path = tmp(name);
+            let results = sesr_serve::json::JsonObject::new()
+                .raw(
+                    "m5",
+                    &sesr_serve::json::JsonObject::new()
+                        .num("steps_per_sec", sps)
+                        .finish(),
+                )
+                .finish();
+            let doc = sesr_serve::json::JsonObject::new()
+                .str("bench", "sesr-train")
+                .raw("results", &results)
+                .finish();
+            std::fs::write(&path, doc).unwrap();
+            path
+        };
+        let baseline = mk("gate_base.json", 10.0);
+        let ok = mk("gate_ok.json", 8.0); // -20%: within the 25% budget
+        let bad = mk("gate_bad.json", 5.0); // -50%: regressed
+        let report = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            ok.display()
+        )))
+        .unwrap();
+        assert!(report.contains("ok"));
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("REGRESSED"), "{err}");
+        // Tightening the tolerance flips the passing pair too.
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {} --max-regress 0.1",
+            baseline.display(),
+            ok.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("regressed beyond 10%"), "{err}");
+    }
+
+    #[test]
+    fn bench_gate_rejects_mismatched_kinds() {
+        let a = tmp("gate_kind_a.json");
+        let b = tmp("gate_kind_b.json");
+        std::fs::write(&a, r#"{"bench":"sesr-train","results":{}}"#).unwrap();
+        std::fs::write(
+            &b,
+            r#"{"bench":"sesr-serve","results":{"throughput_rps":1}}"#,
+        )
+        .unwrap();
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("different bench kinds"), "{err}");
     }
 
     #[test]

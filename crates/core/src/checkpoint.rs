@@ -318,11 +318,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         lr_scale,
         retries,
         sampler_state,
-        adam: AdamState {
-            t: adam_t,
-            m,
-            v,
-        },
+        adam: AdamState { t: adam_t, m, v },
         params,
         losses,
         tail,
@@ -371,7 +367,10 @@ mod tests {
             params: vec![Tensor::from_vec(vec![1.0, -2.0], &[2]), Tensor::ones(&[1])],
             losses: vec![
                 LossSample { step: 0, loss: 0.5 },
-                LossSample { step: 25, loss: 0.25 },
+                LossSample {
+                    step: 25,
+                    loss: 0.25,
+                },
             ],
             tail: vec![0.25, 0.24],
             recent: vec![0.3, 0.27, 0.25],
@@ -451,7 +450,10 @@ mod tests {
         for pos in 0..bytes.len() {
             let mut flipped = bytes.clone();
             flipped[pos] ^= 0x04;
-            assert!(decode_checkpoint(&flipped).is_err(), "flip at {pos} accepted");
+            assert!(
+                decode_checkpoint(&flipped).is_err(),
+                "flip at {pos} accepted"
+            );
         }
     }
 
@@ -479,10 +481,7 @@ mod tests {
         assert!(!dir.join("run.ckpt.tmp").exists());
         assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
         // Overwrite with a later snapshot; the load must see the new one.
-        let later = Checkpoint {
-            step: 100,
-            ..ckpt
-        };
+        let later = Checkpoint { step: 100, ..ckpt };
         save_checkpoint(&later, &path).unwrap();
         assert_eq!(load_checkpoint(&path).unwrap().step, 100);
         fs::remove_file(&path).ok();

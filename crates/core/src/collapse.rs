@@ -140,7 +140,12 @@ mod tests {
         assert_eq!(wc.shape(), &[4, 2, 3, 3]);
         let x = Tensor::randn(&[1, 2, 7, 7], 0.0, 1.0, 8);
         let p = Conv2dParams::same();
-        let seq = conv2d(&conv2d(&conv2d(&x, &w1, None, p), &w2, None, p), &w3, None, p);
+        let seq = conv2d(
+            &conv2d(&conv2d(&x, &w1, None, p), &w2, None, p),
+            &w3,
+            None,
+            p,
+        );
         let col = conv2d(&x, &wc, None, p);
         assert!(seq.approx_eq(&col, 1e-3));
     }
@@ -192,7 +197,11 @@ mod tests {
         let p = Conv2dParams::same();
         let skip = conv2d(&conv2d(&x, &block.w1, None, p), &block.w2, None, p).add(&x);
         let fused = conv2d(&x, &w, None, p);
-        assert!(skip.approx_eq(&fused, 1e-3), "diff {}", skip.max_abs_diff(&fused));
+        assert!(
+            skip.approx_eq(&fused, 1e-3),
+            "diff {}",
+            skip.max_abs_diff(&fused)
+        );
     }
 
     #[test]

@@ -190,7 +190,13 @@ impl CollapsedSesr {
     /// [`TileError::OverlapTooSmall`] when `overlap` is below
     /// [`CollapsedSesr::receptive_field_radius`] (which would produce
     /// silent seams).
-    pub fn plan_tiles(&self, h: usize, w: usize, tile: usize, overlap: usize) -> Result<TilePlan, TileError> {
+    pub fn plan_tiles(
+        &self,
+        h: usize,
+        w: usize,
+        tile: usize,
+        overlap: usize,
+    ) -> Result<TilePlan, TileError> {
         let required = self.receptive_field_radius();
         if overlap < required {
             return Err(TileError::OverlapTooSmall {
@@ -249,7 +255,12 @@ impl CollapsedSesr {
     /// # Panics
     ///
     /// Panics if the input is not a `[1, H, W]` tensor.
-    pub fn run_tiled_parallel(&self, lr: &Tensor, tile: usize, overlap: usize) -> Result<Tensor, TileError> {
+    pub fn run_tiled_parallel(
+        &self,
+        lr: &Tensor,
+        tile: usize,
+        overlap: usize,
+    ) -> Result<Tensor, TileError> {
         let dims = lr.shape();
         assert_eq!(dims.len(), 3, "expected [1, H, W]");
         let (h, w) = (dims[1], dims[2]);
@@ -341,7 +352,11 @@ mod tests {
         let lr = sesr_data::synth::generate(sesr_data::Family::Mixed, 24, 24, 5);
         let whole = net.run(&lr);
         let tiled = net.run_tiled(&lr, 12, 8).unwrap();
-        assert_eq!(whole.max_abs_diff(&tiled), 0.0, "tiled output must be bit-exact");
+        assert_eq!(
+            whole.max_abs_diff(&tiled),
+            0.0,
+            "tiled output must be bit-exact"
+        );
     }
 
     #[test]
@@ -351,12 +366,18 @@ mod tests {
         let err = net.run_tiled(&lr, 12, 0).unwrap_err();
         assert_eq!(
             err,
-            crate::tiling::TileError::OverlapTooSmall { required: 6, got: 0 }
+            crate::tiling::TileError::OverlapTooSmall {
+                required: 6,
+                got: 0
+            }
         );
         let err = net.run_tiled_parallel(&lr, 12, 5).unwrap_err();
         assert_eq!(
             err,
-            crate::tiling::TileError::OverlapTooSmall { required: 6, got: 5 }
+            crate::tiling::TileError::OverlapTooSmall {
+                required: 6,
+                got: 5
+            }
         );
         assert_eq!(
             net.run_tiled(&lr, 0, 8).unwrap_err(),
@@ -381,7 +402,10 @@ mod tests {
         // head — the parallel fan-out must be bit-exact on all of them.
         let configs = [
             SesrConfig::m(2).with_expanded(8).with_seed(3),
-            SesrConfig::m(3).with_expanded(8).with_seed(4).hardware_efficient(),
+            SesrConfig::m(3)
+                .with_expanded(8)
+                .with_seed(4)
+                .hardware_efficient(),
             SesrConfig::m(2).with_expanded(8).with_seed(5).with_scale(4),
         ];
         for (i, cfg) in configs.iter().enumerate() {
@@ -415,7 +439,11 @@ mod tests {
         for (i, (img, got)) in images.iter().zip(&outs).enumerate() {
             let single = net.run(img);
             let got = got.reshape(single.shape());
-            assert_eq!(single.max_abs_diff(&got), 0.0, "image {i} diverged from batched run");
+            assert_eq!(
+                single.max_abs_diff(&got),
+                0.0,
+                "image {i} diverged from batched run"
+            );
         }
     }
 

@@ -229,7 +229,12 @@ pub fn sesr_ir(
     if input_residual {
         layers.push(LayerIr::Add { c: head, h, w });
     }
-    layers.push(LayerIr::DepthToSpace { c: head, h, w, r: 2 });
+    layers.push(LayerIr::DepthToSpace {
+        c: head,
+        h,
+        w,
+        r: 2,
+    });
     if scale == 4 {
         layers.push(LayerIr::DepthToSpace {
             c: head / 4,
@@ -308,7 +313,16 @@ mod tests {
 
     #[test]
     fn depth_to_space_and_add_have_no_macs() {
-        assert_eq!(LayerIr::DepthToSpace { c: 4, h: 8, w: 8, r: 2 }.macs(), 0);
+        assert_eq!(
+            LayerIr::DepthToSpace {
+                c: 4,
+                h: 8,
+                w: 8,
+                r: 2
+            }
+            .macs(),
+            0
+        );
         assert_eq!(LayerIr::Add { c: 4, h: 8, w: 8 }.macs(), 0);
     }
 

@@ -54,8 +54,8 @@ pub use checkpoint::{
 };
 pub use collapsed::CollapsedSesr;
 pub use model::{Activation, BlockKind, Sesr, SesrConfig};
-pub use tiling::{TileError, TilePlan, TileSpec};
 pub use model_io::{decode_model, encode_model, load_model, save_model};
+pub use tiling::{TileError, TilePlan, TileSpec};
 pub use train::{
     DivergenceGuard, FaultInjection, RecoveryEvent, RecoveryKind, SrNetwork, StepOutcome,
     TrainConfig, TrainError, TrainLoop, TrainReport, Trainer,

@@ -287,13 +287,22 @@ impl Sesr {
     ///
     /// Panics if the scale is not 2 or 4, or `m == 0`.
     pub fn new(config: SesrConfig) -> Self {
-        assert!(config.scale == 2 || config.scale == 4, "scale must be 2 or 4");
+        assert!(
+            config.scale == 2 || config.scale == 4,
+            "scale must be 2 or 4"
+        );
         assert!(config.m > 0, "at least one intermediate stage required");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut stages = Vec::with_capacity(config.m + 2);
         stages.push(StageParams::new(config.kind, 1, config.f, 5, rng.gen()));
         for _ in 0..config.m {
-            stages.push(StageParams::new(config.kind, config.f, config.f, 3, rng.gen()));
+            stages.push(StageParams::new(
+                config.kind,
+                config.f,
+                config.f,
+                3,
+                rng.gen(),
+            ));
         }
         stages.push(StageParams::new(
             config.kind,
@@ -302,7 +311,9 @@ impl Sesr {
             5,
             rng.gen(),
         ));
-        let alphas = (0..config.m + 1).map(|_| Tensor::full(&[config.f], 0.1)).collect();
+        let alphas = (0..config.m + 1)
+            .map(|_| Tensor::full(&[config.f], 0.1))
+            .collect();
         Self {
             config,
             stages,

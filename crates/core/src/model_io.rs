@@ -34,9 +34,9 @@ const FLAG_INPUT_RESIDUAL: u32 = 2;
 /// Writes `data` to `path` via a sibling temp file plus atomic rename, so
 /// readers never observe a torn write at `path`.
 pub(crate) fn atomic_write(path: &Path, data: &[u8]) -> std::io::Result<()> {
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
@@ -273,7 +273,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert_eq!(decode_model(b"NOPE1234").unwrap_err(), DecodeModelError::BadMagic);
+        assert_eq!(
+            decode_model(b"NOPE1234").unwrap_err(),
+            DecodeModelError::BadMagic
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix.
     pub fn zeros(d: usize) -> Self {
-        Self { d, a: vec![0.0; d * d] }
+        Self {
+            d,
+            a: vec![0.0; d * d],
+        }
     }
 
     /// Identity matrix.
@@ -82,7 +85,11 @@ impl Mat {
     /// Frobenius inner product `⟨self, other⟩`.
     pub fn dot(&self, other: &Mat) -> f64 {
         assert_eq!(self.d, other.d, "dimension mismatch");
-        self.a.iter().zip(other.a.iter()).map(|(&x, &y)| x * y).sum()
+        self.a
+            .iter()
+            .zip(other.a.iter())
+            .map(|(&x, &y)| x * y)
+            .sum()
     }
 
     /// Frobenius norm of `self - other`.
@@ -136,7 +143,11 @@ impl MatrixRegression {
             .zip(&self.ys)
             .map(|(x, y)| {
                 let p = beta.matvec(x);
-                p.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>() * 0.5
+                p.iter()
+                    .zip(y)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    * 0.5
             })
             .sum::<f64>()
             / self.xs.len() as f64
@@ -259,7 +270,11 @@ mod tests {
             let mut bm = beta.clone();
             bm.a[idx] -= eps;
             let fd = (p.loss(&bp) - p.loss(&bm)) / (2.0 * eps);
-            assert!((fd - g.a[idx]).abs() < 1e-6, "idx {idx}: {fd} vs {}", g.a[idx]);
+            assert!(
+                (fd - g.a[idx]).abs() < 1e-6,
+                "idx {idx}: {fd} vs {}",
+                g.a[idx]
+            );
         }
     }
 

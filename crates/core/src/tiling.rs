@@ -212,7 +212,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "interiors must tile the image exactly once");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "interiors must tile the image exactly once"
+        );
     }
 
     #[test]
@@ -231,7 +234,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_actionable() {
-        let e = TileError::OverlapTooSmall { required: 9, got: 2 };
+        let e = TileError::OverlapTooSmall {
+            required: 9,
+            got: 2,
+        };
         let msg = e.to_string();
         assert!(msg.contains('9') && msg.contains('2'), "{msg}");
     }

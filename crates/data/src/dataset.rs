@@ -211,8 +211,7 @@ impl PatchSampler {
             }
             for y in 0..hp {
                 for x in 0..hp {
-                    *hr_patch.at_mut(&[0, y, x]) =
-                        pair.hr.at(&[0, y0 * scale + y, x0 * scale + x]);
+                    *hr_patch.at_mut(&[0, y, x]) = pair.hr.at(&[0, y0 * scale + y, x0 * scale + x]);
                 }
             }
             if self.augment {
@@ -265,9 +264,7 @@ impl Benchmark {
     pub fn new(family: Family, count: usize, size: usize, scale: usize) -> Self {
         assert_eq!(size % scale, 0, "image size must be divisible by scale");
         let pairs = (0..count)
-            .map(|i| {
-                SrPair::from_hr(generate(family, size, size, 1_000_000 + i as u64), scale)
-            })
+            .map(|i| SrPair::from_hr(generate(family, size, size, 1_000_000 + i as u64), scale))
             .collect();
         Self {
             family,
@@ -526,9 +523,7 @@ mod tests {
         assert!(q.psnr > 20.0, "bicubic PSNR {}", q.psnr);
         assert!(q.ssim > 0.5 && q.ssim <= 1.0);
         // A constant-gray upscaler must be much worse.
-        let gray = |lr: &Tensor| {
-            Tensor::full(&[1, lr.shape()[1] * 2, lr.shape()[2] * 2], 0.5)
-        };
+        let gray = |lr: &Tensor| Tensor::full(&[1, lr.shape()[1] * 2, lr.shape()[2] * 2], 0.5);
         let qg = bench.evaluate(&gray);
         assert!(q.psnr > qg.psnr, "{} vs {}", q.psnr, qg.psnr);
     }
@@ -544,7 +539,10 @@ mod tests {
         assert!((q.psnr - stats.mean.psnr).abs() < 1e-12);
         // Identical per-image samples -> zero std.
         let same = QualityStats::from_samples(vec![
-            Quality { psnr: 30.0, ssim: 0.9 };
+            Quality {
+                psnr: 30.0,
+                ssim: 0.9
+            };
             4
         ]);
         assert_eq!(same.psnr_std, 0.0);

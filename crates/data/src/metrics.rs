@@ -108,7 +108,10 @@ pub fn ssim(a: &Tensor, b: &Tensor, peak: f64) -> f64 {
     let dims = a.shape();
     assert_eq!(dims.len(), 3, "expected [C, H, W]");
     let (c, h, w) = (dims[0], dims[1], dims[2]);
-    assert!(h >= WIN && w >= WIN, "image {h}x{w} smaller than SSIM window");
+    assert!(
+        h >= WIN && w >= WIN,
+        "image {h}x{w} smaller than SSIM window"
+    );
     let window = gaussian_window(WIN, SIGMA);
     let c1 = (0.01 * peak) * (0.01 * peak);
     let c2 = (0.03 * peak) * (0.03 * peak);

@@ -207,8 +207,7 @@ mod tests {
             .collect();
         let img = Tensor::from_vec(data, &[1, w, w]);
         let down = downscale(&img, 2);
-        let mean_abs: f32 =
-            down.data().iter().map(|v| v.abs()).sum::<f32>() / down.len() as f32;
+        let mean_abs: f32 = down.data().iter().map(|v| v.abs()).sum::<f32>() / down.len() as f32;
         assert!(mean_abs < 0.25, "antialiasing too weak: {mean_abs}");
     }
 

@@ -236,7 +236,14 @@ fn lineart_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
         let cy = rng.gen_range(0.0..h as f32);
         let cx = rng.gen_range(0.0..w as f32);
         let r = rng.gen_range(h as f32 / 12.0..h as f32 / 5.0);
-        draw_disc(&mut img, cy, cx, r, if rng.gen_bool(0.5) { 0.1 } else { 0.9 }, 1.0);
+        draw_disc(
+            &mut img,
+            cy,
+            cx,
+            r,
+            if rng.gen_bool(0.5) { 0.1 } else { 0.9 },
+            1.0,
+        );
     }
     img
 }
@@ -273,7 +280,10 @@ fn mixed_scene(h: usize, w: usize, rng: &mut StdRng) -> Tensor {
 /// assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
 /// ```
 pub fn generate(family: Family, h: usize, w: usize, seed: u64) -> Tensor {
-    assert!(h >= 16 && w >= 16, "synthetic images must be at least 16x16");
+    assert!(
+        h >= 16 && w >= 16,
+        "synthetic images must be at least 16x16"
+    );
     // Mix the family into the seed so different families with the same seed
     // do not share structure.
     let tag = match family {

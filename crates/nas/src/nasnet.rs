@@ -107,8 +107,7 @@ impl NasNet {
                     }
                 }
             }
-            let act = (i < self.blocks.len() - 1)
-                .then(|| Act::PRelu(self.alphas[i].clone()));
+            let act = (i < self.blocks.len() - 1).then(|| Act::PRelu(self.alphas[i].clone()));
             layers.push(CollapsedLayer {
                 weight: w,
                 bias: b,

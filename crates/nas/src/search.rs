@@ -100,8 +100,8 @@ pub fn proxy_psnr(
         lr: 2e-3,
         log_every: cfg.proxy_steps,
         seed: cfg.seed,
-            ..TrainConfig::default()
-        });
+        ..TrainConfig::default()
+    });
     trainer.train(&mut net, set);
     bench.evaluate(&|lr| net.infer(lr)).psnr
 }
@@ -149,8 +149,11 @@ pub fn search(cfg: &SearchConfig, npu: &NpuConfig) -> SearchResult {
         population.sort_by(|a, b| {
             let fa = a.latency_ms <= cfg.latency_budget_ms;
             let fb = b.latency_ms <= cfg.latency_budget_ms;
-            fb.cmp(&fa)
-                .then(b.proxy_psnr.partial_cmp(&a.proxy_psnr).unwrap_or(std::cmp::Ordering::Equal))
+            fb.cmp(&fa).then(
+                b.proxy_psnr
+                    .partial_cmp(&a.proxy_psnr)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         population.truncate((cfg.population / 2).max(1));
         // Refill with mutations of survivors.

@@ -148,7 +148,12 @@ impl Candidate {
             h,
             w,
         });
-        layers.push(LayerIr::DepthToSpace { c: head, h, w, r: 2 });
+        layers.push(LayerIr::DepthToSpace {
+            c: head,
+            h,
+            w,
+            r: 2,
+        });
         if self.scale == 4 {
             layers.push(LayerIr::DepthToSpace {
                 c: head / 4,
@@ -191,7 +196,10 @@ mod tests {
     #[test]
     fn reference_matches_sesr_m5_params() {
         let c = Candidate::sesr_m5(2);
-        assert_eq!(c.weight_params(), sesr_core::macs::sesr_weight_params(16, 5, 2));
+        assert_eq!(
+            c.weight_params(),
+            sesr_core::macs::sesr_weight_params(16, 5, 2)
+        );
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub mod simulator;
 pub mod tiling;
 
 pub use simulator::{simulate, EthosN78Like, LayerPerf, NpuConfig, PerfReport};
-pub use tiling::{best_tile, simulate_tiled, TiledReport, TileSearchResult};
+pub use tiling::{best_tile, simulate_tiled, TileSearchResult, TiledReport};

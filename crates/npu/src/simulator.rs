@@ -128,11 +128,7 @@ fn utilization(layer: &LayerIr, cfg: &NpuConfig) -> f64 {
 fn label(layer: &LayerIr) -> String {
     match *layer {
         LayerIr::Conv {
-            cin,
-            cout,
-            kh,
-            kw,
-            ..
+            cin, cout, kh, kw, ..
         } => format!("conv {cin}->{cout} {kh}x{kw}"),
         LayerIr::Deconv {
             cin,
@@ -275,7 +271,11 @@ mod tests {
         assert!((r.total_ms() - sum).abs() < 1e-12);
         assert_eq!(
             r.total_macs(),
-            sesr_core::macs::macs_for_params(sesr_core::macs::sesr_weight_params(16, 3, 2), 256, 256)
+            sesr_core::macs::macs_for_params(
+                sesr_core::macs::sesr_weight_params(16, 3, 2),
+                256,
+                256
+            )
         );
     }
 
@@ -292,7 +292,10 @@ mod tests {
         // Table 3 MAC column: 54G (FSRCNN x2), 28G (SESR-M5 x2),
         // 38G (SESR-M5 x4).
         let close = |a: u64, b: f64| (a as f64 - b).abs() / b < 0.01;
-        assert!(close(simulate(&fsrcnn_ir(1080, 1920, 2), &cfg()).total_macs(), 54e9));
+        assert!(close(
+            simulate(&fsrcnn_ir(1080, 1920, 2), &cfg()).total_macs(),
+            54e9
+        ));
         assert!(close(
             simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &cfg()).total_macs(),
             28e9

@@ -49,7 +49,10 @@ pub fn simulate_tiled(
 ) -> TiledReport {
     let (fh, fw) = full;
     let (th, tw) = tile;
-    assert!(th > 0 && tw > 0 && fh > 0 && fw > 0, "dimensions must be positive");
+    assert!(
+        th > 0 && tw > 0 && fh > 0 && fw > 0,
+        "dimensions must be positive"
+    );
     assert!(th <= fh && tw <= fw, "tile larger than frame");
     let per_tile = simulate(&build_ir(th, tw), cfg);
     let tile_runs = (fh as f64 / th as f64) * (fw as f64 / tw as f64);
@@ -150,7 +153,11 @@ mod tests {
     fn x4_tiled_structure() {
         let build = |h: usize, w: usize| sesr_ir(16, 5, 4, false, h, w);
         let r = simulate_tiled(&build, (1080, 1920), (300, 400), &cfg());
-        assert!(r.per_tile.total_ms() < 5.0, "per-tile {}", r.per_tile.total_ms());
+        assert!(
+            r.per_tile.total_ms() < 5.0,
+            "per-tile {}",
+            r.per_tile.total_ms()
+        );
         assert!(r.fps() > 10.0, "fps {}", r.fps());
         // x4 is slower than x2 tiled (more MACs in the head).
         let build2 = |h: usize, w: usize| sesr_ir(16, 5, 2, false, h, w);

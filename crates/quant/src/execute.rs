@@ -122,11 +122,9 @@ impl QuantizedSesr {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let q_in = input.data
-                                        [in_base + iy as usize * w + ix as usize]
-                                        as i32;
-                                    let q_w =
-                                        layer.weight.data[w_base + ky * kw + kx] as i32;
+                                    let q_in =
+                                        input.data[in_base + iy as usize * w + ix as usize] as i32;
+                                    let q_w = layer.weight.data[w_base + ky * kw + kx] as i32;
                                     acc += (q_in - zp) * q_w;
                                 }
                             }
@@ -284,7 +282,7 @@ mod tests {
         let params = net.num_weight_params();
         assert!(qnet.model_bytes() >= params); // 1 byte per weight
         assert!(qnet.model_bytes() < params + 4096); // + small overhead
-        // 4x smaller than the f32 artifact, minus overheads.
+                                                     // 4x smaller than the f32 artifact, minus overheads.
         let f32_bytes = sesr_core::model_io::encode_model(&net).len();
         assert!((qnet.model_bytes() as f64) < 0.4 * f32_bytes as f64);
     }

@@ -169,7 +169,10 @@ mod tests {
             let p = AffineParams::from_range_u8(lo, hi);
             let z = p.quantize(0.0);
             assert!((0..=255).contains(&z), "zero point {z} out of range");
-            assert!(p.dequantize(z).abs() < 1e-7, "zero not exact for [{lo},{hi}]");
+            assert!(
+                p.dequantize(z).abs() < 1e-7,
+                "zero not exact for [{lo},{hi}]"
+            );
         }
     }
 
@@ -200,7 +203,11 @@ mod tests {
             w.data_mut()[4 + i] = (i as f32 - 1.5) * 0.01; // channel 1: ~±0.015
         }
         let q = QWeightI8::quantize(&w);
-        assert!(q.relative_error(&w) < 0.01, "error {}", q.relative_error(&w));
+        assert!(
+            q.relative_error(&w) < 0.01,
+            "error {}",
+            q.relative_error(&w)
+        );
         // A per-tensor scheme would lose channel 1 almost entirely; check
         // channel 1 survives on its own terms.
         let dq = q.dequantize();

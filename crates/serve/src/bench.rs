@@ -61,7 +61,12 @@ impl Default for BenchConfig {
 /// # Errors
 ///
 /// Returns the unknown label.
-pub fn arch_config(arch: &str, scale: usize, expanded: usize, seed: u64) -> Result<SesrConfig, String> {
+pub fn arch_config(
+    arch: &str,
+    scale: usize,
+    expanded: usize,
+    seed: u64,
+) -> Result<SesrConfig, String> {
     let base = match arch {
         "m3" => SesrConfig::m(3),
         "m5" => SesrConfig::m(5),

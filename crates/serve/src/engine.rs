@@ -242,7 +242,9 @@ impl Engine {
                 Ok(Ticket { id, slot })
             }
             Err(PushError::Full { capacity }) => {
-                self.shared.telemetry.counters(|c| c.rejected_queue_full += 1);
+                self.shared
+                    .telemetry
+                    .counters(|c| c.rejected_queue_full += 1);
                 Err(SubmitError::QueueFull { capacity })
             }
             Err(PushError::Closed) => {

@@ -283,6 +283,193 @@ fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
+/// A parsed JSON document, for reading values back out of bench reports
+/// (the gate in `scripts/bench_gate.sh` compares fresh runs against the
+/// committed baselines without shelling out to python).
+///
+/// Object members keep their document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, with a byte
+    /// offset.
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        validate(s)?;
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        skip_ws(b, &mut i);
+        Ok(read_value(b, &mut i))
+    }
+
+    /// Walks `path` through nested objects; `None` if any key is absent
+    /// or an intermediate value is not an object.
+    pub fn get(&self, path: &[&str]) -> Option<&JsonValue> {
+        let mut cur = self;
+        for key in path {
+            let JsonValue::Object(members) = cur else {
+                return None;
+            };
+            cur = members.iter().find(|(k, _)| k == key).map(|(_, v)| v)?;
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The member keys in document order, if this is an object.
+    pub fn as_object_keys(&self) -> Option<Vec<String>> {
+        match self {
+            JsonValue::Object(members) => Some(members.iter().map(|(k, _)| k.clone()).collect()),
+            _ => None,
+        }
+    }
+}
+
+// The readers below assume `validate` has already accepted the document,
+// so they only have to materialize values, not diagnose errors.
+fn read_value(b: &[u8], i: &mut usize) -> JsonValue {
+    match b[*i] {
+        b'{' => {
+            *i += 1;
+            let mut members = Vec::new();
+            skip_ws(b, i);
+            if b[*i] == b'}' {
+                *i += 1;
+                return JsonValue::Object(members);
+            }
+            loop {
+                skip_ws(b, i);
+                let key = read_string(b, i);
+                skip_ws(b, i);
+                *i += 1; // ':'
+                skip_ws(b, i);
+                members.push((key, read_value(b, i)));
+                skip_ws(b, i);
+                let sep = b[*i];
+                *i += 1;
+                if sep == b'}' {
+                    return JsonValue::Object(members);
+                }
+            }
+        }
+        b'[' => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b[*i] == b']' {
+                *i += 1;
+                return JsonValue::Array(items);
+            }
+            loop {
+                skip_ws(b, i);
+                items.push(read_value(b, i));
+                skip_ws(b, i);
+                let sep = b[*i];
+                *i += 1;
+                if sep == b']' {
+                    return JsonValue::Array(items);
+                }
+            }
+        }
+        b'"' => JsonValue::String(read_string(b, i)),
+        b't' => {
+            *i += 4;
+            JsonValue::Bool(true)
+        }
+        b'f' => {
+            *i += 5;
+            JsonValue::Bool(false)
+        }
+        b'n' => {
+            *i += 4;
+            JsonValue::Null
+        }
+        _ => {
+            let start = *i;
+            while b.get(*i).is_some_and(|c| {
+                matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') || c.is_ascii_digit()
+            }) {
+                *i += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*i]).expect("validated number is ASCII");
+            JsonValue::Number(text.parse().expect("validated number parses"))
+        }
+    }
+}
+
+fn read_string(b: &[u8], i: &mut usize) -> String {
+    *i += 1; // opening '"'
+    let mut out = String::new();
+    loop {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return out;
+            }
+            b'\\' => {
+                *i += 1;
+                match b[*i] {
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*i + 1..*i + 5]).unwrap_or("");
+                        let code = u32::from_str_radix(hex, 16).unwrap_or(0xFFFD);
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    c => out.push(c as char),
+                }
+                *i += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar (multi-byte sequences arrive as
+                // raw bytes; the document was already validated as &str).
+                let start = *i;
+                *i += 1;
+                while b.get(*i).is_some_and(|c| c & 0xC0 == 0x80) {
+                    *i += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*i]).expect("input was valid UTF-8"));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +501,52 @@ mod tests {
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
         }
+    }
+
+    #[test]
+    fn value_parser_reads_back_builder_output() {
+        let doc = JsonObject::new()
+            .str("bench", "sesr-train")
+            .raw(
+                "results",
+                &JsonObject::new()
+                    .raw("m5", &JsonObject::new().num("steps_per_sec", 12.5).finish())
+                    .raw(
+                        "m11",
+                        &JsonObject::new().num("steps_per_sec", 7.25).finish(),
+                    )
+                    .finish(),
+            )
+            .finish();
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(
+            v.get(&["bench"]).and_then(JsonValue::as_str),
+            Some("sesr-train")
+        );
+        assert_eq!(
+            v.get(&["results", "m5", "steps_per_sec"])
+                .and_then(JsonValue::as_f64),
+            Some(12.5)
+        );
+        assert_eq!(
+            v.get(&["results"]).and_then(JsonValue::as_object_keys),
+            Some(vec!["m5".to_string(), "m11".to_string()])
+        );
+        assert!(v.get(&["results", "m7", "steps_per_sec"]).is_none());
+    }
+
+    #[test]
+    fn value_parser_handles_escapes_arrays_and_literals() {
+        let v = JsonValue::parse(r#"{"s":"a\"b\nA","a":[1,-2.5e1,true,null]}"#).unwrap();
+        assert_eq!(v.get(&["s"]).and_then(JsonValue::as_str), Some("a\"b\nA"));
+        let JsonValue::Array(items) = v.get(&["a"]).unwrap() else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0], JsonValue::Number(1.0));
+        assert_eq!(items[1], JsonValue::Number(-25.0));
+        assert_eq!(items[2], JsonValue::Bool(true));
+        assert_eq!(items[3], JsonValue::Null);
+        assert!(JsonValue::parse("{oops").is_err());
     }
 
     #[test]

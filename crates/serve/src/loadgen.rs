@@ -115,8 +115,7 @@ pub fn run_load(engine: &Engine, key: &ModelKey, spec: &LoadSpec) -> LoadReport 
     let mut output_px: u64 = 0;
     let started = Instant::now();
 
-    let resolve = |ticket: Ticket, report: &mut LoadReport, output_px: &mut u64| match ticket
-        .wait()
+    let resolve = |ticket: Ticket, report: &mut LoadReport, output_px: &mut u64| match ticket.wait()
     {
         Ok(sr) => {
             report.completed += 1;
@@ -173,8 +172,7 @@ pub fn run_load(engine: &Engine, key: &ModelKey, spec: &LoadSpec) -> LoadReport 
     let wall = started.elapsed();
     report.wall_ms = wall.as_secs_f64() * 1e3;
     report.throughput_rps = report.completed as f64 / wall.as_secs_f64().max(1e-9);
-    report.output_megapixels_per_s =
-        output_px as f64 / 1e6 / wall.as_secs_f64().max(1e-9);
+    report.output_megapixels_per_s = output_px as f64 / 1e6 / wall.as_secs_f64().max(1e-9);
 
     if spec.burst > 0 {
         let mut admitted = Vec::new();

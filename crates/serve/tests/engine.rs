@@ -144,7 +144,11 @@ fn oversized_requests_take_the_tiled_path_and_stay_bit_exact() {
         registry,
     );
     let x = img(7, 30, 26);
-    let served = engine.submit(&key, x.clone(), None).unwrap().wait().unwrap();
+    let served = engine
+        .submit(&key, x.clone(), None)
+        .unwrap()
+        .wait()
+        .unwrap();
     let direct = model.run(&x);
     let diff = served
         .data()
@@ -180,7 +184,11 @@ fn lazy_load_and_lru_eviction_through_the_engine() {
         Arc::clone(&registry),
     );
     for key in &keys {
-        engine.submit(key, img(1, 8, 8), None).unwrap().wait().unwrap();
+        engine
+            .submit(key, img(1, 8, 8), None)
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     let s = registry.stats();
     assert_eq!(s.loads, 3, "each model lazily loads on first use");
@@ -207,9 +215,16 @@ fn load_failure_surfaces_as_serve_error() {
         },
         registry,
     );
-    let err = engine.submit(&key, img(0, 8, 8), None).unwrap().wait().unwrap_err();
+    let err = engine
+        .submit(&key, img(0, 8, 8), None)
+        .unwrap()
+        .wait()
+        .unwrap_err();
     assert!(matches!(err, ServeError::ModelLoad(_)));
-    assert_eq!(engine.telemetry().snapshot().counters.model_load_failures, 1);
+    assert_eq!(
+        engine.telemetry().snapshot().counters.model_load_failures,
+        1
+    );
 }
 
 #[test]
@@ -240,7 +255,11 @@ fn telemetry_snapshot_exports_valid_json_with_stage_quantiles() {
         registry,
     );
     for i in 0..6 {
-        engine.submit(&key, img(i, 10, 10), None).unwrap().wait().unwrap();
+        engine
+            .submit(&key, img(i, 10, 10), None)
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     let snap = engine.telemetry().snapshot();
     let json = snap.to_json();

@@ -8,6 +8,7 @@
 
 use crate::gemm::{gemm, gemm_a_bt, gemm_at_b};
 use crate::im2col::{col2im, im2col, ConvGeometry};
+use crate::parallel::{parallel_for, SendPtr};
 use crate::tensor::Tensor;
 
 /// Padding policy for a convolution.
@@ -125,7 +126,12 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) {
 /// // Corner pixels see four taps.
 /// assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
 /// ```
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, params: Conv2dParams) -> Tensor {
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
     check_conv_args(input, weight, bias);
     let (n, c, h, w) = input.shape_obj().as_nchw();
     let (o, _, kh, kw) = weight.shape_obj().as_nchw();
@@ -133,32 +139,33 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, params: Co
     geo.validate();
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let mut out = Tensor::zeros(&[n, o, oh, ow]);
-    let mut col = vec![0.0f32; geo.col_rows() * geo.col_cols()];
     let image = c * h * w;
     let out_image = o * oh * ow;
-    for ni in 0..n {
-        im2col(&input.data()[ni * image..(ni + 1) * image], &geo, &mut col);
-        gemm(
-            weight.data(),
-            &col,
-            &mut out.data_mut()[ni * out_image..(ni + 1) * out_image],
-            o,
-            geo.col_rows(),
-            geo.col_cols(),
-        );
-    }
-    if let Some(b) = bias {
-        let plane = oh * ow;
-        for ni in 0..n {
-            for oi in 0..o {
-                let bv = b.data()[oi];
-                let base = (ni * o + oi) * plane;
-                for v in &mut out.data_mut()[base..base + plane] {
-                    *v += bv;
+    let plane = oh * ow;
+    let in_data = input.data();
+    let w_data = weight.data();
+    let bias_data = bias.map(Tensor::data);
+    let op = SendPtr(out.data_mut().as_mut_ptr());
+    // Batch-parallel: images are independent and write disjoint output
+    // slices. Each image's arithmetic is identical no matter which thread
+    // runs it, so results stay bit-identical across thread counts.
+    parallel_for(n, 1, |img_start, img_end| {
+        let mut col = vec![0.0f32; geo.col_rows() * geo.col_cols()];
+        for ni in img_start..img_end {
+            im2col(&in_data[ni * image..(ni + 1) * image], &geo, &mut col);
+            // SAFETY: image slices [ni*out_image, (ni+1)*out_image) are
+            // disjoint across parallel_for chunks.
+            let out_img = unsafe { op.slice_mut(ni * out_image, out_image) };
+            gemm(w_data, &col, out_img, o, geo.col_rows(), geo.col_cols());
+            if let Some(b) = bias_data {
+                for (oi, &bv) in b.iter().enumerate() {
+                    for v in &mut out_img[oi * plane..(oi + 1) * plane] {
+                        *v += bv;
+                    }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -192,8 +199,7 @@ pub fn conv2d_direct(
                                 continue;
                             }
                             for kx in 0..kw {
-                                let ix =
-                                    (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
+                                let ix = (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -255,34 +261,66 @@ pub fn conv2d_backward(
     let mut d_weight = Tensor::zeros(weight.shape());
     let mut d_bias = Tensor::zeros(&[o]);
 
-    let mut col = vec![0.0f32; col_rows * col_cols];
-    let mut dcol = vec![0.0f32; col_rows * col_cols];
-    let mut dw_acc = vec![0.0f32; o * col_rows];
-    let mut dx_img = vec![0.0f32; image];
-
-    for ni in 0..n {
-        let dy = &d_out.data()[ni * out_image..(ni + 1) * out_image];
-        // d_bias: sum of dy over spatial positions.
-        for oi in 0..o {
-            let mut s = 0.0f32;
-            for v in &dy[oi * col_cols..(oi + 1) * col_cols] {
-                s += v;
+    // Batch-parallel with per-image accumulators: every image's weight and
+    // bias gradients land in their own slice of these staging buffers, and
+    // the reduction below folds them in fixed image order. That keeps the
+    // floating-point accumulation order identical whether the images were
+    // processed by one thread or eight (and identical to the old
+    // sequential loop), so loss trajectories are bit-reproducible across
+    // thread counts.
+    let wlen = o * col_rows;
+    let mut dw_all = vec![0.0f32; n * wlen];
+    let mut db_all = vec![0.0f32; n * o];
+    let in_data = input.data();
+    let out_data = d_out.data();
+    let w_data = weight.data();
+    let dip = SendPtr(d_input.data_mut().as_mut_ptr());
+    let dwp = SendPtr(dw_all.as_mut_ptr());
+    let dbp = SendPtr(db_all.as_mut_ptr());
+    parallel_for(n, 1, |img_start, img_end| {
+        let mut col = vec![0.0f32; col_rows * col_cols];
+        let mut dcol = vec![0.0f32; col_rows * col_cols];
+        for ni in img_start..img_end {
+            let dy = &out_data[ni * out_image..(ni + 1) * out_image];
+            // d_bias: sum of dy over spatial positions.
+            for oi in 0..o {
+                let mut s = 0.0f32;
+                for v in &dy[oi * col_cols..(oi + 1) * col_cols] {
+                    s += v;
+                }
+                // SAFETY: per-image slices of the staging buffers are
+                // disjoint across parallel_for chunks.
+                unsafe { dbp.write(ni * o + oi, s) };
             }
-            d_bias.data_mut()[oi] += s;
+            // d_weight (this image) = dy (o x col_cols) * col^T.
+            im2col(&in_data[ni * image..(ni + 1) * image], &geo, &mut col);
+            // SAFETY: as above — image `ni` owns dw_all[ni*wlen..][..wlen].
+            let dw_img = unsafe { dwp.slice_mut(ni * wlen, wlen) };
+            gemm_a_bt(dy, &col, dw_img, o, col_cols, col_rows);
+            // d_input = col2im( W^T (col_rows x o) * dy (o x col_cols) );
+            // each image writes its own input-gradient slice.
+            gemm_at_b(w_data, dy, &mut dcol, col_rows, o, col_cols);
+            // SAFETY: image slices of d_input are disjoint across chunks.
+            let dx_img = unsafe { dip.slice_mut(ni * image, image) };
+            col2im(&dcol, &geo, dx_img);
         }
-        // d_weight += dy (o x col_cols) * col^T (col_cols x col_rows)
-        im2col(&input.data()[ni * image..(ni + 1) * image], &geo, &mut col);
-        gemm_a_bt(dy, &col, &mut dw_acc, o, col_cols, col_rows);
-        for (dst, src) in d_weight.data_mut().iter_mut().zip(dw_acc.iter()) {
+    });
+    // Deterministic merge: image order, not thread completion order.
+    for ni in 0..n {
+        for (dst, src) in d_weight
+            .data_mut()
+            .iter_mut()
+            .zip(dw_all[ni * wlen..(ni + 1) * wlen].iter())
+        {
             *dst += src;
         }
-        // d_input = col2im( W^T (col_rows x o) * dy (o x col_cols) )
-        gemm_at_b(weight.data(), dy, &mut dcol, col_rows, o, col_cols);
-        col2im(&dcol, &geo, &mut dx_img);
-        d_input.data_mut()[ni * image..(ni + 1) * image]
+        for (dst, src) in d_bias
+            .data_mut()
             .iter_mut()
-            .zip(dx_img.iter())
-            .for_each(|(dst, &src)| *dst += src);
+            .zip(db_all[ni * o..(ni + 1) * o].iter())
+        {
+            *dst += src;
+        }
     }
     Conv2dGrads {
         d_input,
@@ -314,8 +352,16 @@ pub fn conv2d_grouped(
     let (n, c, h, w) = input.shape_obj().as_nchw();
     let (o, cg, kh, kw) = weight.shape_obj().as_nchw();
     assert!(groups > 0, "groups must be positive");
-    assert_eq!(c % groups, 0, "input channels {c} not divisible by {groups}");
-    assert_eq!(o % groups, 0, "output channels {o} not divisible by {groups}");
+    assert_eq!(
+        c % groups,
+        0,
+        "input channels {c} not divisible by {groups}"
+    );
+    assert_eq!(
+        o % groups,
+        0,
+        "output channels {o} not divisible by {groups}"
+    );
     assert_eq!(cg, c / groups, "weight in-channels must be C/groups");
     let (og, icg) = (o / groups, c / groups);
     let geo = params.geometry(icg, h, w, kh, kw);
@@ -328,8 +374,7 @@ pub fn conv2d_grouped(
             for cc in 0..icg {
                 let src = ((ni * c) + g * icg + cc) * h * w;
                 let dst = (ni * icg + cc) * h * w;
-                xin.data_mut()[dst..dst + h * w]
-                    .copy_from_slice(&input.data()[src..src + h * w]);
+                xin.data_mut()[dst..dst + h * w].copy_from_slice(&input.data()[src..src + h * w]);
             }
         }
         let wslice = Tensor::from_vec(
@@ -342,8 +387,7 @@ pub fn conv2d_grouped(
             for oo in 0..og {
                 let src = (ni * og + oo) * oh * ow;
                 let dst = ((ni * o) + g * og + oo) * oh * ow;
-                out.data_mut()[dst..dst + oh * ow]
-                    .copy_from_slice(&y.data()[src..src + oh * ow]);
+                out.data_mut()[dst..dst + oh * ow].copy_from_slice(&y.data()[src..src + oh * ow]);
             }
         }
     }
@@ -381,8 +425,7 @@ pub fn conv2d_grouped_backward(
             for cc in 0..icg {
                 let src = ((ni * c) + g * icg + cc) * h * w;
                 let dst = (ni * icg + cc) * h * w;
-                xin.data_mut()[dst..dst + h * w]
-                    .copy_from_slice(&input.data()[src..src + h * w]);
+                xin.data_mut()[dst..dst + h * w].copy_from_slice(&input.data()[src..src + h * w]);
             }
             for oo in 0..og {
                 let src = ((ni * o) + g * og + oo) * oh * ow;
@@ -440,13 +483,20 @@ pub fn conv_transpose2d(
     let (n, c, h, w) = input.shape_obj().as_nchw();
     let (wi, o, kh, kw) = weight.shape_obj().as_nchw();
     assert_eq!(c, wi, "input channels {c} != weight in-channels {wi}");
-    assert!(output_padding < stride.max(1), "output_padding must be < stride");
+    assert!(
+        output_padding < stride.max(1),
+        "output_padding must be < stride"
+    );
     let oh = (h - 1) * stride + kh + output_padding;
     let ow = (w - 1) * stride + kw + output_padding;
     assert!(oh > 2 * pad && ow > 2 * pad, "padding too large for output");
     let (oh, ow) = (oh - 2 * pad, ow - 2 * pad);
     if let Some(b) = bias {
-        assert_eq!(b.shape(), &[o], "bias must have one element per output channel");
+        assert_eq!(
+            b.shape(),
+            &[o],
+            "bias must have one element per output channel"
+        );
     }
     let mut out = Tensor::zeros(&[n, o, oh, ow]);
     let in_data = input.data();
@@ -595,7 +645,11 @@ mod tests {
             let w = Tensor::randn(&[3, 2, kh, kw], 0.0, 0.5, 20 + kw as u64);
             let fast = conv2d(&x, &w, None, Conv2dParams::same());
             let slow = conv2d_direct(&x, &w, None, Conv2dParams::same());
-            assert_eq!(fast.shape(), &[1, 3, 6, 6], "same padding keeps size for {kh}x{kw}");
+            assert_eq!(
+                fast.shape(),
+                &[1, 3, 6, 6],
+                "same padding keeps size for {kh}x{kw}"
+            );
             assert!(fast.approx_eq(&slow, 1e-4), "kernel {kh}x{kw}");
         }
     }
@@ -641,9 +695,8 @@ mod tests {
         let p = Conv2dParams::same();
         // Loss = sum(conv(x, w, b) * g) for fixed random g.
         let g = Tensor::randn(&[1, 3, 4, 4], 0.0, 1.0, 33);
-        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
-            conv2d(x, w, Some(b), p).mul(&g).sum()
-        };
+        let loss =
+            |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 { conv2d(x, w, Some(b), p).mul(&g).sum() };
         let grads = conv2d_backward(&x, &w, &g, p);
         let eps = 1e-3f32;
         // Weight gradient.
@@ -713,9 +766,8 @@ mod tests {
         let x = Tensor::randn(&[1, 2, 3, 3], 0.0, 1.0, 50);
         let w = Tensor::randn(&[2, 1, 4, 4], 0.0, 0.5, 51);
         let g = Tensor::randn(&[1, 1, 6, 6], 0.0, 1.0, 52);
-        let loss = |x: &Tensor, w: &Tensor| -> f64 {
-            conv_transpose2d(x, w, None, 2, 1, 0).mul(&g).sum()
-        };
+        let loss =
+            |x: &Tensor, w: &Tensor| -> f64 { conv_transpose2d(x, w, None, 2, 1, 0).mul(&g).sum() };
         let grads = conv_transpose2d_backward(&x, &w, &g, 2, 1, 0);
         let eps = 1e-3f32;
         for idx in [0usize, 4, 9, 17] {

@@ -1,11 +1,37 @@
 //! Row-major single-precision matrix multiplication.
 //!
-//! `C = A * B` with `A: m x k`, `B: k x n`, `C: m x n`, all row-major. The
-//! kernel is a cache-blocked loop nest parallelized over rows of `C`; it is
-//! deliberately simple (no SIMD intrinsics) but vectorizes well under
-//! `-C opt-level=3` thanks to the unit-stride inner loop over `n`.
+//! `C = A * B` with `A: m x k`, `B: k x n`, `C: m x n`, all row-major.
+//! All four entry points (`gemm`, `gemm_accumulate`, `gemm_at_b`,
+//! `gemm_a_bt`) funnel into one packed, cache-blocked kernel:
+//!
+//! * **Panel packing.** `B` is packed per `(KC, NC)` block into
+//!   column strips of width `NR = 8`, and each thread packs its rows of
+//!   `A` into row panels of height `MR = 8`. Packing copies the operands
+//!   into unit-stride, microkernel-ordered buffers once per block, so the
+//!   transposed views used by the convolution gradients (`A^T * B`,
+//!   `A * B^T`) cost a strided *pack* instead of a strided *inner loop*.
+//! * **Blocking.** `KC = 256`, `NC = 1024`: one `B` block stays resident
+//!   in L2 while every row panel streams over it.
+//! * **Microkernel.** An `MR x NR` register tile updated with unit-stride
+//!   loads; no explicit SIMD, but the fixed-trip-count inner loops
+//!   auto-vectorize under `-C opt-level=3`.
+//!
+//! Work is parallelized over `MR`-row blocks of `C` via
+//! [`parallel_for`]'s persistent pool. Chunk boundaries only decide which
+//! thread owns a row block; every `C` element is accumulated in the same
+//! (k-block-sequential) order regardless of thread count, so results are
+//! bit-identical from 1 to N threads (see DESIGN.md, "Threading model").
 
 use crate::parallel::{parallel_for, SendPtr};
+
+/// Microkernel tile height (rows of `C` per register tile).
+const MR: usize = 8;
+/// Microkernel tile width (columns of `C` per register tile).
+const NR: usize = 8;
+/// k-dimension block: one packed `A` panel is `MR * KC` floats (8 KiB).
+const KC: usize = 256;
+/// n-dimension block: one packed `B` block is at most `KC * NC` floats.
+const NC: usize = 1024;
 
 /// Computes `C = A * B` for row-major matrices.
 ///
@@ -16,8 +42,7 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A must be m x k");
     assert_eq!(b.len(), k * n, "B must be k x n");
     assert_eq!(c.len(), m * n, "C must be m x n");
-    c.fill(0.0);
-    gemm_accumulate(a, b, c, m, k, n);
+    packed_gemm(a, k, 1, b, n, 1, c, m, k, n, false);
 }
 
 /// Computes `C += A * B` (no zeroing of `C`).
@@ -29,28 +54,7 @@ pub fn gemm_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     assert_eq!(a.len(), m * k, "A must be m x k");
     assert_eq!(b.len(), k * n, "B must be k x n");
     assert_eq!(c.len(), m * n, "C must be m x n");
-    const KC: usize = 256; // k-dimension blocking to keep B panels in cache
-    let cp = SendPtr(c.as_mut_ptr());
-    parallel_for(m, 8, |row_start, row_end| {
-        for kb in (0..k).step_by(KC) {
-            let kend = (kb + KC).min(k);
-            for i in row_start..row_end {
-                for p in kb..kend {
-                    let aip = a[i * k + p];
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..p * n + n];
-                    let cbase = i * n;
-                    for (j, &bv) in brow.iter().enumerate() {
-                        // SAFETY: rows in [row_start, row_end) are disjoint
-                        // across parallel_for chunks.
-                        unsafe { cp.add_assign(cbase + j, aip * bv) };
-                    }
-                }
-            }
-        }
-    });
+    packed_gemm(a, k, 1, b, n, 1, c, m, k, n, true);
 }
 
 /// Computes `C = A^T * B` where `A: k x m` (row-major), yielding `C: m x n`.
@@ -63,24 +67,8 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), k * m, "A must be k x m (transposed view)");
     assert_eq!(b.len(), k * n, "B must be k x n");
     assert_eq!(c.len(), m * n, "C must be m x n");
-    c.fill(0.0);
-    let cp = SendPtr(c.as_mut_ptr());
-    parallel_for(m, 8, |row_start, row_end| {
-        for p in 0..k {
-            let arow = &a[p * m..p * m + m];
-            let brow = &b[p * n..p * n + n];
-            for (i, &av) in arow.iter().enumerate().take(row_end).skip(row_start) {
-                if av == 0.0 {
-                    continue;
-                }
-                let cbase = i * n;
-                for (j, &bv) in brow.iter().enumerate() {
-                    // SAFETY: disjoint rows per parallel_for contract.
-                    unsafe { cp.add_assign(cbase + j, av * bv) };
-                }
-            }
-        }
-    });
+    // Logical A[i, p] lives at a[p * m + i]: row stride 1, column stride m.
+    packed_gemm(a, 1, m, b, n, 1, c, m, k, n, false);
 }
 
 /// Computes `C = A * B^T` where `B: n x k` (row-major), yielding `C: m x n`.
@@ -93,21 +81,126 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), m * k, "A must be m x k");
     assert_eq!(b.len(), n * k, "B must be n x k (transposed view)");
     assert_eq!(c.len(), m * n, "C must be m x n");
+    // Logical B[p, j] lives at b[j * k + p]: row stride 1, column stride k.
+    packed_gemm(a, k, 1, b, 1, k, c, m, k, n, false);
+}
+
+/// The shared packed kernel: `C (+)= A * B` where the logical operands are
+/// addressed through strides (`A[i, p] = a[i*a_rs + p*a_cs]`,
+/// `B[p, j] = b[p*b_rs + j*b_cs]`) and `C` is row-major `m x n`.
+///
+/// Accumulation order per `C` element is fixed by the block structure
+/// (k-blocks in order, `p` sequential within a block), never by chunk
+/// boundaries, which is what keeps results thread-count-invariant.
+#[allow(clippy::too_many_arguments)]
+fn packed_gemm(
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
     let cp = SendPtr(c.as_mut_ptr());
-    parallel_for(m, 8, |row_start, row_end| {
-        for i in row_start..row_end {
-            let arow = &a[i * k..i * k + k];
-            for j in 0..n {
-                let brow = &b[j * k..j * k + k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
+    let mblocks = m.div_ceil(MR);
+    let mut bpack = vec![0.0f32; KC * NC.min(n.next_multiple_of(NR))];
+
+    for nb in (0..n).step_by(NC) {
+        let nend = (nb + NC).min(n);
+        let strips = (nend - nb).div_ceil(NR);
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            let kc = kend - kb;
+
+            // Pack this B block once, shared read-only by every thread:
+            // strip s holds columns [nb + s*NR, nb + (s+1)*NR) in p-major
+            // order, zero-padded on the right edge.
+            for s in 0..strips {
+                let j0 = nb + s * NR;
+                let jw = NR.min(nend - j0);
+                let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
+                for (p, row) in strip.chunks_exact_mut(NR).enumerate() {
+                    let bbase = (kb + p) * b_rs + j0 * b_cs;
+                    for (jr, slot) in row.iter_mut().enumerate() {
+                        *slot = if jr < jw { b[bbase + jr * b_cs] } else { 0.0 };
+                    }
                 }
-                // SAFETY: disjoint rows per parallel_for contract.
-                unsafe { cp.write(i * n + j, acc) };
+            }
+            let bpack = &bpack[..];
+
+            let first_k_block = kb == 0 && !accumulate;
+            parallel_for(mblocks, 1, |blk_start, blk_end| {
+                let mut apack = [0.0f32; MR * KC];
+                for blk in blk_start..blk_end {
+                    let i0 = blk * MR;
+                    let mh = MR.min(m - i0);
+                    // Pack this thread's A panel: p-major, MR-wide rows,
+                    // zero-padded below the last valid row.
+                    for (p, row) in apack[..kc * MR].chunks_exact_mut(MR).enumerate() {
+                        let abase = i0 * a_rs + (kb + p) * a_cs;
+                        for (ir, slot) in row.iter_mut().enumerate() {
+                            *slot = if ir < mh { a[abase + ir * a_rs] } else { 0.0 };
+                        }
+                    }
+                    for s in 0..strips {
+                        let j0 = nb + s * NR;
+                        let jw = NR.min(nend - j0);
+                        let strip = &bpack[s * kc * NR..(s + 1) * kc * NR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel(&apack[..kc * MR], strip, kc, &mut acc);
+                        // Write back only the valid rows/columns; padded
+                        // lanes accumulated exact zeros.
+                        for (ir, accrow) in acc.iter().enumerate().take(mh) {
+                            let cbase = (i0 + ir) * n + j0;
+                            for (jr, &v) in accrow.iter().enumerate().take(jw) {
+                                // SAFETY: row blocks are disjoint across
+                                // parallel_for chunks, and [cbase, cbase+jw)
+                                // is in bounds for the m x n buffer.
+                                unsafe {
+                                    if first_k_block {
+                                        cp.write(cbase + jr, v);
+                                    } else {
+                                        cp.add_assign(cbase + jr, v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Rank-1-update microkernel: `acc += Apanel[:, p] * Bstrip[p, :]` for
+/// `p` in `0..kc`, with both panels packed unit-stride. The fixed `MR` /
+/// `NR` trip counts let the compiler keep `acc` in registers and
+/// vectorize the lane loop.
+#[inline]
+fn microkernel(apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let av: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().expect("panel row");
+        let bv: &[f32; NR] = bstrip[p * NR..p * NR + NR].try_into().expect("strip row");
+        for (accrow, &aval) in acc.iter_mut().zip(av.iter()) {
+            for (slot, &bval) in accrow.iter_mut().zip(bv.iter()) {
+                *slot += aval * bval;
             }
         }
-    });
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +250,27 @@ mod tests {
     }
 
     #[test]
+    fn matches_naive_across_edge_shapes() {
+        // Hit every panel edge case: m/n below one tile, exact multiples,
+        // ragged remainders, and k spanning multiple KC blocks.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (8, 8, 8),
+            (9, 17, 9),
+            (7, KC + 3, 11),
+            (16, 2 * KC, 24),
+            (5, 40, NC / 4 + 13),
+        ] {
+            let a = rand_vec(m * k, (m + k) as u64);
+            let b = rand_vec(k * n, (k + n) as u64);
+            let mut c = vec![0.0; m * n];
+            gemm(&a, &b, &mut c, m, k, n);
+            let tol = 1e-4 * (k as f32).sqrt();
+            assert_close(&c, &naive(&a, &b, m, k, n), tol);
+        }
+    }
+
+    #[test]
     fn accumulate_adds_onto_existing() {
         let (m, k, n) = (2, 2, 2);
         let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
@@ -199,6 +313,23 @@ mod tests {
         let mut c1 = vec![0.0; m * n];
         gemm_a_bt(&a, &b_t, &mut c1, m, k, n);
         assert_close(&c1, &naive(&a, &b, m, k, n), 1e-3);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        use crate::parallel::{num_threads, set_num_threads};
+        let (m, k, n) = (33, KC + 7, 29);
+        let a = rand_vec(m * k, 9);
+        let b = rand_vec(k * n, 10);
+        let before = num_threads();
+        set_num_threads(1);
+        let mut c1 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n);
+        set_num_threads(4);
+        let mut c4 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c4, m, k, n);
+        set_num_threads(before);
+        assert_eq!(c1, c4, "accumulation order must not depend on threads");
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl ConvGeometry {
             self.in_h + self.pad_top + self.pad_bottom,
             self.in_w + self.pad_left + self.pad_right
         );
-        assert!(self.stride_h > 0 && self.stride_w > 0, "stride must be positive");
+        assert!(
+            self.stride_h > 0 && self.stride_w > 0,
+            "stride must be positive"
+        );
     }
 }
 
@@ -82,7 +85,11 @@ impl ConvGeometry {
 /// Panics if buffer sizes disagree with the geometry.
 pub fn im2col(input: &[f32], geo: &ConvGeometry, col: &mut [f32]) {
     geo.validate();
-    assert_eq!(input.len(), geo.channels * geo.in_h * geo.in_w, "input size");
+    assert_eq!(
+        input.len(),
+        geo.channels * geo.in_h * geo.in_w,
+        "input size"
+    );
     assert_eq!(col.len(), geo.col_rows() * geo.col_cols(), "col size");
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let ncols = oh * ow;
@@ -123,7 +130,11 @@ pub fn im2col(input: &[f32], geo: &ConvGeometry, col: &mut [f32]) {
 /// Panics if buffer sizes disagree with the geometry.
 pub fn col2im(col: &[f32], geo: &ConvGeometry, output: &mut [f32]) {
     geo.validate();
-    assert_eq!(output.len(), geo.channels * geo.in_h * geo.in_w, "output size");
+    assert_eq!(
+        output.len(),
+        geo.channels * geo.in_h * geo.in_w,
+        "output size"
+    );
     assert_eq!(col.len(), geo.col_rows() * geo.col_cols(), "col size");
     output.fill(0.0);
     let (oh, ow) = (geo.out_h(), geo.out_w());
@@ -204,14 +215,17 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
         let g = geo(2, 5, 4, 3, 2, 1);
         let x = crate::Tensor::randn(&[g.channels * g.in_h * g.in_w], 0.0, 1.0, 11).into_vec();
-        let y =
-            crate::Tensor::randn(&[g.col_rows() * g.col_cols()], 0.0, 1.0, 12).into_vec();
+        let y = crate::Tensor::randn(&[g.col_rows() * g.col_cols()], 0.0, 1.0, 12).into_vec();
         let mut cx = vec![0.0; y.len()];
         im2col(&x, &g, &mut cx);
         let lhs: f64 = cx.iter().zip(y.iter()).map(|(&a, &b)| (a * b) as f64).sum();
         let mut aty = vec![0.0; x.len()];
         col2im(&y, &g, &mut aty);
-        let rhs: f64 = x.iter().zip(aty.iter()).map(|(&a, &b)| (a * b) as f64).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(aty.iter())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

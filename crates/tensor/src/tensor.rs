@@ -256,7 +256,10 @@ impl Tensor {
         let dims = self.shape();
         assert_eq!(dims.len(), 3, "crop_hw expects a [C, H, W] tensor");
         let (c, h, w) = (dims[0], dims[1], dims[2]);
-        assert!(y0 < y1 && y1 <= h && x0 < x1 && x1 <= w, "window [{y0},{y1})x[{x0},{x1}) out of bounds for {h}x{w}");
+        assert!(
+            y0 < y1 && y1 <= h && x0 < x1 && x1 <= w,
+            "window [{y0},{y1})x[{x0},{x1}) out of bounds for {h}x{w}"
+        );
         let (ch, cw) = (y1 - y0, x1 - x0);
         let mut data = Vec::with_capacity(c * ch * cw);
         for cc in 0..c {
@@ -530,7 +533,11 @@ mod tests {
     fn randn_statistics_are_plausible() {
         let t = Tensor::randn(&[10_000], 2.0, 0.5, 123);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
             / t.len() as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean was {mean}");
         assert!((var - 0.25).abs() < 0.05, "variance was {var}");

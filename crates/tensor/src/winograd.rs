@@ -179,7 +179,12 @@ pub const WINOGRAD_MUL_RATIO: f64 = 4.0 / 9.0;
 
 /// Dispatches to Winograd for 3x3 same-padding kernels, falling back to
 /// [`crate::conv::conv2d`] otherwise. Drop-in for inference runtimes.
-pub fn conv2d_auto(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, params: Conv2dParams) -> Tensor {
+pub fn conv2d_auto(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
     let is_3x3_same = weight.shape()[2] == 3
         && weight.shape()[3] == 3
         && params.stride_h == 1
@@ -204,7 +209,11 @@ mod tests {
         let b = Tensor::randn(&[4], 0.0, 0.5, 3);
         let fast = winograd_conv3x3(&x, &w, Some(&b));
         let refr = conv2d(&x, &w, Some(&b), Conv2dParams::same());
-        assert!(fast.approx_eq(&refr, 1e-4), "diff {}", fast.max_abs_diff(&refr));
+        assert!(
+            fast.approx_eq(&refr, 1e-4),
+            "diff {}",
+            fast.max_abs_diff(&refr)
+        );
     }
 
     #[test]

@@ -13,15 +13,17 @@ use sesr::npu::{simulate, simulate_tiled, EthosN78Like};
 
 fn main() {
     let npu = EthosN78Like::default().0;
-    println!("simulated NPU: {} TOP/s, {} GB/s DRAM, {} MiB SRAM\n", npu.peak_tops, npu.dram_gbps, npu.sram_bytes >> 20);
+    println!(
+        "simulated NPU: {} TOP/s, {} GB/s DRAM, {} MiB SRAM\n",
+        npu.peak_tops,
+        npu.dram_gbps,
+        npu.sram_bytes >> 20
+    );
 
     // --- Full-frame 1080p -> 4K (x2) ---
     // Hardware-efficient SESR variant: ReLU + no input residual (Sec. 5.5).
     let sesr = simulate(&sesr_ir(16, 5, 2, false, 1080, 1920), &npu);
-    let fsrcnn = simulate(
-        &Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920),
-        &npu,
-    );
+    let fsrcnn = simulate(&Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920), &npu);
     println!("1080p -> 4K (x2), full frame:");
     println!(
         "  FSRCNN  : {:>7.2} ms ({:>5.1} FPS), {:>6.1} MB DRAM",
@@ -62,17 +64,15 @@ fn main() {
     );
 
     // --- Functional check: tiling with enough overlap is seamless ---
-    let model = Sesr::new(
-        SesrConfig::m(5)
-            .with_expanded(32)
-            .hardware_efficient(),
-    );
+    let model = Sesr::new(SesrConfig::m(5).with_expanded(32).hardware_efficient());
     let collapsed = model.collapse();
     let lr = generate(Family::Urban, 96, 96, 5);
     let whole = collapsed.run(&lr);
     // Collapsed SESR-M5 receptive-field radius: 2 + 5*1 + 2 = 9 pixels.
     assert_eq!(collapsed.receptive_field_radius(), 9);
-    let tiled_img = collapsed.run_tiled(&lr, 48, 10).expect("overlap covers the receptive field");
+    let tiled_img = collapsed
+        .run_tiled(&lr, 48, 10)
+        .expect("overlap covers the receptive field");
     let diff = whole.max_abs_diff(&tiled_img);
     println!("\ntiled inference matches whole-image inference: max diff {diff:.2e}");
     assert_eq!(diff, 0.0, "tiling must be bit-exact with sufficient halo");

@@ -30,7 +30,10 @@ fn main() {
         expanded: 16,
         ..SearchConfig::default()
     };
-    println!("\nsearching ({} candidates per generation, {} generations)...", cfg.population, cfg.generations);
+    println!(
+        "\nsearching ({} candidates per generation, {} generations)...",
+        cfg.population, cfg.generations
+    );
     let result = search(&cfg, &npu);
     println!("evaluated {} candidates", result.history.len());
     println!("winner: {}", result.best.candidate.describe());
@@ -51,12 +54,15 @@ fn main() {
         lr: 5e-4,
         log_every: 50,
         seed: 3,
-            ..TrainConfig::default()
-        });
+        ..TrainConfig::default()
+    });
     trainer.train(&mut winner, &set);
     let bench = Benchmark::new(Family::Mixed, 3, 96, 2);
     let q = bench.evaluate(&|lr| winner.infer(lr));
-    println!("trained winner: {:.2} dB PSNR / {:.4} SSIM on the DIV2K stand-in", q.psnr, q.ssim);
+    println!(
+        "trained winner: {:.2} dB PSNR / {:.4} SSIM on the DIV2K stand-in",
+        q.psnr, q.ssim
+    );
 
     let kernels = &result.best.candidate.kernels;
     let small = kernels.iter().filter(|&&(kh, kw)| kh < 3 || kw < 3).count();

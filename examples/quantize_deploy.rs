@@ -45,7 +45,10 @@ fn main() {
         .map(|i| generate(Family::Mixed, 48, 48, 31_000 + i))
         .collect();
     let profile = calibrate(&shipped, &calib);
-    println!("stage 3: calibrated {} activation wires", profile.layer_outputs.len());
+    println!(
+        "stage 3: calibrated {} activation wires",
+        profile.layer_outputs.len()
+    );
 
     // 4. Quantize to int8.
     let qnet = QuantizedSesr::quantize(&shipped, &profile);
@@ -62,7 +65,12 @@ fn main() {
         let lr = sesr::data::resize::downscale(&hr, 2);
         let f_db = psnr(&shipped.run(&lr), &hr, 1.0);
         let q_db = psnr(&qnet.run(&lr), &hr, 1.0);
-        println!("  {tag:<8} f32 {f_db:.2} dB | int8 {q_db:.2} dB | drop {:.3} dB", f_db - q_db);
+        println!(
+            "  {tag:<8} f32 {f_db:.2} dB | int8 {q_db:.2} dB | drop {:.3} dB",
+            f_db - q_db
+        );
     }
-    println!("\nthe int8 path is what the paper's NPU numbers assume (1 byte/element DRAM accounting).");
+    println!(
+        "\nthe int8 path is what the paper's NPU numbers assume (1 byte/element DRAM accounting)."
+    );
 }

@@ -37,8 +37,8 @@ fn main() {
         lr: 5e-4,
         log_every: 50,
         seed: 7,
-            ..TrainConfig::default()
-        });
+        ..TrainConfig::default()
+    });
     let report = trainer.train(&mut model, &train_set);
     for sample in &report.losses {
         println!("  step {:>4}: L1 loss {:.4}", sample.step, sample.loss);

@@ -27,8 +27,8 @@ fn main() {
         lr: 5e-4,
         log_every: 50,
         seed: 0xF00,
-            ..TrainConfig::default()
-        });
+        ..TrainConfig::default()
+    });
 
     println!("training four block variants with identical setups...\n");
     let mut final_psnr = Vec::new();

@@ -27,8 +27,8 @@ fn main() {
         lr: 5e-4,
         log_every: 100,
         seed: 11,
-            ..TrainConfig::default()
-        });
+        ..TrainConfig::default()
+    });
     let r = trainer.train(&mut x2, &x2_set);
     println!("  x2 final loss: {:.4}", r.final_loss);
 
@@ -51,7 +51,10 @@ fn main() {
     let mut scratch = Sesr::new(config.with_scale(4).with_seed(999));
     trainer.train(&mut scratch, &x4_set);
     let sr_scratch = scratch.infer(&lr);
-    println!("  SESR-M3 (scratch)  : {:.2} dB", psnr(&sr_scratch, &hr, 1.0));
+    println!(
+        "  SESR-M3 (scratch)  : {:.2} dB",
+        psnr(&sr_scratch, &hr, 1.0)
+    );
 
     // --- The MAC arithmetic the paper highlights ---
     println!("\nwhy the single-conv head matters (to-720p MAC convention):");

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Performance regression gate: re-run each benchmark with the exact
+# configuration its committed baseline was recorded with, then compare
+# the headline throughput metrics via `sesr bench-gate`, which fails if
+# a fresh run regresses more than MAX_REGRESS (default 25%).
+#
+# The flag sets below MUST mirror the `config` blocks inside the
+# committed BENCH_train.json / BENCH_serve.json — re-record a baseline
+# and update its flags here together, never one without the other.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REGRESS="${MAX_REGRESS:-0.25}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+sesr() {
+    cargo run --release --offline -q -p sesr-cli -- "$@"
+}
+
+if [[ -f BENCH_train.json ]]; then
+    echo "-- bench-gate: training throughput --"
+    sesr train-bench --archs m5,m11 --scale 2 --expanded 16 --seed 0 \
+        --steps 10 --warmup 2 --batch 8 --hr-patch 32 --threads 4 \
+        --out "$tmp/BENCH_train.json"
+    sesr bench-gate --baseline BENCH_train.json \
+        --fresh "$tmp/BENCH_train.json" --max-regress "$MAX_REGRESS"
+else
+    echo "bench-gate: no BENCH_train.json baseline; skipping train gate" >&2
+fi
+
+if [[ -f BENCH_serve.json ]]; then
+    echo "-- bench-gate: serving throughput --"
+    sesr serve-bench --arch m5 --scale 2 --expanded 32 --seed 0 \
+        --workers 2 --queue-cap 64 --max-batch 8 \
+        --requests 64 --height 64 --width 64 --mode closed --concurrency 4 \
+        --burst 80 --load-seed 0 --intra-threads 1 \
+        --out "$tmp/BENCH_serve.json"
+    sesr bench-gate --baseline BENCH_serve.json \
+        --fresh "$tmp/BENCH_serve.json" --max-regress "$MAX_REGRESS"
+else
+    echo "bench-gate: no BENCH_serve.json baseline; skipping serve gate" >&2
+fi

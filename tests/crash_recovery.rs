@@ -2,7 +2,9 @@
 //! kill-and-resume bit-identity, corrupted-checkpoint rejection, and
 //! divergence rollback with learning-rate backoff.
 
-use sesr::core::checkpoint::{decode_checkpoint, load_checkpoint, save_checkpoint, CheckpointError};
+use sesr::core::checkpoint::{
+    decode_checkpoint, load_checkpoint, save_checkpoint, CheckpointError,
+};
 use sesr::core::model::{Sesr, SesrConfig};
 use sesr::core::train::{
     DivergenceGuard, FaultInjection, RecoveryKind, SrNetwork, StepOutcome, TrainConfig, TrainError,
@@ -179,7 +181,10 @@ fn nan_gradient_triggers_rollback_with_lr_backoff() {
     assert_eq!(event.step, 5);
     assert_eq!(event.kind, RecoveryKind::NonFiniteGrad);
     assert!(event.rolled_back_to <= 5);
-    assert!((event.lr_scale - 0.5).abs() < 1e-6, "no LR backoff recorded");
+    assert!(
+        (event.lr_scale - 0.5).abs() < 1e-6,
+        "no LR backoff recorded"
+    );
     // The recovered run must end with finite, usable parameters.
     assert!(report.final_loss.is_finite());
     for p in model.parameters() {

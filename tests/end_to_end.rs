@@ -14,8 +14,8 @@ fn quick_trainer(steps: usize) -> Trainer {
         lr: 2e-3,
         log_every: steps,
         seed: 0xE2E,
-            ..TrainConfig::default()
-        })
+        ..TrainConfig::default()
+    })
 }
 
 #[test]
@@ -35,8 +35,8 @@ fn short_training_lifts_psnr_dramatically() {
         lr: 5e-3,
         log_every: 100,
         seed: 0xE2E,
-            ..TrainConfig::default()
-        })
+        ..TrainConfig::default()
+    })
     .train(&mut model, &set);
     let q = bench.evaluate(&|lr| model.infer(lr));
     assert!(q.psnr > 10.0, "trained PSNR {:.2} dB too low", q.psnr);
@@ -63,8 +63,8 @@ fn trained_sesr_beats_bicubic_on_urban_content() {
         lr: 2e-3,
         log_every: 1000,
         seed: 0xE2E,
-            ..TrainConfig::default()
-        })
+        ..TrainConfig::default()
+    })
     .train(&mut model, &set);
     let bench = Benchmark::new(Family::Urban, 2, 72, 2);
     let sesr_q = bench.evaluate(&|lr| model.infer(lr));

@@ -55,7 +55,11 @@ fn table3_tiling_structure() {
         "tile MACs {}",
         tiled.per_tile.total_macs()
     );
-    assert!(tiled.per_tile.total_ms() < 3.0, "per tile {}", tiled.per_tile.total_ms());
+    assert!(
+        tiled.per_tile.total_ms() < 3.0,
+        "per tile {}",
+        tiled.per_tile.total_ms()
+    );
     assert!(tiled.per_tile.dram_mb() < 10.0);
     // End-to-end: tiled SESR vs FSRCNN should be roughly an order of
     // magnitude (paper: ~8x).

@@ -131,9 +131,7 @@ fn intro_fps_arithmetic() {
     // Three of five SESR nets at ~60+ FPS best case.
     let near60 = [(16, 3), (16, 5), (16, 7), (16, 11), (32, 11)]
         .iter()
-        .filter(|(f, m)| {
-            4.0e12 / (2.0 * sesr_macs_from_1080p(*f, *m, 2) as f64) >= 50.0
-        })
+        .filter(|(f, m)| 4.0e12 / (2.0 * sesr_macs_from_1080p(*f, *m, 2) as f64) >= 50.0)
         .count();
     assert_eq!(near60, 3);
 }
@@ -156,7 +154,6 @@ fn largest_activation_ratio_is_3_5x() {
     // (H x W x 16), driving the 2x DRAM difference.
     let fsrcnn = Fsrcnn::new(FsrcnnConfig::standard(2)).ir(1080, 1920);
     let sesr = sesr_ir(16, 5, 2, false, 1080, 1920);
-    let ratio =
-        fsrcnn.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
+    let ratio = fsrcnn.peak_activation_elements() as f64 / sesr.peak_activation_elements() as f64;
     assert!((ratio - 3.5).abs() < 1e-9);
 }

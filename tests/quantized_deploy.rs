@@ -57,12 +57,7 @@ fn train_collapse_serialize_quantize_infer() {
 
 #[test]
 fn quantized_x4_pipeline() {
-    let model = Sesr::new(
-        SesrConfig::m(1)
-            .with_expanded(8)
-            .with_scale(4)
-            .with_seed(4),
-    );
+    let model = Sesr::new(SesrConfig::m(1).with_expanded(8).with_scale(4).with_seed(4));
     let collapsed = model.collapse();
     let calib = vec![generate(Family::Smooth, 24, 24, 1)];
     let qnet = QuantizedSesr::quantize(&collapsed, &calibrate(&collapsed, &calib));

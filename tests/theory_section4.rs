@@ -76,7 +76,10 @@ fn repvgg_has_no_adaptivity_but_sesr_does() {
     };
     let rep_a = g(0.3, 0.2, Scheme::RepVgg);
     let rep_b = g(0.1, 0.4, Scheme::RepVgg); // same β = w1 + w2 + 1
-    assert!((rep_a - rep_b).abs() < 1e-12, "RepVGG step depends on split");
+    assert!(
+        (rep_a - rep_b).abs() < 1e-12,
+        "RepVGG step depends on split"
+    );
 
     // Same collapsed β for SESR via different (w1, w2) splits.
     let beta_target = 1.3;
@@ -136,10 +139,7 @@ fn second_order_error_scaling_over_many_etas() {
             .collect();
         for pair in errors.windows(2) {
             let ratio = pair[0] / pair[1];
-            assert!(
-                (3.0..5.0).contains(&ratio),
-                "{scheme:?}: ratios {errors:?}"
-            );
+            assert!((3.0..5.0).contains(&ratio), "{scheme:?}: ratios {errors:?}");
         }
     }
 }
