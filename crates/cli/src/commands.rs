@@ -88,6 +88,11 @@ USAGE:
   sesr train-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
                 [--steps 10] [--warmup 2] [--batch 8] [--hr-patch 32]
                 [--threads N] [--out BENCH_train.json]
+  sesr serve-chaos [--seed 0xC4A05] [--requests 400] [--workers 3]
+                [--concurrency 12] [--height 8] [--width 8]
+                [--panic-per-mille 150] [--slow-per-mille 150]
+                [--load-fail-per-mille 200] [--skew-per-mille 50]
+                [--min-faults N]
   sesr bench-gate --baseline <BENCH_x.json> --fresh <BENCH_x.json>
                 [--max-regress 0.25]
 
@@ -96,6 +101,12 @@ Crash safety: with --ckpt, training state is checkpointed atomically every
 --resume <run.ckpt> (and identical hyper-parameters) to continue
 bit-identically. --guard enables divergence detection with automatic
 rollback and learning-rate backoff.
+
+Fault tolerance: serve-chaos drives seeded fault injection (worker
+panics, slow forwards, registry load failures, clock-skewed deadlines)
+through the serving engine under load, then fails unless every request
+got exactly one terminal outcome and the fault/restart/retry counters
+reconcile.
 ";
 
 /// Runs the CLI and returns its textual report.
@@ -111,6 +122,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("simulate") => simulate_cmd(args),
         Some("info") => info(args),
         Some("serve-bench") => serve_bench(args),
+        Some("serve-chaos") => serve_chaos(args),
         Some("train-bench") => train_bench(args),
         Some("bench-gate") => bench_gate(args),
         _ => Err(CliError::Usage(USAGE.to_string())),
@@ -403,6 +415,192 @@ fn serve_bench(args: &Args) -> Result<String, CliError> {
     }
     summary.push_str(&format!("wrote {out_path}"));
     Ok(summary)
+}
+
+/// The chaos soak: drive seeded fault injection through the serving
+/// engine under closed-loop load, then reconcile the client's view of
+/// outcomes against the engine's fault/restart/retry ledger. Returns an
+/// error (failing the CI step) if any request is lost, any counter
+/// disagrees, or the drain misses its deadline.
+fn serve_chaos(args: &Args) -> Result<String, CliError> {
+    use sesr_serve::chaos::ChaosConfig;
+    use sesr_serve::engine::{Engine, EngineConfig, ServeError, Ticket};
+    use sesr_serve::registry::{ModelKey, ModelRegistry};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let requests = args.parsed_or("requests", 400u64)?;
+    // Seeds are conventionally written in hex; accept both radixes.
+    let seed = match args.get("seed") {
+        None => 0xC4A05,
+        Some(s) => s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .map_or_else(
+                || s.parse::<u64>().ok(),
+                |hex| u64::from_str_radix(hex, 16).ok(),
+            )
+            .ok_or_else(|| {
+                CliError::Args(ArgError::Invalid {
+                    key: "seed".to_string(),
+                    value: s.to_string(),
+                })
+            })?,
+    };
+    let workers = args.parsed_or("workers", 3usize)?;
+    let concurrency = args.parsed_or("concurrency", 12usize)?.max(1);
+    let height = args.parsed_or("height", 8usize)?;
+    let width = args.parsed_or("width", 8usize)?;
+    let min_faults = args.parsed_or("min-faults", requests / 8)?;
+    let chaos = ChaosConfig {
+        seed,
+        panic_per_mille: args.parsed_or("panic-per-mille", 150u32)?,
+        slow_per_mille: args.parsed_or("slow-per-mille", 150u32)?,
+        load_fail_per_mille: args.parsed_or("load-fail-per-mille", 200u32)?,
+        skew_per_mille: args.parsed_or("skew-per-mille", 50u32)?,
+        slow: Duration::from_millis(args.parsed_or("slow-ms", 1u64)?),
+        // Far beyond the request deadline: a skewed clock expires its
+        // whole batch deterministically.
+        skew: Duration::from_secs(60),
+    };
+
+    let model = Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(seed)).collapse();
+    let key = ModelKey::new("m2", 2);
+    let registry = Arc::new(ModelRegistry::new(4));
+    registry.insert(key.clone(), model);
+    let cfg = EngineConfig {
+        workers,
+        queue_capacity: 256,
+        max_batch: 3,
+        max_retries: 3,
+        restart_budget: 10_000,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        chaos: Some(chaos),
+        ..EngineConfig::default()
+    };
+    let batch_path_only = height * width <= cfg.tile_threshold_px;
+    let engine = Engine::new(cfg, registry);
+
+    let deadline = Some(Duration::from_secs(30));
+    let (mut ok, mut expired, mut load_failed, mut crashed, mut other) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut resolve = |t: Ticket| match t.wait() {
+        Ok(_) => ok += 1,
+        Err(ServeError::DeadlineExpired) => expired += 1,
+        Err(ServeError::ModelLoad(_)) => load_failed += 1,
+        Err(ServeError::WorkerCrashed(_)) => crashed += 1,
+        Err(_) => other += 1,
+    };
+    let mut inflight: VecDeque<Ticket> = VecDeque::new();
+    for i in 0..requests {
+        while inflight.len() >= concurrency {
+            if let Some(t) = inflight.pop_front() {
+                resolve(t);
+            }
+        }
+        let input = sesr_tensor::Tensor::rand_uniform(&[1, height, width], 0.0, 1.0, i);
+        match engine.submit(&key, input, deadline) {
+            Ok(t) => inflight.push_back(t),
+            Err(e) => {
+                return Err(CliError::Io(std::io::Error::other(format!(
+                    "submission rejected under soak load: {e}"
+                ))))
+            }
+        }
+    }
+    for t in inflight {
+        resolve(t);
+    }
+    let drain = engine.shutdown(Duration::from_secs(10));
+    let c = engine.telemetry().snapshot().counters;
+
+    let outcomes = ok + expired + load_failed + crashed + other;
+    let fault_sum = c.faults_panic + c.faults_slow + c.faults_load + c.faults_skew;
+    let mut problems: Vec<String> = Vec::new();
+    if outcomes != requests {
+        problems.push(format!(
+            "lost requests: {outcomes} terminal outcomes for {requests} submissions"
+        ));
+    }
+    if other != 0 {
+        problems.push(format!("{other} request(s) saw an unexpected error kind"));
+    }
+    if c.faults_injected != fault_sum {
+        problems.push(format!(
+            "faults_injected {} != per-point sum {fault_sum}",
+            c.faults_injected
+        ));
+    }
+    if c.faults_injected < min_faults {
+        problems.push(format!(
+            "only {} faults injected (need >= {min_faults}; raise rates or requests)",
+            c.faults_injected
+        ));
+    }
+    if c.completed != ok {
+        problems.push(format!(
+            "engine completed {} but client saw {ok}",
+            c.completed
+        ));
+    }
+    if c.requests_quarantined != crashed {
+        problems.push(format!(
+            "quarantined {} but client saw {crashed} crash errors",
+            c.requests_quarantined
+        ));
+    }
+    if batch_path_only && c.worker_restarts != c.faults_panic {
+        problems.push(format!(
+            "{} worker restarts for {} injected panics",
+            c.worker_restarts, c.faults_panic
+        ));
+    }
+    if c.requests_retried + c.requests_quarantined + load_failed < c.faults_panic + c.faults_load {
+        problems.push(format!(
+            "retries {} + quarantined {} + load failures {load_failed} do not cover panic {} + load {} faults",
+            c.requests_retried, c.requests_quarantined, c.faults_panic, c.faults_load
+        ));
+    }
+    if !drain.joined {
+        problems.push("shutdown failed to join workers within its deadline".to_string());
+    }
+    if drain.dropped != 0 {
+        problems.push(format!(
+            "{} settled requests were re-dropped in drain",
+            drain.dropped
+        ));
+    }
+
+    let summary = format!(
+        "serve-chaos seed {seed:#x}: {requests} requests ({height}x{width}), {workers} workers\n\
+         \x20 outcomes: {ok} ok, {expired} expired, {load_failed} load-failed, {crashed} crashed\n\
+         \x20 faults injected: {} (panic {}, slow {}, load {}, skew {})\n\
+         \x20 recovery: {} worker restarts, {} retries, {} quarantined\n\
+         \x20 drain: joined={} in {:.0} ms, {} dropped",
+        c.faults_injected,
+        c.faults_panic,
+        c.faults_slow,
+        c.faults_load,
+        c.faults_skew,
+        c.worker_restarts,
+        c.requests_retried,
+        c.requests_quarantined,
+        drain.joined,
+        drain.elapsed.as_secs_f64() * 1e3,
+        drain.dropped,
+    );
+    if problems.is_empty() {
+        Ok(format!(
+            "{summary}\nchaos soak reconciled: zero lost requests"
+        ))
+    } else {
+        Err(CliError::Io(std::io::Error::other(format!(
+            "{summary}\nchaos reconciliation FAILED:\n  {}",
+            problems.join("\n  ")
+        ))))
+    }
 }
 
 fn train_bench(args: &Args) -> Result<String, CliError> {
@@ -744,6 +942,29 @@ mod tests {
         sesr_serve::json::validate(&json).unwrap();
         assert!(json.contains("\"throughput_rps\""));
         assert!(json.contains("\"burst_rejected\":4"), "{json}");
+    }
+
+    #[test]
+    fn serve_chaos_soak_reconciles_with_zero_lost_requests() {
+        let report = run(&args(
+            "serve-chaos --requests 160 --seed 7 --workers 2 --concurrency 8",
+        ))
+        .unwrap();
+        assert!(report.contains("chaos soak reconciled"), "{report}");
+        assert!(report.contains("faults injected"), "{report}");
+        assert!(report.contains("0 dropped"), "{report}");
+    }
+
+    #[test]
+    fn serve_chaos_with_zero_rates_injects_nothing_and_still_reconciles() {
+        let report = run(&args(
+            "serve-chaos --requests 40 --workers 2 --panic-per-mille 0 \
+             --slow-per-mille 0 --load-fail-per-mille 0 --skew-per-mille 0 \
+             --min-faults 0",
+        ))
+        .unwrap();
+        assert!(report.contains("faults injected: 0"), "{report}");
+        assert!(report.contains("40 ok"), "{report}");
     }
 
     #[test]

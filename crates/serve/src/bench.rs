@@ -170,6 +170,7 @@ pub fn bench_report_json(cfg: &BenchConfig, out: &BenchOutcome) -> String {
         .int("completed", r.completed)
         .int("rejected_queue_full", r.rejected)
         .int("deadline_expired", r.deadline_expired)
+        .int("failed", r.failed)
         .int("burst_admitted", r.burst_admitted)
         .int("burst_rejected", r.burst_rejected)
         .num("wall_ms", r.wall_ms)

@@ -1,0 +1,238 @@
+//! Deterministic, seed-driven fault injection for the serving engine.
+//!
+//! Chaos engineering for an in-process engine: the fault points a real
+//! deployment fears — a panicking forward pass, a model that suddenly
+//! runs slow, a registry artifact that fails to load, a skewed clock
+//! making deadlines fire early — are threaded through the engine behind
+//! an optional [`ChaosConfig`]. Every *decision* is a pure function of
+//! `(seed, fault point, per-point decision index)`, so a given seed
+//! yields the same fault pattern for the same sequence of decisions,
+//! independent of wall-clock time. Thread scheduling can interleave
+//! which request draws which index, but the *set* of indices drawn (and
+//! therefore the number of injected faults after N decisions) is fixed —
+//! which is what the soak test's reconciliation arithmetic needs.
+//!
+//! The engine, not this module, performs the effects (panicking,
+//! sleeping, failing a load) and counts each injection into telemetry,
+//! so `faults_injected` can be reconciled against observed restarts,
+//! retries, and rejections.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Rates (per mille) and magnitudes for each fault point. All rates
+/// default to 0, so a default config injects nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Per-mille probability that a forward pass panics.
+    pub panic_per_mille: u32,
+    /// Per-mille probability that a forward pass is slowed by `slow`.
+    pub slow_per_mille: u32,
+    /// Per-mille probability that a registry load fails transiently.
+    pub load_fail_per_mille: u32,
+    /// Per-mille probability that a batch's deadline check runs with the
+    /// clock skewed forward by `skew` (deadlines fire early).
+    pub skew_per_mille: u32,
+    /// Injected compute delay for slow-model faults.
+    pub slow: Duration,
+    /// Injected clock skew for skewed-deadline faults.
+    pub skew: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_per_mille: 0,
+            slow_per_mille: 0,
+            load_fail_per_mille: 0,
+            skew_per_mille: 0,
+            slow: Duration::from_millis(2),
+            skew: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The four fault points threaded through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The forward pass (batched or tiled) panics.
+    PanicInForward,
+    /// The forward pass is artificially delayed.
+    SlowModel,
+    /// The registry reports a transient load failure.
+    RegistryLoad,
+    /// The deadline check observes a clock skewed forward.
+    ClockSkew,
+}
+
+impl FaultPoint {
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::PanicInForward => 0,
+            FaultPoint::SlowModel => 1,
+            FaultPoint::RegistryLoad => 2,
+            FaultPoint::ClockSkew => 3,
+        }
+    }
+
+    fn salt(self) -> u64 {
+        // Arbitrary distinct constants so the four decision streams are
+        // independent even though they share one seed.
+        [
+            0x9E37_79B9_7F4A_7C15,
+            0xD1B5_4A32_D192_ED03,
+            0x8CB9_2BA7_2F3D_8DD7,
+            0xA24B_AED4_963E_E407,
+        ][self.index()]
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runtime state of the injector: the config plus one decision counter
+/// per fault point.
+pub struct Chaos {
+    cfg: ChaosConfig,
+    draws: [AtomicU64; 4],
+}
+
+impl Chaos {
+    /// An injector over `cfg`.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self {
+            cfg,
+            draws: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// The configuration this injector was built with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Draws the next decision for `point`: true means "inject".
+    fn draw(&self, point: FaultPoint, per_mille: u32) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let i = self.draws[point.index()].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.cfg.seed ^ point.salt() ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        (h % 1000) < u64::from(per_mille.min(1000))
+    }
+
+    /// Should this forward pass panic?
+    pub fn panic_in_forward(&self) -> bool {
+        self.draw(FaultPoint::PanicInForward, self.cfg.panic_per_mille)
+    }
+
+    /// Delay to inject into this forward pass, if any.
+    pub fn slow_model(&self) -> Option<Duration> {
+        self.draw(FaultPoint::SlowModel, self.cfg.slow_per_mille)
+            .then_some(self.cfg.slow)
+    }
+
+    /// Should this registry load fail transiently?
+    pub fn fail_registry_load(&self) -> bool {
+        self.draw(FaultPoint::RegistryLoad, self.cfg.load_fail_per_mille)
+    }
+
+    /// Clock skew to apply to this batch's deadline check, if any.
+    pub fn deadline_skew(&self) -> Option<Duration> {
+        self.draw(FaultPoint::ClockSkew, self.cfg.skew_per_mille)
+            .then_some(self.cfg.skew)
+    }
+
+    /// Decisions drawn so far per fault point (panic, slow, load, skew).
+    pub fn draws(&self) -> [u64; 4] {
+        [
+            self.draws[0].load(Ordering::Relaxed),
+            self.draws[1].load(Ordering::Relaxed),
+            self.draws[2].load(Ordering::Relaxed),
+            self.draws[3].load(Ordering::Relaxed),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_on(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_per_mille: 100,
+            slow_per_mille: 100,
+            load_fail_per_mille: 100,
+            skew_per_mille: 100,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let c = Chaos::new(ChaosConfig::default());
+        for _ in 0..100 {
+            assert!(!c.panic_in_forward());
+            assert!(c.slow_model().is_none());
+            assert!(!c.fail_registry_load());
+            assert!(c.deadline_skew().is_none());
+        }
+        // Disabled points must not even consume decision indices.
+        assert_eq!(c.draws(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = Chaos::new(all_on(7));
+        let b = Chaos::new(all_on(7));
+        for _ in 0..500 {
+            assert_eq!(a.panic_in_forward(), b.panic_in_forward());
+            assert_eq!(a.fail_registry_load(), b.fail_registry_load());
+            assert_eq!(a.slow_model(), b.slow_model());
+            assert_eq!(a.deadline_skew(), b.deadline_skew());
+        }
+    }
+
+    #[test]
+    fn rate_is_respected_within_tolerance() {
+        let c = Chaos::new(ChaosConfig {
+            seed: 3,
+            panic_per_mille: 100,
+            ..ChaosConfig::default()
+        });
+        let hits = (0..10_000).filter(|_| c.panic_in_forward()).count();
+        // 10% ± 3% absolute over 10k draws.
+        assert!((700..=1300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn per_mille_1000_always_fires() {
+        let c = Chaos::new(ChaosConfig {
+            seed: 1,
+            panic_per_mille: 1000,
+            ..ChaosConfig::default()
+        });
+        assert!((0..64).all(|_| c.panic_in_forward()));
+    }
+
+    #[test]
+    fn fault_points_have_independent_streams() {
+        let c = Chaos::new(all_on(11));
+        let panics: Vec<bool> = (0..200).map(|_| c.panic_in_forward()).collect();
+        let loads: Vec<bool> = (0..200).map(|_| c.fail_registry_load()).collect();
+        assert_ne!(panics, loads, "streams must differ under one seed");
+    }
+}

@@ -1,31 +1,57 @@
-//! The serving engine: worker pool + bounded queue + batcher.
+//! The serving engine: supervised worker pool + bounded queue + batcher.
 //!
-//! Requests enter through [`Engine::submit`], which returns a [`Ticket`]
-//! immediately (or a typed [`SubmitError`] when the queue is full or the
-//! model unknown — explicit backpressure, never silent blocking). Worker
-//! threads pull *groups* of same-model, same-shape requests from the
-//! queue and execute them as one batched forward pass; oversized single
-//! requests instead take the tiled path, fanning halo tiles across the
-//! intra-op thread pool. Each request's journey is timed per stage
-//! (queue wait → batch assembly → compute → reassembly) into the shared
+//! Requests enter through [`Engine::submit`], which validates the input
+//! at the boundary (NaN/Inf/zero-dim tensors are rejected with typed
+//! errors before touching the queue) and returns a [`Ticket`]
+//! immediately — or a typed [`SubmitError`] when the queue is full, the
+//! model unknown, or the engine draining. Worker threads pull *groups*
+//! of same-model, same-shape requests from the queue and execute them as
+//! one batched forward pass; oversized single requests instead take the
+//! tiled path, fanning halo tiles across the intra-op thread pool. Each
+//! request's journey is timed per stage (queue wait → batch assembly →
+//! compute → reassembly) into the shared
 //! [`Telemetry`](crate::telemetry::Telemetry).
 //!
-//! Shutdown is drain-based: dropping the engine closes the queue, the
-//! workers finish everything already admitted, and late `submit`s fail
-//! with [`SubmitError::ShuttingDown`].
+//! **Fault model.** A panicking forward pass no longer aborts the
+//! process: batched-path panics are caught per group, the in-flight
+//! requests are retried (bounded, with exponential backoff, honoring
+//! their deadlines) or answered with [`ServeError::WorkerCrashed`], and
+//! the dead worker thread is respawned by a supervisor under an
+//! exponential-backoff restart budget. Tiled-path panics are contained
+//! inside the scoped tile pool and surface the same way without killing
+//! the worker. Transient model-load failures follow the same retry
+//! path. A request that crashes every attempt exhausts its retries and
+//! is quarantined — a poison-pill input cannot crash-loop the pool
+//! beyond its retry budget. Result delivery is idempotent: a ticket's
+//! slot accepts only the first terminal outcome, so a late duplicate
+//! fulfillment (e.g. after a shutdown-deadline race) is a no-op.
+//!
+//! **Shutdown** is drain-based and explicit: [`Engine::shutdown`] stops
+//! admissions (submitters get [`SubmitError::Draining`]), flushes the
+//! queue, joins the supervisor and workers within a deadline, and
+//! answers anything left with typed errors so no caller ever hangs.
+//! Dropping the engine without calling `shutdown` performs the same
+//! drain. [`Engine::health`] reports `Healthy`/`Degraded`/`Draining`
+//! derived from restart-budget consumption and queue depth.
+//!
+//! Deterministic fault injection for all of the above lives in
+//! [`crate::chaos`] and is enabled through [`EngineConfig::chaos`].
 
+use crate::chaos::{Chaos, ChaosConfig, FaultPoint};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::telemetry::{Stage, Telemetry};
 use sesr_core::CollapsedSesr;
 use sesr_tensor::Tensor;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Engine sizing and batching policy.
+/// Engine sizing, batching, and fault-tolerance policy.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads consuming the queue.
@@ -38,6 +64,18 @@ pub struct EngineConfig {
     pub tile_threshold_px: usize,
     /// Interior tile side used by the tiled path.
     pub tile: usize,
+    /// Re-enqueue attempts per request after a retryable failure
+    /// (worker crash, transient model-load failure).
+    pub max_retries: u32,
+    /// Total worker respawns the supervisor will perform before giving
+    /// up on a crashed slot.
+    pub restart_budget: u32,
+    /// First retry/respawn backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Deterministic fault injection (`None` = no faults).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +86,11 @@ impl Default for EngineConfig {
             max_batch: 8,
             tile_threshold_px: 256 * 256,
             tile: 128,
+            max_retries: 2,
+            restart_budget: 16,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            chaos: None,
         }
     }
 }
@@ -62,6 +105,14 @@ pub enum SubmitError {
     },
     /// No model is registered under this key.
     UnknownModel(ModelKey),
+    /// The input failed boundary validation (shape or non-finite data).
+    InvalidInput {
+        /// What the validator objected to.
+        reason: String,
+    },
+    /// The engine is draining: shutdown has begun (or completed) and no
+    /// new work is admitted.
+    Draining,
     /// The engine is shutting down.
     ShuttingDown,
 }
@@ -73,6 +124,10 @@ impl fmt::Display for SubmitError {
                 write!(f, "rejected: queue full (capacity {capacity})")
             }
             SubmitError::UnknownModel(k) => write!(f, "rejected: model {k} is not registered"),
+            SubmitError::InvalidInput { reason } => {
+                write!(f, "rejected: invalid input: {reason}")
+            }
+            SubmitError::Draining => write!(f, "rejected: engine draining"),
             SubmitError::ShuttingDown => write!(f, "rejected: engine shutting down"),
         }
     }
@@ -87,6 +142,9 @@ pub enum ServeError {
     DeadlineExpired,
     /// The model failed to load from its registered artifact.
     ModelLoad(String),
+    /// The forward pass panicked on every attempt; the request was
+    /// quarantined after exhausting its retry budget.
+    WorkerCrashed(String),
     /// The engine shut down before the request ran.
     ShuttingDown,
 }
@@ -96,6 +154,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::DeadlineExpired => write!(f, "deadline expired before compute started"),
             ServeError::ModelLoad(m) => write!(f, "model load failed: {m}"),
+            ServeError::WorkerCrashed(m) => {
+                write!(f, "worker crashed while serving this request: {m}")
+            }
             ServeError::ShuttingDown => write!(f, "engine shut down before the request ran"),
         }
     }
@@ -103,7 +164,37 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Engine liveness as seen by a load balancer or health probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving normally.
+    Healthy,
+    /// Still serving, but the restart budget is half spent or the queue
+    /// is ≥ 80% full — route new traffic elsewhere if possible.
+    Degraded,
+    /// Not admitting work: shutdown has begun (or the worker pool died).
+    Draining,
+}
+
+/// What [`Engine::shutdown`] accomplished within its deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownReport {
+    /// Queued requests answered with [`ServeError::ShuttingDown`]
+    /// because they could not be flushed in time.
+    pub dropped: u64,
+    /// Queued requests whose deadline had already expired at drain time,
+    /// answered with [`ServeError::DeadlineExpired`].
+    pub expired: u64,
+    /// True when the supervisor and every worker joined in time; false
+    /// when the deadline passed first (threads are left detached and the
+    /// remaining queue was answered with typed errors regardless).
+    pub joined: bool,
+    /// Wall-clock time the shutdown took.
+    pub elapsed: Duration,
+}
+
 /// One-shot response slot shared between a worker and a waiting caller.
+/// Fulfillment is idempotent: only the first result is kept.
 struct Slot {
     value: Mutex<Option<Result<Tensor, ServeError>>>,
     ready: Condvar,
@@ -168,7 +259,15 @@ struct Job {
     deadline: Option<Instant>,
     enqueued: Instant,
     slot: Arc<Slot>,
+    /// Re-enqueues consumed so far (0 on first admission).
+    retries: u32,
+    /// Retry backoff: not eligible for execution before this instant.
+    not_before: Option<Instant>,
 }
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
 
 struct Shared {
     queue: BoundedQueue<Job>,
@@ -176,37 +275,74 @@ struct Shared {
     telemetry: Arc<Telemetry>,
     cfg: EngineConfig,
     ids: AtomicU64,
+    chaos: Option<Chaos>,
+    state: AtomicU8,
+    restarts_used: AtomicU64,
 }
 
-/// Multi-threaded batched inference engine over a [`ModelRegistry`].
+impl Shared {
+    fn count_fault(&self, point: FaultPoint) {
+        self.telemetry.counters(|c| {
+            c.faults_injected += 1;
+            match point {
+                FaultPoint::PanicInForward => c.faults_panic += 1,
+                FaultPoint::SlowModel => c.faults_slow += 1,
+                FaultPoint::RegistryLoad => c.faults_load += 1,
+                FaultPoint::ClockSkew => c.faults_skew += 1,
+            }
+        });
+    }
+
+    fn backoff(&self, consecutive: u32) -> Duration {
+        let exp = consecutive.saturating_sub(1).min(16);
+        self.cfg
+            .backoff_base
+            .saturating_mul(1 << exp)
+            .min(self.cfg.backoff_cap)
+    }
+}
+
+/// Multi-threaded batched inference engine over a [`ModelRegistry`],
+/// with supervised (crash-respawning) workers.
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor thread handle; taken (under the lock) by the first
+    /// `shutdown`, which also serializes concurrent shutdown calls.
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Engine {
-    /// Starts `cfg.workers` worker threads over `registry`.
+    /// Starts `cfg.workers` worker threads over `registry`, supervised
+    /// for crash recovery.
     ///
     /// `workers == 0` is allowed (useful in tests: requests queue but
-    /// nothing consumes them until the engine is dropped).
+    /// nothing consumes them until the engine shuts down).
     pub fn new(cfg: EngineConfig, registry: Arc<ModelRegistry>) -> Self {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
             registry,
             telemetry: Arc::new(Telemetry::new()),
-            cfg: cfg.clone(),
+            chaos: cfg.chaos.clone().map(Chaos::new),
+            cfg,
             ids: AtomicU64::new(0),
+            state: AtomicU8::new(STATE_RUNNING),
+            restarts_used: AtomicU64::new(0),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sesr-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Self { shared, workers }
+        let supervisor = (shared.cfg.workers > 0).then(|| {
+            let (tx, rx) = channel();
+            let handles: Vec<Option<JoinHandle<()>>> = (0..shared.cfg.workers)
+                .map(|i| Some(spawn_worker(&shared, i, 0, &tx)))
+                .collect();
+            let sup_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sesr-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&sup_shared, &rx, &tx, handles))
+                .expect("spawn serve supervisor")
+        });
+        Self {
+            shared,
+            supervisor: Mutex::new(supervisor),
+        }
     }
 
     /// Admits a `[1, H, W]` request for `key`, to be answered within
@@ -214,15 +350,25 @@ impl Engine {
     ///
     /// # Errors
     ///
+    /// [`SubmitError::Draining`] once shutdown began,
+    /// [`SubmitError::InvalidInput`] for malformed tensors,
     /// [`SubmitError::UnknownModel`] before touching the queue,
     /// [`SubmitError::QueueFull`] at the bound, and
-    /// [`SubmitError::ShuttingDown`] once shutdown began.
+    /// [`SubmitError::ShuttingDown`] when the queue closed mid-submit.
     pub fn submit(
         &self,
         key: &ModelKey,
         input: Tensor,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            self.shared.telemetry.counters(|c| c.rejected_draining += 1);
+            return Err(SubmitError::Draining);
+        }
+        if let Err(reason) = validate_input(&input) {
+            self.shared.telemetry.counters(|c| c.rejected_invalid += 1);
+            return Err(SubmitError::InvalidInput { reason });
+        }
         if !self.shared.registry.contains(key) {
             return Err(SubmitError::UnknownModel(key.clone()));
         }
@@ -235,6 +381,8 @@ impl Engine {
             deadline: deadline.map(|d| now + d),
             enqueued: now,
             slot: Arc::clone(&slot),
+            retries: 0,
+            not_before: None,
         };
         match self.shared.queue.push(job) {
             Ok(()) => {
@@ -279,103 +427,441 @@ impl Engine {
     pub fn registry(&self) -> Arc<ModelRegistry> {
         Arc::clone(&self.shared.registry)
     }
-}
 
-impl Drop for Engine {
-    fn drop(&mut self) {
-        self.shared.queue.close();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+    /// Worker respawns performed so far (bounded by the restart budget).
+    pub fn restarts_used(&self) -> u64 {
+        self.shared.restarts_used.load(Ordering::Relaxed)
+    }
+
+    /// Readiness derived from restart-budget consumption and queue
+    /// depth; `Draining` once shutdown began or the worker pool died.
+    pub fn health(&self) -> Health {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            return Health::Draining;
         }
-        // With zero workers (or after joins) anything left in the queue is
-        // drained here so no caller blocks forever on a ticket.
+        let used = self.shared.restarts_used.load(Ordering::Relaxed);
+        let budget = u64::from(self.shared.cfg.restart_budget);
+        let budget_strained =
+            (budget == 0 && used > 0) || (budget > 0 && used.saturating_mul(2) >= budget);
+        let queue_strained = self.shared.queue.len().saturating_mul(5)
+            >= self.shared.cfg.queue_capacity.saturating_mul(4);
+        if budget_strained || queue_strained {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// Graceful drain: stops admissions (submitters see
+    /// [`SubmitError::Draining`]), flushes already-admitted work, and
+    /// joins the supervisor and workers. If `deadline` passes first, the
+    /// remaining queue is answered with typed errors (expired deadlines
+    /// as [`ServeError::DeadlineExpired`], the rest as
+    /// [`ServeError::ShuttingDown`]) so no caller hangs, and the still
+    /// busy threads are left detached. Idempotent; concurrent callers
+    /// serialize and later ones observe an already-drained engine.
+    pub fn shutdown(&self, deadline: Duration) -> ShutdownReport {
+        let start = Instant::now();
+        let mut guard = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = self.shared.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.shared.queue.close();
+        let mut joined = true;
+        if let Some(h) = guard.take() {
+            loop {
+                if h.is_finished() {
+                    let _ = h.join();
+                    break;
+                }
+                if start.elapsed() >= deadline {
+                    joined = false;
+                    drop(h); // detach: threads cannot be killed
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Anything still queued (zero workers, or the deadline cut the
+        // drain short) is answered here so no ticket waits forever.
+        let (mut dropped, mut expired) = (0u64, 0u64);
+        let now = Instant::now();
         while let Some(group) = self.shared.queue.pop_group(usize::MAX, |_| 0u8) {
             for job in group {
-                job.slot.fulfill(Err(ServeError::ShuttingDown));
+                if job.deadline.is_some_and(|d| now >= d) {
+                    expired += 1;
+                    self.shared.telemetry.counters(|c| c.rejected_deadline += 1);
+                    job.slot.fulfill(Err(ServeError::DeadlineExpired));
+                } else {
+                    dropped += 1;
+                    self.shared.telemetry.counters(|c| c.dropped_in_drain += 1);
+                    job.slot.fulfill(Err(ServeError::ShuttingDown));
+                }
             }
+        }
+        self.shared.state.store(STATE_STOPPED, Ordering::Release);
+        drop(guard);
+        ShutdownReport {
+            dropped,
+            expired,
+            joined,
+            elapsed: start.elapsed(),
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if self.shared.state.load(Ordering::Acquire) != STATE_STOPPED {
+            let _ = self.shutdown(Duration::from_secs(60));
+        }
+    }
+}
+
+/// Boundary validation: shape `[1, H, W]` with H, W ≥ 1 and finite data.
+fn validate_input(t: &Tensor) -> Result<(), String> {
+    let s = t.shape();
+    if s.len() != 3 || s[0] != 1 {
+        return Err(format!("expected input shape [1, H, W], got {s:?}"));
+    }
+    if s[1] == 0 || s[2] == 0 {
+        return Err(format!("zero-sized input dimension: {s:?}"));
+    }
+    if let Some(bad) = t.data().iter().find(|v| !v.is_finite()) {
+        return Err(format!("non-finite input value {bad}"));
+    }
+    Ok(())
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How a worker announced its exit to the supervisor.
+struct WorkerExit {
+    index: usize,
+    crashed: bool,
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    index: usize,
+    generation: u64,
+    tx: &Sender<WorkerExit>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let tx = tx.clone();
+    std::thread::Builder::new()
+        .name(format!("sesr-serve-{index}-g{generation}"))
+        .spawn(move || {
+            let crashed = matches!(worker_loop(&shared), LoopEnd::Crashed);
+            let _ = tx.send(WorkerExit { index, crashed });
+        })
+        .expect("spawn serve worker")
+}
+
+/// The supervisor: joins exiting workers, respawns crashed ones with
+/// exponential backoff while the restart budget lasts, and — if the
+/// whole pool dies with the budget spent — fails everything still
+/// queued so no caller hangs on a ticket.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    rx: &Receiver<WorkerExit>,
+    tx: &Sender<WorkerExit>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut live = handles.iter().filter(|h| h.is_some()).count();
+    let mut consecutive = vec![0u32; handles.len()];
+    let mut generation = 0u64;
+    while live > 0 {
+        let Ok(exit) = rx.recv() else { break };
+        if let Some(h) = handles[exit.index].take() {
+            let _ = h.join();
+        }
+        if !exit.crashed {
+            live -= 1;
+            continue;
+        }
+        let used = shared.restarts_used.load(Ordering::Relaxed);
+        if used >= u64::from(shared.cfg.restart_budget) {
+            live -= 1;
+            if live == 0 {
+                fail_pending_after_pool_death(shared);
+            }
+            continue;
+        }
+        shared.restarts_used.store(used + 1, Ordering::Relaxed);
+        consecutive[exit.index] += 1;
+        // While draining, respawn immediately: queued work still needs a
+        // consumer, and the backoff only protects a live engine from a
+        // hot crash loop.
+        if shared.state.load(Ordering::Acquire) == STATE_RUNNING {
+            std::thread::sleep(shared.backoff(consecutive[exit.index]));
+        }
+        shared.telemetry.counters(|c| c.worker_restarts += 1);
+        generation += 1;
+        handles[exit.index] = Some(spawn_worker(shared, exit.index, generation, tx));
+    }
+}
+
+/// Terminal path for a dead pool: close the queue and answer everything
+/// still in it. The engine stops admitting (submitters see `Draining`).
+fn fail_pending_after_pool_death(shared: &Shared) {
+    let _ = shared.state.compare_exchange(
+        STATE_RUNNING,
+        STATE_DRAINING,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+    shared.queue.close();
+    while let Some(group) = shared.queue.pop_group(usize::MAX, |_| 0u8) {
+        for job in group {
+            shared.telemetry.counters(|c| c.requests_quarantined += 1);
+            job.slot.fulfill(Err(ServeError::WorkerCrashed(
+                "worker pool dead: restart budget exhausted".to_string(),
+            )));
+        }
+    }
+}
+
+enum LoopEnd {
+    Clean,
+    Crashed,
+}
+
+enum GroupOutcome {
+    Done,
+    WorkerCrashed,
+}
+
+fn worker_loop(shared: &Shared) -> LoopEnd {
     let batch_key =
         |j: &Job| -> (ModelKey, Vec<usize>) { (j.key.clone(), j.input.shape().to_vec()) };
     while let Some(group) = shared.queue.pop_group(shared.cfg.max_batch, batch_key) {
-        let dequeued = Instant::now();
-        // Queue wait is per-request: admission to first worker attention.
-        for job in &group {
-            shared
-                .telemetry
-                .record(Stage::QueueWait, dequeued.duration_since(job.enqueued));
+        if matches!(process_group(shared, group), GroupOutcome::WorkerCrashed) {
+            return LoopEnd::Crashed;
         }
-        // Deadline check happens at dequeue: a request that waited past
-        // its deadline is dropped *before* spending compute on it.
-        let (live, expired): (Vec<Job>, Vec<Job>) = group
-            .into_iter()
-            .partition(|j| j.deadline.is_none_or(|d| dequeued < d));
-        for job in expired {
-            shared.telemetry.counters(|c| c.rejected_deadline += 1);
-            job.slot.fulfill(Err(ServeError::DeadlineExpired));
+    }
+    LoopEnd::Clean
+}
+
+fn process_group(shared: &Shared, group: Vec<Job>) -> GroupOutcome {
+    let dequeued = Instant::now();
+    // Queue wait is per-request: admission to first worker attention.
+    for job in &group {
+        shared
+            .telemetry
+            .record(Stage::QueueWait, dequeued.duration_since(job.enqueued));
+    }
+    // Honor retry backoff: the group waits for its latest eligible time
+    // (bounded by backoff_cap, so this is a short sleep).
+    if let Some(nb) = group.iter().filter_map(|j| j.not_before).max() {
+        if let Some(d) = nb.checked_duration_since(dequeued) {
+            std::thread::sleep(d);
         }
-        if live.is_empty() {
-            continue;
+    }
+    // Deadline check happens at dequeue: a request that waited past its
+    // deadline is dropped *before* spending compute on it. Chaos can
+    // skew the observed clock forward, making deadlines fire early.
+    let mut now = Instant::now();
+    if let Some(skew) = shared.chaos.as_ref().and_then(|c| c.deadline_skew()) {
+        shared.count_fault(FaultPoint::ClockSkew);
+        now += skew;
+    }
+    let (live, expired): (Vec<Job>, Vec<Job>) = group
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| now < d));
+    for job in expired {
+        shared.telemetry.counters(|c| c.rejected_deadline += 1);
+        job.slot.fulfill(Err(ServeError::DeadlineExpired));
+    }
+    if live.is_empty() {
+        return GroupOutcome::Done;
+    }
+    // Model resolution. Chaos-injected load failures are transient and
+    // retryable; real registry errors retry too (a second attempt may
+    // hit a repaired artifact), terminal after the budget.
+    let loaded = if shared.chaos.as_ref().is_some_and(Chaos::fail_registry_load) {
+        shared.count_fault(FaultPoint::RegistryLoad);
+        Err("chaos: injected transient registry load failure".to_string())
+    } else {
+        shared.registry.get(&live[0].key).map_err(|e| e.to_string())
+    };
+    let model = match loaded {
+        Ok(m) => m,
+        Err(msg) => {
+            shared.telemetry.counters(|c| c.model_load_failures += 1);
+            retry_or_fail(shared, live, &FailureKind::ModelLoad, &msg);
+            return GroupOutcome::Done;
         }
-        let model = match shared.registry.get(&live[0].key) {
-            Ok(m) => m,
-            Err(e) => {
-                let msg = e.to_string();
-                shared.telemetry.counters(|c| c.model_load_failures += 1);
-                for job in live {
-                    job.slot.fulfill(Err(ServeError::ModelLoad(msg.clone())));
+    };
+    if let Some(delay) = shared.chaos.as_ref().and_then(Chaos::slow_model) {
+        shared.count_fault(FaultPoint::SlowModel);
+        std::thread::sleep(delay);
+    }
+    let shape = live[0].input.shape();
+    let px = shape[1] * shape[2];
+    if live.len() == 1 && px > shared.cfg.tile_threshold_px {
+        if let Some(job) = live.into_iter().next() {
+            run_tiled_request(shared, &model, job);
+        }
+        GroupOutcome::Done
+    } else {
+        run_batch_jobs(shared, &model, live)
+    }
+}
+
+/// Retryable-failure settlement: each job is re-enqueued with backoff
+/// (if its deadline and retry budget allow, and the queue accepts it) or
+/// answered with the terminal typed error for `kind`.
+fn retry_or_fail(shared: &Shared, jobs: Vec<Job>, kind: &FailureKind, msg: &str) {
+    let now = Instant::now();
+    for mut job in jobs {
+        let retryable =
+            job.retries < shared.cfg.max_retries && job.deadline.is_none_or(|d| now < d);
+        if retryable {
+            job.retries += 1;
+            job.not_before = Some(now + shared.backoff(job.retries));
+            match shared.queue.offer(job) {
+                Ok(()) => {
+                    shared.telemetry.counters(|c| c.requests_retried += 1);
                 }
-                continue;
+                Err((_, returned)) => terminal_failure(shared, &returned, kind, msg),
             }
-        };
-        let shape = live[0].input.shape();
-        let px = shape[1] * shape[2];
-        if live.len() == 1 && px > shared.cfg.tile_threshold_px {
-            run_tiled_job(shared, &model, live.into_iter().next().expect("one job"));
         } else {
-            run_batch_jobs(shared, &model, live);
+            terminal_failure(shared, &job, kind, msg);
+        }
+    }
+}
+
+enum FailureKind {
+    /// The forward pass panicked.
+    Crash,
+    /// The model failed to load.
+    ModelLoad,
+}
+
+fn terminal_failure(shared: &Shared, job: &Job, kind: &FailureKind, msg: &str) {
+    match kind {
+        FailureKind::Crash => {
+            shared.telemetry.counters(|c| c.requests_quarantined += 1);
+            job.slot.fulfill(Err(ServeError::WorkerCrashed(format!(
+                "{msg} (after {} attempt(s))",
+                job.retries + 1
+            ))));
+        }
+        FailureKind::ModelLoad => {
+            job.slot
+                .fulfill(Err(ServeError::ModelLoad(msg.to_string())));
         }
     }
 }
 
 /// Large single request: halo tiles fan across the intra-op thread pool
-/// (compute), then tile interiors are pasted into the output (reassembly).
-fn run_tiled_job(shared: &Shared, model: &CollapsedSesr, job: Job) {
+/// (compute), then tile interiors are pasted into the output
+/// (reassembly). Tile-worker panics are contained: they fail this
+/// request (retryably), never the worker thread or the process.
+fn run_tiled_request(shared: &Shared, model: &CollapsedSesr, job: Job) {
+    match run_tiled_compute(shared, model, &job) {
+        Ok(out) => {
+            shared
+                .telemetry
+                .record(Stage::Total, job.enqueued.elapsed());
+            shared.telemetry.counters(|c| c.completed += 1);
+            job.slot.fulfill(Ok(out));
+        }
+        Err(TiledFailure::Plan(msg)) => {
+            // Only reachable with a degenerate config (tile = 0); surface
+            // it rather than panicking a worker.
+            job.slot.fulfill(Err(ServeError::ModelLoad(msg)));
+        }
+        Err(TiledFailure::Crash(msg)) => {
+            shared.telemetry.counters(|c| c.worker_crashes += 1);
+            retry_or_fail(shared, vec![job], &FailureKind::Crash, &msg);
+        }
+    }
+}
+
+enum TiledFailure {
+    /// Tile planning rejected the geometry.
+    Plan(String),
+    /// A tile worker panicked (captured, not propagated).
+    Crash(String),
+}
+
+fn run_tiled_compute(
+    shared: &Shared,
+    model: &CollapsedSesr,
+    job: &Job,
+) -> Result<Tensor, TiledFailure> {
     let dims = job.input.shape();
     let (h, w) = (dims[1], dims[2]);
     let overlap = model.receptive_field_radius();
-    let plan = match model.plan_tiles(h, w, shared.cfg.tile, overlap) {
-        Ok(p) => p,
-        Err(e) => {
-            // Only reachable with a degenerate config (tile = 0); surface
-            // it rather than panicking a worker.
-            job.slot.fulfill(Err(ServeError::ModelLoad(e.to_string())));
-            return;
-        }
-    };
+    let plan = model
+        .plan_tiles(h, w, shared.cfg.tile, overlap)
+        .map_err(|e| TiledFailure::Plan(e.to_string()))?;
     let t0 = Instant::now();
     let specs = plan.tiles();
+    // Chaos draws once per tiled attempt; the panic detonates inside a
+    // tile worker so the containment path is the one exercised.
+    let inject = shared.chaos.as_ref().is_some_and(Chaos::panic_in_forward);
+    if inject {
+        shared.count_fault(FaultPoint::PanicInForward);
+    }
+    let armed = AtomicBool::new(inject);
+    let crash: Mutex<Option<String>> = Mutex::new(None);
     let mut tiles: Vec<Option<Tensor>> = (0..specs.len()).map(|_| None).collect();
     {
         let threads = sesr_tensor::parallel::num_threads().clamp(1, specs.len().max(1));
         let chunk = specs.len().div_ceil(threads);
         let mut rest: &mut [Option<Tensor>] = &mut tiles;
-        crossbeam::scope(|s| {
+        let scope_result = crossbeam::scope(|s| {
             for chunk_specs in specs.chunks(chunk) {
                 let (head, tail) = rest.split_at_mut(chunk_specs.len());
                 rest = tail;
                 let input = &job.input;
+                let (armed, crash) = (&armed, &crash);
                 s.spawn(move |_| {
                     for (slot, spec) in head.iter_mut().zip(chunk_specs) {
-                        *slot = Some(model.run_tile(input, spec));
+                        let tile = catch_unwind(AssertUnwindSafe(|| {
+                            if armed.swap(false, Ordering::Relaxed) {
+                                panic!("chaos: injected panic in tile worker");
+                            }
+                            model.run_tile(input, spec)
+                        }));
+                        match tile {
+                            Ok(t) => *slot = Some(t),
+                            Err(p) => {
+                                let mut g = crash.lock().unwrap_or_else(PoisonError::into_inner);
+                                g.get_or_insert_with(|| panic_message(p.as_ref()));
+                                return; // the request fails as a unit
+                            }
+                        }
                     }
                 });
             }
-        })
-        .expect("tile workers must not panic");
+        });
+        if scope_result.is_err() {
+            // Unreachable in practice (tile bodies catch their own
+            // panics), but a scope error must never abort the worker.
+            let mut g = crash.lock().unwrap_or_else(PoisonError::into_inner);
+            g.get_or_insert_with(|| "tile scope failed".to_string());
+        }
+    }
+    if let Some(msg) = crash.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(TiledFailure::Crash(msg));
     }
     let t1 = Instant::now();
     shared.telemetry.record(Stage::Compute, t1 - t0);
@@ -383,7 +869,9 @@ fn run_tiled_job(shared: &Shared, model: &CollapsedSesr, job: Job) {
     let mut out = Tensor::zeros(&[1, h * s, w * s]);
     let out_w = w * s;
     for (spec, sr) in specs.iter().zip(&tiles) {
-        let sr = sr.as_ref().expect("tile computed");
+        let Some(sr) = sr.as_ref() else {
+            return Err(TiledFailure::Crash("tile result missing".to_string()));
+        };
         let sr_w = spec.patch_w() * s;
         for y in spec.y0 * s..spec.y1 * s {
             let py = y - spec.ey0 * s;
@@ -398,24 +886,40 @@ fn run_tiled_job(shared: &Shared, model: &CollapsedSesr, job: Job) {
         c.tiled_requests += 1;
         c.tiles_run += specs.len() as u64;
     });
-    shared
-        .telemetry
-        .record(Stage::Total, job.enqueued.elapsed());
-    shared.telemetry.counters(|c| c.completed += 1);
-    job.slot.fulfill(Ok(out));
+    Ok(out)
 }
 
-/// Same-shape batch: stack → one `run_batch` forward → unstack.
-fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) {
+/// Same-shape batch: stack → one `run_batch` forward → unstack. A panic
+/// anywhere in the pass is caught; the batch's requests are retried or
+/// answered with [`ServeError::WorkerCrashed`], and the worker thread
+/// exits to be respawned by the supervisor.
+fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) -> GroupOutcome {
     let t0 = Instant::now();
-    let inputs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
-    let batch = Tensor::stack(&inputs);
-    let t1 = Instant::now();
+    let compute = {
+        let inputs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
+        catch_unwind(AssertUnwindSafe(|| {
+            if shared.chaos.as_ref().is_some_and(Chaos::panic_in_forward) {
+                shared.count_fault(FaultPoint::PanicInForward);
+                panic!("chaos: injected panic in forward");
+            }
+            let batch = Tensor::stack(&inputs);
+            let t1 = Instant::now();
+            let sr = model.run_batch(&batch);
+            let t2 = Instant::now();
+            (t1, t2, sr.unstack())
+        }))
+    };
+    let (t1, t2, outputs) = match compute {
+        Ok(parts) => parts,
+        Err(p) => {
+            let msg = panic_message(p.as_ref());
+            shared.telemetry.counters(|c| c.worker_crashes += 1);
+            retry_or_fail(shared, jobs, &FailureKind::Crash, &msg);
+            return GroupOutcome::WorkerCrashed;
+        }
+    };
     shared.telemetry.record(Stage::BatchAssembly, t1 - t0);
-    let sr = model.run_batch(&batch);
-    let t2 = Instant::now();
     shared.telemetry.record(Stage::Compute, t2 - t1);
-    let outputs = sr.unstack();
     shared.telemetry.counters(|c| {
         c.batches += 1;
         c.batched_requests += jobs.len() as u64;
@@ -429,4 +933,5 @@ fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) {
         job.slot.fulfill(Ok(out));
     }
     shared.telemetry.record(Stage::Reassembly, t2.elapsed());
+    GroupOutcome::Done
 }

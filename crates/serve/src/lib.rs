@@ -21,9 +21,12 @@
 //! * [`queue`] — bounded MPSC queue; `push` fails fast with a typed
 //!   reason (explicit backpressure), `pop_group` batches same-key
 //!   requests under one lock.
-//! * [`engine`] — worker pool; same-shape requests run as one
+//! * [`engine`] — supervised worker pool; same-shape requests run as one
 //!   `run_batch` forward pass, oversized single images take the
-//!   halo-tiled path (bit-identical to whole-image inference).
+//!   halo-tiled path (bit-identical to whole-image inference). Worker
+//!   panics are caught and converted to per-request typed errors; crashed
+//!   workers are respawned with backoff under a restart budget; requests
+//!   retry retryable failures; `shutdown(deadline)` drains gracefully.
 //! * [`registry`] — models keyed by `(arch, scale)`, lazily loaded from
 //!   `model_io` artifacts, LRU-bounded residency.
 //! * [`telemetry`] — log-scale latency histograms per pipeline stage
@@ -32,10 +35,14 @@
 //! * [`loadgen`] — deterministic closed/open-loop load generation and a
 //!   paused-engine burst that demonstrates the rejection path.
 //! * [`bench`] — the `serve-bench` harness emitting `BENCH_serve.json`.
+//! * [`chaos`] — deterministic seed-driven fault injection (panics, slow
+//!   models, load failures, clock skew) for the `serve-chaos` harness and
+//!   the chaos soak test.
 //! * [`json`] — minimal JSON emission + strict validation (the offline
 //!   workspace has no real serde).
 
 pub mod bench;
+pub mod chaos;
 pub mod engine;
 pub mod json;
 pub mod loadgen;
@@ -44,7 +51,8 @@ pub mod registry;
 pub mod telemetry;
 
 pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
-pub use engine::{Engine, EngineConfig, ServeError, SubmitError, Ticket};
+pub use chaos::{Chaos, ChaosConfig, FaultPoint};
+pub use engine::{Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket};
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};

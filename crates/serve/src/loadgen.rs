@@ -80,6 +80,9 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Admitted requests dropped because their deadline expired.
     pub deadline_expired: u64,
+    /// Admitted requests that resolved with any other typed error
+    /// (worker crash, model-load failure, shutdown).
+    pub failed: u64,
     /// Burst-phase submissions rejected while the engine was paused.
     pub burst_rejected: u64,
     /// Burst-phase submissions that were admitted (and later completed
@@ -122,7 +125,7 @@ pub fn run_load(engine: &Engine, key: &ModelKey, spec: &LoadSpec) -> LoadReport 
             *output_px += sr.shape().iter().skip(1).product::<usize>() as u64;
         }
         Err(ServeError::DeadlineExpired) => report.deadline_expired += 1,
-        Err(_) => {}
+        Err(_) => report.failed += 1,
     };
 
     match spec.mode {

@@ -94,14 +94,28 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity; [`PushError::Closed`] after
     /// [`BoundedQueue::close`].
     pub fn push(&self, item: T) -> Result<(), PushError> {
+        self.offer(item).map_err(|(e, _)| e)
+    }
+
+    /// Like [`BoundedQueue::push`], but hands the item back on failure so
+    /// the caller can settle it (the engine's retry path must answer the
+    /// request's ticket even when re-enqueueing is impossible).
+    ///
+    /// # Errors
+    ///
+    /// `(PushError, item)` — same reasons as [`BoundedQueue::push`].
+    pub fn offer(&self, item: T) -> Result<(), (PushError, T)> {
         let mut g = self.lock();
         if g.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         if g.items.len() >= self.capacity {
-            return Err(PushError::Full {
-                capacity: self.capacity,
-            });
+            return Err((
+                PushError::Full {
+                    capacity: self.capacity,
+                },
+                item,
+            ));
         }
         g.items.push_back(item);
         drop(g);
@@ -146,6 +160,11 @@ impl<T> BoundedQueue<T> {
     pub fn close(&self) {
         self.lock().closed = true;
         self.notify.notify_all();
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Pauses or resumes consumption (producers are unaffected).
@@ -218,5 +237,84 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.push(42).unwrap();
         assert_eq!(h.join().unwrap(), Some(vec![42]));
+    }
+
+    #[test]
+    fn offer_returns_the_item_on_failure() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        let (err, item) = q.offer(2).unwrap_err();
+        assert_eq!((err, item), (PushError::Full { capacity: 1 }, 2));
+        q.close();
+        let (err, item) = q.offer(3).unwrap_err();
+        assert_eq!((err, item), (PushError::Closed, 3));
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn concurrent_push_vs_close_loses_nothing() {
+        // Producers race close(): every push must either land (and later
+        // drain) or fail typed — no item may vanish and no Ok may be lost.
+        for round in 0..8 {
+            let q = Arc::new(BoundedQueue::new(4096));
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut accepted = 0u64;
+                        for i in 0..200 {
+                            match q.push(p * 1000 + i) {
+                                Ok(()) => accepted += 1,
+                                Err(PushError::Closed) => break,
+                                Err(PushError::Full { .. }) => {
+                                    unreachable!("capacity covers all pushes")
+                                }
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            // Close at a slightly different point each round to vary the
+            // interleaving.
+            std::thread::sleep(std::time::Duration::from_micros(50 * round));
+            q.close();
+            let accepted: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(q.push(9999), Err(PushError::Closed));
+            let mut drained = 0u64;
+            while let Some(group) = q.pop_group(64, |_| 0) {
+                drained += group.len() as u64;
+            }
+            assert_eq!(drained, accepted, "accepted pushes must all drain");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_after_close_drains_remaining_in_fifo_order() {
+        let q = BoundedQueue::new(8);
+        for v in 0..5 {
+            q.push(v).unwrap();
+        }
+        q.close();
+        // Grouped draining still respects FIFO within the group key.
+        assert_eq!(q.pop_group(2, |_| 0), Some(vec![0, 1]));
+        assert_eq!(q.pop_group(2, |_| 0), Some(vec![2, 3]));
+        assert_eq!(q.pop_group(2, |_| 0), Some(vec![4]));
+        assert_eq!(q.pop_group(2, |_| 0), None);
+        // Once drained, every further pop observes closure immediately.
+        assert_eq!(q.pop_group(2, |_| 0), None);
+    }
+
+    #[test]
+    fn close_overrides_pause_so_shutdown_always_drains() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.set_paused(true);
+        q.push(5).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || (q2.pop_group(1, |_| 0), q2.pop_group(1, |_| 0)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close(); // never unpaused: close alone must release the consumer
+        assert_eq!(h.join().unwrap(), (Some(vec![5]), None));
     }
 }

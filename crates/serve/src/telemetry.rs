@@ -175,8 +175,37 @@ pub struct Counters {
     pub rejected_deadline: u64,
     /// Requests rejected because the engine was shutting down.
     pub rejected_shutdown: u64,
+    /// Requests rejected at submit by input boundary validation
+    /// (NaN/Inf values, zero dimensions, wrong rank).
+    pub rejected_invalid: u64,
+    /// Requests rejected at submit because the engine was draining.
+    pub rejected_draining: u64,
     /// Requests failed because their model could not be loaded.
     pub model_load_failures: u64,
+    /// Forward-pass panics caught (batched path: the worker dies and is
+    /// respawned; tiled path: contained in the tile pool).
+    pub worker_crashes: u64,
+    /// Workers respawned by the supervisor after a crash.
+    pub worker_restarts: u64,
+    /// Requests re-enqueued after a retryable failure (worker crash or
+    /// transient model-load failure).
+    pub requests_retried: u64,
+    /// Requests terminally failed after exhausting their retry budget on
+    /// crashes — the poison-pill quarantine path.
+    pub requests_quarantined: u64,
+    /// Requests still queued when a shutdown deadline expired, answered
+    /// with `ShuttingDown` instead of being run.
+    pub dropped_in_drain: u64,
+    /// Total chaos faults injected (sum of the four per-point counters).
+    pub faults_injected: u64,
+    /// Injected panic-in-forward faults.
+    pub faults_panic: u64,
+    /// Injected slow-model faults.
+    pub faults_slow: u64,
+    /// Injected registry-load faults.
+    pub faults_load: u64,
+    /// Injected clock-skew faults.
+    pub faults_skew: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Requests executed inside micro-batches (avg batch = this/batches).
@@ -325,7 +354,19 @@ impl Snapshot {
             .int("rejected_queue_full", c.rejected_queue_full)
             .int("rejected_deadline", c.rejected_deadline)
             .int("rejected_shutdown", c.rejected_shutdown)
+            .int("rejected_invalid", c.rejected_invalid)
+            .int("rejected_draining", c.rejected_draining)
             .int("model_load_failures", c.model_load_failures)
+            .int("worker_crashes", c.worker_crashes)
+            .int("worker_restarts", c.worker_restarts)
+            .int("requests_retried", c.requests_retried)
+            .int("requests_quarantined", c.requests_quarantined)
+            .int("dropped_in_drain", c.dropped_in_drain)
+            .int("faults_injected", c.faults_injected)
+            .int("faults_panic", c.faults_panic)
+            .int("faults_slow", c.faults_slow)
+            .int("faults_load", c.faults_load)
+            .int("faults_skew", c.faults_skew)
             .int("batches", c.batches)
             .int("batched_requests", c.batched_requests)
             .int("max_batch", c.max_batch)
@@ -403,5 +444,13 @@ mod tests {
         assert!(json.contains("\"queue_wait\""));
         assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\"rejected_queue_full\":1"));
+        for fault_counter in [
+            "\"worker_restarts\":0",
+            "\"requests_retried\":0",
+            "\"faults_injected\":0",
+            "\"rejected_draining\":0",
+        ] {
+            assert!(json.contains(fault_counter), "missing {fault_counter}");
+        }
     }
 }

@@ -11,6 +11,7 @@
 #   test        workspace test suite (tier-1)
 #   clippy      workspace lint, warnings are errors
 #   serve       serve crate tests
+#   chaos       deterministic fault-injection soak (fixed seed, bounded)
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
 #   bench-gate  fresh train/serve bench runs vs committed baselines
 set -euo pipefail
@@ -34,6 +35,15 @@ step_clippy() {
 
 step_serve() {
     cargo test -q --offline -p sesr-serve
+}
+
+step_chaos() {
+    # The soak test in-crate, then the CLI harness end to end. Both use
+    # fixed seeds and finish in seconds; the CLI run exits non-zero if
+    # any request is lost or the fault/restart/retry counters disagree.
+    cargo test -q --offline -p sesr-serve --test chaos
+    cargo run --release --offline -p sesr-cli -- serve-chaos \
+        --seed 0xC4A05 --requests 400 --workers 3 --concurrency 12
 }
 
 step_bench_smoke() {
@@ -65,7 +75,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
