@@ -1,0 +1,259 @@
+//! The `infer-bench` harness: measure collapsed-model inference with the
+//! planned executor ([`InferPlan`]) against the unfused reference path,
+//! and emit the `BENCH_infer.json` report.
+//!
+//! This is the inference-side sibling of `train-bench`
+//! (`crates/bench/src/train_bench.rs`): same report discipline — one
+//! JSON object, checked with [`sesr_serve::json::validate`] before it
+//! touches disk — but pointed at the deployment hot path: the collapsed
+//! net the paper ships (Sec. 3.2). For each architecture the harness
+//! builds the collapsed model once, compiles one plan per input shape,
+//! and times `iters` end-to-end runs of both executors over the same
+//! input. The planned path also reports a per-layer wall-clock breakdown
+//! (from [`InferPlan::run_image_into_timed`]) and its fixed arena
+//! footprint, and the harness asserts the two executors agree **bit for
+//! bit** before any number is reported — a bench that silently measured
+//! a divergent fast path would be worse than no bench.
+
+use sesr_core::infer_plan::{CollapsedKernels, InferPlan};
+use sesr_core::model::Sesr;
+use sesr_serve::bench::arch_config;
+use sesr_serve::json::{array, JsonObject};
+use sesr_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything an infer-bench run needs, with reproducible defaults.
+#[derive(Debug, Clone)]
+pub struct InferBenchConfig {
+    /// Architecture labels to benchmark.
+    pub archs: Vec<String>,
+    /// Upscaling factor (2 or 4).
+    pub scale: usize,
+    /// Overparameterized width used to build (then collapse) the model;
+    /// affects only the collapsed weights' values, not their shape.
+    pub expanded: usize,
+    /// Weight-initialization and input seed.
+    pub seed: u64,
+    /// Timed end-to-end runs per architecture per executor.
+    pub iters: usize,
+    /// Untimed warmup runs (pool spin-up, cache warming).
+    pub warmup: usize,
+    /// LR input height.
+    pub h: usize,
+    /// LR input width.
+    pub w: usize,
+    /// Cap the intra-op thread pool; `None` = autodetect.
+    pub threads: Option<usize>,
+}
+
+impl Default for InferBenchConfig {
+    fn default() -> Self {
+        Self {
+            archs: vec!["m5".to_string(), "m11".to_string()],
+            scale: 2,
+            expanded: 16,
+            seed: 0,
+            iters: 30,
+            warmup: 5,
+            h: 180,
+            w: 320,
+            threads: None,
+        }
+    }
+}
+
+/// One architecture's measured result.
+#[derive(Debug, Clone)]
+pub struct InferArchResult {
+    /// Architecture label (`m5`, `m11`, …).
+    pub arch: String,
+    /// Timed runs per executor.
+    pub iters: usize,
+    /// Total wall-clock ms across the reference runs.
+    pub reference_ms: f64,
+    /// Total wall-clock ms across the planned runs.
+    pub planned_ms: f64,
+    /// Reference throughput (images/sec).
+    pub reference_images_per_sec: f64,
+    /// Planned throughput (images/sec) — the gated metric.
+    pub planned_images_per_sec: f64,
+    /// `reference_ms / planned_ms`.
+    pub speedup: f64,
+    /// The plan's fixed scratch footprint (allocated once at build).
+    pub arena_bytes: usize,
+    /// Per-layer planned wall-clock ms, summed over the timed runs
+    /// (index = execution order: 5x5 head conv, 3x3 middles, 5x5 tail).
+    pub layer_ms: Vec<f64>,
+}
+
+/// Runs the configured benchmark: for each architecture, collapse the
+/// model, verify planned output is bit-identical to the reference, then
+/// time both executors.
+///
+/// # Errors
+///
+/// Returns a message for an unknown architecture label.
+pub fn run_infer_bench(cfg: &InferBenchConfig) -> Result<Vec<InferArchResult>, String> {
+    if let Some(n) = cfg.threads {
+        sesr_tensor::parallel::set_num_threads(n);
+    }
+    let mut out = Vec::with_capacity(cfg.archs.len());
+    for arch in &cfg.archs {
+        out.push(bench_arch(cfg, arch)?);
+    }
+    Ok(out)
+}
+
+fn bench_arch(cfg: &InferBenchConfig, arch: &str) -> Result<InferArchResult, String> {
+    let model_cfg = arch_config(arch, cfg.scale, cfg.expanded, cfg.seed)?;
+    let net = Sesr::new(model_cfg).collapse();
+    let lr = Tensor::rand_uniform(&[1, cfg.h, cfg.w], 0.0, 1.0, cfg.seed ^ 0x1F);
+    let kernels = Arc::new(CollapsedKernels::new(&net));
+    let mut plan = InferPlan::new(kernels, cfg.h, cfg.w);
+    let s = net.scale();
+    let mut out = vec![0.0f32; cfg.h * s * cfg.w * s];
+    let layers = plan.num_steps();
+    let mut layer_nanos = vec![0u64; layers];
+
+    // Correctness gate: the fast path must reproduce the reference bits.
+    plan.run_image_into(lr.data(), &mut out);
+    let reference = net.run_reference(&lr);
+    if reference.data() != out.as_slice() {
+        return Err(format!(
+            "planned output diverged from reference for {arch} — refusing to benchmark"
+        ));
+    }
+
+    for _ in 0..cfg.warmup {
+        let _ = net.run_reference(&lr);
+        plan.run_image_into(lr.data(), &mut out);
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        let _ = net.run_reference(&lr);
+    }
+    let reference_ms = ms_since(t0);
+
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        plan.run_image_into_timed(lr.data(), &mut out, &mut layer_nanos);
+    }
+    let planned_ms = ms_since(t0);
+
+    let per_sec = |ms: f64| {
+        if ms > 0.0 {
+            cfg.iters as f64 / (ms / 1e3)
+        } else {
+            f64::NAN
+        }
+    };
+    Ok(InferArchResult {
+        arch: arch.to_string(),
+        iters: cfg.iters,
+        reference_ms,
+        planned_ms,
+        reference_images_per_sec: per_sec(reference_ms),
+        planned_images_per_sec: per_sec(planned_ms),
+        speedup: reference_ms / planned_ms,
+        arena_bytes: plan.arena_bytes(),
+        layer_ms: layer_nanos.iter().map(|&n| n as f64 / 1e6).collect(),
+    })
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Serializes a bench run into the `BENCH_infer.json` document. The
+/// `results` object is keyed by architecture label so the bench gate can
+/// address `results.<arch>.planned_images_per_sec` directly.
+pub fn infer_bench_report_json(cfg: &InferBenchConfig, results: &[InferArchResult]) -> String {
+    let config = JsonObject::new()
+        .int("scale", cfg.scale as u64)
+        .int("expanded", cfg.expanded as u64)
+        .int("seed", cfg.seed)
+        .int("iters", cfg.iters as u64)
+        .int("warmup", cfg.warmup as u64)
+        .int("h", cfg.h as u64)
+        .int("w", cfg.w as u64)
+        .int(
+            "threads",
+            cfg.threads
+                .unwrap_or_else(sesr_tensor::parallel::num_threads) as u64,
+        )
+        .finish();
+    let mut results_obj = JsonObject::new();
+    for r in results {
+        let arch = JsonObject::new()
+            .int("iters", r.iters as u64)
+            .num("reference_ms", r.reference_ms)
+            .num("planned_ms", r.planned_ms)
+            .num("reference_images_per_sec", r.reference_images_per_sec)
+            .num("planned_images_per_sec", r.planned_images_per_sec)
+            .num("speedup", r.speedup)
+            .int("arena_bytes", r.arena_bytes as u64)
+            .raw(
+                "layer_ms",
+                &array(r.layer_ms.iter().map(|ms| format!("{ms:.6}"))),
+            )
+            .finish();
+        results_obj = results_obj.raw(&r.arch, &arch);
+    }
+    JsonObject::new()
+        .str("bench", "sesr-infer")
+        .raw(
+            "archs",
+            &array(results.iter().map(|r| format!("\"{}\"", r.arch))),
+        )
+        .raw("config", &config)
+        .raw("results", &results_obj.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InferBenchConfig {
+        InferBenchConfig {
+            archs: vec!["m3".to_string()],
+            expanded: 4,
+            iters: 2,
+            warmup: 1,
+            h: 16,
+            w: 20,
+            threads: Some(1),
+            ..InferBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_reports_valid_json() {
+        let cfg = tiny();
+        let results = run_infer_bench(&cfg).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.iters, 2);
+        assert!(r.planned_images_per_sec.is_finite() && r.planned_images_per_sec > 0.0);
+        assert!(r.speedup.is_finite() && r.speedup > 0.0);
+        assert!(r.arena_bytes > 0);
+        // m3 collapses to 5 layers: 5x5 + 3x3 x3 + 5x5.
+        assert_eq!(r.layer_ms.len(), 5);
+        let json = infer_bench_report_json(&cfg, &results);
+        sesr_serve::json::validate(&json).expect("report must be well-formed");
+        assert!(json.contains("\"bench\":\"sesr-infer\""));
+        assert!(json.contains("\"planned_images_per_sec\""));
+        assert!(json.contains("\"layer_ms\""));
+    }
+
+    #[test]
+    fn unknown_arch_is_an_error() {
+        let cfg = InferBenchConfig {
+            archs: vec!["m99".to_string()],
+            ..tiny()
+        };
+        assert!(run_infer_bench(&cfg).is_err());
+    }
+}

@@ -23,9 +23,13 @@
 //! published row next to the measured one.
 
 pub mod harness;
+pub mod infer_bench;
 pub mod train_bench;
 
 pub use harness::{parse_args, print_table, train_and_eval, BenchArgs, EvalRow};
+pub use infer_bench::{
+    infer_bench_report_json, run_infer_bench, InferArchResult, InferBenchConfig,
+};
 pub use train_bench::{
     run_train_bench, train_bench_report_json, ArchResult, PhaseMillis, TrainBenchConfig,
 };

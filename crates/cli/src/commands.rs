@@ -88,6 +88,9 @@ USAGE:
   sesr train-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
                 [--steps 10] [--warmup 2] [--batch 8] [--hr-patch 32]
                 [--threads N] [--out BENCH_train.json]
+  sesr infer-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
+                [--iters 30] [--warmup 5] [--height 180] [--width 320]
+                [--threads N] [--out BENCH_infer.json]
   sesr serve-chaos [--seed 0xC4A05] [--requests 400] [--workers 3]
                 [--concurrency 12] [--height 8] [--width 8]
                 [--panic-per-mille 150] [--slow-per-mille 150]
@@ -124,6 +127,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("serve-bench") => serve_bench(args),
         Some("serve-chaos") => serve_chaos(args),
         Some("train-bench") => train_bench(args),
+        Some("infer-bench") => infer_bench(args),
         Some("bench-gate") => bench_gate(args),
         _ => Err(CliError::Usage(USAGE.to_string())),
     }
@@ -665,15 +669,85 @@ fn train_bench(args: &Args) -> Result<String, CliError> {
     Ok(summary)
 }
 
+fn infer_bench(args: &Args) -> Result<String, CliError> {
+    use sesr_bench::InferBenchConfig;
+
+    let threads = match args.get("threads") {
+        None => None,
+        Some(_) => Some(args.parsed_or("threads", 4usize)?),
+    };
+    let cfg = InferBenchConfig {
+        archs: args
+            .get("archs")
+            .unwrap_or("m5,m11")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        scale: args.parsed_or("scale", 2usize)?,
+        expanded: args.parsed_or("expanded", 16usize)?,
+        seed: args.parsed_or("seed", 0u64)?,
+        iters: args.parsed_or("iters", 30usize)?,
+        warmup: args.parsed_or("warmup", 5usize)?,
+        h: args.parsed_or("height", 180usize)?,
+        w: args.parsed_or("width", 320usize)?,
+        threads,
+    };
+    let out_path = args.get("out").unwrap_or("BENCH_infer.json").to_string();
+
+    let results =
+        sesr_bench::run_infer_bench(&cfg).map_err(|e| CliError::Io(std::io::Error::other(e)))?;
+    let json = sesr_bench::infer_bench_report_json(&cfg, &results);
+    sesr_serve::json::validate(&json)
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("malformed report: {e}"))))?;
+    std::fs::write(Path::new(&out_path), &json)?;
+
+    let mut summary = String::new();
+    for r in &results {
+        summary.push_str(&format!(
+            "infer-bench {}x{} {}x{}: planned {:.2} img/s vs reference {:.2} img/s ({:.2}x), arena {} KiB
+",
+            r.arch,
+            cfg.scale,
+            cfg.h,
+            cfg.w,
+            r.planned_images_per_sec,
+            r.reference_images_per_sec,
+            r.speedup,
+            r.arena_bytes / 1024,
+        ));
+        for (i, ms) in r.layer_ms.iter().enumerate() {
+            summary.push_str(&format!(
+                "  layer {i:<2} {:>8.2} ms total ({:.3} ms/run)
+",
+                ms,
+                ms / r.iters as f64
+            ));
+        }
+    }
+    summary.push_str(&format!("wrote {out_path}"));
+    Ok(summary)
+}
+
 /// Keys the bench gate knows how to compare, per report kind
 /// (identified by the top-level `"bench"` tag).
 fn gate_metric_paths(kind: &str) -> Result<Vec<&'static [&'static str]>, CliError> {
     match kind {
         "sesr-serve" => Ok(vec![&["results", "throughput_rps"]]),
-        "sesr-train" => Ok(vec![]), // resolved per-arch below
+        "sesr-train" | "sesr-infer" => Ok(vec![]), // resolved per-arch below
         other => Err(CliError::Io(std::io::Error::other(format!(
-            "unknown bench kind {other:?} (expected sesr-serve|sesr-train)"
+            "unknown bench kind {other:?} (expected sesr-serve|sesr-train|sesr-infer)"
         )))),
+    }
+}
+
+/// Throughput metric name for report kinds whose `results` object is
+/// keyed by architecture label.
+fn per_arch_metric(kind: &str) -> Option<&'static str> {
+    match kind {
+        "sesr-train" => Some("steps_per_sec"),
+        "sesr-infer" => Some("planned_images_per_sec"),
+        _ => None,
     }
 }
 
@@ -703,23 +777,23 @@ fn bench_gate(args: &Args) -> Result<String, CliError> {
         )));
     }
 
-    // For train reports the throughput metrics live under
-    // results.<arch>.steps_per_sec; compare every arch in the baseline.
+    // Train/infer reports key their throughput metric under
+    // results.<arch>.<metric>; compare every arch in the baseline.
     let mut metrics: Vec<(String, f64, f64)> = Vec::new();
-    if kind == "sesr-train" {
+    if let Some(metric) = per_arch_metric(&kind) {
         let archs = baseline
             .get(&["results"])
             .and_then(JsonValue::as_object_keys)
             .ok_or_else(|| CliError::Io(std::io::Error::other("baseline missing results")))?;
         for arch in archs {
-            let path = ["results", arch.as_str(), "steps_per_sec"];
+            let path = ["results", arch.as_str(), metric];
             let b = baseline.get(&path).and_then(JsonValue::as_f64);
             let f = fresh.get(&path).and_then(JsonValue::as_f64);
             match (b, f) {
-                (Some(b), Some(f)) => metrics.push((format!("{arch}.steps_per_sec"), b, f)),
+                (Some(b), Some(f)) => metrics.push((format!("{arch}.{metric}"), b, f)),
                 _ => {
                     return Err(CliError::Io(std::io::Error::other(format!(
-                        "missing results.{arch}.steps_per_sec in baseline or fresh report"
+                        "missing results.{arch}.{metric} in baseline or fresh report"
                     ))))
                 }
             }
@@ -992,6 +1066,64 @@ mod tests {
         sesr_serve::json::validate(&json).unwrap();
         assert!(json.contains("\"steps_per_sec\""));
         assert!(json.contains("\"conv2d.bwd\""));
+    }
+
+    #[test]
+    fn infer_bench_writes_valid_report() {
+        let out_path = tmp("bench_infer_test.json");
+        std::fs::remove_file(&out_path).ok();
+        let report = run(&args(&format!(
+            "infer-bench --archs m3 --expanded 4 --iters 2 --warmup 1 \
+             --height 16 --width 20 --threads 1 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("infer-bench m3x2"));
+        assert!(report.contains("img/s"));
+        assert!(report.contains("arena"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        sesr_serve::json::validate(&json).unwrap();
+        assert!(json.contains("\"bench\":\"sesr-infer\""));
+        assert!(json.contains("\"planned_images_per_sec\""));
+        assert!(json.contains("\"layer_ms\""));
+    }
+
+    #[test]
+    fn bench_gate_handles_infer_reports_per_arch() {
+        let mk = |name: &str, ips: f64| {
+            let path = tmp(name);
+            let results = sesr_serve::json::JsonObject::new()
+                .raw(
+                    "m5",
+                    &sesr_serve::json::JsonObject::new()
+                        .num("planned_images_per_sec", ips)
+                        .finish(),
+                )
+                .finish();
+            let doc = sesr_serve::json::JsonObject::new()
+                .str("bench", "sesr-infer")
+                .raw("results", &results)
+                .finish();
+            std::fs::write(&path, doc).unwrap();
+            path
+        };
+        let baseline = mk("gate_infer_base.json", 100.0);
+        let ok = mk("gate_infer_ok.json", 90.0);
+        let bad = mk("gate_infer_bad.json", 40.0);
+        let report = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            ok.display()
+        )))
+        .unwrap();
+        assert!(report.contains("m5.planned_images_per_sec"));
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("REGRESSED"), "{err}");
     }
 
     #[test]

@@ -6,14 +6,16 @@
 //! network with plain tensor ops (no tape), which is what a deployment
 //! runtime would ship.
 
+use crate::infer_plan::{CollapsedKernels, InferPlan, TilePlanner};
 use crate::tiling::{TileError, TilePlan, TileSpec};
 use serde::{Deserialize, Serialize};
-use sesr_tensor::activations::{prelu, relu};
+use sesr_tensor::activations::{prelu_inplace, relu_inplace};
 use sesr_tensor::conv::Conv2dParams;
 use sesr_tensor::parallel::{parallel_for, SendPtr};
 use sesr_tensor::pixel_shuffle::depth_to_space;
 use sesr_tensor::winograd::conv2d_auto;
 use sesr_tensor::Tensor;
+use std::sync::Arc;
 
 /// Activation attached to a collapsed layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,12 +41,13 @@ impl CollapsedLayer {
     fn apply(&self, x: &Tensor) -> Tensor {
         // Winograd F(2x2, 3x3) for the 3x3 layers (6x+ faster than the
         // GEMM lowering on SESR's shapes), GEMM for everything else.
-        let y = conv2d_auto(x, &self.weight, Some(&self.bias), Conv2dParams::same());
+        let mut y = conv2d_auto(x, &self.weight, Some(&self.bias), Conv2dParams::same());
         match &self.act {
-            Some(Act::PRelu(alpha)) => prelu(&y, alpha),
-            Some(Act::Relu) => relu(&y),
-            None => y,
+            Some(Act::PRelu(alpha)) => prelu_inplace(&mut y, alpha),
+            Some(Act::Relu) => relu_inplace(&mut y),
+            None => {}
         }
+        y
     }
 }
 
@@ -125,12 +128,47 @@ impl CollapsedSesr {
         self.layers.iter().map(|l| l.weight.len()).sum()
     }
 
-    /// Super-resolves a batch `[N, 1, h, w]` → `[N, 1, h*scale, w*scale]`.
+    /// Super-resolves a batch `[N, 1, h, w]` → `[N, 1, h*scale, w*scale]`
+    /// through a compiled [`InferPlan`]: one plan and one buffer arena are
+    /// built for the batch shape and reused across all `N` images.
+    /// Bit-identical to [`CollapsedSesr::run_batch_reference`].
+    ///
+    /// Callers with a plan cache (e.g. the serving engine) should run
+    /// their cached [`InferPlan`] directly to also skip the plan build.
     ///
     /// # Panics
     ///
     /// Panics if the input is not single-channel NCHW.
     pub fn run_batch(&self, input: &Tensor) -> Tensor {
+        let (_, c, h, w) = input.shape_obj().as_nchw();
+        assert_eq!(c, 1, "SESR operates on the Y channel (1 input channel)");
+        let mut plan = InferPlan::new(Arc::new(CollapsedKernels::new(self)), h, w);
+        plan.run_batch(input)
+    }
+
+    /// Super-resolves a single `[1, h, w]` luma image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a single-channel `[1, h, w]` tensor.
+    pub fn run(&self, lr: &Tensor) -> Tensor {
+        let dims = lr.shape();
+        assert_eq!(dims.len(), 3, "expected [1, H, W]");
+        assert_eq!(dims[0], 1, "expected a luma image");
+        let batched = lr.reshape(&[1, 1, dims[1], dims[2]]);
+        let out = self.run_batch(&batched);
+        out.reshape(&[1, dims[1] * self.scale, dims[2] * self.scale])
+    }
+
+    /// The original unfused, allocating execution path: layer-by-layer
+    /// tensor ops, separate activation passes, separate residual adds, and
+    /// standalone depth-to-space. Kept as the reference the planner is
+    /// proven bit-identical against (and as a fallback executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not single-channel NCHW.
+    pub fn run_batch_reference(&self, input: &Tensor) -> Tensor {
         let (n, c, h, w) = input.shape_obj().as_nchw();
         assert_eq!(c, 1, "SESR operates on the Y channel (1 input channel)");
         let mut x = self.layers[0].apply(input);
@@ -153,17 +191,17 @@ impl CollapsedSesr {
         x
     }
 
-    /// Super-resolves a single `[1, h, w]` luma image.
+    /// Single-image [`CollapsedSesr::run_batch_reference`].
     ///
     /// # Panics
     ///
     /// Panics if the input is not a single-channel `[1, h, w]` tensor.
-    pub fn run(&self, lr: &Tensor) -> Tensor {
+    pub fn run_reference(&self, lr: &Tensor) -> Tensor {
         let dims = lr.shape();
         assert_eq!(dims.len(), 3, "expected [1, H, W]");
         assert_eq!(dims[0], 1, "expected a luma image");
         let batched = lr.reshape(&[1, 1, dims[1], dims[2]]);
-        let out = self.run_batch(&batched);
+        let out = self.run_batch_reference(&batched);
         out.reshape(&[1, dims[1] * self.scale, dims[2] * self.scale])
     }
 
@@ -236,8 +274,11 @@ impl CollapsedSesr {
         let plan = self.plan_tiles(h, w, tile, overlap)?;
         let s = self.scale;
         let mut out = Tensor::zeros(&[1, h * s, w * s]);
+        // Interior tiles share a shape, so one planner reuses a compiled
+        // plan (and its arena) across them.
+        let mut planner = TilePlanner::new(Arc::new(CollapsedKernels::new(self)));
         for spec in plan.tiles() {
-            let sr = self.run_tile(lr, spec);
+            let sr = planner.run_tile(lr, spec);
             paste_interior(&sr, spec, s, w * s, out.data_mut());
         }
         Ok(out)
@@ -269,9 +310,15 @@ impl CollapsedSesr {
         let mut out = Tensor::zeros(&[1, h * s, w * s]);
         let ptr = SendPtr(out.data_mut().as_mut_ptr());
         let tiles = plan.tiles();
+        // Kernels are preprocessed once and shared; each chunk of tiles
+        // gets its own planner so same-shaped tiles within the chunk reuse
+        // one compiled plan. Tile plans use a single band — parallelism
+        // here comes from the tile fan-out itself.
+        let kernels = Arc::new(CollapsedKernels::new(self));
         parallel_for(tiles.len(), 1, |a, b| {
+            let mut planner = TilePlanner::new(kernels.clone());
             for spec in &tiles[a..b] {
-                let sr = self.run_tile(lr, spec);
+                let sr = planner.run_tile(lr, spec);
                 let out_w = w * s;
                 let sr_w = spec.patch_w() * s;
                 for y in spec.y0 * s..spec.y1 * s {

@@ -1,0 +1,1013 @@
+//! Planned, zero-allocation execution of the collapsed network.
+//!
+//! [`crate::collapsed::CollapsedSesr::run`] executes layer by layer with a
+//! fresh tensor per op, a separate activation pass, a separate residual
+//! add, and a standalone depth-to-space — and the per-layer kernels are
+//! single-threaded for a single image. This module compiles the collapsed
+//! network once per `(model, input shape)` into an [`InferPlan`] that
+//! fixes all of that while producing **bit-identical** output:
+//!
+//! * **Buffer arena.** One `Vec<f32>` sized from the layer graph holds the
+//!   long-residual buffer, two ping-pong feature buffers, and one small
+//!   scratch slab per row band (accumulator rows, Winograd tile scratch).
+//!   Steady-state [`InferPlan::run_image_into`] touches only the
+//!   arena: zero heap allocations after the plan is built (at one thread;
+//!   with a pool, `parallel_for` posts one job header per layer — see
+//!   DESIGN.md Sec. 11).
+//! * **Fused epilogues.** Bias, PReLU/ReLU, the long feature residual, the
+//!   input residual, and the depth-to-space permutation are folded into
+//!   the producing conv's output-row write (including after the Winograd
+//!   output transform), eliminating whole-tensor passes. Epilogue passes
+//!   run row-at-a-time with the variant dispatch hoisted out of the inner
+//!   loops, so they vectorize.
+//! * **Direct blocked convolution.** The 5x5 layers skip im2col entirely:
+//!   taps accumulate straight into an L1-resident output row. The
+//!   reference path's `im2col + gemm` materializes a `cin*kh*kw x h*w`
+//!   column matrix (tens of MB at video sizes) just to stream it through
+//!   the GEMM once; the direct kernel reads the input planes in place.
+//!   Accumulation mimics [`sesr_tensor::gemm::KC`]-block grouping, so the
+//!   bits match the packed GEMM exactly (see below).
+//! * **Row-band parallelism.** Each layer is split over output-row bands
+//!   executed on the persistent pool. Bands are fixed at plan build and
+//!   aligned to Winograd tile rows (2 rows), and every per-element
+//!   accumulation order is unchanged from the unfused kernels, so output
+//!   is bit-identical from 1 to N threads and to the reference path
+//!   ([`crate::collapsed::CollapsedSesr::run_batch_reference`]).
+//!
+//! Why bit-identical (and not merely close): the packed GEMM accumulates
+//! each output element as one chain per `KC`-sized k-block (each chain
+//! starts from 0.0, blocks combine in order), and the direct convolution
+//! reproduces exactly that grouping with taps visited in ascending k
+//! order — padding taps, which im2col materializes as literal `0.0`
+//! entries, are skipped, which is exact because a partial chain can never
+//! be `-0.0` and `x + 0.0 == x` for every other `x`. Winograd tiles are
+//! arithmetically independent, so any tile partition is exact; and the
+//! fused epilogue performs the same per-element operations in the same
+//! order as the separate passes it replaces. See DESIGN.md Sec. 11 for
+//! the full argument.
+
+use crate::collapsed::{Act, CollapsedSesr};
+use sesr_tensor::conv::Conv2dParams;
+use sesr_tensor::gemm::KC;
+use sesr_tensor::parallel::{num_threads, parallel_for, SendPtr};
+use sesr_tensor::winograd::{input_transform, kernel_transform, output_transform};
+use sesr_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Activation of one planned layer, with slopes flattened out of tensors.
+#[derive(Debug, Clone)]
+pub enum ActKind {
+    /// No activation (the collapsed head).
+    None,
+    /// Plain ReLU.
+    Relu,
+    /// Parametric ReLU with one slope per output channel.
+    PRelu(Vec<f32>),
+}
+
+/// One collapsed convolution, preprocessed for planned execution.
+#[derive(Debug, Clone)]
+pub struct KernelLayer {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Flat OIHW weights (the GEMM `A` operand for the im2col path).
+    pub weight: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    /// Winograd-transformed kernels (`G g Gᵀ` per `(cout, cin)` pair),
+    /// present iff the kernel is 3x3. Computed once here instead of per
+    /// call inside `winograd_conv3x3`.
+    pub wino_u: Option<Vec<[f32; 16]>>,
+    /// Activation fused into this layer's output write.
+    pub act: ActKind,
+}
+
+/// Shape-independent planned form of a [`CollapsedSesr`]: flattened
+/// weights, pre-transformed Winograd kernels, and the depth-to-space
+/// scatter map. Immutable and `Sync`; share one `Arc` across plans,
+/// worker threads, and tile planners.
+#[derive(Debug, Clone)]
+pub struct CollapsedKernels {
+    layers: Vec<KernelLayer>,
+    scale: usize,
+    feature_residual: bool,
+    input_residual: bool,
+    /// `head_scatter[ci]` is the `(row, col)` offset inside each
+    /// `scale x scale` output cell written by head channel `ci` —
+    /// the composition of the model's depth-to-space permutations.
+    head_scatter: Vec<(usize, usize)>,
+}
+
+impl CollapsedKernels {
+    /// Preprocesses a collapsed network for planned execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head does not emit `scale * scale` channels.
+    pub fn new(model: &CollapsedSesr) -> Self {
+        let layers: Vec<KernelLayer> = model
+            .layers()
+            .iter()
+            .map(|l| {
+                let s = l.weight.shape();
+                let (o, i, kh, kw) = (s[0], s[1], s[2], s[3]);
+                let wino_u = (kh == 3 && kw == 3).then(|| {
+                    let mut u = vec![[0.0f32; 16]; o * i];
+                    for oo in 0..o {
+                        for ii in 0..i {
+                            let base = (oo * i + ii) * 9;
+                            u[oo * i + ii] = kernel_transform(&l.weight.data()[base..base + 9]);
+                        }
+                    }
+                    u
+                });
+                KernelLayer {
+                    cin: i,
+                    cout: o,
+                    kh,
+                    kw,
+                    weight: l.weight.data().to_vec(),
+                    bias: l.bias.data().to_vec(),
+                    wino_u,
+                    act: match &l.act {
+                        None => ActKind::None,
+                        Some(Act::Relu) => ActKind::Relu,
+                        Some(Act::PRelu(a)) => ActKind::PRelu(a.data().to_vec()),
+                    },
+                }
+            })
+            .collect();
+        let scale = model.scale();
+        let head_cout = layers.last().expect("collapsed model has layers").cout;
+        assert_eq!(head_cout, scale * scale, "head must emit scale^2 channels");
+        // x2 is one depth-to-space (r = 2); x4 composes two of them. Both
+        // reduce to a per-channel (row, col) offset in the output cell.
+        let head_scatter = (0..head_cout)
+            .map(|ci| {
+                if scale == 2 {
+                    (ci / 2, ci % 2)
+                } else {
+                    (2 * ((ci % 4) / 2) + ci / 8, 2 * (ci % 2) + (ci / 4) % 2)
+                }
+            })
+            .collect();
+        Self {
+            layers,
+            scale,
+            feature_residual: model.has_feature_residual(),
+            input_residual: model.has_input_residual(),
+            head_scatter,
+        }
+    }
+
+    /// The planned layers, in execution order.
+    pub fn layers(&self) -> &[KernelLayer] {
+        &self.layers
+    }
+
+    /// The upscaling factor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+}
+
+/// Which logical buffer a step reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Buf {
+    /// The caller's LR input plane.
+    Input,
+    /// Layer 0's output, kept live for the long feature residual.
+    First,
+    /// Ping-pong feature buffer A.
+    Ping,
+    /// Ping-pong feature buffer B.
+    Pong,
+    /// The caller's HR output plane (written via depth-to-space scatter).
+    Output,
+}
+
+/// One planned layer execution.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    layer: usize,
+    src: Buf,
+    dst: Buf,
+    /// Fuse the long feature residual (`+ first`) into this step's write.
+    add_first: bool,
+    /// Degenerate 2-layer network with a feature residual: the head input
+    /// is `first + first`, fused here as a doubled write.
+    double_output: bool,
+}
+
+/// Everything the fused output write of one band needs. `emit` performs
+/// exactly the per-element operations of the unfused path, in the same
+/// order: `+ bias`, activation, residuals, destination permutation.
+struct Epilogue<'a> {
+    bias: &'a [f32],
+    act: &'a ActKind,
+    double_output: bool,
+    add_first: Option<&'a [f32]>,
+    input_plane: Option<&'a [f32]>,
+    dst: Dst<'a>,
+}
+
+enum Dst<'a> {
+    /// Plane-major CHW write at `off` in the arena.
+    Plane { ptr: SendPtr, off: usize },
+    /// Depth-to-space scatter into the HR output.
+    Scatter {
+        ptr: SendPtr,
+        scale: usize,
+        out_w: usize,
+        map: &'a [(usize, usize)],
+    },
+}
+
+impl Epilogue<'_> {
+    /// Applies the fused tail to one raw output row (in place) and writes
+    /// it to the destination. Each pass applies one per-element op over
+    /// the whole row with the variant dispatch hoisted outside the loop,
+    /// so the loops vectorize; the op *order* per element is exactly that
+    /// of the unfused path: `+ bias`, activation, doubling, `+ first`,
+    /// `+ input`, destination permutation.
+    fn emit_row(&self, co: usize, y: usize, raw: &mut [f32], h: usize, w: usize) {
+        debug_assert_eq!(raw.len(), w);
+        let b = self.bias[co];
+        match self.act {
+            ActKind::None => {
+                for v in raw.iter_mut() {
+                    *v += b;
+                }
+            }
+            ActKind::Relu => {
+                for v in raw.iter_mut() {
+                    *v = (*v + b).max(0.0);
+                }
+            }
+            ActKind::PRelu(ref a) => {
+                let al = a[co];
+                for v in raw.iter_mut() {
+                    let t = *v + b;
+                    *v = if t >= 0.0 { t } else { al * t };
+                }
+            }
+        }
+        if self.double_output {
+            for v in raw.iter_mut() {
+                *v += *v;
+            }
+        }
+        if let Some(first) = self.add_first {
+            let f = &first[co * h * w + y * w..][..w];
+            for (v, &fv) in raw.iter_mut().zip(f) {
+                *v += fv;
+            }
+        }
+        if let Some(inp) = self.input_plane {
+            let ir = &inp[y * w..][..w];
+            for (v, &iv) in raw.iter_mut().zip(ir) {
+                *v += iv;
+            }
+        }
+        match &self.dst {
+            // SAFETY (both arms): bands write disjoint row ranges of the
+            // destination — `parallel_for` hands each band to one closure
+            // call, and the plan's band list partitions `0..h`.
+            Dst::Plane { ptr, off } => {
+                let base = off + co * h * w + y * w;
+                for (x, &v) in raw.iter().enumerate() {
+                    unsafe { ptr.write(base + x, v) }
+                }
+            }
+            Dst::Scatter {
+                ptr,
+                scale,
+                out_w,
+                map,
+            } => {
+                let (ry, rx) = map[co];
+                let base = (scale * y + ry) * out_w + rx;
+                for (x, &v) in raw.iter().enumerate() {
+                    unsafe { ptr.write(base + scale * x, v) }
+                }
+            }
+        }
+    }
+}
+
+/// A compiled execution plan for one `(model, input shape)` pair.
+///
+/// Building the plan allocates the arena; [`InferPlan::run_image_into`]
+/// then runs the full network without touching the heap. Reuse a plan for
+/// every same-shaped input (batches, repeated requests, same-shaped
+/// tiles).
+#[derive(Debug)]
+pub struct InferPlan {
+    kernels: Arc<CollapsedKernels>,
+    h: usize,
+    w: usize,
+    bands: Vec<(usize, usize)>,
+    steps: Vec<Step>,
+    arena: Vec<f32>,
+    off_first: usize,
+    first_len: usize,
+    off_ping: usize,
+    off_pong: usize,
+    off_slabs: usize,
+    slab_len: usize,
+}
+
+impl InferPlan {
+    /// Compiles a plan for an `h x w` LR input, with one row band per
+    /// available worker thread (fixed at build time).
+    pub fn new(kernels: Arc<CollapsedKernels>, h: usize, w: usize) -> Self {
+        let n = num_threads();
+        Self::with_bands(kernels, h, w, n)
+    }
+
+    /// Compiles a plan with an explicit band count (1 disables intra-layer
+    /// parallelism — used by tile executors that parallelize over tiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape or zero bands.
+    pub fn with_bands(kernels: Arc<CollapsedKernels>, h: usize, w: usize, nbands: usize) -> Self {
+        assert!(h > 0 && w > 0, "degenerate input {h}x{w}");
+        assert!(nbands > 0, "need at least one band");
+        let bands = make_bands(h, nbands);
+        let steps = make_steps(&kernels);
+
+        let first_len = kernels.layers[0].cout * h * w;
+        let mid_len = kernels.layers[1..kernels.layers.len() - 1]
+            .iter()
+            .map(|l| l.cout * h * w)
+            .max()
+            .unwrap_or(0);
+        // Winograd layers keep one transformed-input tile set, one
+        // accumulated m-tile per output channel, and two output rows per
+        // channel; direct-conv layers keep two accumulator rows (current
+        // total + current k-block). Both are tiny and cache-resident by
+        // construction.
+        let slab_len = kernels
+            .layers
+            .iter()
+            .map(|l| {
+                if l.wino_u.is_some() {
+                    l.cin * 16 + l.cout * 16 + l.cout * 2 * w
+                } else {
+                    2 * w
+                }
+            })
+            .max()
+            .unwrap_or(0);
+
+        let off_first = 0;
+        let off_ping = off_first + first_len;
+        let off_pong = off_ping + mid_len;
+        let off_slabs = off_pong + mid_len;
+        let arena = vec![0.0f32; off_slabs + bands.len() * slab_len];
+        Self {
+            kernels,
+            h,
+            w,
+            bands,
+            steps,
+            arena,
+            off_first,
+            first_len,
+            off_ping,
+            off_pong,
+            off_slabs,
+            slab_len,
+        }
+    }
+
+    /// The `(h, w)` LR shape this plan was compiled for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+
+    /// The shared preprocessed kernels.
+    pub fn kernels(&self) -> &Arc<CollapsedKernels> {
+        &self.kernels
+    }
+
+    /// Total bytes of the preallocated arena — the plan's entire
+    /// steady-state working set besides input and output.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Number of planned layer executions (= collapsed layers).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn buf_off(&self, buf: Buf) -> usize {
+        match buf {
+            Buf::First => self.off_first,
+            Buf::Ping => self.off_ping,
+            Buf::Pong => self.off_pong,
+            Buf::Input | Buf::Output => unreachable!("not an arena buffer"),
+        }
+    }
+
+    /// Runs the planned network on one LR plane (`h * w` floats) into a
+    /// preallocated HR plane (`h*scale * w*scale` floats). Performs zero
+    /// heap allocations (one pool-job header per layer when running on
+    /// more than one thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the planned shape.
+    pub fn run_image_into(&mut self, input: &[f32], out: &mut [f32]) {
+        self.run_steps(input, out, None);
+    }
+
+    /// [`InferPlan::run_image_into`] with per-layer wall-time accumulation
+    /// (nanoseconds added to `layer_nanos[i]` for step `i`). Bench-only;
+    /// same output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_nanos` does not have one slot per step.
+    pub fn run_image_into_timed(
+        &mut self,
+        input: &[f32],
+        out: &mut [f32],
+        layer_nanos: &mut [u64],
+    ) {
+        assert_eq!(layer_nanos.len(), self.steps.len(), "one slot per layer");
+        self.run_steps(input, out, Some(layer_nanos));
+    }
+
+    fn run_steps(&mut self, input: &[f32], out: &mut [f32], mut timings: Option<&mut [u64]>) {
+        let (h, w) = (self.h, self.w);
+        let s = self.kernels.scale;
+        assert_eq!(input.len(), h * w, "input plane size");
+        assert_eq!(out.len(), h * s * w * s, "output plane size");
+        let arena_ptr = SendPtr(self.arena.as_mut_ptr());
+        let out_ptr = SendPtr(out.as_mut_ptr());
+
+        for (si, step) in self.steps.iter().enumerate() {
+            let t0 = timings.is_some().then(Instant::now);
+            let layer = &self.kernels.layers[step.layer];
+            let src: &[f32] = match step.src {
+                Buf::Input => input,
+                b => {
+                    // SAFETY: the source buffer was fully written by a
+                    // previous step (steps are separated by parallel_for
+                    // joins) and no band writes it during this step —
+                    // ping-pong assignment keeps src and dst disjoint.
+                    unsafe {
+                        std::slice::from_raw_parts(
+                            arena_ptr.0.add(self.buf_off(b)),
+                            layer.cin * h * w,
+                        )
+                    }
+                }
+            };
+            let first: Option<&[f32]> = step.add_first.then(|| {
+                // SAFETY: `first` was written by step 0 and is never a
+                // destination afterwards.
+                unsafe {
+                    std::slice::from_raw_parts(arena_ptr.0.add(self.off_first), self.first_len)
+                }
+            });
+            let dst = match step.dst {
+                Buf::Output => Dst::Scatter {
+                    ptr: out_ptr,
+                    scale: s,
+                    out_w: w * s,
+                    map: &self.kernels.head_scatter,
+                },
+                b => Dst::Plane {
+                    ptr: arena_ptr,
+                    off: self.buf_off(b),
+                },
+            };
+            let epi = Epilogue {
+                bias: &layer.bias,
+                act: &layer.act,
+                double_output: step.double_output,
+                add_first: first,
+                input_plane: (step.dst == Buf::Output && self.kernels.input_residual)
+                    .then_some(input),
+                dst,
+            };
+            let bands = &self.bands;
+            let (off_slabs, slab_len) = (self.off_slabs, self.slab_len);
+            parallel_for(bands.len(), 1, |b0, b1| {
+                for (bi, &(y0, y1)) in bands.iter().enumerate().take(b1).skip(b0) {
+                    // SAFETY: slabs are disjoint per band and bands are
+                    // assigned whole to closure calls.
+                    let slab = unsafe { arena_ptr.slice_mut(off_slabs + bi * slab_len, slab_len) };
+                    if layer.wino_u.is_some() {
+                        wino_band(layer, src, h, w, y0, y1, slab, &epi);
+                    } else {
+                        conv_band(layer, src, h, w, y0, y1, slab, &epi);
+                    }
+                }
+            });
+            if let Some(t) = timings.as_deref_mut() {
+                t[si] += t0.expect("timer started").elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Super-resolves a `[1, h, w]` luma image through the plan. Allocates
+    /// only the returned tensor; all intermediates live in the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape disagrees with the planned shape.
+    pub fn run(&mut self, lr: &Tensor) -> Tensor {
+        let dims = lr.shape();
+        assert_eq!(dims, &[1, self.h, self.w], "input must match plan shape");
+        let s = self.kernels.scale;
+        let mut out = Tensor::zeros(&[1, self.h * s, self.w * s]);
+        self.run_image_into(lr.data(), out.data_mut());
+        out
+    }
+
+    /// Super-resolves a `[N, 1, h, w]` batch, reusing this plan's single
+    /// arena across all `N` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not single-channel NCHW of the planned
+    /// shape.
+    pub fn run_batch(&mut self, input: &Tensor) -> Tensor {
+        let (n, c, h, w) = input.shape_obj().as_nchw();
+        assert_eq!(c, 1, "SESR operates on the Y channel (1 input channel)");
+        assert_eq!((h, w), (self.h, self.w), "input must match plan shape");
+        let s = self.kernels.scale;
+        let (oh, ow) = (h * s, w * s);
+        let mut out = Tensor::zeros(&[n, 1, oh, ow]);
+        let out_data = out.data_mut();
+        for ni in 0..n {
+            self.run_image_into(
+                &input.data()[ni * h * w..(ni + 1) * h * w],
+                &mut out_data[ni * oh * ow..(ni + 1) * oh * ow],
+            );
+        }
+        out
+    }
+}
+
+/// Splits `0..h` into at most `nbands` contiguous row bands aligned to
+/// Winograd tile rows: every band start is even, and band ends are even
+/// or `h`. Band boundaries are a pure function of `(h, nbands)` — fixed
+/// band order is part of the determinism argument.
+fn make_bands(h: usize, nbands: usize) -> Vec<(usize, usize)> {
+    let pairs = h.div_ceil(2);
+    let nb = nbands.min(pairs).max(1);
+    let base = pairs / nb;
+    let rem = pairs % nb;
+    let mut bands = Vec::with_capacity(nb);
+    let mut p = 0usize;
+    for i in 0..nb {
+        let take = base + usize::from(i < rem);
+        let (p0, p1) = (p, p + take);
+        bands.push((2 * p0, (2 * p1).min(h)));
+        p = p1;
+    }
+    bands
+}
+
+/// Assigns each layer a source and destination buffer plus its fused
+/// residual flags, mirroring the reference dataflow exactly.
+fn make_steps(kernels: &CollapsedKernels) -> Vec<Step> {
+    let ll = kernels.layers.len();
+    let mut steps = Vec::with_capacity(ll);
+    steps.push(Step {
+        layer: 0,
+        src: Buf::Input,
+        dst: Buf::First,
+        add_first: false,
+        double_output: ll == 2 && kernels.feature_residual,
+    });
+    let mut cur = Buf::First;
+    for i in 1..ll - 1 {
+        let dst = if cur == Buf::Ping {
+            Buf::Pong
+        } else {
+            Buf::Ping
+        };
+        steps.push(Step {
+            layer: i,
+            src: cur,
+            dst,
+            add_first: kernels.feature_residual && i == ll - 2,
+            double_output: false,
+        });
+        cur = dst;
+    }
+    steps.push(Step {
+        layer: ll - 1,
+        src: cur,
+        dst: Buf::Output,
+        add_first: false,
+        double_output: false,
+    });
+    steps
+}
+
+/// Accumulates taps `[k0, k1)` of output row `y`, channel `co` into
+/// `acc` (one float per output column), visiting taps in ascending `k`
+/// order. `k` enumerates `(cc, ky, kx)` row-major — exactly the im2col
+/// row order — so the per-element chain matches the packed GEMM's within
+/// one k-block. Padding taps (rows/columns off the input) are skipped:
+/// im2col stores literal `0.0` there, and adding `0.0` to a partial
+/// chain is exact (the chain is never `-0.0`: it starts at `+0.0`, and
+/// IEEE-754 round-to-nearest addition only yields `-0.0` from
+/// `(-0.0) + (-0.0)`).
+#[allow(clippy::too_many_arguments)]
+fn conv_taps(
+    acc: &mut [f32],
+    layer: &KernelLayer,
+    src: &[f32],
+    co: usize,
+    y: usize,
+    h: usize,
+    w: usize,
+    k0: usize,
+    k1: usize,
+    pt: usize,
+    pl: usize,
+) {
+    let taps = layer.kh * layer.kw;
+    let k = layer.cin * taps;
+    for p in k0..k1 {
+        let cc = p / taps;
+        let r = p % taps;
+        let (ky, kx) = (r / layer.kw, r % layer.kw);
+        let iy = y as isize + ky as isize - pt as isize;
+        if iy < 0 || iy >= h as isize {
+            continue;
+        }
+        let wv = layer.weight[co * k + p];
+        let in_row = &src[cc * h * w + iy as usize * w..][..w];
+        // Output column x reads input column x + shift.
+        let shift = kx as isize - pl as isize;
+        let x_lo = usize::try_from(-shift).unwrap_or(0);
+        let x_hi = usize::try_from(w as isize - shift.max(0)).unwrap_or(0);
+        if x_lo >= x_hi {
+            continue;
+        }
+        let seg = &in_row[(x_lo as isize + shift) as usize..][..x_hi - x_lo];
+        for (a, &v) in acc[x_lo..x_hi].iter_mut().zip(seg) {
+            *a += wv * v;
+        }
+    }
+}
+
+/// Executes output rows `[y0, y1)` of a non-3x3 layer as a direct blocked
+/// convolution with the epilogue fused into the row write. No im2col, no
+/// GEMM call — yet bit-identical to `im2col + gemm`: taps are grouped
+/// into the same [`KC`]-sized k-blocks, each block accumulates from
+/// `+0.0` in ascending k order, and blocks combine in order (the first by
+/// plain write), exactly mirroring the packed kernel's per-element
+/// association.
+#[allow(clippy::too_many_arguments)]
+fn conv_band(
+    layer: &KernelLayer,
+    src: &[f32],
+    h: usize,
+    w: usize,
+    y0: usize,
+    y1: usize,
+    slab: &mut [f32],
+    epi: &Epilogue<'_>,
+) {
+    let (pt, _pb, pl, _pr) = Conv2dParams::same().resolve_padding(layer.kh, layer.kw);
+    let k = layer.cin * layer.kh * layer.kw;
+    let (row, rest) = slab.split_at_mut(w);
+    let blk = &mut rest[..w];
+    for y in y0..y1 {
+        for co in 0..layer.cout {
+            row.fill(0.0);
+            conv_taps(row, layer, src, co, y, h, w, 0, k.min(KC), pt, pl);
+            let mut kb = KC;
+            while kb < k {
+                let kend = (kb + KC).min(k);
+                blk.fill(0.0);
+                conv_taps(blk, layer, src, co, y, h, w, kb, kend, pt, pl);
+                for (r, &bv) in row.iter_mut().zip(blk.iter()) {
+                    *r += bv;
+                }
+                kb = kend;
+            }
+            epi.emit_row(co, y, row, h, w);
+        }
+    }
+}
+
+/// Executes output rows `[y0, y1)` of a 3x3 layer with the Winograd
+/// `F(2x2, 3x3)` pipeline, epilogue fused into the output transform's
+/// tile write. Tiles are independent, so running the band's tile rows is
+/// arithmetically identical to the whole-image kernel; bands are 2-row
+/// aligned so no tile straddles a band boundary.
+#[allow(clippy::too_many_arguments)]
+fn wino_band(
+    layer: &KernelLayer,
+    src: &[f32],
+    h: usize,
+    w: usize,
+    y0: usize,
+    y1: usize,
+    slab: &mut [f32],
+    epi: &Epilogue<'_>,
+) {
+    let (cin, cout) = (layer.cin, layer.cout);
+    let u = layer.wino_u.as_ref().expect("wino layer");
+    let (v_slab, rest) = slab.split_at_mut(cin * 16);
+    // Accumulated m-tiles are staged here between the channel-reduction
+    // loop and the output transform. The store keeps the two loops
+    // separate in codegen: letting the compiler fuse the reduction into
+    // the transform's butterfly trades the clean 8-wide accumulation for
+    // a shuffle-bound hybrid (measurably slower).
+    let (m_slab, rest) = rest.split_at_mut(cout * 16);
+    // Two raw output rows per channel, filled tile by tile, then flushed
+    // through the fused epilogue row-at-a-time.
+    let rowbuf = &mut rest[..cout * 2 * w];
+    let tiles_x = w.div_ceil(2);
+    for ty in y0 / 2..y1.div_ceil(2) {
+        let oy = 2 * ty;
+        for tx in 0..tiles_x {
+            let ox = 2 * tx;
+            // A tile is interior when its 4x4 input window (offset -1)
+            // lies fully inside the plane; the hot path then gathers with
+            // four straight row copies and no bounds checks.
+            let interior = oy >= 1 && oy + 3 <= h && ox >= 1 && ox + 3 <= w;
+            for cc in 0..cin {
+                let plane = &src[cc * h * w..(cc + 1) * h * w];
+                let mut d = [0.0f32; 16];
+                if interior {
+                    let base = (oy - 1) * w + (ox - 1);
+                    for dy in 0..4 {
+                        d[4 * dy..4 * dy + 4].copy_from_slice(&plane[base + dy * w..][..4]);
+                    }
+                } else {
+                    for dy in 0..4 {
+                        let iy = oy as isize + dy as isize - 1;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for dx in 0..4 {
+                            let ix = ox as isize + dx as isize - 1;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            d[4 * dy + dx] = plane[iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+                v_slab[cc * 16..cc * 16 + 16].copy_from_slice(&input_transform(&d));
+            }
+            for oo in 0..cout {
+                let mut m = [0.0f32; 16];
+                for cc in 0..cin {
+                    let ut = &u[oo * cin + cc];
+                    let vc = &v_slab[cc * 16..cc * 16 + 16];
+                    for k in 0..16 {
+                        m[k] += ut[k] * vc[k];
+                    }
+                }
+                m_slab[oo * 16..oo * 16 + 16].copy_from_slice(&m);
+            }
+            for oo in 0..cout {
+                let m: &[f32; 16] = m_slab[oo * 16..oo * 16 + 16].try_into().expect("16");
+                let yv = output_transform(m);
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let xx = ox + dx;
+                        if xx < w {
+                            rowbuf[(oo * 2 + dy) * w + xx] = yv[2 * dy + dx];
+                        }
+                    }
+                }
+            }
+        }
+        for oo in 0..cout {
+            for dy in 0..2 {
+                let yy = oy + dy;
+                if yy >= h {
+                    continue;
+                }
+                epi.emit_row(oo, yy, &mut rowbuf[(oo * 2 + dy) * w..][..w], h, w);
+            }
+        }
+    }
+}
+
+/// Lazily builds and caches one [`InferPlan`] per tile shape. Tile
+/// executors parallelize over tiles, so cached plans use a single band.
+#[derive(Debug)]
+pub struct TilePlanner {
+    kernels: Arc<CollapsedKernels>,
+    plans: Vec<InferPlan>,
+}
+
+impl TilePlanner {
+    /// Creates an empty planner over shared kernels.
+    pub fn new(kernels: Arc<CollapsedKernels>) -> Self {
+        Self {
+            kernels,
+            plans: Vec::new(),
+        }
+    }
+
+    /// The plan for an `h x w` tile, building it on first use.
+    pub fn plan_for(&mut self, h: usize, w: usize) -> &mut InferPlan {
+        let idx = match self.plans.iter().position(|p| p.shape() == (h, w)) {
+            Some(i) => i,
+            None => {
+                self.plans
+                    .push(InferPlan::with_bands(self.kernels.clone(), h, w, 1));
+                self.plans.len() - 1
+            }
+        };
+        &mut self.plans[idx]
+    }
+
+    /// Crops the halo-expanded patch of `spec` and runs it through the
+    /// cached plan for that patch shape.
+    pub fn run_tile(&mut self, lr: &Tensor, spec: &crate::tiling::TileSpec) -> Tensor {
+        let patch = lr.crop_hw(spec.ey0, spec.ey1, spec.ex0, spec.ex1);
+        let dims = patch.shape();
+        self.plan_for(dims[1], dims[2]).run(&patch)
+    }
+
+    /// Largest arena across the cached plans (telemetry).
+    pub fn max_arena_bytes(&self) -> usize {
+        self.plans
+            .iter()
+            .map(InferPlan::arena_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sesr, SesrConfig};
+
+    fn collapsed(cfg: SesrConfig) -> CollapsedSesr {
+        Sesr::new(cfg).collapse()
+    }
+
+    fn plan_of(net: &CollapsedSesr, h: usize, w: usize, bands: usize) -> InferPlan {
+        InferPlan::with_bands(Arc::new(CollapsedKernels::new(net)), h, w, bands)
+    }
+
+    #[test]
+    fn planned_run_is_bit_identical_to_reference() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let lr = Tensor::rand_uniform(&[1, 9, 13], 0.0, 1.0, 1);
+        let reference = net.run_reference(&lr);
+        for bands in [1usize, 2, 3, 5] {
+            let mut plan = plan_of(&net, 9, 13, bands);
+            let planned = plan.run(&lr);
+            assert_eq!(
+                reference.max_abs_diff(&planned),
+                0.0,
+                "{bands} bands diverged"
+            );
+            assert_eq!(planned.shape(), reference.shape());
+        }
+    }
+
+    #[test]
+    fn planned_matches_reference_across_variants() {
+        // Hardware-efficient (ReLU, no input residual) and an x4 head.
+        let configs = [
+            SesrConfig::m(3)
+                .with_expanded(8)
+                .with_seed(4)
+                .hardware_efficient(),
+            SesrConfig::m(2).with_expanded(8).with_seed(5).with_scale(4),
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            let net = collapsed(*cfg);
+            let lr = Tensor::rand_uniform(&[1, 11, 7], 0.0, 1.0, 70 + i as u64);
+            let reference = net.run_reference(&lr);
+            let mut plan = plan_of(&net, 11, 7, 3);
+            assert_eq!(
+                reference.max_abs_diff(&plan.run(&lr)),
+                0.0,
+                "variant {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_two_layer_network_with_feature_residual_matches() {
+        // No middle layers: the reference computes head(first + first),
+        // which the plan fuses as a doubled write on step 0.
+        use crate::collapsed::CollapsedLayer;
+        let f = 6;
+        let l0 = CollapsedLayer {
+            weight: Tensor::randn(&[f, 1, 5, 5], 0.0, 0.3, 90),
+            bias: Tensor::randn(&[f], 0.0, 0.1, 91),
+            act: Some(Act::PRelu(Tensor::rand_uniform(&[f], -0.3, 0.3, 92))),
+        };
+        let head = CollapsedLayer {
+            weight: Tensor::randn(&[4, f, 5, 5], 0.0, 0.3, 93),
+            bias: Tensor::randn(&[4], 0.0, 0.1, 94),
+            act: None,
+        };
+        let net = CollapsedSesr::new(vec![l0, head], 2, true, true);
+        let lr = Tensor::rand_uniform(&[1, 9, 11], 0.0, 1.0, 95);
+        let reference = net.run_reference(&lr);
+        let mut plan = plan_of(&net, 9, 11, 2);
+        assert_eq!(reference.max_abs_diff(&plan.run(&lr)), 0.0);
+    }
+
+    #[test]
+    fn plan_reuse_does_not_leak_state_between_images() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let mut plan = plan_of(&net, 8, 8, 2);
+        let a = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 2);
+        let b = Tensor::rand_uniform(&[1, 8, 8], -1.0, 1.0, 9);
+        let first_a = plan.run(&a);
+        let _ = plan.run(&b);
+        let again_a = plan.run(&a);
+        assert_eq!(first_a.max_abs_diff(&again_a), 0.0, "arena state leaked");
+        assert_eq!(
+            net.run_reference(&a).max_abs_diff(&again_a),
+            0.0,
+            "reuse diverged from reference"
+        );
+    }
+
+    #[test]
+    fn arena_size_is_fixed_after_build() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let mut plan = plan_of(&net, 16, 16, 4);
+        let before = plan.arena_bytes();
+        assert!(before > 0);
+        let lr = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, 3);
+        for _ in 0..3 {
+            let _ = plan.run(&lr);
+        }
+        assert_eq!(plan.arena_bytes(), before, "arena must never grow");
+    }
+
+    #[test]
+    fn batch_run_reuses_one_arena() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::rand_uniform(&[1, 10, 14], 0.0, 1.0, 80 + i))
+            .collect();
+        let batch = Tensor::stack(&images.iter().collect::<Vec<_>>());
+        let mut plan = plan_of(&net, 10, 14, 2);
+        let out = plan.run_batch(&batch);
+        for (i, (img, got)) in images.iter().zip(out.unstack()).enumerate() {
+            let single = net.run_reference(img);
+            assert_eq!(
+                single.max_abs_diff(&got.reshape(single.shape())),
+                0.0,
+                "image {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_planner_caches_by_shape() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let mut planner = TilePlanner::new(Arc::new(CollapsedKernels::new(&net)));
+        let _ = planner.plan_for(8, 8);
+        let _ = planner.plan_for(8, 8);
+        let _ = planner.plan_for(8, 6);
+        assert_eq!(planner.plans.len(), 2, "same shape must share one plan");
+        assert!(planner.max_arena_bytes() > 0);
+    }
+
+    #[test]
+    fn bands_are_even_aligned_and_cover_rows() {
+        for h in [1usize, 2, 3, 7, 8, 17] {
+            for nb in [1usize, 2, 4, 13] {
+                let bands = make_bands(h, nb);
+                assert_eq!(bands[0].0, 0);
+                assert_eq!(bands.last().unwrap().1, h);
+                for win in bands.windows(2) {
+                    assert_eq!(win[0].1, win[1].0, "bands must be contiguous");
+                }
+                for &(y0, y1) in &bands {
+                    assert!(y0 % 2 == 0, "band start must be tile-aligned");
+                    assert!(y1 % 2 == 0 || y1 == h);
+                    assert!(y1 > y0, "empty band");
+                }
+            }
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod checkpoint;
 pub mod collapse;
 pub mod collapsed;
 pub mod crc32;
+pub mod infer_plan;
 pub mod ir;
 pub mod macs;
 pub mod model;
@@ -53,6 +54,7 @@ pub use checkpoint::{
     CheckpointError,
 };
 pub use collapsed::CollapsedSesr;
+pub use infer_plan::{CollapsedKernels, InferPlan, TilePlanner};
 pub use model::{Activation, BlockKind, Sesr, SesrConfig};
 pub use model_io::{decode_model, encode_model, load_model, save_model};
 pub use tiling::{TileError, TilePlan, TileSpec};

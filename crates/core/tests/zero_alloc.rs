@@ -1,0 +1,74 @@
+//! Proves the planned execution path's zero-allocation claim with a
+//! counting global allocator: after the plan is built and warmed up,
+//! `InferPlan::run_image_into` must not touch the heap.
+//!
+//! This is its own integration binary (not a unit test) so the counting
+//! allocator observes only this test's allocations, and the thread count
+//! can be pinned to 1 without racing other tests. At one thread,
+//! `parallel_for` runs bands inline with no job allocation; the >1-thread
+//! case posts one job header per layer and is covered by the arena
+//! instrumentation (`arena_bytes` fixed after build) plus the
+//! bit-identicality sweep — see DESIGN.md Sec. 11.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sesr_core::infer_plan::{CollapsedKernels, InferPlan};
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_tensor::parallel::set_num_threads;
+use sesr_tensor::Tensor;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn planned_run_is_allocation_free_after_warmup() {
+    set_num_threads(1);
+    let net = Sesr::new(SesrConfig::m(3).with_expanded(8).with_seed(7)).collapse();
+    let kernels = Arc::new(CollapsedKernels::new(&net));
+    let mut plan = InferPlan::with_bands(kernels, 32, 40, 1);
+
+    let lr = Tensor::rand_uniform(&[1, 32, 40], 0.0, 1.0, 1);
+    let scale = net.scale();
+    let mut out = vec![0.0f32; 32 * scale * 40 * scale];
+
+    // Warmup (first run touches nothing lazily today, but keep the claim
+    // honest about "steady state").
+    plan.run_image_into(lr.data(), &mut out);
+    let reference = net.run_reference(&lr);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        plan.run_image_into(lr.data(), &mut out);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state planned run must not allocate"
+    );
+
+    // The allocation-free path still produces the exact reference bits.
+    assert_eq!(reference.data(), out.as_slice());
+}

@@ -38,10 +38,11 @@
 //! [`crate::chaos`] and is enabled through [`EngineConfig::chaos`].
 
 use crate::chaos::{Chaos, ChaosConfig, FaultPoint};
+use crate::plan_cache::PlanCache;
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::telemetry::{Stage, Telemetry};
-use sesr_core::CollapsedSesr;
+use sesr_core::{CollapsedSesr, TilePlanner};
 use sesr_tensor::Tensor;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -649,15 +650,22 @@ enum GroupOutcome {
 fn worker_loop(shared: &Shared) -> LoopEnd {
     let batch_key =
         |j: &Job| -> (ModelKey, Vec<usize>) { (j.key.clone(), j.input.shape().to_vec()) };
+    // Worker-local: plans survive across groups, die with the worker.
+    // A respawned worker recompiles on first use (a few microseconds
+    // against a restart backoff measured in milliseconds).
+    let mut plans = PlanCache::new();
     while let Some(group) = shared.queue.pop_group(shared.cfg.max_batch, batch_key) {
-        if matches!(process_group(shared, group), GroupOutcome::WorkerCrashed) {
+        if matches!(
+            process_group(shared, &mut plans, group),
+            GroupOutcome::WorkerCrashed
+        ) {
             return LoopEnd::Crashed;
         }
     }
     LoopEnd::Clean
 }
 
-fn process_group(shared: &Shared, group: Vec<Job>) -> GroupOutcome {
+fn process_group(shared: &Shared, plans: &mut PlanCache, group: Vec<Job>) -> GroupOutcome {
     let dequeued = Instant::now();
     // Queue wait is per-request: admission to first worker attention.
     for job in &group {
@@ -715,11 +723,11 @@ fn process_group(shared: &Shared, group: Vec<Job>) -> GroupOutcome {
     let px = shape[1] * shape[2];
     if live.len() == 1 && px > shared.cfg.tile_threshold_px {
         if let Some(job) = live.into_iter().next() {
-            run_tiled_request(shared, &model, job);
+            run_tiled_request(shared, plans, &model, job);
         }
         GroupOutcome::Done
     } else {
-        run_batch_jobs(shared, &model, live)
+        run_batch_jobs(shared, plans, &model, live)
     }
 }
 
@@ -773,8 +781,8 @@ fn terminal_failure(shared: &Shared, job: &Job, kind: &FailureKind, msg: &str) {
 /// (compute), then tile interiors are pasted into the output
 /// (reassembly). Tile-worker panics are contained: they fail this
 /// request (retryably), never the worker thread or the process.
-fn run_tiled_request(shared: &Shared, model: &CollapsedSesr, job: Job) {
-    match run_tiled_compute(shared, model, &job) {
+fn run_tiled_request(shared: &Shared, plans: &mut PlanCache, model: &Arc<CollapsedSesr>, job: Job) {
+    match run_tiled_compute(shared, plans, model, &job) {
         Ok(out) => {
             shared
                 .telemetry
@@ -803,7 +811,8 @@ enum TiledFailure {
 
 fn run_tiled_compute(
     shared: &Shared,
-    model: &CollapsedSesr,
+    plans: &mut PlanCache,
+    model: &Arc<CollapsedSesr>,
     job: &Job,
 ) -> Result<Tensor, TiledFailure> {
     let dims = job.input.shape();
@@ -814,6 +823,11 @@ fn run_tiled_compute(
         .map_err(|e| TiledFailure::Plan(e.to_string()))?;
     let t0 = Instant::now();
     let specs = plan.tiles();
+    // Kernels come from the worker's plan cache and are shared by every
+    // tile thread below; each thread builds its own (cheap) per-shape
+    // tile plans over them.
+    let (kernels, kernels_hit) = plans.kernels_for(&job.key, model);
+    let peak_arena = AtomicU64::new(0);
     // Chaos draws once per tiled attempt; the panic detonates inside a
     // tile worker so the containment path is the one exercised.
     let inject = shared.chaos.as_ref().is_some_and(Chaos::panic_in_forward);
@@ -832,14 +846,15 @@ fn run_tiled_compute(
                 let (head, tail) = rest.split_at_mut(chunk_specs.len());
                 rest = tail;
                 let input = &job.input;
-                let (armed, crash) = (&armed, &crash);
+                let (armed, crash, kernels, peak_arena) = (&armed, &crash, &kernels, &peak_arena);
                 s.spawn(move |_| {
+                    let mut planner = TilePlanner::new(kernels.clone());
                     for (slot, spec) in head.iter_mut().zip(chunk_specs) {
                         let tile = catch_unwind(AssertUnwindSafe(|| {
                             if armed.swap(false, Ordering::Relaxed) {
                                 panic!("chaos: injected panic in tile worker");
                             }
-                            model.run_tile(input, spec)
+                            planner.run_tile(input, spec)
                         }));
                         match tile {
                             Ok(t) => *slot = Some(t),
@@ -850,6 +865,7 @@ fn run_tiled_compute(
                             }
                         }
                     }
+                    peak_arena.fetch_max(planner.max_arena_bytes() as u64, Ordering::Relaxed);
                 });
             }
         });
@@ -882,9 +898,16 @@ fn run_tiled_compute(
         }
     }
     shared.telemetry.record(Stage::Reassembly, t1.elapsed());
+    let arena = peak_arena.load(Ordering::Relaxed);
     shared.telemetry.counters(|c| {
         c.tiled_requests += 1;
         c.tiles_run += specs.len() as u64;
+        if kernels_hit {
+            c.plan_cache_hits += 1;
+        } else {
+            c.plan_cache_misses += 1;
+        }
+        c.peak_arena_bytes = c.peak_arena_bytes.max(arena);
     });
     Ok(out)
 }
@@ -893,8 +916,26 @@ fn run_tiled_compute(
 /// anywhere in the pass is caught; the batch's requests are retried or
 /// answered with [`ServeError::WorkerCrashed`], and the worker thread
 /// exits to be respawned by the supervisor.
-fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) -> GroupOutcome {
+fn run_batch_jobs(
+    shared: &Shared,
+    plans: &mut PlanCache,
+    model: &Arc<CollapsedSesr>,
+    jobs: Vec<Job>,
+) -> GroupOutcome {
     let t0 = Instant::now();
+    // The queue groups same-key same-shape requests, so one cached plan
+    // serves the whole batch (its arena is reused image by image).
+    let shape = jobs[0].input.shape();
+    let (plan, plan_hit) = plans.plan_for(&jobs[0].key, model, shape[1], shape[2]);
+    let arena = plan.arena_bytes() as u64;
+    shared.telemetry.counters(|c| {
+        if plan_hit {
+            c.plan_cache_hits += 1;
+        } else {
+            c.plan_cache_misses += 1;
+        }
+        c.peak_arena_bytes = c.peak_arena_bytes.max(arena);
+    });
     let compute = {
         let inputs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
         catch_unwind(AssertUnwindSafe(|| {
@@ -904,7 +945,7 @@ fn run_batch_jobs(shared: &Shared, model: &CollapsedSesr, jobs: Vec<Job>) -> Gro
             }
             let batch = Tensor::stack(&inputs);
             let t1 = Instant::now();
-            let sr = model.run_batch(&batch);
+            let sr = plan.run_batch(&batch);
             let t2 = Instant::now();
             (t1, t2, sr.unstack())
         }))

@@ -46,6 +46,7 @@ pub mod chaos;
 pub mod engine;
 pub mod json;
 pub mod loadgen;
+pub mod plan_cache;
 pub mod queue;
 pub mod registry;
 pub mod telemetry;
@@ -54,6 +55,7 @@ pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
 pub use chaos::{Chaos, ChaosConfig, FaultPoint};
 pub use engine::{Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket};
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
+pub use plan_cache::PlanCache;
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
 pub use telemetry::{Snapshot, Stage, StageSummary, Telemetry};

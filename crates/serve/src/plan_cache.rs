@@ -1,0 +1,206 @@
+//! Per-worker cache of compiled inference plans.
+//!
+//! Planned execution ([`InferPlan`]) amortizes its setup cost — kernel
+//! flattening, Winograd kernel pre-transform, arena allocation — only if
+//! the plan is reused across requests. Each engine worker owns one
+//! [`PlanCache`]; nothing here is shared or locked, so a cache lookup on
+//! the request hot path costs a short `Vec` scan.
+//!
+//! Two levels mirror the two halves of a plan:
+//!
+//! * **Kernels** (`Arc<CollapsedKernels>`) are shape-independent and
+//!   shared: the batch path's plans and every tile planner for a model
+//!   reuse one copy of the flattened weights.
+//! * **Plans** (`InferPlan`) are `(model, height, width)`-specific; the
+//!   queue batches same-key same-shape requests, so steady-state traffic
+//!   for a handful of shapes hits a warm plan every time.
+//!
+//! **Staleness.** The registry can evict and reload a model under the
+//! same [`ModelKey`] (e.g. after an artifact is replaced), so a key
+//! match alone is not enough: every entry also remembers the
+//! `Arc<CollapsedSesr>` it was compiled from and is valid only while
+//! `Arc::ptr_eq` holds against the model the registry resolves for the
+//! request. A reload therefore misses once, recompiles, and the stale
+//! entry is dropped on that same lookup.
+//!
+//! Capacities are small and fixed (a worker serves few distinct models
+//! and shapes at once); eviction is LRU via move-to-front.
+
+use crate::registry::ModelKey;
+use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan};
+use std::sync::Arc;
+
+/// Distinct models a worker keeps flattened kernels for.
+const KERNELS_CAP: usize = 4;
+/// Distinct `(model, shape)` plans a worker keeps arenas for.
+const PLANS_CAP: usize = 8;
+
+struct KernelsEntry {
+    key: ModelKey,
+    model: Arc<CollapsedSesr>,
+    kernels: Arc<CollapsedKernels>,
+}
+
+struct PlanEntry {
+    key: ModelKey,
+    h: usize,
+    w: usize,
+    model: Arc<CollapsedSesr>,
+    plan: InferPlan,
+}
+
+/// Worker-local LRU cache of [`CollapsedKernels`] and [`InferPlan`]s.
+pub struct PlanCache {
+    kernels: Vec<KernelsEntry>,
+    plans: Vec<PlanEntry>,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache {
+            kernels: Vec::with_capacity(KERNELS_CAP),
+            plans: Vec::with_capacity(PLANS_CAP),
+        }
+    }
+
+    /// Flattened kernels for `model`, compiled on first use. The `bool`
+    /// is `true` on a cache hit (callers feed it to telemetry).
+    pub fn kernels_for(
+        &mut self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+    ) -> (Arc<CollapsedKernels>, bool) {
+        if let Some(idx) = self
+            .kernels
+            .iter()
+            .position(|e| e.key == *key && Arc::ptr_eq(&e.model, model))
+        {
+            let entry = self.kernels.remove(idx);
+            self.kernels.insert(0, entry);
+            return (self.kernels[0].kernels.clone(), true);
+        }
+        // A same-key entry that failed ptr_eq is a stale compile of a
+        // reloaded model; it can never hit again, so drop it now.
+        self.kernels
+            .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
+        let kernels = Arc::new(CollapsedKernels::new(model));
+        self.kernels.insert(
+            0,
+            KernelsEntry {
+                key: key.clone(),
+                model: model.clone(),
+                kernels: kernels.clone(),
+            },
+        );
+        self.kernels.truncate(KERNELS_CAP);
+        (kernels, false)
+    }
+
+    /// A ready-to-run plan for `(model, h, w)`, compiled on first use.
+    /// The `bool` is `true` on a cache hit.
+    pub fn plan_for(
+        &mut self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        h: usize,
+        w: usize,
+    ) -> (&mut InferPlan, bool) {
+        if let Some(idx) = self
+            .plans
+            .iter()
+            .position(|e| e.key == *key && e.h == h && e.w == w && Arc::ptr_eq(&e.model, model))
+        {
+            let entry = self.plans.remove(idx);
+            self.plans.insert(0, entry);
+            return (&mut self.plans[0].plan, true);
+        }
+        self.plans
+            .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
+        let (kernels, _) = self.kernels_for(key, model);
+        let plan = InferPlan::new(kernels, h, w);
+        self.plans.insert(
+            0,
+            PlanEntry {
+                key: key.clone(),
+                h,
+                w,
+                model: model.clone(),
+                plan,
+            },
+        );
+        self.plans.truncate(PLANS_CAP);
+        (&mut self.plans[0].plan, false)
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_core::model::{Sesr, SesrConfig};
+
+    fn tiny_model() -> Arc<CollapsedSesr> {
+        Arc::new(Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(3)).collapse())
+    }
+
+    #[test]
+    fn plan_lookup_hits_after_miss_and_shares_kernels() {
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+
+        let (_, hit) = cache.plan_for(&key, &model, 8, 10);
+        assert!(!hit, "first lookup must compile");
+        let (_, hit) = cache.plan_for(&key, &model, 8, 10);
+        assert!(hit, "second lookup must reuse the plan");
+        // The plan compile also primed the kernels level.
+        let (_, hit) = cache.kernels_for(&key, &model);
+        assert!(hit, "kernels were compiled as part of the plan");
+
+        // A different shape misses at the plan level but reuses kernels.
+        let (k1, _) = cache.kernels_for(&key, &model);
+        let (_, hit) = cache.plan_for(&key, &model, 6, 6);
+        assert!(!hit);
+        let (k2, _) = cache.kernels_for(&key, &model);
+        assert!(Arc::ptr_eq(&k1, &k2));
+    }
+
+    #[test]
+    fn reloaded_model_invalidates_stale_entries() {
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let old = tiny_model();
+        cache.plan_for(&key, &old, 8, 8);
+
+        // Same key, different Arc: a registry reload. Must miss and
+        // recompile against the new weights.
+        let reloaded = tiny_model();
+        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8);
+        assert!(!hit, "reload must invalidate the cached plan");
+        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8);
+        assert!(hit);
+        // The stale entry was dropped, not just shadowed.
+        assert_eq!(cache.plans.len(), 1);
+        assert_eq!(cache.kernels.len(), 1);
+    }
+
+    #[test]
+    fn caches_are_bounded() {
+        let mut cache = PlanCache::new();
+        let model = tiny_model();
+        let key = ModelKey::new("m1", 2);
+        for i in 0..2 * PLANS_CAP {
+            cache.plan_for(&key, &model, 6 + i, 6);
+        }
+        assert_eq!(cache.plans.len(), PLANS_CAP);
+        assert!(cache.kernels.len() <= KERNELS_CAP);
+        // Most-recent shapes survived.
+        let (_, hit) = cache.plan_for(&key, &model, 6 + 2 * PLANS_CAP - 1, 6);
+        assert!(hit);
+    }
+}

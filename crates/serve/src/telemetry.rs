@@ -216,6 +216,15 @@ pub struct Counters {
     pub tiled_requests: u64,
     /// Individual tiles executed by the tiled path.
     pub tiles_run: u64,
+    /// Requests served from an already-compiled inference plan (per-worker
+    /// plan cache hit on `(model, shape)`).
+    pub plan_cache_hits: u64,
+    /// Requests that had to compile a fresh inference plan (cache miss or
+    /// eviction).
+    pub plan_cache_misses: u64,
+    /// Largest plan buffer arena used by any single request, in bytes
+    /// (max semantics, not a sum).
+    pub peak_arena_bytes: u64,
 }
 
 struct Inner {
@@ -372,6 +381,9 @@ impl Snapshot {
             .int("max_batch", c.max_batch)
             .int("tiled_requests", c.tiled_requests)
             .int("tiles_run", c.tiles_run)
+            .int("plan_cache_hits", c.plan_cache_hits)
+            .int("plan_cache_misses", c.plan_cache_misses)
+            .int("peak_arena_bytes", c.peak_arena_bytes)
             .finish();
         JsonObject::new()
             .num("elapsed_ms", self.elapsed_ms)
@@ -437,6 +449,9 @@ mod tests {
             c.submitted = 2;
             c.completed = 1;
             c.rejected_queue_full = 1;
+            c.plan_cache_hits = 3;
+            c.plan_cache_misses = 1;
+            c.peak_arena_bytes = 4096;
         });
         let snap = t.snapshot();
         let json = snap.to_json();
@@ -451,6 +466,13 @@ mod tests {
             "\"rejected_draining\":0",
         ] {
             assert!(json.contains(fault_counter), "missing {fault_counter}");
+        }
+        for plan_counter in [
+            "\"plan_cache_hits\":3",
+            "\"plan_cache_misses\":1",
+            "\"peak_arena_bytes\":4096",
+        ] {
+            assert!(json.contains(plan_counter), "missing {plan_counter}");
         }
     }
 }

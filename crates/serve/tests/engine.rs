@@ -458,3 +458,43 @@ fn more_workers_increase_throughput_on_multicore_hosts() {
         "expected multi-worker throughput ({multi:.1} rps) to beat single-worker ({single:.1} rps)"
     );
 }
+
+#[test]
+fn plan_cache_counters_track_hits_misses_and_arena() {
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(11));
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    // Same model + shape every time: the single worker compiles one plan
+    // on the first request and reuses it for the rest.
+    for i in 0..5 {
+        engine
+            .submit(&key, img(40 + i, 12, 16), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(
+        c.plan_cache_hits + c.plan_cache_misses,
+        5,
+        "every batch group performs exactly one plan lookup"
+    );
+    assert!(c.plan_cache_misses >= 1, "first request must compile");
+    assert!(c.plan_cache_hits >= 4, "steady state must reuse the plan");
+    assert!(c.peak_arena_bytes > 0, "planned runs must report arena use");
+
+    // A new shape is a plan miss but not a recompile of the kernels.
+    engine
+        .submit(&key, img(50, 9, 9), None)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.plan_cache_misses, 2);
+}

@@ -10,6 +10,14 @@ pub fn relu(input: &Tensor) -> Tensor {
     input.map(|x| x.max(0.0))
 }
 
+/// In-place [`relu`]: `x = max(0, x)` for every element, no allocation.
+/// Bit-identical to the allocating version (same `f32::max` per element).
+pub fn relu_inplace(t: &mut Tensor) {
+    for x in t.data_mut() {
+        *x = x.max(0.0);
+    }
+}
+
 /// Backward pass of [`relu`]: passes the gradient where the input was
 /// positive.
 ///
@@ -43,6 +51,36 @@ pub fn prelu(input: &Tensor, alpha: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// In-place [`prelu`]: rewrites `t` channel by channel without
+/// allocating. Bit-identical to the allocating version — the per-element
+/// predicate and multiply are the same operations in the same order.
+///
+/// # Panics
+///
+/// Panics if `alpha` does not have one element per channel or `t` is not
+/// 4-D.
+pub fn prelu_inplace(t: &mut Tensor, alpha: &Tensor) {
+    let (n, c, h, w) = t.shape_obj().as_nchw();
+    assert_eq!(alpha.shape(), &[c], "alpha must have one slope per channel");
+    let plane = h * w;
+    let data = t.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let a = alpha.data()[ci];
+            let base = (ni * c + ci) * plane;
+            for x in &mut data[base..base + plane] {
+                // Mirrors the allocating version's `else` arm exactly:
+                // NaN fails `>= 0.0` there and must hit the multiply
+                // here too, with the same `a * x` operand order.
+                #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::assign_op_pattern)]
+                if !(*x >= 0.0) {
+                    *x = a * *x;
+                }
+            }
+        }
+    }
 }
 
 /// Gradients of [`prelu`]: `(d_input, d_alpha)`.
@@ -108,6 +146,27 @@ mod tests {
         let x = Tensor::randn(&[1, 3, 4, 4], 0.0, 1.0, 1);
         let a = Tensor::zeros(&[3]);
         assert!(prelu(&x, &a).approx_eq(&relu(&x), 0.0));
+    }
+
+    #[test]
+    fn relu_inplace_exactly_matches_allocating() {
+        let x = Tensor::randn(&[2, 3, 5, 7], 0.0, 1.0, 11);
+        let expected = relu(&x);
+        let mut y = x.clone();
+        relu_inplace(&mut y);
+        assert_eq!(y.data(), expected.data());
+        assert_eq!(y.shape(), expected.shape());
+    }
+
+    #[test]
+    fn prelu_inplace_exactly_matches_allocating() {
+        let x = Tensor::randn(&[2, 3, 5, 7], 0.0, 1.0, 12);
+        let a = Tensor::from_vec(vec![0.3, -0.2, 0.7], &[3]);
+        let expected = prelu(&x, &a);
+        let mut y = x.clone();
+        prelu_inplace(&mut y, &a);
+        assert_eq!(y.data(), expected.data());
+        assert_eq!(y.shape(), expected.shape());
     }
 
     #[test]

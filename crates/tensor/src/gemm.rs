@@ -29,7 +29,13 @@ const MR: usize = 8;
 /// Microkernel tile width (columns of `C` per register tile).
 const NR: usize = 8;
 /// k-dimension block: one packed `A` panel is `MR * KC` floats (8 KiB).
-const KC: usize = 256;
+///
+/// Public because the block size is part of this GEMM's *numeric*
+/// contract: each `C` element is accumulated as one chain per `KC`-sized
+/// k-block (chains start from 0.0; blocks are combined in order). An
+/// external kernel that wants to be bit-identical to `gemm` — e.g. the
+/// planner's direct convolution — must reproduce exactly this grouping.
+pub const KC: usize = 256;
 /// n-dimension block: one packed `B` block is at most `KC * NC` floats.
 const NC: usize = 1024;
 
@@ -85,6 +91,44 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     packed_gemm(a, k, 1, b, 1, k, c, m, k, n, false);
 }
 
+/// Number of scratch floats [`gemm_with_scratch`] needs for an `n`-column
+/// multiply: one packed `B` block, `KC` rows by at most `NC` (rounded-up)
+/// columns.
+pub fn gemm_scratch_len(n: usize) -> usize {
+    KC * NC.min(n.next_multiple_of(NR))
+}
+
+/// [`gemm`] variant that packs `B` into caller-provided scratch instead of
+/// allocating. `scratch` must hold at least [`gemm_scratch_len`]`(n)`
+/// floats; contents on entry are ignored and clobbered. Bit-identical to
+/// [`gemm`] — the kernel, blocking, and accumulation order are the same,
+/// only the source of the pack buffer differs.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`, or scratch is
+/// too small.
+pub fn gemm_with_scratch(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(b.len(), k * n, "B must be k x n");
+    assert_eq!(c.len(), m * n, "C must be m x n");
+    assert!(
+        scratch.len() >= gemm_scratch_len(n),
+        "scratch too small: {} < {}",
+        scratch.len(),
+        gemm_scratch_len(n)
+    );
+    packed_gemm_into(a, k, 1, b, n, 1, c, m, k, n, false, scratch);
+}
+
 /// The shared packed kernel: `C (+)= A * B` where the logical operands are
 /// addressed through strides (`A[i, p] = a[i*a_rs + p*a_cs]`,
 /// `B[p, j] = b[p*b_rs + j*b_cs]`) and `C` is row-major `m x n`.
@@ -106,6 +150,28 @@ fn packed_gemm(
     n: usize,
     accumulate: bool,
 ) {
+    let mut bpack = vec![0.0f32; gemm_scratch_len(n)];
+    packed_gemm_into(
+        a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, accumulate, &mut bpack,
+    );
+}
+
+/// [`packed_gemm`] body with the `B` pack buffer supplied by the caller.
+#[allow(clippy::too_many_arguments)]
+fn packed_gemm_into(
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    bpack: &mut [f32],
+) {
     if m == 0 || n == 0 {
         return;
     }
@@ -117,7 +183,6 @@ fn packed_gemm(
     }
     let cp = SendPtr(c.as_mut_ptr());
     let mblocks = m.div_ceil(MR);
-    let mut bpack = vec![0.0f32; KC * NC.min(n.next_multiple_of(NR))];
 
     for nb in (0..n).step_by(NC) {
         let nend = (nb + NC).min(n);
@@ -330,6 +395,28 @@ mod tests {
         gemm(&a, &b, &mut c4, m, k, n);
         set_num_threads(before);
         assert_eq!(c1, c4, "accumulation order must not depend on threads");
+    }
+
+    #[test]
+    fn with_scratch_is_bit_identical_to_gemm() {
+        let (m, k, n) = (19, KC + 5, NC / 2 + 9);
+        let a = rand_vec(m * k, 21);
+        let b = rand_vec(k * n, 22);
+        let mut c1 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n);
+        let mut c2 = vec![0.0; m * n];
+        // Poison the scratch to prove entry contents don't matter.
+        let mut scratch = vec![f32::NAN; gemm_scratch_len(n)];
+        gemm_with_scratch(&a, &b, &mut c2, m, k, n, &mut scratch);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch too small")]
+    fn with_scratch_rejects_short_scratch() {
+        let mut c = vec![0.0; 4];
+        let mut scratch = vec![0.0; 1];
+        gemm_with_scratch(&[1.0; 4], &[1.0; 4], &mut c, 2, 2, 2, &mut scratch);
     }
 
     #[test]

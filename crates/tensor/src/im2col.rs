@@ -122,6 +122,62 @@ pub fn im2col(input: &[f32], geo: &ConvGeometry, col: &mut [f32]) {
     }
 }
 
+/// Banded [`im2col`]: unfolds only output rows `[y0, y1)` into `col`,
+/// which must hold `col_rows() * (y1 - y0) * out_w()` elements. Column
+/// `j` of the result equals column `y0 * out_w() + j` of the full im2col
+/// matrix — the loops and reads are the same, only the output-row range
+/// and destination offset differ.
+///
+/// # Panics
+///
+/// Panics if buffer sizes disagree with the geometry or the band is out of
+/// range.
+pub fn im2col_rows(input: &[f32], geo: &ConvGeometry, y0: usize, y1: usize, col: &mut [f32]) {
+    geo.validate();
+    assert_eq!(
+        input.len(),
+        geo.channels * geo.in_h * geo.in_w,
+        "input size"
+    );
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    assert!(
+        y0 <= y1 && y1 <= oh,
+        "band [{y0}, {y1}) out of range 0..{oh}"
+    );
+    let ncols = (y1 - y0) * ow;
+    assert_eq!(col.len(), geo.col_rows() * ncols, "col size");
+    if ncols == 0 {
+        return;
+    }
+    let mut row = 0usize;
+    for c in 0..geo.channels {
+        let plane = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for ky in 0..geo.kh {
+            for kx in 0..geo.kw {
+                let dst = &mut col[row * ncols..(row + 1) * ncols];
+                for oy in y0..y1 {
+                    let iy = (oy * geo.stride_h + ky) as isize - geo.pad_top as isize;
+                    let dst_row = &mut dst[(oy - y0) * ow..(oy - y0 + 1) * ow];
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geo.in_w..(iy as usize + 1) * geo.in_w];
+                    for (ox, slot) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * geo.stride_w + kx) as isize - geo.pad_left as isize;
+                        *slot = if ix < 0 || ix >= geo.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
 /// Adjoint of [`im2col`]: scatter-accumulates a column matrix back into a
 /// CHW image buffer. `output` is zeroed first.
 ///
@@ -208,6 +264,25 @@ mod tests {
         assert_eq!(col[0], 0.0);
         // Top-left tap at output (2,2) reads input (1,1) = 5.
         assert_eq!(col[8], 5.0);
+    }
+
+    #[test]
+    fn im2col_rows_matches_full_band_by_band() {
+        let g = geo(2, 7, 5, 3, 3, 1);
+        let x = crate::Tensor::randn(&[g.channels * g.in_h * g.in_w], 0.0, 1.0, 13).into_vec();
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut full = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&x, &g, &mut full);
+        for &(y0, y1) in &[(0usize, oh), (0, 3), (3, oh), (2, 2), (oh - 1, oh)] {
+            let ncols = (y1 - y0) * ow;
+            let mut band = vec![f32::NAN; g.col_rows() * ncols];
+            im2col_rows(&x, &g, y0, y1, &mut band);
+            for r in 0..g.col_rows() {
+                let want = &full[r * oh * ow + y0 * ow..r * oh * ow + y1 * ow];
+                let got = &band[r * ncols..(r + 1) * ncols];
+                assert_eq!(got, want, "row {r}, band [{y0},{y1})");
+            }
+        }
     }
 
     #[test]

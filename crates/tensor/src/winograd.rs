@@ -21,8 +21,10 @@ use crate::conv::{Conv2dParams, Padding};
 use crate::tensor::Tensor;
 
 /// Applies `Bᵀ d B` to a 4x4 input tile (in place on a scratch array).
+/// Public so inference planners can run the tile pipeline with their own
+/// buffers while staying bit-identical to [`winograd_conv3x3`].
 #[inline]
-fn input_transform(d: &[f32; 16]) -> [f32; 16] {
+pub fn input_transform(d: &[f32; 16]) -> [f32; 16] {
     // Bᵀ = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
     let mut tmp = [0.0f32; 16];
     // rows: tmp = Bᵀ * d
@@ -46,7 +48,7 @@ fn input_transform(d: &[f32; 16]) -> [f32; 16] {
 
 /// Applies `G g Gᵀ` to a 3x3 kernel, producing the 4x4 transformed kernel.
 #[inline]
-fn kernel_transform(g: &[f32]) -> [f32; 16] {
+pub fn kernel_transform(g: &[f32]) -> [f32; 16] {
     // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
     debug_assert_eq!(g.len(), 9);
     let mut tmp = [0.0f32; 12]; // 4x3 = G * g
@@ -70,7 +72,7 @@ fn kernel_transform(g: &[f32]) -> [f32; 16] {
 
 /// Applies `Aᵀ m A` to a 4x4 element-product tile, producing 2x2 outputs.
 #[inline]
-fn output_transform(m: &[f32; 16]) -> [f32; 4] {
+pub fn output_transform(m: &[f32; 16]) -> [f32; 4] {
     // Aᵀ = [1 1 1 0; 0 1 -1 -1]
     let mut tmp = [0.0f32; 8]; // 2x4
     for c in 0..4 {

@@ -5,8 +5,9 @@
 # a fresh run regresses more than MAX_REGRESS (default 25%).
 #
 # The flag sets below MUST mirror the `config` blocks inside the
-# committed BENCH_train.json / BENCH_serve.json — re-record a baseline
-# and update its flags here together, never one without the other.
+# committed BENCH_train.json / BENCH_serve.json / BENCH_infer.json —
+# re-record a baseline and update its flags here together, never one
+# without the other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,17 @@ if [[ -f BENCH_train.json ]]; then
         --fresh "$tmp/BENCH_train.json" --max-regress "$MAX_REGRESS"
 else
     echo "bench-gate: no BENCH_train.json baseline; skipping train gate" >&2
+fi
+
+if [[ -f BENCH_infer.json ]]; then
+    echo "-- bench-gate: planned inference throughput --"
+    sesr infer-bench --archs m5,m11 --scale 2 --expanded 16 --seed 0 \
+        --iters 30 --warmup 5 --height 180 --width 320 --threads 4 \
+        --out "$tmp/BENCH_infer.json"
+    sesr bench-gate --baseline BENCH_infer.json \
+        --fresh "$tmp/BENCH_infer.json" --max-regress "$MAX_REGRESS"
+else
+    echo "bench-gate: no BENCH_infer.json baseline; skipping infer gate" >&2
 fi
 
 if [[ -f BENCH_serve.json ]]; then

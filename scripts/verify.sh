@@ -12,8 +12,9 @@
 #   clippy      workspace lint, warnings are errors
 #   serve       serve crate tests
 #   chaos       deterministic fault-injection soak (fixed seed, bounded)
+#   infer       planned-inference identity + zero-allocation proofs
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
-#   bench-gate  fresh train/serve bench runs vs committed baselines
+#   bench-gate  fresh train/serve/infer bench runs vs committed baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +47,15 @@ step_chaos() {
         --seed 0xC4A05 --requests 400 --workers 3 --concurrency 12
 }
 
+step_infer() {
+    # The planner's two load-bearing guarantees, proven by dedicated test
+    # binaries: bit-identity to the reference executor across
+    # architectures/scales/shapes/threads (property sweep) and zero
+    # steady-state heap allocations (counting global allocator).
+    cargo test -q --offline -p sesr --test proptest_infer_plan
+    cargo test -q --offline -p sesr-core --test zero_alloc
+}
+
 step_bench_smoke() {
     local out
     out="$(mktemp -d)/BENCH_serve_smoke.json"
@@ -75,7 +85,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos infer bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
