@@ -96,6 +96,15 @@ USAGE:
                 [--panic-per-mille 150] [--slow-per-mille 150]
                 [--load-fail-per-mille 200] [--skew-per-mille 50]
                 [--min-faults N]
+  sesr router-bench [--seed 0xB0A7] [--phase-ms 3000] [--shards-low 1]
+                [--shards-high 4] [--tenants 3] [--interactive-hz 30]
+                [--deadline-ms 40] [--heavy-hz 12] [--big-height 288]
+                [--big-width 384] [--overload-factor 2]
+                [--overload-heavy-hz 16] [--out BENCH_router.json]
+  sesr router-chaos [--seed 0xF1EE7] [--requests 450] [--shards 3]
+                [--concurrency 24] [--kill-per-mille 12]
+                [--wedge-per-mille 12] [--respawn-fail-per-mille 500]
+                [--timeout-s 120]
   sesr bench-gate --baseline <BENCH_x.json> --fresh <BENCH_x.json>
                 [--max-regress 0.25]
 
@@ -109,7 +118,14 @@ Fault tolerance: serve-chaos drives seeded fault injection (worker
 panics, slow forwards, registry load failures, clock-skewed deadlines)
 through the serving engine under load, then fails unless every request
 got exactly one terminal outcome and the fault/restart/retry counters
-reconcile.
+reconcile. router-chaos does the same at fleet scope: whole-shard kills,
+wedged-slow shards, and failed respawns against the sharded router.
+
+Multi-tenant serving: router-bench drives a deterministic tenant mix
+(interactive small-image tenants under tight deadlines plus one heavy
+batch tenant) at 1 vs N shards, measuring goodput scaling from
+head-of-line-blocking elimination, then an overload phase checking that
+batch is shed before any interactive request is rejected.
 ";
 
 /// Runs the CLI and returns its textual report.
@@ -126,6 +142,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("info") => info(args),
         Some("serve-bench") => serve_bench(args),
         Some("serve-chaos") => serve_chaos(args),
+        Some("router-bench") => router_bench(args),
+        Some("router-chaos") => router_chaos(args),
         Some("train-bench") => train_bench(args),
         Some("infer-bench") => infer_bench(args),
         Some("bench-gate") => bench_gate(args),
@@ -435,23 +453,7 @@ fn serve_chaos(args: &Args) -> Result<String, CliError> {
     use std::time::Duration;
 
     let requests = args.parsed_or("requests", 400u64)?;
-    // Seeds are conventionally written in hex; accept both radixes.
-    let seed = match args.get("seed") {
-        None => 0xC4A05,
-        Some(s) => s
-            .strip_prefix("0x")
-            .or_else(|| s.strip_prefix("0X"))
-            .map_or_else(
-                || s.parse::<u64>().ok(),
-                |hex| u64::from_str_radix(hex, 16).ok(),
-            )
-            .ok_or_else(|| {
-                CliError::Args(ArgError::Invalid {
-                    key: "seed".to_string(),
-                    value: s.to_string(),
-                })
-            })?,
-    };
+    let seed = parse_seed(args, "seed", 0xC4A05)?;
     let workers = args.parsed_or("workers", 3usize)?;
     let concurrency = args.parsed_or("concurrency", 12usize)?.max(1);
     let height = args.parsed_or("height", 8usize)?;
@@ -607,6 +609,355 @@ fn serve_chaos(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Parses a seed option; seeds are conventionally written in hex, so
+/// both `0x…` and decimal are accepted.
+fn parse_seed(args: &Args, key: &str, default: u64) -> Result<u64, CliError> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(s) => s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .map_or_else(
+                || s.parse::<u64>().ok(),
+                |hex| u64::from_str_radix(hex, 16).ok(),
+            )
+            .ok_or_else(|| {
+                CliError::Args(ArgError::Invalid {
+                    key: key.to_string(),
+                    value: s.to_string(),
+                })
+            }),
+    }
+}
+
+/// The multi-tenant router bench: shard-scaling goodput plus the
+/// overload/shedding phase, written to `BENCH_router.json`.
+fn router_bench(args: &Args) -> Result<String, CliError> {
+    use sesr_serve::router_bench::{router_bench_report_json, run_router_bench, RouterBenchConfig};
+    use std::time::Duration;
+
+    let d = RouterBenchConfig::default();
+    let cfg = RouterBenchConfig {
+        seed: parse_seed(args, "seed", d.seed)?,
+        phase: Duration::from_millis(args.parsed_or("phase-ms", d.phase.as_millis() as u64)?),
+        shard_counts: (
+            args.parsed_or("shards-low", d.shard_counts.0)?.max(1),
+            args.parsed_or("shards-high", d.shard_counts.1)?.max(1),
+        ),
+        interactive_tenants: args.parsed_or("tenants", d.interactive_tenants)?.max(1),
+        interactive_hz: args.parsed_or("interactive-hz", d.interactive_hz)?,
+        interactive_deadline: Duration::from_millis(
+            args.parsed_or("deadline-ms", d.interactive_deadline.as_millis() as u64)?,
+        ),
+        heavy_hz: args.parsed_or("heavy-hz", d.heavy_hz)?,
+        big: (
+            args.parsed_or("big-height", d.big.0)?,
+            args.parsed_or("big-width", d.big.1)?,
+        ),
+        overload_factor: args.parsed_or("overload-factor", d.overload_factor)?,
+        overload_heavy_hz: args.parsed_or("overload-heavy-hz", d.overload_heavy_hz)?,
+        ..d
+    };
+    let out_path = args.get("out").unwrap_or("BENCH_router.json").to_string();
+
+    let report = run_router_bench(&cfg).map_err(|e| CliError::Io(std::io::Error::other(e)))?;
+    let json = router_bench_report_json(&cfg, &report);
+    sesr_serve::json::validate(&json)
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("malformed report: {e}"))))?;
+    std::fs::write(Path::new(&out_path), &json)?;
+
+    let mut summary = format!(
+        "router-bench seed {:#x}: goodput {:.1} rps @ {} shard(s) -> {:.1} rps @ {} shards ({:.2}x)\n",
+        cfg.seed,
+        report.low.rps,
+        report.low.shards,
+        report.high.rps,
+        report.high.shards,
+        report.scaling_x,
+    );
+    let oc = &report.overload.snapshot.counters;
+    summary.push_str(&format!(
+        "  overload ({}x interactive, heavy {} rps): {} completed, {} batch shed, {} degraded, {} interactive rejected\n",
+        cfg.overload_factor, cfg.overload_heavy_hz, oc.completed, oc.shed_batch, oc.degraded, oc.rejected_interactive,
+    ));
+    for t in &report.overload.snapshot.tenants {
+        summary.push_str(&format!(
+            "  {:<10} {:>5} completed  p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms\n",
+            t.tenant, t.completed, t.p50_ms, t.p95_ms, t.p99_ms
+        ));
+    }
+    summary.push_str(&format!("wrote {out_path}"));
+    if report.problems.is_empty() {
+        Ok(summary)
+    } else {
+        Err(CliError::Io(std::io::Error::other(format!(
+            "{summary}\nrouter-bench FAILED:\n  {}",
+            report.problems.join("\n  ")
+        ))))
+    }
+}
+
+/// The fleet-scope chaos soak: whole-shard kills, wedged-slow shards,
+/// and failed respawns against the sharded router under closed-loop
+/// multi-tenant load; fails unless every admitted request got exactly
+/// one terminal outcome and the fleet ledger reconciles.
+fn router_chaos(args: &Args) -> Result<String, CliError> {
+    use sesr_serve::chaos::ShardChaosConfig;
+    use std::time::Duration;
+
+    let requests = args.parsed_or("requests", 450u64)?;
+    let seed = parse_seed(args, "seed", 0xF1EE7)?;
+    let shards = args.parsed_or("shards", 3usize)?.max(1);
+    let concurrency = args.parsed_or("concurrency", 24usize)?.max(1);
+    let timeout = Duration::from_secs(args.parsed_or("timeout-s", 120u64)?);
+    let base_chaos = ShardChaosConfig {
+        seed,
+        kill_per_mille: args.parsed_or("kill-per-mille", 12u32)?,
+        wedge_per_mille: args.parsed_or("wedge-per-mille", 12u32)?,
+        respawn_fail_per_mille: args.parsed_or("respawn-fail-per-mille", 500u32)?,
+        max_kills: 2,
+        max_wedges: 2,
+        max_respawn_fails: 2,
+        // Far beyond the stall detector: the wedge must be *detected*
+        // and drain-and-replaced, not sat out.
+        wedge: Duration::from_secs(30),
+    };
+
+    // The fault *schedule* is seeded, but whether e.g. a kill intersects
+    // queued work (forcing a reroute) depends on wall-clock interleaving
+    // between the load loop and the supervisor. A schedule miss — a
+    // fault kind that never fired, or a kill that found an empty queue —
+    // says nothing about the router, so it re-rolls with a perturbed
+    // seed. Invariant violations (lost requests, ledger mismatches)
+    // fail immediately on any attempt.
+    const ATTEMPTS: u64 = 4;
+    let mut last = String::new();
+    for attempt in 0..ATTEMPTS {
+        let shard_chaos = ShardChaosConfig {
+            seed: seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+            ..base_chaos
+        };
+        let shard_seed = shard_chaos.seed;
+        let (summary, schedule_misses, invariants) =
+            run_router_chaos_soak(requests, shards, concurrency, timeout, shard_chaos)?;
+        if !invariants.is_empty() {
+            return Err(CliError::Io(std::io::Error::other(format!(
+                "{summary}\nfleet chaos reconciliation FAILED:\n  {}",
+                invariants.join("\n  ")
+            ))));
+        }
+        if schedule_misses.is_empty() {
+            let note = if attempt == 0 {
+                String::new()
+            } else {
+                format!(" (fault schedule re-rolled {attempt}x)")
+            };
+            return Ok(format!(
+                "{summary}\nfleet chaos soak reconciled: zero lost requests{note}"
+            ));
+        }
+        last = format!(
+            "{summary}\nattempt {attempt} (seed {shard_seed:#x}) missed:\n  {}",
+            schedule_misses.join("\n  ")
+        );
+    }
+    Err(CliError::Io(std::io::Error::other(format!(
+        "{last}\nfault schedule never hit every kind in {ATTEMPTS} attempts (raise rates or requests)"
+    ))))
+}
+
+/// One soak run. Returns `(summary, schedule_misses, invariant_problems)`:
+/// the former are retryable properties of the seeded fault schedule, the
+/// latter are real router bugs.
+#[allow(clippy::type_complexity)]
+fn run_router_chaos_soak(
+    requests: u64,
+    shards: usize,
+    concurrency: usize,
+    timeout: std::time::Duration,
+    shard_chaos: sesr_serve::chaos::ShardChaosConfig,
+) -> Result<(String, Vec<String>, Vec<String>), CliError> {
+    use sesr_serve::chaos::ChaosConfig;
+    use sesr_serve::engine::EngineConfig;
+    use sesr_serve::registry::{ModelKey, ModelRegistry};
+    use sesr_serve::{
+        Priority, Router, RouterConfig, RouterServeError, RouterSubmitError, RouterTicket,
+    };
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let seed = shard_chaos.seed;
+    let model = Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(seed)).collapse();
+    let key = ModelKey::new("m2", 2);
+    let registry = Arc::new(ModelRegistry::new(4));
+    registry.insert(key.clone(), model);
+    let router = Router::new(
+        RouterConfig {
+            shards,
+            engine: EngineConfig {
+                workers: 1,
+                queue_capacity: 16,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(4),
+                // Engine-level faults run concurrently with the shard
+                // faults: panics exercise in-shard retry/respawn, and
+                // slow-model delays keep queues non-empty so shard kills
+                // intersect queued work (forcing reroutes). The seed is
+                // fixed so --seed varies only the shard-fault schedule
+                // against a stable slow/panic background.
+                chaos: Some(ChaosConfig {
+                    seed: 0xD15EA5E,
+                    panic_per_mille: 15,
+                    slow_per_mille: 150,
+                    slow: Duration::from_millis(8),
+                    load_fail_per_mille: 0,
+                    skew_per_mille: 0,
+                    ..ChaosConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+            shard_queue_capacity: 64,
+            probe_interval: Duration::from_millis(2),
+            stall_ticks: 100,
+            respawn_budget: 32,
+            reroute_budget: 8,
+            respawn_backoff: Duration::from_millis(2),
+            respawn_backoff_cap: Duration::from_millis(10),
+            shard_chaos: Some(shard_chaos),
+            ..RouterConfig::default()
+        },
+        registry,
+    );
+
+    let mut in_flight: VecDeque<RouterTicket> = VecDeque::new();
+    let (mut ok, mut failed) = (0u64, 0u64);
+    let resolve = |t: RouterTicket, ok: &mut u64, failed: &mut u64| match t.wait() {
+        Ok(_) => *ok += 1,
+        Err(
+            RouterServeError::DeadlineExpired
+            | RouterServeError::WorkerCrashed(_)
+            | RouterServeError::ModelLoad(_)
+            | RouterServeError::ShardLost(_)
+            | RouterServeError::ShuttingDown,
+        ) => *failed += 1,
+    };
+    let mut admitted = 0u64;
+    let mut i = 0u64;
+    let start = Instant::now();
+    while admitted < requests {
+        if start.elapsed() >= timeout {
+            let snap = router.telemetry();
+            return Err(CliError::Io(std::io::Error::other(format!(
+                "router-chaos wedged: {admitted}/{requests} admitted after {}s\ncounters: {:?}",
+                timeout.as_secs(),
+                snap.counters
+            ))));
+        }
+        i += 1;
+        let tenant = format!("tenant-{}", i % 6);
+        let class = if i.is_multiple_of(4) {
+            Priority::Batch
+        } else {
+            Priority::Interactive
+        };
+        let input = sesr_tensor::Tensor::rand_uniform(&[1, 10, 10], 0.0, 1.0, i);
+        match router.submit(&tenant, class, &key, input, Some(Duration::from_secs(20))) {
+            Ok(t) => {
+                admitted += 1;
+                in_flight.push_back(t);
+                if in_flight.len() >= concurrency {
+                    if let Some(t) = in_flight.pop_front() {
+                        resolve(t, &mut ok, &mut failed);
+                    }
+                }
+            }
+            Err(
+                RouterSubmitError::ShedBatch
+                | RouterSubmitError::Overloaded
+                | RouterSubmitError::Throttled { .. }
+                | RouterSubmitError::NoHealthyShard,
+            ) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => {
+                return Err(CliError::Io(std::io::Error::other(format!(
+                    "unexpected rejection under chaos: {e}"
+                ))))
+            }
+        }
+    }
+    while let Some(t) = in_flight.pop_front() {
+        resolve(t, &mut ok, &mut failed);
+    }
+    let snap = router.telemetry();
+    let c = snap.counters;
+    let mut invariants = snap.reconcile();
+    let mut schedule_misses = Vec::new();
+    for (fired, what) in [
+        (c.shard_kills >= 1, "no whole-shard kill fired"),
+        (c.shard_wedges >= 1, "no shard wedge fired"),
+        (c.respawn_failures >= 1, "no respawn failure fired"),
+        (c.shard_respawns >= 1, "no shard respawned"),
+        (c.wedges_detected >= 1, "stall probe never detected a wedge"),
+        (c.rerouted >= 1, "no request was rerouted"),
+        (
+            c.breaker_opens >= 1 && c.breaker_half_opens >= 1,
+            "circuit breaker never cycled open -> half-open",
+        ),
+    ] {
+        if !fired {
+            schedule_misses.push(what.to_string());
+        }
+    }
+    if ok + failed != admitted {
+        invariants.push(format!(
+            "lost requests: client saw {ok}+{failed} outcomes for {admitted} admissions"
+        ));
+    }
+    if c.admitted() != admitted {
+        invariants.push(format!(
+            "router admitted {} != client {admitted}",
+            c.admitted()
+        ));
+    }
+    if c.completed != ok {
+        invariants.push(format!(
+            "router completed {} != client ok {ok}",
+            c.completed
+        ));
+    }
+    if ok <= admitted / 2 {
+        invariants.push(format!("chaos failed the majority: ok={ok} of {admitted}"));
+    }
+    let report = router.shutdown(Duration::from_secs(10));
+    if !report.joined {
+        invariants.push("shutdown failed to join within its deadline".to_string());
+    }
+    for p in router.telemetry().reconcile() {
+        invariants.push(format!("post-shutdown: {p}"));
+    }
+
+    let summary = format!(
+        "router-chaos seed {seed:#x}: {requests} requests, {shards} shards\n\
+         \x20 outcomes: {ok} ok, {failed} failed; rerouted {}, requeued {}\n\
+         \x20 shard faults: {} kills, {} wedges ({} detected), {} respawn failures, {} respawns\n\
+         \x20 breaker: {} opens, {} half-opens, {} closes\n\
+         \x20 drain: joined={} in {:.0} ms",
+        c.rerouted,
+        c.requeued_backpressure,
+        c.shard_kills,
+        c.shard_wedges,
+        c.wedges_detected,
+        c.respawn_failures,
+        c.shard_respawns,
+        c.breaker_opens,
+        c.breaker_half_opens,
+        c.breaker_closes,
+        report.joined,
+        report.elapsed.as_secs_f64() * 1e3,
+    );
+    Ok((summary, schedule_misses, invariants))
+}
+
 fn train_bench(args: &Args) -> Result<String, CliError> {
     use sesr_bench::TrainBenchConfig;
 
@@ -734,9 +1085,13 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
 fn gate_metric_paths(kind: &str) -> Result<Vec<&'static [&'static str]>, CliError> {
     match kind {
         "sesr-serve" => Ok(vec![&["results", "throughput_rps"]]),
+        "sesr-router" => Ok(vec![
+            &["results", "shards_4", "rps"],
+            &["results", "scaling_x"],
+        ]),
         "sesr-train" | "sesr-infer" => Ok(vec![]), // resolved per-arch below
         other => Err(CliError::Io(std::io::Error::other(format!(
-            "unknown bench kind {other:?} (expected sesr-serve|sesr-train|sesr-infer)"
+            "unknown bench kind {other:?} (expected sesr-serve|sesr-router|sesr-train|sesr-infer)"
         )))),
     }
 }

@@ -90,7 +90,7 @@ impl FaultPoint {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -166,6 +166,160 @@ impl Chaos {
     }
 }
 
+/// Shard-level fault points driven by the router's supervisor tick.
+///
+/// These model whole-process failures rather than per-request ones: a
+/// shard that dies outright, a shard that wedges (stops consuming while
+/// staying alive), and a respawn attempt that itself fails — the three
+/// ways a fleet member disappoints a load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultPoint {
+    /// The shard's engine is killed outright (hard crash).
+    Kill,
+    /// The shard stops consuming its queue but stays alive.
+    Wedge,
+    /// A scheduled respawn of a dead shard fails.
+    RespawnFail,
+}
+
+impl ShardFaultPoint {
+    fn index(self) -> usize {
+        match self {
+            ShardFaultPoint::Kill => 0,
+            ShardFaultPoint::Wedge => 1,
+            ShardFaultPoint::RespawnFail => 2,
+        }
+    }
+
+    fn salt(self) -> u64 {
+        [
+            0xC1A0_5F1E_E7B4_D001,
+            0xC1A0_5F1E_E7B4_D002,
+            0xC1A0_5F1E_E7B4_D003,
+        ][self.index()]
+    }
+}
+
+/// Rates (per mille, drawn once per shard per supervisor tick) and caps
+/// for shard-level fault injection. All rates default to 0.
+///
+/// The caps bound the *total* number of injections per fault point over
+/// the run, so a soak can demand "exactly one whole-shard kill" without
+/// the fleet degenerating into permanent chaos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardChaosConfig {
+    /// Seed for the deterministic decision stream (independent of any
+    /// engine-level [`ChaosConfig`] seed).
+    pub seed: u64,
+    /// Per-mille probability (per shard-tick) that a live shard is killed.
+    pub kill_per_mille: u32,
+    /// Per-mille probability (per shard-tick) that a live shard wedges.
+    pub wedge_per_mille: u32,
+    /// Per-mille probability that a due respawn attempt fails.
+    pub respawn_fail_per_mille: u32,
+    /// Most kills to inject over the whole run.
+    pub max_kills: u64,
+    /// Most wedges to inject over the whole run.
+    pub max_wedges: u64,
+    /// Most respawn failures to inject over the whole run.
+    pub max_respawn_fails: u64,
+    /// How long a wedged shard stays paused if the supervisor's stall
+    /// detector does not replace it first.
+    pub wedge: Duration,
+}
+
+impl Default for ShardChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            kill_per_mille: 0,
+            wedge_per_mille: 0,
+            respawn_fail_per_mille: 0,
+            max_kills: u64::MAX,
+            max_wedges: u64::MAX,
+            max_respawn_fails: u64::MAX,
+            wedge: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Runtime state of the shard-fault injector: per-point decision
+/// counters plus per-point injection tallies (for the caps).
+pub struct ShardChaos {
+    cfg: ShardChaosConfig,
+    draws: [AtomicU64; 3],
+    fired: [AtomicU64; 3],
+}
+
+impl ShardChaos {
+    /// An injector over `cfg`.
+    pub fn new(cfg: ShardChaosConfig) -> Self {
+        Self {
+            cfg,
+            draws: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            fired: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    /// The configuration this injector was built with.
+    pub fn config(&self) -> &ShardChaosConfig {
+        &self.cfg
+    }
+
+    fn draw(&self, point: ShardFaultPoint, per_mille: u32, cap: u64) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let i = self.draws[point.index()].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.cfg.seed ^ point.salt() ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        if (h % 1000) >= u64::from(per_mille.min(1000)) {
+            return false;
+        }
+        // The decision fired; honor the cap by un-counting overflow.
+        if self.fired[point.index()].fetch_add(1, Ordering::Relaxed) >= cap {
+            self.fired[point.index()].fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Should this live shard be killed now?
+    pub fn kill_shard(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::Kill,
+            self.cfg.kill_per_mille,
+            self.cfg.max_kills,
+        )
+    }
+
+    /// Should this live shard wedge now?
+    pub fn wedge_shard(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::Wedge,
+            self.cfg.wedge_per_mille,
+            self.cfg.max_wedges,
+        )
+    }
+
+    /// Should this due respawn attempt fail?
+    pub fn fail_respawn(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::RespawnFail,
+            self.cfg.respawn_fail_per_mille,
+            self.cfg.max_respawn_fails,
+        )
+    }
+
+    /// Injections so far per fault point (kill, wedge, respawn-fail).
+    pub fn fired(&self) -> [u64; 3] {
+        [
+            self.fired[0].load(Ordering::Relaxed),
+            self.fired[1].load(Ordering::Relaxed),
+            self.fired[2].load(Ordering::Relaxed),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +388,40 @@ mod tests {
         let panics: Vec<bool> = (0..200).map(|_| c.panic_in_forward()).collect();
         let loads: Vec<bool> = (0..200).map(|_| c.fail_registry_load()).collect();
         assert_ne!(panics, loads, "streams must differ under one seed");
+    }
+
+    #[test]
+    fn shard_chaos_is_deterministic_and_capped() {
+        let cfg = ShardChaosConfig {
+            seed: 42,
+            kill_per_mille: 500,
+            wedge_per_mille: 500,
+            respawn_fail_per_mille: 1000,
+            max_kills: 2,
+            max_wedges: 1,
+            max_respawn_fails: 3,
+            ..ShardChaosConfig::default()
+        };
+        let a = ShardChaos::new(cfg.clone());
+        let b = ShardChaos::new(cfg);
+        let seq_a: Vec<(bool, bool, bool)> = (0..100)
+            .map(|_| (a.kill_shard(), a.wedge_shard(), a.fail_respawn()))
+            .collect();
+        let seq_b: Vec<(bool, bool, bool)> = (0..100)
+            .map(|_| (b.kill_shard(), b.wedge_shard(), b.fail_respawn()))
+            .collect();
+        assert_eq!(seq_a, seq_b, "same seed must give the same schedule");
+        assert_eq!(a.fired(), [2, 1, 3], "caps must bound injections");
+    }
+
+    #[test]
+    fn shard_chaos_zero_rates_inject_nothing() {
+        let c = ShardChaos::new(ShardChaosConfig::default());
+        for _ in 0..50 {
+            assert!(!c.kill_shard());
+            assert!(!c.wedge_shard());
+            assert!(!c.fail_respawn());
+        }
+        assert_eq!(c.fired(), [0, 0, 0]);
     }
 }

@@ -75,6 +75,11 @@ pub struct EngineConfig {
     pub backoff_base: Duration,
     /// Upper bound on any single backoff sleep.
     pub backoff_cap: Duration,
+    /// Seed for backoff jitter. Each backoff sleeps a deterministic
+    /// fraction in `[0.5, 1.0)` of its exponential value, so retries and
+    /// respawns de-synchronize instead of stampeding a recovering shard
+    /// in lockstep. Same seed → same jitter sequence.
+    pub jitter_seed: u64,
     /// Deterministic fault injection (`None` = no faults).
     pub chaos: Option<ChaosConfig>,
 }
@@ -91,6 +96,7 @@ impl Default for EngineConfig {
             restart_budget: 16,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(100),
+            jitter_seed: 0x5E5E_B0FF,
             chaos: None,
         }
     }
@@ -148,6 +154,11 @@ pub enum ServeError {
     WorkerCrashed(String),
     /// The engine shut down before the request ran.
     ShuttingDown,
+    /// The request was rejected at admission. Only produced on the
+    /// [`Engine::submit_with`] path, where rejections are delivered
+    /// through the completion hook so every submission settles exactly
+    /// once through one channel.
+    Rejected(SubmitError),
 }
 
 impl fmt::Display for ServeError {
@@ -159,6 +170,7 @@ impl fmt::Display for ServeError {
                 write!(f, "worker crashed while serving this request: {m}")
             }
             ServeError::ShuttingDown => write!(f, "engine shut down before the request ran"),
+            ServeError::Rejected(e) => write!(f, "rejected at admission: {e}"),
         }
     }
 }
@@ -194,34 +206,78 @@ pub struct ShutdownReport {
     pub elapsed: Duration,
 }
 
-/// One-shot response slot shared between a worker and a waiting caller.
-/// Fulfillment is idempotent: only the first result is kept.
+/// Terminal-outcome callback for [`Engine::submit_with`]. Invoked exactly
+/// once per submission, outside any engine lock, on whichever thread
+/// produces the outcome (a worker, the supervisor, or — for synchronous
+/// admission rejections — the submitting thread itself).
+pub type Completion = Box<dyn FnOnce(Result<Tensor, ServeError>) + Send + 'static>;
+
+enum SlotState {
+    /// No outcome yet; a [`Ticket::wait`] will collect it.
+    Pending,
+    /// Outcome stored, waiting for the ticket.
+    Done(Result<Tensor, ServeError>),
+    /// No outcome yet; deliver it to this hook instead of storing it.
+    /// (`Option` so the hook can be taken under the lock and run after
+    /// releasing it.)
+    Hooked(Option<Completion>),
+    /// Outcome already delivered (waited on, or handed to the hook).
+    Delivered,
+}
+
+/// One-shot response slot shared between a worker and a waiting caller
+/// (or a completion hook). Fulfillment is idempotent: only the first
+/// terminal outcome is delivered; late duplicates are dropped.
 struct Slot {
-    value: Mutex<Option<Result<Tensor, ServeError>>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
 }
 
 impl Slot {
     fn new() -> Arc<Self> {
         Arc::new(Self {
-            value: Mutex::new(None),
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn hooked(done: Completion) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Hooked(Some(done))),
             ready: Condvar::new(),
         })
     }
 
     fn fulfill(&self, result: Result<Tensor, ServeError>) {
-        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
-        if g.is_none() {
-            *g = Some(result);
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match &mut *g {
+            SlotState::Pending => {
+                *g = SlotState::Done(result);
+                drop(g);
+                self.ready.notify_all();
+            }
+            SlotState::Hooked(hook) => {
+                let hook = hook.take();
+                *g = SlotState::Delivered;
+                // The hook runs without the slot lock: it may be slow or
+                // re-enter the engine (e.g. a router rerouting the job).
+                drop(g);
+                if let Some(hook) = hook {
+                    hook(result);
+                }
+            }
+            // Duplicate fulfillment (shutdown races a worker): first wins.
+            SlotState::Done(_) | SlotState::Delivered => {}
         }
-        drop(g);
-        self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<Tensor, ServeError> {
-        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(v) = g.take() {
+            if matches!(*g, SlotState::Done(_)) {
+                let SlotState::Done(v) = std::mem::replace(&mut *g, SlotState::Delivered) else {
+                    unreachable!("matched Done above");
+                };
                 return v;
             }
             g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
@@ -279,6 +335,7 @@ struct Shared {
     chaos: Option<Chaos>,
     state: AtomicU8,
     restarts_used: AtomicU64,
+    jitter_draws: AtomicU64,
 }
 
 impl Shared {
@@ -295,12 +352,37 @@ impl Shared {
     }
 
     fn backoff(&self, consecutive: u32) -> Duration {
-        let exp = consecutive.saturating_sub(1).min(16);
-        self.cfg
-            .backoff_base
-            .saturating_mul(1 << exp)
-            .min(self.cfg.backoff_cap)
+        let draw = self.jitter_draws.fetch_add(1, Ordering::Relaxed);
+        jittered_backoff(
+            self.cfg.backoff_base,
+            self.cfg.backoff_cap,
+            consecutive,
+            self.cfg.jitter_seed,
+            draw,
+        )
     }
+}
+
+/// Exponential backoff with deterministic decorrelation jitter: the
+/// `consecutive`-th failure sleeps a seeded fraction in `[0.5, 1.0)` of
+/// `min(base * 2^(consecutive-1), cap)`. Jitter keeps simultaneous
+/// retriers (or a fleet of respawning shards) from hammering a
+/// recovering dependency in lockstep, while the seed keeps tests and
+/// chaos runs reproducible: the `draw` index selects the position in the
+/// seed's jitter stream.
+pub(crate) fn jittered_backoff(
+    base: Duration,
+    cap: Duration,
+    consecutive: u32,
+    seed: u64,
+    draw: u64,
+) -> Duration {
+    let exp = consecutive.saturating_sub(1).min(16);
+    let full = base.saturating_mul(1 << exp).min(cap);
+    let h = crate::chaos::splitmix64(seed ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Top 53 bits → uniform in [0, 1), mapped to a factor in [0.5, 1.0).
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    full.mul_f64(0.5 + 0.5 * unit)
 }
 
 /// Multi-threaded batched inference engine over a [`ModelRegistry`],
@@ -328,6 +410,7 @@ impl Engine {
             ids: AtomicU64::new(0),
             state: AtomicU8::new(STATE_RUNNING),
             restarts_used: AtomicU64::new(0),
+            jitter_draws: AtomicU64::new(0),
         });
         let supervisor = (shared.cfg.workers > 0).then(|| {
             let (tx, rx) = channel();
@@ -399,6 +482,78 @@ impl Engine {
             Err(PushError::Closed) => {
                 self.shared.telemetry.counters(|c| c.rejected_shutdown += 1);
                 Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Lifecycle-hook submission: like [`Engine::submit`], but the
+    /// terminal outcome is delivered to `done` (exactly once, outside any
+    /// engine lock) instead of through a [`Ticket`]. Admission rejections
+    /// are delivered synchronously on the calling thread as
+    /// [`ServeError::Rejected`], so every call settles through the same
+    /// single channel — the property the router's fleet-level
+    /// exactly-one-outcome ledger is built on. `deadline` is absolute;
+    /// an already-expired deadline settles as
+    /// [`ServeError::DeadlineExpired`] without touching the queue.
+    pub fn submit_with(
+        &self,
+        key: &ModelKey,
+        input: Tensor,
+        deadline: Option<Instant>,
+        done: Completion,
+    ) {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            self.shared.telemetry.counters(|c| c.rejected_draining += 1);
+            done(Err(ServeError::Rejected(SubmitError::Draining)));
+            return;
+        }
+        let now = Instant::now();
+        if deadline.is_some_and(|d| now >= d) {
+            self.shared.telemetry.counters(|c| c.rejected_deadline += 1);
+            done(Err(ServeError::DeadlineExpired));
+            return;
+        }
+        if let Err(reason) = validate_input(&input) {
+            self.shared.telemetry.counters(|c| c.rejected_invalid += 1);
+            done(Err(ServeError::Rejected(SubmitError::InvalidInput {
+                reason,
+            })));
+            return;
+        }
+        if !self.shared.registry.contains(key) {
+            done(Err(ServeError::Rejected(SubmitError::UnknownModel(
+                key.clone(),
+            ))));
+            return;
+        }
+        let slot = Slot::hooked(done);
+        self.shared.ids.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            key: key.clone(),
+            input,
+            deadline,
+            enqueued: now,
+            slot: Arc::clone(&slot),
+            retries: 0,
+            not_before: None,
+        };
+        match self.shared.queue.offer(job) {
+            Ok(()) => {
+                self.shared.telemetry.counters(|c| c.submitted += 1);
+            }
+            Err((PushError::Full { capacity }, job)) => {
+                self.shared
+                    .telemetry
+                    .counters(|c| c.rejected_queue_full += 1);
+                job.slot
+                    .fulfill(Err(ServeError::Rejected(SubmitError::QueueFull {
+                        capacity,
+                    })));
+            }
+            Err((PushError::Closed, job)) => {
+                self.shared.telemetry.counters(|c| c.rejected_shutdown += 1);
+                job.slot
+                    .fulfill(Err(ServeError::Rejected(SubmitError::ShuttingDown)));
             }
         }
     }
@@ -526,7 +681,9 @@ impl Drop for Engine {
 }
 
 /// Boundary validation: shape `[1, H, W]` with H, W ≥ 1 and finite data.
-fn validate_input(t: &Tensor) -> Result<(), String> {
+/// Shared with the router, which validates at *its* admission edge so a
+/// malformed tensor is rejected before it costs a routing decision.
+pub(crate) fn validate_input(t: &Tensor) -> Result<(), String> {
     let s = t.shape();
     if s.len() != 3 || s[0] != 1 {
         return Err(format!("expected input shape [1, H, W], got {s:?}"));
@@ -784,10 +941,9 @@ fn terminal_failure(shared: &Shared, job: &Job, kind: &FailureKind, msg: &str) {
 fn run_tiled_request(shared: &Shared, plans: &mut PlanCache, model: &Arc<CollapsedSesr>, job: Job) {
     match run_tiled_compute(shared, plans, model, &job) {
         Ok(out) => {
-            shared
-                .telemetry
-                .record(Stage::Total, job.enqueued.elapsed());
-            shared.telemetry.counters(|c| c.completed += 1);
+            // Single-lock completion: `completed` and the Total histogram
+            // move together, so concurrent snapshots are never torn.
+            shared.telemetry.complete(job.enqueued.elapsed());
             job.slot.fulfill(Ok(out));
         }
         Err(TiledFailure::Plan(msg)) => {
@@ -965,14 +1121,144 @@ fn run_batch_jobs(
         c.batches += 1;
         c.batched_requests += jobs.len() as u64;
         c.max_batch = c.max_batch.max(jobs.len() as u64);
-        c.completed += jobs.len() as u64;
     });
     for (job, out) in jobs.into_iter().zip(outputs) {
-        shared
-            .telemetry
-            .record(Stage::Total, job.enqueued.elapsed());
+        // Single-lock completion per request (counter + Total histogram
+        // together), so a snapshot taken mid-batch never sees them torn.
+        shared.telemetry.complete(job.enqueued.elapsed());
         job.slot.fulfill(Ok(out));
     }
     shared.telemetry.record(Stage::Reassembly, t2.elapsed());
     GroupOutcome::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesr_core::model::{Sesr, SesrConfig};
+    use std::sync::mpsc::channel as mpsc_channel;
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(100);
+        for consecutive in 1..=8u32 {
+            let exp = consecutive.saturating_sub(1).min(16);
+            let full = base.saturating_mul(1 << exp).min(cap);
+            for draw in 0..64u64 {
+                let a = jittered_backoff(base, cap, consecutive, 0xBEEF, draw);
+                let b = jittered_backoff(base, cap, consecutive, 0xBEEF, draw);
+                assert_eq!(a, b, "same (seed, draw) must give the same sleep");
+                assert!(a >= full.mul_f64(0.5), "below jitter floor: {a:?}");
+                assert!(a < full, "at or above the un-jittered value: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_streams_differ_by_seed_and_draw() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let stream = |seed: u64| -> Vec<Duration> {
+            (0..32)
+                .map(|d| jittered_backoff(base, cap, 3, seed, d))
+                .collect()
+        };
+        assert_ne!(stream(1), stream(2), "different seeds must decorrelate");
+        let s = stream(7);
+        assert!(
+            s.windows(2).any(|w| w[0] != w[1]),
+            "draw index must advance the stream"
+        );
+    }
+
+    fn tiny_engine(workers: usize) -> (Engine, ModelKey) {
+        let model = Sesr::new(SesrConfig::m(1).with_expanded(4).with_seed(1)).collapse();
+        let key = ModelKey::new("m1", 2);
+        let registry = Arc::new(ModelRegistry::new(2));
+        registry.insert(key.clone(), model);
+        let cfg = EngineConfig {
+            workers,
+            queue_capacity: 8,
+            ..EngineConfig::default()
+        };
+        (Engine::new(cfg, registry), key)
+    }
+
+    #[test]
+    fn submit_with_delivers_success_through_the_hook() {
+        let (engine, key) = tiny_engine(1);
+        let (tx, rx) = mpsc_channel();
+        let input = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, 3);
+        engine.submit_with(&key, input, None, Box::new(move |r| tx.send(r).unwrap()));
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("hook must fire")
+            .expect("tiny model must serve");
+        assert_eq!(out.shape(), &[1, 16, 16]);
+    }
+
+    #[test]
+    fn submit_with_rejections_settle_synchronously() {
+        let (engine, key) = tiny_engine(1);
+        // Unknown model: rejected before touching the queue.
+        let (tx, rx) = mpsc_channel();
+        engine.submit_with(
+            &ModelKey::new("ghost", 2),
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, 0),
+            None,
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        let r = rx.try_recv().expect("rejection must be synchronous");
+        assert!(matches!(
+            r,
+            Err(ServeError::Rejected(SubmitError::UnknownModel(_)))
+        ));
+        // Expired deadline: settles typed without queueing.
+        let (tx, rx) = mpsc_channel();
+        engine.submit_with(
+            &key,
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, 1),
+            Some(Instant::now() - Duration::from_millis(1)),
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Err(ServeError::DeadlineExpired)
+        ));
+        // After shutdown: Draining, synchronously.
+        engine.shutdown(Duration::from_secs(5));
+        let (tx, rx) = mpsc_channel();
+        engine.submit_with(
+            &key,
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, 2),
+            None,
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Err(ServeError::Rejected(SubmitError::Draining))
+        ));
+    }
+
+    #[test]
+    fn hooked_jobs_settle_as_shutting_down_in_drain() {
+        // Zero workers: the job sits in the queue until shutdown answers
+        // it through the hook — the exactly-once channel under drain.
+        let (engine, key) = tiny_engine(0);
+        let (tx, rx) = mpsc_channel();
+        engine.submit_with(
+            &key,
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, 5),
+            None,
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        assert!(rx.try_recv().is_err(), "must not settle before drain");
+        let report = engine.shutdown(Duration::from_secs(5));
+        assert_eq!(report.dropped, 1);
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
 }

@@ -37,7 +37,17 @@
 //! * [`bench`] — the `serve-bench` harness emitting `BENCH_serve.json`.
 //! * [`chaos`] — deterministic seed-driven fault injection (panics, slow
 //!   models, load failures, clock skew) for the `serve-chaos` harness and
-//!   the chaos soak test.
+//!   the chaos soak test, plus shard-level faults (kill / wedge / failed
+//!   respawn) for the router's fleet-scope chaos.
+//! * [`router`] — the fleet front door: N supervised engine shards
+//!   behind consistent-hash routing, per-tenant token buckets,
+//!   two-priority weighted-fair queues, and priority-ordered load
+//!   shedding (shed batch, degrade interactive, reject last).
+//! * [`supervisor`] — per-shard health probing, circuit breaking with
+//!   half-open probing, wedge detection, and budgeted respawn.
+//! * [`router_bench`] — the `router-bench` harness emitting
+//!   `BENCH_router.json` (multi-tenant open-loop mix, shard scaling, and
+//!   the overload/shedding phase).
 //! * [`json`] — minimal JSON emission + strict validation (the offline
 //!   workspace has no real serde).
 
@@ -49,13 +59,23 @@ pub mod loadgen;
 pub mod plan_cache;
 pub mod queue;
 pub mod registry;
+pub mod router;
+pub mod router_bench;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
-pub use chaos::{Chaos, ChaosConfig, FaultPoint};
-pub use engine::{Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket};
+pub use chaos::{Chaos, ChaosConfig, FaultPoint, ShardChaos, ShardChaosConfig, ShardFaultPoint};
+pub use engine::{
+    Completion, Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket,
+};
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
 pub use plan_cache::PlanCache;
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
+pub use router::{
+    BreakerState, Priority, RateLimit, Router, RouterConfig, RouterCounters, RouterServeError,
+    RouterShutdownReport, RouterSnapshot, RouterSubmitError, RouterTelemetry, RouterTicket,
+    ShardStatus, TenantPolicy, TenantSummary,
+};
 pub use telemetry::{Snapshot, Stage, StageSummary, Telemetry};

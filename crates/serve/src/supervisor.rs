@@ -1,0 +1,197 @@
+//! Shard supervision: health probing, circuit breaking, wedge detection,
+//! budgeted respawn, and shard-level chaos injection.
+//!
+//! One supervisor thread probes every shard each `probe_interval`:
+//!
+//! * **Chaos** — when configured, it is the supervisor that injects the
+//!   shard-level faults: *kill* (hard engine shutdown: queued work
+//!   settles through hooks and reroutes), *wedge* (pause the engine's
+//!   queue so the shard is alive-but-stuck — exactly the failure health
+//!   probes alone cannot see), and *fail respawn* (the replacement
+//!   engine "fails to boot", consuming respawn backoff).
+//! * **Breaker** — a killed or dead shard opens its breaker *before*
+//!   its engine is torn down, so hook-driven reroutes already exclude
+//!   it. Respawn moves the breaker to half-open; it closes again only
+//!   after the fresh engine serves `half_open_successes` completions.
+//! * **Wedge detection** — a shard with queued work whose completion
+//!   counter has not advanced for `stall_ticks` consecutive probes is
+//!   declared wedged and drain-and-replaced. Health probes return
+//!   `Healthy` for a paused engine; only the progress signal catches it.
+//! * **Respawn budget** — each shard gets `respawn_budget` replacement
+//!   engines; attempts back off exponentially with deterministic jitter
+//!   (shared with the engine's retry machinery) so simultaneous
+//!   failures do not stampede. A shard that exhausts the budget stays
+//!   open forever and the rest of the fleet absorbs its keys.
+
+use crate::engine::{Engine, Health};
+use crate::router::{respawn_backoff, RouterCore, BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+struct ProbeState {
+    /// Engine completion count at the previous probe.
+    last_completed: u64,
+    /// Consecutive probes with queued work and no progress.
+    stall: u32,
+    /// Tick at which an injected wedge auto-releases (if the stall
+    /// detector has not replaced the shard first).
+    wedged_until: Option<u64>,
+    /// Engine generation when the wedge was injected; a replaced engine
+    /// must not be resumed by a stale wedge timer.
+    wedged_gen: u64,
+    /// Tick at which the next respawn attempt is due. `None` while the
+    /// shard is live, or forever once the budget is exhausted.
+    respawn_at: Option<u64>,
+    /// Consecutive failed respawn attempts (backoff exponent).
+    failed_respawns: u32,
+}
+
+impl ProbeState {
+    fn new() -> Self {
+        Self {
+            last_completed: 0,
+            stall: 0,
+            wedged_until: None,
+            wedged_gen: 0,
+            respawn_at: None,
+            failed_respawns: 0,
+        }
+    }
+}
+
+pub(crate) fn supervisor_loop(core: Arc<RouterCore>) {
+    let mut st: Vec<ProbeState> = (0..core.shards.len()).map(|_| ProbeState::new()).collect();
+    let mut tick: u64 = 0;
+    while core.running() {
+        std::thread::sleep(core.cfg.probe_interval);
+        tick += 1;
+        for (i, ps) in st.iter_mut().enumerate() {
+            probe_shard(&core, i, tick, ps);
+        }
+    }
+}
+
+fn engine_of(core: &RouterCore, i: usize) -> Arc<Engine> {
+    Arc::clone(
+        &core.shards[i]
+            .engine
+            .read()
+            .unwrap_or_else(PoisonError::into_inner),
+    )
+}
+
+fn ticks_for(core: &RouterCore, d: Duration) -> u64 {
+    let probe = core.cfg.probe_interval.max(Duration::from_micros(1));
+    ((d.as_nanos() / probe.as_nanos()) as u64).max(1)
+}
+
+/// Opens the breaker, tears the engine down (its hooks reroute queued
+/// work), and schedules a respawn.
+fn kill_shard(core: &RouterCore, i: usize, tick: u64, st: &mut ProbeState) {
+    let shard = &core.shards[i];
+    shard.breaker.store(BREAKER_OPEN, Ordering::Release);
+    core.telemetry.counters(|c| c.breaker_opens += 1);
+    let engine = engine_of(core, i);
+    // Hard stop: no drain budget. close() overrides pause, and the
+    // shutdown path settles every queued job through its hook, which
+    // reroutes now that the breaker is already open.
+    engine.shutdown(Duration::ZERO);
+    st.wedged_until = None;
+    st.stall = 0;
+    st.last_completed = 0;
+    st.failed_respawns = 0;
+    st.respawn_at = Some(tick + 1);
+}
+
+fn try_respawn(core: &RouterCore, i: usize, tick: u64, st: &mut ProbeState) {
+    let shard = &core.shards[i];
+    if shard.respawns_used.load(Ordering::Relaxed) >= u64::from(core.cfg.respawn_budget) {
+        // Budget exhausted: the shard stays open forever; the fleet
+        // absorbs its keys through rendezvous fallback.
+        st.respawn_at = None;
+        return;
+    }
+    if core.chaos.as_ref().is_some_and(|c| c.fail_respawn()) {
+        core.telemetry.counters(|c| c.respawn_failures += 1);
+        st.failed_respawns += 1;
+        let sleep = respawn_backoff(core, st.failed_respawns);
+        st.respawn_at = Some(tick + ticks_for(core, sleep));
+        return;
+    }
+    let fresh = Arc::new(Engine::new(core.cfg.engine.clone(), core.registry.clone()));
+    *shard.engine.write().unwrap_or_else(PoisonError::into_inner) = fresh;
+    shard.generation.fetch_add(1, Ordering::Release);
+    shard.respawns_used.fetch_add(1, Ordering::Relaxed);
+    st.failed_respawns = 0;
+    st.respawn_at = None;
+    st.stall = 0;
+    st.last_completed = 0;
+    shard.breaker.store(BREAKER_HALF_OPEN, Ordering::Release);
+    core.telemetry.counters(|c| {
+        c.shard_respawns += 1;
+        c.breaker_half_opens += 1;
+    });
+}
+
+fn probe_shard(core: &RouterCore, i: usize, tick: u64, st: &mut ProbeState) {
+    let shard = &core.shards[i];
+    let breaker = shard.breaker.load(Ordering::Acquire);
+    if breaker == BREAKER_OPEN {
+        if let Some(due) = st.respawn_at {
+            if tick >= due {
+                try_respawn(core, i, tick, st);
+            }
+        }
+        return;
+    }
+    // Live shard (closed or half-open breaker).
+    if core.chaos.as_ref().is_some_and(|c| c.kill_shard()) {
+        core.telemetry.counters(|c| c.shard_kills += 1);
+        kill_shard(core, i, tick, st);
+        return;
+    }
+    let engine = engine_of(core, i);
+    if st.wedged_until.is_none() && core.chaos.as_ref().is_some_and(|c| c.wedge_shard()) {
+        core.telemetry.counters(|c| c.shard_wedges += 1);
+        engine.pause();
+        st.wedged_until = Some(tick + ticks_for(core, core.cfg.shard_chaos_wedge()));
+        st.wedged_gen = shard.generation.load(Ordering::Acquire);
+    }
+    if let Some(until) = st.wedged_until {
+        if tick >= until {
+            if shard.generation.load(Ordering::Acquire) == st.wedged_gen {
+                engine.resume();
+            }
+            st.wedged_until = None;
+        }
+    }
+    // An engine that reports Draining without the router asking for it
+    // has died underneath us (e.g. its worker pool exhausted its restart
+    // budget): replace it.
+    if engine.health() == Health::Draining {
+        kill_shard(core, i, tick, st);
+        return;
+    }
+    // Wedge detection: queued work, no completions for stall_ticks
+    // consecutive probes. This is the only probe that sees a paused (or
+    // livelocked) engine — health() happily reports Healthy for one.
+    let completed = engine.telemetry().counters(|c| c.completed);
+    if engine.queue_depth() > 0 && completed == st.last_completed {
+        st.stall += 1;
+    } else {
+        st.stall = 0;
+    }
+    st.last_completed = completed;
+    if st.stall >= core.cfg.stall_ticks {
+        core.telemetry.counters(|c| c.wedges_detected += 1);
+        kill_shard(core, i, tick, st);
+        return;
+    }
+    // Half-open probing: the respawned engine rejoins the ring only
+    // after proving it can complete work.
+    if breaker == BREAKER_HALF_OPEN && completed >= core.cfg.half_open_successes {
+        shard.breaker.store(BREAKER_CLOSED, Ordering::Release);
+        core.telemetry.counters(|c| c.breaker_closes += 1);
+    }
+}

@@ -278,6 +278,17 @@ impl Telemetry {
         f(&mut self.lock().counters)
     }
 
+    /// Records one completed request: bumps `completed` *and* the `Total`
+    /// histogram under a single lock acquisition, so a concurrent
+    /// [`Telemetry::snapshot`] can never observe one without the other
+    /// (a torn snapshot would make `completed` and the total-stage count
+    /// disagree mid-drain).
+    pub fn complete(&self, total: Duration) {
+        let mut g = self.lock();
+        g.counters.completed += 1;
+        g.stages[Stage::Total.index()].record(total);
+    }
+
     /// A point-in-time copy of every stage histogram and counter.
     pub fn snapshot(&self) -> Snapshot {
         let g = self.lock();
@@ -438,6 +449,43 @@ mod tests {
         assert_eq!(h.quantile_ms(0.99), 0.0);
         assert_eq!(h.mean_ms(), 0.0);
         assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_snapshots_are_never_torn() {
+        // A writer settles requests through the single-lock `complete`
+        // path while a reader snapshots continuously: in every snapshot
+        // the `completed` counter and the total-stage sample count must
+        // agree exactly — the satellite guarantee that drain-time
+        // snapshots are internally consistent.
+        let t = std::sync::Arc::new(Telemetry::new());
+        let writer = {
+            let t = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    t.complete(Duration::from_nanos(i));
+                }
+            })
+        };
+        let total_count = |s: &Snapshot| {
+            s.stages
+                .iter()
+                .find(|(n, _)| *n == "total")
+                .map(|(_, st)| st.count)
+                .unwrap()
+        };
+        while !writer.is_finished() {
+            let s = t.snapshot();
+            assert_eq!(
+                s.counters.completed,
+                total_count(&s),
+                "torn snapshot: completed != total-stage count"
+            );
+        }
+        writer.join().unwrap();
+        let s = t.snapshot();
+        assert_eq!(s.counters.completed, 20_000);
+        assert_eq!(total_count(&s), 20_000);
     }
 
     #[test]

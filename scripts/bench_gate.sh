@@ -53,3 +53,16 @@ if [[ -f BENCH_serve.json ]]; then
 else
     echo "bench-gate: no BENCH_serve.json baseline; skipping serve gate" >&2
 fi
+
+if [[ -f BENCH_router.json ]]; then
+    echo "-- bench-gate: router goodput scaling --"
+    sesr router-bench --seed 0xB0A7 --phase-ms 3000 --shards-low 1 \
+        --shards-high 4 --tenants 3 --interactive-hz 30 --deadline-ms 40 \
+        --heavy-hz 12 --big-height 288 --big-width 384 \
+        --overload-factor 2 --overload-heavy-hz 16 \
+        --out "$tmp/BENCH_router.json"
+    sesr bench-gate --baseline BENCH_router.json \
+        --fresh "$tmp/BENCH_router.json" --max-regress "$MAX_REGRESS"
+else
+    echo "bench-gate: no BENCH_router.json baseline; skipping router gate" >&2
+fi

@@ -12,9 +12,11 @@
 #   clippy      workspace lint, warnings are errors
 #   serve       serve crate tests
 #   chaos       deterministic fault-injection soak (fixed seed, bounded)
+#   router      sharded-router tests + fleet-scope shard-chaos soak
+#   router-bench router-bench smoke run + shed-order/ledger check
 #   infer       planned-inference identity + zero-allocation proofs
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
-#   bench-gate  fresh train/serve/infer bench runs vs committed baselines
+#   bench-gate  fresh train/serve/infer/router bench runs vs baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,47 @@ step_chaos() {
     cargo test -q --offline -p sesr-serve --test chaos
     cargo run --release --offline -p sesr-cli -- serve-chaos \
         --seed 0xC4A05 --requests 400 --workers 3 --concurrency 12
+}
+
+step_router() {
+    # Router integration tests (routing, fairness, shedding, drain races,
+    # and the fleet-scope chaos soak), then the CLI shard-chaos harness
+    # end to end: whole-shard kills, wedged-slow shards, and failed
+    # respawns, exiting non-zero if any request is lost or the fleet
+    # exactly-one-outcome ledger fails to reconcile.
+    cargo test -q --offline -p sesr-serve --test router
+    cargo run --release --offline -p sesr-cli -- router-chaos \
+        --seed 0xF1EE7 --requests 450 --shards 3 --concurrency 24
+}
+
+step_router_bench() {
+    # Short-window smoke of the multi-tenant router bench. The CLI run
+    # itself fails unless the ledger reconciles in every phase and the
+    # overload phase sheds batch without rejecting interactive; the
+    # python check re-reads the artifact from the shell. The heavy rate
+    # is raised above the committed baseline's because the 1.5 s window
+    # accumulates half the backlog of the full 3 s run — without it the
+    # shed threshold is never crossed before the window closes.
+    local out
+    out="$(mktemp -d)/BENCH_router_smoke.json"
+    cargo run --release --offline -p sesr-cli -- router-bench \
+        --phase-ms 1500 --overload-heavy-hz 28 --out "$out"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$out" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+r = d['results']
+assert r['shards_4']['rps'] > 0, 'zero goodput at 4 shards'
+assert r['overload']['telemetry']['counters']['shed_batch'] > 0, \
+    'overload phase never shed batch'
+assert r['overload']['telemetry']['counters']['rejected_interactive'] == 0, \
+    'interactive rejected while batch shedding was available'
+assert r['problems'] == [], r['problems']
+print('ok:', sys.argv[1])
+PY
+    else
+        grep -q '"scaling_x"' "$out"
+    fi
 }
 
 step_infer() {
@@ -85,7 +128,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos infer bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos router router-bench infer bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
