@@ -810,32 +810,77 @@ fn wino_band(
 
 /// Lazily builds and caches one [`InferPlan`] per tile shape. Tile
 /// executors parallelize over tiles, so cached plans use a single band.
+///
+/// The cache is bounded: at most [`TilePlanner::DEFAULT_CAP`] shapes are
+/// kept (override with [`TilePlanner::with_capacity`]), evicting the
+/// least-recently-used plan once full. An image run sees a handful of
+/// shapes (interior, right edge, bottom edge, corner) and never evicts;
+/// long-lived video sessions with varying frame sizes would otherwise
+/// grow the cache without bound. Eviction only costs a rebuild on the
+/// next use of that shape — plans are caches of geometry, not state —
+/// so it can never change output bits.
 #[derive(Debug)]
 pub struct TilePlanner {
     kernels: Arc<CollapsedKernels>,
+    /// Most-recently-used first.
     plans: Vec<InferPlan>,
+    cap: usize,
+    evictions: u64,
 }
 
 impl TilePlanner {
+    /// Default bound on cached tile shapes. A single frame size needs at
+    /// most four (interior / right edge / bottom edge / corner); eight
+    /// leaves headroom for one resolution change without thrash.
+    pub const DEFAULT_CAP: usize = 8;
+
     /// Creates an empty planner over shared kernels.
     pub fn new(kernels: Arc<CollapsedKernels>) -> Self {
+        Self::with_capacity(kernels, Self::DEFAULT_CAP)
+    }
+
+    /// Creates an empty planner holding at most `cap` tile shapes.
+    ///
+    /// # Panics
+    ///
+    /// When `cap` is zero — a planner that cannot hold any plan would
+    /// rebuild on every call.
+    pub fn with_capacity(kernels: Arc<CollapsedKernels>, cap: usize) -> Self {
+        assert!(cap > 0, "tile-plan cache capacity must be positive");
         Self {
             kernels,
             plans: Vec::new(),
+            cap,
+            evictions: 0,
         }
     }
 
-    /// The plan for an `h x w` tile, building it on first use.
+    /// The plan for an `h x w` tile, building it on first use. Moves the
+    /// plan to the front of the LRU order; evicts the least-recently-used
+    /// shape when inserting past capacity.
     pub fn plan_for(&mut self, h: usize, w: usize) -> &mut InferPlan {
-        let idx = match self.plans.iter().position(|p| p.shape() == (h, w)) {
-            Some(i) => i,
-            None => {
-                self.plans
-                    .push(InferPlan::with_bands(self.kernels.clone(), h, w, 1));
-                self.plans.len() - 1
+        if let Some(i) = self.plans.iter().position(|p| p.shape() == (h, w)) {
+            let plan = self.plans.remove(i);
+            self.plans.insert(0, plan);
+        } else {
+            if self.plans.len() == self.cap {
+                self.plans.pop();
+                self.evictions += 1;
             }
-        };
-        &mut self.plans[idx]
+            self.plans
+                .insert(0, InferPlan::with_bands(self.kernels.clone(), h, w, 1));
+        }
+        &mut self.plans[0]
+    }
+
+    /// How many plans have been evicted over the planner's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of currently cached tile shapes.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
     }
 
     /// Crops the halo-expanded patch of `spec` and runs it through the
@@ -990,6 +1035,46 @@ mod tests {
         let _ = planner.plan_for(8, 6);
         assert_eq!(planner.plans.len(), 2, "same shape must share one plan");
         assert!(planner.max_arena_bytes() > 0);
+        assert_eq!(planner.evictions(), 0);
+    }
+
+    #[test]
+    fn tile_planner_evicts_lru_and_stays_correct() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let kernels = Arc::new(CollapsedKernels::new(&net));
+        let mut planner = TilePlanner::with_capacity(kernels, 2);
+        let shapes = [(8usize, 8usize), (8, 6), (6, 8), (8, 8), (6, 6)];
+        for &(h, w) in &shapes {
+            // Every call — hit, miss, or post-eviction rebuild — must
+            // produce exactly the reference bits.
+            let lr = Tensor::rand_uniform(&[1, h, w], 0.0, 1.0, (h * 31 + w) as u64);
+            let got = planner.plan_for(h, w).run(&lr);
+            let want = net.run_reference(&lr);
+            assert_eq!(
+                want.max_abs_diff(&got.reshape(want.shape())),
+                0.0,
+                "{h}x{w}"
+            );
+            assert!(planner.cached_plans() <= 2, "capacity bound violated");
+        }
+        // 5 distinct-shape misses into a cap of 2 ⇒ at least one eviction;
+        // exact count: misses at (8,8),(8,6),(6,8)[evict],(8,8)[evict],(6,6)[evict].
+        assert_eq!(planner.evictions(), 3);
+        // Re-touching a shape must move it to the front: (6,6) and (8,8)
+        // are resident; touching (6,6) then inserting a new shape must
+        // evict (8,8), not (6,6).
+        let _ = planner.plan_for(6, 6);
+        let _ = planner.plan_for(10, 10);
+        assert_eq!(planner.evictions(), 4);
+        let _ = planner.plan_for(6, 6); // still resident: no eviction
+        assert_eq!(planner.evictions(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn tile_planner_rejects_zero_capacity() {
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let _ = TilePlanner::with_capacity(Arc::new(CollapsedKernels::new(&net)), 0);
     }
 
     #[test]

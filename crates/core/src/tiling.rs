@@ -188,6 +188,43 @@ impl TilePlan {
     pub fn overlap(&self) -> usize {
         self.overlap
     }
+
+    /// Dirty-rectangle planning for temporal tile reuse: given which
+    /// tiles' *interiors* changed since the previous frame, returns which
+    /// tiles must be recomputed so the composite stays bit-identical to a
+    /// whole-image run.
+    ///
+    /// Tile `T` must be recomputed exactly when its halo-expanded run
+    /// region `[ey0, ey1) x [ex0, ex1)` intersects some changed tile's
+    /// interior: `T`'s output depends on precisely the pixels in its
+    /// expanded region, so if none of them changed, the previous output
+    /// bits are still exact and can be reused verbatim. The converse
+    /// direction is what makes naive "recompute only changed tiles" wrong
+    /// — a change in a neighbour's interior leaks into `T` through the
+    /// halo.
+    ///
+    /// # Panics
+    ///
+    /// When `changed.len() != self.len()`.
+    pub fn recompute_mask(&self, changed: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            changed.len(),
+            self.tiles.len(),
+            "changed mask must have one entry per tile"
+        );
+        // O(tiles^2) pairwise intersection. Tile counts are small (a
+        // 1080p frame at tile=96 is 12x20 = 240 tiles, ~58k cheap
+        // comparisons) so this stays well under a microsecond; a sweep
+        // over the changed bounding rows would only obscure the rule.
+        self.tiles
+            .iter()
+            .map(|t| {
+                self.tiles.iter().zip(changed).any(|(u, &dirty)| {
+                    dirty && t.ey0 < u.y1 && u.y0 < t.ey1 && t.ex0 < u.x1 && u.x0 < t.ex1
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +267,57 @@ mod tests {
                 assert!(t.x0 - t.ex0 >= overlap.min(t.x0));
             }
         }
+    }
+
+    #[test]
+    fn recompute_mask_static_frame_recomputes_nothing() {
+        let plan = TilePlan::new(32, 32, 8, 2).unwrap();
+        let none = vec![false; plan.len()];
+        assert!(plan.recompute_mask(&none).iter().all(|&r| !r));
+        let all = vec![true; plan.len()];
+        assert!(plan.recompute_mask(&all).iter().all(|&r| r));
+    }
+
+    #[test]
+    fn recompute_mask_expands_changes_by_the_halo() {
+        // 32x32 image, 8px tiles, 2px halo: a change in tile (1,1)'s
+        // interior must recompute (1,1) and every neighbour whose
+        // expanded region reaches into it — with a 2px halo (even-aligned
+        // origins can grow it to 3) that is exactly the 8 surrounding
+        // tiles — but not tiles two steps away.
+        let plan = TilePlan::new(32, 32, 8, 2).unwrap();
+        let cols = 4;
+        let mut changed = vec![false; plan.len()];
+        changed[cols + 1] = true; // tile (row 1, col 1)
+        let mask = plan.recompute_mask(&changed);
+        for (i, t) in plan.tiles().iter().enumerate() {
+            let row = t.y0 / 8;
+            let col = t.x0 / 8;
+            let near = row.abs_diff(1) <= 1 && col.abs_diff(1) <= 1;
+            assert_eq!(mask[i], near, "tile ({row},{col})");
+        }
+    }
+
+    #[test]
+    fn recompute_mask_is_monotone_in_the_changed_set() {
+        // More dirt can only recompute more tiles, never fewer.
+        let plan = TilePlan::new(17, 23, 6, 4).unwrap();
+        let mut a = vec![false; plan.len()];
+        a[0] = true;
+        let mut b = a.clone();
+        b[plan.len() - 1] = true;
+        let ma = plan.recompute_mask(&a);
+        let mb = plan.recompute_mask(&b);
+        for i in 0..plan.len() {
+            assert!(!ma[i] || mb[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per tile")]
+    fn recompute_mask_rejects_wrong_length() {
+        let plan = TilePlan::new(16, 16, 8, 2).unwrap();
+        let _ = plan.recompute_mask(&[true]);
     }
 
     #[test]

@@ -42,8 +42,10 @@ use crate::plan_cache::PlanCache;
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::telemetry::{Stage, Telemetry};
+use crate::video::{SessionStats, VideoError, VideoSession, VideoSessionSpec};
 use sesr_core::{CollapsedSesr, TilePlanner};
 use sesr_tensor::Tensor;
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -122,6 +124,8 @@ pub enum SubmitError {
     Draining,
     /// The engine is shutting down.
     ShuttingDown,
+    /// No open video session with this id (never opened, or closed).
+    UnknownSession(u64),
 }
 
 impl fmt::Display for SubmitError {
@@ -136,6 +140,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::Draining => write!(f, "rejected: engine draining"),
             SubmitError::ShuttingDown => write!(f, "rejected: engine shutting down"),
+            SubmitError::UnknownSession(id) => {
+                write!(f, "rejected: no open video session with id {id}")
+            }
         }
     }
 }
@@ -159,6 +166,9 @@ pub enum ServeError {
     /// through the completion hook so every submission settles exactly
     /// once through one channel.
     Rejected(SubmitError),
+    /// A video-session frame failed with a typed session error (stale
+    /// sequence, closed session, shape mismatch discovered at compute).
+    Video(VideoError),
 }
 
 impl fmt::Display for ServeError {
@@ -171,6 +181,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "engine shut down before the request ran"),
             ServeError::Rejected(e) => write!(f, "rejected at admission: {e}"),
+            ServeError::Video(e) => write!(f, "video session: {e}"),
         }
     }
 }
@@ -310,6 +321,32 @@ impl Ticket {
     }
 }
 
+/// Shared handle to one open video session. Workers lock `state` only
+/// while settling a frame; admission reads the immutable geometry
+/// (`ladder`, `height`, `width`) without touching the lock.
+struct SessionHandle {
+    id: u64,
+    /// Ladder keys, cheapest first — re-resolved per group so registry
+    /// reloads take effect mid-session.
+    ladder: Vec<ModelKey>,
+    height: usize,
+    width: usize,
+    /// Set by `close_video_session`; queued frames observing it settle
+    /// as [`VideoError::UnknownSession`] instead of computing.
+    closed: AtomicBool,
+    state: Mutex<VideoSession>,
+}
+
+enum JobKind {
+    /// A stateless single-image request (the original engine path).
+    Image,
+    /// One frame of an open video session.
+    Frame {
+        session: Arc<SessionHandle>,
+        seq: u64,
+    },
+}
+
 struct Job {
     key: ModelKey,
     input: Tensor,
@@ -320,6 +357,7 @@ struct Job {
     retries: u32,
     /// Retry backoff: not eligible for execution before this instant.
     not_before: Option<Instant>,
+    kind: JobKind,
 }
 
 const STATE_RUNNING: u8 = 0;
@@ -336,6 +374,10 @@ struct Shared {
     state: AtomicU8,
     restarts_used: AtomicU64,
     jitter_draws: AtomicU64,
+    /// Open video sessions by id. Ids start at 1; 0 is the batch-key
+    /// sentinel for stateless image requests.
+    videos: Mutex<HashMap<u64, Arc<SessionHandle>>>,
+    session_ids: AtomicU64,
 }
 
 impl Shared {
@@ -411,6 +453,8 @@ impl Engine {
             state: AtomicU8::new(STATE_RUNNING),
             restarts_used: AtomicU64::new(0),
             jitter_draws: AtomicU64::new(0),
+            videos: Mutex::new(HashMap::new()),
+            session_ids: AtomicU64::new(1),
         });
         let supervisor = (shared.cfg.workers > 0).then(|| {
             let (tx, rx) = channel();
@@ -467,6 +511,7 @@ impl Engine {
             slot: Arc::clone(&slot),
             retries: 0,
             not_before: None,
+            kind: JobKind::Image,
         };
         match self.shared.queue.push(job) {
             Ok(()) => {
@@ -536,6 +581,7 @@ impl Engine {
             slot: Arc::clone(&slot),
             retries: 0,
             not_before: None,
+            kind: JobKind::Image,
         };
         match self.shared.queue.offer(job) {
             Ok(()) => {
@@ -556,6 +602,202 @@ impl Engine {
                     .fulfill(Err(ServeError::Rejected(SubmitError::ShuttingDown)));
             }
         }
+    }
+
+    /// Opens a streaming video session over `spec` and returns its id.
+    /// The ladder is resolved once here to validate geometry (uniform
+    /// scale, halo radius); the per-frame path re-resolves models so
+    /// registry reloads take effect mid-session.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Draining`] once shutdown began,
+    /// [`VideoError::ModelLoad`] for unknown or unloadable ladder keys,
+    /// and the [`VideoSession::new`] geometry errors.
+    pub fn open_video_session(&self, spec: VideoSessionSpec) -> Result<u64, VideoError> {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            return Err(VideoError::Draining);
+        }
+        let mut models = Vec::with_capacity(spec.ladder.len());
+        for key in &spec.ladder {
+            if !self.shared.registry.contains(key) {
+                return Err(VideoError::ModelLoad(format!(
+                    "model {key} is not registered"
+                )));
+            }
+            models.push(
+                self.shared
+                    .registry
+                    .get(key)
+                    .map_err(|e| VideoError::ModelLoad(e.to_string()))?,
+            );
+        }
+        let session = VideoSession::new(spec, &models)?;
+        let id = self.shared.session_ids.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(SessionHandle {
+            id,
+            ladder: session.spec().ladder.clone(),
+            height: session.spec().height,
+            width: session.spec().width,
+            closed: AtomicBool::new(false),
+            state: Mutex::new(session),
+        });
+        self.shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, handle);
+        self.shared
+            .telemetry
+            .counters(|c| c.video_sessions_opened += 1);
+        Ok(id)
+    }
+
+    /// Feeds frame `seq` to session `session_id`, to be settled within
+    /// `deadline` of now (if given). Returns a [`Ticket`] immediately;
+    /// waiting on it yields the composited HR frame. Settlement is
+    /// idempotent per `seq` — re-feeding a settled frame returns the
+    /// cached output, and an older `seq` settles as a typed
+    /// [`VideoError::StaleFrame`] through the ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownSession`] for closed or never-opened ids,
+    /// plus every rejection [`Engine::submit`] can produce.
+    pub fn feed_video_frame(
+        &self,
+        session_id: u64,
+        seq: u64,
+        frame: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            self.shared.telemetry.counters(|c| c.rejected_draining += 1);
+            return Err(SubmitError::Draining);
+        }
+        if let Err(reason) = validate_input(&frame) {
+            self.shared.telemetry.counters(|c| c.rejected_invalid += 1);
+            return Err(SubmitError::InvalidInput { reason });
+        }
+        let handle = self
+            .shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&session_id)
+            .cloned()
+            .ok_or(SubmitError::UnknownSession(session_id))?;
+        let shape = frame.shape();
+        if shape[1] != handle.height || shape[2] != handle.width {
+            self.shared.telemetry.counters(|c| c.rejected_invalid += 1);
+            return Err(SubmitError::InvalidInput {
+                reason: format!(
+                    "frame shape {shape:?} does not match session shape [1, {}, {}]",
+                    handle.height, handle.width
+                ),
+            });
+        }
+        // Grouped under the top rung: the queue batches frames per
+        // session (the id is in the batch key), and the key only has to
+        // be a registered model for admission.
+        let key = handle
+            .ladder
+            .last()
+            .cloned()
+            .expect("open session has a non-empty ladder");
+        let now = Instant::now();
+        let slot = Slot::new();
+        let id = self.shared.ids.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            key,
+            input: frame,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            slot: Arc::clone(&slot),
+            retries: 0,
+            not_before: None,
+            kind: JobKind::Frame {
+                session: handle,
+                seq,
+            },
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => {
+                self.shared.telemetry.counters(|c| {
+                    c.submitted += 1;
+                    c.video_frames_in += 1;
+                });
+                Ok(Ticket { id, slot })
+            }
+            Err(PushError::Full { capacity }) => {
+                self.shared
+                    .telemetry
+                    .counters(|c| c.rejected_queue_full += 1);
+                Err(SubmitError::QueueFull { capacity })
+            }
+            Err(PushError::Closed) => {
+                self.shared.telemetry.counters(|c| c.rejected_shutdown += 1);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Closes a video session, returning its lifetime stats. Frames
+    /// still queued settle as [`VideoError::UnknownSession`] when a
+    /// worker reaches them. Closing twice is a typed error, not a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownSession`] when no session has this id.
+    pub fn close_video_session(&self, session_id: u64) -> Result<SessionStats, VideoError> {
+        let handle = self
+            .shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&session_id)
+            .ok_or(VideoError::UnknownSession(session_id))?;
+        handle.closed.store(true, Ordering::Release);
+        self.shared
+            .telemetry
+            .counters(|c| c.video_sessions_closed += 1);
+        let stats = handle
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats();
+        Ok(stats)
+    }
+
+    /// Lifetime stats of an open session.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownSession`] when no session has this id.
+    pub fn video_session_stats(&self, session_id: u64) -> Result<SessionStats, VideoError> {
+        let handle = self
+            .shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&session_id)
+            .cloned()
+            .ok_or(VideoError::UnknownSession(session_id))?;
+        let stats = handle
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats();
+        Ok(stats)
+    }
+
+    /// Number of currently open video sessions.
+    pub fn open_video_sessions(&self) -> usize {
+        self.shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Stops workers from consuming (producers still admit up to the
@@ -805,17 +1047,27 @@ enum GroupOutcome {
 }
 
 fn worker_loop(shared: &Shared) -> LoopEnd {
-    let batch_key =
-        |j: &Job| -> (ModelKey, Vec<usize>) { (j.key.clone(), j.input.shape().to_vec()) };
+    // Session id joins the batch key (0 = stateless image) so frames of
+    // one session form their own groups, in FIFO (= sequence) order, and
+    // never mix with image batches.
+    let batch_key = |j: &Job| -> (ModelKey, Vec<usize>, u64) {
+        let sid = match &j.kind {
+            JobKind::Image => 0,
+            JobKind::Frame { session, .. } => session.id,
+        };
+        (j.key.clone(), j.input.shape().to_vec(), sid)
+    };
     // Worker-local: plans survive across groups, die with the worker.
     // A respawned worker recompiles on first use (a few microseconds
     // against a restart backoff measured in milliseconds).
     let mut plans = PlanCache::new();
     while let Some(group) = shared.queue.pop_group(shared.cfg.max_batch, batch_key) {
-        if matches!(
-            process_group(shared, &mut plans, group),
-            GroupOutcome::WorkerCrashed
-        ) {
+        let outcome = if matches!(group[0].kind, JobKind::Frame { .. }) {
+            process_video_group(shared, &mut plans, group)
+        } else {
+            process_group(shared, &mut plans, group)
+        };
+        if matches!(outcome, GroupOutcome::WorkerCrashed) {
             return LoopEnd::Crashed;
         }
     }
@@ -886,6 +1138,135 @@ fn process_group(shared: &Shared, plans: &mut PlanCache, group: Vec<Job>) -> Gro
     } else {
         run_batch_jobs(shared, plans, &model, live)
     }
+}
+
+/// Video-session group: frames of one session, dequeued in FIFO (=
+/// sequence) order. Each frame locks the session state machine and
+/// settles independently. Panics are contained per frame — like the
+/// tiled path, a crash fails (retryably) only that frame, never the
+/// worker thread — and because the session commits state only after a
+/// frame fully computes, the retry replays against unchanged state.
+fn process_video_group(shared: &Shared, plans: &mut PlanCache, group: Vec<Job>) -> GroupOutcome {
+    let dequeued = Instant::now();
+    for job in &group {
+        shared
+            .telemetry
+            .record(Stage::QueueWait, dequeued.duration_since(job.enqueued));
+    }
+    if let Some(nb) = group.iter().filter_map(|j| j.not_before).max() {
+        if let Some(d) = nb.checked_duration_since(dequeued) {
+            std::thread::sleep(d);
+        }
+    }
+    // Frames whose deadline already passed at dequeue are dropped before
+    // compute, exactly like image requests; the any-time ladder governs
+    // frames that are *near* their deadline, passed through below.
+    let mut now = Instant::now();
+    if let Some(skew) = shared.chaos.as_ref().and_then(|c| c.deadline_skew()) {
+        shared.count_fault(FaultPoint::ClockSkew);
+        now += skew;
+    }
+    let (live, expired): (Vec<Job>, Vec<Job>) = group
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| now < d));
+    for job in expired {
+        shared.telemetry.counters(|c| c.rejected_deadline += 1);
+        job.slot.fulfill(Err(ServeError::DeadlineExpired));
+    }
+    if live.is_empty() {
+        return GroupOutcome::Done;
+    }
+    let JobKind::Frame { session, .. } = &live[0].kind else {
+        unreachable!("video groups hold only frame jobs");
+    };
+    let session = Arc::clone(session);
+    if session.closed.load(Ordering::Acquire) {
+        for job in live {
+            job.slot
+                .fulfill(Err(ServeError::Video(VideoError::UnknownSession(
+                    session.id,
+                ))));
+        }
+        return GroupOutcome::Done;
+    }
+    // Resolve the whole ladder fresh (registry reloads take effect
+    // mid-session). Transient failures retry the frames with backoff.
+    let loaded: Result<Vec<Arc<CollapsedSesr>>, String> =
+        if shared.chaos.as_ref().is_some_and(Chaos::fail_registry_load) {
+            shared.count_fault(FaultPoint::RegistryLoad);
+            Err("chaos: injected transient registry load failure".to_string())
+        } else {
+            session
+                .ladder
+                .iter()
+                .map(|k| shared.registry.get(k).map_err(|e| e.to_string()))
+                .collect()
+        };
+    let models = match loaded {
+        Ok(m) => m,
+        Err(msg) => {
+            shared.telemetry.counters(|c| c.model_load_failures += 1);
+            retry_or_fail(shared, live, &FailureKind::ModelLoad, &msg);
+            return GroupOutcome::Done;
+        }
+    };
+    if let Some(delay) = shared.chaos.as_ref().and_then(Chaos::slow_model) {
+        shared.count_fault(FaultPoint::SlowModel);
+        std::thread::sleep(delay);
+    }
+    for job in live {
+        let seq = match &job.kind {
+            JobKind::Frame { seq, .. } => *seq,
+            JobKind::Image => unreachable!("video groups hold only frame jobs"),
+        };
+        let t0 = Instant::now();
+        let outcome = {
+            let mut state = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+            // The panic is caught *inside* the block holding the lock,
+            // so the guard drops normally and the mutex is not poisoned.
+            catch_unwind(AssertUnwindSafe(|| {
+                if shared.chaos.as_ref().is_some_and(Chaos::panic_in_forward) {
+                    shared.count_fault(FaultPoint::PanicInForward);
+                    panic!("chaos: injected panic in frame settle");
+                }
+                state.process_frame(seq, &job.input, job.deadline, &models, plans)
+            }))
+        };
+        match outcome {
+            Ok(Ok(res)) => {
+                shared.telemetry.record(Stage::Compute, t0.elapsed());
+                let fs = res.stats;
+                shared.telemetry.complete(job.enqueued.elapsed());
+                shared.telemetry.counters(|c| {
+                    if fs.duplicate {
+                        c.video_frames_duplicate += 1;
+                    } else {
+                        c.video_frames_completed += 1;
+                    }
+                    c.video_tiles_skipped += fs.tiles_skipped;
+                    c.video_tiles_recomputed += fs.tiles_recomputed;
+                    c.video_tiles_degraded += fs.tiles_degraded;
+                    c.video_rung_0 += fs.rungs[0];
+                    c.video_rung_1 += fs.rungs[1];
+                    c.video_rung_2 += fs.rungs[2];
+                    c.video_rung_3 += fs.rungs[3];
+                    if fs.deadline_missed {
+                        c.video_deadline_misses += 1;
+                    }
+                });
+                job.slot.fulfill(Ok(res.output));
+            }
+            // Typed session errors (stale seq, shape drift) are terminal
+            // for the frame, not for the session or the worker.
+            Ok(Err(e)) => job.slot.fulfill(Err(ServeError::Video(e))),
+            Err(p) => {
+                let msg = panic_message(p.as_ref());
+                shared.telemetry.counters(|c| c.worker_crashes += 1);
+                retry_or_fail(shared, vec![job], &FailureKind::Crash, &msg);
+            }
+        }
+    }
+    GroupOutcome::Done
 }
 
 /// Retryable-failure settlement: each job is re-enqueued with backoff

@@ -50,6 +50,14 @@
 //!   the overload/shedding phase).
 //! * [`json`] — minimal JSON emission + strict validation (the offline
 //!   workspace has no real serde).
+//! * [`video`] — stateful streaming-SR sessions: per-tile CRC32 content
+//!   hashes skip unchanged tiles (cached HR bits blitted back), dirty
+//!   rects expand by the halo radius so composites stay bit-identical
+//!   to whole-frame runs, and an any-time M3/M5/M7/M11 ladder degrades
+//!   PSNR instead of latency under deadline pressure.
+//! * [`video_bench`] — the `video-bench` harness emitting
+//!   `BENCH_video.json` (frames/sec and PSNR-vs-deadline on synthetic
+//!   static/pan/scene-cut sequences).
 
 pub mod bench;
 pub mod chaos;
@@ -63,6 +71,8 @@ pub mod router;
 pub mod router_bench;
 pub mod supervisor;
 pub mod telemetry;
+pub mod video;
+pub mod video_bench;
 
 pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
 pub use chaos::{Chaos, ChaosConfig, FaultPoint, ShardChaos, ShardChaosConfig, ShardFaultPoint};
@@ -79,3 +89,9 @@ pub use router::{
     ShardStatus, TenantPolicy, TenantSummary,
 };
 pub use telemetry::{Snapshot, Stage, StageSummary, Telemetry};
+pub use video::{
+    FrameResult, FrameStats, SessionStats, VideoError, VideoSession, VideoSessionSpec,
+};
+pub use video_bench::{
+    run_video_bench, video_bench_report_json, VideoBenchConfig, VideoBenchReport,
+};

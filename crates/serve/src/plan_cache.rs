@@ -27,13 +27,17 @@
 //! and shapes at once); eviction is LRU via move-to-front.
 
 use crate::registry::ModelKey;
-use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan};
+use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan, TilePlanner};
 use std::sync::Arc;
 
 /// Distinct models a worker keeps flattened kernels for.
 const KERNELS_CAP: usize = 4;
 /// Distinct `(model, shape)` plans a worker keeps arenas for.
 const PLANS_CAP: usize = 8;
+/// Distinct models a worker keeps tile planners for. Sized for one
+/// video any-time ladder (m3/m5/m7/m11); the planners themselves bound
+/// their per-shape plans internally.
+const TILE_PLANNERS_CAP: usize = 4;
 
 struct KernelsEntry {
     key: ModelKey,
@@ -49,10 +53,17 @@ struct PlanEntry {
     plan: InferPlan,
 }
 
+struct TilePlannerEntry {
+    key: ModelKey,
+    model: Arc<CollapsedSesr>,
+    planner: TilePlanner,
+}
+
 /// Worker-local LRU cache of [`CollapsedKernels`] and [`InferPlan`]s.
 pub struct PlanCache {
     kernels: Vec<KernelsEntry>,
     plans: Vec<PlanEntry>,
+    tile_planners: Vec<TilePlannerEntry>,
 }
 
 impl PlanCache {
@@ -60,6 +71,7 @@ impl PlanCache {
         PlanCache {
             kernels: Vec::with_capacity(KERNELS_CAP),
             plans: Vec::with_capacity(PLANS_CAP),
+            tile_planners: Vec::with_capacity(TILE_PLANNERS_CAP),
         }
     }
 
@@ -131,6 +143,41 @@ impl PlanCache {
         self.plans.truncate(PLANS_CAP);
         (&mut self.plans[0].plan, false)
     }
+
+    /// A [`TilePlanner`] for `model`, created on first use and shared by
+    /// every tile shape that model runs at. Video sessions walk the
+    /// any-time ladder per dirty tile, so one worker holds one warm
+    /// planner per rung; each planner bounds its per-shape plans with
+    /// its own LRU. The `bool` is `true` on a cache hit. Staleness
+    /// follows the same `Arc::ptr_eq` rule as the other levels.
+    pub fn tile_planner_for(
+        &mut self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+    ) -> (&mut TilePlanner, bool) {
+        if let Some(idx) = self
+            .tile_planners
+            .iter()
+            .position(|e| e.key == *key && Arc::ptr_eq(&e.model, model))
+        {
+            let entry = self.tile_planners.remove(idx);
+            self.tile_planners.insert(0, entry);
+            return (&mut self.tile_planners[0].planner, true);
+        }
+        self.tile_planners
+            .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
+        let (kernels, _) = self.kernels_for(key, model);
+        self.tile_planners.insert(
+            0,
+            TilePlannerEntry {
+                key: key.clone(),
+                model: model.clone(),
+                planner: TilePlanner::new(kernels),
+            },
+        );
+        self.tile_planners.truncate(TILE_PLANNERS_CAP);
+        (&mut self.tile_planners[0].planner, false)
+    }
 }
 
 impl Default for PlanCache {
@@ -187,6 +234,26 @@ mod tests {
         // The stale entry was dropped, not just shadowed.
         assert_eq!(cache.plans.len(), 1);
         assert_eq!(cache.kernels.len(), 1);
+    }
+
+    #[test]
+    fn tile_planners_are_cached_per_model_and_reloaded_on_staleness() {
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+        let (_, hit) = cache.tile_planner_for(&key, &model);
+        assert!(!hit, "first lookup must build the planner");
+        let (planner, hit) = cache.tile_planner_for(&key, &model);
+        assert!(hit, "second lookup must reuse it");
+        // Warm per-shape plans inside the planner survive across lookups.
+        let _ = planner.plan_for(8, 8);
+        let (planner, _) = cache.tile_planner_for(&key, &model);
+        assert_eq!(planner.cached_plans(), 1);
+        // A reload (same key, new Arc) invalidates the planner.
+        let reloaded = tiny_model();
+        let (planner, hit) = cache.tile_planner_for(&key, &reloaded);
+        assert!(!hit, "reload must rebuild the planner");
+        assert_eq!(planner.cached_plans(), 0);
     }
 
     #[test]

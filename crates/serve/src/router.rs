@@ -44,11 +44,12 @@
 use crate::chaos::{splitmix64, ShardChaos, ShardChaosConfig};
 use crate::engine::{
     jittered_backoff, validate_input, Completion, Engine, EngineConfig, Health, ServeError,
-    ShutdownReport, SubmitError,
+    ShutdownReport, SubmitError, Ticket,
 };
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::supervisor::supervisor_loop;
 use crate::telemetry::Histogram;
+use crate::video::{SessionStats, VideoError, VideoSessionSpec};
 use sesr_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -169,6 +170,9 @@ pub struct RouterConfig {
     /// Completions a respawned (half-open) shard must serve before its
     /// breaker closes and it rejoins the ring.
     pub half_open_successes: u64,
+    /// Concurrent open video sessions allowed per tenant; the cap
+    /// behind [`VideoError::SessionLimit`].
+    pub max_sessions_per_tenant: usize,
     /// Shard-level fault injection (`None` = no faults).
     pub shard_chaos: Option<ShardChaosConfig>,
 }
@@ -203,6 +207,7 @@ impl Default for RouterConfig {
             respawn_backoff: Duration::from_millis(5),
             respawn_backoff_cap: Duration::from_millis(200),
             half_open_successes: 1,
+            max_sessions_per_tenant: 4,
             shard_chaos: None,
         }
     }
@@ -238,6 +243,9 @@ pub enum RouterSubmitError {
     },
     /// Every shard's circuit breaker is open.
     NoHealthyShard,
+    /// A video-session request failed with a typed session error
+    /// (unknown or lost session, per-tenant cap, bad ladder geometry).
+    Video(VideoError),
 }
 
 impl fmt::Display for RouterSubmitError {
@@ -262,6 +270,7 @@ impl fmt::Display for RouterSubmitError {
             RouterSubmitError::NoHealthyShard => {
                 write!(f, "rejected: no healthy shard (all breakers open)")
             }
+            RouterSubmitError::Video(e) => write!(f, "rejected: video session: {e}"),
         }
     }
 }
@@ -1018,6 +1027,23 @@ pub(crate) struct RouterCore {
     buckets: Mutex<HashMap<(Arc<str>, usize), Bucket>>,
     policies: HashMap<String, TenantPolicy>,
     ids: AtomicU64,
+    /// Open video sessions: router-level id → shard pin. Sessions are
+    /// pinned to the shard (and engine generation) that opened them; a
+    /// replaced shard loses its session state, surfaced as
+    /// [`VideoError::SessionLost`] on next touch.
+    video_sessions: Mutex<HashMap<u64, VideoPin>>,
+    video_ids: AtomicU64,
+}
+
+/// Where one video session lives in the fleet.
+struct VideoPin {
+    tenant: Arc<str>,
+    shard: usize,
+    /// Shard generation at open; a mismatch means the engine (and the
+    /// session state inside it) was replaced.
+    generation: u64,
+    /// The session's id inside that shard's engine.
+    engine_session: u64,
 }
 
 impl RouterCore {
@@ -1065,6 +1091,33 @@ impl RouterCore {
             return Some(primary);
         }
         self.rendezvous(point, Some(primary))
+    }
+
+    /// Resolves a video-session pin to `(shard, engine_session)`. A pin
+    /// whose shard generation moved on is pruned here: the replacement
+    /// engine never held the session's hashes or HR plane, so the
+    /// session is typed-lost rather than silently restarted.
+    fn resolve_video_pin(&self, id: u64) -> Result<(usize, u64), VideoError> {
+        let mut sessions = self
+            .video_sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let pin = sessions.get(&id).ok_or(VideoError::UnknownSession(id))?;
+        let live = self.shards[pin.shard].generation.load(Ordering::Acquire) == pin.generation;
+        if !live {
+            sessions.remove(&id);
+            return Err(VideoError::SessionLost);
+        }
+        Ok((pin.shard, pin.engine_session))
+    }
+
+    fn shard_engine(&self, idx: usize) -> Arc<Engine> {
+        Arc::clone(
+            &self.shards[idx]
+                .engine
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// Steps `key` down the degrade chain in proportion to how deep into
@@ -1192,11 +1245,23 @@ fn on_engine_done(
             }
         }
         Err(ServeError::Rejected(
-            e @ (SubmitError::UnknownModel(_) | SubmitError::InvalidInput { .. }),
+            e @ (SubmitError::UnknownModel(_)
+            | SubmitError::InvalidInput { .. }
+            | SubmitError::UnknownSession(_)),
         )) => {
-            // Both are validated at router admission, so this is
-            // unreachable unless the registry changed underneath; fail
-            // typed rather than panic so no ticket ever hangs.
+            // All validated at router admission (and image jobs never
+            // carry a session), so this is unreachable unless the
+            // registry changed underneath; fail typed rather than panic
+            // so no ticket ever hangs.
+            settle(
+                core,
+                &job,
+                Err(RouterServeError::ShardLost(format!("unroutable: {e}"))),
+            );
+        }
+        Err(ServeError::Video(e)) => {
+            // Image jobs never produce video-session errors; treat an
+            // impossible outcome as a lost shard, typed.
             settle(
                 core,
                 &job,
@@ -1334,6 +1399,8 @@ impl Router {
             buckets: Mutex::new(HashMap::new()),
             policies,
             ids: AtomicU64::new(0),
+            video_sessions: Mutex::new(HashMap::new()),
+            video_ids: AtomicU64::new(1),
         });
         let dispatchers = (0..core.cfg.shards)
             .map(|i| {
@@ -1474,6 +1541,146 @@ impl Router {
                 }
             },
         }
+    }
+
+    /// Opens a streaming video session for `tenant`, pinned to the shard
+    /// its `(tenant, top rung)` pair routes to. Frames fed to the
+    /// returned id land on that shard for the session's lifetime —
+    /// temporal reuse state (tile hashes, the cached HR plane) lives in
+    /// exactly one engine. If the shard is later replaced, the state is
+    /// gone and the session settles as [`VideoError::SessionLost`] on
+    /// its next touch; reopen to continue.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterSubmitError::Video`] wrapping [`VideoError::SessionLimit`]
+    /// at the per-tenant cap or the session geometry errors;
+    /// [`RouterSubmitError::NoHealthyShard`] / `Draining` for fleet
+    /// conditions.
+    pub fn open_video_session(
+        &self,
+        tenant: &str,
+        spec: VideoSessionSpec,
+    ) -> Result<u64, RouterSubmitError> {
+        let core = &self.core;
+        if !core.running() {
+            core.telemetry.counters(|c| c.rejected_draining += 1);
+            return Err(RouterSubmitError::Draining);
+        }
+        let Some(top) = spec.ladder.last().cloned() else {
+            return Err(RouterSubmitError::Video(VideoError::EmptyLadder));
+        };
+        let tenant: Arc<str> = Arc::from(tenant);
+        {
+            // Per-tenant cap. Pins whose shard was replaced are pruned
+            // first — dead sessions must not hold cap space.
+            let mut sessions = core
+                .video_sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sessions.retain(|_, pin| {
+                core.shards[pin.shard].generation.load(Ordering::Acquire) == pin.generation
+            });
+            let open = sessions.values().filter(|p| p.tenant == tenant).count();
+            let limit = core.cfg.max_sessions_per_tenant;
+            if open >= limit {
+                return Err(RouterSubmitError::Video(VideoError::SessionLimit { limit }));
+            }
+        }
+        let point = route_point(&tenant, &top);
+        let Some(shard_idx) = core.pick_shard(point) else {
+            core.telemetry.counters(|c| c.rejected_no_shard += 1);
+            return Err(RouterSubmitError::NoHealthyShard);
+        };
+        let generation = core.shards[shard_idx].generation.load(Ordering::Acquire);
+        let engine_session = core
+            .shard_engine(shard_idx)
+            .open_video_session(spec)
+            .map_err(RouterSubmitError::Video)?;
+        let id = core.video_ids.fetch_add(1, Ordering::Relaxed);
+        core.video_sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                id,
+                VideoPin {
+                    tenant,
+                    shard: shard_idx,
+                    generation,
+                    engine_session,
+                },
+            );
+        Ok(id)
+    }
+
+    /// Feeds frame `seq` to an open session. Frames bypass the weighted
+    /// fair queue — they are pinned to one shard and settle through the
+    /// engine's own bounded queue (backpressure surfaces as
+    /// [`RouterSubmitError::Overloaded`]). The returned [`Ticket`]
+    /// yields the composited HR frame; settlement is idempotent per
+    /// `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterSubmitError::Video`] wrapping
+    /// [`VideoError::UnknownSession`] / [`VideoError::SessionLost`],
+    /// plus the fleet-level rejections.
+    pub fn feed_video_frame(
+        &self,
+        session_id: u64,
+        seq: u64,
+        frame: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, RouterSubmitError> {
+        let core = &self.core;
+        if !core.running() {
+            core.telemetry.counters(|c| c.rejected_draining += 1);
+            return Err(RouterSubmitError::Draining);
+        }
+        let (shard_idx, engine_session) = core
+            .resolve_video_pin(session_id)
+            .map_err(RouterSubmitError::Video)?;
+        core.shard_engine(shard_idx)
+            .feed_video_frame(engine_session, seq, frame, deadline)
+            .map_err(|e| match e {
+                SubmitError::QueueFull { .. } => RouterSubmitError::Overloaded,
+                SubmitError::Draining | SubmitError::ShuttingDown => RouterSubmitError::Draining,
+                SubmitError::InvalidInput { reason } => RouterSubmitError::InvalidInput { reason },
+                SubmitError::UnknownModel(k) => RouterSubmitError::UnknownModel(k),
+                // The pin resolved but the engine lost the session: only
+                // possible across a replace race — typed, not hung.
+                SubmitError::UnknownSession(_) => RouterSubmitError::Video(VideoError::SessionLost),
+            })
+    }
+
+    /// Closes a video session and returns its lifetime stats. Closing a
+    /// session whose shard was replaced returns
+    /// [`VideoError::SessionLost`] (the pin is pruned either way).
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownSession`] / [`VideoError::SessionLost`].
+    pub fn close_video_session(&self, session_id: u64) -> Result<SessionStats, VideoError> {
+        let core = &self.core;
+        let (shard_idx, engine_session) = core.resolve_video_pin(session_id)?;
+        core.video_sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&session_id);
+        core.shard_engine(shard_idx)
+            .close_video_session(engine_session)
+    }
+
+    /// Lifetime stats of an open video session.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownSession`] / [`VideoError::SessionLost`].
+    pub fn video_session_stats(&self, session_id: u64) -> Result<SessionStats, VideoError> {
+        let (shard_idx, engine_session) = self.core.resolve_video_pin(session_id)?;
+        self.core
+            .shard_engine(shard_idx)
+            .video_session_stats(engine_session)
     }
 
     /// The fleet telemetry sink.

@@ -225,6 +225,47 @@ pub struct Counters {
     /// Largest plan buffer arena used by any single request, in bytes
     /// (max semantics, not a sum).
     pub peak_arena_bytes: u64,
+    /// Video sessions opened.
+    pub video_sessions_opened: u64,
+    /// Video sessions closed.
+    pub video_sessions_closed: u64,
+    /// Video frames accepted into sessions.
+    pub video_frames_in: u64,
+    /// Video frames settled with a composited output.
+    pub video_frames_completed: u64,
+    /// Duplicate frame submissions settled idempotently from the cached
+    /// output (no recompute).
+    pub video_frames_duplicate: u64,
+    /// Tiles skipped because their halo-expanded input was unchanged —
+    /// cached HR output blitted back verbatim.
+    pub video_tiles_skipped: u64,
+    /// Dirty tiles recomputed through the model ladder.
+    pub video_tiles_recomputed: u64,
+    /// Dirty tiles run below the ladder's top rung (by difficulty or
+    /// deadline pressure) — the any-time degradation count.
+    pub video_tiles_degraded: u64,
+    /// Ladder histogram: tiles computed at rung 0 (cheapest model).
+    pub video_rung_0: u64,
+    /// Tiles computed at rung 1.
+    pub video_rung_1: u64,
+    /// Tiles computed at rung 2.
+    pub video_rung_2: u64,
+    /// Tiles computed at rung 3 and above (clamped into this bucket).
+    pub video_rung_3: u64,
+    /// Frames whose processing finished after their deadline.
+    pub video_deadline_misses: u64,
+}
+
+impl Counters {
+    /// Bumps one ladder-rung bucket (rungs past 3 clamp into the last).
+    pub fn bump_video_rung(&mut self, rung: usize) {
+        match rung {
+            0 => self.video_rung_0 += 1,
+            1 => self.video_rung_1 += 1,
+            2 => self.video_rung_2 += 1,
+            _ => self.video_rung_3 += 1,
+        }
+    }
 }
 
 struct Inner {
@@ -395,6 +436,19 @@ impl Snapshot {
             .int("plan_cache_hits", c.plan_cache_hits)
             .int("plan_cache_misses", c.plan_cache_misses)
             .int("peak_arena_bytes", c.peak_arena_bytes)
+            .int("video_sessions_opened", c.video_sessions_opened)
+            .int("video_sessions_closed", c.video_sessions_closed)
+            .int("video_frames_in", c.video_frames_in)
+            .int("video_frames_completed", c.video_frames_completed)
+            .int("video_frames_duplicate", c.video_frames_duplicate)
+            .int("video_tiles_skipped", c.video_tiles_skipped)
+            .int("video_tiles_recomputed", c.video_tiles_recomputed)
+            .int("video_tiles_degraded", c.video_tiles_degraded)
+            .int("video_rung_0", c.video_rung_0)
+            .int("video_rung_1", c.video_rung_1)
+            .int("video_rung_2", c.video_rung_2)
+            .int("video_rung_3", c.video_rung_3)
+            .int("video_deadline_misses", c.video_deadline_misses)
             .finish();
         JsonObject::new()
             .num("elapsed_ms", self.elapsed_ms)
@@ -522,5 +576,47 @@ mod tests {
         ] {
             assert!(json.contains(plan_counter), "missing {plan_counter}");
         }
+    }
+
+    #[test]
+    fn video_counters_round_trip_through_json() {
+        let t = Telemetry::new();
+        t.counters(|c| {
+            c.video_sessions_opened = 2;
+            c.video_sessions_closed = 1;
+            c.video_frames_in = 30;
+            c.video_frames_completed = 29;
+            c.video_frames_duplicate = 3;
+            c.video_tiles_skipped = 500;
+            c.video_tiles_recomputed = 77;
+            c.video_tiles_degraded = 12;
+            c.bump_video_rung(0);
+            c.bump_video_rung(1);
+            c.bump_video_rung(1);
+            c.bump_video_rung(3);
+            c.bump_video_rung(9); // clamps into the last bucket
+            c.video_deadline_misses = 1;
+        });
+        let json = t.snapshot().to_json();
+        crate::json::validate(&json).unwrap();
+        let v = crate::json::JsonValue::parse(&json).unwrap();
+        let counter = |name: &str| {
+            v.get(&["counters", name])
+                .and_then(crate::json::JsonValue::as_f64)
+                .unwrap_or(-1.0)
+        };
+        assert_eq!(counter("video_sessions_opened"), 2.0);
+        assert_eq!(counter("video_sessions_closed"), 1.0);
+        assert_eq!(counter("video_frames_in"), 30.0);
+        assert_eq!(counter("video_frames_completed"), 29.0);
+        assert_eq!(counter("video_frames_duplicate"), 3.0);
+        assert_eq!(counter("video_tiles_skipped"), 500.0);
+        assert_eq!(counter("video_tiles_recomputed"), 77.0);
+        assert_eq!(counter("video_tiles_degraded"), 12.0);
+        assert_eq!(counter("video_rung_0"), 1.0);
+        assert_eq!(counter("video_rung_1"), 2.0);
+        assert_eq!(counter("video_rung_2"), 0.0);
+        assert_eq!(counter("video_rung_3"), 2.0);
+        assert_eq!(counter("video_deadline_misses"), 1.0);
     }
 }

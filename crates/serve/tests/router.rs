@@ -569,7 +569,7 @@ fn run_fleet_soak(shard_seed: u64) -> Result<(), Vec<String>> {
         }
         i += 1;
         let tenant = format!("tenant-{}", i % 6);
-        let class = if i % 4 == 0 {
+        let class = if i.is_multiple_of(4) {
             Priority::Batch
         } else {
             Priority::Interactive

@@ -54,6 +54,17 @@ else
     echo "bench-gate: no BENCH_serve.json baseline; skipping serve gate" >&2
 fi
 
+if [[ -f BENCH_video.json ]]; then
+    echo "-- bench-gate: streaming-video reuse throughput --"
+    sesr video-bench --height 96 --width 96 --tile 24 --frames 24 \
+        --scale 2 --expanded 16 --seed 7 --overload 2 \
+        --ladder m3,m5,m7,m11 --out "$tmp/BENCH_video.json"
+    sesr bench-gate --baseline BENCH_video.json \
+        --fresh "$tmp/BENCH_video.json" --max-regress "$MAX_REGRESS"
+else
+    echo "bench-gate: no BENCH_video.json baseline; skipping video gate" >&2
+fi
+
 if [[ -f BENCH_router.json ]]; then
     echo "-- bench-gate: router goodput scaling --"
     sesr router-bench --seed 0xB0A7 --phase-ms 3000 --shards-low 1 \

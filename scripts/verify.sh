@@ -14,6 +14,7 @@
 #   chaos       deterministic fault-injection soak (fixed seed, bounded)
 #   router      sharded-router tests + fleet-scope shard-chaos soak
 #   router-bench router-bench smoke run + shed-order/ledger check
+#   video       streaming-video session tests + video-bench smoke run
 #   infer       planned-inference identity + zero-allocation proofs
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
 #   bench-gate  fresh train/serve/infer/router bench runs vs baselines
@@ -90,6 +91,39 @@ PY
     fi
 }
 
+step_video() {
+    # Streaming-video session tests (bit-identity proptest, idempotent
+    # settlement, router pinning/caps, chaos), then a small video-bench
+    # run. The CLI exits non-zero unless reuse stayed bit-identical, the
+    # static sequence cleared the 5x speedup floor, pan mixed skip with
+    # recompute, and the any-time phase held its deadline; the python
+    # check re-reads the artifact from the shell.
+    cargo test -q --offline -p sesr-serve --test video
+    local out
+    out="$(mktemp -d)/BENCH_video_smoke.json"
+    # Baseline geometry and ladder (the reuse/halo ratios and the
+    # any-time headroom depend on both) but narrower models and fewer
+    # frames, so the step stays a smoke run.
+    cargo run --release --offline -p sesr-cli -- video-bench \
+        --height 96 --width 96 --tile 24 --frames 12 --expanded 8 \
+        --out "$out"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$out" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+r = d['results']
+assert r['static']['speedup_x'] >= 5.0, 'static reuse below 5x'
+assert r['static']['tiles_skipped'] > 0, 'static never skipped a tile'
+assert r['pan']['tiles_skipped'] > 0 and r['pan']['tiles_recomputed'] > 0, \
+    'pan must mix reuse and recompute'
+assert d['problems'] == [], d['problems']
+print('ok:', sys.argv[1])
+PY
+    else
+        grep -q '"speedup_x"' "$out"
+    fi
+}
+
 step_infer() {
     # The planner's two load-bearing guarantees, proven by dedicated test
     # binaries: bit-identity to the reference executor across
@@ -128,7 +162,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos router router-bench infer bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos router router-bench video infer bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
