@@ -19,6 +19,7 @@ use sesr_core::infer_plan::{CollapsedKernels, InferPlan};
 use sesr_core::model::Sesr;
 use sesr_serve::bench::arch_config;
 use sesr_serve::json::{array, JsonObject};
+use sesr_tensor::simd::{set_kernel_variant, KernelVariant};
 use sesr_tensor::Tensor;
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,6 +46,12 @@ pub struct InferBenchConfig {
     pub w: usize,
     /// Cap the intra-op thread pool; `None` = autodetect.
     pub threads: Option<usize>,
+    /// Pin the microkernel variant by name (`scalar`, `avx2`, `avx2fma`,
+    /// `neon`); `None` runs the plan-level autotuner (Measure policy) and
+    /// reports what it picked. Either way the process-global variant is
+    /// pinned to the same choice so the reference path — the bit-identity
+    /// gate's other side — runs the same arithmetic.
+    pub variant: Option<String>,
 }
 
 impl Default for InferBenchConfig {
@@ -59,6 +66,7 @@ impl Default for InferBenchConfig {
             h: 180,
             w: 320,
             threads: None,
+            variant: None,
         }
     }
 }
@@ -82,6 +90,9 @@ pub struct InferArchResult {
     pub speedup: f64,
     /// The plan's fixed scratch footprint (allocated once at build).
     pub arena_bytes: usize,
+    /// Stable name of the microkernel variant the planned path ran on
+    /// (pinned by config or chosen by the plan autotuner).
+    pub variant: &'static str,
     /// Per-layer planned wall-clock ms, summed over the timed runs
     /// (index = execution order: 5x5 head conv, 3x3 middles, 5x5 tail).
     pub layer_ms: Vec<f64>,
@@ -115,6 +126,23 @@ fn bench_arch(cfg: &InferBenchConfig, arch: &str) -> Result<InferArchResult, Str
     let mut out = vec![0.0f32; cfg.h * s * cfg.w * s];
     let layers = plan.num_steps();
     let mut layer_nanos = vec![0u64; layers];
+
+    // Variant selection: honor an explicit pin, otherwise let the plan
+    // autotuner measure the detected candidates on this exact workload.
+    let variant = match cfg.variant.as_deref() {
+        Some(name) => {
+            let v = KernelVariant::parse(name)
+                .ok_or_else(|| format!("unknown kernel variant '{name}'"))?;
+            // set_variant falls back to the best available implementation
+            // when `v` cannot run here (e.g. avx2 requested on aarch64).
+            plan.set_variant(v)
+        }
+        None => plan.autotune_variant(),
+    };
+    // The reference path's GEMM runs the process-global variant; pin it
+    // to the plan's choice so the bit-identity gate below compares like
+    // arithmetic (avx2fma chains differ from scalar chains by design).
+    set_kernel_variant(variant);
 
     // Correctness gate: the fast path must reproduce the reference bits.
     plan.run_image_into(lr.data(), &mut out);
@@ -158,6 +186,7 @@ fn bench_arch(cfg: &InferBenchConfig, arch: &str) -> Result<InferArchResult, Str
         planned_images_per_sec: per_sec(planned_ms),
         speedup: reference_ms / planned_ms,
         arena_bytes: plan.arena_bytes(),
+        variant: variant.name(),
         layer_ms: layer_nanos.iter().map(|&n| n as f64 / 1e6).collect(),
     })
 }
@@ -183,6 +212,7 @@ pub fn infer_bench_report_json(cfg: &InferBenchConfig, results: &[InferArchResul
             cfg.threads
                 .unwrap_or_else(sesr_tensor::parallel::num_threads) as u64,
         )
+        .str("variant", cfg.variant.as_deref().unwrap_or("auto"))
         .finish();
     let mut results_obj = JsonObject::new();
     for r in results {
@@ -194,6 +224,7 @@ pub fn infer_bench_report_json(cfg: &InferBenchConfig, results: &[InferArchResul
             .num("planned_images_per_sec", r.planned_images_per_sec)
             .num("speedup", r.speedup)
             .int("arena_bytes", r.arena_bytes as u64)
+            .str("variant", r.variant)
             .raw(
                 "layer_ms",
                 &array(r.layer_ms.iter().map(|ms| format!("{ms:.6}"))),
@@ -231,6 +262,9 @@ mod tests {
 
     #[test]
     fn runs_and_reports_valid_json() {
+        // bench_arch pins the process-global variant; serialize against
+        // other tests whose assertions are bitwise.
+        let _guard = sesr_tensor::simd::variant_test_lock();
         let cfg = tiny();
         let results = run_infer_bench(&cfg).unwrap();
         assert_eq!(results.len(), 1);
@@ -246,6 +280,40 @@ mod tests {
         assert!(json.contains("\"bench\":\"sesr-infer\""));
         assert!(json.contains("\"planned_images_per_sec\""));
         assert!(json.contains("\"layer_ms\""));
+        // The autotuned choice is serialized per arch; the config echoes
+        // that no pin was requested.
+        assert!(json.contains(&format!("\"variant\":\"{}\"", r.variant)));
+        assert!(json.contains("\"variant\":\"auto\""));
+    }
+
+    #[test]
+    fn pinned_variant_is_honored_and_reported() {
+        let _guard = sesr_tensor::simd::variant_test_lock();
+        let cfg = InferBenchConfig {
+            variant: Some("scalar".to_string()),
+            ..tiny()
+        };
+        let results = run_infer_bench(&cfg).unwrap();
+        assert_eq!(results[0].variant, "scalar");
+        let json = infer_bench_report_json(&cfg, &results);
+        sesr_serve::json::validate(&json).unwrap();
+        assert!(json.contains("\"variant\":\"scalar\""));
+        // Restore the detected default (detection order ends at the best
+        // available variant) for any later test in this binary.
+        let best = *sesr_tensor::simd::detected_variants()
+            .last()
+            .expect("non-empty");
+        sesr_tensor::simd::set_kernel_variant(best);
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        let cfg = InferBenchConfig {
+            variant: Some("mmx".to_string()),
+            ..tiny()
+        };
+        let err = run_infer_bench(&cfg).unwrap_err();
+        assert!(err.contains("unknown kernel variant"), "{err}");
     }
 
     #[test]

@@ -90,7 +90,8 @@ USAGE:
                 [--threads N] [--out BENCH_train.json]
   sesr infer-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
                 [--iters 30] [--warmup 5] [--height 180] [--width 320]
-                [--threads N] [--out BENCH_infer.json]
+                [--threads N] [--variant scalar|avx2|avx2fma|neon]
+                [--out BENCH_infer.json]
   sesr serve-chaos [--seed 0xC4A05] [--requests 400] [--workers 3]
                 [--concurrency 12] [--height 8] [--width 8]
                 [--panic-per-mille 150] [--slow-per-mille 150]
@@ -98,8 +99,8 @@ USAGE:
                 [--min-faults N]
   sesr router-bench [--seed 0xB0A7] [--phase-ms 3000] [--shards-low 1]
                 [--shards-high 4] [--tenants 3] [--interactive-hz 30]
-                [--deadline-ms 40] [--heavy-hz 12] [--big-height 288]
-                [--big-width 384] [--overload-factor 2]
+                [--deadline-ms 40] [--heavy-hz 12] [--big-height 432]
+                [--big-width 576] [--overload-factor 2]
                 [--overload-heavy-hz 16] [--out BENCH_router.json]
   sesr router-chaos [--seed 0xF1EE7] [--requests 450] [--shards 3]
                 [--concurrency 24] [--kill-per-mille 12]
@@ -1116,6 +1117,7 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
         h: args.parsed_or("height", 180usize)?,
         w: args.parsed_or("width", 320usize)?,
         threads,
+        variant: args.get("variant").map(str::to_string),
     };
     let out_path = args.get("out").unwrap_or("BENCH_infer.json").to_string();
 
@@ -1129,7 +1131,7 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
     let mut summary = String::new();
     for r in &results {
         summary.push_str(&format!(
-            "infer-bench {}x{} {}x{}: planned {:.2} img/s vs reference {:.2} img/s ({:.2}x), arena {} KiB
+            "infer-bench {}x{} {}x{}: planned {:.2} img/s vs reference {:.2} img/s ({:.2}x), arena {} KiB, variant {}
 ",
             r.arch,
             cfg.scale,
@@ -1139,6 +1141,7 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
             r.reference_images_per_sec,
             r.speedup,
             r.arena_bytes / 1024,
+            r.variant,
         ));
         for (i, ms) in r.layer_ms.iter().enumerate() {
             summary.push_str(&format!(
@@ -1511,6 +1514,9 @@ mod tests {
 
     #[test]
     fn infer_bench_writes_valid_report() {
+        // infer-bench pins the process-global kernel variant around its
+        // bit-identity gate; keep other bitwise tests out of that window.
+        let _guard = sesr_tensor::simd::variant_test_lock();
         let out_path = tmp("bench_infer_test.json");
         std::fs::remove_file(&out_path).ok();
         let report = run(&args(&format!(
@@ -1522,11 +1528,26 @@ mod tests {
         assert!(report.contains("infer-bench m3x2"));
         assert!(report.contains("img/s"));
         assert!(report.contains("arena"));
+        assert!(report.contains("variant"));
         let json = std::fs::read_to_string(&out_path).unwrap();
         sesr_serve::json::validate(&json).unwrap();
         assert!(json.contains("\"bench\":\"sesr-infer\""));
         assert!(json.contains("\"planned_images_per_sec\""));
         assert!(json.contains("\"layer_ms\""));
+        assert!(json.contains("\"variant\""));
+
+        // An explicit pin round-trips into the report.
+        let report = run(&args(&format!(
+            "infer-bench --archs m3 --expanded 4 --iters 1 --warmup 0 \
+             --height 16 --width 20 --threads 1 --variant scalar --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(report.contains("variant scalar"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"variant\":\"scalar\""));
+        let best = *sesr_tensor::simd::detected_variants().last().unwrap();
+        sesr_tensor::simd::set_kernel_variant(best);
     }
 
     #[test]

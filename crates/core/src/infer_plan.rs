@@ -47,10 +47,14 @@
 //! the full argument.
 
 use crate::collapsed::{Act, CollapsedSesr};
+use sesr_tensor::autotune::{pick, time_ns};
 use sesr_tensor::conv::Conv2dParams;
 use sesr_tensor::gemm::KC;
 use sesr_tensor::parallel::{num_threads, parallel_for, SendPtr};
-use sesr_tensor::winograd::{input_transform, kernel_transform, output_transform};
+use sesr_tensor::simd::{
+    detected_variants, kernel_variant, microkernel, KernelVariant, Microkernel, RowAct,
+};
+use sesr_tensor::winograd::kernel_transform;
 use sesr_tensor::Tensor;
 use std::sync::Arc;
 use std::time::Instant;
@@ -210,6 +214,7 @@ struct Step {
 /// exactly the per-element operations of the unfused path, in the same
 /// order: `+ bias`, activation, residuals, destination permutation.
 struct Epilogue<'a> {
+    mk: &'a dyn Microkernel,
     bias: &'a [f32],
     act: &'a ActKind,
     double_output: bool,
@@ -239,42 +244,20 @@ impl Epilogue<'_> {
     /// `+ input`, destination permutation.
     fn emit_row(&self, co: usize, y: usize, raw: &mut [f32], h: usize, w: usize) {
         debug_assert_eq!(raw.len(), w);
-        let b = self.bias[co];
-        match self.act {
-            ActKind::None => {
-                for v in raw.iter_mut() {
-                    *v += b;
-                }
-            }
-            ActKind::Relu => {
-                for v in raw.iter_mut() {
-                    *v = (*v + b).max(0.0);
-                }
-            }
-            ActKind::PRelu(ref a) => {
-                let al = a[co];
-                for v in raw.iter_mut() {
-                    let t = *v + b;
-                    *v = if t >= 0.0 { t } else { al * t };
-                }
-            }
-        }
+        let act = match self.act {
+            ActKind::None => RowAct::Linear,
+            ActKind::Relu => RowAct::Relu,
+            ActKind::PRelu(ref a) => RowAct::PRelu(a[co]),
+        };
+        self.mk.bias_act_row(raw, self.bias[co], act);
         if self.double_output {
-            for v in raw.iter_mut() {
-                *v += *v;
-            }
+            self.mk.double_row(raw);
         }
         if let Some(first) = self.add_first {
-            let f = &first[co * h * w + y * w..][..w];
-            for (v, &fv) in raw.iter_mut().zip(f) {
-                *v += fv;
-            }
+            self.mk.add_row(raw, &first[co * h * w + y * w..][..w]);
         }
         if let Some(inp) = self.input_plane {
-            let ir = &inp[y * w..][..w];
-            for (v, &iv) in raw.iter_mut().zip(ir) {
-                *v += iv;
-            }
+            self.mk.add_row(raw, &inp[y * w..][..w]);
         }
         match &self.dst {
             // SAFETY (both arms): bands write disjoint row ranges of the
@@ -282,9 +265,8 @@ impl Epilogue<'_> {
             // call, and the plan's band list partitions `0..h`.
             Dst::Plane { ptr, off } => {
                 let base = off + co * h * w + y * w;
-                for (x, &v) in raw.iter().enumerate() {
-                    unsafe { ptr.write(base + x, v) }
-                }
+                let dstrow = unsafe { ptr.slice_mut(base, raw.len()) };
+                dstrow.copy_from_slice(raw);
             }
             Dst::Scatter {
                 ptr,
@@ -313,6 +295,12 @@ pub struct InferPlan {
     kernels: Arc<CollapsedKernels>,
     h: usize,
     w: usize,
+    /// Microkernel variant every step dispatches through. Defaults to the
+    /// process-global [`kernel_variant`]; [`InferPlan::autotune_variant`]
+    /// measures and pins the fastest one for this plan's shapes. Within a
+    /// variant, output is bit-identical to the reference path run on the
+    /// same variant; *between* variants, FMA contraction changes bits.
+    variant: KernelVariant,
     bands: Vec<(usize, usize)>,
     steps: Vec<Step>,
     arena: Vec<f32>,
@@ -350,19 +338,20 @@ impl InferPlan {
             .map(|l| l.cout * h * w)
             .max()
             .unwrap_or(0);
-        // Winograd layers keep one transformed-input tile set, one
-        // accumulated m-tile per output channel, and two output rows per
-        // channel; direct-conv layers keep two accumulator rows (current
-        // total + current k-block). Both are tiny and cache-resident by
-        // construction.
+        // Winograd layers keep one gathered and one transformed input
+        // tile set, one accumulated m-tile plus one 2x2 output tile per
+        // output channel, and two output rows per channel; direct-conv
+        // layers keep one running row per output channel (k-block-major
+        // execution) plus one k-block staging row. Both are small and
+        // cache-resident by construction.
         let slab_len = kernels
             .layers
             .iter()
             .map(|l| {
                 if l.wino_u.is_some() {
-                    l.cin * 16 + l.cout * 16 + l.cout * 2 * w
+                    2 * l.cin * 16 + l.cout * 16 + l.cout * 4 + l.cout * 2 * w
                 } else {
-                    2 * w
+                    l.cout * w + w
                 }
             })
             .max()
@@ -377,6 +366,7 @@ impl InferPlan {
             kernels,
             h,
             w,
+            variant: kernel_variant(),
             bands,
             steps,
             arena,
@@ -392,6 +382,44 @@ impl InferPlan {
     /// The `(h, w)` LR shape this plan was compiled for.
     pub fn shape(&self) -> (usize, usize) {
         (self.h, self.w)
+    }
+
+    /// The microkernel variant this plan dispatches through.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// Pins the plan to `v` (degraded to the best available variant if `v`
+    /// cannot run here) and returns the effective choice. Callers that
+    /// need bit-identity with another executor (the reference path, a
+    /// whole-frame plan next to tile plans) must pin both sides to the
+    /// same variant.
+    pub fn set_variant(&mut self, v: KernelVariant) -> KernelVariant {
+        self.variant = microkernel(v).variant();
+        self.variant
+    }
+
+    /// Measures one full planned run per detected variant (twice, scored
+    /// by minimum wall time; ties resolve toward detection order, i.e.
+    /// the fastest-assumed variant) and pins the winner. Runs on a
+    /// synthetic input and allocates scratch — call at plan-compile time,
+    /// never in steady state. Deterministic given the measurements; see
+    /// [`pick`].
+    pub fn autotune_variant(&mut self) -> KernelVariant {
+        let cands = detected_variants();
+        if cands.len() > 1 {
+            let s = self.kernels.scale;
+            let input = vec![0.25f32; self.h * self.w];
+            let mut out = vec![0.0f32; self.h * s * self.w * s];
+            let (winner, _costs) = pick(cands, 2, |&v| {
+                self.variant = v;
+                time_ns(|| self.run_image_into(&input, &mut out))
+            });
+            self.variant = cands[winner];
+        } else {
+            self.variant = cands[0];
+        }
+        self.variant
     }
 
     /// The shared preprocessed kernels.
@@ -455,6 +483,7 @@ impl InferPlan {
         assert_eq!(out.len(), h * s * w * s, "output plane size");
         let arena_ptr = SendPtr(self.arena.as_mut_ptr());
         let out_ptr = SendPtr(out.as_mut_ptr());
+        let mk = microkernel(self.variant);
 
         for (si, step) in self.steps.iter().enumerate() {
             let t0 = timings.is_some().then(Instant::now);
@@ -494,6 +523,7 @@ impl InferPlan {
                 },
             };
             let epi = Epilogue {
+                mk,
                 bias: &layer.bias,
                 act: &layer.act,
                 double_output: step.double_output,
@@ -510,9 +540,9 @@ impl InferPlan {
                     // assigned whole to closure calls.
                     let slab = unsafe { arena_ptr.slice_mut(off_slabs + bi * slab_len, slab_len) };
                     if layer.wino_u.is_some() {
-                        wino_band(layer, src, h, w, y0, y1, slab, &epi);
+                        wino_band(mk, layer, src, h, w, y0, y1, slab, &epi);
                     } else {
-                        conv_band(layer, src, h, w, y0, y1, slab, &epi);
+                        conv_band(mk, layer, src, h, w, y0, y1, slab, &epi);
                     }
                 }
             });
@@ -620,51 +650,155 @@ fn make_steps(kernels: &CollapsedKernels) -> Vec<Step> {
     steps
 }
 
-/// Accumulates taps `[k0, k1)` of output row `y`, channel `co` into
-/// `acc` (one float per output column), visiting taps in ascending `k`
-/// order. `k` enumerates `(cc, ky, kx)` row-major — exactly the im2col
-/// row order — so the per-element chain matches the packed GEMM's within
-/// one k-block. Padding taps (rows/columns off the input) are skipped:
-/// im2col stores literal `0.0` there, and adding `0.0` to a partial
-/// chain is exact (the chain is never `-0.0`: it starts at `+0.0`, and
-/// IEEE-754 round-to-nearest addition only yields `-0.0` from
-/// `(-0.0) + (-0.0)`).
-#[allow(clippy::too_many_arguments)]
-fn conv_taps(
-    acc: &mut [f32],
-    layer: &KernelLayer,
-    src: &[f32],
-    co: usize,
-    y: usize,
-    h: usize,
-    w: usize,
-    k0: usize,
-    k1: usize,
-    pt: usize,
-    pl: usize,
-) {
-    let taps = layer.kh * layer.kw;
-    let k = layer.cin * taps;
-    for p in k0..k1 {
-        let cc = p / taps;
-        let r = p % taps;
-        let (ky, kx) = (r / layer.kw, r % layer.kw);
-        let iy = y as isize + ky as isize - pt as isize;
-        if iy < 0 || iy >= h as isize {
-            continue;
+/// The valid taps of one `(output row, k-block)` pair: per tap, its
+/// weight index, input row, column shift, and the output column range it
+/// covers. The geometry depends only on `(y, k0, k1)` — never on the
+/// output channel — so [`conv_band`] gathers it once per row and k-block
+/// and reapplies it for every `co` with fresh weights. Fixed-size stack
+/// arrays: steady state must not allocate.
+struct TapBlock<'a> {
+    pidx: [usize; KC],
+    rows: [&'a [f32]; KC],
+    shifts: [isize; KC],
+    lo: [usize; KC],
+    hi: [usize; KC],
+    nt: usize,
+}
+
+impl<'a> TapBlock<'a> {
+    fn empty() -> Self {
+        TapBlock {
+            pidx: [0; KC],
+            rows: [&[]; KC],
+            shifts: [0; KC],
+            lo: [0; KC],
+            hi: [0; KC],
+            nt: 0,
         }
-        let wv = layer.weight[co * k + p];
-        let in_row = &src[cc * h * w + iy as usize * w..][..w];
-        // Output column x reads input column x + shift.
-        let shift = kx as isize - pl as isize;
-        let x_lo = usize::try_from(-shift).unwrap_or(0);
-        let x_hi = usize::try_from(w as isize - shift.max(0)).unwrap_or(0);
-        if x_lo >= x_hi {
-            continue;
+    }
+
+    /// Gathers the valid taps of block `[k0, k1)` for output row `y`.
+    /// `k` enumerates `(cc, ky, kx)` row-major — exactly the im2col row
+    /// order. Padding taps (rows/columns off the input) are skipped:
+    /// im2col stores literal `0.0` there, and adding `0.0` to a partial
+    /// chain is exact (the chain is never `-0.0`: it starts at `+0.0`,
+    /// and IEEE-754 round-to-nearest addition only yields `-0.0` from
+    /// `(-0.0) + (-0.0)`).
+    #[allow(clippy::too_many_arguments)]
+    fn gather(
+        &mut self,
+        layer: &KernelLayer,
+        src: &'a [f32],
+        y: usize,
+        h: usize,
+        w: usize,
+        k0: usize,
+        k1: usize,
+        pt: usize,
+        pl: usize,
+    ) {
+        let taps = layer.kh * layer.kw;
+        debug_assert!(k1 - k0 <= KC, "one k-block at a time");
+        let mut nt = 0usize;
+        for p in k0..k1 {
+            let cc = p / taps;
+            let r = p % taps;
+            let (ky, kx) = (r / layer.kw, r % layer.kw);
+            let iy = y as isize + ky as isize - pt as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            // Output column x reads input column x + shift.
+            let shift = kx as isize - pl as isize;
+            let x_lo = usize::try_from(-shift).unwrap_or(0);
+            let x_hi = usize::try_from(w as isize - shift.max(0)).unwrap_or(0);
+            if x_lo >= x_hi {
+                continue;
+            }
+            self.pidx[nt] = p;
+            self.rows[nt] = &src[cc * h * w + iy as usize * w..][..w];
+            self.shifts[nt] = shift;
+            self.lo[nt] = x_lo;
+            self.hi[nt] = x_hi;
+            nt += 1;
         }
-        let seg = &in_row[(x_lo as isize + shift) as usize..][..x_hi - x_lo];
-        for (a, &v) in acc[x_lo..x_hi].iter_mut().zip(seg) {
-            *a += wv * v;
+        self.nt = nt;
+    }
+}
+
+/// Accumulates a gathered tap block into `acc` (one float per output
+/// column), visiting taps in ascending `k` order so the per-element
+/// chain matches the packed GEMM's within one k-block. `wrow` is the
+/// output channel's flat weight row (`weight[co * k..]`).
+fn conv_taps(mk: &dyn Microkernel, acc: &mut [f32], blk: &TapBlock<'_>, wrow: &[f32]) {
+    let TapBlock {
+        pidx,
+        rows,
+        shifts,
+        lo,
+        hi,
+        nt,
+    } = blk;
+    let nt = *nt;
+    if nt == 0 {
+        return;
+    }
+    let mut ws = [0.0f32; KC];
+    for t in 0..nt {
+        ws[t] = wrow[pidx[t]];
+    }
+    // Edge columns are one or two elements per tap: a dispatched call per
+    // tap would cost more than the arithmetic. Inline the accumulation,
+    // matching the active variant's multiply-add rounding (the FMA
+    // variant fuses everywhere, including the GEMM's remainder columns,
+    // so edge chains must fuse too to stay bit-consistent with it).
+    let fused = mk.variant().fused_madd();
+    let edge = |acc: &mut [f32], seg: &[f32], c: f32| {
+        if fused {
+            for (a, &v) in acc.iter_mut().zip(seg) {
+                *a = c.mul_add(v, *a);
+            }
+        } else {
+            for (a, &v) in acc.iter_mut().zip(seg) {
+                *a += c * v;
+            }
+        }
+    };
+    // Columns covered by *every* tap of the block — the interior, where
+    // the multi-tap kernel keeps the accumulator in registers across all
+    // taps. Per-element tap order stays ascending k: each column belongs
+    // to exactly one of the three passes, and every pass visits taps in
+    // gathered (ascending) order.
+    let int_lo = lo[..nt].iter().copied().max().expect("nt > 0");
+    let int_hi = hi[..nt].iter().copied().min().expect("nt > 0");
+    if int_lo >= int_hi {
+        // Degenerate geometry (tiny width): no column is covered by all
+        // taps. One tap at a time over its full range is always
+        // order-correct.
+        for t in 0..nt {
+            let seg = &rows[t][(lo[t] as isize + shifts[t]) as usize..][..hi[t] - lo[t]];
+            edge(&mut acc[lo[t]..hi[t]], seg, ws[t]);
+        }
+        return;
+    }
+    // Left edge: columns below the interior, per tap in k order.
+    for t in 0..nt {
+        if lo[t] < int_lo {
+            let seg = &rows[t][(lo[t] as isize + shifts[t]) as usize..][..int_lo - lo[t]];
+            edge(&mut acc[lo[t]..int_lo], seg, ws[t]);
+        }
+    }
+    // Interior: all taps in one register-blocked pass.
+    let mut segs: [&[f32]; KC] = [&[]; KC];
+    for t in 0..nt {
+        segs[t] = &rows[t][(int_lo as isize + shifts[t]) as usize..];
+    }
+    mk.axpy_taps(&mut acc[int_lo..int_hi], &ws[..nt], &segs[..nt]);
+    // Right edge: columns past the interior, per tap in k order.
+    for t in 0..nt {
+        if hi[t] > int_hi {
+            let seg = &rows[t][(int_hi as isize + shifts[t]) as usize..][..hi[t] - int_hi];
+            edge(&mut acc[int_hi..hi[t]], seg, ws[t]);
         }
     }
 }
@@ -678,6 +812,7 @@ fn conv_taps(
 /// association.
 #[allow(clippy::too_many_arguments)]
 fn conv_band(
+    mk: &dyn Microkernel,
     layer: &KernelLayer,
     src: &[f32],
     h: usize,
@@ -689,23 +824,34 @@ fn conv_band(
 ) {
     let (pt, _pb, pl, _pr) = Conv2dParams::same().resolve_padding(layer.kh, layer.kw);
     let k = layer.cin * layer.kh * layer.kw;
-    let (row, rest) = slab.split_at_mut(w);
-    let blk = &mut rest[..w];
+    let (totals, rest) = slab.split_at_mut(layer.cout * w);
+    let blkrow = &mut rest[..w];
+    let nblocks = k.div_ceil(KC);
+    let mut taps = TapBlock::empty();
     for y in y0..y1 {
-        for co in 0..layer.cout {
-            row.fill(0.0);
-            conv_taps(row, layer, src, co, y, h, w, 0, k.min(KC), pt, pl);
-            let mut kb = KC;
-            while kb < k {
-                let kend = (kb + KC).min(k);
-                blk.fill(0.0);
-                conv_taps(blk, layer, src, co, y, h, w, kb, kend, pt, pl);
-                for (r, &bv) in row.iter_mut().zip(blk.iter()) {
-                    *r += bv;
+        // k-block-major so the (channel-independent) tap geometry is
+        // gathered once per row and k-block instead of once per output
+        // channel. Per-element arithmetic is unchanged from the co-major
+        // order: each channel's chains per block still start at +0.0 and
+        // merge in block order into that channel's running row.
+        for kb in 0..nblocks {
+            let (kstart, kend) = (kb * KC, ((kb + 1) * KC).min(k));
+            taps.gather(layer, src, y, h, w, kstart, kend, pt, pl);
+            for co in 0..layer.cout {
+                let wrow = &layer.weight[co * k..(co + 1) * k];
+                let total = &mut totals[co * w..(co + 1) * w];
+                if kb == 0 {
+                    total.fill(0.0);
+                    conv_taps(mk, total, &taps, wrow);
+                } else {
+                    blkrow.fill(0.0);
+                    conv_taps(mk, blkrow, &taps, wrow);
+                    mk.add_row(total, blkrow);
                 }
-                kb = kend;
             }
-            epi.emit_row(co, y, row, h, w);
+        }
+        for co in 0..layer.cout {
+            epi.emit_row(co, y, &mut totals[co * w..(co + 1) * w], h, w);
         }
     }
 }
@@ -717,6 +863,7 @@ fn conv_band(
 /// aligned so no tile straddles a band boundary.
 #[allow(clippy::too_many_arguments)]
 fn wino_band(
+    mk: &dyn Microkernel,
     layer: &KernelLayer,
     src: &[f32],
     h: usize,
@@ -728,13 +875,15 @@ fn wino_band(
 ) {
     let (cin, cout) = (layer.cin, layer.cout);
     let u = layer.wino_u.as_ref().expect("wino layer");
-    let (v_slab, rest) = slab.split_at_mut(cin * 16);
+    let (d_slab, rest) = slab.split_at_mut(cin * 16);
+    let (v_slab, rest) = rest.split_at_mut(cin * 16);
     // Accumulated m-tiles are staged here between the channel-reduction
     // loop and the output transform. The store keeps the two loops
     // separate in codegen: letting the compiler fuse the reduction into
     // the transform's butterfly trades the clean 8-wide accumulation for
     // a shuffle-bound hybrid (measurably slower).
     let (m_slab, rest) = rest.split_at_mut(cout * 16);
+    let (y_slab, rest) = rest.split_at_mut(cout * 4);
     // Two raw output rows per channel, filled tile by tile, then flushed
     // through the fused epilogue row-at-a-time.
     let rowbuf = &mut rest[..cout * 2 * w];
@@ -747,15 +896,14 @@ fn wino_band(
             // lies fully inside the plane; the hot path then gathers with
             // four straight row copies and no bounds checks.
             let interior = oy >= 1 && oy + 3 <= h && ox >= 1 && ox + 3 <= w;
-            for cc in 0..cin {
-                let plane = &src[cc * h * w..(cc + 1) * h * w];
-                let mut d = [0.0f32; 16];
-                if interior {
-                    let base = (oy - 1) * w + (ox - 1);
-                    for dy in 0..4 {
-                        d[4 * dy..4 * dy + 4].copy_from_slice(&plane[base + dy * w..][..4]);
-                    }
-                } else {
+            if interior {
+                let base = (oy - 1) * w + (ox - 1);
+                mk.wino_input_transform_interior(src, h * w, base, w, v_slab, cin);
+            } else {
+                d_slab.fill(0.0);
+                for cc in 0..cin {
+                    let plane = &src[cc * h * w..(cc + 1) * h * w];
+                    let d = &mut d_slab[cc * 16..cc * 16 + 16];
                     for dy in 0..4 {
                         let iy = oy as isize + dy as isize - 1;
                         if iy < 0 || iy >= h as isize {
@@ -770,22 +918,12 @@ fn wino_band(
                         }
                     }
                 }
-                v_slab[cc * 16..cc * 16 + 16].copy_from_slice(&input_transform(&d));
+                mk.wino_input_transform_many(d_slab, v_slab, cin);
             }
+            mk.wino_channel_reduce(m_slab, u, v_slab, cout, cin);
+            mk.wino_output_transform_many(m_slab, y_slab, cout);
             for oo in 0..cout {
-                let mut m = [0.0f32; 16];
-                for cc in 0..cin {
-                    let ut = &u[oo * cin + cc];
-                    let vc = &v_slab[cc * 16..cc * 16 + 16];
-                    for k in 0..16 {
-                        m[k] += ut[k] * vc[k];
-                    }
-                }
-                m_slab[oo * 16..oo * 16 + 16].copy_from_slice(&m);
-            }
-            for oo in 0..cout {
-                let m: &[f32; 16] = m_slab[oo * 16..oo * 16 + 16].try_into().expect("16");
-                let yv = output_transform(m);
+                let yv = &y_slab[oo * 4..oo * 4 + 4];
                 for dy in 0..2 {
                     for dx in 0..2 {
                         let xx = ox + dx;

@@ -23,11 +23,23 @@
 //! request. A reload therefore misses once, recompiles, and the stale
 //! entry is dropped on that same lookup.
 //!
+//! **Kernel variant.** Plans and tile planners pin the process-global
+//! [`kernel_variant`] at compile time, and an entry is valid only while
+//! that global still matches (the *Detect* policy: serve never per-plan
+//! autotunes the variant, because whole-frame plans and tile plans must
+//! share one arithmetic for the tiled-vs-whole-frame bit-identity
+//! guarantee). The global is normally fixed at process start, but if an
+//! operator repins it at runtime (e.g. `scalar` for a cross-machine
+//! repro), every cached plan compiled under the old variant misses,
+//! recompiles under the new one, and is dropped — no mixed-variant
+//! outputs can be served.
+//!
 //! Capacities are small and fixed (a worker serves few distinct models
 //! and shapes at once); eviction is LRU via move-to-front.
 
 use crate::registry::ModelKey;
 use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan, TilePlanner};
+use sesr_tensor::simd::{kernel_variant, KernelVariant};
 use std::sync::Arc;
 
 /// Distinct models a worker keeps flattened kernels for.
@@ -56,6 +68,10 @@ struct PlanEntry {
 struct TilePlannerEntry {
     key: ModelKey,
     model: Arc<CollapsedSesr>,
+    /// The process-global kernel variant when the planner was built; its
+    /// lazily-compiled per-tile plans all pin this, so a global repin
+    /// invalidates the whole planner.
+    variant: KernelVariant,
     planner: TilePlanner,
 }
 
@@ -117,17 +133,24 @@ impl PlanCache {
         h: usize,
         w: usize,
     ) -> (&mut InferPlan, bool) {
-        if let Some(idx) = self
-            .plans
-            .iter()
-            .position(|e| e.key == *key && e.h == h && e.w == w && Arc::ptr_eq(&e.model, model))
-        {
+        let variant = kernel_variant();
+        if let Some(idx) = self.plans.iter().position(|e| {
+            e.key == *key
+                && e.h == h
+                && e.w == w
+                && Arc::ptr_eq(&e.model, model)
+                && e.plan.variant() == variant
+        }) {
             let entry = self.plans.remove(idx);
             self.plans.insert(0, entry);
             return (&mut self.plans[0].plan, true);
         }
-        self.plans
-            .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
+        // Stale entries can never hit again: a same-key ptr_eq failure is
+        // a reloaded model, and a variant mismatch (any key) is a plan
+        // compiled under a repinned kernel global. Drop both now.
+        self.plans.retain(|e| {
+            (e.key != *key || Arc::ptr_eq(&e.model, model)) && e.plan.variant() == variant
+        });
         let (kernels, _) = self.kernels_for(key, model);
         let plan = InferPlan::new(kernels, h, w);
         self.plans.insert(
@@ -155,23 +178,25 @@ impl PlanCache {
         key: &ModelKey,
         model: &Arc<CollapsedSesr>,
     ) -> (&mut TilePlanner, bool) {
+        let variant = kernel_variant();
         if let Some(idx) = self
             .tile_planners
             .iter()
-            .position(|e| e.key == *key && Arc::ptr_eq(&e.model, model))
+            .position(|e| e.key == *key && Arc::ptr_eq(&e.model, model) && e.variant == variant)
         {
             let entry = self.tile_planners.remove(idx);
             self.tile_planners.insert(0, entry);
             return (&mut self.tile_planners[0].planner, true);
         }
         self.tile_planners
-            .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
+            .retain(|e| (e.key != *key || Arc::ptr_eq(&e.model, model)) && e.variant == variant);
         let (kernels, _) = self.kernels_for(key, model);
         self.tile_planners.insert(
             0,
             TilePlannerEntry {
                 key: key.clone(),
                 model: model.clone(),
+                variant,
                 planner: TilePlanner::new(kernels),
             },
         );
@@ -254,6 +279,38 @@ mod tests {
         let (planner, hit) = cache.tile_planner_for(&key, &reloaded);
         assert!(!hit, "reload must rebuild the planner");
         assert_eq!(planner.cached_plans(), 0);
+    }
+
+    #[test]
+    fn repinned_kernel_variant_invalidates_plans_and_planners() {
+        // Serialize against other tests that flip the process-global
+        // variant (same lock the sesr-tensor bitwise tests take).
+        let _guard = sesr_tensor::simd::variant_test_lock();
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+
+        let prev = sesr_tensor::simd::set_kernel_variant(KernelVariant::Scalar);
+        cache.plan_for(&key, &model, 8, 8);
+        cache.tile_planner_for(&key, &model);
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8);
+        assert!(hit);
+        assert_eq!(plan.variant(), KernelVariant::Scalar);
+        let (_, hit) = cache.tile_planner_for(&key, &model);
+        assert!(hit);
+
+        // Repin to the detected default. On hardware where that is still
+        // Scalar (or under force-scalar) the entries stay valid; on any
+        // SIMD machine the old-variant entries must miss and be dropped.
+        sesr_tensor::simd::set_kernel_variant(prev);
+        let current = kernel_variant();
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8);
+        assert_eq!(hit, current == KernelVariant::Scalar);
+        assert_eq!(plan.variant(), current);
+        let (_, hit) = cache.tile_planner_for(&key, &model);
+        assert_eq!(hit, current == KernelVariant::Scalar);
+        assert_eq!(cache.plans.len(), 1, "stale-variant plan must be dropped");
+        assert_eq!(cache.tile_planners.len(), 1);
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct RouterBenchConfig {
     /// Heavy-tenant deadline (generous; batch work queues, not expires).
     pub heavy_deadline: Duration,
     /// Heavy-tenant input size (h, w) — large enough that one request
-    /// occupies a one-worker shard for hundreds of milliseconds.
+    /// occupies a one-worker shard for hundreds of milliseconds. Sized
+    /// against the SIMD kernels: when the kernels speed up, this must
+    /// grow with them or head-of-line blocking quietly stops being
+    /// exercised and the scaling phase measures nothing.
     pub big: (usize, usize),
     /// Rate multiplier for the interactive side of the overload phase.
     pub overload_factor: f64,
@@ -85,7 +88,7 @@ impl Default for RouterBenchConfig {
             small: (24, 24),
             heavy_hz: 12.0,
             heavy_deadline: Duration::from_secs(3),
-            big: (288, 384),
+            big: (432, 576),
             overload_factor: 2.0,
             overload_heavy_hz: 16.0,
             arch: "m5".to_string(),

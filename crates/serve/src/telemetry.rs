@@ -330,7 +330,10 @@ impl Telemetry {
         g.stages[Stage::Total.index()].record(total);
     }
 
-    /// A point-in-time copy of every stage histogram and counter.
+    /// A point-in-time copy of every stage histogram and counter, plus
+    /// the process-global kernel state (active SIMD variant, tuned GEMM
+    /// shape count) so a telemetry dump records which arithmetic served
+    /// the traffic.
     pub fn snapshot(&self) -> Snapshot {
         let g = self.lock();
         Snapshot {
@@ -340,6 +343,8 @@ impl Telemetry {
                 .collect(),
             counters: g.counters,
             elapsed_ms: g.started.elapsed().as_secs_f64() * 1e3,
+            kernel_variant: sesr_tensor::simd::kernel_variant().name(),
+            gemm_shapes_tuned: sesr_tensor::autotune::cached_gemm_choices() as u64,
         }
     }
 }
@@ -395,6 +400,13 @@ pub struct Snapshot {
     pub counters: Counters,
     /// Milliseconds since the telemetry epoch.
     pub elapsed_ms: f64,
+    /// Name of the process-global microkernel variant that compute ran
+    /// on ([`sesr_tensor::simd::kernel_variant`]); serve pins one
+    /// variant process-wide (Detect policy), so a single field suffices.
+    pub kernel_variant: &'static str,
+    /// Distinct GEMM shapes with a cached autotuned blocking choice
+    /// ([`sesr_tensor::autotune::cached_gemm_choices`]).
+    pub gemm_shapes_tuned: u64,
 }
 
 impl Snapshot {
@@ -453,6 +465,8 @@ impl Snapshot {
         JsonObject::new()
             .num("elapsed_ms", self.elapsed_ms)
             .num("throughput_rps", self.throughput_rps())
+            .str("kernel_variant", self.kernel_variant)
+            .int("gemm_shapes_tuned", self.gemm_shapes_tuned)
             .raw(
                 "stages",
                 &array(self.stages.iter().map(|(n, s)| s.to_json(n))),
@@ -560,6 +574,10 @@ mod tests {
         crate::json::validate(&json).unwrap();
         assert!(json.contains("\"queue_wait\""));
         assert!(json.contains("\"p99_ms\""));
+        // The active microkernel variant is serialized by its stable name.
+        let variant = sesr_tensor::simd::kernel_variant().name();
+        assert!(json.contains(&format!("\"kernel_variant\":\"{variant}\"")));
+        assert!(json.contains("\"gemm_shapes_tuned\""));
         assert!(json.contains("\"rejected_queue_full\":1"));
         for fault_counter in [
             "\"worker_restarts\":0",

@@ -326,6 +326,23 @@ impl VideoSession {
         self.last_seq
     }
 
+    /// Precompiles every (rung, tile shape) plan this session can touch
+    /// by running each grid tile once per ladder rung against a zero
+    /// frame. A long-lived session reaches this state on its own within
+    /// a few frames; a caller that must hold per-frame deadlines from
+    /// the start pays the compile cost here instead of inside a
+    /// deadline window. Session state and the EWMA cost model are
+    /// untouched — warming runs are not load-representative samples.
+    pub fn warm_plans(&self, models: &[Arc<CollapsedSesr>], plans: &mut PlanCache) {
+        let frame = Tensor::zeros(&[1, self.spec.height, self.spec.width]);
+        for (key, model) in self.spec.ladder.iter().zip(models) {
+            let (planner, _) = plans.tile_planner_for(key, model);
+            for &spec in self.plan.tiles() {
+                planner.run_tile(&frame, &spec);
+            }
+        }
+    }
+
     /// Settles one frame: hashes tiles, plans the dirty set, recomputes
     /// it through the ladder, and composites into the cached HR plane.
     ///
@@ -497,10 +514,21 @@ impl VideoSession {
     }
 }
 
+/// Fraction of the remaining deadline the rung walk plans against. The
+/// EWMA estimates trail the true cost on a machine whose speed shifts
+/// under load, and planning to land exactly on the deadline converts
+/// every positive estimate error into a miss; reserving slack degrades
+/// a rung earlier instead — the cheap direction, since the contract is
+/// "degrade PSNR, not latency". The margin matters more the faster the
+/// kernels get: a fixed scheduler hiccup is a larger share of a smaller
+/// frame budget.
+const DEADLINE_SLACK: f64 = 0.8;
+
 /// Picks the best rung ≤ `desired` whose estimated cost, plus a
 /// cheapest-rung floor for the tiles still queued behind this one, fits
-/// the remaining deadline. Unknown costs are treated as fitting (the
-/// first frame is exploratory — its samples train the EWMA).
+/// the slack-adjusted remaining deadline. Unknown costs are treated as
+/// fitting (the first frame is exploratory — its samples train the
+/// EWMA).
 fn fit_rung(
     d: &DirtyTile,
     deadline: Option<Instant>,
@@ -512,7 +540,7 @@ fn fit_rung(
     };
     let remaining = deadline
         .checked_duration_since(Instant::now())
-        .map_or(0.0, |r| r.as_nanos() as f64);
+        .map_or(0.0, |r| r.as_nanos() as f64 * DEADLINE_SLACK);
     let mut rung = d.desired_rung;
     while rung > 0 {
         match ewma[rung] {

@@ -435,3 +435,41 @@ fn router_unknown_session_errors_are_typed() {
         VideoError::UnknownSession(42)
     );
 }
+
+/// `warm_plans` is a pure cache warm-up: it must precompile every
+/// (rung, tile shape) planner entry without touching session state, and
+/// a warmed session's composites must stay bit-identical to a cold one.
+#[test]
+fn warm_plans_precompiles_without_changing_outputs() {
+    let models: Vec<Arc<CollapsedSesr>> = ladder().iter().map(|(_, m)| Arc::clone(m)).collect();
+    let mut spec = VideoSessionSpec::new(40, 36, ladder_keys());
+    spec.tile = 16;
+
+    let mut warm = VideoSession::new(spec.clone(), &models).expect("session");
+    let mut warm_plans = PlanCache::new();
+    warm.warm_plans(&models, &mut warm_plans);
+    // Every rung's planner now exists: re-requesting each is a hit.
+    for (key, model) in ladder() {
+        let (_, hit) = warm_plans.tile_planner_for(key, model);
+        assert!(hit, "warm_plans must have built the {key:?} planner");
+    }
+    assert_eq!(warm.stats(), Default::default(), "warming touched stats");
+    assert_eq!(warm.last_seq(), None, "warming settled a frame");
+
+    let mut cold = VideoSession::new(spec, &models).expect("session");
+    let mut cold_plans = PlanCache::new();
+    for seq in 0..3u64 {
+        let f = frame(90 + seq, 40, 36);
+        let a = warm
+            .process_frame(seq, &f, None, &models, &mut warm_plans)
+            .expect("warm frame");
+        let b = cold
+            .process_frame(seq, &f, None, &models, &mut cold_plans)
+            .expect("cold frame");
+        assert_eq!(
+            a.output.max_abs_diff(&b.output),
+            0.0,
+            "warmed session diverged at frame {seq}"
+        );
+    }
+}

@@ -12,9 +12,16 @@
 //!   `A * B^T`) cost a strided *pack* instead of a strided *inner loop*.
 //! * **Blocking.** `KC = 256`, `NC = 1024`: one `B` block stays resident
 //!   in L2 while every row panel streams over it.
-//! * **Microkernel.** An `MR x NR` register tile updated with unit-stride
-//!   loads; no explicit SIMD, but the fixed-trip-count inner loops
-//!   auto-vectorize under `-C opt-level=3`.
+//! * **Microkernel.** An `MR x NR` register tile updated through the
+//!   runtime-dispatched [`crate::simd::Microkernel`] (explicit AVX2 or
+//!   AVX2+FMA intrinsics when the CPU supports them, scalar otherwise).
+//!   The GEMM always runs the process-global
+//!   [`crate::simd::kernel_variant`] so its arithmetic matches every other
+//!   kernel in the process — see `simd.rs` for the variant contract.
+//! * **Autotuned blocking.** `NC` and the scheduling granularity come from
+//!   [`crate::autotune::gemm_blocking`], measured once per shape. Blocking
+//!   is numerically neutral (the `KC`-chain accumulation order is
+//!   untouched), so tuning can never change output bits.
 //!
 //! Work is parallelized over `MR`-row blocks of `C` via
 //! [`parallel_for`]'s persistent pool. Chunk boundaries only decide which
@@ -22,7 +29,9 @@
 //! (k-block-sequential) order regardless of thread count, so results are
 //! bit-identical from 1 to N threads (see DESIGN.md, "Threading model").
 
+use crate::autotune::{gemm_blocking, GemmBlocking};
 use crate::parallel::{parallel_for, SendPtr};
+use crate::simd::default_microkernel;
 
 /// Microkernel tile height (rows of `C` per register tile).
 const MR: usize = 8;
@@ -36,8 +45,10 @@ const NR: usize = 8;
 /// external kernel that wants to be bit-identical to `gemm` — e.g. the
 /// planner's direct convolution — must reproduce exactly this grouping.
 pub const KC: usize = 256;
-/// n-dimension block: one packed `B` block is at most `KC * NC` floats.
-const NC: usize = 1024;
+/// Largest n-dimension block: one packed `B` block is at most `KC * NC`
+/// floats. The autotuner may pick a smaller block per shape, never a
+/// larger one (the scratch sizing depends on this bound).
+pub(crate) const NC: usize = 1024;
 
 /// Computes `C = A * B` for row-major matrices.
 ///
@@ -126,7 +137,8 @@ pub fn gemm_with_scratch(
         scratch.len(),
         gemm_scratch_len(n)
     );
-    packed_gemm_into(a, k, 1, b, n, 1, c, m, k, n, false, scratch);
+    let blocking = gemm_blocking(m, k, n);
+    packed_gemm_into(a, k, 1, b, n, 1, c, m, k, n, false, scratch, blocking);
 }
 
 /// The shared packed kernel: `C (+)= A * B` where the logical operands are
@@ -151,12 +163,31 @@ fn packed_gemm(
     accumulate: bool,
 ) {
     let mut bpack = vec![0.0f32; gemm_scratch_len(n)];
+    let blocking = gemm_blocking(m, k, n);
     packed_gemm_into(
-        a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, accumulate, &mut bpack,
+        a, a_rs, a_cs, b, b_rs, b_cs, c, m, k, n, accumulate, &mut bpack, blocking,
     );
 }
 
-/// [`packed_gemm`] body with the `B` pack buffer supplied by the caller.
+/// Runs the packed kernel with explicit blocking on caller scratch — the
+/// autotuner's measurement entry point (skips the tuned-choice lookup
+/// that [`packed_gemm`] performs, which would recurse).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_packed(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+    blocking: &GemmBlocking,
+) {
+    packed_gemm_into(a, k, 1, b, n, 1, c, m, k, n, false, scratch, *blocking);
+}
+
+/// [`packed_gemm`] body with the `B` pack buffer and blocking supplied by
+/// the caller.
 #[allow(clippy::too_many_arguments)]
 fn packed_gemm_into(
     a: &[f32],
@@ -171,6 +202,7 @@ fn packed_gemm_into(
     n: usize,
     accumulate: bool,
     bpack: &mut [f32],
+    blocking: GemmBlocking,
 ) {
     if m == 0 || n == 0 {
         return;
@@ -183,9 +215,13 @@ fn packed_gemm_into(
     }
     let cp = SendPtr(c.as_mut_ptr());
     let mblocks = m.div_ceil(MR);
+    let GemmBlocking { nc, mc_blocks } = blocking.clamped();
+    // One dispatch per call: the process-global variant, hoisted out of
+    // every loop (see the module doc for the variant contract).
+    let mk = default_microkernel();
 
-    for nb in (0..n).step_by(NC) {
-        let nend = (nb + NC).min(n);
+    for nb in (0..n).step_by(nc) {
+        let nend = (nb + nc).min(n);
         let strips = (nend - nb).div_ceil(NR);
         for kb in (0..k).step_by(KC) {
             let kend = (kb + KC).min(k);
@@ -208,7 +244,7 @@ fn packed_gemm_into(
             let bpack = &bpack[..];
 
             let first_k_block = kb == 0 && !accumulate;
-            parallel_for(mblocks, 1, |blk_start, blk_end| {
+            parallel_for(mblocks, mc_blocks, |blk_start, blk_end| {
                 let mut apack = [0.0f32; MR * KC];
                 for blk in blk_start..blk_end {
                     let i0 = blk * MR;
@@ -226,7 +262,7 @@ fn packed_gemm_into(
                         let jw = NR.min(nend - j0);
                         let strip = &bpack[s * kc * NR..(s + 1) * kc * NR];
                         let mut acc = [[0.0f32; NR]; MR];
-                        microkernel(&apack[..kc * MR], strip, kc, &mut acc);
+                        mk.gemm_8x8(&apack[..kc * MR], strip, kc, &mut acc);
                         // Write back only the valid rows/columns; padded
                         // lanes accumulated exact zeros.
                         for (ir, accrow) in acc.iter().enumerate().take(mh) {
@@ -247,23 +283,6 @@ fn packed_gemm_into(
                     }
                 }
             });
-        }
-    }
-}
-
-/// Rank-1-update microkernel: `acc += Apanel[:, p] * Bstrip[p, :]` for
-/// `p` in `0..kc`, with both panels packed unit-stride. The fixed `MR` /
-/// `NR` trip counts let the compiler keep `acc` in registers and
-/// vectorize the lane loop.
-#[inline]
-fn microkernel(apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
-    for p in 0..kc {
-        let av: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().expect("panel row");
-        let bv: &[f32; NR] = bstrip[p * NR..p * NR + NR].try_into().expect("strip row");
-        for (accrow, &aval) in acc.iter_mut().zip(av.iter()) {
-            for (slot, &bval) in accrow.iter_mut().zip(bv.iter()) {
-                *slot += aval * bval;
-            }
         }
     }
 }
@@ -383,6 +402,7 @@ mod tests {
     #[test]
     fn results_are_bit_identical_across_thread_counts() {
         use crate::parallel::{num_threads, set_num_threads};
+        let _guard = crate::simd::variant_test_lock();
         let (m, k, n) = (33, KC + 7, 29);
         let a = rand_vec(m * k, 9);
         let b = rand_vec(k * n, 10);
@@ -398,7 +418,67 @@ mod tests {
     }
 
     #[test]
+    fn results_are_bit_identical_across_blockings() {
+        // Blocking (nc, scheduling granularity) must be numerically
+        // neutral: the autotuner may pick any candidate without changing
+        // output bits.
+        let _guard = crate::simd::variant_test_lock();
+        let (m, k, n) = (21, KC + 9, NC + 31);
+        let a = rand_vec(m * k, 31);
+        let b = rand_vec(k * n, 32);
+        let mut want = vec![0.0; m * n];
+        let mut scratch = vec![0.0; gemm_scratch_len(n)];
+        probe_packed(
+            &a,
+            &b,
+            &mut want,
+            m,
+            k,
+            n,
+            &mut scratch,
+            &GemmBlocking::baseline(),
+        );
+        for (nc, mc_blocks) in [(8usize, 1usize), (256, 2), (512, 4), (1000, 3)] {
+            let mut got = vec![0.0; m * n];
+            probe_packed(
+                &a,
+                &b,
+                &mut got,
+                m,
+                k,
+                n,
+                &mut scratch,
+                &GemmBlocking { nc, mc_blocks },
+            );
+            assert_eq!(want, got, "nc={nc} mc_blocks={mc_blocks} changed bits");
+        }
+    }
+
+    #[test]
+    fn avx2_variant_is_bit_identical_to_scalar() {
+        // The non-FMA SIMD variant rounds twice per multiply-add exactly
+        // like the scalar kernel: whole-GEMM outputs must match bitwise.
+        use crate::simd::{set_kernel_variant, variant_test_lock, KernelVariant};
+        if !KernelVariant::Avx2.available() {
+            return;
+        }
+        let _guard = variant_test_lock();
+        let (m, k, n) = (19, KC + 3, 41);
+        let a = rand_vec(m * k, 41);
+        let b = rand_vec(k * n, 42);
+        let prev = set_kernel_variant(KernelVariant::Scalar);
+        let mut c_scalar = vec![0.0; m * n];
+        gemm(&a, &b, &mut c_scalar, m, k, n);
+        set_kernel_variant(KernelVariant::Avx2);
+        let mut c_avx2 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c_avx2, m, k, n);
+        set_kernel_variant(prev);
+        assert_eq!(c_scalar, c_avx2);
+    }
+
+    #[test]
     fn with_scratch_is_bit_identical_to_gemm() {
+        let _guard = crate::simd::variant_test_lock();
         let (m, k, n) = (19, KC + 5, NC / 2 + 9);
         let a = rand_vec(m * k, 21);
         let b = rand_vec(k * n, 22);

@@ -30,13 +30,20 @@
 //! assert_eq!(out.shape(), &[1, 16, 8, 8]);
 //! ```
 
+// Every `unsafe` operation must sit in an explicit `unsafe` block with its
+// own `// SAFETY:` argument, even inside `unsafe fn` — enforced repo-wide
+// by `scripts/verify.sh simd`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod activations;
+pub mod autotune;
 pub mod conv;
 pub mod gemm;
 pub mod im2col;
 pub mod parallel;
 pub mod pixel_shuffle;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod winograd;
 

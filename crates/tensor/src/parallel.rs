@@ -265,7 +265,9 @@ impl SendPtr {
     /// written by another thread.
     #[inline]
     pub unsafe fn write(&self, offset: usize, value: f32) {
-        *self.0.add(offset) = value;
+        // SAFETY: bounds and non-aliasing are the caller's contract (see
+        // above).
+        unsafe { *self.0.add(offset) = value };
     }
 
     /// Adds `value` at `offset`.
@@ -275,7 +277,9 @@ impl SendPtr {
     /// Same contract as [`SendPtr::write`].
     #[inline]
     pub unsafe fn add_assign(&self, offset: usize, value: f32) {
-        *self.0.add(offset) += value;
+        // SAFETY: bounds and non-aliasing are the caller's contract (see
+        // above).
+        unsafe { *self.0.add(offset) += value };
     }
 
     /// Reborrows `offset..offset + len` of the pointee as a mutable
@@ -289,7 +293,9 @@ impl SendPtr {
     /// the buffer the pointer was taken from.
     #[inline]
     pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [f32] {
-        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+        // SAFETY: range validity, non-aliasing, and the lifetime bound are
+        // the caller's contract (see above).
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
     }
 }
 

@@ -1,0 +1,1527 @@
+//! Runtime-dispatched CPU microkernels: scalar, AVX2, and AVX2+FMA.
+//!
+//! Every hot inner loop of the planned executor — the packed GEMM's 8x8
+//! register tile, the direct convolution's tap-accumulate, the Winograd
+//! `F(2x2, 3x3)` transforms and channel reduction, and the fused epilogue
+//! row passes — dispatches through one [`Microkernel`] trait object picked
+//! at runtime with `is_x86_feature_detected!`. Three x86 variants exist:
+//!
+//! * [`KernelVariant::Scalar`] — the reference implementation; plain Rust
+//!   with no intrinsics, auto-vectorized by the compiler. Always available.
+//! * [`KernelVariant::Avx2`] — explicit 8-lane `std::arch` intrinsics with
+//!   *separate* multiply and add. Rust never enables floating-point
+//!   contraction, so `mul` + `add` round twice exactly like the scalar
+//!   code: this variant is **bit-identical to `Scalar`** on every input
+//!   (the identity proptests assert it).
+//! * [`KernelVariant::Avx2Fma`] — same lane structure with single-rounding
+//!   `fmadd`. Output bits *differ* from `Scalar`/`Avx2` (they are more
+//!   accurate), but the variant is self-consistent: every multiply-add in
+//!   both the planned and the reference path funnels through this module,
+//!   so planned-vs-reference and 1-vs-N-thread bit identity hold *within*
+//!   the variant. Scalar remainder lanes use [`f32::mul_add`], which the
+//!   probe tests prove bit-equal to `vfmadd`.
+//!
+//! [`KernelVariant::Neon`] names the aarch64 slot behind the same trait;
+//! its implementation is currently a guarded stub that executes the scalar
+//! ops (structured so 4-lane intrinsics can drop in without touching call
+//! sites). On aarch64 it is detected as the default so the dispatch layer
+//! is exercised.
+//!
+//! The operations with no multiply-add pairs — the Winograd input/output
+//! transforms (pure add/sub) and the epilogue rows (`+bias`, ReLU/PReLU,
+//! residual adds) — are bit-identical across *all* variants: vectorizing
+//! changes which lane computes an element, never the operand pair. The
+//! one subtle case is ReLU: `_mm256_max_ps(t, +0.0)` with the zero in the
+//! second operand returns `+0.0` for `t ∈ {-0.0, +0.0, NaN}` exactly like
+//! `f32::max(t, 0.0)` (unit-tested below).
+//!
+//! The process default is chosen once by [`kernel_variant`] and can be
+//! overridden with [`set_kernel_variant`] (benches align the global to a
+//! plan's tuned variant before running the reference oracle). Building
+//! with `--features force-scalar` pins the scalar path: detection reports
+//! only `Scalar` and overrides are clamped to it, so a CI leg can prove
+//! the non-SIMD path end to end.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Identifies one microkernel implementation. The variant is part of the
+/// *numeric contract*: all kernels run under the same variant produce
+/// outputs that are reproducible bit-for-bit across thread counts and
+/// across the planned/reference executors; `Avx2Fma` outputs differ from
+/// the two-rounding variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Plain Rust, no intrinsics. Always available; pinned by the
+    /// `force-scalar` cargo feature.
+    Scalar,
+    /// AVX2 intrinsics, separate multiply and add (bit-identical to
+    /// `Scalar`).
+    Avx2,
+    /// AVX2 + FMA intrinsics, single-rounding multiply-add.
+    Avx2Fma,
+    /// aarch64 NEON slot (currently a scalar-op stub behind the trait).
+    Neon,
+}
+
+impl KernelVariant {
+    /// Stable lowercase name, used in telemetry, bench JSON, and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Avx2 => "avx2",
+            KernelVariant::Avx2Fma => "avx2fma",
+            KernelVariant::Neon => "neon",
+        }
+    }
+
+    /// Parses [`KernelVariant::name`] output (CLI `--variant` flag).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(KernelVariant::Scalar),
+            "avx2" => Some(KernelVariant::Avx2),
+            "avx2fma" => Some(KernelVariant::Avx2Fma),
+            "neon" => Some(KernelVariant::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this variant's kernels can run on the current CPU (and are
+    /// not pinned away by `force-scalar`).
+    pub fn available(self) -> bool {
+        detected_variants().contains(&self)
+    }
+
+    /// Whether the variant fuses multiply-add (single rounding). Variants
+    /// that do NOT fuse are bit-identical to `Scalar`; variants that do
+    /// are only self-consistent.
+    pub fn fused_madd(self) -> bool {
+        matches!(self, KernelVariant::Avx2Fma)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            KernelVariant::Scalar => 0,
+            KernelVariant::Avx2 => 1,
+            KernelVariant::Avx2Fma => 2,
+            KernelVariant::Neon => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => KernelVariant::Avx2,
+            2 => KernelVariant::Avx2Fma,
+            3 => KernelVariant::Neon,
+            _ => KernelVariant::Scalar,
+        }
+    }
+}
+
+/// The variants usable on this CPU, scalar first, fastest-candidate last.
+/// Under `--features force-scalar` this is exactly `[Scalar]`. The list
+/// (not just the best pick) is public so autotuners can enumerate
+/// candidates deterministically.
+pub fn detected_variants() -> &'static [KernelVariant] {
+    if cfg!(feature = "force-scalar") {
+        return &[KernelVariant::Scalar];
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            if is_x86_feature_detected!("fma") {
+                return &[
+                    KernelVariant::Scalar,
+                    KernelVariant::Avx2,
+                    KernelVariant::Avx2Fma,
+                ];
+            }
+            return &[KernelVariant::Scalar, KernelVariant::Avx2];
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return &[KernelVariant::Scalar, KernelVariant::Neon];
+    }
+    #[allow(unreachable_code)]
+    &[KernelVariant::Scalar]
+}
+
+/// Sentinel meaning "not chosen yet" in [`GLOBAL_VARIANT`].
+const VARIANT_UNSET: u8 = u8::MAX;
+
+/// Process-wide default variant, `VARIANT_UNSET` until first use.
+static GLOBAL_VARIANT: AtomicU8 = AtomicU8::new(VARIANT_UNSET);
+
+/// The process-default kernel variant: the last detected variant (the
+/// fastest candidate) on first call, or whatever [`set_kernel_variant`]
+/// pinned. Everything that does not carry an explicit variant — the
+/// packed GEMM, the reference Winograd — reads this, which is what keeps
+/// the reference and planned executors on the same arithmetic.
+pub fn kernel_variant() -> KernelVariant {
+    let raw = GLOBAL_VARIANT.load(Ordering::Relaxed);
+    if raw != VARIANT_UNSET {
+        return KernelVariant::from_u8(raw);
+    }
+    let v = *detected_variants().last().expect("scalar always present");
+    // Racing first calls write the same detected value; either wins.
+    GLOBAL_VARIANT.store(v.to_u8(), Ordering::Relaxed);
+    v
+}
+
+/// Overrides the process-default variant, returning the previous value
+/// (restore it when done — benches align the global to a tuned plan's
+/// variant around a reference run). Requests for an unavailable variant
+/// (or any non-scalar variant under `force-scalar`) degrade to the best
+/// available one.
+pub fn set_kernel_variant(v: KernelVariant) -> KernelVariant {
+    let prev = kernel_variant();
+    let eff = if v.available() {
+        v
+    } else {
+        *detected_variants().last().expect("scalar always present")
+    };
+    GLOBAL_VARIANT.store(eff.to_u8(), Ordering::Relaxed);
+    prev
+}
+
+/// Per-channel activation applied by [`Microkernel::bias_act_row`],
+/// mirroring the planner's `ActKind` with the slope flattened to the one
+/// channel the row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowAct {
+    /// No activation.
+    Linear,
+    /// `max(t, 0.0)`.
+    Relu,
+    /// `if t >= 0 { t } else { slope * t }`.
+    PRelu(f32),
+}
+
+/// The microkernel surface: every hot per-element loop of the GEMM, the
+/// direct convolution, the Winograd pipeline, and the fused epilogues.
+///
+/// Implementations must preserve the per-element *operand order* of the
+/// scalar reference (taps in ascending k, channels in ascending c, the
+/// epilogue op sequence) — lane assignment is free, association is not.
+/// That is what makes `Avx2` bit-identical to `Scalar` and `Avx2Fma`
+/// self-consistent.
+pub trait Microkernel: Sync {
+    /// Which variant this implementation realizes.
+    fn variant(&self) -> KernelVariant;
+
+    /// Rank-1-update GEMM register tile: `acc[i][j] += sum_p apanel[p*8+i]
+    /// * bstrip[p*8+j]` with `p` ascending. Panels are packed p-major,
+    /// 8-wide, `>= kc * 8` floats each.
+    fn gemm_8x8(&self, apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; 8]; 8]);
+
+    /// `acc[x] += c * src[x]`. Slices must be equal length.
+    fn axpy(&self, acc: &mut [f32], src: &[f32], c: f32);
+
+    /// Multi-tap axpy: for each `x`, applies `acc[x] += ws[t] * segs[t][x]`
+    /// for `t` ascending — the same per-element chain as `ws.len()`
+    /// successive [`Microkernel::axpy`] calls, but with the accumulator
+    /// kept in registers across taps (the direct convolution's hot loop).
+    /// Every `segs[t]` must be at least `acc.len()` long.
+    fn axpy_taps(&self, acc: &mut [f32], ws: &[f32], segs: &[&[f32]]);
+
+    /// Winograd `Bᵀ d B` on one 4x4 tile. Pure add/sub: bit-identical
+    /// across all variants.
+    fn wino_input_transform(&self, d: &[f32; 16]) -> [f32; 16];
+
+    /// Winograd `Aᵀ m A`, producing the 2x2 output tile. Pure add/sub.
+    fn wino_output_transform(&self, m: &[f32; 16]) -> [f32; 4];
+
+    /// [`Microkernel::wino_input_transform`] over `cin` consecutive tiles:
+    /// `v_slab[cc*16..] = BᵀdB(d_slab[cc*16..])`. One virtual call per
+    /// tile *set* instead of per tile — the default body is monomorphized
+    /// per implementation, so the inner per-tile calls dispatch
+    /// statically. Both slabs must hold `cin * 16` floats.
+    fn wino_input_transform_many(&self, d_slab: &[f32], v_slab: &mut [f32], cin: usize) {
+        for cc in 0..cin {
+            let d: &[f32; 16] = d_slab[cc * 16..cc * 16 + 16]
+                .try_into()
+                .expect("16-element tile");
+            v_slab[cc * 16..cc * 16 + 16].copy_from_slice(&self.wino_input_transform(d));
+        }
+    }
+
+    /// [`Microkernel::wino_output_transform`] over `cout` consecutive
+    /// tiles: `y_slab[oo*4..] = AᵀmA(m_slab[oo*16..])`. Same batching
+    /// rationale as [`Microkernel::wino_input_transform_many`].
+    fn wino_output_transform_many(&self, m_slab: &[f32], y_slab: &mut [f32], cout: usize) {
+        for oo in 0..cout {
+            let m: &[f32; 16] = m_slab[oo * 16..oo * 16 + 16]
+                .try_into()
+                .expect("16-element tile");
+            y_slab[oo * 4..oo * 4 + 4].copy_from_slice(&self.wino_output_transform(m));
+        }
+    }
+
+    /// Fused gather + input transform for an *interior* tile: reads the
+    /// 4x4 window whose top-left element sits at `base` (rows `stride`
+    /// apart) of each `plane_len`-float channel plane in `src`, and
+    /// writes the transformed tile to `v_slab[cc*16..]` — no staging
+    /// copy. Bit-identical to gathering into a d-tile first (the
+    /// transform is pure add/sub). The window must be fully in bounds
+    /// for every channel: `(cin-1)*plane_len + base + 3*stride + 4 <=
+    /// src.len()`, and `v_slab` must hold `cin * 16` floats.
+    fn wino_input_transform_interior(
+        &self,
+        src: &[f32],
+        plane_len: usize,
+        base: usize,
+        stride: usize,
+        v_slab: &mut [f32],
+        cin: usize,
+    ) {
+        for cc in 0..cin {
+            let plane = &src[cc * plane_len..];
+            let mut d = [0.0f32; 16];
+            for dy in 0..4 {
+                d[4 * dy..4 * dy + 4].copy_from_slice(&plane[base + dy * stride..][..4]);
+            }
+            v_slab[cc * 16..cc * 16 + 16].copy_from_slice(&self.wino_input_transform(&d));
+        }
+    }
+
+    /// The Winograd channel reduction: for each output channel `oo`,
+    /// `m_slab[oo*16 + k] = sum_cc u[oo*cin + cc][k] * v_slab[cc*16 + k]`
+    /// with `cc` ascending. `m_slab` is `cout * 16`, `v_slab` is
+    /// `cin * 16`, `u` holds at least `cout * cin` tiles.
+    fn wino_channel_reduce(
+        &self,
+        m_slab: &mut [f32],
+        u: &[[f32; 16]],
+        v_slab: &[f32],
+        cout: usize,
+        cin: usize,
+    );
+
+    /// Fused epilogue head: `row[x] = act(row[x] + bias)`. Bit-identical
+    /// across variants (no multiply-add pairs).
+    fn bias_act_row(&self, row: &mut [f32], bias: f32, act: RowAct);
+
+    /// Residual add: `row[x] += other[x]`. Equal lengths.
+    fn add_row(&self, row: &mut [f32], other: &[f32]);
+
+    /// Doubled write (degenerate 2-layer feature residual): `row[x] +=
+    /// row[x]`.
+    fn double_row(&self, row: &mut [f32]);
+}
+
+/// The implementation for `v`, falling back to the best available variant
+/// when `v` cannot run here (wrong arch, missing CPU features, or pinned
+/// by `force-scalar`). The returned reference is `'static`: hoist it out
+/// of loops and reuse it freely.
+pub fn microkernel(v: KernelVariant) -> &'static dyn Microkernel {
+    let eff = if v.available() {
+        v
+    } else {
+        *detected_variants().last().expect("scalar always present")
+    };
+    match eff {
+        KernelVariant::Scalar => &ScalarKernel,
+        #[cfg(target_arch = "x86_64")]
+        KernelVariant::Avx2 => &Avx2Kernel,
+        #[cfg(target_arch = "x86_64")]
+        KernelVariant::Avx2Fma => &Avx2FmaKernel,
+        #[cfg(target_arch = "aarch64")]
+        KernelVariant::Neon => &NeonKernel,
+        #[allow(unreachable_patterns)]
+        _ => &ScalarKernel,
+    }
+}
+
+/// Shorthand for `microkernel(kernel_variant())`.
+pub fn default_microkernel() -> &'static dyn Microkernel {
+    microkernel(kernel_variant())
+}
+
+/// Serializes tests that mutate the process-global variant against tests
+/// whose assertions compare bitwise outputs of repeated kernel calls (a
+/// mid-test variant flip would make those flaky). Test support only; not
+/// part of the public API.
+#[doc(hidden)]
+pub fn variant_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementation
+// ---------------------------------------------------------------------------
+
+/// Scalar ops shared by [`ScalarKernel`], the NEON stub, and the SIMD
+/// variants' remainder lanes. These are the bit-exact reference: the GEMM
+/// tile matches `gemm.rs`'s historic microkernel, the epilogue ops match
+/// the planner's unfused `emit_row`, and `axpy` matches the direct
+/// convolution's historic tap loop.
+mod scalar {
+    use super::RowAct;
+
+    pub fn gemm_8x8(apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; 8]; 8]) {
+        for p in 0..kc {
+            let av: &[f32; 8] = apanel[p * 8..p * 8 + 8].try_into().expect("panel row");
+            let bv: &[f32; 8] = bstrip[p * 8..p * 8 + 8].try_into().expect("strip row");
+            for (accrow, &aval) in acc.iter_mut().zip(av.iter()) {
+                for (slot, &bval) in accrow.iter_mut().zip(bv.iter()) {
+                    *slot += aval * bval;
+                }
+            }
+        }
+    }
+
+    pub fn axpy(acc: &mut [f32], src: &[f32], c: f32) {
+        for (a, &v) in acc.iter_mut().zip(src) {
+            *a += c * v;
+        }
+    }
+
+    pub fn axpy_taps(acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
+        for (&c, seg) in ws.iter().zip(segs) {
+            axpy(acc, &seg[..acc.len()], c);
+        }
+    }
+
+    pub fn wino_channel_reduce(
+        m_slab: &mut [f32],
+        u: &[[f32; 16]],
+        v_slab: &[f32],
+        cout: usize,
+        cin: usize,
+    ) {
+        for oo in 0..cout {
+            let mut m = [0.0f32; 16];
+            for cc in 0..cin {
+                let ut = &u[oo * cin + cc];
+                let vc = &v_slab[cc * 16..cc * 16 + 16];
+                for k in 0..16 {
+                    m[k] += ut[k] * vc[k];
+                }
+            }
+            m_slab[oo * 16..oo * 16 + 16].copy_from_slice(&m);
+        }
+    }
+
+    pub fn bias_act_row(row: &mut [f32], bias: f32, act: RowAct) {
+        match act {
+            RowAct::Linear => {
+                for v in row.iter_mut() {
+                    *v += bias;
+                }
+            }
+            RowAct::Relu => {
+                for v in row.iter_mut() {
+                    *v = (*v + bias).max(0.0);
+                }
+            }
+            RowAct::PRelu(al) => {
+                for v in row.iter_mut() {
+                    let t = *v + bias;
+                    *v = if t >= 0.0 { t } else { al * t };
+                }
+            }
+        }
+    }
+
+    pub fn add_row(row: &mut [f32], other: &[f32]) {
+        for (v, &o) in row.iter_mut().zip(other) {
+            *v += o;
+        }
+    }
+
+    pub fn double_row(row: &mut [f32]) {
+        for v in row.iter_mut() {
+            *v += *v;
+        }
+    }
+}
+
+/// [`KernelVariant::Scalar`]: the always-available reference.
+struct ScalarKernel;
+
+impl Microkernel for ScalarKernel {
+    fn variant(&self) -> KernelVariant {
+        KernelVariant::Scalar
+    }
+
+    fn gemm_8x8(&self, apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; 8]; 8]) {
+        scalar::gemm_8x8(apanel, bstrip, kc, acc)
+    }
+
+    fn axpy(&self, acc: &mut [f32], src: &[f32], c: f32) {
+        scalar::axpy(acc, src, c)
+    }
+
+    fn axpy_taps(&self, acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
+        scalar::axpy_taps(acc, ws, segs)
+    }
+
+    fn wino_input_transform(&self, d: &[f32; 16]) -> [f32; 16] {
+        crate::winograd::input_transform(d)
+    }
+
+    fn wino_output_transform(&self, m: &[f32; 16]) -> [f32; 4] {
+        crate::winograd::output_transform(m)
+    }
+
+    fn wino_channel_reduce(
+        &self,
+        m_slab: &mut [f32],
+        u: &[[f32; 16]],
+        v_slab: &[f32],
+        cout: usize,
+        cin: usize,
+    ) {
+        scalar::wino_channel_reduce(m_slab, u, v_slab, cout, cin)
+    }
+
+    fn bias_act_row(&self, row: &mut [f32], bias: f32, act: RowAct) {
+        scalar::bias_act_row(row, bias, act)
+    }
+
+    fn add_row(&self, row: &mut [f32], other: &[f32]) {
+        scalar::add_row(row, other)
+    }
+
+    fn double_row(&self, row: &mut [f32]) {
+        scalar::double_row(row)
+    }
+}
+
+/// [`KernelVariant::Neon`]: aarch64 slot. The trait plumbing, detection
+/// order, and tests are arch-neutral; the bodies currently execute the
+/// scalar ops (bit-identical by construction) until 4-lane intrinsics
+/// land. Kept cfg-gated so x86 builds cannot reference it by accident.
+#[cfg(target_arch = "aarch64")]
+struct NeonKernel;
+
+#[cfg(target_arch = "aarch64")]
+impl Microkernel for NeonKernel {
+    fn variant(&self) -> KernelVariant {
+        KernelVariant::Neon
+    }
+
+    fn gemm_8x8(&self, apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; 8]; 8]) {
+        scalar::gemm_8x8(apanel, bstrip, kc, acc)
+    }
+
+    fn axpy(&self, acc: &mut [f32], src: &[f32], c: f32) {
+        scalar::axpy(acc, src, c)
+    }
+
+    fn axpy_taps(&self, acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
+        scalar::axpy_taps(acc, ws, segs)
+    }
+
+    fn wino_input_transform(&self, d: &[f32; 16]) -> [f32; 16] {
+        crate::winograd::input_transform(d)
+    }
+
+    fn wino_output_transform(&self, m: &[f32; 16]) -> [f32; 4] {
+        crate::winograd::output_transform(m)
+    }
+
+    fn wino_channel_reduce(
+        &self,
+        m_slab: &mut [f32],
+        u: &[[f32; 16]],
+        v_slab: &[f32],
+        cout: usize,
+        cin: usize,
+    ) {
+        scalar::wino_channel_reduce(m_slab, u, v_slab, cout, cin)
+    }
+
+    fn bias_act_row(&self, row: &mut [f32], bias: f32, act: RowAct) {
+        scalar::bias_act_row(row, bias, act)
+    }
+
+    fn add_row(&self, row: &mut [f32], other: &[f32]) {
+        scalar::add_row(row, other)
+    }
+
+    fn double_row(&self, row: &mut [f32]) {
+        scalar::double_row(row)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 AVX2 / AVX2+FMA implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::scalar;
+    use super::RowAct;
+    use std::arch::x86_64::*;
+
+    /// Two-rounding multiply-add lane op, shared with the remainder
+    /// helpers below so the non-FMA variant is bit-identical to scalar.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn madd_two_round(a: __m256, b: __m256, c: __m256) -> __m256 {
+        _mm256_add_ps(c, _mm256_mul_ps(a, b))
+    }
+
+    /// Single-rounding fused multiply-add lane op.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 and FMA support.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn madd_fused(a: __m256, b: __m256, c: __m256) -> __m256 {
+        _mm256_fmadd_ps(a, b, c)
+    }
+
+    /// Generates the arithmetic kernel set once per madd flavor. `$madd`
+    /// is the 8-lane multiply-add and `$smadd` its scalar-remainder twin;
+    /// the pair must round identically (`mul`+`add` / `f32::mul_add`, as
+    /// probe-tested) so remainder columns match their vector lanes'
+    /// variant semantics.
+    macro_rules! madd_kernels {
+        ($modname:ident, $feat:literal, $madd:path, $smadd:expr) => {
+            pub mod $modname {
+                use super::*;
+
+                /// 8x8 register-tile GEMM update (see the trait doc).
+                ///
+                /// # Safety
+                ///
+                /// Caller must have verified the `$feat` CPU features, and
+                /// `apanel`/`bstrip` must hold at least `kc * 8` floats.
+                #[target_feature(enable = $feat)]
+                pub unsafe fn gemm_8x8(
+                    apanel: &[f32],
+                    bstrip: &[f32],
+                    kc: usize,
+                    acc: &mut [[f32; 8]; 8],
+                ) {
+                    debug_assert!(apanel.len() >= kc * 8 && bstrip.len() >= kc * 8);
+                    let ap = apanel.as_ptr();
+                    let bp = bstrip.as_ptr();
+                    // SAFETY: acc rows are contiguous [f32; 8]; loads and
+                    // the final stores stay inside the 8x8 array.
+                    unsafe {
+                        let mut c: [__m256; 8] = [
+                            _mm256_loadu_ps(acc[0].as_ptr()),
+                            _mm256_loadu_ps(acc[1].as_ptr()),
+                            _mm256_loadu_ps(acc[2].as_ptr()),
+                            _mm256_loadu_ps(acc[3].as_ptr()),
+                            _mm256_loadu_ps(acc[4].as_ptr()),
+                            _mm256_loadu_ps(acc[5].as_ptr()),
+                            _mm256_loadu_ps(acc[6].as_ptr()),
+                            _mm256_loadu_ps(acc[7].as_ptr()),
+                        ];
+                        // SAFETY: p < kc, so the 8-float rows at p*8 are in
+                        // bounds per this function's length contract.
+                        for p in 0..kc {
+                            let bv = _mm256_loadu_ps(bp.add(p * 8));
+                            let arow = ap.add(p * 8);
+                            for (i, ci) in c.iter_mut().enumerate() {
+                                let av = _mm256_broadcast_ss(&*arow.add(i));
+                                *ci = $madd(av, bv, *ci);
+                            }
+                        }
+                        for (i, ci) in c.iter().enumerate() {
+                            _mm256_storeu_ps(acc[i].as_mut_ptr(), *ci);
+                        }
+                    }
+                }
+
+                /// `acc += c * src` over equal-length slices.
+                ///
+                /// # Safety
+                ///
+                /// Caller must have verified the `$feat` CPU features;
+                /// `src.len() >= acc.len()` must hold.
+                #[target_feature(enable = $feat)]
+                pub unsafe fn axpy(acc: &mut [f32], src: &[f32], cval: f32) {
+                    debug_assert!(src.len() >= acc.len());
+                    let n = acc.len();
+                    let ap = acc.as_mut_ptr();
+                    let sp = src.as_ptr();
+                    let cv = _mm256_set1_ps(cval);
+                    let mut x = 0usize;
+                    // SAFETY: x + 8 <= n, so all lane loads/stores are in
+                    // bounds for both slices.
+                    unsafe {
+                        while x + 8 <= n {
+                            let a = _mm256_loadu_ps(ap.add(x));
+                            let s = _mm256_loadu_ps(sp.add(x));
+                            _mm256_storeu_ps(ap.add(x), $madd(cv, s, a));
+                            x += 8;
+                        }
+                    }
+                    // Remainder columns use the scalar twin of $madd so
+                    // their rounding matches the vector lanes.
+                    for i in x..n {
+                        // SAFETY: i < n <= src.len().
+                        unsafe {
+                            let a = *ap.add(i);
+                            let s = *sp.add(i);
+                            *ap.add(i) = $smadd(cval, s, a);
+                        }
+                    }
+                }
+
+                /// Multi-tap axpy with the accumulator registers held
+                /// across the tap loop (taps ascending per element, same
+                /// chain as successive `axpy` calls).
+                ///
+                /// # Safety
+                ///
+                /// Caller must have verified the `$feat` CPU features;
+                /// `ws.len() == segs.len()` and every `segs[t].len() >=
+                /// acc.len()` must hold.
+                #[target_feature(enable = $feat)]
+                pub unsafe fn axpy_taps(acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
+                    debug_assert_eq!(ws.len(), segs.len());
+                    let n = acc.len();
+                    let ap = acc.as_mut_ptr();
+                    let mut x = 0usize;
+                    // 32-column blocks: 4 accumulator registers stay live
+                    // across every tap, quartering acc load/store traffic
+                    // versus per-tap axpy.
+                    // SAFETY: x + 64 (resp. 32, 8) <= n and segs[t].len()
+                    // >= n, so every lane access below is in bounds.
+                    unsafe {
+                        // 64-column blocks: 8 accumulator chains in
+                        // flight. The per-column chain must stay in tap
+                        // order, so the only latency lever is more
+                        // independent columns per block.
+                        while x + 64 <= n {
+                            let mut a0 = _mm256_loadu_ps(ap.add(x));
+                            let mut a1 = _mm256_loadu_ps(ap.add(x + 8));
+                            let mut a2 = _mm256_loadu_ps(ap.add(x + 16));
+                            let mut a3 = _mm256_loadu_ps(ap.add(x + 24));
+                            let mut a4 = _mm256_loadu_ps(ap.add(x + 32));
+                            let mut a5 = _mm256_loadu_ps(ap.add(x + 40));
+                            let mut a6 = _mm256_loadu_ps(ap.add(x + 48));
+                            let mut a7 = _mm256_loadu_ps(ap.add(x + 56));
+                            for (t, seg) in segs.iter().enumerate() {
+                                let cv = _mm256_set1_ps(*ws.get_unchecked(t));
+                                let sp = seg.as_ptr().add(x);
+                                a0 = $madd(cv, _mm256_loadu_ps(sp), a0);
+                                a1 = $madd(cv, _mm256_loadu_ps(sp.add(8)), a1);
+                                a2 = $madd(cv, _mm256_loadu_ps(sp.add(16)), a2);
+                                a3 = $madd(cv, _mm256_loadu_ps(sp.add(24)), a3);
+                                a4 = $madd(cv, _mm256_loadu_ps(sp.add(32)), a4);
+                                a5 = $madd(cv, _mm256_loadu_ps(sp.add(40)), a5);
+                                a6 = $madd(cv, _mm256_loadu_ps(sp.add(48)), a6);
+                                a7 = $madd(cv, _mm256_loadu_ps(sp.add(56)), a7);
+                            }
+                            _mm256_storeu_ps(ap.add(x), a0);
+                            _mm256_storeu_ps(ap.add(x + 8), a1);
+                            _mm256_storeu_ps(ap.add(x + 16), a2);
+                            _mm256_storeu_ps(ap.add(x + 24), a3);
+                            _mm256_storeu_ps(ap.add(x + 32), a4);
+                            _mm256_storeu_ps(ap.add(x + 40), a5);
+                            _mm256_storeu_ps(ap.add(x + 48), a6);
+                            _mm256_storeu_ps(ap.add(x + 56), a7);
+                            x += 64;
+                        }
+                        while x + 32 <= n {
+                            let mut a0 = _mm256_loadu_ps(ap.add(x));
+                            let mut a1 = _mm256_loadu_ps(ap.add(x + 8));
+                            let mut a2 = _mm256_loadu_ps(ap.add(x + 16));
+                            let mut a3 = _mm256_loadu_ps(ap.add(x + 24));
+                            for (t, seg) in segs.iter().enumerate() {
+                                let cv = _mm256_set1_ps(*ws.get_unchecked(t));
+                                let sp = seg.as_ptr().add(x);
+                                a0 = $madd(cv, _mm256_loadu_ps(sp), a0);
+                                a1 = $madd(cv, _mm256_loadu_ps(sp.add(8)), a1);
+                                a2 = $madd(cv, _mm256_loadu_ps(sp.add(16)), a2);
+                                a3 = $madd(cv, _mm256_loadu_ps(sp.add(24)), a3);
+                            }
+                            _mm256_storeu_ps(ap.add(x), a0);
+                            _mm256_storeu_ps(ap.add(x + 8), a1);
+                            _mm256_storeu_ps(ap.add(x + 16), a2);
+                            _mm256_storeu_ps(ap.add(x + 24), a3);
+                            x += 32;
+                        }
+                        while x + 8 <= n {
+                            let mut a0 = _mm256_loadu_ps(ap.add(x));
+                            for (t, seg) in segs.iter().enumerate() {
+                                let cv = _mm256_set1_ps(*ws.get_unchecked(t));
+                                a0 = $madd(cv, _mm256_loadu_ps(seg.as_ptr().add(x)), a0);
+                            }
+                            _mm256_storeu_ps(ap.add(x), a0);
+                            x += 8;
+                        }
+                    }
+                    for i in x..n {
+                        // SAFETY: i < n <= segs[t].len() for every t.
+                        unsafe {
+                            let mut a = *ap.add(i);
+                            for (t, seg) in segs.iter().enumerate() {
+                                a = $smadd(*ws.get_unchecked(t), *seg.as_ptr().add(i), a);
+                            }
+                            *ap.add(i) = a;
+                        }
+                    }
+                }
+
+                /// Winograd channel reduction with the two 8-lane m-tile
+                /// accumulators register-resident across the whole `cin`
+                /// loop, output channels blocked by four to share each
+                /// `v` load.
+                ///
+                /// # Safety
+                ///
+                /// Caller must have verified the `$feat` CPU features;
+                /// `m_slab.len() >= cout * 16`, `v_slab.len() >= cin * 16`
+                /// and `u.len() >= cout * cin` must hold.
+                #[target_feature(enable = $feat)]
+                pub unsafe fn wino_channel_reduce(
+                    m_slab: &mut [f32],
+                    u: &[[f32; 16]],
+                    v_slab: &[f32],
+                    cout: usize,
+                    cin: usize,
+                ) {
+                    debug_assert!(m_slab.len() >= cout * 16);
+                    debug_assert!(v_slab.len() >= cin * 16);
+                    debug_assert!(u.len() >= cout * cin);
+                    let vp = v_slab.as_ptr();
+                    let mp = m_slab.as_mut_ptr();
+                    let up = u.as_ptr() as *const f32;
+                    let mut oo = 0usize;
+                    // SAFETY: (whole body) all tile indices stay below the
+                    // bounds asserted above; every load/store touches one
+                    // 16-float tile at tile-index * 16.
+                    unsafe {
+                        while oo + 4 <= cout {
+                            let mut m00 = _mm256_setzero_ps();
+                            let mut m01 = _mm256_setzero_ps();
+                            let mut m10 = _mm256_setzero_ps();
+                            let mut m11 = _mm256_setzero_ps();
+                            let mut m20 = _mm256_setzero_ps();
+                            let mut m21 = _mm256_setzero_ps();
+                            let mut m30 = _mm256_setzero_ps();
+                            let mut m31 = _mm256_setzero_ps();
+                            for cc in 0..cin {
+                                let v0 = _mm256_loadu_ps(vp.add(cc * 16));
+                                let v1 = _mm256_loadu_ps(vp.add(cc * 16 + 8));
+                                let u0 = up.add((oo * cin + cc) * 16);
+                                let u1 = up.add(((oo + 1) * cin + cc) * 16);
+                                let u2 = up.add(((oo + 2) * cin + cc) * 16);
+                                let u3 = up.add(((oo + 3) * cin + cc) * 16);
+                                m00 = $madd(_mm256_loadu_ps(u0), v0, m00);
+                                m01 = $madd(_mm256_loadu_ps(u0.add(8)), v1, m01);
+                                m10 = $madd(_mm256_loadu_ps(u1), v0, m10);
+                                m11 = $madd(_mm256_loadu_ps(u1.add(8)), v1, m11);
+                                m20 = $madd(_mm256_loadu_ps(u2), v0, m20);
+                                m21 = $madd(_mm256_loadu_ps(u2.add(8)), v1, m21);
+                                m30 = $madd(_mm256_loadu_ps(u3), v0, m30);
+                                m31 = $madd(_mm256_loadu_ps(u3.add(8)), v1, m31);
+                            }
+                            _mm256_storeu_ps(mp.add(oo * 16), m00);
+                            _mm256_storeu_ps(mp.add(oo * 16 + 8), m01);
+                            _mm256_storeu_ps(mp.add((oo + 1) * 16), m10);
+                            _mm256_storeu_ps(mp.add((oo + 1) * 16 + 8), m11);
+                            _mm256_storeu_ps(mp.add((oo + 2) * 16), m20);
+                            _mm256_storeu_ps(mp.add((oo + 2) * 16 + 8), m21);
+                            _mm256_storeu_ps(mp.add((oo + 3) * 16), m30);
+                            _mm256_storeu_ps(mp.add((oo + 3) * 16 + 8), m31);
+                            oo += 4;
+                        }
+                        while oo < cout {
+                            let mut m0 = _mm256_setzero_ps();
+                            let mut m1 = _mm256_setzero_ps();
+                            for cc in 0..cin {
+                                let ut = up.add((oo * cin + cc) * 16);
+                                let v0 = _mm256_loadu_ps(vp.add(cc * 16));
+                                let v1 = _mm256_loadu_ps(vp.add(cc * 16 + 8));
+                                m0 = $madd(_mm256_loadu_ps(ut), v0, m0);
+                                m1 = $madd(_mm256_loadu_ps(ut.add(8)), v1, m1);
+                            }
+                            _mm256_storeu_ps(mp.add(oo * 16), m0);
+                            _mm256_storeu_ps(mp.add(oo * 16 + 8), m1);
+                            oo += 1;
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    madd_kernels!(
+        two_round,
+        "avx2",
+        madd_two_round,
+        |a: f32, b: f32, c: f32| c + a * b
+    );
+    madd_kernels!(fused, "avx2,fma", madd_fused, |a: f32, b: f32, c: f32| a
+        .mul_add(b, c));
+
+    // --- madd-free kernels, shared by both AVX2 variants ------------------
+
+    /// Winograd input transform, SSE 4-lane over the row/column
+    /// butterflies (pure add/sub: bit-identical to the scalar transform
+    /// under any lane arrangement).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 (implies SSE) support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wino_input_transform(d: &[f32; 16]) -> [f32; 16] {
+        let mut out = [0.0f32; 16];
+        // SAFETY: all loads/stores address one of the four 4-float rows of
+        // the 16-float tiles.
+        unsafe {
+            let p = d.as_ptr();
+            let d0 = _mm_loadu_ps(p);
+            let d1 = _mm_loadu_ps(p.add(4));
+            let d2 = _mm_loadu_ps(p.add(8));
+            let d3 = _mm_loadu_ps(p.add(12));
+            // Row pass (Bᵀ · d), 4 columns per op.
+            let t0 = _mm_sub_ps(d0, d2);
+            let t1 = _mm_add_ps(d1, d2);
+            let t2 = _mm_sub_ps(d2, d1);
+            let t3 = _mm_sub_ps(d1, d3);
+            // Column pass (· B) via transpose, the same butterflies, and
+            // transpose back: per-element operand pairs are unchanged.
+            let (c0, c1, c2, c3) = transpose4(t0, t1, t2, t3);
+            let o0 = _mm_sub_ps(c0, c2);
+            let o1 = _mm_add_ps(c1, c2);
+            let o2 = _mm_sub_ps(c2, c1);
+            let o3 = _mm_sub_ps(c1, c3);
+            let (r0, r1, r2, r3) = transpose4(o0, o1, o2, o3);
+            let q = out.as_mut_ptr();
+            _mm_storeu_ps(q, r0);
+            _mm_storeu_ps(q.add(4), r1);
+            _mm_storeu_ps(q.add(8), r2);
+            _mm_storeu_ps(q.add(12), r3);
+        }
+        out
+    }
+
+    /// Fused interior gather + input transform over all channels (see
+    /// the trait method doc): strided 4-float row loads straight from
+    /// the channel planes, the same butterflies as
+    /// [`wino_input_transform`], one store per tile row.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support, and that for every
+    /// channel the 4x4 window is in bounds: `(cin-1)*plane_len + base +
+    /// 3*stride + 4 <= src.len()` and `v_slab.len() >= cin * 16`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wino_input_transform_interior(
+        src: &[f32],
+        plane_len: usize,
+        base: usize,
+        stride: usize,
+        v_slab: &mut [f32],
+        cin: usize,
+    ) {
+        debug_assert!(v_slab.len() >= cin * 16);
+        debug_assert!(cin == 0 || (cin - 1) * plane_len + base + 3 * stride + 4 <= src.len());
+        // SAFETY: the caller guarantees every strided 4-float row load
+        // is in bounds; stores stay below `cin * 16`.
+        unsafe {
+            let q = v_slab.as_mut_ptr();
+            for cc in 0..cin {
+                let p = src.as_ptr().add(cc * plane_len + base);
+                let d0 = _mm_loadu_ps(p);
+                let d1 = _mm_loadu_ps(p.add(stride));
+                let d2 = _mm_loadu_ps(p.add(2 * stride));
+                let d3 = _mm_loadu_ps(p.add(3 * stride));
+                let t0 = _mm_sub_ps(d0, d2);
+                let t1 = _mm_add_ps(d1, d2);
+                let t2 = _mm_sub_ps(d2, d1);
+                let t3 = _mm_sub_ps(d1, d3);
+                let (c0, c1, c2, c3) = transpose4(t0, t1, t2, t3);
+                let o0 = _mm_sub_ps(c0, c2);
+                let o1 = _mm_add_ps(c1, c2);
+                let o2 = _mm_sub_ps(c2, c1);
+                let o3 = _mm_sub_ps(c1, c3);
+                let (r0, r1, r2, r3) = transpose4(o0, o1, o2, o3);
+                let qq = q.add(cc * 16);
+                _mm_storeu_ps(qq, r0);
+                _mm_storeu_ps(qq.add(4), r1);
+                _mm_storeu_ps(qq.add(8), r2);
+                _mm_storeu_ps(qq.add(12), r3);
+            }
+        }
+    }
+
+    /// Winograd output transform (2x2 from the 4x4 m-tile). Pure add/sub.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 (implies SSE) support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wino_output_transform(m: &[f32; 16]) -> [f32; 4] {
+        // SAFETY: loads address the four 4-float rows of the tile.
+        unsafe {
+            let p = m.as_ptr();
+            let m0 = _mm_loadu_ps(p);
+            let m1 = _mm_loadu_ps(p.add(4));
+            let m2 = _mm_loadu_ps(p.add(8));
+            let m3 = _mm_loadu_ps(p.add(12));
+            // Row pass (Aᵀ · m): two 4-wide rows.
+            let t0 = _mm_add_ps(_mm_add_ps(m0, m1), m2);
+            let t1 = _mm_sub_ps(_mm_sub_ps(m1, m2), m3);
+            // Column pass: scalar butterflies on the 8 staged values, the
+            // same operand pairs as the scalar transform.
+            let mut t = [0.0f32; 8];
+            _mm_storeu_ps(t.as_mut_ptr(), t0);
+            _mm_storeu_ps(t.as_mut_ptr().add(4), t1);
+            [
+                t[0] + t[1] + t[2],
+                t[1] - t[2] - t[3],
+                t[4] + t[5] + t[6],
+                t[5] - t[6] - t[7],
+            ]
+        }
+    }
+
+    /// 4x4 transpose of four SSE rows.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified SSE support (implied by AVX2).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn transpose4(
+        r0: __m128,
+        r1: __m128,
+        r2: __m128,
+        r3: __m128,
+    ) -> (__m128, __m128, __m128, __m128) {
+        let lo01 = _mm_unpacklo_ps(r0, r1);
+        let hi01 = _mm_unpackhi_ps(r0, r1);
+        let lo23 = _mm_unpacklo_ps(r2, r3);
+        let hi23 = _mm_unpackhi_ps(r2, r3);
+        (
+            _mm_movelh_ps(lo01, lo23),
+            _mm_movehl_ps(lo23, lo01),
+            _mm_movelh_ps(hi01, hi23),
+            _mm_movehl_ps(hi23, hi01),
+        )
+    }
+
+    /// Fused epilogue head: `row = act(row + bias)`. No multiply-add
+    /// pairs, so one implementation serves both AVX2 variants and is
+    /// bit-identical to scalar: the ReLU lane `max(t, +0.0)` (zero in the
+    /// second operand) matches `f32::max` on -0.0/NaN, and the PReLU
+    /// `GE_OQ` compare sends NaN to the `slope * t` arm exactly like the
+    /// scalar `if t >= 0.0` test.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bias_act_row(row: &mut [f32], bias: f32, act: RowAct) {
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        let bv = _mm256_set1_ps(bias);
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n for every lane access.
+        unsafe {
+            match act {
+                RowAct::Linear => {
+                    while x + 8 <= n {
+                        let t = _mm256_add_ps(_mm256_loadu_ps(p.add(x)), bv);
+                        _mm256_storeu_ps(p.add(x), t);
+                        x += 8;
+                    }
+                }
+                RowAct::Relu => {
+                    let zero = _mm256_setzero_ps();
+                    while x + 8 <= n {
+                        let t = _mm256_add_ps(_mm256_loadu_ps(p.add(x)), bv);
+                        _mm256_storeu_ps(p.add(x), _mm256_max_ps(t, zero));
+                        x += 8;
+                    }
+                }
+                RowAct::PRelu(al) => {
+                    let av = _mm256_set1_ps(al);
+                    let zero = _mm256_setzero_ps();
+                    while x + 8 <= n {
+                        let t = _mm256_add_ps(_mm256_loadu_ps(p.add(x)), bv);
+                        let keep = _mm256_cmp_ps(t, zero, _CMP_GE_OQ);
+                        let neg = _mm256_mul_ps(av, t);
+                        _mm256_storeu_ps(p.add(x), _mm256_blendv_ps(neg, t, keep));
+                        x += 8;
+                    }
+                }
+            }
+        }
+        scalar::bias_act_row(&mut row[x..], bias, act);
+    }
+
+    /// Residual add, 8 lanes at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `other.len() >= row.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_row(row: &mut [f32], other: &[f32]) {
+        debug_assert!(other.len() >= row.len());
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        let q = other.as_ptr();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n <= other.len() for every lane access.
+        unsafe {
+            while x + 8 <= n {
+                let s = _mm256_add_ps(_mm256_loadu_ps(p.add(x)), _mm256_loadu_ps(q.add(x)));
+                _mm256_storeu_ps(p.add(x), s);
+                x += 8;
+            }
+        }
+        scalar::add_row(&mut row[x..], &other[x..n]);
+    }
+
+    /// Doubled write, 8 lanes at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn double_row(row: &mut [f32]) {
+        let n = row.len();
+        let p = row.as_mut_ptr();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n for every lane access.
+        unsafe {
+            while x + 8 <= n {
+                let v = _mm256_loadu_ps(p.add(x));
+                _mm256_storeu_ps(p.add(x), _mm256_add_ps(v, v));
+                x += 8;
+            }
+        }
+        scalar::double_row(&mut row[x..]);
+    }
+}
+
+/// Implements the trait for one AVX2 flavor by delegating every method to
+/// the matching `x86` free functions. Both structs are only ever handed
+/// out by [`microkernel`] after `is_x86_feature_detected!` confirmed the
+/// features, which is the safety argument each `unsafe` block relies on.
+#[cfg(target_arch = "x86_64")]
+macro_rules! avx2_trait_impl {
+    ($name:ident, $variant:expr, $madd_mod:ident) => {
+        struct $name;
+
+        impl Microkernel for $name {
+            fn variant(&self) -> KernelVariant {
+                $variant
+            }
+
+            fn gemm_8x8(&self, apanel: &[f32], bstrip: &[f32], kc: usize, acc: &mut [[f32; 8]; 8]) {
+                assert!(apanel.len() >= kc * 8, "A panel too short");
+                assert!(bstrip.len() >= kc * 8, "B strip too short");
+                // SAFETY: features verified at dispatch (see macro doc);
+                // panel lengths asserted above.
+                unsafe { x86::$madd_mod::gemm_8x8(apanel, bstrip, kc, acc) }
+            }
+
+            fn axpy(&self, acc: &mut [f32], src: &[f32], c: f32) {
+                assert!(src.len() >= acc.len(), "src shorter than acc");
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::$madd_mod::axpy(acc, src, c) }
+            }
+
+            fn axpy_taps(&self, acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
+                assert_eq!(ws.len(), segs.len(), "one weight per tap");
+                for seg in segs {
+                    assert!(seg.len() >= acc.len(), "tap segment shorter than acc");
+                }
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::$madd_mod::axpy_taps(acc, ws, segs) }
+            }
+
+            fn wino_input_transform(&self, d: &[f32; 16]) -> [f32; 16] {
+                // SAFETY: features verified at dispatch.
+                unsafe { x86::wino_input_transform(d) }
+            }
+
+            fn wino_output_transform(&self, m: &[f32; 16]) -> [f32; 4] {
+                // SAFETY: features verified at dispatch.
+                unsafe { x86::wino_output_transform(m) }
+            }
+
+            fn wino_input_transform_interior(
+                &self,
+                src: &[f32],
+                plane_len: usize,
+                base: usize,
+                stride: usize,
+                v_slab: &mut [f32],
+                cin: usize,
+            ) {
+                assert!(v_slab.len() >= cin * 16, "v slab too short");
+                assert!(
+                    cin == 0 || (cin - 1) * plane_len + base + 3 * stride + 4 <= src.len(),
+                    "interior window out of bounds"
+                );
+                // SAFETY: features verified at dispatch; bounds asserted.
+                unsafe {
+                    x86::wino_input_transform_interior(src, plane_len, base, stride, v_slab, cin)
+                }
+            }
+
+            fn wino_channel_reduce(
+                &self,
+                m_slab: &mut [f32],
+                u: &[[f32; 16]],
+                v_slab: &[f32],
+                cout: usize,
+                cin: usize,
+            ) {
+                assert!(m_slab.len() >= cout * 16, "m slab too short");
+                assert!(v_slab.len() >= cin * 16, "v slab too short");
+                assert!(u.len() >= cout * cin, "u tile table too short");
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::$madd_mod::wino_channel_reduce(m_slab, u, v_slab, cout, cin) }
+            }
+
+            fn bias_act_row(&self, row: &mut [f32], bias: f32, act: RowAct) {
+                // SAFETY: features verified at dispatch.
+                unsafe { x86::bias_act_row(row, bias, act) }
+            }
+
+            fn add_row(&self, row: &mut [f32], other: &[f32]) {
+                assert!(other.len() >= row.len(), "residual row too short");
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::add_row(row, other) }
+            }
+
+            fn double_row(&self, row: &mut [f32]) {
+                // SAFETY: features verified at dispatch.
+                unsafe { x86::double_row(row) }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+avx2_trait_impl!(Avx2Kernel, KernelVariant::Avx2, two_round);
+#[cfg(target_arch = "x86_64")]
+avx2_trait_impl!(Avx2FmaKernel, KernelVariant::Avx2Fma, fused);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f32> {
+        crate::Tensor::randn(&[n.max(1)], 0.0, 1.0, seed).into_vec()[..n].to_vec()
+    }
+
+    /// Rough per-kernel GFLOP/s probe for hand-tuning; run with
+    /// `cargo test --release -- --ignored --nocapture kernel_throughput`.
+    #[test]
+    #[ignore]
+    fn kernel_throughput_probe() {
+        use std::time::Instant;
+        let mk = default_microkernel();
+        println!("variant: {}", mk.variant().name());
+        // axpy_taps: 400 taps x 316 columns (the m5 head shape).
+        let (nt, n) = (400usize, 316usize);
+        let ws = seeded(nt, 1);
+        let backing = seeded(n + 64, 2);
+        let segs: Vec<&[f32]> = (0..nt).map(|t| &backing[t % 32..]).collect();
+        let mut acc = seeded(n, 3);
+        let reps = 2000;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            mk.axpy_taps(&mut acc, &ws, &segs);
+        }
+        let el = t0.elapsed().as_secs_f64();
+        println!(
+            "axpy_taps {}x{}: {:.1} GFLOP/s",
+            nt,
+            n,
+            (2.0 * nt as f64 * n as f64 * reps as f64) / el / 1e9
+        );
+        // wino_channel_reduce: 16x16 channels (the m5 feature layers).
+        let (cout, cin) = (16usize, 16usize);
+        let uflat = seeded(cout * cin * 16, 4);
+        let u: Vec<[f32; 16]> = uflat
+            .chunks_exact(16)
+            .map(|c| c.try_into().unwrap())
+            .collect();
+        let v = seeded(cin * 16, 5);
+        let mut m = vec![0.0f32; cout * 16];
+        let reps = 100_000;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            mk.wino_channel_reduce(&mut m, &u, &v, cout, cin);
+        }
+        let el = t0.elapsed().as_secs_f64();
+        println!(
+            "wino_channel_reduce {}x{}: {:.1} GFLOP/s",
+            cout,
+            cin,
+            (2.0 * cout as f64 * cin as f64 * 16.0 * reps as f64) / el / 1e9
+        );
+        assert!(acc[0].is_finite() && m[0].is_finite());
+    }
+
+    /// Variants whose arithmetic must equal scalar bit-for-bit.
+    fn two_round_variants() -> Vec<KernelVariant> {
+        detected_variants()
+            .iter()
+            .copied()
+            .filter(|v| !v.fused_madd())
+            .collect()
+    }
+
+    #[test]
+    fn scalar_is_always_detected_and_first() {
+        let vs = detected_variants();
+        assert_eq!(vs[0], KernelVariant::Scalar);
+        assert!(KernelVariant::Scalar.available());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for v in [
+            KernelVariant::Scalar,
+            KernelVariant::Avx2,
+            KernelVariant::Avx2Fma,
+            KernelVariant::Neon,
+        ] {
+            assert_eq!(KernelVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(KernelVariant::parse("mmx"), None);
+    }
+
+    #[test]
+    fn set_variant_returns_previous_and_degrades() {
+        let _guard = variant_test_lock();
+        let base = kernel_variant();
+        let prev = set_kernel_variant(KernelVariant::Scalar);
+        assert_eq!(prev, base);
+        assert_eq!(kernel_variant(), KernelVariant::Scalar);
+        // Neon is never available on x86 (nor under force-scalar):
+        // requesting it must degrade to the best available variant, not
+        // panic or silently dispatch a stub.
+        if !KernelVariant::Neon.available() {
+            set_kernel_variant(KernelVariant::Neon);
+            assert!(kernel_variant().available());
+        }
+        set_kernel_variant(base);
+    }
+
+    #[test]
+    fn unavailable_variant_dispatches_to_available_kernel() {
+        if !KernelVariant::Neon.available() {
+            let mk = microkernel(KernelVariant::Neon);
+            assert!(mk.variant().available());
+        }
+    }
+
+    #[test]
+    fn gemm_tile_two_round_variants_match_scalar_bitwise() {
+        for kc in [1usize, 2, 7, 64, 256] {
+            let a = seeded(kc * 8, 11 + kc as u64);
+            let b = seeded(kc * 8, 23 + kc as u64);
+            let mut want = [[0.1f32; 8]; 8];
+            microkernel(KernelVariant::Scalar).gemm_8x8(&a, &b, kc, &mut want);
+            for v in two_round_variants() {
+                let mut got = [[0.1f32; 8]; 8];
+                microkernel(v).gemm_8x8(&a, &b, kc, &mut got);
+                for i in 0..8 {
+                    for j in 0..8 {
+                        assert_eq!(
+                            want[i][j].to_bits(),
+                            got[i][j].to_bits(),
+                            "{} kc={kc} ({i},{j})",
+                            v.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fma_gemm_tile_is_close_and_self_consistent() {
+        if !KernelVariant::Avx2Fma.available() {
+            return;
+        }
+        let kc = 96;
+        let a = seeded(kc * 8, 31);
+        let b = seeded(kc * 8, 37);
+        let mut sc = [[0.0f32; 8]; 8];
+        microkernel(KernelVariant::Scalar).gemm_8x8(&a, &b, kc, &mut sc);
+        let mut f1 = [[0.0f32; 8]; 8];
+        let mut f2 = [[0.0f32; 8]; 8];
+        let mk = microkernel(KernelVariant::Avx2Fma);
+        mk.gemm_8x8(&a, &b, kc, &mut f1);
+        mk.gemm_8x8(&a, &b, kc, &mut f2);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(f1[i][j].to_bits(), f2[i][j].to_bits(), "not deterministic");
+                assert!(
+                    (f1[i][j] - sc[i][j]).abs() < 1e-3 * (kc as f32).sqrt(),
+                    "fma too far from scalar at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_taps_matches_sequential_axpy_per_variant() {
+        // The multi-tap kernel must equal T successive axpy calls *within
+        // every variant* (that is the associativity contract the direct
+        // convolution relies on).
+        for v in detected_variants().iter().copied() {
+            let mk = microkernel(v);
+            for (n, t) in [(1usize, 1usize), (7, 3), (33, 5), (64, 25), (100, 2)] {
+                let ws = seeded(t, 41 + n as u64);
+                let backing: Vec<Vec<f32>> = (0..t)
+                    .map(|i| seeded(n + 3, 100 + i as u64 + n as u64))
+                    .collect();
+                let segs: Vec<&[f32]> = backing.iter().map(|s| &s[..]).collect();
+                let mut seq = seeded(n, 7);
+                for (w, seg) in ws.iter().zip(&segs) {
+                    mk.axpy(&mut seq, &seg[..n], *w);
+                }
+                let mut multi = seeded(n, 7);
+                mk.axpy_taps(&mut multi, &ws, &segs);
+                for (i, (a, b)) in seq.iter().zip(&multi).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} n={n} t={t} x={i}", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_two_round_variants_match_scalar_bitwise() {
+        for n in [1usize, 5, 8, 17, 64, 129] {
+            let src = seeded(n, 3 + n as u64);
+            let mut want = seeded(n, 5);
+            microkernel(KernelVariant::Scalar).axpy(&mut want, &src, 0.37);
+            for v in two_round_variants() {
+                let mut got = seeded(n, 5);
+                microkernel(v).axpy(&mut got, &src, 0.37);
+                assert_eq!(
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{} n={n}",
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wino_transforms_match_scalar_bitwise_for_all_variants() {
+        // Transforms are pure add/sub: exact for every variant, fused or
+        // not.
+        for seed in 0..8u64 {
+            let d: [f32; 16] = seeded(16, 60 + seed).try_into().unwrap();
+            let want_in = crate::winograd::input_transform(&d);
+            let want_out = crate::winograd::output_transform(&d);
+            for v in detected_variants().iter().copied() {
+                let mk = microkernel(v);
+                let got_in = mk.wino_input_transform(&d);
+                let got_out = mk.wino_output_transform(&d);
+                for k in 0..16 {
+                    assert_eq!(want_in[k].to_bits(), got_in[k].to_bits(), "{}", v.name());
+                }
+                for k in 0..4 {
+                    assert_eq!(want_out[k].to_bits(), got_out[k].to_bits(), "{}", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wino_channel_reduce_two_round_matches_scalar_bitwise() {
+        for (cout, cin) in [(1usize, 1usize), (4, 3), (16, 16), (5, 7), (3, 16)] {
+            let u: Vec<[f32; 16]> = (0..cout * cin)
+                .map(|i| seeded(16, 200 + i as u64).try_into().unwrap())
+                .collect();
+            let v_slab = seeded(cin * 16, 300 + (cout * cin) as u64);
+            let mut want = vec![0.0f32; cout * 16];
+            microkernel(KernelVariant::Scalar)
+                .wino_channel_reduce(&mut want, &u, &v_slab, cout, cin);
+            for v in two_round_variants() {
+                let mut got = vec![1.0f32; cout * 16];
+                microkernel(v).wino_channel_reduce(&mut got, &u, &v_slab, cout, cin);
+                assert_eq!(
+                    want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{} {cout}x{cin}",
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_rows_match_scalar_bitwise_for_all_variants() {
+        // Epilogue ops carry no multiply-add pairs: every variant must be
+        // bit-identical to scalar, including the IEEE corners (-0.0, NaN,
+        // values that flip sign under bias).
+        let mut base = seeded(37, 400);
+        base[0] = -0.0;
+        base[1] = 0.0;
+        base[2] = f32::NAN;
+        base[3] = -1.0e-30;
+        for act in [RowAct::Linear, RowAct::Relu, RowAct::PRelu(-0.25)] {
+            for bias in [0.0f32, -0.5, 0.37] {
+                let mut want = base.clone();
+                scalar::bias_act_row(&mut want, bias, act);
+                for v in detected_variants().iter().copied() {
+                    let mut got = base.clone();
+                    microkernel(v).bias_act_row(&mut got, bias, act);
+                    assert_eq!(
+                        want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{} {act:?} bias={bias}",
+                        v.name()
+                    );
+                }
+            }
+        }
+        let other = seeded(37, 401);
+        let mut want = base.clone();
+        scalar::add_row(&mut want, &other);
+        scalar::double_row(&mut want);
+        for v in detected_variants().iter().copied() {
+            let mut got = base.clone();
+            let mk = microkernel(v);
+            mk.add_row(&mut got, &other);
+            mk.double_row(&mut got);
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fma_scalar_remainder_matches_vector_lanes() {
+        // One value processed in a vector lane (index 0 of a 9-long
+        // buffer) and the same value in the scalar remainder (index 8)
+        // must round identically under the fused variant.
+        if !KernelVariant::Avx2Fma.available() {
+            return;
+        }
+        let mk = microkernel(KernelVariant::Avx2Fma);
+        let val = 3.000_000_4f32;
+        let mut acc = vec![-3.0f32; 9];
+        let src = vec![val; 9];
+        mk.axpy(&mut acc, &src, 1.000_000_1);
+        assert_eq!(acc[0].to_bits(), acc[8].to_bits());
+        assert_eq!(
+            acc[0].to_bits(),
+            1.000_000_1f32.mul_add(val, -3.0).to_bits()
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! with the canonical 4x4/4x3/4x2 matrices `B`, `G`, `A` below.
 
 use crate::conv::{Conv2dParams, Padding};
+use crate::simd::default_microkernel;
 use crate::tensor::Tensor;
 
 /// Applies `Bᵀ d B` to a 4x4 input tile (in place on a scratch array).
@@ -116,9 +117,12 @@ pub fn winograd_conv3x3(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) 
     let tiles_x = w.div_ceil(2);
     let mut out = Tensor::zeros(&[n, o, h, w]);
     let in_data = input.data();
+    let mk = default_microkernel();
 
-    // Scratch for the transformed input tiles of one spatial tile.
+    // Scratch for the transformed input tiles of one spatial tile, plus
+    // the element-product tiles of every output channel.
     let mut v = vec![[0.0f32; 16]; c];
+    let mut m_slab = vec![0.0f32; o * 16];
     for ni in 0..n {
         for ty in 0..tiles_y {
             for tx in 0..tiles_x {
@@ -141,18 +145,17 @@ pub fn winograd_conv3x3(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) 
                             d[4 * dy + dx] = plane[iy as usize * w + ix as usize];
                         }
                     }
-                    *v_cc = input_transform(&d);
+                    *v_cc = mk.wino_input_transform(&d);
                 }
-                // Accumulate per output channel.
+                // Accumulate per output channel (the hot loop: dispatched
+                // so SIMD variants keep the tile accumulators in registers
+                // across the channel reduction).
+                mk.wino_channel_reduce(&mut m_slab, &u, v.as_flattened(), o, c);
                 for oo in 0..o {
-                    let mut m = [0.0f32; 16];
-                    for (cc, v_cc) in v.iter().enumerate() {
-                        let u_tile = &u[oo * c + cc];
-                        for k in 0..16 {
-                            m[k] += u_tile[k] * v_cc[k];
-                        }
-                    }
-                    let y = output_transform(&m);
+                    let m: &[f32; 16] = m_slab[oo * 16..oo * 16 + 16]
+                        .try_into()
+                        .expect("16-element tile");
+                    let y = mk.wino_output_transform(m);
                     let b = bias.map_or(0.0, |b| b.data()[oo]);
                     let out_plane = (ni * o + oo) * h * w;
                     for dy in 0..2 {

@@ -1,0 +1,328 @@
+//! Property-based identity sweep for the SIMD microkernels.
+//!
+//! Every detected variant is checked bitwise against a reference chain
+//! built from the documented per-element contract: non-fusing variants
+//! (`scalar`, `avx2`, the NEON stub) must match the two-rounding chain
+//! `c + a*b`, the fusing variant (`avx2fma`) must match the
+//! single-rounding chain `a.mul_add(b, c)` — same taps, same ascending
+//! order, only the rounding of the multiply-add pair differs. Pure
+//! add/sub kernels (the Winograd transforms, the epilogue rows) must be
+//! bit-identical across *all* variants.
+//!
+//! Shapes, lengths, slice offsets (alignment), and remainder columns are
+//! all drawn randomly, so the vector-body/remainder seams of the AVX2
+//! kernels are exercised at every width. On a machine without AVX2 (or
+//! under `--features force-scalar`) `detected_variants()` is just
+//! `[scalar]` and the sweep degenerates to checking the reference against
+//! itself — the CI scalar leg still compiles and runs every property.
+//!
+//! The autotuner properties pin the other satellite guarantee: `pick` is
+//! a pure function of the measured costs (argmin, first-index tiebreak),
+//! so a pinned measurement sequence yields a pinned choice.
+
+use proptest::prelude::*;
+use sesr_tensor::autotune::{gemm_blocking_with, pick, GemmBlocking};
+use sesr_tensor::simd::{detected_variants, microkernel, KernelVariant, RowAct};
+
+/// One multiply-add with the variant's documented rounding behavior.
+fn madd(fused: bool, a: f32, b: f32, c: f32) -> f32 {
+    if fused {
+        a.mul_add(b, c)
+    } else {
+        c + a * b
+    }
+}
+
+/// Element values including exact zeros of both signs (ReLU boundaries,
+/// padding) alongside the generic range.
+fn elem() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        8 => -2.0f32..2.0,
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+    ]
+}
+
+fn buf(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(elem(), n)
+}
+
+fn row_act() -> impl Strategy<Value = RowAct> {
+    prop_oneof![
+        Just(RowAct::Linear),
+        Just(RowAct::Relu),
+        (-1.5f32..1.5).prop_map(RowAct::PRelu),
+    ]
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The 8x8 GEMM register tile equals the reference rank-1-update
+    /// chain (p ascending, accumulator carried across p) for every
+    /// variant, at random depths including non-multiple-of-4 remainders.
+    #[test]
+    fn gemm_tile_matches_reference_chain(
+        kc in 1usize..48,
+        seed_a in buf(48 * 8),
+        seed_b in buf(48 * 8),
+        init in buf(64),
+    ) {
+        let apanel = &seed_a[..kc * 8];
+        let bstrip = &seed_b[..kc * 8];
+        for &v in detected_variants() {
+            let mut acc = [[0.0f32; 8]; 8];
+            let mut want = [[0.0f32; 8]; 8];
+            for i in 0..8 {
+                for j in 0..8 {
+                    acc[i][j] = init[i * 8 + j];
+                    want[i][j] = init[i * 8 + j];
+                }
+            }
+            microkernel(v).gemm_8x8(apanel, bstrip, kc, &mut acc);
+            let fused = v.fused_madd();
+            for p in 0..kc {
+                for i in 0..8 {
+                    for j in 0..8 {
+                        want[i][j] =
+                            madd(fused, apanel[p * 8 + i], bstrip[p * 8 + j], want[i][j]);
+                    }
+                }
+            }
+            for i in 0..8 {
+                prop_assert_eq!(
+                    bits(&acc[i]), bits(&want[i]),
+                    "gemm_8x8 row {} diverged on {}", i, v.name()
+                );
+            }
+        }
+    }
+
+    /// `axpy` equals the reference chain at every length and slice
+    /// offset (the offset shifts the 32-byte alignment of both slices,
+    /// covering unaligned loads and every remainder width).
+    #[test]
+    fn axpy_matches_reference_chain(
+        len in 0usize..130,
+        off in 0usize..8,
+        acc0 in buf(138),
+        src in buf(138),
+        c in elem(),
+    ) {
+        for &v in detected_variants() {
+            let mut acc = acc0.clone();
+            microkernel(v).axpy(&mut acc[off..off + len], &src[off..off + len], c);
+            let mut want = acc0.clone();
+            let fused = v.fused_madd();
+            for x in 0..len {
+                want[off + x] = madd(fused, c, src[off + x], want[off + x]);
+            }
+            prop_assert_eq!(bits(&acc), bits(&want), "axpy diverged on {}", v.name());
+        }
+    }
+
+    /// `axpy_taps` keeps the documented contract: bit-identical to
+    /// `ws.len()` successive `axpy` calls of the *same* variant — the
+    /// register-resident accumulator must not change any chain.
+    #[test]
+    fn axpy_taps_equals_sequential_axpy(
+        len in 1usize..100,
+        nt in 1usize..12,
+        acc0 in buf(100),
+        ws in buf(12),
+        segsrc in buf(12 * 104),
+    ) {
+        for &v in detected_variants() {
+            let mk = microkernel(v);
+            let segs: Vec<&[f32]> = (0..nt).map(|t| &segsrc[t * 104..t * 104 + len]).collect();
+            let mut fused_acc = acc0[..len].to_vec();
+            mk.axpy_taps(&mut fused_acc, &ws[..nt], &segs);
+            let mut seq_acc = acc0[..len].to_vec();
+            for t in 0..nt {
+                mk.axpy(&mut seq_acc, segs[t], ws[t]);
+            }
+            prop_assert_eq!(
+                bits(&fused_acc), bits(&seq_acc),
+                "axpy_taps != sequential axpy on {}", v.name()
+            );
+        }
+    }
+
+    /// The Winograd input/output transforms are pure add/sub and must be
+    /// bit-identical across ALL variants, fused or not.
+    #[test]
+    fn wino_transforms_identical_across_variants(d in buf(16), m in buf(16)) {
+        let d: [f32; 16] = d.try_into().unwrap();
+        let m: [f32; 16] = m.try_into().unwrap();
+        let vin = microkernel(KernelVariant::Scalar).wino_input_transform(&d);
+        let vout = microkernel(KernelVariant::Scalar).wino_output_transform(&m);
+        for &v in detected_variants() {
+            prop_assert_eq!(
+                bits(&microkernel(v).wino_input_transform(&d)), bits(&vin),
+                "input transform diverged on {}", v.name()
+            );
+            prop_assert_eq!(
+                bits(&microkernel(v).wino_output_transform(&m)), bits(&vout),
+                "output transform diverged on {}", v.name()
+            );
+        }
+    }
+
+    /// The batched and fused-gather transform entry points agree with the
+    /// per-tile method: `_many` over a staged slab and
+    /// `wino_input_transform_interior` reading strided plane windows must
+    /// both produce the per-tile transform's exact bits.
+    #[test]
+    fn wino_batched_and_interior_match_per_tile(
+        cin in 1usize..8,
+        h in 4usize..12,
+        w in 4usize..20,
+        by in 0usize..8,
+        bx in 0usize..16,
+        src in buf(8 * 12 * 20),
+    ) {
+        let (by, bx) = (by.min(h - 4), bx.min(w - 4));
+        let plane_len = h * w;
+        let src = &src[..cin * plane_len];
+        let base = by * w + bx;
+        for &v in detected_variants() {
+            let mk = microkernel(v);
+            // Stage the d-tiles by scalar gather, as the boundary path does.
+            let mut d_slab = vec![0.0f32; cin * 16];
+            for cc in 0..cin {
+                for dy in 0..4 {
+                    d_slab[cc * 16 + 4 * dy..cc * 16 + 4 * dy + 4].copy_from_slice(
+                        &src[cc * plane_len + base + dy * w..][..4],
+                    );
+                }
+            }
+            let mut want = vec![0.0f32; cin * 16];
+            for cc in 0..cin {
+                let d: [f32; 16] = d_slab[cc * 16..cc * 16 + 16].try_into().unwrap();
+                want[cc * 16..cc * 16 + 16].copy_from_slice(&mk.wino_input_transform(&d));
+            }
+            let mut from_many = vec![0.0f32; cin * 16];
+            mk.wino_input_transform_many(&d_slab, &mut from_many, cin);
+            prop_assert_eq!(
+                bits(&from_many), bits(&want),
+                "transform_many diverged on {}", v.name()
+            );
+            let mut from_interior = vec![0.0f32; cin * 16];
+            mk.wino_input_transform_interior(src, plane_len, base, w, &mut from_interior, cin);
+            prop_assert_eq!(
+                bits(&from_interior), bits(&want),
+                "transform_interior diverged on {}", v.name()
+            );
+        }
+    }
+
+    /// The Winograd channel reduction equals the reference chain
+    /// (channels ascending, 16 independent per-element chains starting
+    /// at +0.0) for every variant and shape.
+    #[test]
+    fn wino_channel_reduce_matches_reference_chain(
+        cout in 1usize..6,
+        cin in 1usize..9,
+        useed in buf(6 * 9 * 16),
+        vseed in buf(9 * 16),
+    ) {
+        let u: Vec<[f32; 16]> = (0..cout * cin)
+            .map(|t| useed[t * 16..t * 16 + 16].try_into().unwrap())
+            .collect();
+        let v_slab = &vseed[..cin * 16];
+        for &v in detected_variants() {
+            let mut m_slab = vec![f32::NAN; cout * 16]; // must be overwritten, not accumulated
+            microkernel(v).wino_channel_reduce(&mut m_slab, &u, v_slab, cout, cin);
+            let fused = v.fused_madd();
+            let mut want = vec![0.0f32; cout * 16];
+            for oo in 0..cout {
+                for cc in 0..cin {
+                    for k in 0..16 {
+                        want[oo * 16 + k] =
+                            madd(fused, u[oo * cin + cc][k], v_slab[cc * 16 + k], want[oo * 16 + k]);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                bits(&m_slab), bits(&want),
+                "channel reduce diverged on {}", v.name()
+            );
+        }
+    }
+
+    /// The fused epilogue rows (bias+activation, residual add, doubled
+    /// write) contain no multiply-add pairs, so every variant must match
+    /// the scalar reference bitwise — including signed zeros at the ReLU
+    /// boundary and negative PReLU slopes.
+    #[test]
+    fn epilogue_rows_identical_across_variants(
+        len in 0usize..100,
+        off in 0usize..8,
+        row0 in buf(108),
+        other in buf(108),
+        bias in elem(),
+        act in row_act(),
+    ) {
+        let scalar = microkernel(KernelVariant::Scalar);
+        for &v in detected_variants() {
+            let mk = microkernel(v);
+            let (mut got, mut want) = (row0.clone(), row0.clone());
+            mk.bias_act_row(&mut got[off..off + len], bias, act);
+            scalar.bias_act_row(&mut want[off..off + len], bias, act);
+            prop_assert_eq!(bits(&got), bits(&want), "bias_act_row diverged on {}", v.name());
+
+            let (mut got, mut want) = (row0.clone(), row0.clone());
+            mk.add_row(&mut got[off..off + len], &other[off..off + len]);
+            scalar.add_row(&mut want[off..off + len], &other[off..off + len]);
+            prop_assert_eq!(bits(&got), bits(&want), "add_row diverged on {}", v.name());
+
+            let (mut got, mut want) = (row0.clone(), row0.clone());
+            mk.double_row(&mut got[off..off + len]);
+            scalar.double_row(&mut want[off..off + len]);
+            prop_assert_eq!(bits(&got), bits(&want), "double_row diverged on {}", v.name());
+        }
+    }
+
+    /// `pick` is argmin with first-index tiebreak over the per-candidate
+    /// minimum — a pure function of the measurement sequence, so the same
+    /// costs always produce the same winner.
+    #[test]
+    fn pick_is_pure_argmin_of_measurements(
+        costs in proptest::collection::vec(0u64..1000, 1..10),
+        reps in 1usize..4,
+    ) {
+        let cands: Vec<usize> = (0..costs.len()).collect();
+        let run = || pick(&cands, reps, |&c| costs[c]);
+        let (w1, best1) = run();
+        let (w2, best2) = run();
+        prop_assert_eq!(w1, w2, "same measurements must pick the same winner");
+        prop_assert_eq!(&best1, &best2);
+        prop_assert_eq!(&best1, &costs, "constant measurer: best == cost table");
+        for (i, &c) in costs.iter().enumerate() {
+            let beats = c < costs[w1] || (c == costs[w1] && i < w1);
+            prop_assert!(!beats, "candidate {} beats declared winner {}", i, w1);
+        }
+    }
+
+    /// The GEMM blocking tuner is deterministic given the measurements:
+    /// an injected cost model (pinned "seed") always yields the same
+    /// clamped choice, across repeated calls and the cache-hit path.
+    #[test]
+    fn gemm_blocking_choice_is_deterministic(
+        m in 32usize..128,
+        n in 512usize..2048,
+        bias in 0u64..100,
+    ) {
+        let k = 300usize;
+        let model = move |b: &GemmBlocking| bias + b.nc as u64 + b.mc_blocks as u64 * 7;
+        let first = gemm_blocking_with(m, k, n, model);
+        let second = gemm_blocking_with(m, k, n, model);
+        prop_assert_eq!(first, second);
+        prop_assert!(first.nc >= 8 && first.nc % 8 == 0, "nc must be a clamped strip multiple");
+        prop_assert!(first.mc_blocks >= 1);
+    }
+}

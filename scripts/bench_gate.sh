@@ -35,8 +35,36 @@ if [[ -f BENCH_infer.json ]]; then
     sesr infer-bench --archs m5,m11 --scale 2 --expanded 16 --seed 0 \
         --iters 30 --warmup 5 --height 180 --width 320 --threads 4 \
         --out "$tmp/BENCH_infer.json"
+    # Wider throughput tolerance than the other gates: the committed
+    # baseline is deliberately a fast-phase recording (it documents the
+    # SIMD microkernels' best case; see EXPERIMENTS.md E18), and the
+    # shared recording box swings up to ~45% between load phases, which
+    # the standard 25% rule would flag as a regression half the time.
+    # At 50% the throughput floor only catches catastrophic breakage —
+    # the sharp check for a broken SIMD path is the sesr-infer-simd
+    # variant assertion below, which has no tolerance at all.
     sesr bench-gate --baseline BENCH_infer.json \
-        --fresh "$tmp/BENCH_infer.json" --max-regress "$MAX_REGRESS"
+        --fresh "$tmp/BENCH_infer.json" \
+        --max-regress "${MAX_REGRESS_INFER:-0.50}"
+
+    # sesr-infer-simd: the fresh report serializes the microkernel variant
+    # the plan autotuner picked per architecture. On any machine whose CPU
+    # advertises AVX2 the tuned plan must not fall back to the scalar
+    # chains — that would mean the SIMD dispatch or the autotuner broke
+    # even if throughput happened to squeak past the regression budget.
+    echo "-- bench-gate: sesr-infer-simd (autotuned variant) --"
+    variants="$(grep -o '"variant":"[a-z0-9]*"' "$tmp/BENCH_infer.json" \
+        | cut -d'"' -f4 | grep -v '^auto$' | sort -u)"
+    echo "sesr-infer-simd: autotuned variant(s): ${variants:-none}"
+    if [[ -z "$variants" ]]; then
+        echo "sesr-infer-simd: FAILED — no per-arch variant in fresh report" >&2
+        exit 1
+    fi
+    if grep -qw avx2 /proc/cpuinfo 2>/dev/null \
+        && echo "$variants" | grep -qx scalar; then
+        echo "sesr-infer-simd: FAILED — autotuner chose scalar on an AVX2 machine" >&2
+        exit 1
+    fi
 else
     echo "bench-gate: no BENCH_infer.json baseline; skipping infer gate" >&2
 fi
@@ -69,7 +97,7 @@ if [[ -f BENCH_router.json ]]; then
     echo "-- bench-gate: router goodput scaling --"
     sesr router-bench --seed 0xB0A7 --phase-ms 3000 --shards-low 1 \
         --shards-high 4 --tenants 3 --interactive-hz 30 --deadline-ms 40 \
-        --heavy-hz 12 --big-height 288 --big-width 384 \
+        --heavy-hz 12 --big-height 432 --big-width 576 \
         --overload-factor 2 --overload-heavy-hz 16 \
         --out "$tmp/BENCH_router.json"
     sesr bench-gate --baseline BENCH_router.json \

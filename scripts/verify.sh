@@ -16,6 +16,8 @@
 #   router-bench router-bench smoke run + shed-order/ledger check
 #   video       streaming-video session tests + video-bench smoke run
 #   infer       planned-inference identity + zero-allocation proofs
+#   simd        kernel unsafe-hygiene audit + scalar/SIMD identity tests
+#               (both dispatch legs: default detection and force-scalar)
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
 #   bench-gate  fresh train/serve/infer/router bench runs vs baselines
 set -euo pipefail
@@ -133,6 +135,47 @@ step_infer() {
     cargo test -q --offline -p sesr-core --test zero_alloc
 }
 
+step_simd() {
+    # Unsafe hygiene in the kernel crate: the crate-level lint wall must
+    # stay up, and every `unsafe` site must carry a `// SAFETY:` block
+    # comment or a `# Safety` doc contract within the preceding dozen
+    # lines. Text-level on purpose — it also sees macro bodies, which
+    # expand to most of the intrinsic kernels.
+    if ! grep -q 'deny(unsafe_op_in_unsafe_fn)' crates/tensor/src/lib.rs; then
+        echo "simd: crates/tensor lost #![deny(unsafe_op_in_unsafe_fn)]" >&2
+        return 1
+    fi
+    local bad=0 f
+    for f in crates/tensor/src/*.rs; do
+        awk '
+            /SAFETY:|# Safety/ { last = NR }
+            /^[[:space:]]*\/\// { next }
+            /unsafe/ && $0 !~ /unsafe_op_in_unsafe_fn/ {
+                if (NR - last > 12) {
+                    print FILENAME ":" FNR ": unsafe without nearby SAFETY justification"
+                    status = 1
+                }
+            }
+            END { exit status }
+        ' "$f" || bad=1
+    done
+    if [[ $bad -ne 0 ]]; then
+        echo "simd: SAFETY audit failed" >&2
+        return 1
+    fi
+
+    # Kernel identity: the in-crate scalar-vs-SIMD bitwise tests, the
+    # autotuner tests, and the property sweep — in both dispatch
+    # configurations. Under force-scalar the sweep degenerates to
+    # scalar-vs-scalar, proving the pinned leg builds and runs the same
+    # properties it gates on SIMD machines.
+    cargo test -q --offline -p sesr-tensor simd
+    cargo test -q --offline -p sesr-tensor autotune
+    cargo test -q --offline -p sesr-tensor --test proptest_simd
+    cargo test -q --offline -p sesr-tensor --features force-scalar simd
+    cargo test -q --offline -p sesr-tensor --features force-scalar --test proptest_simd
+}
+
 step_bench_smoke() {
     local out
     out="$(mktemp -d)/BENCH_serve_smoke.json"
@@ -162,7 +205,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos router router-bench video infer bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos router router-bench video infer simd bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then

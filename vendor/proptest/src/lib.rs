@@ -1,6 +1,7 @@
 //! Offline stand-in for the subset of `proptest` used by this workspace:
-//! the `proptest!` macro with `#![proptest_config(...)]`, integer-range and
-//! `any::<bool>()` strategies, and `prop_assert!`/`prop_assert_eq!`.
+//! the `proptest!` macro with `#![proptest_config(...)]`, integer-range,
+//! `any::<bool>()`, `Just`, `prop_oneof!`, `prop_map`, and
+//! `collection::vec` strategies, and `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Unlike the real crate there is no shrinking and no persisted failure
 //! seeds: each case derives its inputs deterministically from the case
@@ -53,6 +54,140 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Strategy applying `f` to every drawn value.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One `(weight, draw)` arm of a [`OneOf`] union.
+pub type OneOfArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Assembles the union from `(weight, draw)` arms.
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all weights are zero");
+        Self { arms }
+    }
+
+    /// Boxes one strategy into an arm's draw function.
+    pub fn thunk<S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn Fn(&mut TestRng) -> V> {
+        Box::new(move |rng| s.sample(rng))
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pickn = rng.next_u64() % total;
+        for (w, draw) in &self.arms {
+            let w = u64::from(*w);
+            if pickn < w {
+                return draw(rng);
+            }
+            pickn -= w;
+        }
+        unreachable!("weights sum covered the draw")
+    }
+}
+
+/// Weighted choice among strategies of one value type:
+/// `prop_oneof![a, b]` (uniform) or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(($w as u32, $crate::OneOf::thunk($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::OneOf::thunk($s))),+])
+    };
+}
+
+/// Collection strategies (`collection::vec`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Element count for [`vec`]: a fixed size or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let r = &self.size.0;
+            assert!(r.start < r.end, "empty vec size range");
+            let n = r.start + (rng.next_u64() as usize) % (r.end - r.start);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -166,7 +301,10 @@ pub mod prop {
 
 /// Everything a `proptest!` body needs in scope.
 pub mod prelude {
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
 }
 
 /// Property assertion (no shrinking: equivalent to `assert!`).
@@ -230,6 +368,27 @@ mod tests {
             prop_assert!((2..9).contains(&a));
             prop_assert!(b <= 4);
             prop_assert_eq!(flag as u64 & !1, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The combinator strategies honor their contracts: `Just` is
+        /// constant, `prop_map` applies, `prop_oneof` stays within its
+        /// arms, `collection::vec` sizes from its range.
+        #[test]
+        fn combinators_hold(
+            j in Just(7u64),
+            mapped in (1usize..4).prop_map(|x| x * 10),
+            choice in prop_oneof![3 => Just(1u8), 1 => Just(2u8)],
+            v in crate::collection::vec(0u64..5, 2usize..6),
+        ) {
+            prop_assert_eq!(j, 7);
+            prop_assert!([10, 20, 30].contains(&mapped));
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
         }
     }
 
