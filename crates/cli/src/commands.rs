@@ -91,7 +91,7 @@ USAGE:
   sesr infer-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
                 [--iters 30] [--warmup 5] [--height 180] [--width 320]
                 [--threads N] [--variant scalar|avx2|avx2fma|neon]
-                [--out BENCH_infer.json]
+                [--tuner-out tuned.sesr-tuner] [--out BENCH_infer.json]
   sesr serve-chaos [--seed 0xC4A05] [--requests 400] [--workers 3]
                 [--concurrency 12] [--height 8] [--width 8]
                 [--panic-per-mille 150] [--slow-per-mille 150]
@@ -101,7 +101,9 @@ USAGE:
                 [--shards-high 4] [--tenants 3] [--interactive-hz 30]
                 [--deadline-ms 40] [--heavy-hz 12] [--big-height 432]
                 [--big-width 576] [--overload-factor 2]
-                [--overload-heavy-hz 16] [--out BENCH_router.json]
+                [--overload-heavy-hz 16] [--autoscale-hz 600]
+                [--autoscale-quiet-ms 1500]
+                [--tuner-file tuned.sesr-tuner] [--out BENCH_router.json]
   sesr router-chaos [--seed 0xF1EE7] [--requests 450] [--shards 3]
                 [--concurrency 24] [--kill-per-mille 12]
                 [--wedge-per-mille 12] [--respawn-fail-per-mille 500]
@@ -129,7 +131,11 @@ Multi-tenant serving: router-bench drives a deterministic tenant mix
 (interactive small-image tenants under tight deadlines plus one heavy
 batch tenant) at 1 vs N shards, measuring goodput scaling from
 head-of-line-blocking elimination, then an overload phase checking that
-batch is shed before any interactive request is rejected.
+batch is shed before any interactive request is rejected, then an
+elastic phase starting at the low shard count with the autoscale
+controller enabled: it must scale up under pressure (warm shards via
+the shared plan store), reject no interactive work, and drain back down
+in the quiet tail.
 
 Streaming video: video-bench measures temporal tile reuse on synthetic
 static/pan/scene-cut sequences (frames/sec vs a full-recompute
@@ -667,6 +673,11 @@ fn router_bench(args: &Args) -> Result<String, CliError> {
         ),
         overload_factor: args.parsed_or("overload-factor", d.overload_factor)?,
         overload_heavy_hz: args.parsed_or("overload-heavy-hz", d.overload_heavy_hz)?,
+        autoscale_hz: args.parsed_or("autoscale-hz", d.autoscale_hz)?,
+        autoscale_quiet: Duration::from_millis(
+            args.parsed_or("autoscale-quiet-ms", d.autoscale_quiet.as_millis() as u64)?,
+        ),
+        tuner_file: args.get("tuner-file").map(std::path::PathBuf::from),
         ..d
     };
     let out_path = args.get("out").unwrap_or("BENCH_router.json").to_string();
@@ -697,6 +708,18 @@ fn router_bench(args: &Args) -> Result<String, CliError> {
             t.tenant, t.completed, t.p50_ms, t.p95_ms, t.p99_ms
         ));
     }
+    let sc = &report.autoscale.snapshot.counters;
+    summary.push_str(&format!(
+        "  autoscale (start {} shard(s), bound {}): {:.1} rps, {} up / {} down, {} keys rebalanced, {} warm plan hits, {} interactive rejected\n",
+        cfg.shard_counts.0,
+        cfg.shard_counts.1,
+        report.autoscale.rps,
+        sc.scale_up_events,
+        sc.scale_down_events,
+        sc.keys_rebalanced,
+        sc.replication_warm_hits,
+        sc.rejected_interactive,
+    ));
     summary.push_str(&format!("wrote {out_path}"));
     if report.problems.is_empty() {
         Ok(summary)
@@ -795,6 +818,9 @@ fn router_chaos(args: &Args) -> Result<String, CliError> {
         // Far beyond the stall detector: the wedge must be *detected*
         // and drain-and-replaced, not sat out.
         wedge: Duration::from_secs(30),
+        // Scaling-event faults stay off here: this harness runs a
+        // fixed-size fleet; the autoscale soak test owns those points.
+        ..ShardChaosConfig::default()
     };
 
     // The fault *schedule* is seeded, but whether e.g. a kill intersects
@@ -1120,6 +1146,7 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
         variant: args.get("variant").map(str::to_string),
     };
     let out_path = args.get("out").unwrap_or("BENCH_infer.json").to_string();
+    let tuner_out = args.get("tuner-out").map(str::to_string);
 
     let results =
         sesr_bench::run_infer_bench(&cfg).map_err(|e| CliError::Io(std::io::Error::other(e)))?;
@@ -1152,6 +1179,13 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
             ));
         }
     }
+    // The bench's autotuned GEMM blockings live in the process-wide
+    // cache; --tuner-out persists them so engine spawns (serve/router,
+    // including elastic scale-ups) start warm instead of re-tuning.
+    if let Some(path) = tuner_out {
+        let n = sesr_tensor::autotune::save_choices(Path::new(&path))?;
+        summary.push_str(&format!("saved {n} tuned GEMM blocking(s) to {path}\n"));
+    }
     summary.push_str(&format!("wrote {out_path}"));
     Ok(summary)
 }
@@ -1164,6 +1198,7 @@ fn gate_metric_paths(kind: &str) -> Result<Vec<&'static [&'static str]>, CliErro
         "sesr-router" => Ok(vec![
             &["results", "shards_4", "rps"],
             &["results", "scaling_x"],
+            &["results", "autoscale", "rps"],
         ]),
         // Only the absolute fps numbers are gated. speedup_x is a ratio
         // of two measurements whose denominator (static full_fps, a

@@ -1,0 +1,472 @@
+//! Elastic fleet sizing: the consistent-hash ring as a first-class
+//! value, and the pure controller that decides when to grow or shrink
+//! the shard fleet.
+//!
+//! Two pieces, both deliberately free of threads and clocks so they are
+//! exhaustively testable:
+//!
+//! * [`HashRing`] — the virtual-node consistent-hash ring the router
+//!   places `(tenant, model)` keys on. Every shard's vnode points are a
+//!   pure function of its index (`splitmix64(RING_SALT ^ (shard << 32 |
+//!   vnode))`), so adding or removing a shard only edits *that shard's*
+//!   arcs: a key changes owner iff its successor arc belonged to (or now
+//!   belongs to) the edited shard. That is the bounded-rebalancing
+//!   property — ~K/N of K keys move on an N-shard edit, never a full
+//!   reshuffle — and the proptest in `tests/autoscale.rs` pins it.
+//! * [`AutoscaleController`] — a tick-driven hysteresis state machine:
+//!   sustained pressure (router-queue fill, with deadline misses counted
+//!   as full pressure) for `up_ticks` consecutive supervisor ticks asks
+//!   for one more shard; sustained idleness for `down_ticks` asks for
+//!   one fewer; every transition arms a cooldown so a chaos blip (a
+//!   killed shard briefly backing the fleet up) cannot flap the fleet.
+//!   The controller only *decides* — the router's supervisor executes
+//!   (spawn into an empty slot, or drain-then-retire), which keeps the
+//!   decision logic a pure function of `(tick, pressure, active)`.
+//!
+//! Scale-down goes through the same drain lifecycle a graceful shutdown
+//! uses: the victim leaves the ring first (new keys route elsewhere,
+//! bounded move), its queues flush through its engine, pinned video
+//! sessions are migrated (or typed-lost) — only then does the slot
+//! retire. See `crate::supervisor` for the execution side.
+
+use crate::chaos::splitmix64;
+use std::time::Duration;
+
+/// Salt for the ring's vnode points. A shard's points depend only on
+/// this salt and its `(shard, vnode)` index, never on fleet size — the
+/// root of the bounded-rebalance guarantee.
+pub(crate) const RING_SALT: u64 = 0x51E2_D00F_3C15_7EE1;
+
+/// Salt for the synthetic key sample used to measure how many keys an
+/// actual ring edit moved (the `keys_rebalanced` counter).
+const SAMPLE_SALT: u64 = 0x0BAD_5EED_CAB1_E550;
+
+/// Consistent-hash ring of virtual nodes over shard indices.
+///
+/// The ring is a sorted `(point, shard)` list; a key's owner is the
+/// shard of the first point at or after the key's hash (wrapping).
+/// Shards can be added and removed independently; membership is
+/// whatever the caller has added so far.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted vnode points.
+    points: Vec<(u64, usize)>,
+    /// Vnodes per shard.
+    virtual_nodes: usize,
+}
+
+impl HashRing {
+    /// An empty ring placing `virtual_nodes` points per shard (min 1).
+    pub fn new(virtual_nodes: usize) -> Self {
+        Self {
+            points: Vec::new(),
+            virtual_nodes: virtual_nodes.max(1),
+        }
+    }
+
+    /// The vnode points of shard `s` — a pure function of the index, so
+    /// they are bit-identical no matter when the shard joins.
+    fn shard_points(&self, s: usize) -> impl Iterator<Item = (u64, usize)> + '_ {
+        (0..self.virtual_nodes)
+            .map(move |v| (splitmix64(RING_SALT ^ (((s as u64) << 32) | v as u64)), s))
+    }
+
+    /// Adds shard `s`'s vnodes to the ring. Idempotent.
+    pub fn add_shard(&mut self, s: usize) {
+        if self.contains(s) {
+            return;
+        }
+        let pts: Vec<(u64, usize)> = self.shard_points(s).collect();
+        self.points.extend(pts);
+        self.points.sort_unstable();
+    }
+
+    /// Removes shard `s`'s vnodes. Idempotent.
+    pub fn remove_shard(&mut self, s: usize) {
+        self.points.retain(|&(_, owner)| owner != s);
+    }
+
+    /// Whether shard `s` is on the ring.
+    pub fn contains(&self, s: usize) -> bool {
+        self.points.iter().any(|&(_, owner)| owner == s)
+    }
+
+    /// Number of shards with points on the ring.
+    pub fn shard_count(&self) -> usize {
+        let mut shards: Vec<usize> = self.points.iter().map(|&(_, s)| s).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards.len()
+    }
+
+    /// True when no shard is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owning shard of `point` (its successor on the ring), or
+    /// `None` on an empty ring.
+    pub fn owner(&self, point: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|&(p, _)| p < point);
+        let i = if i == self.points.len() { 0 } else { i };
+        Some(self.points[i].1)
+    }
+
+    /// Counts, over a fixed deterministic sample of `samples` synthetic
+    /// keys, how many changed owner between `self` and `after`. This is
+    /// what the router's `keys_rebalanced` counter records per ring
+    /// edit: an observed measurement of the bounded-rebalance property,
+    /// not a theoretical bound.
+    pub fn sampled_moves(&self, after: &HashRing, samples: u64) -> u64 {
+        (0..samples)
+            .map(|i| splitmix64(SAMPLE_SALT ^ i))
+            .filter(|&p| self.owner(p) != after.owner(p))
+            .count() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// Elastic-fleet policy. All tick counts are in supervisor probe ticks
+/// (`RouterConfig::probe_interval` apart).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Fewest active shards the controller will keep (≥ 1).
+    pub min_shards: usize,
+    /// Most active shards the controller will grow to.
+    pub max_shards: usize,
+    /// Mean router-queue fill at or above which a tick counts toward
+    /// scale-up pressure. Deadline misses observed on a tick count as
+    /// full pressure regardless of fill.
+    pub scale_up_fill: f64,
+    /// Mean router-queue fill at or below which a tick counts toward
+    /// scale-down idleness.
+    pub scale_down_fill: f64,
+    /// Consecutive pressured ticks before one scale-up (hysteresis).
+    pub up_ticks: u32,
+    /// Consecutive idle ticks before one scale-down. Sized much larger
+    /// than `up_ticks`: adding capacity late costs goodput, removing it
+    /// late only costs a warm spare.
+    pub down_ticks: u32,
+    /// Ticks after any transition during which no new decision is made,
+    /// so one burst (or one chaos kill) cannot flap the fleet.
+    pub cooldown_ticks: u32,
+    /// Longest a scale-down victim may spend draining before it is
+    /// force-retired (remaining in-flight work reroutes through the
+    /// shutdown hooks, exactly as a graceful router shutdown would).
+    pub drain_grace: Duration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            max_shards: 4,
+            scale_up_fill: 0.75,
+            scale_down_fill: 0.10,
+            up_ticks: 4,
+            down_ticks: 40,
+            cooldown_ticks: 60,
+            drain_grace: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What the controller asks for after one observation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleSignal {
+    /// No change.
+    Hold,
+    /// Spawn one shard.
+    Up,
+    /// Drain and retire one shard.
+    Down,
+    /// Sustained pressure, but the fleet is already at `max_shards` —
+    /// the overload policies (shed/degrade/reject) are the only lever
+    /// left. Counted as `autoscale_blocked_at_max`.
+    BlockedAtMax,
+}
+
+/// Pure hysteresis/cooldown state machine deciding fleet size. Feed it
+/// one observation per supervisor tick; execute whatever it returns.
+#[derive(Debug, Clone)]
+pub struct AutoscaleController {
+    cfg: AutoscaleConfig,
+    /// Consecutive pressured ticks.
+    hot: u32,
+    /// Consecutive idle ticks.
+    cold: u32,
+    /// No decisions before this tick.
+    cooldown_until: u64,
+}
+
+impl AutoscaleController {
+    /// A controller over `cfg`, with the bounds sanitized
+    /// (`1 <= min_shards <= max_shards`, thresholds clamped to [0, 1],
+    /// `up_ticks`/`down_ticks` at least 1).
+    pub fn new(cfg: AutoscaleConfig) -> Self {
+        let mut cfg = cfg;
+        cfg.min_shards = cfg.min_shards.max(1);
+        cfg.max_shards = cfg.max_shards.max(cfg.min_shards);
+        cfg.scale_up_fill = cfg.scale_up_fill.clamp(0.0, 1.0);
+        cfg.scale_down_fill = cfg.scale_down_fill.clamp(0.0, cfg.scale_up_fill);
+        cfg.up_ticks = cfg.up_ticks.max(1);
+        cfg.down_ticks = cfg.down_ticks.max(1);
+        Self {
+            cfg,
+            hot: 0,
+            cold: 0,
+            cooldown_until: 0,
+        }
+    }
+
+    /// The sanitized configuration.
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.cfg
+    }
+
+    /// One observation: `pressure` is the mean router-queue fill over
+    /// active shards (callers may saturate it to 1.0 when deadline
+    /// misses were observed this tick), `active` the current active
+    /// shard count. Returns the decision for this tick.
+    pub fn observe(&mut self, tick: u64, pressure: f64, active: usize) -> ScaleSignal {
+        if tick < self.cooldown_until {
+            // Streaks do not accumulate under cooldown: the fleet just
+            // changed shape and the pressure signal is still settling.
+            self.hot = 0;
+            self.cold = 0;
+            return ScaleSignal::Hold;
+        }
+        if pressure >= self.cfg.scale_up_fill {
+            self.hot += 1;
+            self.cold = 0;
+        } else if pressure <= self.cfg.scale_down_fill {
+            self.cold += 1;
+            self.hot = 0;
+        } else {
+            self.hot = 0;
+            self.cold = 0;
+        }
+        if self.hot >= self.cfg.up_ticks {
+            self.hot = 0;
+            if active >= self.cfg.max_shards {
+                // Not a transition: no cooldown, so the blocked
+                // condition is re-reported after another full
+                // hysteresis window if pressure persists.
+                return ScaleSignal::BlockedAtMax;
+            }
+            self.cooldown_until = tick + u64::from(self.cfg.cooldown_ticks);
+            return ScaleSignal::Up;
+        }
+        if self.cold >= self.cfg.down_ticks {
+            self.cold = 0;
+            if active <= self.cfg.min_shards {
+                return ScaleSignal::Hold;
+            }
+            self.cooldown_until = tick + u64::from(self.cfg.cooldown_ticks);
+            return ScaleSignal::Down;
+        }
+        ScaleSignal::Hold
+    }
+
+    /// Arms the cooldown without a decision — called by the executor
+    /// when a transition *finishes* (e.g. a drain retires), so the next
+    /// decision observes the settled fleet, not the transient.
+    pub fn note_transition(&mut self, tick: u64) {
+        self.cooldown_until = self
+            .cooldown_until
+            .max(tick + u64::from(self.cfg.cooldown_ticks));
+        self.hot = 0;
+        self.cold = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(
+        up_ticks: u32,
+        down_ticks: u32,
+        cooldown: u32,
+        min: usize,
+        max: usize,
+    ) -> AutoscaleController {
+        AutoscaleController::new(AutoscaleConfig {
+            min_shards: min,
+            max_shards: max,
+            scale_up_fill: 0.75,
+            scale_down_fill: 0.10,
+            up_ticks,
+            down_ticks,
+            cooldown_ticks: cooldown,
+            drain_grace: Duration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn ring_owner_is_successor_and_stable() {
+        let mut ring = HashRing::new(16);
+        ring.add_shard(0);
+        ring.add_shard(1);
+        ring.add_shard(2);
+        assert_eq!(ring.shard_count(), 3);
+        for i in 0..256u64 {
+            let p = splitmix64(i);
+            let a = ring.owner(p);
+            let b = ring.owner(p);
+            assert_eq!(a, b, "ownership must be deterministic");
+            assert!(a.is_some_and(|s| s < 3));
+        }
+    }
+
+    #[test]
+    fn ring_points_are_independent_of_join_order() {
+        let mut a = HashRing::new(8);
+        a.add_shard(0);
+        a.add_shard(1);
+        a.add_shard(2);
+        let mut b = HashRing::new(8);
+        b.add_shard(2);
+        b.add_shard(0);
+        b.add_shard(1);
+        for i in 0..512u64 {
+            let p = splitmix64(i ^ 0xABCD);
+            assert_eq!(a.owner(p), b.owner(p), "join order must not matter");
+        }
+    }
+
+    #[test]
+    fn ring_add_only_moves_keys_to_the_new_shard() {
+        let mut before = HashRing::new(32);
+        for s in 0..3 {
+            before.add_shard(s);
+        }
+        let mut after = before.clone();
+        after.add_shard(3);
+        for i in 0..2048u64 {
+            let p = splitmix64(i ^ 0x5EED);
+            let (o0, o1) = (before.owner(p).unwrap(), after.owner(p).unwrap());
+            if o0 != o1 {
+                assert_eq!(o1, 3, "a moved key must move to the added shard");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_remove_only_moves_the_removed_shards_keys() {
+        let mut before = HashRing::new(32);
+        for s in 0..4 {
+            before.add_shard(s);
+        }
+        let mut after = before.clone();
+        after.remove_shard(2);
+        for i in 0..2048u64 {
+            let p = splitmix64(i ^ 0xF00D);
+            let (o0, o1) = (before.owner(p).unwrap(), after.owner(p).unwrap());
+            if o0 != o1 {
+                assert_eq!(o0, 2, "only the removed shard's keys may move");
+                assert_ne!(o1, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_sampled_moves_matches_manual_count() {
+        let mut before = HashRing::new(16);
+        before.add_shard(0);
+        before.add_shard(1);
+        let mut after = before.clone();
+        after.add_shard(2);
+        let moved = before.sampled_moves(&after, 1024);
+        assert!(moved > 0, "adding a shard must move some keys");
+        // ~1/3 of keys should move; allow a wide statistical band.
+        assert!(moved < 1024 / 2, "bounded rebalance: moved={moved}");
+        assert_eq!(before.sampled_moves(&before, 1024), 0);
+    }
+
+    #[test]
+    fn controller_requires_sustained_pressure() {
+        let mut c = ctl(3, 10, 5, 1, 4);
+        assert_eq!(c.observe(1, 0.9, 1), ScaleSignal::Hold);
+        assert_eq!(c.observe(2, 0.9, 1), ScaleSignal::Hold);
+        // A single dip resets the streak (hysteresis).
+        assert_eq!(c.observe(3, 0.5, 1), ScaleSignal::Hold);
+        assert_eq!(c.observe(4, 0.9, 1), ScaleSignal::Hold);
+        assert_eq!(c.observe(5, 0.9, 1), ScaleSignal::Hold);
+        assert_eq!(c.observe(6, 0.9, 1), ScaleSignal::Up);
+    }
+
+    #[test]
+    fn controller_cooldown_blocks_back_to_back_transitions() {
+        let mut c = ctl(1, 100, 10, 1, 4);
+        assert_eq!(c.observe(1, 1.0, 1), ScaleSignal::Up);
+        // Pressure persists, but the cooldown holds the fleet.
+        for t in 2..11 {
+            assert_eq!(c.observe(t, 1.0, 2), ScaleSignal::Hold, "tick {t}");
+        }
+        assert_eq!(c.observe(11, 1.0, 2), ScaleSignal::Up);
+    }
+
+    #[test]
+    fn controller_clamps_at_max_and_reports_blocked() {
+        let mut c = ctl(2, 100, 0, 1, 2);
+        assert_eq!(c.observe(1, 1.0, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(2, 1.0, 2), ScaleSignal::BlockedAtMax);
+        // Re-reported only after another full hysteresis window.
+        assert_eq!(c.observe(3, 1.0, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(4, 1.0, 2), ScaleSignal::BlockedAtMax);
+    }
+
+    #[test]
+    fn controller_holds_at_min_and_scales_down_when_idle() {
+        let mut c = ctl(100, 2, 0, 1, 4);
+        assert_eq!(c.observe(1, 0.0, 1), ScaleSignal::Hold);
+        assert_eq!(c.observe(2, 0.0, 1), ScaleSignal::Hold, "at min: hold");
+        assert_eq!(c.observe(3, 0.0, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(4, 0.0, 2), ScaleSignal::Down);
+    }
+
+    #[test]
+    fn controller_middle_band_resets_both_streaks() {
+        let mut c = ctl(2, 2, 0, 1, 4);
+        assert_eq!(c.observe(1, 0.0, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(2, 0.5, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(3, 0.0, 2), ScaleSignal::Hold);
+        assert_eq!(c.observe(4, 0.0, 2), ScaleSignal::Down);
+    }
+
+    #[test]
+    fn controller_sanitizes_bounds() {
+        let c = AutoscaleController::new(AutoscaleConfig {
+            min_shards: 0,
+            max_shards: 0,
+            scale_up_fill: 2.0,
+            scale_down_fill: 5.0,
+            up_ticks: 0,
+            down_ticks: 0,
+            ..AutoscaleConfig::default()
+        });
+        let cfg = c.config();
+        assert_eq!(cfg.min_shards, 1);
+        assert_eq!(cfg.max_shards, 1);
+        assert!(cfg.scale_up_fill <= 1.0);
+        assert!(cfg.scale_down_fill <= cfg.scale_up_fill);
+        assert!(cfg.up_ticks >= 1 && cfg.down_ticks >= 1);
+    }
+
+    #[test]
+    fn note_transition_arms_cooldown() {
+        let mut c = ctl(1, 100, 8, 1, 4);
+        c.note_transition(10);
+        for t in 10..18 {
+            assert_eq!(c.observe(t, 1.0, 1), ScaleSignal::Hold, "tick {t}");
+        }
+        assert_eq!(c.observe(18, 1.0, 1), ScaleSignal::Up);
+    }
+}

@@ -171,7 +171,9 @@ impl Chaos {
 /// These model whole-process failures rather than per-request ones: a
 /// shard that dies outright, a shard that wedges (stops consuming while
 /// staying alive), and a respawn attempt that itself fails — the three
-/// ways a fleet member disappoints a load balancer.
+/// ways a fleet member disappoints a load balancer — plus their
+/// scaling-transition variants (killed right after scale-up, wedged
+/// mid-drain, respawn failure with the fleet already at minimum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardFaultPoint {
     /// The shard's engine is killed outright (hard crash).
@@ -180,6 +182,15 @@ pub enum ShardFaultPoint {
     Wedge,
     /// A scheduled respawn of a dead shard fails.
     RespawnFail,
+    /// A freshly scaled-up shard is killed right after joining the ring
+    /// (the worst moment: keys just moved to it).
+    SpawnKill,
+    /// A shard wedges mid-drain during scale-down (the drain grace
+    /// period must expire and reroute, not hang the controller).
+    DrainWedge,
+    /// A respawn fails while the fleet sits at minimum capacity (no
+    /// slack shard to absorb the loss).
+    MinRespawnFail,
 }
 
 impl ShardFaultPoint {
@@ -188,6 +199,9 @@ impl ShardFaultPoint {
             ShardFaultPoint::Kill => 0,
             ShardFaultPoint::Wedge => 1,
             ShardFaultPoint::RespawnFail => 2,
+            ShardFaultPoint::SpawnKill => 3,
+            ShardFaultPoint::DrainWedge => 4,
+            ShardFaultPoint::MinRespawnFail => 5,
         }
     }
 
@@ -196,6 +210,9 @@ impl ShardFaultPoint {
             0xC1A0_5F1E_E7B4_D001,
             0xC1A0_5F1E_E7B4_D002,
             0xC1A0_5F1E_E7B4_D003,
+            0xC1A0_5F1E_E7B4_D004,
+            0xC1A0_5F1E_E7B4_D005,
+            0xC1A0_5F1E_E7B4_D006,
         ][self.index()]
     }
 }
@@ -217,12 +234,26 @@ pub struct ShardChaosConfig {
     pub wedge_per_mille: u32,
     /// Per-mille probability that a due respawn attempt fails.
     pub respawn_fail_per_mille: u32,
+    /// Per-mille probability that a freshly scaled-up shard is killed
+    /// right after joining the ring.
+    pub spawn_kill_per_mille: u32,
+    /// Per-mille probability that a shard draining for scale-down wedges.
+    pub drain_wedge_per_mille: u32,
+    /// Per-mille probability that a due respawn fails while the fleet is
+    /// at minimum capacity.
+    pub min_respawn_fail_per_mille: u32,
     /// Most kills to inject over the whole run.
     pub max_kills: u64,
     /// Most wedges to inject over the whole run.
     pub max_wedges: u64,
     /// Most respawn failures to inject over the whole run.
     pub max_respawn_fails: u64,
+    /// Most scale-up kills to inject over the whole run.
+    pub max_spawn_kills: u64,
+    /// Most drain wedges to inject over the whole run.
+    pub max_drain_wedges: u64,
+    /// Most at-minimum respawn failures to inject over the whole run.
+    pub max_min_respawn_fails: u64,
     /// How long a wedged shard stays paused if the supervisor's stall
     /// detector does not replace it first.
     pub wedge: Duration,
@@ -235,9 +266,15 @@ impl Default for ShardChaosConfig {
             kill_per_mille: 0,
             wedge_per_mille: 0,
             respawn_fail_per_mille: 0,
+            spawn_kill_per_mille: 0,
+            drain_wedge_per_mille: 0,
+            min_respawn_fail_per_mille: 0,
             max_kills: u64::MAX,
             max_wedges: u64::MAX,
             max_respawn_fails: u64::MAX,
+            max_spawn_kills: u64::MAX,
+            max_drain_wedges: u64::MAX,
+            max_min_respawn_fails: u64::MAX,
             wedge: Duration::from_millis(200),
         }
     }
@@ -247,8 +284,8 @@ impl Default for ShardChaosConfig {
 /// counters plus per-point injection tallies (for the caps).
 pub struct ShardChaos {
     cfg: ShardChaosConfig,
-    draws: [AtomicU64; 3],
-    fired: [AtomicU64; 3],
+    draws: [AtomicU64; 6],
+    fired: [AtomicU64; 6],
 }
 
 impl ShardChaos {
@@ -256,8 +293,8 @@ impl ShardChaos {
     pub fn new(cfg: ShardChaosConfig) -> Self {
         Self {
             cfg,
-            draws: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-            fired: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            draws: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -310,13 +347,37 @@ impl ShardChaos {
         )
     }
 
-    /// Injections so far per fault point (kill, wedge, respawn-fail).
-    pub fn fired(&self) -> [u64; 3] {
-        [
-            self.fired[0].load(Ordering::Relaxed),
-            self.fired[1].load(Ordering::Relaxed),
-            self.fired[2].load(Ordering::Relaxed),
-        ]
+    /// Should this freshly scaled-up shard be killed as it joins?
+    pub fn kill_on_spawn(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::SpawnKill,
+            self.cfg.spawn_kill_per_mille,
+            self.cfg.max_spawn_kills,
+        )
+    }
+
+    /// Should this draining shard wedge mid-drain?
+    pub fn wedge_on_drain(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::DrainWedge,
+            self.cfg.drain_wedge_per_mille,
+            self.cfg.max_drain_wedges,
+        )
+    }
+
+    /// Should this respawn fail given the fleet is at minimum capacity?
+    pub fn fail_respawn_at_min(&self) -> bool {
+        self.draw(
+            ShardFaultPoint::MinRespawnFail,
+            self.cfg.min_respawn_fail_per_mille,
+            self.cfg.max_min_respawn_fails,
+        )
+    }
+
+    /// Injections so far per fault point (kill, wedge, respawn-fail,
+    /// spawn-kill, drain-wedge, min-respawn-fail).
+    pub fn fired(&self) -> [u64; 6] {
+        std::array::from_fn(|i| self.fired[i].load(Ordering::Relaxed))
     }
 }
 
@@ -411,7 +472,7 @@ mod tests {
             .map(|_| (b.kill_shard(), b.wedge_shard(), b.fail_respawn()))
             .collect();
         assert_eq!(seq_a, seq_b, "same seed must give the same schedule");
-        assert_eq!(a.fired(), [2, 1, 3], "caps must bound injections");
+        assert_eq!(a.fired(), [2, 1, 3, 0, 0, 0], "caps must bound injections");
     }
 
     #[test]
@@ -421,7 +482,48 @@ mod tests {
             assert!(!c.kill_shard());
             assert!(!c.wedge_shard());
             assert!(!c.fail_respawn());
+            assert!(!c.kill_on_spawn());
+            assert!(!c.wedge_on_drain());
+            assert!(!c.fail_respawn_at_min());
         }
-        assert_eq!(c.fired(), [0, 0, 0]);
+        assert_eq!(c.fired(), [0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn scaling_fault_points_are_deterministic_capped_and_independent() {
+        let cfg = ShardChaosConfig {
+            seed: 77,
+            spawn_kill_per_mille: 600,
+            drain_wedge_per_mille: 600,
+            min_respawn_fail_per_mille: 1000,
+            max_spawn_kills: 1,
+            max_drain_wedges: 2,
+            max_min_respawn_fails: 1,
+            ..ShardChaosConfig::default()
+        };
+        let a = ShardChaos::new(cfg.clone());
+        let b = ShardChaos::new(cfg);
+        let seq_a: Vec<_> = (0..100)
+            .map(|_| {
+                (
+                    a.kill_on_spawn(),
+                    a.wedge_on_drain(),
+                    a.fail_respawn_at_min(),
+                )
+            })
+            .collect();
+        let seq_b: Vec<_> = (0..100)
+            .map(|_| {
+                (
+                    b.kill_on_spawn(),
+                    b.wedge_on_drain(),
+                    b.fail_respawn_at_min(),
+                )
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b, "same seed must give the same schedule");
+        assert_eq!(a.fired(), [0, 0, 0, 1, 2, 1]);
+        // The legacy points share the injector but kept their own streams.
+        assert!(!a.kill_shard(), "zero-rate legacy point stays silent");
     }
 }

@@ -84,6 +84,16 @@ pub struct EngineConfig {
     pub jitter_seed: u64,
     /// Deterministic fault injection (`None` = no faults).
     pub chaos: Option<ChaosConfig>,
+    /// Process-wide collapsed-kernel store worker plan caches consult on
+    /// a local miss (and publish compilations to). `None` keeps every
+    /// worker fully independent; the router injects one store across its
+    /// whole fleet so freshly spawned shards start warm.
+    pub shared_plans: Option<Arc<crate::plan_cache::SharedPlanCache>>,
+    /// Autotuner-choice file (written by `sesr_tensor::autotune::
+    /// save_choices`) loaded once per process when the engine starts, so
+    /// replacement and scaled-up shards skip re-measurement. Load
+    /// failures are non-fatal: the engine runs with baseline blocking.
+    pub tuner_path: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +110,8 @@ impl Default for EngineConfig {
             backoff_cap: Duration::from_millis(100),
             jitter_seed: 0x5E5E_B0FF,
             chaos: None,
+            shared_plans: None,
+            tuner_path: None,
         }
     }
 }
@@ -443,6 +455,13 @@ impl Engine {
     /// `workers == 0` is allowed (useful in tests: requests queue but
     /// nothing consumes them until the engine shuts down).
     pub fn new(cfg: EngineConfig, registry: Arc<ModelRegistry>) -> Self {
+        if let Some(path) = &cfg.tuner_path {
+            // Warm the process-wide GEMM blocking cache from persisted
+            // autotuner choices (once per path per process, so respawns
+            // and scale-ups cost nothing). A stale/corrupt/mismatched
+            // file is survivable: baseline blocking, not a dead shard.
+            let _ = sesr_tensor::autotune::load_choices_once(path);
+        }
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
             registry,
@@ -769,6 +788,72 @@ impl Engine {
         Ok(stats)
     }
 
+    /// Removes session `session_id` and hands its state (tile hashes,
+    /// cached HR plane, stats) to the caller, for migration onto another
+    /// engine via [`Engine::import_video_session`]. Frames still queued
+    /// for it settle as [`VideoError::UnknownSession`], exactly like a
+    /// close. The extraction only succeeds when no worker holds the
+    /// session mid-frame; a contended handle is a typed error (the
+    /// migrator settles the session as lost instead of stalling a
+    /// scale-down on a busy session).
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownSession`] when no session has this id;
+    /// [`VideoError::SessionLost`] when the state is pinned by an
+    /// in-flight frame.
+    pub fn export_video_session(&self, session_id: u64) -> Result<VideoSession, VideoError> {
+        let handle = self
+            .shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&session_id)
+            .ok_or(VideoError::UnknownSession(session_id))?;
+        handle.closed.store(true, Ordering::Release);
+        self.shared
+            .telemetry
+            .counters(|c| c.video_sessions_closed += 1);
+        match Arc::try_unwrap(handle) {
+            Ok(h) => Ok(h.state.into_inner().unwrap_or_else(PoisonError::into_inner)),
+            // A queued frame still holds the handle; its worker will see
+            // `closed` and settle it typed. The state itself cannot be
+            // moved out, so the migration reports the session lost.
+            Err(_) => Err(VideoError::SessionLost),
+        }
+    }
+
+    /// Installs a migrated [`VideoSession`] (from another engine's
+    /// [`Engine::export_video_session`]) under a fresh id, preserving
+    /// its temporal-reuse state and lifetime stats.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::Draining`] once shutdown began.
+    pub fn import_video_session(&self, session: VideoSession) -> Result<u64, VideoError> {
+        if self.shared.state.load(Ordering::Acquire) != STATE_RUNNING {
+            return Err(VideoError::Draining);
+        }
+        let id = self.shared.session_ids.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(SessionHandle {
+            id,
+            ladder: session.spec().ladder.clone(),
+            height: session.spec().height,
+            width: session.spec().width,
+            closed: AtomicBool::new(false),
+            state: Mutex::new(session),
+        });
+        self.shared
+            .videos
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, handle);
+        self.shared
+            .telemetry
+            .counters(|c| c.video_sessions_opened += 1);
+        Ok(id)
+    }
+
     /// Lifetime stats of an open session.
     ///
     /// # Errors
@@ -1058,9 +1143,12 @@ fn worker_loop(shared: &Shared) -> LoopEnd {
         (j.key.clone(), j.input.shape().to_vec(), sid)
     };
     // Worker-local: plans survive across groups, die with the worker.
-    // A respawned worker recompiles on first use (a few microseconds
-    // against a restart backoff measured in milliseconds).
-    let mut plans = PlanCache::new();
+    // Kernel compilations are drawn from (and published to) the shared
+    // per-process store when the engine has one, so a respawned worker
+    // or a freshly scaled-up shard starts from warm kernels; the plan
+    // arenas themselves stay worker-local (sharing them would serialize
+    // compute on a lock).
+    let mut plans = PlanCache::with_shared(shared.cfg.shared_plans.clone());
     while let Some(group) = shared.queue.pop_group(shared.cfg.max_batch, batch_key) {
         let outcome = if matches!(group[0].kind, JobKind::Frame { .. }) {
             process_video_group(shared, &mut plans, group)

@@ -45,6 +45,9 @@
 //!   shedding (shed batch, degrade interactive, reject last).
 //! * [`supervisor`] — per-shard health probing, circuit breaking with
 //!   half-open probing, wedge detection, and budgeted respawn.
+//! * [`autoscale`] — consistent-hash ring with bounded rebalancing and
+//!   the hysteresis/cooldown controller that drives elastic scale-up /
+//!   scale-down of the router's shard fleet.
 //! * [`router_bench`] — the `router-bench` harness emitting
 //!   `BENCH_router.json` (multi-tenant open-loop mix, shard scaling, and
 //!   the overload/shedding phase).
@@ -59,6 +62,7 @@
 //!   `BENCH_video.json` (frames/sec and PSNR-vs-deadline on synthetic
 //!   static/pan/scene-cut sequences).
 
+pub mod autoscale;
 pub mod bench;
 pub mod chaos;
 pub mod engine;
@@ -74,13 +78,14 @@ pub mod telemetry;
 pub mod video;
 pub mod video_bench;
 
+pub use autoscale::{AutoscaleConfig, AutoscaleController, HashRing, ScaleSignal};
 pub use bench::{bench_report_json, run_bench, BenchConfig, BenchOutcome};
 pub use chaos::{Chaos, ChaosConfig, FaultPoint, ShardChaos, ShardChaosConfig, ShardFaultPoint};
 pub use engine::{
     Completion, Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket,
 };
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
-pub use plan_cache::PlanCache;
+pub use plan_cache::{PlanCache, SharedPlanCache};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
 pub use router::{

@@ -40,7 +40,9 @@
 use crate::registry::ModelKey;
 use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan, TilePlanner};
 use sesr_tensor::simd::{kernel_variant, KernelVariant};
-use std::sync::Arc;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Distinct models a worker keeps flattened kernels for.
 const KERNELS_CAP: usize = 4;
@@ -55,6 +57,121 @@ struct KernelsEntry {
     key: ModelKey,
     model: Arc<CollapsedSesr>,
     kernels: Arc<CollapsedKernels>,
+}
+
+/// Distinct models the process-wide shared store keeps kernels for.
+const SHARED_KERNELS_CAP: usize = 8;
+
+/// One shared-store entry: the model key, the exact model `Arc` the
+/// kernels were flattened from (staleness identity), and the kernels.
+type SharedKernelEntry = (ModelKey, Arc<CollapsedSesr>, Arc<CollapsedKernels>);
+
+/// Process-wide store of flattened kernels, shared across every engine
+/// shard the router owns (hot-model replication).
+///
+/// [`CollapsedKernels`] is the expensive *immutable* half of a plan:
+/// flattened weights and pre-transformed Winograd kernels. Plans
+/// themselves (arenas) are mutable per-worker scratch and stay
+/// worker-local — sharing them would serialize compute — but the
+/// kernels behind them are safely shared `Arc`s. A freshly spawned
+/// shard's workers therefore skip the flattening entirely whenever any
+/// other shard has served the model before: its first request is warm.
+///
+/// The `warm_hits` counter feeds the router's `replication_warm_hits`
+/// telemetry; it counts worker-local misses that the shared store
+/// served, i.e. exactly the compiles replication avoided.
+///
+/// Staleness follows the same `Arc::ptr_eq` rule as [`PlanCache`]:
+/// entries are keyed by the model Arc they were flattened from, so a
+/// registry reload misses once and replaces the shared entry.
+pub struct SharedPlanCache {
+    kernels: Mutex<Vec<SharedKernelEntry>>,
+    warm_hits: AtomicU64,
+    published: AtomicU64,
+}
+
+impl SharedPlanCache {
+    /// An empty shared store.
+    pub fn new() -> Self {
+        Self {
+            kernels: Mutex::new(Vec::with_capacity(SHARED_KERNELS_CAP)),
+            warm_hits: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up kernels for `(key, model)`. A hit bumps `warm_hits` —
+    /// callers only consult the shared store after a local miss, so
+    /// every hit here is a compile some other worker already paid for.
+    pub fn get(&self, key: &ModelKey, model: &Arc<CollapsedSesr>) -> Option<Arc<CollapsedKernels>> {
+        let mut g = self.kernels.lock().unwrap_or_else(PoisonError::into_inner);
+        let idx = g
+            .iter()
+            .position(|(k, m, _)| k == key && Arc::ptr_eq(m, model))?;
+        let entry = g.remove(idx);
+        let kernels = entry.2.clone();
+        g.insert(0, entry);
+        drop(g);
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        Some(kernels)
+    }
+
+    /// Publishes freshly compiled kernels so other shards skip the
+    /// compile. Stale same-key entries (reloaded model) are replaced.
+    pub fn publish(
+        &self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        kernels: &Arc<CollapsedKernels>,
+    ) {
+        let mut g = self.kernels.lock().unwrap_or_else(PoisonError::into_inner);
+        g.retain(|(k, m, _)| k != key || Arc::ptr_eq(m, model));
+        if g.iter().any(|(k, m, _)| k == key && Arc::ptr_eq(m, model)) {
+            return; // lost a publish race; the existing entry is equivalent
+        }
+        g.insert(0, (key.clone(), model.clone(), kernels.clone()));
+        g.truncate(SHARED_KERNELS_CAP);
+        drop(g);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker-local misses served from the shared store so far.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Kernel sets published into the store so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Models currently held.
+    pub fn len(&self) -> usize {
+        self.kernels
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SharedPlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedPlanCache")
+            .field("models", &self.len())
+            .field("warm_hits", &self.warm_hits())
+            .finish()
+    }
 }
 
 struct PlanEntry {
@@ -75,24 +192,35 @@ struct TilePlannerEntry {
     planner: TilePlanner,
 }
 
-/// Worker-local LRU cache of [`CollapsedKernels`] and [`InferPlan`]s.
+/// Worker-local LRU cache of [`CollapsedKernels`] and [`InferPlan`]s,
+/// optionally backed by a process-wide [`SharedPlanCache`] so sibling
+/// shards replicate hot kernels instead of recompiling them.
 pub struct PlanCache {
     kernels: Vec<KernelsEntry>,
     plans: Vec<PlanEntry>,
     tile_planners: Vec<TilePlannerEntry>,
+    shared: Option<Arc<SharedPlanCache>>,
 }
 
 impl PlanCache {
     pub fn new() -> Self {
+        Self::with_shared(None)
+    }
+
+    /// A cache that consults (and publishes to) `shared` on local
+    /// kernel misses.
+    pub fn with_shared(shared: Option<Arc<SharedPlanCache>>) -> Self {
         PlanCache {
             kernels: Vec::with_capacity(KERNELS_CAP),
             plans: Vec::with_capacity(PLANS_CAP),
             tile_planners: Vec::with_capacity(TILE_PLANNERS_CAP),
+            shared,
         }
     }
 
     /// Flattened kernels for `model`, compiled on first use. The `bool`
-    /// is `true` on a cache hit (callers feed it to telemetry).
+    /// is `true` on a cache hit (callers feed it to telemetry) — a
+    /// shared-store hit counts: the flattening was not paid here.
     pub fn kernels_for(
         &mut self,
         key: &ModelKey,
@@ -111,7 +239,18 @@ impl PlanCache {
         // reloaded model; it can never hit again, so drop it now.
         self.kernels
             .retain(|e| e.key != *key || Arc::ptr_eq(&e.model, model));
-        let kernels = Arc::new(CollapsedKernels::new(model));
+        // Hot-model replication: another shard may have flattened these
+        // weights already.
+        let (kernels, warm) = match self.shared.as_ref().and_then(|s| s.get(key, model)) {
+            Some(k) => (k, true),
+            None => {
+                let k = Arc::new(CollapsedKernels::new(model));
+                if let Some(shared) = &self.shared {
+                    shared.publish(key, model, &k);
+                }
+                (k, false)
+            }
+        };
         self.kernels.insert(
             0,
             KernelsEntry {
@@ -121,7 +260,7 @@ impl PlanCache {
             },
         );
         self.kernels.truncate(KERNELS_CAP);
-        (kernels, false)
+        (kernels, warm)
     }
 
     /// A ready-to-run plan for `(model, h, w)`, compiled on first use.
@@ -311,6 +450,38 @@ mod tests {
         assert_eq!(hit, current == KernelVariant::Scalar);
         assert_eq!(cache.plans.len(), 1, "stale-variant plan must be dropped");
         assert_eq!(cache.tile_planners.len(), 1);
+    }
+
+    #[test]
+    fn shared_store_replicates_kernels_across_caches() {
+        let shared = Arc::new(SharedPlanCache::new());
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+
+        // "Shard A" compiles and publishes.
+        let mut a = PlanCache::with_shared(Some(shared.clone()));
+        let (ka, hit) = a.kernels_for(&key, &model);
+        assert!(!hit, "first compile anywhere is a miss");
+        assert_eq!(shared.published(), 1);
+        assert_eq!(shared.warm_hits(), 0);
+
+        // "Shard B" (a freshly spawned shard's worker) warms instantly.
+        let mut b = PlanCache::with_shared(Some(shared.clone()));
+        let (kb, hit) = b.kernels_for(&key, &model);
+        assert!(hit, "replicated kernels must count as a hit");
+        assert!(Arc::ptr_eq(&ka, &kb), "one flattening shared by both");
+        assert_eq!(shared.warm_hits(), 1);
+
+        // B's local cache now holds it: no further shared traffic.
+        let (_, hit) = b.kernels_for(&key, &model);
+        assert!(hit);
+        assert_eq!(shared.warm_hits(), 1);
+
+        // A reloaded model misses and replaces the shared entry.
+        let reloaded = tiny_model();
+        let (_, hit) = b.kernels_for(&key, &reloaded);
+        assert!(!hit);
+        assert_eq!(shared.len(), 1, "stale shared entry must be replaced");
     }
 
     #[test]

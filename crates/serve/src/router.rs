@@ -41,11 +41,13 @@
 //! Supervision (health probes, circuit breaking, budgeted respawn, wedge
 //! detection, shard-level chaos) lives in [`crate::supervisor`].
 
+use crate::autoscale::{AutoscaleConfig, HashRing};
 use crate::chaos::{splitmix64, ShardChaos, ShardChaosConfig};
 use crate::engine::{
     jittered_backoff, validate_input, Completion, Engine, EngineConfig, Health, ServeError,
     ShutdownReport, SubmitError, Ticket,
 };
+use crate::plan_cache::SharedPlanCache;
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::supervisor::supervisor_loop;
 use crate::telemetry::Histogram;
@@ -53,7 +55,7 @@ use crate::video::{SessionStats, VideoError, VideoSessionSpec};
 use sesr_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -175,6 +177,12 @@ pub struct RouterConfig {
     pub max_sessions_per_tenant: usize,
     /// Shard-level fault injection (`None` = no faults).
     pub shard_chaos: Option<ShardChaosConfig>,
+    /// Elastic fleet sizing (`None` = the fixed-`shards` fleet). When
+    /// set, the router allocates `max_shards` slots up front, starts
+    /// `shards` of them (clamped into `[min_shards, max_shards]`), and
+    /// the supervisor grows or shrinks the active set under the
+    /// [`AutoscaleConfig`]'s hysteresis/cooldown policy.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl RouterConfig {
@@ -209,6 +217,7 @@ impl Default for RouterConfig {
             half_open_successes: 1,
             max_sessions_per_tenant: 4,
             shard_chaos: None,
+            autoscale: None,
         }
     }
 }
@@ -678,6 +687,22 @@ pub struct RouterCounters {
     pub breaker_half_opens: u64,
     /// Breaker transitions back to closed (half-open probe succeeded).
     pub breaker_closes: u64,
+    /// Autoscale scale-up transitions executed (a dormant slot spawned
+    /// and joined the ring).
+    pub scale_up_events: u64,
+    /// Autoscale scale-down transitions completed (a drained slot
+    /// retired off the ring).
+    pub scale_down_events: u64,
+    /// Keys (out of a fixed deterministic sample) observed to change
+    /// owner across ring edits — the measured bounded-rebalance cost.
+    pub keys_rebalanced: u64,
+    /// Plan-cache kernel compilations avoided because the shared
+    /// per-process store already held the collapsed kernels (how warm
+    /// replication made fresh shards).
+    pub replication_warm_hits: u64,
+    /// Sustained-pressure windows that wanted one more shard while the
+    /// fleet was already at `max_shards`.
+    pub autoscale_blocked_at_max: u64,
 }
 
 impl RouterCounters {
@@ -905,6 +930,11 @@ impl RouterSnapshot {
             .int("breaker_opens", c.breaker_opens)
             .int("breaker_half_opens", c.breaker_half_opens)
             .int("breaker_closes", c.breaker_closes)
+            .int("scale_up_events", c.scale_up_events)
+            .int("scale_down_events", c.scale_down_events)
+            .int("keys_rebalanced", c.keys_rebalanced)
+            .int("replication_warm_hits", c.replication_warm_hits)
+            .int("autoscale_blocked_at_max", c.autoscale_blocked_at_max)
             .finish();
         let tenants: Vec<String> = self
             .tenants
@@ -974,14 +1004,33 @@ pub struct ShardStatus {
     pub respawns_used: u32,
     /// Engine generation (bumped on every replace).
     pub generation: u64,
+    /// True while the autoscaler is draining this shard for retirement.
+    pub draining: bool,
 }
 
+/// One fleet slot. `engine: None` means the slot is dormant — allocated
+/// for elastic headroom but not running; its breaker is held open so no
+/// routing path considers it. `draining` marks a scale-down victim that
+/// is still flushing work: it stays off the ring and out of rendezvous
+/// fallbacks, but its breaker stays closed so its own dispatcher keeps
+/// feeding its engine.
 pub(crate) struct Shard {
-    pub(crate) engine: RwLock<Arc<Engine>>,
+    pub(crate) engine: RwLock<Option<Arc<Engine>>>,
     pub(crate) queue: ShardQueue,
     pub(crate) breaker: AtomicU8,
+    pub(crate) draining: AtomicBool,
     pub(crate) respawns_used: AtomicU64,
     pub(crate) generation: AtomicU64,
+}
+
+impl Shard {
+    /// The slot's engine, if it is running one.
+    pub(crate) fn engine(&self) -> Option<Arc<Engine>> {
+        self.engine
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
 }
 
 struct Bucket {
@@ -1010,40 +1059,45 @@ const ROUTER_RUNNING: u8 = 0;
 const ROUTER_DRAINING: u8 = 1;
 const ROUTER_STOPPED: u8 = 2;
 
-const RING_SALT: u64 = 0x51E2_D00F_3C15_7EE1;
 const RDV_SALT: u64 = 0xB01D_FACE_CAFE_D00D;
 
 pub(crate) struct RouterCore {
     pub(crate) cfg: RouterConfig,
     pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) shards: Vec<Shard>,
-    /// Sorted (point, shard) ring of virtual nodes.
-    ring: Vec<(u64, usize)>,
+    /// The consistent-hash ring of *active* shards. Behind a lock so the
+    /// autoscaler can edit membership; reads are lock-then-lookup.
+    pub(crate) ring: RwLock<HashRing>,
     pub(crate) state: AtomicU8,
     drain_deadline: Mutex<Option<Instant>>,
     pub(crate) telemetry: RouterTelemetry,
     pub(crate) chaos: Option<ShardChaos>,
     pub(crate) jitter_draws: AtomicU64,
+    /// The process-wide collapsed-kernel store every shard engine warms
+    /// from (hot-plan replication; `replication_warm_hits`).
+    pub(crate) shared_plans: Arc<SharedPlanCache>,
     buckets: Mutex<HashMap<(Arc<str>, usize), Bucket>>,
     policies: HashMap<String, TenantPolicy>,
     ids: AtomicU64,
     /// Open video sessions: router-level id → shard pin. Sessions are
     /// pinned to the shard (and engine generation) that opened them; a
     /// replaced shard loses its session state, surfaced as
-    /// [`VideoError::SessionLost`] on next touch.
-    video_sessions: Mutex<HashMap<u64, VideoPin>>,
+    /// [`VideoError::SessionLost`] on next touch. A scale-down instead
+    /// *migrates* pinned sessions (state and all) to a live shard before
+    /// the victim retires — see `crate::supervisor`.
+    pub(crate) video_sessions: Mutex<HashMap<u64, VideoPin>>,
     video_ids: AtomicU64,
 }
 
 /// Where one video session lives in the fleet.
-struct VideoPin {
-    tenant: Arc<str>,
-    shard: usize,
+pub(crate) struct VideoPin {
+    pub(crate) tenant: Arc<str>,
+    pub(crate) shard: usize,
     /// Shard generation at open; a mismatch means the engine (and the
     /// session state inside it) was replaced.
-    generation: u64,
+    pub(crate) generation: u64,
     /// The session's id inside that shard's engine.
-    engine_session: u64,
+    pub(crate) engine_session: u64,
 }
 
 impl RouterCore {
@@ -1068,26 +1122,35 @@ impl RouterCore {
             .unwrap_or(&self.cfg.default_policy)
     }
 
-    /// Ring successor of `point` (the consistent-hash primary).
-    fn primary_shard(&self, point: u64) -> usize {
-        let i = self.ring.partition_point(|&(p, _)| p < point);
-        let i = if i == self.ring.len() { 0 } else { i };
-        self.ring[i].1
+    /// Whether slot `i` may take *new* routing decisions: breaker not
+    /// open and not a scale-down victim mid-drain.
+    fn routable(&self, i: usize) -> bool {
+        self.shards[i].breaker.load(Ordering::Acquire) != BREAKER_OPEN
+            && !self.shards[i].draining.load(Ordering::Acquire)
     }
 
-    /// Rendezvous (highest-random-weight) draw over shards whose breaker
-    /// is not open, optionally excluding one. Stable per `point`: the
-    /// same request keys keep landing on the same fallback.
-    fn rendezvous(&self, point: u64, exclude: Option<usize>) -> Option<usize> {
+    /// Ring successor of `point` (the consistent-hash primary), or
+    /// `None` on an empty ring.
+    fn primary_shard(&self, point: u64) -> Option<usize> {
+        self.ring
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .owner(point)
+    }
+
+    /// Rendezvous (highest-random-weight) draw over routable shards,
+    /// optionally excluding one. Stable per `point`: the same request
+    /// keys keep landing on the same fallback.
+    pub(crate) fn rendezvous(&self, point: u64, exclude: Option<usize>) -> Option<usize> {
         (0..self.shards.len())
             .filter(|&i| Some(i) != exclude)
-            .filter(|&i| self.shards[i].breaker.load(Ordering::Acquire) != BREAKER_OPEN)
+            .filter(|&i| self.routable(i))
             .max_by_key(|&i| splitmix64(point ^ splitmix64(RDV_SALT ^ i as u64)))
     }
 
     fn pick_shard(&self, point: u64) -> Option<usize> {
-        let primary = self.primary_shard(point);
-        if self.shards[primary].breaker.load(Ordering::Acquire) != BREAKER_OPEN {
+        let primary = self.primary_shard(point)?;
+        if self.routable(primary) {
             return Some(primary);
         }
         self.rendezvous(point, Some(primary))
@@ -1111,13 +1174,8 @@ impl RouterCore {
         Ok((pin.shard, pin.engine_session))
     }
 
-    fn shard_engine(&self, idx: usize) -> Arc<Engine> {
-        Arc::clone(
-            &self.shards[idx]
-                .engine
-                .read()
-                .unwrap_or_else(PoisonError::into_inner),
-        )
+    fn shard_engine(&self, idx: usize) -> Option<Arc<Engine>> {
+        self.shards[idx].engine()
     }
 
     /// Steps `key` down the degrade chain in proportion to how deep into
@@ -1189,7 +1247,7 @@ fn reroute_or_fail(core: &Arc<RouterCore>, from: usize, mut job: RouterJob) {
     job.reroutes += 1;
     let target = core.rendezvous(job.point, Some(from)).or_else(|| {
         // Last resort: the original shard, if it came back.
-        (core.shards[from].breaker.load(Ordering::Acquire) != BREAKER_OPEN).then_some(from)
+        core.routable(from).then_some(from)
     });
     let Some(target) = target else {
         settle(
@@ -1284,7 +1342,11 @@ fn dispatch_one(core: &Arc<RouterCore>, shard_idx: usize, job: RouterJob) {
     // Backpressure pacing: wait for engine-queue headroom instead of
     // hammering its admission edge.
     let engine = loop {
-        let engine = Arc::clone(&shard.engine.read().unwrap_or_else(PoisonError::into_inner));
+        let Some(engine) = shard.engine() else {
+            // The slot retired (scale-down) with this job still queued.
+            reroute_or_fail(core, shard_idx, job);
+            return;
+        };
         if engine.queue_depth() < core.cfg.engine.queue_capacity {
             break engine;
         }
@@ -1352,34 +1414,56 @@ pub struct Router {
 }
 
 impl Router {
-    /// Builds the shard fleet and starts one dispatcher per shard plus
-    /// the shard supervisor.
+    /// Builds the shard fleet and starts one dispatcher per slot plus
+    /// the shard supervisor. With `cfg.autoscale` set, `max_shards`
+    /// slots are allocated (each with its queue and dispatcher, so
+    /// scale-up never spawns threads) but only the initial `shards` run
+    /// engines; the rest stay dormant behind open breakers.
     pub fn new(cfg: RouterConfig, registry: Arc<ModelRegistry>) -> Self {
         let mut cfg = cfg;
         cfg.shards = cfg.shards.max(1);
         cfg.virtual_nodes = cfg.virtual_nodes.max(1);
         cfg.batch_shed_at = cfg.batch_shed_at.clamp(0.0, 1.0);
         cfg.degrade_at = cfg.degrade_at.clamp(0.0, 1.0);
-        let shards: Vec<Shard> = (0..cfg.shards)
-            .map(|_| Shard {
-                engine: RwLock::new(Arc::new(Engine::new(
-                    cfg.engine.clone(),
-                    Arc::clone(&registry),
-                ))),
-                queue: ShardQueue::new(cfg.shard_queue_capacity),
-                breaker: AtomicU8::new(BREAKER_CLOSED),
-                respawns_used: AtomicU64::new(0),
-                generation: AtomicU64::new(0),
-            })
-            .collect();
-        let mut ring = Vec::with_capacity(cfg.shards * cfg.virtual_nodes);
-        for s in 0..cfg.shards {
-            for v in 0..cfg.virtual_nodes {
-                let point = splitmix64(RING_SALT ^ ((s as u64) << 32 | v as u64));
-                ring.push((point, s));
-            }
+        cfg.autoscale = cfg.autoscale.map(|a| {
+            crate::autoscale::AutoscaleController::new(a)
+                .config()
+                .clone()
+        });
+        let mut slots = cfg.shards;
+        if let Some(a) = &cfg.autoscale {
+            cfg.shards = cfg.shards.clamp(a.min_shards, a.max_shards);
+            slots = a.max_shards.max(cfg.shards);
         }
-        ring.sort_unstable();
+        // Hot-plan replication: every shard engine (initial, respawned,
+        // or scaled-up) warms its collapsed kernels from one shared
+        // per-process store unless the caller injected their own.
+        let shared_plans = cfg
+            .engine
+            .shared_plans
+            .clone()
+            .unwrap_or_else(|| Arc::new(SharedPlanCache::new()));
+        cfg.engine.shared_plans = Some(Arc::clone(&shared_plans));
+        let shards: Vec<Shard> =
+            (0..slots)
+                .map(|i| {
+                    let active = i < cfg.shards;
+                    Shard {
+                        engine: RwLock::new(active.then(|| {
+                            Arc::new(Engine::new(cfg.engine.clone(), Arc::clone(&registry)))
+                        })),
+                        queue: ShardQueue::new(cfg.shard_queue_capacity),
+                        breaker: AtomicU8::new(if active { BREAKER_CLOSED } else { BREAKER_OPEN }),
+                        draining: AtomicBool::new(false),
+                        respawns_used: AtomicU64::new(0),
+                        generation: AtomicU64::new(0),
+                    }
+                })
+                .collect();
+        let mut ring = HashRing::new(cfg.virtual_nodes);
+        for s in 0..cfg.shards {
+            ring.add_shard(s);
+        }
         let policies = cfg
             .policies
             .iter()
@@ -1390,19 +1474,20 @@ impl Router {
             cfg,
             registry,
             shards,
-            ring,
+            ring: RwLock::new(ring),
             state: AtomicU8::new(ROUTER_RUNNING),
             drain_deadline: Mutex::new(None),
             telemetry: RouterTelemetry::new(),
             chaos,
             jitter_draws: AtomicU64::new(0),
+            shared_plans,
             buckets: Mutex::new(HashMap::new()),
             policies,
             ids: AtomicU64::new(0),
             video_sessions: Mutex::new(HashMap::new()),
             video_ids: AtomicU64::new(1),
         });
-        let dispatchers = (0..core.cfg.shards)
+        let dispatchers = (0..core.shards.len())
             .map(|i| {
                 let c = Arc::clone(&core);
                 std::thread::Builder::new()
@@ -1593,8 +1678,13 @@ impl Router {
             return Err(RouterSubmitError::NoHealthyShard);
         };
         let generation = core.shards[shard_idx].generation.load(Ordering::Acquire);
-        let engine_session = core
-            .shard_engine(shard_idx)
+        let Some(engine) = core.shard_engine(shard_idx) else {
+            // pick_shard only returns routable slots; losing the engine
+            // between pick and open is a retire race.
+            core.telemetry.counters(|c| c.rejected_no_shard += 1);
+            return Err(RouterSubmitError::NoHealthyShard);
+        };
+        let engine_session = engine
             .open_video_session(spec)
             .map_err(RouterSubmitError::Video)?;
         let id = core.video_ids.fetch_add(1, Ordering::Relaxed);
@@ -1640,7 +1730,10 @@ impl Router {
         let (shard_idx, engine_session) = core
             .resolve_video_pin(session_id)
             .map_err(RouterSubmitError::Video)?;
-        core.shard_engine(shard_idx)
+        let engine = core
+            .shard_engine(shard_idx)
+            .ok_or(RouterSubmitError::Video(VideoError::SessionLost))?;
+        engine
             .feed_video_frame(engine_session, seq, frame, deadline)
             .map_err(|e| match e {
                 SubmitError::QueueFull { .. } => RouterSubmitError::Overloaded,
@@ -1668,6 +1761,7 @@ impl Router {
             .unwrap_or_else(PoisonError::into_inner)
             .remove(&session_id);
         core.shard_engine(shard_idx)
+            .ok_or(VideoError::SessionLost)?
             .close_video_session(engine_session)
     }
 
@@ -1680,11 +1774,18 @@ impl Router {
         let (shard_idx, engine_session) = self.core.resolve_video_pin(session_id)?;
         self.core
             .shard_engine(shard_idx)
+            .ok_or(VideoError::SessionLost)?
             .video_session_stats(engine_session)
     }
 
-    /// The fleet telemetry sink.
+    /// The fleet telemetry sink. Syncs the shared plan store's warm-hit
+    /// count into the counters first, so every snapshot carries the
+    /// current replication effectiveness.
     pub fn telemetry(&self) -> RouterSnapshot {
+        let warm = self.core.shared_plans.warm_hits();
+        self.core
+            .telemetry
+            .counters(|c| c.replication_warm_hits = warm);
         self.core.telemetry.snapshot()
     }
 
@@ -1693,8 +1794,23 @@ impl Router {
         Arc::clone(&self.core.registry)
     }
 
-    /// Number of shards in the fleet.
+    /// Number of shards currently running an engine (active fleet size;
+    /// includes draining scale-down victims until they retire).
     pub fn shard_count(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .filter(|s| {
+                s.engine
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+            })
+            .count()
+    }
+
+    /// Total slots allocated (the elastic headroom ceiling).
+    pub fn slot_count(&self) -> usize {
         self.core.shards.len()
     }
 
@@ -1704,15 +1820,16 @@ impl Router {
         self.core.pick_shard(route_point(tenant, key))
     }
 
-    /// A point-in-time view of each shard.
+    /// A point-in-time view of each *active* shard (dormant slots are
+    /// omitted; `index` identifies the slot).
     pub fn shard_statuses(&self) -> Vec<ShardStatus> {
         self.core
             .shards
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                let engine = Arc::clone(&s.engine.read().unwrap_or_else(PoisonError::into_inner));
-                ShardStatus {
+            .filter_map(|(i, s)| {
+                let engine = s.engine()?;
+                Some(ShardStatus {
                     index: i,
                     breaker: breaker_state(s.breaker.load(Ordering::Acquire)),
                     health: engine.health(),
@@ -1720,7 +1837,8 @@ impl Router {
                     engine_depth: engine.queue_depth(),
                     respawns_used: s.respawns_used.load(Ordering::Relaxed) as u32,
                     generation: s.generation.load(Ordering::Relaxed),
-                }
+                    draining: s.draining.load(Ordering::Acquire),
+                })
             })
             .collect()
     }
@@ -1772,7 +1890,9 @@ impl Router {
         }
         // Drain the engines; their hooks settle every in-flight request.
         for shard in &self.core.shards {
-            let engine = Arc::clone(&shard.engine.read().unwrap_or_else(PoisonError::into_inner));
+            let Some(engine) = shard.engine() else {
+                continue;
+            };
             let remaining = deadline.saturating_sub(start.elapsed());
             let _report: ShutdownReport = engine.shutdown(remaining);
         }

@@ -20,7 +20,22 @@
 //! (`shed_batch > 0`) while no interactive request is ever *rejected*
 //! (`rejected_interactive == 0`; under pressure interactive work is
 //! degraded to a cheaper architecture instead — the any-time move).
+//!
+//! The autoscale phase starts at the *low* shard count with the
+//! elastic controller enabled and drives interactive-only traffic at a
+//! rate one shard cannot sustain (`autoscale_hz` per tenant): deadline
+//! misses saturate the pressure signal continuously — unlike the heavy
+//! mix, whose multi-second head-of-line requests make the miss counter
+//! bursty and leave an undrainable batch backlog in the quiet tail —
+//! so the fleet grows toward the high count (bounded rebalancing: only
+//! sampled ring keys that must move do), fresh shards draw collapsed
+//! plans from the shared per-process store (`replication_warm_hits >
+//! 0`, no re-collapse on first request), and the quiet tail drains in
+//! milliseconds, letting the controller scale back down. The phase
+//! fails if the fleet never scales up, never scales down, serves a
+//! cold first request, or rejects interactive work while elastic.
 
+use crate::autoscale::AutoscaleConfig;
 use crate::bench::arch_config;
 use crate::engine::EngineConfig;
 use crate::json::JsonObject;
@@ -74,6 +89,20 @@ pub struct RouterBenchConfig {
     pub scale: usize,
     /// Expanded (training-time) channel width for model init.
     pub expanded: usize,
+    /// Per-tenant interactive rate during the autoscale phase. Sized
+    /// so the tenants together exceed one shard's small-image service
+    /// capacity (sustained deadline misses drive scale-up) while each
+    /// tenant alone fits comfortably on its own shard.
+    pub autoscale_hz: f64,
+    /// Quiet tail after the autoscale phase's traffic window: no
+    /// arrivals, long enough for the controller's cold streak to drain
+    /// the fleet back down at least once.
+    pub autoscale_quiet: Duration,
+    /// Optional persisted-autotuner file (written by
+    /// `sesr infer-bench --tuner-out`); every engine spawn — including
+    /// elastic scale-ups — seeds its GEMM blocking choices from it
+    /// instead of re-tuning.
+    pub tuner_file: Option<std::path::PathBuf>,
 }
 
 impl Default for RouterBenchConfig {
@@ -94,7 +123,27 @@ impl Default for RouterBenchConfig {
             arch: "m5".to_string(),
             scale: 2,
             expanded: 16,
+            autoscale_hz: 600.0,
+            autoscale_quiet: Duration::from_millis(1500),
+            tuner_file: None,
         }
+    }
+}
+
+/// The elastic-controller settings the autoscale phase runs under:
+/// bounds = the two scaling-phase shard counts, a fast hot streak (any
+/// deadline miss saturates pressure, so four 5 ms ticks suffice), and a
+/// cold streak long enough that scale-down needs sustained quiet.
+fn autoscale_for(cfg: &RouterBenchConfig) -> AutoscaleConfig {
+    AutoscaleConfig {
+        min_shards: cfg.shard_counts.0,
+        max_shards: cfg.shard_counts.1,
+        scale_up_fill: 0.60,
+        scale_down_fill: 0.05,
+        up_ticks: 4,
+        down_ticks: 60,
+        cooldown_ticks: 40,
+        drain_grace: Duration::from_millis(300),
     }
 }
 
@@ -126,6 +175,9 @@ pub struct RouterBenchReport {
     pub scaling_x: f64,
     /// The overload/shedding phase (at `shard_counts.1`).
     pub overload: PhaseReport,
+    /// The elastic phase: starts at `shard_counts.0` with the autoscale
+    /// controller bounded by `shard_counts`, under the overload mix.
+    pub autoscale: PhaseReport,
     /// Ledger problems across all phases (must be empty).
     pub problems: Vec<String>,
 }
@@ -152,7 +204,18 @@ fn registry_for(cfg: &RouterBenchConfig) -> Result<Arc<ModelRegistry>, String> {
     Ok(registry)
 }
 
-fn router_for(shards: usize, registry: Arc<ModelRegistry>) -> Router {
+fn router_for(
+    shards: usize,
+    registry: Arc<ModelRegistry>,
+    autoscale: Option<AutoscaleConfig>,
+    tuner_file: Option<std::path::PathBuf>,
+) -> Router {
+    // The elastic phase starts at one shard under the full mix, so the
+    // router queue must absorb the pre-scale-up backlog (deadline
+    // misses drive the controller; queue-full rejections would fail the
+    // phase). The fixed-fleet phases keep the small queue that makes
+    // the shed/degrade thresholds engage.
+    let shard_queue_capacity = if autoscale.is_some() { 256 } else { 16 };
     Router::new(
         RouterConfig {
             shards,
@@ -164,14 +227,16 @@ fn router_for(shards: usize, registry: Arc<ModelRegistry>) -> Router {
                 // Keep big inputs on the whole-image path so one heavy
                 // request occupies the worker in one piece.
                 tile_threshold_px: usize::MAX,
+                tuner_path: tuner_file,
                 ..EngineConfig::default()
             },
-            shard_queue_capacity: 16,
+            shard_queue_capacity,
             default_policy: TenantPolicy {
                 weight: 1,
                 interactive: RateLimit::default(),
                 batch: RateLimit::default(),
             },
+            autoscale,
             ..RouterConfig::default()
         },
         registry,
@@ -229,10 +294,17 @@ fn run_phase(
     cfg: &RouterBenchConfig,
     shards: usize,
     specs: &[TenantSpec],
+    autoscale: Option<AutoscaleConfig>,
+    quiet: Duration,
     problems: &mut Vec<String>,
 ) -> Result<PhaseReport, String> {
     let registry = registry_for(cfg)?;
-    let router = Arc::new(router_for(shards, registry));
+    let router = Arc::new(router_for(
+        shards,
+        registry,
+        autoscale,
+        cfg.tuner_file.clone(),
+    ));
     let key = ModelKey::new(&cfg.arch, cfg.scale);
     let assignments: Vec<(String, usize)> = specs
         .iter()
@@ -270,6 +342,11 @@ fn run_phase(
     let at_window = router.telemetry();
     let completed_in_window = at_window.counters.completed;
     let rps = completed_in_window as f64 / window.as_secs_f64();
+    // Quiet tail (autoscale phase only): no arrivals, so the elastic
+    // controller's cold streak can drain the fleet back down.
+    if !quiet.is_zero() {
+        std::thread::sleep(quiet);
+    }
     router.shutdown(Duration::from_millis(500));
     for h in handles {
         h.join()
@@ -297,7 +374,7 @@ fn place_heavy_tenant(cfg: &RouterBenchConfig, interactive: &[String]) -> String
     let Ok(registry) = registry_for(cfg) else {
         return "bulk-0".to_string();
     };
-    let probe = router_for(cfg.shard_counts.1, registry);
+    let probe = router_for(cfg.shard_counts.1, registry, None, None);
     let key = ModelKey::new(&cfg.arch, cfg.scale);
     let taken: Vec<usize> = interactive
         .iter()
@@ -348,8 +425,22 @@ pub fn run_router_bench(cfg: &RouterBenchConfig) -> Result<RouterBenchReport, St
     };
     let mut problems = Vec::new();
     let steady = specs(cfg.interactive_hz, cfg.heavy_hz);
-    let low = run_phase(cfg, cfg.shard_counts.0, &steady, &mut problems)?;
-    let high = run_phase(cfg, cfg.shard_counts.1, &steady, &mut problems)?;
+    let low = run_phase(
+        cfg,
+        cfg.shard_counts.0,
+        &steady,
+        None,
+        Duration::ZERO,
+        &mut problems,
+    )?;
+    let high = run_phase(
+        cfg,
+        cfg.shard_counts.1,
+        &steady,
+        None,
+        Duration::ZERO,
+        &mut problems,
+    )?;
     let scaling_x = if low.rps > 0.0 {
         high.rps / low.rps
     } else {
@@ -359,7 +450,14 @@ pub fn run_router_bench(cfg: &RouterBenchConfig) -> Result<RouterBenchReport, St
         cfg.interactive_hz * cfg.overload_factor,
         cfg.overload_heavy_hz,
     );
-    let overload = run_phase(cfg, cfg.shard_counts.1, &over, &mut problems)?;
+    let overload = run_phase(
+        cfg,
+        cfg.shard_counts.1,
+        &over,
+        None,
+        Duration::ZERO,
+        &mut problems,
+    )?;
     if overload.snapshot.counters.shed_batch == 0 {
         problems.push("overload phase: batch shedding never engaged".to_string());
     }
@@ -369,11 +467,51 @@ pub fn run_router_bench(cfg: &RouterBenchConfig) -> Result<RouterBenchReport, St
             overload.snapshot.counters.rejected_interactive
         ));
     }
+    // Elastic phase: interactive-only pressure aimed at a fleet that
+    // starts at the low count and must grow its way out of it.
+    let elastic: Vec<TenantSpec> = interactive
+        .iter()
+        .map(|name| TenantSpec {
+            name: name.clone(),
+            class: Priority::Interactive,
+            hz: cfg.autoscale_hz,
+            deadline: cfg.interactive_deadline,
+            hw: cfg.small,
+        })
+        .collect();
+    let autoscale = run_phase(
+        cfg,
+        cfg.shard_counts.0,
+        &elastic,
+        Some(autoscale_for(cfg)),
+        cfg.autoscale_quiet,
+        &mut problems,
+    )?;
+    let ac = &autoscale.snapshot.counters;
+    if ac.scale_up_events == 0 {
+        problems.push("autoscale phase: fleet never scaled up under overload".to_string());
+    }
+    if ac.scale_down_events == 0 {
+        problems
+            .push("autoscale phase: fleet never drained back down in the quiet tail".to_string());
+    }
+    if ac.replication_warm_hits == 0 {
+        problems.push(
+            "autoscale phase: no shared-plan warm hit (new shards re-collapsed plans)".to_string(),
+        );
+    }
+    if ac.rejected_interactive > 0 {
+        problems.push(format!(
+            "autoscale phase: {} interactive requests rejected while elastic",
+            ac.rejected_interactive
+        ));
+    }
     Ok(RouterBenchReport {
         low,
         high,
         scaling_x,
         overload,
+        autoscale,
         problems,
     })
 }
@@ -421,6 +559,15 @@ pub fn router_bench_report_json(cfg: &RouterBenchConfig, r: &RouterBenchReport) 
         .str("arch", &cfg.arch)
         .int("scale", cfg.scale as u64)
         .int("expanded", cfg.expanded as u64)
+        .num("autoscale_hz", cfg.autoscale_hz)
+        .num("autoscale_quiet_s", cfg.autoscale_quiet.as_secs_f64())
+        .str(
+            "tuner_file",
+            &cfg.tuner_file
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+        )
         .finish();
     let problems: Vec<String> = r
         .problems
@@ -432,6 +579,7 @@ pub fn router_bench_report_json(cfg: &RouterBenchConfig, r: &RouterBenchReport) 
         .raw(&format!("shards_{}", r.high.shards), &phase_json(&r.high))
         .num("scaling_x", r.scaling_x)
         .raw("overload", &phase_json(&r.overload))
+        .raw("autoscale", &phase_json(&r.autoscale))
         .raw("problems", &crate::json::array(problems))
         .finish();
     JsonObject::new()

@@ -1,0 +1,687 @@
+//! Elastic autoscaling tests: the bounded-rebalancing property of the
+//! consistent-hash ring (proptest), deterministic scale-down behavior
+//! under a wedged drain (stranded work reroutes, nothing is lost),
+//! pinned video-session migration across a scale-down, and the scaling
+//! chaos soak — repeated scale-ups/downs under load with a
+//! kill-during-spawn, a wedge-during-drain, and a respawn failure at
+//! min capacity, reconciled to exactly one terminal outcome per
+//! admitted request.
+
+use proptest::prelude::*;
+use sesr_core::model::{Sesr, SesrConfig};
+use sesr_serve::autoscale::{AutoscaleConfig, HashRing};
+use sesr_serve::chaos::{ChaosConfig, ShardChaosConfig};
+use sesr_serve::engine::EngineConfig;
+use sesr_serve::registry::{ModelKey, ModelRegistry};
+use sesr_serve::router::{
+    Priority, Router, RouterConfig, RouterCounters, RouterSubmitError, RouterTicket,
+};
+use sesr_serve::video::{VideoError, VideoSessionSpec};
+use sesr_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry() -> Arc<ModelRegistry> {
+    let r = Arc::new(ModelRegistry::new(8));
+    let model = Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(7)).collapse();
+    r.insert(ModelKey::new("m2", 2), model);
+    r
+}
+
+fn img(seed: u64, h: usize, w: usize) -> Tensor {
+    Tensor::rand_uniform(&[1, h, w], 0.0, 1.0, seed)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut st = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix(&mut st) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Bounded rebalancing (proptest)
+// ---------------------------------------------------------------------------
+
+const RING_SAMPLES: u64 = 2048;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding shard `n` to an `n`-shard ring moves only keys that land
+    /// on the new shard, leaves every other key with its old owner, and
+    /// moves roughly a 1/(n+1) share — never more than 2.5x that, never
+    /// less than an eighth of it (vnode placement is hashed, so the
+    /// share wobbles, but it must stay the same order of magnitude).
+    #[test]
+    fn ring_add_moves_only_a_bounded_share(
+        vnodes in prop::sample::select(vec![32usize, 64, 128]),
+        n in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mut before = HashRing::new(vnodes);
+        for s in 0..n {
+            before.add_shard(s);
+        }
+        let mut after = before.clone();
+        after.add_shard(n);
+        let mut st = seed;
+        let mut moved = 0u64;
+        for _ in 0..RING_SAMPLES {
+            let p = splitmix(&mut st);
+            let (a, b) = (before.owner(p).unwrap(), after.owner(p).unwrap());
+            if a != b {
+                moved += 1;
+                prop_assert_eq!(b, n, "a moved key must land on the new shard");
+            }
+        }
+        let expected = RING_SAMPLES as f64 / (n as f64 + 1.0);
+        prop_assert!(
+            (moved as f64) <= expected * 2.5,
+            "add moved {moved} of {RING_SAMPLES} keys; expected ~{expected:.0} (n={n}, vnodes={vnodes})"
+        );
+        prop_assert!(
+            (moved as f64) >= expected / 8.0,
+            "add moved only {moved} of {RING_SAMPLES} keys; expected ~{expected:.0} (n={n}, vnodes={vnodes})"
+        );
+    }
+
+    /// Removing a shard moves exactly the keys it owned — a bounded
+    /// ~1/n share — and every one of them, nothing else.
+    #[test]
+    fn ring_remove_moves_exactly_the_victims_keys(
+        vnodes in prop::sample::select(vec![32usize, 64, 128]),
+        n in 2usize..=7,
+        seed in any::<u64>(),
+    ) {
+        let mut before = HashRing::new(vnodes);
+        for s in 0..n {
+            before.add_shard(s);
+        }
+        let victim = (seed % n as u64) as usize;
+        let mut after = before.clone();
+        after.remove_shard(victim);
+        let mut st = seed;
+        let mut moved = 0u64;
+        for _ in 0..RING_SAMPLES {
+            let p = splitmix(&mut st);
+            let (a, b) = (before.owner(p).unwrap(), after.owner(p).unwrap());
+            if a == victim {
+                moved += 1;
+                prop_assert!(b != victim, "keys must leave the removed shard");
+            } else {
+                prop_assert_eq!(a, b, "keys not on the victim must not move");
+            }
+        }
+        let expected = RING_SAMPLES as f64 / n as f64;
+        prop_assert!(
+            (moved as f64) <= expected * 2.5,
+            "remove moved {moved} of {RING_SAMPLES}; expected ~{expected:.0} (n={n}, vnodes={vnodes})"
+        );
+    }
+
+    /// Vnode points are a pure function of the shard index: a ring
+    /// reaches the same owner map no matter the join order, and
+    /// add-then-remove is a perfect inverse. This is what makes
+    /// scale-up/scale-down churn safe to repeat indefinitely.
+    #[test]
+    fn ring_owners_are_join_order_independent_and_edits_invert(
+        vnodes in prop::sample::select(vec![32usize, 64]),
+        n in 2usize..=7,
+        seed in any::<u64>(),
+    ) {
+        let mut sequential = HashRing::new(vnodes);
+        for s in 0..n {
+            sequential.add_shard(s);
+        }
+        let mut permuted = HashRing::new(vnodes);
+        for s in shuffled(n, seed) {
+            permuted.add_shard(s);
+        }
+        let mut round_trip = sequential.clone();
+        round_trip.add_shard(n);
+        round_trip.remove_shard(n);
+        let mut st = seed ^ 0xA5A5;
+        for _ in 0..512 {
+            let p = splitmix(&mut st);
+            prop_assert_eq!(sequential.owner(p), permuted.owner(p));
+            prop_assert_eq!(sequential.owner(p), round_trip.owner(p));
+        }
+        prop_assert_eq!(sequential.sampled_moves(&round_trip, RING_SAMPLES), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic fleet harness
+// ---------------------------------------------------------------------------
+
+/// Slow-chaos engine: every request takes ~3ms, so queue fill (and thus
+/// scaling pressure) is a direct function of offered load rather than
+/// model size, and backlogs drain on a schedule the tests can reason
+/// about.
+fn slow_engine(queue: usize) -> EngineConfig {
+    EngineConfig {
+        workers: 1,
+        queue_capacity: queue,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        chaos: Some(ChaosConfig {
+            seed: 0x51EE9,
+            slow_per_mille: 1000,
+            slow: Duration::from_millis(3),
+            ..ChaosConfig::default()
+        }),
+        ..EngineConfig::default()
+    }
+}
+
+fn elastic_config(
+    shards: usize,
+    engine_queue: usize,
+    autoscale: AutoscaleConfig,
+    shard_chaos: Option<ShardChaosConfig>,
+) -> RouterConfig {
+    RouterConfig {
+        shards,
+        engine: slow_engine(engine_queue),
+        shard_queue_capacity: 64,
+        probe_interval: Duration::from_millis(2),
+        stall_ticks: 100,
+        respawn_budget: 32,
+        reroute_budget: 8,
+        respawn_backoff: Duration::from_millis(2),
+        respawn_backoff_cap: Duration::from_millis(10),
+        shard_chaos,
+        autoscale: Some(autoscale),
+        ..RouterConfig::default()
+    }
+}
+
+/// Closed-loop load driver: keeps up to `window` requests in flight and
+/// resolves the oldest to admit the next, so queue fill stays pinned
+/// high during hot waves and drains to zero when the wave ends.
+struct Load {
+    router: Arc<Router>,
+    key: ModelKey,
+    window: usize,
+    in_flight: VecDeque<RouterTicket>,
+    admitted: u64,
+    ok: u64,
+    failed: u64,
+    seq: u64,
+}
+
+impl Load {
+    fn new(router: Arc<Router>, window: usize) -> Self {
+        Self {
+            router,
+            key: ModelKey::new("m2", 2),
+            window,
+            in_flight: VecDeque::new(),
+            admitted: 0,
+            ok: 0,
+            failed: 0,
+            seq: 0,
+        }
+    }
+
+    fn resolve_one(&mut self) {
+        if let Some(t) = self.in_flight.pop_front() {
+            match t.wait() {
+                Ok(_) => self.ok += 1,
+                Err(_) => self.failed += 1,
+            }
+        }
+    }
+
+    fn resolve_all(&mut self) {
+        while !self.in_flight.is_empty() {
+            self.resolve_one();
+        }
+    }
+
+    fn submit_one(&mut self, tenant: &str) -> bool {
+        match self.router.submit(
+            tenant,
+            Priority::Interactive,
+            &self.key,
+            img(self.seq, 10, 10),
+            Some(Duration::from_secs(20)),
+        ) {
+            Ok(t) => {
+                self.admitted += 1;
+                self.in_flight.push_back(t);
+                if self.in_flight.len() >= self.window {
+                    self.resolve_one();
+                }
+                true
+            }
+            Err(
+                RouterSubmitError::Overloaded
+                | RouterSubmitError::ShedBatch
+                | RouterSubmitError::Throttled { .. }
+                | RouterSubmitError::NoHealthyShard,
+            ) => {
+                // Transient: the fleet is saturated or briefly
+                // zero-serving mid-fault. Back off and retry.
+                std::thread::sleep(Duration::from_millis(1));
+                false
+            }
+            Err(e) => panic!("unexpected rejection under autoscale load: {e}"),
+        }
+    }
+
+    /// Pumps load until `done(counters, admitted)` holds.
+    fn hot_until(&mut self, what: &str, done: impl Fn(&RouterCounters, u64) -> bool) {
+        let start = Instant::now();
+        loop {
+            if self.seq.is_multiple_of(16) {
+                let c = self.router.telemetry().counters;
+                if done(&c, self.admitted) {
+                    return;
+                }
+                if start.elapsed() > Duration::from_secs(60) {
+                    panic!(
+                        "hot wave '{what}' timed out; counters: {c:?}\nshards: {:?}",
+                        self.router.shard_statuses()
+                    );
+                }
+            }
+            self.seq += 1;
+            let tenant = format!("t-{}", self.seq % 8);
+            self.submit_one(&tenant);
+        }
+    }
+
+    /// Stops offering load, settles everything in flight, then waits
+    /// for `done(counters)` (scale-downs happen here).
+    fn cold_until(&mut self, what: &str, done: impl Fn(&RouterCounters) -> bool) {
+        self.resolve_all();
+        let start = Instant::now();
+        loop {
+            let c = self.router.telemetry().counters;
+            if done(&c) {
+                return;
+            }
+            if start.elapsed() > Duration::from_secs(60) {
+                panic!(
+                    "cold wave '{what}' timed out; counters: {c:?}\nshards: {:?}",
+                    self.router.shard_statuses()
+                );
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wedged drain: stranded work must reroute, not vanish
+// ---------------------------------------------------------------------------
+
+/// A scale-down victim wedges mid-drain while it still holds queued
+/// work. Nothing un-pauses it; the drain grace must expire, the slot
+/// must be force-retired, and every stranded request must settle OK on
+/// the surviving shard.
+#[test]
+fn wedged_drain_reroutes_stranded_work() {
+    let autoscale = AutoscaleConfig {
+        min_shards: 1,
+        max_shards: 2,
+        // High up-fill: the single-victim backlog holds mean fill at
+        // ~0.5, which must read as "calm enough to scale down later",
+        // never as new pressure.
+        scale_up_fill: 0.9,
+        scale_down_fill: 0.05,
+        up_ticks: 3,
+        down_ticks: 25,
+        cooldown_ticks: 10,
+        drain_grace: Duration::from_millis(150),
+    };
+    // Engine queue 32: the victim's backlog sits mostly in its engine
+    // queue, so the router-queue fill the controller watches drops below
+    // the scale-down threshold while real work is still pending — the
+    // exact window where a wedged drain strands requests.
+    let router = Arc::new(Router::new(
+        elastic_config(
+            2,
+            32,
+            autoscale,
+            Some(ShardChaosConfig {
+                seed: 0xD2A1,
+                drain_wedge_per_mille: 1000,
+                max_drain_wedges: 1,
+                ..ShardChaosConfig::default()
+            }),
+        ),
+        registry(),
+    ));
+    let key = ModelKey::new("m2", 2);
+    // Pin the whole backlog onto shard 1 — the highest-indexed live
+    // slot, i.e. the deterministic scale-down victim.
+    let victim_tenant = (0..256)
+        .map(|i| format!("w-{i}"))
+        .find(|t| router.route_of(t, &key) == Some(1))
+        .expect("some tenant must route to shard 1");
+    let total = 150u64;
+    let mut tickets = Vec::new();
+    let mut i = 0u64;
+    let start = Instant::now();
+    while tickets.len() < total as usize {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "backlog submission wedged"
+        );
+        i += 1;
+        match router.submit(
+            &victim_tenant,
+            Priority::Interactive,
+            &key,
+            img(i, 10, 10),
+            Some(Duration::from_secs(30)),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(RouterSubmitError::Overloaded) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    // Wait for the scale-down to start and complete: the wedge fires at
+    // drain start, the grace deadline force-retires the slot.
+    let start = Instant::now();
+    loop {
+        let c = router.telemetry().counters;
+        if c.scale_down_events >= 1 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "scale-down never completed; counters: {c:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut ok = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => ok += 1,
+            Err(e) => panic!("stranded request lost: {e}"),
+        }
+    }
+    assert_eq!(ok, total, "every request must settle OK after reroute");
+    let c = router.telemetry().counters;
+    assert_eq!(c.shard_wedges, 1, "the drain wedge must have fired");
+    assert!(c.scale_down_events >= 1);
+    assert!(
+        c.rerouted >= 1,
+        "force-retiring a wedged drain must reroute its stranded work; counters: {c:?}"
+    );
+    assert_eq!(router.shard_count(), 1, "the fleet must be back at min");
+    let snap = router.telemetry();
+    assert_eq!(snap.reconcile(), Vec::<String>::new());
+    let report = router.shutdown(Duration::from_secs(10));
+    assert!(report.joined);
+}
+
+// ---------------------------------------------------------------------------
+// Video pin migration across scale-down
+// ---------------------------------------------------------------------------
+
+/// A video session pinned to the scale-down victim survives retirement:
+/// its engine state is exported/imported to a surviving shard, the pin
+/// is repointed, and the next frame feeds without the client noticing.
+#[test]
+fn video_session_migrates_across_scale_down() {
+    let autoscale = AutoscaleConfig {
+        min_shards: 1,
+        max_shards: 2,
+        scale_up_fill: 0.9,
+        scale_down_fill: 0.05,
+        up_ticks: 3,
+        down_ticks: 25,
+        cooldown_ticks: 10,
+        drain_grace: Duration::from_millis(150),
+    };
+    let router = Arc::new(Router::new(
+        elastic_config(2, 16, autoscale, None),
+        registry(),
+    ));
+    let key = ModelKey::new("m2", 2);
+    // A tenant that routes to shard 1 pins its session there — and
+    // shard 1, the highest-indexed live slot, is the victim of the
+    // idle-triggered scale-down below.
+    let tenant = (0..256)
+        .map(|i| format!("v-{i}"))
+        .find(|t| router.route_of(t, &key) == Some(1))
+        .expect("some tenant must route to shard 1");
+    let spec = VideoSessionSpec::new(16, 16, vec![key.clone()]);
+    let session = router
+        .open_video_session(&tenant, spec)
+        .expect("healthy fleet opens sessions");
+    router
+        .feed_video_frame(session, 0, img(1, 16, 16), None)
+        .expect("pre-migration feed admits")
+        .wait()
+        .expect("pre-migration frame settles");
+    // Idle: the controller sees a cold fleet and retires shard 1. The
+    // session is quiescent, so the drain completes fast and migration
+    // runs before retirement.
+    let start = Instant::now();
+    loop {
+        let c = router.telemetry().counters;
+        if c.scale_down_events >= 1 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "idle fleet never scaled down; counters: {c:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(router.shard_count(), 1);
+    // The same session id keeps working — state and pin moved together.
+    router
+        .feed_video_frame(session, 1, img(2, 16, 16), None)
+        .expect("post-migration feed must admit on the surviving shard")
+        .wait()
+        .expect("post-migration frame settles");
+    let stats = router
+        .video_session_stats(session)
+        .expect("migrated session stays introspectable");
+    assert_eq!(
+        stats.frames_in, 2,
+        "migration must carry session state, not restart it"
+    );
+    router
+        .close_video_session(session)
+        .expect("migrated session closes cleanly");
+    let c = router.telemetry().counters;
+    assert!(c.keys_rebalanced > 0, "ring edits must be measured");
+    let snap = router.telemetry();
+    assert_eq!(snap.reconcile(), Vec::<String>::new());
+    let report = router.shutdown(Duration::from_secs(10));
+    assert!(report.joined);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling chaos soak
+// ---------------------------------------------------------------------------
+
+/// The tentpole acceptance proof. An elastic fleet (1..=3 shards) rides
+/// two full load cycles — each hot wave forcing scale-ups to max (and a
+/// blocked-at-max window), each cold wave draining back to min — while
+/// every scaling-event fault fires at its worst moment:
+///
+/// - the only serving shard is killed at min capacity and its first
+///   respawn attempt fails (fleet briefly zero-serving),
+/// - the first scaled-up shard is killed right after joining the ring,
+/// - the first scale-down victim wedges mid-drain.
+///
+/// Afterwards the ledger must show exactly one terminal outcome per
+/// admitted request, zero lost, and video sessions opened mid-soak must
+/// settle typed — served or `SessionLost`, never unknown, never hung.
+#[test]
+fn scaling_chaos_soak_loses_nothing() {
+    let autoscale = AutoscaleConfig {
+        min_shards: 1,
+        max_shards: 3,
+        scale_up_fill: 0.5,
+        scale_down_fill: 0.05,
+        up_ticks: 3,
+        down_ticks: 25,
+        cooldown_ticks: 25,
+        drain_grace: Duration::from_millis(150),
+    };
+    let router = Arc::new(Router::new(
+        elastic_config(
+            1,
+            16,
+            autoscale,
+            Some(ShardChaosConfig {
+                seed: 0x5CA1E,
+                // One whole-shard kill: per-mille 1000 fires it on the
+                // very first probe tick, while the fleet is at min — so
+                // the at-min respawn-failure point below is reachable
+                // deterministically (serving capacity is briefly zero).
+                kill_per_mille: 1000,
+                max_kills: 1,
+                min_respawn_fail_per_mille: 1000,
+                max_min_respawn_fails: 1,
+                // First scale-up dies right after joining the ring;
+                // first scale-down wedges mid-drain.
+                spawn_kill_per_mille: 1000,
+                max_spawn_kills: 1,
+                drain_wedge_per_mille: 1000,
+                max_drain_wedges: 1,
+                ..ShardChaosConfig::default()
+            }),
+        ),
+        registry(),
+    ));
+    assert_eq!(
+        router.slot_count(),
+        3,
+        "autoscale must pre-allocate max slots"
+    );
+    let mut load = Load::new(Arc::clone(&router), 200);
+
+    // Cycle 1: up to max through the spawn-kill, then drain to min
+    // through the drain-wedge.
+    load.hot_until("cycle-1 up", |c, admitted| {
+        c.scale_up_events >= 2 && c.autoscale_blocked_at_max >= 1 && admitted >= 150
+    });
+    // Fleet at max: open video sessions across tenants. Some pin to
+    // shards that the cold waves below will retire — those must either
+    // migrate or fail typed.
+    let spec = VideoSessionSpec::new(16, 16, vec![ModelKey::new("m2", 2)]);
+    let mut sessions = Vec::new();
+    for i in 0..4 {
+        let tenant = format!("vid-{i}");
+        let id = router
+            .open_video_session(&tenant, spec.clone())
+            .expect("fleet at max admits sessions");
+        match router.feed_video_frame(id, 0, img(90 + i, 16, 16), None) {
+            Ok(t) => {
+                // Settled either way; a crash mid-chaos is a typed error.
+                let _ = t.wait();
+            }
+            Err(RouterSubmitError::Video(VideoError::SessionLost)) => {}
+            Err(RouterSubmitError::Overloaded) => {}
+            Err(e) => panic!("video feed must fail typed, got: {e}"),
+        }
+        sessions.push(id);
+    }
+    load.cold_until("cycle-1 down", |c| c.scale_down_events >= 2);
+
+    // Cycle 2: all chaos caps are spent — a clean elastic cycle over
+    // the same slots proves scaling stays repeatable after faults.
+    load.hot_until("cycle-2 up", |c, admitted| {
+        c.scale_up_events >= 4 && admitted >= 440
+    });
+    load.cold_until("cycle-2 down", |c| c.scale_down_events >= 4);
+
+    // Every held video session settles typed: the feed either lands
+    // (the pin migrated with its shard) or reports `SessionLost` (the
+    // generation moved on) — never `UnknownSession`, never a hang.
+    for (i, &id) in sessions.iter().enumerate() {
+        let mut lost = false;
+        match router.feed_video_frame(id, 1, img(190 + i as u64, 16, 16), None) {
+            Ok(t) => {
+                let _ = t.wait();
+            }
+            Err(RouterSubmitError::Video(VideoError::SessionLost)) => lost = true,
+            Err(e) => panic!("post-soak feed must fail typed, got: {e}"),
+        }
+        if !lost {
+            match router.close_video_session(id) {
+                Ok(_) | Err(VideoError::SessionLost) => {}
+                Err(e) => panic!("post-soak close must fail typed, got: {e}"),
+            }
+        }
+    }
+
+    let snap = router.telemetry();
+    let c = snap.counters;
+    // Exactly one terminal outcome per admitted request, zero lost.
+    assert_eq!(
+        load.ok + load.failed,
+        load.admitted,
+        "client saw {}+{} != {}",
+        load.ok,
+        load.failed,
+        load.admitted
+    );
+    assert_eq!(
+        c.admitted(),
+        load.admitted,
+        "router admitted {} != client admitted {}",
+        c.admitted(),
+        load.admitted
+    );
+    assert_eq!(snap.reconcile(), Vec::<String>::new());
+    assert_eq!(
+        c.completed, load.ok,
+        "router completed {} != client ok {}",
+        c.completed, load.ok
+    );
+    assert!(load.admitted >= 420, "soak too small: {}", load.admitted);
+    assert!(
+        load.ok > load.admitted / 2,
+        "chaos should not fail the majority: ok={} of {}",
+        load.ok,
+        load.admitted
+    );
+    // The elastic cycles actually happened, were measured, and warmed
+    // fresh shards from the shared plan store.
+    assert!(c.scale_up_events >= 4, "counters: {c:?}");
+    assert!(c.scale_down_events >= 4, "counters: {c:?}");
+    assert!(c.autoscale_blocked_at_max >= 1, "counters: {c:?}");
+    assert!(c.keys_rebalanced > 0, "counters: {c:?}");
+    assert!(
+        c.replication_warm_hits >= 1,
+        "a scaled-up shard never hit the shared plan store: {c:?}"
+    );
+    // Every scaling fault point fired: the at-min kill + failed respawn
+    // (kill/respawn-fail rates are zero, so these counters are uniquely
+    // attributable), the spawn-kill, and the drain-wedge.
+    assert!(c.shard_kills >= 2, "counters: {c:?}");
+    assert!(c.respawn_failures >= 1, "counters: {c:?}");
+    assert!(c.shard_respawns >= 2, "counters: {c:?}");
+    assert!(c.shard_wedges >= 1, "counters: {c:?}");
+    assert_eq!(router.shard_count(), 1, "fleet must end at min");
+    let report = router.shutdown(Duration::from_secs(10));
+    assert!(report.joined);
+    let snap = router.telemetry();
+    assert_eq!(snap.reconcile(), Vec::<String>::new());
+}

@@ -515,6 +515,9 @@ fn run_fleet_soak(shard_seed: u64) -> Result<(), Vec<String>> {
                 // *detected* and drain-and-replaced, not sit out the
                 // injection window.
                 wedge: Duration::from_secs(30),
+                // Scaling faults stay off: this soak runs a fixed-size
+                // fleet; tests/autoscale.rs owns the scaling points.
+                ..ShardChaosConfig::default()
             }),
             ..RouterConfig::default()
         },

@@ -99,6 +99,7 @@ if [[ -f BENCH_router.json ]]; then
         --shards-high 4 --tenants 3 --interactive-hz 30 --deadline-ms 40 \
         --heavy-hz 12 --big-height 432 --big-width 576 \
         --overload-factor 2 --overload-heavy-hz 16 \
+        --autoscale-hz 600 --autoscale-quiet-ms 1500 \
         --out "$tmp/BENCH_router.json"
     sesr bench-gate --baseline BENCH_router.json \
         --fresh "$tmp/BENCH_router.json" --max-regress "$MAX_REGRESS"

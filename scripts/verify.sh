@@ -14,6 +14,7 @@
 #   chaos       deterministic fault-injection soak (fixed seed, bounded)
 #   router      sharded-router tests + fleet-scope shard-chaos soak
 #   router-bench router-bench smoke run + shed-order/ledger check
+#   autoscale   bounded-rebalancing proptest + elastic scaling chaos soak
 #   video       streaming-video session tests + video-bench smoke run
 #   infer       planned-inference identity + zero-allocation proofs
 #   simd        kernel unsafe-hygiene audit + scalar/SIMD identity tests
@@ -85,12 +86,29 @@ assert r['overload']['telemetry']['counters']['shed_batch'] > 0, \
     'overload phase never shed batch'
 assert r['overload']['telemetry']['counters']['rejected_interactive'] == 0, \
     'interactive rejected while batch shedding was available'
+ac = r['autoscale']['telemetry']['counters']
+assert ac['scale_up_events'] >= 1, 'elastic fleet never scaled up'
+assert ac['scale_down_events'] >= 1, 'elastic fleet never scaled down'
+assert ac['replication_warm_hits'] >= 1, 'no warm plan hit on a fresh shard'
+assert ac['rejected_interactive'] == 0, 'interactive rejected while elastic'
 assert r['problems'] == [], r['problems']
 print('ok:', sys.argv[1])
 PY
     else
         grep -q '"scaling_x"' "$out"
     fi
+}
+
+step_autoscale() {
+    # Elastic-fleet correctness: the bounded-rebalancing proptest (ring
+    # edits move only the keys they must, deterministically), the
+    # controller/ring unit tests, and the scaling chaos soak — repeated
+    # scale-ups/downs with kills-during-spawn, wedges-during-drain, and
+    # respawn failures at min capacity, reconciled to exactly one
+    # terminal outcome per admitted request and no unsettled video
+    # session.
+    cargo test -q --offline -p sesr-serve --lib autoscale
+    cargo test -q --offline -p sesr-serve --test autoscale
 }
 
 step_video() {
@@ -205,7 +223,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos router router-bench video infer simd bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos router router-bench autoscale video infer simd bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
