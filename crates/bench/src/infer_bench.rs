@@ -17,12 +17,18 @@
 
 use sesr_core::infer_plan::{CollapsedKernels, InferPlan};
 use sesr_core::model::Sesr;
+use sesr_quant::{calibrate, QuantKernels, QuantPlan, QuantizedSesr};
 use sesr_serve::bench::arch_config;
 use sesr_serve::json::{array, JsonObject};
 use sesr_tensor::simd::{set_kernel_variant, KernelVariant};
 use sesr_tensor::Tensor;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Calibration-image geometry for the int8 lane (synthetic Mixed scene).
+const INT8_CALIB_TILE: usize = 24;
+/// LR side of the tile the ΔPSNR budget check is measured on.
+const INT8_PSNR_TILE: usize = 48;
 
 /// Everything an infer-bench run needs, with reproducible defaults.
 #[derive(Debug, Clone)]
@@ -52,6 +58,15 @@ pub struct InferBenchConfig {
     /// pinned to the same choice so the reference path — the bit-identity
     /// gate's other side — runs the same arithmetic.
     pub variant: Option<String>,
+    /// Run the int8 lane: calibrate + quantize each model, verify the
+    /// planned int8 executor bit-identical to the quantized oracle, and
+    /// time it against the f32 planned path.
+    pub int8: bool,
+    /// Largest acceptable int8 PSNR loss versus f32 in dB, measured on a
+    /// fixed synthetic tile. The harness **refuses to emit a report** if
+    /// any architecture exceeds it — a bench that advertised int8
+    /// throughput at unacceptable quality would be worse than no bench.
+    pub psnr_budget: f64,
 }
 
 impl Default for InferBenchConfig {
@@ -67,8 +82,28 @@ impl Default for InferBenchConfig {
             w: 320,
             threads: None,
             variant: None,
+            int8: true,
+            psnr_budget: 1.0,
         }
     }
+}
+
+/// The int8 lane's measurements for one architecture.
+#[derive(Debug, Clone)]
+pub struct Int8LaneResult {
+    /// Total wall-clock ms across the planned-int8 runs.
+    pub int8_ms: f64,
+    /// Planned-int8 throughput (images/sec) — the gated metric.
+    pub int8_images_per_sec: f64,
+    /// `planned_ms / int8_ms`: how much faster int8 is than the f32
+    /// planned path on the same input.
+    pub speedup_vs_planned: f64,
+    /// Measured PSNR cost of int8 versus f32 on the budget tile, in dB
+    /// (positive = int8 is worse). Always within `psnr_budget`, or the
+    /// harness refused to report.
+    pub delta_psnr_db: f64,
+    /// The quantized plan's fixed i32 arena footprint.
+    pub arena_bytes: usize,
 }
 
 /// One architecture's measured result.
@@ -96,6 +131,8 @@ pub struct InferArchResult {
     /// Per-layer planned wall-clock ms, summed over the timed runs
     /// (index = execution order: 5x5 head conv, 3x3 middles, 5x5 tail).
     pub layer_ms: Vec<f64>,
+    /// Int8 lane measurements (`None` when the lane is disabled).
+    pub int8: Option<Int8LaneResult>,
 }
 
 /// Runs the configured benchmark: for each architecture, collapse the
@@ -177,6 +214,12 @@ fn bench_arch(cfg: &InferBenchConfig, arch: &str) -> Result<InferArchResult, Str
             f64::NAN
         }
     };
+
+    let int8 = if cfg.int8 {
+        Some(bench_int8_lane(cfg, arch, &net, &lr, planned_ms)?)
+    } else {
+        None
+    };
     Ok(InferArchResult {
         arch: arch.to_string(),
         iters: cfg.iters,
@@ -188,6 +231,87 @@ fn bench_arch(cfg: &InferBenchConfig, arch: &str) -> Result<InferArchResult, Str
         arena_bytes: plan.arena_bytes(),
         variant: variant.name(),
         layer_ms: layer_nanos.iter().map(|&n| n as f64 / 1e6).collect(),
+        int8,
+    })
+}
+
+/// The int8 side of one architecture's bench: calibrate + quantize,
+/// enforce the ΔPSNR budget, prove the planned int8 executor
+/// bit-identical to the integer-accumulation oracle on the bench input,
+/// then time it. Runs after the process-global variant is pinned, so the
+/// quantized plan compiles against the same microkernel family as the
+/// f32 plan it is compared to.
+fn bench_int8_lane(
+    cfg: &InferBenchConfig,
+    arch: &str,
+    net: &sesr_core::CollapsedSesr,
+    lr: &Tensor,
+    planned_ms: f64,
+) -> Result<Int8LaneResult, String> {
+    let calib: Vec<Tensor> = (0..3)
+        .map(|i| {
+            sesr_quant::calibration_pair(
+                net.scale(),
+                INT8_CALIB_TILE,
+                INT8_CALIB_TILE,
+                cfg.seed ^ (0xCA11B + i),
+            )
+            .1
+        })
+        .collect();
+    let profile = calibrate(net, &calib);
+    let qnet = QuantizedSesr::quantize(net, &profile);
+
+    // Quality gate: refuse to report int8 throughput past the budget.
+    let delta_psnr_db = sesr_quant::delta_psnr(
+        net,
+        &qnet,
+        INT8_PSNR_TILE,
+        INT8_PSNR_TILE,
+        cfg.seed ^ 0x5EED,
+    );
+    // Negated on purpose: a NaN delta must refuse, not pass.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(delta_psnr_db <= cfg.psnr_budget) {
+        return Err(format!(
+            "int8 ΔPSNR {delta_psnr_db:.3} dB exceeds the {:.3} dB budget for {arch} — refusing to emit the report",
+            cfg.psnr_budget
+        ));
+    }
+
+    let kernels = Arc::new(QuantKernels::new(&qnet));
+    let mut qplan = QuantPlan::new(kernels, cfg.h, cfg.w);
+    let s = net.scale();
+    let mut out = vec![0.0f32; cfg.h * s * cfg.w * s];
+
+    // Correctness gate: planned int8 must reproduce the oracle bits.
+    qplan.run_image_into(lr.data(), &mut out);
+    let oracle = qnet.run(lr);
+    if oracle.data() != out.as_slice() {
+        return Err(format!(
+            "planned int8 output diverged from the quantized oracle for {arch} — refusing to benchmark"
+        ));
+    }
+
+    for _ in 0..cfg.warmup {
+        qplan.run_image_into(lr.data(), &mut out);
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        qplan.run_image_into(lr.data(), &mut out);
+    }
+    let int8_ms = ms_since(t0);
+
+    Ok(Int8LaneResult {
+        int8_ms,
+        int8_images_per_sec: if int8_ms > 0.0 {
+            cfg.iters as f64 / (int8_ms / 1e3)
+        } else {
+            f64::NAN
+        },
+        speedup_vs_planned: planned_ms / int8_ms,
+        delta_psnr_db,
+        arena_bytes: qplan.arena_bytes(),
     })
 }
 
@@ -213,10 +337,12 @@ pub fn infer_bench_report_json(cfg: &InferBenchConfig, results: &[InferArchResul
                 .unwrap_or_else(sesr_tensor::parallel::num_threads) as u64,
         )
         .str("variant", cfg.variant.as_deref().unwrap_or("auto"))
+        .bool("int8", cfg.int8)
+        .num("psnr_budget", cfg.psnr_budget)
         .finish();
     let mut results_obj = JsonObject::new();
     for r in results {
-        let arch = JsonObject::new()
+        let mut arch = JsonObject::new()
             .int("iters", r.iters as u64)
             .num("reference_ms", r.reference_ms)
             .num("planned_ms", r.planned_ms)
@@ -228,9 +354,16 @@ pub fn infer_bench_report_json(cfg: &InferBenchConfig, results: &[InferArchResul
             .raw(
                 "layer_ms",
                 &array(r.layer_ms.iter().map(|ms| format!("{ms:.6}"))),
-            )
-            .finish();
-        results_obj = results_obj.raw(&r.arch, &arch);
+            );
+        if let Some(q) = &r.int8 {
+            arch = arch
+                .num("int8_ms", q.int8_ms)
+                .num("int8_images_per_sec", q.int8_images_per_sec)
+                .num("int8_speedup_vs_planned", q.speedup_vs_planned)
+                .num("int8_delta_psnr_db", q.delta_psnr_db)
+                .int("int8_arena_bytes", q.arena_bytes as u64);
+        }
+        results_obj = results_obj.raw(&r.arch, &arch.finish());
     }
     JsonObject::new()
         .str("bench", "sesr-infer")
@@ -284,6 +417,43 @@ mod tests {
         // that no pin was requested.
         assert!(json.contains(&format!("\"variant\":\"{}\"", r.variant)));
         assert!(json.contains("\"variant\":\"auto\""));
+        // int8 lane runs by default, passed its PSNR gate, and serializes.
+        let q = r.int8.as_ref().expect("int8 lane enabled by default");
+        assert!(q.int8_images_per_sec.is_finite() && q.int8_images_per_sec > 0.0);
+        assert!(q.speedup_vs_planned.is_finite() && q.speedup_vs_planned > 0.0);
+        assert!(q.delta_psnr_db <= cfg.psnr_budget);
+        assert!(q.arena_bytes > 0);
+        assert!(json.contains("\"int8_images_per_sec\""));
+        assert!(json.contains("\"int8_delta_psnr_db\""));
+        assert!(json.contains("\"psnr_budget\""));
+    }
+
+    #[test]
+    fn int8_lane_can_be_disabled() {
+        let _guard = sesr_tensor::simd::variant_test_lock();
+        let cfg = InferBenchConfig {
+            int8: false,
+            ..tiny()
+        };
+        let results = run_infer_bench(&cfg).unwrap();
+        assert!(results[0].int8.is_none());
+        let json = infer_bench_report_json(&cfg, &results);
+        sesr_serve::json::validate(&json).unwrap();
+        assert!(!json.contains("\"int8_images_per_sec\""));
+        assert!(json.contains("\"int8\":false"));
+    }
+
+    #[test]
+    fn impossible_psnr_budget_refuses_to_emit() {
+        let _guard = sesr_tensor::simd::variant_test_lock();
+        let cfg = InferBenchConfig {
+            // No finite quantization error measures at or below -100 dB,
+            // so the gate must trip before any report is produced.
+            psnr_budget: -100.0,
+            ..tiny()
+        };
+        let err = run_infer_bench(&cfg).unwrap_err();
+        assert!(err.contains("refusing to emit"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod train_bench;
 
 pub use harness::{parse_args, print_table, train_and_eval, BenchArgs, EvalRow};
 pub use infer_bench::{
-    infer_bench_report_json, run_infer_bench, InferArchResult, InferBenchConfig,
+    infer_bench_report_json, run_infer_bench, InferArchResult, InferBenchConfig, Int8LaneResult,
 };
 pub use train_bench::{
     run_train_bench, train_bench_report_json, ArchResult, PhaseMillis, TrainBenchConfig,

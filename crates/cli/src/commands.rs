@@ -91,6 +91,7 @@ USAGE:
   sesr infer-bench [--archs m5,m11] [--scale 2] [--expanded 16] [--seed 0]
                 [--iters 30] [--warmup 5] [--height 180] [--width 320]
                 [--threads N] [--variant scalar|avx2|avx2fma|neon]
+                [--int8 on|off] [--psnr-budget 1.0]
                 [--tuner-out tuned.sesr-tuner] [--out BENCH_infer.json]
   sesr serve-chaos [--seed 0xC4A05] [--requests 400] [--workers 3]
                 [--concurrency 12] [--height 8] [--width 8]
@@ -1144,6 +1145,8 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
         w: args.parsed_or("width", 320usize)?,
         threads,
         variant: args.get("variant").map(str::to_string),
+        int8: args.get("int8").map(|v| v != "off").unwrap_or(true),
+        psnr_budget: args.parsed_or("psnr-budget", 1.0f64)?,
     };
     let out_path = args.get("out").unwrap_or("BENCH_infer.json").to_string();
     let tuner_out = args.get("tuner-out").map(str::to_string);
@@ -1170,6 +1173,17 @@ fn infer_bench(args: &Args) -> Result<String, CliError> {
             r.arena_bytes / 1024,
             r.variant,
         ));
+        if let Some(q) = &r.int8 {
+            summary.push_str(&format!(
+                "  int8 {:.2} img/s ({:.2}x vs planned), dPSNR {:+.3} dB (budget {:.2}), arena {} KiB
+",
+                q.int8_images_per_sec,
+                q.speedup_vs_planned,
+                q.delta_psnr_db,
+                cfg.psnr_budget,
+                q.arena_bytes / 1024,
+            ));
+        }
         for (i, ms) in r.layer_ms.iter().enumerate() {
             summary.push_str(&format!(
                 "  layer {i:<2} {:>8.2} ms total ({:.3} ms/run)
@@ -1274,6 +1288,25 @@ fn bench_gate(args: &Args) -> Result<String, CliError> {
                     return Err(CliError::Io(std::io::Error::other(format!(
                         "missing results.{arch}.{metric} in baseline or fresh report"
                     ))))
+                }
+            }
+            // Infer reports also carry an int8 lane when the baseline ran
+            // with int8 enabled; once gated, a fresh report may not
+            // silently drop it (e.g. by benching with --int8 off).
+            if kind == "sesr-infer" {
+                let path = ["results", arch.as_str(), "int8_images_per_sec"];
+                let b = baseline.get(&path).and_then(JsonValue::as_f64);
+                let f = fresh.get(&path).and_then(JsonValue::as_f64);
+                match (b, f) {
+                    (Some(b), Some(f)) => {
+                        metrics.push((format!("{arch}.int8_images_per_sec"), b, f))
+                    }
+                    (None, _) => {} // baseline predates the int8 lane
+                    (Some(_), None) => {
+                        return Err(CliError::Io(std::io::Error::other(format!(
+                            "baseline gates results.{arch}.int8_images_per_sec but the fresh report has no int8 lane"
+                        ))))
+                    }
                 }
             }
         }
@@ -1570,6 +1603,22 @@ mod tests {
         assert!(json.contains("\"planned_images_per_sec\""));
         assert!(json.contains("\"layer_ms\""));
         assert!(json.contains("\"variant\""));
+        // The int8 lane runs by default and shows up in both outputs.
+        assert!(report.contains("int8"));
+        assert!(report.contains("dPSNR"));
+        assert!(json.contains("\"int8_images_per_sec\""));
+        assert!(json.contains("\"int8_delta_psnr_db\""));
+
+        // --int8 off drops the lane from report and summary.
+        let report = run(&args(&format!(
+            "infer-bench --archs m3 --expanded 4 --iters 1 --warmup 0 \
+             --height 16 --width 20 --threads 1 --int8 off --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(!report.contains("dPSNR"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(!json.contains("\"int8_images_per_sec\""));
 
         // An explicit pin round-trips into the report.
         let report = run(&args(&format!(
@@ -1621,6 +1670,55 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("REGRESSED"), "{err}");
+    }
+
+    #[test]
+    fn bench_gate_covers_the_int8_lane_when_the_baseline_has_it() {
+        let mk = |name: &str, planned: f64, int8: Option<f64>| {
+            let path = tmp(name);
+            let mut arch =
+                sesr_serve::json::JsonObject::new().num("planned_images_per_sec", planned);
+            if let Some(v) = int8 {
+                arch = arch.num("int8_images_per_sec", v);
+            }
+            let results = sesr_serve::json::JsonObject::new()
+                .raw("m5", &arch.finish())
+                .finish();
+            let doc = sesr_serve::json::JsonObject::new()
+                .str("bench", "sesr-infer")
+                .raw("results", &results)
+                .finish();
+            std::fs::write(&path, doc).unwrap();
+            path
+        };
+        let baseline = mk("gate_int8_base.json", 100.0, Some(150.0));
+        // Both lanes healthy.
+        let ok = mk("gate_int8_ok.json", 95.0, Some(140.0));
+        let report = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            ok.display()
+        )))
+        .unwrap();
+        assert!(report.contains("m5.int8_images_per_sec"));
+        // int8 lane regressed while f32 held: the gate still fails.
+        let bad = mk("gate_int8_bad.json", 100.0, Some(60.0));
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("int8_images_per_sec"), "{err}");
+        // Fresh report silently dropped the lane: also an error.
+        let dropped = mk("gate_int8_dropped.json", 100.0, None);
+        let err = run(&args(&format!(
+            "bench-gate --baseline {} --fresh {}",
+            baseline.display(),
+            dropped.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("no int8 lane"), "{err}");
     }
 
     #[test]

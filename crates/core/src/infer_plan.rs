@@ -47,7 +47,7 @@
 //! the full argument.
 
 use crate::collapsed::{Act, CollapsedSesr};
-use sesr_tensor::autotune::{pick, time_ns};
+use sesr_tensor::autotune::{gemm_blocking, pick, time_ns};
 use sesr_tensor::conv::Conv2dParams;
 use sesr_tensor::gemm::KC;
 use sesr_tensor::parallel::{num_threads, parallel_for, SendPtr};
@@ -303,6 +303,13 @@ pub struct InferPlan {
     variant: KernelVariant,
     bands: Vec<(usize, usize)>,
     steps: Vec<Step>,
+    /// Autotuned column-chunk width per layer for the direct-conv bands
+    /// (`>= w` means one chunk, i.e. historic behavior). Chunking is
+    /// numerically neutral: the per-element accumulation chains are fixed
+    /// by `KC` and the ascending tap order, which column blocking never
+    /// touches — it only bounds the accumulator working set per pass.
+    /// Unused (0) for Winograd layers.
+    nc_by_layer: Vec<usize>,
     arena: Vec<f32>,
     off_first: usize,
     first_len: usize,
@@ -331,6 +338,21 @@ impl InferPlan {
         assert!(nbands > 0, "need at least one band");
         let bands = make_bands(h, nbands);
         let steps = make_steps(&kernels);
+        // Consult the process-wide GEMM autotuner for the direct-conv
+        // column blocking (ROADMAP item 1 residual): the packed GEMM's NC
+        // choice for an `(cout, cin*kh*kw, w)` multiply transfers to the
+        // direct kernel, whose inner loops stream the same operands.
+        let nc_by_layer = kernels
+            .layers
+            .iter()
+            .map(|l| {
+                if l.wino_u.is_some() {
+                    0
+                } else {
+                    gemm_blocking(l.cout, l.cin * l.kh * l.kw, w).nc
+                }
+            })
+            .collect();
 
         let first_len = kernels.layers[0].cout * h * w;
         let mid_len = kernels.layers[1..kernels.layers.len() - 1]
@@ -369,6 +391,7 @@ impl InferPlan {
             variant: kernel_variant(),
             bands,
             steps,
+            nc_by_layer,
             arena,
             off_first,
             first_len,
@@ -425,6 +448,19 @@ impl InferPlan {
     /// The shared preprocessed kernels.
     pub fn kernels(&self) -> &Arc<CollapsedKernels> {
         &self.kernels
+    }
+
+    /// Pins the direct-conv column-chunk width of every non-Winograd layer
+    /// (testing/tuning hook — chunking is numerically neutral, so any
+    /// value produces the same bits). Values are clamped to at least 8
+    /// columns.
+    #[doc(hidden)]
+    pub fn pin_direct_nc(&mut self, nc: usize) {
+        for (l, slot) in self.kernels.layers.iter().zip(&mut self.nc_by_layer) {
+            if l.wino_u.is_none() {
+                *slot = nc.max(8);
+            }
+        }
     }
 
     /// Total bytes of the preallocated arena — the plan's entire
@@ -534,6 +570,7 @@ impl InferPlan {
             };
             let bands = &self.bands;
             let (off_slabs, slab_len) = (self.off_slabs, self.slab_len);
+            let nc = self.nc_by_layer[step.layer];
             parallel_for(bands.len(), 1, |b0, b1| {
                 for (bi, &(y0, y1)) in bands.iter().enumerate().take(b1).skip(b0) {
                     // SAFETY: slabs are disjoint per band and bands are
@@ -542,7 +579,7 @@ impl InferPlan {
                     if layer.wino_u.is_some() {
                         wino_band(mk, layer, src, h, w, y0, y1, slab, &epi);
                     } else {
-                        conv_band(mk, layer, src, h, w, y0, y1, slab, &epi);
+                        conv_band(mk, layer, src, h, w, y0, y1, nc, slab, &epi);
                     }
                 }
             });
@@ -595,8 +632,9 @@ impl InferPlan {
 /// Splits `0..h` into at most `nbands` contiguous row bands aligned to
 /// Winograd tile rows: every band start is even, and band ends are even
 /// or `h`. Band boundaries are a pure function of `(h, nbands)` — fixed
-/// band order is part of the determinism argument.
-fn make_bands(h: usize, nbands: usize) -> Vec<(usize, usize)> {
+/// band order is part of the determinism argument. Public so the
+/// quantized planned executor (`sesr-quant`) bands identically.
+pub fn make_bands(h: usize, nbands: usize) -> Vec<(usize, usize)> {
     let pairs = h.div_ceil(2);
     let nb = nbands.min(pairs).max(1);
     let base = pairs / nb;
@@ -677,13 +715,15 @@ impl<'a> TapBlock<'a> {
         }
     }
 
-    /// Gathers the valid taps of block `[k0, k1)` for output row `y`.
-    /// `k` enumerates `(cc, ky, kx)` row-major — exactly the im2col row
-    /// order. Padding taps (rows/columns off the input) are skipped:
-    /// im2col stores literal `0.0` there, and adding `0.0` to a partial
-    /// chain is exact (the chain is never `-0.0`: it starts at `+0.0`,
-    /// and IEEE-754 round-to-nearest addition only yields `-0.0` from
-    /// `(-0.0) + (-0.0)`).
+    /// Gathers the valid taps of block `[k0, k1)` for output row `y`,
+    /// restricted to output columns `[x0, x1)` (a full row when `x0 == 0`
+    /// and `x1 == w`). `k` enumerates `(cc, ky, kx)` row-major — exactly
+    /// the im2col row order. Padding taps (rows/columns off the input)
+    /// are skipped: im2col stores literal `0.0` there, and adding `0.0`
+    /// to a partial chain is exact (the chain is never `-0.0`: it starts
+    /// at `+0.0`, and IEEE-754 round-to-nearest addition only yields
+    /// `-0.0` from `(-0.0) + (-0.0)`). Column restriction only clamps
+    /// each tap's coverage; per-column tap order is untouched.
     #[allow(clippy::too_many_arguments)]
     fn gather(
         &mut self,
@@ -696,6 +736,8 @@ impl<'a> TapBlock<'a> {
         k1: usize,
         pt: usize,
         pl: usize,
+        x0: usize,
+        x1: usize,
     ) {
         let taps = layer.kh * layer.kw;
         debug_assert!(k1 - k0 <= KC, "one k-block at a time");
@@ -710,8 +752,10 @@ impl<'a> TapBlock<'a> {
             }
             // Output column x reads input column x + shift.
             let shift = kx as isize - pl as isize;
-            let x_lo = usize::try_from(-shift).unwrap_or(0);
-            let x_hi = usize::try_from(w as isize - shift.max(0)).unwrap_or(0);
+            let x_lo = usize::try_from(-shift).unwrap_or(0).max(x0);
+            let x_hi = usize::try_from(w as isize - shift.max(0))
+                .unwrap_or(0)
+                .min(x1);
             if x_lo >= x_hi {
                 continue;
             }
@@ -819,6 +863,7 @@ fn conv_band(
     w: usize,
     y0: usize,
     y1: usize,
+    nc: usize,
     slab: &mut [f32],
     epi: &Epilogue<'_>,
 ) {
@@ -827,28 +872,38 @@ fn conv_band(
     let (totals, rest) = slab.split_at_mut(layer.cout * w);
     let blkrow = &mut rest[..w];
     let nblocks = k.div_ceil(KC);
+    let nc = nc.clamp(8, w.max(8));
     let mut taps = TapBlock::empty();
     for y in y0..y1 {
-        // k-block-major so the (channel-independent) tap geometry is
-        // gathered once per row and k-block instead of once per output
-        // channel. Per-element arithmetic is unchanged from the co-major
-        // order: each channel's chains per block still start at +0.0 and
-        // merge in block order into that channel's running row.
-        for kb in 0..nblocks {
-            let (kstart, kend) = (kb * KC, ((kb + 1) * KC).min(k));
-            taps.gather(layer, src, y, h, w, kstart, kend, pt, pl);
-            for co in 0..layer.cout {
-                let wrow = &layer.weight[co * k..(co + 1) * k];
-                let total = &mut totals[co * w..(co + 1) * w];
-                if kb == 0 {
-                    total.fill(0.0);
-                    conv_taps(mk, total, &taps, wrow);
-                } else {
-                    blkrow.fill(0.0);
-                    conv_taps(mk, blkrow, &taps, wrow);
-                    mk.add_row(total, blkrow);
+        // Column chunks of the autotuned NC width bound the accumulator
+        // working set per pass (one chunk spanning the row reproduces the
+        // historic behavior exactly). Within a chunk, k-block-major so
+        // the (channel-independent) tap geometry is gathered once per
+        // (row, chunk, k-block) instead of once per output channel.
+        // Per-element arithmetic is unchanged from the unchunked co-major
+        // order: each column's chains per block still start at +0.0,
+        // visit taps in ascending k, and merge in block order into that
+        // channel's running row.
+        let mut x0 = 0usize;
+        while x0 < w {
+            let x1 = (x0 + nc).min(w);
+            for kb in 0..nblocks {
+                let (kstart, kend) = (kb * KC, ((kb + 1) * KC).min(k));
+                taps.gather(layer, src, y, h, w, kstart, kend, pt, pl, x0, x1);
+                for co in 0..layer.cout {
+                    let wrow = &layer.weight[co * k..(co + 1) * k];
+                    let total = &mut totals[co * w..(co + 1) * w];
+                    if kb == 0 {
+                        total[x0..x1].fill(0.0);
+                        conv_taps(mk, total, &taps, wrow);
+                    } else {
+                        blkrow[x0..x1].fill(0.0);
+                        conv_taps(mk, blkrow, &taps, wrow);
+                        mk.add_row(&mut total[x0..x1], &blkrow[x0..x1]);
+                    }
                 }
             }
+            x0 = x1;
         }
         for co in 0..layer.cout {
             epi.emit_row(co, y, &mut totals[co * w..(co + 1) * w], h, w);
@@ -1089,6 +1144,21 @@ mod tests {
                 0.0,
                 "variant {i} diverged"
             );
+        }
+    }
+
+    #[test]
+    fn direct_conv_column_chunking_is_bit_neutral() {
+        // Forced tiny column chunks must produce exactly the bits of the
+        // unchunked plan (and the reference): NC blocking only bounds the
+        // accumulator working set, never the per-element chains.
+        let net = collapsed(SesrConfig::m(2).with_expanded(8).with_seed(3));
+        let lr = Tensor::rand_uniform(&[1, 13, 37], 0.0, 1.0, 8);
+        let want = net.run_reference(&lr);
+        for nc in [8usize, 16, 24, 4096] {
+            let mut plan = plan_of(&net, 13, 37, 3);
+            plan.pin_direct_nc(nc);
+            assert_eq!(want.max_abs_diff(&plan.run(&lr)), 0.0, "nc={nc} diverged");
         }
     }
 

@@ -17,12 +17,12 @@ use sesr_tensor::Tensor;
 /// activation (applied during requantization, as NPUs do via lookup
 /// tables / fused rescale).
 #[derive(Debug, Clone)]
-struct QLayer {
-    weight: QWeightI8,
-    bias: Vec<f32>,
-    act: Option<Act>,
+pub(crate) struct QLayer {
+    pub(crate) weight: QWeightI8,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) act: Option<Act>,
     /// Output wire parameters.
-    out_params: AffineParams,
+    pub(crate) out_params: AffineParams,
 }
 
 /// A fully quantized SESR network.
@@ -71,6 +71,26 @@ impl QuantizedSesr {
     /// The upscaling factor.
     pub fn scale(&self) -> usize {
         self.scale
+    }
+
+    /// The input wire's quantization parameters.
+    pub fn input_params(&self) -> AffineParams {
+        self.input_params
+    }
+
+    /// Whether the model fuses the long feature residual.
+    pub fn has_feature_residual(&self) -> bool {
+        self.feature_residual
+    }
+
+    /// Whether the model adds the input residual before the head wire.
+    pub fn has_input_residual(&self) -> bool {
+        self.input_residual
+    }
+
+    /// The quantized layers, in execution order (plan compilation).
+    pub(crate) fn layers(&self) -> &[QLayer] {
+        &self.layers
     }
 
     /// Total quantized model size in bytes (int8 weights + f32 biases +

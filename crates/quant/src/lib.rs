@@ -38,8 +38,12 @@
 //! ```
 
 pub mod execute;
+pub mod precision;
+pub mod qplan;
 pub mod qtensor;
 pub mod scheme;
 
 pub use execute::QuantizedSesr;
+pub use precision::{box_downsample, calibration_pair, delta_psnr};
+pub use qplan::{QuantKernels, QuantPlan, QuantTilePlanner};
 pub use scheme::{calibrate, ActivationProfile, QuantParams};

@@ -1,0 +1,123 @@
+//! Precision-policy support: measuring what int8 costs in PSNR.
+//!
+//! The serving engine and the bench harness both need the same question
+//! answered at model-load time: *on a representative tile, how much
+//! worse is the quantized network than the float network it was derived
+//! from?* This module centralizes that measurement so every caller uses
+//! one definition of ΔPSNR and one synthetic calibration scene —
+//! otherwise the bench could accept a model the engine rejects (or vice
+//! versa) purely through fixture drift.
+//!
+//! ΔPSNR is measured against ground truth, not against the f32 output:
+//! a synthetic HR tile is box-downsampled to LR, both executors
+//! super-resolve it, and the delta is `psnr(f32, hr) - psnr(int8, hr)`.
+//! Comparing both to HR charges int8 only for *fidelity it loses*, not
+//! for harmless rounding that moves pixels no closer to or further from
+//! the truth.
+
+use crate::execute::QuantizedSesr;
+use sesr_core::collapsed::CollapsedSesr;
+use sesr_data::metrics::psnr;
+use sesr_data::synth::{generate, Family};
+use sesr_tensor::Tensor;
+
+/// Averages `s x s` blocks of a `[1, H, W]` tensor — the canonical
+/// degradation used to derive an LR calibration tile from synthetic HR.
+///
+/// # Panics
+///
+/// Panics if the tensor is not `[1, H, W]` with both dimensions
+/// divisible by `s`.
+pub fn box_downsample(hr: &Tensor, s: usize) -> Tensor {
+    let dims = hr.shape();
+    assert_eq!(dims.len(), 3, "expected [1, H, W]");
+    assert_eq!(dims[0], 1, "expected a single luma channel");
+    let (hh, ww) = (dims[1], dims[2]);
+    assert!(
+        hh % s == 0 && ww % s == 0,
+        "HR dims {hh}x{ww} not divisible by {s}"
+    );
+    let (lh, lw) = (hh / s, ww / s);
+    let norm = 1.0 / (s * s) as f32;
+    let mut out = vec![0.0f32; lh * lw];
+    let src = hr.data();
+    for y in 0..lh {
+        for x in 0..lw {
+            let mut acc = 0.0f32;
+            for dy in 0..s {
+                for dx in 0..s {
+                    acc += src[(y * s + dy) * ww + x * s + dx];
+                }
+            }
+            out[y * lw + x] = acc * norm;
+        }
+    }
+    Tensor::from_vec(out, &[1, lh, lw])
+}
+
+/// The deterministic calibration scene for precision decisions: a mixed
+/// synthetic HR tile (`h*scale x w*scale`) and its box-downsampled LR
+/// counterpart (`h x w`). Both the engine's load-time fallback check and
+/// the bench's PSNR gate build their tile through this function.
+pub fn calibration_pair(scale: usize, h: usize, w: usize, seed: u64) -> (Tensor, Tensor) {
+    let hr = generate(Family::Mixed, h * scale, w * scale, seed);
+    let lr = box_downsample(&hr, scale);
+    (hr, lr)
+}
+
+/// PSNR lost by serving `qnet` instead of `net`, in dB, on the
+/// calibration scene of [`calibration_pair`]: positive means int8 is
+/// worse. Uses the reference executors on both sides — plan compilation
+/// is bit-identical to them, so the decision transfers to planned
+/// serving unchanged.
+pub fn delta_psnr(net: &CollapsedSesr, qnet: &QuantizedSesr, h: usize, w: usize, seed: u64) -> f64 {
+    let (hr, lr) = calibration_pair(net.scale(), h, w, seed);
+    let f_out = net.run(&lr);
+    let q_out = qnet.run(&lr);
+    psnr(&f_out, &hr, 1.0) - psnr(&q_out, &hr, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::calibrate;
+    use sesr_core::model::{Sesr, SesrConfig};
+
+    fn pair() -> (CollapsedSesr, QuantizedSesr) {
+        let net = Sesr::new(SesrConfig::m(2).with_expanded(8).with_seed(31)).collapse();
+        let calib: Vec<Tensor> = (0..3)
+            .map(|i| generate(Family::Mixed, 24, 24, 70 + i))
+            .collect();
+        let profile = calibrate(&net, &calib);
+        let qnet = QuantizedSesr::quantize(&net, &profile);
+        (net, qnet)
+    }
+
+    #[test]
+    fn box_downsample_averages_blocks() {
+        let hr = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]);
+        let lr = box_downsample(&hr, 2);
+        assert_eq!(lr.shape(), &[1, 1, 1]);
+        assert_eq!(lr.data()[0], 4.0);
+    }
+
+    #[test]
+    fn calibration_pair_is_deterministic() {
+        let (hr_a, lr_a) = calibration_pair(2, 16, 16, 5);
+        let (hr_b, lr_b) = calibration_pair(2, 16, 16, 5);
+        assert_eq!(hr_a.data(), hr_b.data());
+        assert_eq!(lr_a.data(), lr_b.data());
+        assert_eq!(lr_a.shape(), &[1, 16, 16]);
+        assert_eq!(hr_a.shape(), &[1, 32, 32]);
+    }
+
+    #[test]
+    fn calibrated_delta_is_small_and_finite() {
+        let (net, qnet) = pair();
+        let d = delta_psnr(&net, &qnet, 24, 24, 17);
+        assert!(d.is_finite());
+        // A well-calibrated int8 model costs a fraction of a dB on this
+        // scene; a few dB of headroom keeps the bound non-flaky.
+        assert!(d < 3.0, "calibrated int8 lost {d:.2} dB");
+    }
+}

@@ -38,12 +38,15 @@
 //! [`crate::chaos`] and is enabled through [`EngineConfig::chaos`].
 
 use crate::chaos::{Chaos, ChaosConfig, FaultPoint};
-use crate::plan_cache::PlanCache;
+use crate::plan_cache::{
+    AnyTilePlanner, DecisionSource, PlanCache, Precision, PrecisionDecision, PrecisionPolicy,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::telemetry::{Stage, Telemetry};
 use crate::video::{SessionStats, VideoError, VideoSession, VideoSessionSpec};
 use sesr_core::{CollapsedSesr, TilePlanner};
+use sesr_quant::QuantTilePlanner;
 use sesr_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
@@ -94,6 +97,15 @@ pub struct EngineConfig {
     /// replacement and scaled-up shards skip re-measurement. Load
     /// failures are non-fatal: the engine runs with baseline blocking.
     pub tuner_path: Option<std::path::PathBuf>,
+    /// Serving-precision policy. Under `Int8 { psnr_budget }` every
+    /// model is graded once at first use (calibrate → quantize → ΔPSNR
+    /// vs f32 on a fixed synthetic scene) and served from planned int8
+    /// kernels when the loss fits the budget; models that exceed it
+    /// silently fall back to f32 (`precision_fallbacks` counts them).
+    /// Video sessions always serve f32: temporal tile reuse composites
+    /// cached tiles across frames, and mixing precisions there would
+    /// break the session's bit-consistency guarantees.
+    pub precision: PrecisionPolicy,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +124,7 @@ impl Default for EngineConfig {
             chaos: None,
             shared_plans: None,
             tuner_path: None,
+            precision: PrecisionPolicy::F32,
         }
     }
 }
@@ -1216,15 +1229,33 @@ fn process_group(shared: &Shared, plans: &mut PlanCache, group: Vec<Job>) -> Gro
         shared.count_fault(FaultPoint::SlowModel);
         std::thread::sleep(delay);
     }
+    // Resolve the serving precision once per group. Under the f32 policy
+    // this is free; under int8 the first group for a model pays the
+    // grading (calibrate → quantize → ΔPSNR) or warms it from the shared
+    // store, and every later group hits the worker-local decision cache.
+    let resolved;
+    let (decision, decision_warm): (&PrecisionDecision, bool) = match shared.cfg.precision {
+        PrecisionPolicy::F32 => (&PrecisionDecision::F32, false),
+        PrecisionPolicy::Int8 { psnr_budget } => {
+            let (d, source) = plans.decision_for(&live[0].key, &model, psnr_budget);
+            if source == DecisionSource::Computed && d.precision == Precision::F32 {
+                // Graded here and the budget lost: one fallback per fresh
+                // measurement, not per request.
+                shared.telemetry.counters(|c| c.precision_fallbacks += 1);
+            }
+            resolved = d;
+            (&*resolved, source != DecisionSource::Computed)
+        }
+    };
     let shape = live[0].input.shape();
     let px = shape[1] * shape[2];
     if live.len() == 1 && px > shared.cfg.tile_threshold_px {
         if let Some(job) = live.into_iter().next() {
-            run_tiled_request(shared, plans, &model, job);
+            run_tiled_request(shared, plans, &model, job, decision, decision_warm);
         }
         GroupOutcome::Done
     } else {
-        run_batch_jobs(shared, plans, &model, live)
+        run_batch_jobs(shared, plans, &model, live, decision)
     }
 }
 
@@ -1407,8 +1438,15 @@ fn terminal_failure(shared: &Shared, job: &Job, kind: &FailureKind, msg: &str) {
 /// (compute), then tile interiors are pasted into the output
 /// (reassembly). Tile-worker panics are contained: they fail this
 /// request (retryably), never the worker thread or the process.
-fn run_tiled_request(shared: &Shared, plans: &mut PlanCache, model: &Arc<CollapsedSesr>, job: Job) {
-    match run_tiled_compute(shared, plans, model, &job) {
+fn run_tiled_request(
+    shared: &Shared,
+    plans: &mut PlanCache,
+    model: &Arc<CollapsedSesr>,
+    job: Job,
+    decision: &PrecisionDecision,
+    decision_warm: bool,
+) {
+    match run_tiled_compute(shared, plans, model, &job, decision, decision_warm) {
         Ok(out) => {
             // Single-lock completion: `completed` and the Total histogram
             // move together, so concurrent snapshots are never torn.
@@ -1439,6 +1477,8 @@ fn run_tiled_compute(
     plans: &mut PlanCache,
     model: &Arc<CollapsedSesr>,
     job: &Job,
+    decision: &PrecisionDecision,
+    decision_warm: bool,
 ) -> Result<Tensor, TiledFailure> {
     let dims = job.input.shape();
     let (h, w) = (dims[1], dims[2]);
@@ -1448,10 +1488,25 @@ fn run_tiled_compute(
         .map_err(|e| TiledFailure::Plan(e.to_string()))?;
     let t0 = Instant::now();
     let specs = plan.tiles();
-    // Kernels come from the worker's plan cache and are shared by every
-    // tile thread below; each thread builds its own (cheap) per-shape
-    // tile plans over them.
-    let (kernels, kernels_hit) = plans.kernels_for(&job.key, model);
+    // Kernels come from the worker's plan cache (f32) or ride inside the
+    // precision decision (int8) and are shared by every tile thread
+    // below; each thread builds its own (cheap) per-shape tile plans
+    // over them.
+    let (fkernels, qkernels, kernels_hit) = match decision.precision {
+        Precision::F32 => {
+            let (k, hit) = plans.kernels_for(&job.key, model);
+            (Some(k), None, hit)
+        }
+        Precision::Int8 => {
+            let qk = decision
+                .qkernels
+                .clone()
+                .expect("an int8 decision always carries packed kernels");
+            // The packed kernels were compiled with the decision, so
+            // "hit" means the decision itself was already warm.
+            (None, Some(qk), decision_warm)
+        }
+    };
     let peak_arena = AtomicU64::new(0);
     // Chaos draws once per tiled attempt; the panic detonates inside a
     // tile worker so the containment path is the one exercised.
@@ -1471,9 +1526,16 @@ fn run_tiled_compute(
                 let (head, tail) = rest.split_at_mut(chunk_specs.len());
                 rest = tail;
                 let input = &job.input;
-                let (armed, crash, kernels, peak_arena) = (&armed, &crash, &kernels, &peak_arena);
+                let (armed, crash, peak_arena) = (&armed, &crash, &peak_arena);
+                let (fkernels, qkernels) = (&fkernels, &qkernels);
                 s.spawn(move |_| {
-                    let mut planner = TilePlanner::new(kernels.clone());
+                    let mut planner = match qkernels {
+                        Some(qk) => AnyTilePlanner::Int8(QuantTilePlanner::new(qk.clone())),
+                        None => {
+                            let k = fkernels.as_ref().expect("f32 path resolved kernels");
+                            AnyTilePlanner::F32(TilePlanner::new(k.clone()))
+                        }
+                    };
                     for (slot, spec) in head.iter_mut().zip(chunk_specs) {
                         let tile = catch_unwind(AssertUnwindSafe(|| {
                             if armed.swap(false, Ordering::Relaxed) {
@@ -1524,13 +1586,20 @@ fn run_tiled_compute(
     }
     shared.telemetry.record(Stage::Reassembly, t1.elapsed());
     let arena = peak_arena.load(Ordering::Relaxed);
+    let is_int8 = decision.precision == Precision::Int8;
     shared.telemetry.counters(|c| {
         c.tiled_requests += 1;
         c.tiles_run += specs.len() as u64;
         if kernels_hit {
             c.plan_cache_hits += 1;
+            if is_int8 {
+                c.int8_plan_cache_hits += 1;
+            }
         } else {
             c.plan_cache_misses += 1;
+            if is_int8 {
+                c.int8_plans_active += 1;
+            }
         }
         c.peak_arena_bytes = c.peak_arena_bytes.max(arena);
     });
@@ -1546,18 +1615,26 @@ fn run_batch_jobs(
     plans: &mut PlanCache,
     model: &Arc<CollapsedSesr>,
     jobs: Vec<Job>,
+    decision: &PrecisionDecision,
 ) -> GroupOutcome {
     let t0 = Instant::now();
     // The queue groups same-key same-shape requests, so one cached plan
     // serves the whole batch (its arena is reused image by image).
     let shape = jobs[0].input.shape();
-    let (plan, plan_hit) = plans.plan_for(&jobs[0].key, model, shape[1], shape[2]);
+    let (plan, plan_hit) = plans.plan_for(&jobs[0].key, model, shape[1], shape[2], decision);
     let arena = plan.arena_bytes() as u64;
+    let is_int8 = plan.precision() == Precision::Int8;
     shared.telemetry.counters(|c| {
         if plan_hit {
             c.plan_cache_hits += 1;
+            if is_int8 {
+                c.int8_plan_cache_hits += 1;
+            }
         } else {
             c.plan_cache_misses += 1;
+            if is_int8 {
+                c.int8_plans_active += 1;
+            }
         }
         c.peak_arena_bytes = c.peak_arena_bytes.max(arena);
     });

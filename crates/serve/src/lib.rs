@@ -85,7 +85,10 @@ pub use engine::{
     Completion, Engine, EngineConfig, Health, ServeError, ShutdownReport, SubmitError, Ticket,
 };
 pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
-pub use plan_cache::{PlanCache, SharedPlanCache};
+pub use plan_cache::{
+    AnyPlan, AnyTilePlanner, DecisionSource, PlanCache, Precision, PrecisionDecision,
+    PrecisionPolicy, SharedPlanCache,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{ModelKey, ModelRegistry, RegistryError, RegistryStats};
 pub use router::{

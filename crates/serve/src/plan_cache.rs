@@ -15,13 +15,25 @@
 //!   queue batches same-key same-shape requests, so steady-state traffic
 //!   for a handful of shapes hits a warm plan every time.
 //!
+//! **Precision.** Every plan and tile planner is additionally keyed by
+//! the serving [`Precision`] resolved from the engine's
+//! [`PrecisionPolicy`]: an int8-eligible model caches [`QuantPlan`]s, an
+//! f32 model caches [`InferPlan`]s, and the two never mix. The
+//! load-time decision itself — calibrate, quantize, measure ΔPSNR
+//! against f32, fall back if the budget is exceeded — is cached at a
+//! third level ([`PlanCache::decision_for`]) and replicated through the
+//! [`SharedPlanCache`] so autoscaled shards warm int8 serving without
+//! re-grading the model.
+//!
 //! **Staleness.** The registry can evict and reload a model under the
 //! same [`ModelKey`] (e.g. after an artifact is replaced), so a key
 //! match alone is not enough: every entry also remembers the
 //! `Arc<CollapsedSesr>` it was compiled from and is valid only while
 //! `Arc::ptr_eq` holds against the model the registry resolves for the
 //! request. A reload therefore misses once, recompiles, and the stale
-//! entry is dropped on that same lookup.
+//! entry is dropped on that same lookup. A precision-policy flip
+//! invalidates the same way: the first lookup after the flip drops the
+//! other-precision entries for that key.
 //!
 //! **Kernel variant.** Plans and tile planners pin the process-global
 //! [`kernel_variant`] at compile time, and an entry is valid only while
@@ -38,11 +50,14 @@
 //! and shapes at once); eviction is LRU via move-to-front.
 
 use crate::registry::ModelKey;
-use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan, TilePlanner};
+use sesr_core::{CollapsedKernels, CollapsedSesr, InferPlan, TilePlanner, TileSpec};
+use sesr_quant::{QuantKernels, QuantPlan, QuantTilePlanner, QuantizedSesr};
 use sesr_tensor::simd::{kernel_variant, KernelVariant};
+use sesr_tensor::Tensor;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Distinct models a worker keeps flattened kernels for.
 const KERNELS_CAP: usize = 4;
@@ -52,6 +67,113 @@ const PLANS_CAP: usize = 8;
 /// video any-time ladder (m3/m5/m7/m11); the planners themselves bound
 /// their per-shape plans internally.
 const TILE_PLANNERS_CAP: usize = 4;
+/// Distinct `(model, budget)` precision decisions a worker remembers.
+const DECISIONS_CAP: usize = 4;
+
+/// Calibration-scene geometry for load-time precision decisions. One
+/// fixed scene per process: the decision must be deterministic across
+/// workers and shards, or two workers could serve the same model at
+/// different precisions.
+const CALIB_TILE: usize = 24;
+/// Seed family for the calibration images (distinct from the ΔPSNR
+/// measurement tile so the decision is not graded on its training data).
+const CALIB_SEED: u64 = 0xCA11B;
+/// Calibration images measured for activation ranges.
+const N_CALIB: u64 = 3;
+
+/// Engine-wide serving-precision policy; per-model decisions flow from
+/// it at load time (see [`PlanCache::decision_for`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecisionPolicy {
+    /// Always serve float plans.
+    F32,
+    /// Serve planned int8 when the measured ΔPSNR on the calibration
+    /// scene stays within `psnr_budget` dB; silently fall back to f32
+    /// for models that exceed it (counted in `precision_fallbacks`).
+    Int8 {
+        /// Largest acceptable PSNR loss versus f32, in dB.
+        psnr_budget: f64,
+    },
+}
+
+/// The resolved serving precision for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Float planned execution.
+    F32,
+    /// Quantized planned execution (uint8 wires, int8 weights, i32
+    /// accumulation).
+    Int8,
+}
+
+/// A load-time precision decision for one `(model, budget)` pair: the
+/// resolved precision, the measured ΔPSNR, and — when int8 won — the
+/// packed quantized kernels ready for plan compilation. Decisions are
+/// immutable and shared (`Arc`) like kernels: calibration, quantization,
+/// and the ΔPSNR measurement are the expensive model-level half of int8
+/// serving, plan arenas are the cheap per-shape half.
+#[derive(Debug)]
+pub struct PrecisionDecision {
+    /// The precision this model serves at.
+    pub precision: Precision,
+    /// Measured PSNR cost of int8 on the calibration scene, in dB
+    /// (positive = int8 is worse; `NaN` when nothing was measured, i.e.
+    /// the policy was [`PrecisionPolicy::F32`]).
+    pub delta_db: f64,
+    /// Packed int8 kernels, present exactly when `precision == Int8`.
+    pub qkernels: Option<Arc<QuantKernels>>,
+}
+
+impl PrecisionDecision {
+    /// The trivial f32 decision (no measurement performed). Callers on
+    /// pure-f32 paths (video sessions, `PrecisionPolicy::F32` engines)
+    /// borrow this constant instead of resolving a decision.
+    pub const F32: PrecisionDecision = PrecisionDecision {
+        precision: Precision::F32,
+        delta_db: f64::NAN,
+        qkernels: None,
+    };
+}
+
+/// Where [`PlanCache::decision_for`] found the decision. Telemetry uses
+/// `Computed` to count fallbacks exactly once per fresh measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// Worker-local cache hit.
+    LocalHit,
+    /// Served by the process-wide [`SharedPlanCache`] (another shard
+    /// already paid for the measurement).
+    SharedHit,
+    /// Measured and quantized here, now.
+    Computed,
+}
+
+/// Calibrates, quantizes, and grades one model against the int8 PSNR
+/// budget. Deterministic: fixed synthetic scene, fixed seeds.
+fn compute_decision(model: &CollapsedSesr, psnr_budget: f64) -> PrecisionDecision {
+    let calib: Vec<Tensor> = (0..N_CALIB)
+        .map(|i| {
+            sesr_quant::calibration_pair(model.scale(), CALIB_TILE, CALIB_TILE, CALIB_SEED + i).1
+        })
+        .collect();
+    let profile = sesr_quant::calibrate(model, &calib);
+    let qnet = QuantizedSesr::quantize(model, &profile);
+    let delta_db =
+        sesr_quant::delta_psnr(model, &qnet, CALIB_TILE, CALIB_TILE, CALIB_SEED ^ 0x5EED);
+    if delta_db <= psnr_budget {
+        PrecisionDecision {
+            precision: Precision::Int8,
+            delta_db,
+            qkernels: Some(Arc::new(QuantKernels::new(&qnet))),
+        }
+    } else {
+        PrecisionDecision {
+            precision: Precision::F32,
+            delta_db,
+            qkernels: None,
+        }
+    }
+}
 
 struct KernelsEntry {
     key: ModelKey,
@@ -65,6 +187,11 @@ const SHARED_KERNELS_CAP: usize = 8;
 /// One shared-store entry: the model key, the exact model `Arc` the
 /// kernels were flattened from (staleness identity), and the kernels.
 type SharedKernelEntry = (ModelKey, Arc<CollapsedSesr>, Arc<CollapsedKernels>);
+
+/// One shared precision-decision entry: model key, model identity, the
+/// PSNR budget it was graded against (as `f64::to_bits`, so `NaN`-free
+/// exact keying), and the decision.
+type SharedDecisionEntry = (ModelKey, Arc<CollapsedSesr>, u64, Arc<PrecisionDecision>);
 
 /// Process-wide store of flattened kernels, shared across every engine
 /// shard the router owns (hot-model replication).
@@ -86,8 +213,34 @@ type SharedKernelEntry = (ModelKey, Arc<CollapsedSesr>, Arc<CollapsedKernels>);
 /// registry reload misses once and replaces the shared entry.
 pub struct SharedPlanCache {
     kernels: Mutex<Vec<SharedKernelEntry>>,
+    decisions: Mutex<Vec<SharedDecisionEntry>>,
+    /// Gradings currently in flight somewhere in the fleet, keyed by
+    /// `(key, model identity, budget bits)` — the single-flight set
+    /// behind [`SharedPlanCache::grade_single_flight`].
+    grading: Mutex<Vec<(ModelKey, usize, u64)>>,
+    grading_done: Condvar,
     warm_hits: AtomicU64,
     published: AtomicU64,
+}
+
+/// Removes a grading ticket and wakes waiters on drop, so a panicking
+/// grade closure never strands the shards waiting on it.
+struct GradeTicket<'a> {
+    store: &'a SharedPlanCache,
+    ticket: (ModelKey, usize, u64),
+}
+
+impl Drop for GradeTicket<'_> {
+    fn drop(&mut self) {
+        let mut g = self
+            .store
+            .grading
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        g.retain(|t| *t != self.ticket);
+        drop(g);
+        self.store.grading_done.notify_all();
+    }
 }
 
 impl SharedPlanCache {
@@ -95,6 +248,9 @@ impl SharedPlanCache {
     pub fn new() -> Self {
         Self {
             kernels: Mutex::new(Vec::with_capacity(SHARED_KERNELS_CAP)),
+            decisions: Mutex::new(Vec::with_capacity(SHARED_KERNELS_CAP)),
+            grading: Mutex::new(Vec::new()),
+            grading_done: Condvar::new(),
             warm_hits: AtomicU64::new(0),
             published: AtomicU64::new(0),
         }
@@ -135,7 +291,118 @@ impl SharedPlanCache {
         self.published.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Worker-local misses served from the shared store so far.
+    /// Looks up a precision decision for `(key, model, budget)`. Like
+    /// kernels, a hit bumps `warm_hits`: the calibration, quantization,
+    /// and ΔPSNR measurement were paid by another shard, so a freshly
+    /// autoscaled shard warms its int8 plans without re-grading the
+    /// model.
+    pub fn get_decision(
+        &self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        budget_bits: u64,
+    ) -> Option<Arc<PrecisionDecision>> {
+        let mut g = self
+            .decisions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let idx = g
+            .iter()
+            .position(|(k, m, b, _)| k == key && *b == budget_bits && Arc::ptr_eq(m, model))?;
+        let entry = g.remove(idx);
+        let decision = entry.3.clone();
+        g.insert(0, entry);
+        drop(g);
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        Some(decision)
+    }
+
+    /// Publishes a freshly computed precision decision. Same-key entries
+    /// for a reloaded model or a different budget are replaced: a policy
+    /// or artifact change must not leave decisions other shards could
+    /// wrongly warm from.
+    pub fn publish_decision(
+        &self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        budget_bits: u64,
+        decision: &Arc<PrecisionDecision>,
+    ) {
+        let mut g = self
+            .decisions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        g.retain(|(k, m, b, _)| k != key || (Arc::ptr_eq(m, model) && *b == budget_bits));
+        if g.iter()
+            .any(|(k, m, b, _)| k == key && *b == budget_bits && Arc::ptr_eq(m, model))
+        {
+            return; // lost a publish race; the existing entry is equivalent
+        }
+        g.insert(
+            0,
+            (key.clone(), model.clone(), budget_bits, decision.clone()),
+        );
+        g.truncate(SHARED_KERNELS_CAP);
+        drop(g);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a decision, or grades it with cross-shard single-flight:
+    /// if another worker anywhere in the fleet is already grading this
+    /// exact `(model, budget)`, wait for its publish instead of paying
+    /// the grade (calibrate + quantize + ΔPSNR) again. Without this,
+    /// a shard scaled up during the load ramp races the first shard's
+    /// in-flight grading, misses the store, and re-grades — after which
+    /// both serve from worker-local caches and replication never gets a
+    /// second chance. Returns the decision and whether it was warmed
+    /// (`true` = served by the store, counted in `warm_hits`; `false` =
+    /// this call ran `grade` and published the result).
+    pub fn grade_single_flight(
+        &self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        budget_bits: u64,
+        grade: impl FnOnce() -> PrecisionDecision,
+    ) -> (Arc<PrecisionDecision>, bool) {
+        let ticket = (key.clone(), Arc::as_ptr(model) as usize, budget_bits);
+        loop {
+            if let Some(d) = self.get_decision(key, model, budget_bits) {
+                return (d, true);
+            }
+            let g = self.grading.lock().unwrap_or_else(PoisonError::into_inner);
+            if !g.contains(&ticket) {
+                let mut g = g;
+                g.push(ticket.clone());
+                break;
+            }
+            // Someone else is grading. The timeout is a liveness
+            // backstop, not the protocol: the grader's drop guard
+            // notifies even on panic, and the loop re-checks the store
+            // before ever becoming the grader itself.
+            let _unused = self
+                .grading_done
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let _ticket = GradeTicket {
+            store: self,
+            ticket,
+        };
+        let d = Arc::new(grade());
+        self.publish_decision(key, model, budget_bits, &d);
+        (d, false)
+    }
+
+    /// Precision decisions currently held.
+    pub fn decisions_len(&self) -> usize {
+        self.decisions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Worker-local misses served from the shared store so far (kernels
+    /// and precision decisions).
     pub fn warm_hits(&self) -> u64 {
         self.warm_hits.load(Ordering::Relaxed)
     }
@@ -174,12 +441,126 @@ impl fmt::Debug for SharedPlanCache {
     }
 }
 
+/// A compiled whole-frame plan at either serving precision. Past the
+/// precision decision the engine's batch path is precision-agnostic:
+/// both arms run out of a single pre-sized arena with zero steady-state
+/// allocations.
+pub enum AnyPlan {
+    /// Float planned executor.
+    F32(InferPlan),
+    /// Quantized planned executor (uint8 wires, i32 accumulation, fused
+    /// requantization epilogues).
+    Int8(QuantPlan),
+}
+
+impl AnyPlan {
+    /// Runs a `[N, 1, H, W]` batch, reusing the arena per image.
+    pub fn run_batch(&mut self, input: &Tensor) -> Tensor {
+        match self {
+            AnyPlan::F32(p) => p.run_batch(input),
+            AnyPlan::Int8(p) => p.run_batch(input),
+        }
+    }
+
+    /// The kernel variant pinned at compile time.
+    pub fn variant(&self) -> KernelVariant {
+        match self {
+            AnyPlan::F32(p) => p.variant(),
+            AnyPlan::Int8(p) => p.variant(),
+        }
+    }
+
+    /// Bytes in this plan's arena.
+    pub fn arena_bytes(&self) -> usize {
+        match self {
+            AnyPlan::F32(p) => p.arena_bytes(),
+            AnyPlan::Int8(p) => p.arena_bytes(),
+        }
+    }
+
+    /// The precision this plan serves at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            AnyPlan::F32(_) => Precision::F32,
+            AnyPlan::Int8(_) => Precision::Int8,
+        }
+    }
+}
+
+impl fmt::Debug for AnyPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnyPlan")
+            .field("precision", &self.precision())
+            .field("arena_bytes", &self.arena_bytes())
+            .finish()
+    }
+}
+
+/// A tile planner at either serving precision; both arms keep a bounded
+/// LRU of per-shape plans and composite bit-identically with their
+/// whole-frame counterpart.
+pub enum AnyTilePlanner {
+    /// Float tile planner.
+    F32(TilePlanner),
+    /// Quantized tile planner.
+    Int8(QuantTilePlanner),
+}
+
+impl AnyTilePlanner {
+    /// Runs one tile through the plan for its expanded shape.
+    pub fn run_tile(&mut self, lr: &Tensor, spec: &TileSpec) -> Tensor {
+        match self {
+            AnyTilePlanner::F32(p) => p.run_tile(lr, spec),
+            AnyTilePlanner::Int8(p) => p.run_tile(lr, spec),
+        }
+    }
+
+    /// Pre-compiles the plan for an `h x w` tile (warm path).
+    pub fn warm_shape(&mut self, h: usize, w: usize) {
+        match self {
+            AnyTilePlanner::F32(p) => {
+                p.plan_for(h, w);
+            }
+            AnyTilePlanner::Int8(p) => {
+                p.plan_for(h, w);
+            }
+        }
+    }
+
+    /// Distinct tile shapes currently planned.
+    pub fn cached_plans(&self) -> usize {
+        match self {
+            AnyTilePlanner::F32(p) => p.cached_plans(),
+            AnyTilePlanner::Int8(p) => p.cached_plans(),
+        }
+    }
+
+    /// Largest arena across the cached per-shape plans.
+    pub fn max_arena_bytes(&self) -> usize {
+        match self {
+            AnyTilePlanner::F32(p) => p.max_arena_bytes(),
+            AnyTilePlanner::Int8(p) => p.max_arena_bytes(),
+        }
+    }
+
+    /// The precision this planner serves at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            AnyTilePlanner::F32(_) => Precision::F32,
+            AnyTilePlanner::Int8(_) => Precision::Int8,
+        }
+    }
+}
+
 struct PlanEntry {
     key: ModelKey,
     h: usize,
     w: usize,
+    /// The serving precision the plan was compiled at; a precision-policy
+    /// flip invalidates entries the same way a model reload does.
+    precision: Precision,
     model: Arc<CollapsedSesr>,
-    plan: InferPlan,
+    plan: AnyPlan,
 }
 
 struct TilePlannerEntry {
@@ -189,7 +570,18 @@ struct TilePlannerEntry {
     /// lazily-compiled per-tile plans all pin this, so a global repin
     /// invalidates the whole planner.
     variant: KernelVariant,
-    planner: TilePlanner,
+    /// Serving precision (see [`PlanEntry::precision`]).
+    precision: Precision,
+    planner: AnyTilePlanner,
+}
+
+struct DecisionEntry {
+    key: ModelKey,
+    model: Arc<CollapsedSesr>,
+    /// `f64::to_bits` of the PSNR budget the decision was graded
+    /// against: exact keying, no `NaN` comparison pitfalls.
+    budget_bits: u64,
+    decision: Arc<PrecisionDecision>,
 }
 
 /// Worker-local LRU cache of [`CollapsedKernels`] and [`InferPlan`]s,
@@ -199,6 +591,7 @@ pub struct PlanCache {
     kernels: Vec<KernelsEntry>,
     plans: Vec<PlanEntry>,
     tile_planners: Vec<TilePlannerEntry>,
+    decisions: Vec<DecisionEntry>,
     shared: Option<Arc<SharedPlanCache>>,
 }
 
@@ -214,8 +607,70 @@ impl PlanCache {
             kernels: Vec::with_capacity(KERNELS_CAP),
             plans: Vec::with_capacity(PLANS_CAP),
             tile_planners: Vec::with_capacity(TILE_PLANNERS_CAP),
+            decisions: Vec::with_capacity(DECISIONS_CAP),
             shared,
         }
+    }
+
+    /// The precision decision for `(model, psnr_budget)`, computed on
+    /// first use: calibrate on the fixed synthetic scene, quantize,
+    /// measure ΔPSNR against the f32 reference, and serve int8 only if
+    /// the loss fits the budget. The decision (and, when int8 wins, the
+    /// packed `QuantKernels` inside it) is cached locally and in the
+    /// shared store, so autoscaled sibling shards warm their int8 plans
+    /// without re-grading the model. Staleness mirrors the other levels:
+    /// a model reload or a budget change drops the same-key entry.
+    ///
+    /// Note a decision evicted here and recomputed later yields bitwise
+    /// identical kernels (fixed seeds, deterministic pipeline), so plans
+    /// compiled against the older `QuantKernels` Arc remain valid.
+    pub fn decision_for(
+        &mut self,
+        key: &ModelKey,
+        model: &Arc<CollapsedSesr>,
+        psnr_budget: f64,
+    ) -> (Arc<PrecisionDecision>, DecisionSource) {
+        let bits = psnr_budget.to_bits();
+        if let Some(idx) = self
+            .decisions
+            .iter()
+            .position(|e| e.key == *key && e.budget_bits == bits && Arc::ptr_eq(&e.model, model))
+        {
+            let entry = self.decisions.remove(idx);
+            self.decisions.insert(0, entry);
+            return (self.decisions[0].decision.clone(), DecisionSource::LocalHit);
+        }
+        self.decisions
+            .retain(|e| e.key != *key || (Arc::ptr_eq(&e.model, model) && e.budget_bits == bits));
+        let (decision, source) = match &self.shared {
+            Some(shared) => {
+                // Single-flight across the fleet: concurrent first
+                // requests on different shards collapse to one grading.
+                let (d, warm) = shared
+                    .grade_single_flight(key, model, bits, || compute_decision(model, psnr_budget));
+                let source = if warm {
+                    DecisionSource::SharedHit
+                } else {
+                    DecisionSource::Computed
+                };
+                (d, source)
+            }
+            None => (
+                Arc::new(compute_decision(model, psnr_budget)),
+                DecisionSource::Computed,
+            ),
+        };
+        self.decisions.insert(
+            0,
+            DecisionEntry {
+                key: key.clone(),
+                model: model.clone(),
+                budget_bits: bits,
+                decision: decision.clone(),
+            },
+        );
+        self.decisions.truncate(DECISIONS_CAP);
+        (decision, source)
     }
 
     /// Flattened kernels for `model`, compiled on first use. The `bool`
@@ -263,20 +718,24 @@ impl PlanCache {
         (kernels, warm)
     }
 
-    /// A ready-to-run plan for `(model, h, w)`, compiled on first use.
-    /// The `bool` is `true` on a cache hit.
+    /// A ready-to-run plan for `(model, h, w)` at the decision's
+    /// precision, compiled on first use. The `bool` is `true` on a
+    /// cache hit.
     pub fn plan_for(
         &mut self,
         key: &ModelKey,
         model: &Arc<CollapsedSesr>,
         h: usize,
         w: usize,
-    ) -> (&mut InferPlan, bool) {
+        decision: &PrecisionDecision,
+    ) -> (&mut AnyPlan, bool) {
         let variant = kernel_variant();
+        let want = decision.precision;
         if let Some(idx) = self.plans.iter().position(|e| {
             e.key == *key
                 && e.h == h
                 && e.w == w
+                && e.precision == want
                 && Arc::ptr_eq(&e.model, model)
                 && e.plan.variant() == variant
         }) {
@@ -285,19 +744,35 @@ impl PlanCache {
             return (&mut self.plans[0].plan, true);
         }
         // Stale entries can never hit again: a same-key ptr_eq failure is
-        // a reloaded model, and a variant mismatch (any key) is a plan
-        // compiled under a repinned kernel global. Drop both now.
+        // a reloaded model, a variant mismatch (any key) is a plan
+        // compiled under a repinned kernel global, and a same-key
+        // precision mismatch is a plan from before a policy flip. Drop
+        // all three now — a flipped model must never serve
+        // mixed-precision outputs from leftover plans.
         self.plans.retain(|e| {
-            (e.key != *key || Arc::ptr_eq(&e.model, model)) && e.plan.variant() == variant
+            (e.key != *key || (Arc::ptr_eq(&e.model, model) && e.precision == want))
+                && e.plan.variant() == variant
         });
-        let (kernels, _) = self.kernels_for(key, model);
-        let plan = InferPlan::new(kernels, h, w);
+        let plan = match want {
+            Precision::F32 => {
+                let (kernels, _) = self.kernels_for(key, model);
+                AnyPlan::F32(InferPlan::new(kernels, h, w))
+            }
+            Precision::Int8 => {
+                let qk = decision
+                    .qkernels
+                    .clone()
+                    .expect("an int8 decision always carries packed kernels");
+                AnyPlan::Int8(QuantPlan::new(qk, h, w))
+            }
+        };
         self.plans.insert(
             0,
             PlanEntry {
                 key: key.clone(),
                 h,
                 w,
+                precision: want,
                 model: model.clone(),
                 plan,
             },
@@ -316,27 +791,45 @@ impl PlanCache {
         &mut self,
         key: &ModelKey,
         model: &Arc<CollapsedSesr>,
-    ) -> (&mut TilePlanner, bool) {
+        decision: &PrecisionDecision,
+    ) -> (&mut AnyTilePlanner, bool) {
         let variant = kernel_variant();
-        if let Some(idx) = self
-            .tile_planners
-            .iter()
-            .position(|e| e.key == *key && Arc::ptr_eq(&e.model, model) && e.variant == variant)
-        {
+        let want = decision.precision;
+        if let Some(idx) = self.tile_planners.iter().position(|e| {
+            e.key == *key
+                && e.precision == want
+                && Arc::ptr_eq(&e.model, model)
+                && e.variant == variant
+        }) {
             let entry = self.tile_planners.remove(idx);
             self.tile_planners.insert(0, entry);
             return (&mut self.tile_planners[0].planner, true);
         }
-        self.tile_planners
-            .retain(|e| (e.key != *key || Arc::ptr_eq(&e.model, model)) && e.variant == variant);
-        let (kernels, _) = self.kernels_for(key, model);
+        self.tile_planners.retain(|e| {
+            (e.key != *key || (Arc::ptr_eq(&e.model, model) && e.precision == want))
+                && e.variant == variant
+        });
+        let planner = match want {
+            Precision::F32 => {
+                let (kernels, _) = self.kernels_for(key, model);
+                AnyTilePlanner::F32(TilePlanner::new(kernels))
+            }
+            Precision::Int8 => {
+                let qk = decision
+                    .qkernels
+                    .clone()
+                    .expect("an int8 decision always carries packed kernels");
+                AnyTilePlanner::Int8(QuantTilePlanner::new(qk))
+            }
+        };
         self.tile_planners.insert(
             0,
             TilePlannerEntry {
                 key: key.clone(),
                 model: model.clone(),
                 variant,
-                planner: TilePlanner::new(kernels),
+                precision: want,
+                planner,
             },
         );
         self.tile_planners.truncate(TILE_PLANNERS_CAP);
@@ -365,9 +858,9 @@ mod tests {
         let key = ModelKey::new("m1", 2);
         let model = tiny_model();
 
-        let (_, hit) = cache.plan_for(&key, &model, 8, 10);
+        let (_, hit) = cache.plan_for(&key, &model, 8, 10, &PrecisionDecision::F32);
         assert!(!hit, "first lookup must compile");
-        let (_, hit) = cache.plan_for(&key, &model, 8, 10);
+        let (_, hit) = cache.plan_for(&key, &model, 8, 10, &PrecisionDecision::F32);
         assert!(hit, "second lookup must reuse the plan");
         // The plan compile also primed the kernels level.
         let (_, hit) = cache.kernels_for(&key, &model);
@@ -375,7 +868,7 @@ mod tests {
 
         // A different shape misses at the plan level but reuses kernels.
         let (k1, _) = cache.kernels_for(&key, &model);
-        let (_, hit) = cache.plan_for(&key, &model, 6, 6);
+        let (_, hit) = cache.plan_for(&key, &model, 6, 6, &PrecisionDecision::F32);
         assert!(!hit);
         let (k2, _) = cache.kernels_for(&key, &model);
         assert!(Arc::ptr_eq(&k1, &k2));
@@ -386,14 +879,14 @@ mod tests {
         let mut cache = PlanCache::new();
         let key = ModelKey::new("m1", 2);
         let old = tiny_model();
-        cache.plan_for(&key, &old, 8, 8);
+        cache.plan_for(&key, &old, 8, 8, &PrecisionDecision::F32);
 
         // Same key, different Arc: a registry reload. Must miss and
         // recompile against the new weights.
         let reloaded = tiny_model();
-        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8);
+        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8, &PrecisionDecision::F32);
         assert!(!hit, "reload must invalidate the cached plan");
-        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8);
+        let (_, hit) = cache.plan_for(&key, &reloaded, 8, 8, &PrecisionDecision::F32);
         assert!(hit);
         // The stale entry was dropped, not just shadowed.
         assert_eq!(cache.plans.len(), 1);
@@ -405,17 +898,17 @@ mod tests {
         let mut cache = PlanCache::new();
         let key = ModelKey::new("m1", 2);
         let model = tiny_model();
-        let (_, hit) = cache.tile_planner_for(&key, &model);
+        let (_, hit) = cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
         assert!(!hit, "first lookup must build the planner");
-        let (planner, hit) = cache.tile_planner_for(&key, &model);
+        let (planner, hit) = cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
         assert!(hit, "second lookup must reuse it");
         // Warm per-shape plans inside the planner survive across lookups.
-        let _ = planner.plan_for(8, 8);
-        let (planner, _) = cache.tile_planner_for(&key, &model);
+        planner.warm_shape(8, 8);
+        let (planner, _) = cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
         assert_eq!(planner.cached_plans(), 1);
         // A reload (same key, new Arc) invalidates the planner.
         let reloaded = tiny_model();
-        let (planner, hit) = cache.tile_planner_for(&key, &reloaded);
+        let (planner, hit) = cache.tile_planner_for(&key, &reloaded, &PrecisionDecision::F32);
         assert!(!hit, "reload must rebuild the planner");
         assert_eq!(planner.cached_plans(), 0);
     }
@@ -430,12 +923,12 @@ mod tests {
         let model = tiny_model();
 
         let prev = sesr_tensor::simd::set_kernel_variant(KernelVariant::Scalar);
-        cache.plan_for(&key, &model, 8, 8);
-        cache.tile_planner_for(&key, &model);
-        let (plan, hit) = cache.plan_for(&key, &model, 8, 8);
+        cache.plan_for(&key, &model, 8, 8, &PrecisionDecision::F32);
+        cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8, &PrecisionDecision::F32);
         assert!(hit);
         assert_eq!(plan.variant(), KernelVariant::Scalar);
-        let (_, hit) = cache.tile_planner_for(&key, &model);
+        let (_, hit) = cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
         assert!(hit);
 
         // Repin to the detected default. On hardware where that is still
@@ -443,10 +936,10 @@ mod tests {
         // SIMD machine the old-variant entries must miss and be dropped.
         sesr_tensor::simd::set_kernel_variant(prev);
         let current = kernel_variant();
-        let (plan, hit) = cache.plan_for(&key, &model, 8, 8);
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8, &PrecisionDecision::F32);
         assert_eq!(hit, current == KernelVariant::Scalar);
         assert_eq!(plan.variant(), current);
-        let (_, hit) = cache.tile_planner_for(&key, &model);
+        let (_, hit) = cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
         assert_eq!(hit, current == KernelVariant::Scalar);
         assert_eq!(cache.plans.len(), 1, "stale-variant plan must be dropped");
         assert_eq!(cache.tile_planners.len(), 1);
@@ -490,12 +983,199 @@ mod tests {
         let model = tiny_model();
         let key = ModelKey::new("m1", 2);
         for i in 0..2 * PLANS_CAP {
-            cache.plan_for(&key, &model, 6 + i, 6);
+            cache.plan_for(&key, &model, 6 + i, 6, &PrecisionDecision::F32);
         }
         assert_eq!(cache.plans.len(), PLANS_CAP);
         assert!(cache.kernels.len() <= KERNELS_CAP);
         // Most-recent shapes survived.
-        let (_, hit) = cache.plan_for(&key, &model, 6 + 2 * PLANS_CAP - 1, 6);
+        let (_, hit) = cache.plan_for(
+            &key,
+            &model,
+            6 + 2 * PLANS_CAP - 1,
+            6,
+            &PrecisionDecision::F32,
+        );
         assert!(hit);
+    }
+
+    /// A generous budget always resolves to int8 (every calibrated model
+    /// loses less than 100 dB on the calibration scene).
+    const ALWAYS_INT8: f64 = 100.0;
+    /// An impossible budget always falls back (ΔPSNR of a finite
+    /// measurement can never be ≤ -100 dB).
+    const NEVER_INT8: f64 = -100.0;
+
+    #[test]
+    fn decision_resolves_int8_within_budget_and_falls_back_beyond_it() {
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+
+        let (d, src) = cache.decision_for(&key, &model, ALWAYS_INT8);
+        assert_eq!(src, DecisionSource::Computed);
+        assert_eq!(d.precision, Precision::Int8);
+        assert!(d.delta_db.is_finite());
+        assert!(d.qkernels.is_some(), "int8 decision must carry kernels");
+
+        // Same budget again: local hit, same Arc.
+        let (d2, src) = cache.decision_for(&key, &model, ALWAYS_INT8);
+        assert_eq!(src, DecisionSource::LocalHit);
+        assert!(Arc::ptr_eq(&d, &d2));
+
+        // A budget no measurement can meet: measured, then fell back.
+        let (d3, src) = cache.decision_for(&key, &model, NEVER_INT8);
+        assert_eq!(src, DecisionSource::Computed);
+        assert_eq!(d3.precision, Precision::F32);
+        assert!(d3.delta_db.is_finite(), "fallback still reports ΔPSNR");
+        assert!(d3.qkernels.is_none());
+    }
+
+    #[test]
+    fn precision_policy_flip_drops_stale_plans_and_planners() {
+        // Satellite: flipping a model's policy f32 -> int8 (or back) must
+        // drop the other-precision entries on the first lookup, so no
+        // request can be served from a mixed-precision cache.
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+        let (int8, _) = cache.decision_for(&key, &model, ALWAYS_INT8);
+
+        // Serve f32 first.
+        cache.plan_for(&key, &model, 8, 8, &PrecisionDecision::F32);
+        cache.plan_for(&key, &model, 6, 10, &PrecisionDecision::F32);
+        cache.tile_planner_for(&key, &model, &PrecisionDecision::F32);
+        assert_eq!(cache.plans.len(), 2);
+
+        // Policy flips to int8: every f32 plan for the key is stale.
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8, &int8);
+        assert!(!hit, "post-flip lookup must recompile at int8");
+        assert_eq!(plan.precision(), Precision::Int8);
+        assert_eq!(cache.plans.len(), 1, "stale f32 plans must be dropped");
+        let (planner, hit) = cache.tile_planner_for(&key, &model, &int8);
+        assert!(!hit);
+        assert_eq!(planner.precision(), Precision::Int8);
+        assert_eq!(cache.tile_planners.len(), 1);
+
+        // Steady state at int8 hits.
+        let (_, hit) = cache.plan_for(&key, &model, 8, 8, &int8);
+        assert!(hit);
+
+        // Flip back: the int8 entries are dropped in turn.
+        let (plan, hit) = cache.plan_for(&key, &model, 8, 8, &PrecisionDecision::F32);
+        assert!(!hit);
+        assert_eq!(plan.precision(), Precision::F32);
+        assert_eq!(cache.plans.len(), 1);
+    }
+
+    #[test]
+    fn int8_plans_match_the_quantized_oracle() {
+        // The cached int8 plan serves the exact bits of the quantized
+        // reference network it was decided from.
+        let mut cache = PlanCache::new();
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+        let (d, _) = cache.decision_for(&key, &model, ALWAYS_INT8);
+        let lr = Tensor::rand_uniform(&[1, 9, 11], 0.0, 1.0, 5);
+        let batch = Tensor::stack(&[&lr]);
+        let (plan, _) = cache.plan_for(&key, &model, 9, 11, &d);
+        let got = plan.run_batch(&batch);
+
+        // Rebuild the oracle exactly as compute_decision does.
+        let oracle = {
+            let calib: Vec<Tensor> = (0..N_CALIB)
+                .map(|i| {
+                    sesr_quant::calibration_pair(
+                        model.scale(),
+                        CALIB_TILE,
+                        CALIB_TILE,
+                        CALIB_SEED + i,
+                    )
+                    .1
+                })
+                .collect();
+            let profile = sesr_quant::calibrate(&model, &calib);
+            QuantizedSesr::quantize(&model, &profile)
+        };
+        let want = oracle.run(&lr);
+        assert_eq!(want.data(), got.data());
+    }
+
+    #[test]
+    fn concurrent_gradings_collapse_to_one() {
+        // The autoscale race: two shards' workers both miss the store
+        // and grade "simultaneously". Single-flight must run the grade
+        // closure exactly once; the loser waits and warms from the
+        // winner's publish instead of paying a second grading.
+        use std::sync::atomic::AtomicUsize;
+
+        let shared = Arc::new(SharedPlanCache::new());
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+        let grades = Arc::new(AtomicUsize::new(0));
+
+        let winner = {
+            let (shared, key, model, grades) =
+                (shared.clone(), key.clone(), model.clone(), grades.clone());
+            std::thread::spawn(move || {
+                shared.grade_single_flight(&key, &model, 0, || {
+                    grades.fetch_add(1, Ordering::SeqCst);
+                    // Hold the grading slot long enough that the other
+                    // thread reliably arrives mid-flight.
+                    std::thread::sleep(Duration::from_millis(150));
+                    PrecisionDecision::F32
+                })
+            })
+        };
+        // Arrive while the winner is mid-grade.
+        std::thread::sleep(Duration::from_millis(30));
+        let (d_loser, warm_loser) = shared.grade_single_flight(&key, &model, 0, || {
+            grades.fetch_add(1, Ordering::SeqCst);
+            PrecisionDecision::F32
+        });
+        let (d_winner, warm_winner) = winner.join().expect("grader thread");
+
+        assert_eq!(grades.load(Ordering::SeqCst), 1, "grade must run once");
+        assert!(!warm_winner, "the grader itself is not warm");
+        assert!(warm_loser, "the waiter must warm from the publish");
+        assert!(Arc::ptr_eq(&d_winner, &d_loser), "one shared decision");
+        assert_eq!(shared.warm_hits(), 1);
+    }
+
+    #[test]
+    fn shared_store_replicates_decisions_across_caches() {
+        // An autoscaled shard's worker must warm int8 serving from the
+        // shared store: the grading (calibrate + quantize + ΔPSNR) is
+        // paid once per process, not once per shard.
+        let shared = Arc::new(SharedPlanCache::new());
+        let key = ModelKey::new("m1", 2);
+        let model = tiny_model();
+
+        let mut a = PlanCache::with_shared(Some(shared.clone()));
+        let (da, src) = a.decision_for(&key, &model, ALWAYS_INT8);
+        assert_eq!(src, DecisionSource::Computed);
+        assert_eq!(shared.decisions_len(), 1);
+        let warm_before = shared.warm_hits();
+
+        // Fresh shard, fresh worker cache: decision comes from the store.
+        let mut b = PlanCache::with_shared(Some(shared.clone()));
+        let (db, src) = b.decision_for(&key, &model, ALWAYS_INT8);
+        assert_eq!(src, DecisionSource::SharedHit);
+        assert!(Arc::ptr_eq(&da, &db), "one grading shared by both shards");
+        assert_eq!(shared.warm_hits(), warm_before + 1);
+
+        // And so do the packed kernels inside it: compiling a plan on the
+        // new shard allocates only the arena.
+        let (plan, hit) = b.plan_for(&key, &model, 8, 8, &db);
+        assert!(!hit, "plan arenas stay shard-local");
+        assert_eq!(plan.precision(), Precision::Int8);
+
+        // A different budget is a different decision.
+        let (_, src) = b.decision_for(&key, &model, 0.5);
+        assert_eq!(src, DecisionSource::Computed);
+
+        // A reloaded model invalidates the shared decision.
+        let reloaded = tiny_model();
+        let (_, src) = b.decision_for(&key, &reloaded, ALWAYS_INT8);
+        assert_eq!(src, DecisionSource::Computed);
     }
 }

@@ -225,6 +225,18 @@ pub struct Counters {
     /// Largest plan buffer arena used by any single request, in bytes
     /// (max semantics, not a sum).
     pub peak_arena_bytes: u64,
+    /// Int8 plans brought into service (fresh quantized plan or tile
+    /// planner compilations under an in-budget precision decision).
+    /// Cumulative, so a value > 0 proves the engine actually served
+    /// int8 rather than silently falling back.
+    pub int8_plans_active: u64,
+    /// Plan-cache hits served by an int8 plan (subset of
+    /// `plan_cache_hits`).
+    pub int8_plan_cache_hits: u64,
+    /// Models graded under an `Int8` policy whose measured ΔPSNR
+    /// exceeded the budget, falling back to f32. Counted once per fresh
+    /// grading, not per request.
+    pub precision_fallbacks: u64,
     /// Video sessions opened.
     pub video_sessions_opened: u64,
     /// Video sessions closed.
@@ -448,6 +460,9 @@ impl Snapshot {
             .int("plan_cache_hits", c.plan_cache_hits)
             .int("plan_cache_misses", c.plan_cache_misses)
             .int("peak_arena_bytes", c.peak_arena_bytes)
+            .int("int8_plans_active", c.int8_plans_active)
+            .int("int8_plan_cache_hits", c.int8_plan_cache_hits)
+            .int("precision_fallbacks", c.precision_fallbacks)
             .int("video_sessions_opened", c.video_sessions_opened)
             .int("video_sessions_closed", c.video_sessions_closed)
             .int("video_frames_in", c.video_frames_in)
@@ -568,6 +583,9 @@ mod tests {
             c.plan_cache_hits = 3;
             c.plan_cache_misses = 1;
             c.peak_arena_bytes = 4096;
+            c.int8_plans_active = 2;
+            c.int8_plan_cache_hits = 1;
+            c.precision_fallbacks = 1;
         });
         let snap = t.snapshot();
         let json = snap.to_json();
@@ -591,6 +609,9 @@ mod tests {
             "\"plan_cache_hits\":3",
             "\"plan_cache_misses\":1",
             "\"peak_arena_bytes\":4096",
+            "\"int8_plans_active\":2",
+            "\"int8_plan_cache_hits\":1",
+            "\"precision_fallbacks\":1",
         ] {
             assert!(json.contains(plan_counter), "missing {plan_counter}");
         }

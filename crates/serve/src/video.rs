@@ -31,7 +31,11 @@
 //! idempotent frame settlement), and `router::Router` adds per-tenant
 //! session caps and shard pinning on top.
 
-use crate::plan_cache::PlanCache;
+// Video sessions always serve f32 (`PrecisionDecision::F32`): temporal
+// tile reuse composites cached HR tiles across frames, and mixing
+// precisions within one session would break its bit-consistency
+// guarantees (a composited frame must equal the whole-frame run).
+use crate::plan_cache::{PlanCache, PrecisionDecision};
 use crate::registry::ModelKey;
 use sesr_core::crc32::Crc32;
 use sesr_core::{CollapsedSesr, TileError, TilePlan, TileSpec};
@@ -336,7 +340,7 @@ impl VideoSession {
     pub fn warm_plans(&self, models: &[Arc<CollapsedSesr>], plans: &mut PlanCache) {
         let frame = Tensor::zeros(&[1, self.spec.height, self.spec.width]);
         for (key, model) in self.spec.ladder.iter().zip(models) {
-            let (planner, _) = plans.tile_planner_for(key, model);
+            let (planner, _) = plans.tile_planner_for(key, model, &PrecisionDecision::F32);
             for &spec in self.plan.tiles() {
                 planner.run_tile(&frame, &spec);
             }
@@ -473,7 +477,8 @@ impl VideoSession {
             };
             let spec = self.plan.tiles()[d.index];
             let started = Instant::now();
-            let (planner, _) = plans.tile_planner_for(&keys[rung], &models[rung]);
+            let (planner, _) =
+                plans.tile_planner_for(&keys[rung], &models[rung], &PrecisionDecision::F32);
             let sr = planner.run_tile(frame, &spec);
             let elapsed = started.elapsed().as_nanos() as f64;
             let sample = elapsed / d.patch_px.max(1.0);

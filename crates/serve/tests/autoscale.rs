@@ -685,3 +685,61 @@ fn scaling_chaos_soak_loses_nothing() {
     let snap = router.telemetry();
     assert_eq!(snap.reconcile(), Vec::<String>::new());
 }
+
+// ---------------------------------------------------------------------------
+// Int8 precision warming across scale-up
+// ---------------------------------------------------------------------------
+
+/// Under an `Int8` precision policy, a freshly scaled-up shard must warm
+/// its precision decision — and the packed quantized kernels inside it —
+/// from the process-wide shared plan store instead of re-grading the
+/// model (calibrate + quantize + ΔPSNR). The first shard pays once; the
+/// new shard's first int8 request only allocates a plan arena.
+#[test]
+fn scaled_up_shard_warms_int8_decisions_from_shared_store() {
+    use sesr_serve::PrecisionPolicy;
+
+    let autoscale = AutoscaleConfig {
+        min_shards: 1,
+        max_shards: 2,
+        scale_up_fill: 0.2,
+        scale_down_fill: 0.01,
+        up_ticks: 2,
+        // Effectively never scale down during the test.
+        down_ticks: u32::MAX,
+        cooldown_ticks: 2,
+        drain_grace: Duration::from_millis(100),
+    };
+    let router = Arc::new(Router::new(
+        RouterConfig {
+            shards: 1,
+            engine: EngineConfig {
+                workers: 1,
+                queue_capacity: 8,
+                precision: PrecisionPolicy::Int8 { psnr_budget: 100.0 },
+                ..EngineConfig::default()
+            },
+            shard_queue_capacity: 16,
+            probe_interval: Duration::from_millis(2),
+            autoscale: Some(autoscale),
+            ..RouterConfig::default()
+        },
+        registry(),
+    ));
+    let mut load = Load::new(Arc::clone(&router), 32);
+    // Drive load until the fleet scaled up AND the new shard served the
+    // model (its worker's decision lookup hits the shared store).
+    load.hot_until("int8 warm-up", |c, _| {
+        c.scale_up_events >= 1 && c.replication_warm_hits >= 1
+    });
+    load.resolve_all();
+    assert!(load.ok >= 1, "requests must complete under the int8 policy");
+    let c = router.telemetry().counters;
+    assert!(c.scale_up_events >= 1, "counters: {c:?}");
+    assert!(
+        c.replication_warm_hits >= 1,
+        "the scaled-up shard must warm its int8 decision from the shared store: {c:?}"
+    );
+    let report = router.shutdown(Duration::from_secs(10));
+    assert!(report.joined);
+}

@@ -498,3 +498,160 @@ fn plan_cache_counters_track_hits_misses_and_arena() {
     let c = engine.telemetry().snapshot().counters;
     assert_eq!(c.plan_cache_misses, 2);
 }
+
+// ---------------------------------------------------------------------------
+// Int8 serving precision policy
+// ---------------------------------------------------------------------------
+
+/// Derives the int8 oracle exactly as the engine's load-time grading
+/// does: same deterministic calibration scene, same packed kernels.
+fn int8_oracle(key: &ModelKey, model: CollapsedSesr, budget: f64) -> sesr_serve::PrecisionDecision {
+    let mut cache = sesr_serve::PlanCache::new();
+    let (d, _) = cache.decision_for(key, &Arc::new(model), budget);
+    // The Arc is ours alone; unwrap the decision for direct use.
+    Arc::try_unwrap(d).unwrap_or_else(|d| sesr_serve::PrecisionDecision {
+        precision: d.precision,
+        delta_db: d.delta_db,
+        qkernels: d.qkernels.clone(),
+    })
+}
+
+#[test]
+fn int8_policy_serves_the_quantized_plan_bit_exactly() {
+    use sesr_quant::QuantPlan;
+    use sesr_serve::{Precision, PrecisionPolicy};
+
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(1));
+    // A generous budget: every calibrated model loses far less than
+    // 100 dB, so the decision must resolve to int8.
+    let oracle = int8_oracle(&key, tiny_model(1), 100.0);
+    assert_eq!(oracle.precision, Precision::Int8);
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            precision: PrecisionPolicy::Int8 { psnr_budget: 100.0 },
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let x = img(3, 12, 16);
+    let mut plan = QuantPlan::new(oracle.qkernels.clone().unwrap(), 12, 16);
+    let want = plan.run(&x);
+    for _ in 0..2 {
+        let served = engine
+            .submit(&key, x.clone(), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(served.shape(), want.shape());
+        let exact = served
+            .data()
+            .iter()
+            .zip(want.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            exact,
+            "served int8 output must match the quantized plan bits"
+        );
+    }
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.int8_plans_active, 1, "one int8 plan compiled: {c:?}");
+    assert_eq!(c.int8_plan_cache_hits, 1, "second request hits it: {c:?}");
+    assert_eq!(
+        c.precision_fallbacks, 0,
+        "in-budget model must not fall back"
+    );
+}
+
+#[test]
+fn impossible_budget_falls_back_to_f32_and_counts_once() {
+    use sesr_serve::PrecisionPolicy;
+
+    let key = ModelKey::new("m2", 2);
+    let model = tiny_model(4);
+    let registry = registry_with(&key, tiny_model(4));
+    // No finite measurement satisfies a -100 dB budget: the engine must
+    // grade the model once, fall back, and serve plain f32 plans.
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            precision: PrecisionPolicy::Int8 {
+                psnr_budget: -100.0,
+            },
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let x = img(8, 10, 14);
+    let want = model.run(&x);
+    for _ in 0..3 {
+        let served = engine
+            .submit(&key, x.clone(), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let exact = served
+            .data()
+            .iter()
+            .zip(want.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(exact, "fallback must serve the f32 bits");
+    }
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(
+        c.precision_fallbacks, 1,
+        "one fallback per grading, not per request: {c:?}"
+    );
+    assert_eq!(
+        c.int8_plans_active, 0,
+        "no int8 plan may be compiled: {c:?}"
+    );
+    assert_eq!(c.int8_plan_cache_hits, 0, "{c:?}");
+    assert!(
+        c.plan_cache_hits >= 2,
+        "f32 plans still cache normally: {c:?}"
+    );
+}
+
+#[test]
+fn tiled_int8_request_matches_the_whole_frame_quantized_plan() {
+    use sesr_quant::QuantPlan;
+    use sesr_serve::PrecisionPolicy;
+
+    let key = ModelKey::new("m2", 2);
+    let registry = registry_with(&key, tiny_model(1));
+    let oracle = int8_oracle(&key, tiny_model(1), 100.0);
+    let engine = Engine::new(
+        EngineConfig {
+            workers: 1,
+            // 20x24 = 480 px exceeds the threshold: tiled path.
+            tile_threshold_px: 256,
+            tile: 12,
+            precision: PrecisionPolicy::Int8 { psnr_budget: 100.0 },
+            ..EngineConfig::default()
+        },
+        registry,
+    );
+    let x = img(6, 20, 24);
+    let mut plan = QuantPlan::new(oracle.qkernels.clone().unwrap(), 20, 24);
+    let want = plan.run(&x);
+    let served = engine.submit(&key, x, None).unwrap().wait().unwrap();
+    let exact = served
+        .data()
+        .iter()
+        .zip(want.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        exact,
+        "tiled int8 composite must equal the whole-frame quantized plan"
+    );
+    let c = engine.telemetry().snapshot().counters;
+    assert_eq!(c.tiled_requests, 1, "{c:?}");
+    assert!(
+        c.tiles_run > 1,
+        "the request must actually have tiled: {c:?}"
+    );
+    assert_eq!(c.int8_plans_active, 1, "{c:?}");
+    assert_eq!(c.precision_fallbacks, 0, "{c:?}");
+}

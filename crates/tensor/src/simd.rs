@@ -197,6 +197,34 @@ pub enum RowAct {
     PRelu(f32),
 }
 
+/// Per-channel constants of the quantized executor's requantize-to-wire
+/// epilogue. One output channel's pipeline, applied to each `i32`
+/// accumulator `acc`:
+///
+/// ```text
+/// v    = scale_io * (acc as f32) + bias      (unfused mul, then add)
+/// v    = act(v)
+/// q    = ((v / out_scale).round() as i32 + zero_point).clamp(0, 255)
+/// wire = q - zero_point
+/// ```
+///
+/// `round` is Rust's `f32::round` — half away from zero. SIMD
+/// implementations must reproduce this chain bit for bit; see
+/// [`Microkernel::qrequant_pack_row`] for why that is possible.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantEpilogue {
+    /// Accumulator-to-real factor (`input_scale * weight_scale[o]`).
+    pub scale_io: f32,
+    /// Per-channel bias, in real units.
+    pub bias: f32,
+    /// Activation applied between bias and requantization.
+    pub act: RowAct,
+    /// Outgoing wire step size.
+    pub out_scale: f32,
+    /// Outgoing wire zero point (in `[0, 255]`).
+    pub zero_point: i32,
+}
+
 /// The microkernel surface: every hot per-element loop of the GEMM, the
 /// direct convolution, the Winograd pipeline, and the fused epilogues.
 ///
@@ -223,6 +251,130 @@ pub trait Microkernel: Sync {
     /// kept in registers across taps (the direct convolution's hot loop).
     /// Every `segs[t]` must be at least `acc.len()` long.
     fn axpy_taps(&self, acc: &mut [f32], ws: &[f32], segs: &[&[f32]]);
+
+    /// Integer multi-tap multiply-accumulate for the quantized planned
+    /// executor. Every `i32` element packs a *pair* of `i16` lanes (two
+    /// adjacent input channels, low channel in the low half): for each
+    /// `x` and each tap `t`,
+    /// `acc[x] += lo(segs[t][x]) * lo(ws[t]) + hi(segs[t][x]) * hi(ws[t])`
+    /// where `lo`/`hi` sign-extend the 16-bit halves. This is exactly one
+    /// `vpmaddwd` per tap on AVX2 — and because the packed values are
+    /// zero-point-subtracted uint8 activations (`|v| <= 255`) against
+    /// int8 weights (`|w| <= 127`), each pair sum is at most `2 * 255 *
+    /// 127`, far inside `i32`: no saturation, so every implementation is
+    /// **bit-identical** (integer addition is associative). Every
+    /// `segs[t]` must be at least `acc.len()` long and `ws.len() ==
+    /// segs.len()`.
+    fn qmadd_taps(&self, acc: &mut [i32], ws: &[i32], segs: &[&[i32]]) {
+        scalar::qmadd_taps(acc, ws, segs);
+    }
+
+    /// Two-output-channel [`Microkernel::qmadd_taps`]: accumulates the
+    /// same tap segments into `acc0` (with weights `ws0`) and `acc1`
+    /// (with `ws1`), so wide implementations load each activation vector
+    /// once and feed both channels' `vpmaddwd` from it — the segments
+    /// are shared by every output channel, and they dominate the tap
+    /// loop's memory traffic. Bit-identical to two independent
+    /// [`Microkernel::qmadd_taps`] calls for the same reason any blocking
+    /// is: integer addition is associative and exact. `acc0` and `acc1`
+    /// must be equal length; `ws0`/`ws1` each match `segs.len()`.
+    fn qmadd_taps2(
+        &self,
+        acc0: &mut [i32],
+        acc1: &mut [i32],
+        ws0: &[i32],
+        ws1: &[i32],
+        segs: &[&[i32]],
+    ) {
+        scalar::qmadd_taps(acc0, ws0, segs);
+        scalar::qmadd_taps(acc1, ws1, segs);
+    }
+
+    /// Requantize-to-wire for one output-channel *pair* row: applies
+    /// [`QuantEpilogue`] `e0` to `acc0` (low lane) and `e1` to `acc1`
+    /// (high lane; `None` packs zero — an odd trailing channel), writing
+    /// `dst[x] = (lo & 0xffff) | (hi << 16)`.
+    ///
+    /// SIMD implementations are **bit-identical** to the scalar chain:
+    /// `i32 -> f32` conversion, multiply, add, divide, and the activation
+    /// select are all exact per-lane IEEE ops, and `f32::round` (half away
+    /// from zero) equals `trunc(f + copysign(0.5, f))` exactly for
+    /// `|f| < 2^22` — `f + copysign(0.5, f)` is exact there because
+    /// `ulp(f) <= 0.25`. Beyond that magnitude both paths saturate to the
+    /// same clamp bound (`|wire| <= 255 << 2^22`), so the packed integer
+    /// result agrees for every finite input. `acc0`/`acc1` must be at
+    /// least `dst.len()` long.
+    fn qrequant_pack_row(
+        &self,
+        acc0: &[i32],
+        acc1: &[i32],
+        dst: &mut [i32],
+        e0: &QuantEpilogue,
+        e1: Option<&QuantEpilogue>,
+    ) {
+        scalar::qrequant_pack_row(acc0, acc1, dst, e0, e1);
+    }
+
+    /// [`Microkernel::qrequant_pack_row`] fused with the long feature
+    /// residual: each lane is requantized to its own wire, dequantized
+    /// (`out_scale * wire`), added to the dequantized `first`-plane lane
+    /// (`first_scale * lane`), and the sum is requantized onto the widened
+    /// wire (`wide_scale`, `wide_zp`) before packing. Same per-lane
+    /// exactness argument as `qrequant_pack_row`; `first` holds the packed
+    /// layer-0 pair plane row. `acc0`/`acc1`/`first` must be at least
+    /// `dst.len()` long.
+    #[allow(clippy::too_many_arguments)]
+    fn qresidual_pack_row(
+        &self,
+        acc0: &[i32],
+        acc1: &[i32],
+        first: &[i32],
+        dst: &mut [i32],
+        e0: &QuantEpilogue,
+        e1: Option<&QuantEpilogue>,
+        first_scale: f32,
+        wide_scale: f32,
+        wide_zp: i32,
+    ) {
+        scalar::qresidual_pack_row(
+            acc0,
+            acc1,
+            first,
+            dst,
+            e0,
+            e1,
+            first_scale,
+            wide_scale,
+            wide_zp,
+        );
+    }
+
+    /// Head epilogue for one output channel row: the `qrequant` chain plus
+    /// an optional input residual (`v += in_scale * lo16(input[x])`,
+    /// applied after the activation), emitting **dequantized** levels
+    /// `vals[x] = out_scale * wire` instead of packed integers — the head
+    /// leaves on its wire and callers scatter real values. Same exactness
+    /// argument as [`Microkernel::qrequant_pack_row`]. `acc` (and the
+    /// input row, when present) must be at least `vals.len()` long.
+    fn qhead_row(
+        &self,
+        acc: &[i32],
+        input: Option<(&[i32], f32)>,
+        vals: &mut [f32],
+        e: &QuantEpilogue,
+    ) {
+        scalar::qhead_row(acc, input, vals, e);
+    }
+
+    /// Input quantization for the quantized executor: `dst[x] =
+    /// pack(clamp(round(src[x] / scale) + zp, 0, 255) - zp, 0)` — the
+    /// zero-point-subtracted wire level in the low lane, zero in the high
+    /// lane. Same rounding-emulation exactness as
+    /// [`Microkernel::qrequant_pack_row`]. `src` must be at least
+    /// `dst.len()` long.
+    fn qquantize_row(&self, src: &[f32], dst: &mut [i32], scale: f32, zp: i32) {
+        scalar::qquantize_row(src, dst, scale, zp);
+    }
 
     /// Winograd `Bᵀ d B` on one 4x4 tile. Pure add/sub: bit-identical
     /// across all variants.
@@ -380,6 +532,122 @@ mod scalar {
     pub fn axpy_taps(acc: &mut [f32], ws: &[f32], segs: &[&[f32]]) {
         for (&c, seg) in ws.iter().zip(segs) {
             axpy(acc, &seg[..acc.len()], c);
+        }
+    }
+
+    /// Integer paired-lane multiply-accumulate — the scalar model of
+    /// `vpmaddwd`. See [`super::Microkernel::qmadd_taps`] for the packing
+    /// contract.
+    pub fn qmadd_taps(acc: &mut [i32], ws: &[i32], segs: &[&[i32]]) {
+        debug_assert_eq!(ws.len(), segs.len());
+        for (x, a) in acc.iter_mut().enumerate() {
+            let mut sum = *a;
+            for (&w, seg) in ws.iter().zip(segs) {
+                let s = seg[x];
+                let (wlo, whi) = (w as i16 as i32, w >> 16);
+                let (slo, shi) = (s as i16 as i32, s >> 16);
+                sum += slo * wlo + shi * whi;
+            }
+            *a = sum;
+        }
+    }
+
+    /// The scalar requantize-to-wire reference for one lane — the chain
+    /// documented on [`super::QuantEpilogue`], verbatim.
+    pub fn quant_wire(e: &super::QuantEpilogue, acc: i32) -> i32 {
+        let mut v = e.scale_io * acc as f32 + e.bias;
+        v = match e.act {
+            RowAct::Linear => v,
+            RowAct::Relu => v.max(0.0),
+            RowAct::PRelu(a) => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    a * v
+                }
+            }
+        };
+        let q = ((v / e.out_scale).round() as i32 + e.zero_point).clamp(0, 255);
+        q - e.zero_point
+    }
+
+    pub fn qrequant_pack_row(
+        acc0: &[i32],
+        acc1: &[i32],
+        dst: &mut [i32],
+        e0: &super::QuantEpilogue,
+        e1: Option<&super::QuantEpilogue>,
+    ) {
+        for (x, d) in dst.iter_mut().enumerate() {
+            let lo = quant_wire(e0, acc0[x]);
+            let hi = match e1 {
+                Some(e1) => quant_wire(e1, acc1[x]),
+                None => 0,
+            };
+            *d = (lo & 0xffff) | (hi << 16);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn qresidual_pack_row(
+        acc0: &[i32],
+        acc1: &[i32],
+        first: &[i32],
+        dst: &mut [i32],
+        e0: &super::QuantEpilogue,
+        e1: Option<&super::QuantEpilogue>,
+        first_scale: f32,
+        wide_scale: f32,
+        wide_zp: i32,
+    ) {
+        let fuse = |e: &super::QuantEpilogue, acc: i32, f_lane: i32| -> i32 {
+            let a = e.out_scale * quant_wire(e, acc) as f32;
+            let b = first_scale * f_lane as f32;
+            let qr = (((a + b) / wide_scale).round() as i32 + wide_zp).clamp(0, 255);
+            qr - wide_zp
+        };
+        for (x, d) in dst.iter_mut().enumerate() {
+            let fv = first[x];
+            let lo = fuse(e0, acc0[x], fv as i16 as i32);
+            let hi = match e1 {
+                Some(e1) => fuse(e1, acc1[x], fv >> 16),
+                None => 0,
+            };
+            *d = (lo & 0xffff) | (hi << 16);
+        }
+    }
+
+    pub fn qhead_row(
+        acc: &[i32],
+        input: Option<(&[i32], f32)>,
+        vals: &mut [f32],
+        e: &super::QuantEpilogue,
+    ) {
+        for (x, out) in vals.iter_mut().enumerate() {
+            let mut v = e.scale_io * acc[x] as f32 + e.bias;
+            v = match e.act {
+                RowAct::Linear => v,
+                RowAct::Relu => v.max(0.0),
+                RowAct::PRelu(a) => {
+                    if v >= 0.0 {
+                        v
+                    } else {
+                        a * v
+                    }
+                }
+            };
+            if let Some((ir, iscale)) = input {
+                v += iscale * (ir[x] as i16 as i32) as f32;
+            }
+            let q = ((v / e.out_scale).round() as i32 + e.zero_point).clamp(0, 255);
+            *out = e.out_scale * (q - e.zero_point) as f32;
+        }
+    }
+
+    pub fn qquantize_row(src: &[f32], dst: &mut [i32], scale: f32, zp: i32) {
+        for (x, d) in dst.iter_mut().enumerate() {
+            let q = ((src[x] / scale).round() as i32 + zp).clamp(0, 255);
+            *d = (q - zp) & 0xffff;
         }
     }
 
@@ -862,6 +1130,442 @@ mod x86 {
 
     // --- madd-free kernels, shared by both AVX2 variants ------------------
 
+    /// Integer paired-lane multiply-accumulate: one `vpmaddwd` + `vpaddd`
+    /// per tap per 8 output columns, with four accumulator registers live
+    /// across the tap loop on the wide path. Integer adds are associative
+    /// and `vpmaddwd` cannot saturate under the quantized executor's
+    /// operand bounds (see the trait doc), so this is bit-identical to
+    /// [`scalar::qmadd_taps`] for any blocking.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `ws.len() == segs.len()`
+    /// and every `segs[t].len() >= acc.len()` must hold.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qmadd_taps(acc: &mut [i32], ws: &[i32], segs: &[&[i32]]) {
+        debug_assert_eq!(ws.len(), segs.len());
+        let n = acc.len();
+        let ap = acc.as_mut_ptr();
+        let mut x = 0usize;
+        // SAFETY: x + 32 (resp. 8) <= n and segs[t].len() >= n, so every
+        // lane load/store below is in bounds.
+        unsafe {
+            while x + 32 <= n {
+                let mut a0 = _mm256_loadu_si256(ap.add(x) as *const __m256i);
+                let mut a1 = _mm256_loadu_si256(ap.add(x + 8) as *const __m256i);
+                let mut a2 = _mm256_loadu_si256(ap.add(x + 16) as *const __m256i);
+                let mut a3 = _mm256_loadu_si256(ap.add(x + 24) as *const __m256i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let wv = _mm256_set1_epi32(*ws.get_unchecked(t));
+                    let sp = seg.as_ptr().add(x);
+                    a0 = _mm256_add_epi32(
+                        a0,
+                        _mm256_madd_epi16(_mm256_loadu_si256(sp as *const __m256i), wv),
+                    );
+                    a1 = _mm256_add_epi32(
+                        a1,
+                        _mm256_madd_epi16(_mm256_loadu_si256(sp.add(8) as *const __m256i), wv),
+                    );
+                    a2 = _mm256_add_epi32(
+                        a2,
+                        _mm256_madd_epi16(_mm256_loadu_si256(sp.add(16) as *const __m256i), wv),
+                    );
+                    a3 = _mm256_add_epi32(
+                        a3,
+                        _mm256_madd_epi16(_mm256_loadu_si256(sp.add(24) as *const __m256i), wv),
+                    );
+                }
+                _mm256_storeu_si256(ap.add(x) as *mut __m256i, a0);
+                _mm256_storeu_si256(ap.add(x + 8) as *mut __m256i, a1);
+                _mm256_storeu_si256(ap.add(x + 16) as *mut __m256i, a2);
+                _mm256_storeu_si256(ap.add(x + 24) as *mut __m256i, a3);
+                x += 32;
+            }
+            while x + 8 <= n {
+                let mut a0 = _mm256_loadu_si256(ap.add(x) as *const __m256i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let wv = _mm256_set1_epi32(*ws.get_unchecked(t));
+                    let sv = _mm256_loadu_si256(seg.as_ptr().add(x) as *const __m256i);
+                    a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(sv, wv));
+                }
+                _mm256_storeu_si256(ap.add(x) as *mut __m256i, a0);
+                x += 8;
+            }
+        }
+        for i in x..n {
+            // SAFETY: i < n <= segs[t].len() for every t.
+            unsafe {
+                let mut sum = *ap.add(i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let w = *ws.get_unchecked(t);
+                    let s = *seg.as_ptr().add(i);
+                    sum += (s as i16 as i32) * (w as i16 as i32) + (s >> 16) * (w >> 16);
+                }
+                *ap.add(i) = sum;
+            }
+        }
+    }
+
+    /// Dual-channel [`qmadd_taps`]: each activation vector is loaded once
+    /// and multiplied against both channels' weights, halving segment
+    /// traffic through the tap loop. Same no-saturation argument, so
+    /// bit-identical to two single-channel passes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `acc0.len() ==
+    /// acc1.len()`, `ws0.len() == ws1.len() == segs.len()`, and every
+    /// `segs[t].len() >= acc0.len()` must hold.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qmadd_taps2(
+        acc0: &mut [i32],
+        acc1: &mut [i32],
+        ws0: &[i32],
+        ws1: &[i32],
+        segs: &[&[i32]],
+    ) {
+        debug_assert_eq!(acc0.len(), acc1.len());
+        debug_assert_eq!(ws0.len(), segs.len());
+        debug_assert_eq!(ws1.len(), segs.len());
+        let n = acc0.len();
+        let p = acc0.as_mut_ptr();
+        let q = acc1.as_mut_ptr();
+        let mut x = 0usize;
+        // SAFETY: x + 16 (resp. 8) <= n and segs[t].len() >= n, so every
+        // lane load/store below is in bounds.
+        unsafe {
+            while x + 16 <= n {
+                let mut p0 = _mm256_loadu_si256(p.add(x) as *const __m256i);
+                let mut p1 = _mm256_loadu_si256(p.add(x + 8) as *const __m256i);
+                let mut q0 = _mm256_loadu_si256(q.add(x) as *const __m256i);
+                let mut q1 = _mm256_loadu_si256(q.add(x + 8) as *const __m256i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let w0 = _mm256_set1_epi32(*ws0.get_unchecked(t));
+                    let w1 = _mm256_set1_epi32(*ws1.get_unchecked(t));
+                    let sp = seg.as_ptr().add(x);
+                    let s0 = _mm256_loadu_si256(sp as *const __m256i);
+                    let s1 = _mm256_loadu_si256(sp.add(8) as *const __m256i);
+                    p0 = _mm256_add_epi32(p0, _mm256_madd_epi16(s0, w0));
+                    p1 = _mm256_add_epi32(p1, _mm256_madd_epi16(s1, w0));
+                    q0 = _mm256_add_epi32(q0, _mm256_madd_epi16(s0, w1));
+                    q1 = _mm256_add_epi32(q1, _mm256_madd_epi16(s1, w1));
+                }
+                _mm256_storeu_si256(p.add(x) as *mut __m256i, p0);
+                _mm256_storeu_si256(p.add(x + 8) as *mut __m256i, p1);
+                _mm256_storeu_si256(q.add(x) as *mut __m256i, q0);
+                _mm256_storeu_si256(q.add(x + 8) as *mut __m256i, q1);
+                x += 16;
+            }
+            while x + 8 <= n {
+                let mut p0 = _mm256_loadu_si256(p.add(x) as *const __m256i);
+                let mut q0 = _mm256_loadu_si256(q.add(x) as *const __m256i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let s0 = _mm256_loadu_si256(seg.as_ptr().add(x) as *const __m256i);
+                    p0 = _mm256_add_epi32(
+                        p0,
+                        _mm256_madd_epi16(s0, _mm256_set1_epi32(*ws0.get_unchecked(t))),
+                    );
+                    q0 = _mm256_add_epi32(
+                        q0,
+                        _mm256_madd_epi16(s0, _mm256_set1_epi32(*ws1.get_unchecked(t))),
+                    );
+                }
+                _mm256_storeu_si256(p.add(x) as *mut __m256i, p0);
+                _mm256_storeu_si256(q.add(x) as *mut __m256i, q0);
+                x += 8;
+            }
+        }
+        for i in x..n {
+            // SAFETY: i < n <= segs[t].len() for every t.
+            unsafe {
+                let mut s0 = *p.add(i);
+                let mut s1 = *q.add(i);
+                for (t, seg) in segs.iter().enumerate() {
+                    let s = *seg.as_ptr().add(i);
+                    let (slo, shi) = (s as i16 as i32, s >> 16);
+                    let w0 = *ws0.get_unchecked(t);
+                    let w1 = *ws1.get_unchecked(t);
+                    s0 += slo * (w0 as i16 as i32) + shi * (w0 >> 16);
+                    s1 += slo * (w1 as i16 as i32) + shi * (w1 >> 16);
+                }
+                *p.add(i) = s0;
+                *q.add(i) = s1;
+            }
+        }
+    }
+
+    /// `f32::round` (half away from zero) on 8 lanes, then clamp to the
+    /// wire range `[-zp, 255 - zp]`, returned as *integral floats*.
+    ///
+    /// `trunc(f + copysign(0.5, f))` equals `f.round()` exactly for
+    /// `|f| < 2^22` (the add is exact: `ulp(f) <= 0.25` there); larger
+    /// magnitudes land outside the clamp bounds (`<= 255`) on both paths,
+    /// so the clamped result is bit-identical to the scalar chain
+    /// `((f.round() as i32 + zp).clamp(0, 255) - zp)` for every value the
+    /// quantized executor can produce (finite, `|round| < i32::MAX`).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn round_clamp_wire8(f: __m256, zp: i32) -> __m256 {
+        let half = _mm256_or_ps(_mm256_and_ps(f, _mm256_set1_ps(-0.0)), _mm256_set1_ps(0.5));
+        let t =
+            _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(_mm256_add_ps(f, half));
+        let lo = _mm256_set1_ps(-(zp as f32));
+        let hi = _mm256_set1_ps((255 - zp) as f32);
+        _mm256_min_ps(_mm256_max_ps(t, lo), hi)
+    }
+
+    /// The [`super::QuantEpilogue`] chain on 8 accumulator lanes, up to
+    /// and including the wire clamp — returned as integral floats (the
+    /// wire value; still to be converted or rescaled by the caller).
+    /// Multiply and add are separate (unfused) ops mirroring the scalar
+    /// reference; see [`x86::round_clamp_wire8`] for the rounding
+    /// argument.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_wire8(acc: __m256i, e: &super::QuantEpilogue) -> __m256 {
+        // SAFETY: pure register ops.
+        unsafe {
+            let af = _mm256_cvtepi32_ps(acc);
+            let mut v = _mm256_add_ps(
+                _mm256_mul_ps(af, _mm256_set1_ps(e.scale_io)),
+                _mm256_set1_ps(e.bias),
+            );
+            v = match e.act {
+                RowAct::Linear => v,
+                RowAct::Relu => _mm256_max_ps(v, _mm256_setzero_ps()),
+                RowAct::PRelu(a) => {
+                    let neg = _mm256_mul_ps(_mm256_set1_ps(a), v);
+                    let keep = _mm256_cmp_ps::<_CMP_GE_OQ>(v, _mm256_setzero_ps());
+                    _mm256_blendv_ps(neg, v, keep)
+                }
+            };
+            round_clamp_wire8(_mm256_div_ps(v, _mm256_set1_ps(e.out_scale)), e.zero_point)
+        }
+    }
+
+    /// Packs two integral-float wire vectors into `(lo & 0xffff) | (hi <<
+    /// 16)` words. `cvtps_epi32` is exact on integral values in
+    /// `[-255, 255]` regardless of rounding mode.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack_wire8(lo: __m256, hi: __m256) -> __m256i {
+        _mm256_or_si256(
+            _mm256_and_si256(_mm256_cvtps_epi32(lo), _mm256_set1_epi32(0xffff)),
+            _mm256_slli_epi32::<16>(_mm256_cvtps_epi32(hi)),
+        )
+    }
+
+    /// Vectorized [`scalar::qrequant_pack_row`], 8 column pairs at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `acc0.len()` and
+    /// `acc1.len()` must be at least `dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qrequant_pack_row(
+        acc0: &[i32],
+        acc1: &[i32],
+        dst: &mut [i32],
+        e0: &super::QuantEpilogue,
+        e1: Option<&super::QuantEpilogue>,
+    ) {
+        let n = dst.len();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n <= acc{0,1}.len() for every lane access.
+        unsafe {
+            while x + 8 <= n {
+                let lo = requant_wire8(
+                    _mm256_loadu_si256(acc0.as_ptr().add(x) as *const __m256i),
+                    e0,
+                );
+                let hi = match e1 {
+                    Some(e1) => requant_wire8(
+                        _mm256_loadu_si256(acc1.as_ptr().add(x) as *const __m256i),
+                        e1,
+                    ),
+                    None => _mm256_setzero_ps(),
+                };
+                _mm256_storeu_si256(dst.as_mut_ptr().add(x) as *mut __m256i, pack_wire8(lo, hi));
+                x += 8;
+            }
+        }
+        scalar::qrequant_pack_row(&acc0[x..], &acc1[x..], &mut dst[x..], e0, e1);
+    }
+
+    /// Vectorized [`scalar::qresidual_pack_row`]: requantize each lane,
+    /// dequantize, add the dequantized `first` lane, requantize onto the
+    /// widened wire, pack. All float steps are unfused per-lane ops.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `acc0`/`acc1`/`first` must
+    /// be at least `dst.len()` long.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qresidual_pack_row(
+        acc0: &[i32],
+        acc1: &[i32],
+        first: &[i32],
+        dst: &mut [i32],
+        e0: &super::QuantEpilogue,
+        e1: Option<&super::QuantEpilogue>,
+        first_scale: f32,
+        wide_scale: f32,
+        wide_zp: i32,
+    ) {
+        let n = dst.len();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n and every source is at least n long.
+        unsafe {
+            let vfirst = _mm256_set1_ps(first_scale);
+            let vwide = _mm256_set1_ps(wide_scale);
+            while x + 8 <= n {
+                let fv = _mm256_loadu_si256(first.as_ptr().add(x) as *const __m256i);
+                // Sign-extend the two packed 16-bit lanes.
+                let flo = _mm256_cvtepi32_ps(_mm256_srai_epi32::<16>(_mm256_slli_epi32::<16>(fv)));
+                let fhi = _mm256_cvtepi32_ps(_mm256_srai_epi32::<16>(fv));
+                let a0 = _mm256_mul_ps(
+                    _mm256_set1_ps(e0.out_scale),
+                    requant_wire8(
+                        _mm256_loadu_si256(acc0.as_ptr().add(x) as *const __m256i),
+                        e0,
+                    ),
+                );
+                let s0 = _mm256_div_ps(_mm256_add_ps(a0, _mm256_mul_ps(vfirst, flo)), vwide);
+                let lo = round_clamp_wire8(s0, wide_zp);
+                let hi = match e1 {
+                    Some(e1) => {
+                        let a1 = _mm256_mul_ps(
+                            _mm256_set1_ps(e1.out_scale),
+                            requant_wire8(
+                                _mm256_loadu_si256(acc1.as_ptr().add(x) as *const __m256i),
+                                e1,
+                            ),
+                        );
+                        let s1 =
+                            _mm256_div_ps(_mm256_add_ps(a1, _mm256_mul_ps(vfirst, fhi)), vwide);
+                        round_clamp_wire8(s1, wide_zp)
+                    }
+                    None => _mm256_setzero_ps(),
+                };
+                _mm256_storeu_si256(dst.as_mut_ptr().add(x) as *mut __m256i, pack_wire8(lo, hi));
+                x += 8;
+            }
+        }
+        scalar::qresidual_pack_row(
+            &acc0[x..],
+            &acc1[x..],
+            &first[x..],
+            &mut dst[x..],
+            e0,
+            e1,
+            first_scale,
+            wide_scale,
+            wide_zp,
+        );
+    }
+
+    /// Vectorized [`scalar::qhead_row`]: the requant chain with an
+    /// optional input residual, emitting dequantized levels.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `acc` (and the input row,
+    /// when present) must be at least `vals.len()` long.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qhead_row(
+        acc: &[i32],
+        input: Option<(&[i32], f32)>,
+        vals: &mut [f32],
+        e: &super::QuantEpilogue,
+    ) {
+        let n = vals.len();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n and every source is at least n long.
+        unsafe {
+            while x + 8 <= n {
+                let af =
+                    _mm256_cvtepi32_ps(_mm256_loadu_si256(acc.as_ptr().add(x) as *const __m256i));
+                let mut v = _mm256_add_ps(
+                    _mm256_mul_ps(af, _mm256_set1_ps(e.scale_io)),
+                    _mm256_set1_ps(e.bias),
+                );
+                v = match e.act {
+                    RowAct::Linear => v,
+                    RowAct::Relu => _mm256_max_ps(v, _mm256_setzero_ps()),
+                    RowAct::PRelu(a) => {
+                        let neg = _mm256_mul_ps(_mm256_set1_ps(a), v);
+                        let keep = _mm256_cmp_ps::<_CMP_GE_OQ>(v, _mm256_setzero_ps());
+                        _mm256_blendv_ps(neg, v, keep)
+                    }
+                };
+                if let Some((ir, iscale)) = input {
+                    let iv = _mm256_loadu_si256(ir.as_ptr().add(x) as *const __m256i);
+                    let il =
+                        _mm256_cvtepi32_ps(_mm256_srai_epi32::<16>(_mm256_slli_epi32::<16>(iv)));
+                    v = _mm256_add_ps(v, _mm256_mul_ps(_mm256_set1_ps(iscale), il));
+                }
+                let wire =
+                    round_clamp_wire8(_mm256_div_ps(v, _mm256_set1_ps(e.out_scale)), e.zero_point);
+                // Round-trip through integer lanes like the scalar chain's
+                // `as i32` / `as f32` pair: exact for integral |wire| <=
+                // 255, and it canonicalizes a rounded `-0.0` to `+0.0` so
+                // the dequantized output is bit-identical.
+                let wi = _mm256_cvtepi32_ps(_mm256_cvtps_epi32(wire));
+                _mm256_storeu_ps(
+                    vals.as_mut_ptr().add(x),
+                    _mm256_mul_ps(_mm256_set1_ps(e.out_scale), wi),
+                );
+                x += 8;
+            }
+        }
+        scalar::qhead_row(
+            &acc[x..],
+            input.map(|(ir, s)| (&ir[x..], s)),
+            &mut vals[x..],
+            e,
+        );
+    }
+
+    /// Vectorized [`scalar::qquantize_row`]: quantize real inputs onto the
+    /// zero-point-subtracted wire, low lane only.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; `src.len() >= dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qquantize_row(src: &[f32], dst: &mut [i32], scale: f32, zp: i32) {
+        let n = dst.len();
+        let mut x = 0usize;
+        // SAFETY: x + 8 <= n <= src.len() for every lane access.
+        unsafe {
+            let vscale = _mm256_set1_ps(scale);
+            let mask = _mm256_set1_epi32(0xffff);
+            while x + 8 <= n {
+                let f = _mm256_div_ps(_mm256_loadu_ps(src.as_ptr().add(x)), vscale);
+                let wire = _mm256_cvtps_epi32(round_clamp_wire8(f, zp));
+                _mm256_storeu_si256(
+                    dst.as_mut_ptr().add(x) as *mut __m256i,
+                    _mm256_and_si256(wire, mask),
+                );
+                x += 8;
+            }
+        }
+        scalar::qquantize_row(&src[x..], &mut dst[x..], scale, zp);
+    }
+
     /// Winograd input transform, SSE 4-lane over the row/column
     /// butterflies (pure add/sub: bit-identical to the scalar transform
     /// under any lane arrangement).
@@ -1140,6 +1844,104 @@ macro_rules! avx2_trait_impl {
                 unsafe { x86::$madd_mod::axpy_taps(acc, ws, segs) }
             }
 
+            fn qmadd_taps(&self, acc: &mut [i32], ws: &[i32], segs: &[&[i32]]) {
+                assert_eq!(ws.len(), segs.len(), "one packed weight per tap");
+                for seg in segs {
+                    assert!(seg.len() >= acc.len(), "tap segment shorter than acc");
+                }
+                // Integer kernel shared by both AVX2 variants: `vpmaddwd`
+                // has exactly one (rounding-free) form, no madd flavor.
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::qmadd_taps(acc, ws, segs) }
+            }
+
+            fn qmadd_taps2(
+                &self,
+                acc0: &mut [i32],
+                acc1: &mut [i32],
+                ws0: &[i32],
+                ws1: &[i32],
+                segs: &[&[i32]],
+            ) {
+                assert_eq!(acc0.len(), acc1.len(), "accumulator rows differ");
+                assert_eq!(ws0.len(), segs.len(), "one packed weight per tap");
+                assert_eq!(ws1.len(), segs.len(), "one packed weight per tap");
+                for seg in segs {
+                    assert!(seg.len() >= acc0.len(), "tap segment shorter than acc");
+                }
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::qmadd_taps2(acc0, acc1, ws0, ws1, segs) }
+            }
+
+            fn qrequant_pack_row(
+                &self,
+                acc0: &[i32],
+                acc1: &[i32],
+                dst: &mut [i32],
+                e0: &QuantEpilogue,
+                e1: Option<&QuantEpilogue>,
+            ) {
+                assert!(acc0.len() >= dst.len(), "acc0 shorter than dst");
+                assert!(acc1.len() >= dst.len(), "acc1 shorter than dst");
+                // Shared by both AVX2 variants: the epilogue mirrors the
+                // scalar chain with unfused mul/add, so there is no madd
+                // flavor to diverge on.
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::qrequant_pack_row(acc0, acc1, dst, e0, e1) }
+            }
+
+            fn qresidual_pack_row(
+                &self,
+                acc0: &[i32],
+                acc1: &[i32],
+                first: &[i32],
+                dst: &mut [i32],
+                e0: &QuantEpilogue,
+                e1: Option<&QuantEpilogue>,
+                first_scale: f32,
+                wide_scale: f32,
+                wide_zp: i32,
+            ) {
+                assert!(acc0.len() >= dst.len(), "acc0 shorter than dst");
+                assert!(acc1.len() >= dst.len(), "acc1 shorter than dst");
+                assert!(first.len() >= dst.len(), "first shorter than dst");
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe {
+                    x86::qresidual_pack_row(
+                        acc0,
+                        acc1,
+                        first,
+                        dst,
+                        e0,
+                        e1,
+                        first_scale,
+                        wide_scale,
+                        wide_zp,
+                    )
+                }
+            }
+
+            fn qhead_row(
+                &self,
+                acc: &[i32],
+                input: Option<(&[i32], f32)>,
+                vals: &mut [f32],
+                e: &QuantEpilogue,
+            ) {
+                assert!(acc.len() >= vals.len(), "acc shorter than vals");
+                if let Some((ir, _)) = input {
+                    assert!(ir.len() >= vals.len(), "input row shorter than vals");
+                }
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::qhead_row(acc, input, vals, e) }
+            }
+
+            fn qquantize_row(&self, src: &[f32], dst: &mut [i32], scale: f32, zp: i32) {
+                assert!(src.len() >= dst.len(), "src shorter than dst");
+                // SAFETY: features verified at dispatch; lengths asserted.
+                unsafe { x86::qquantize_row(src, dst, scale, zp) }
+            }
+
             fn wino_input_transform(&self, d: &[f32; 16]) -> [f32; 16] {
                 // SAFETY: features verified at dispatch.
                 unsafe { x86::wino_input_transform(d) }
@@ -1392,6 +2194,207 @@ mod tests {
                 mk.axpy_taps(&mut multi, &ws, &segs);
                 for (i, (a, b)) in seq.iter().zip(&multi).enumerate() {
                     assert_eq!(a.to_bits(), b.to_bits(), "{} n={n} t={t} x={i}", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qmadd_taps_known_answer() {
+        // One tap, one column: 2*5 + 3*7 = 31 on top of acc = 10.
+        let pack = |lo: i32, hi: i32| (lo & 0xFFFF) | (hi << 16);
+        let seg = [pack(5, 7)];
+        let mut acc = [10i32];
+        microkernel(KernelVariant::Scalar).qmadd_taps(&mut acc, &[pack(2, 3)], &[&seg]);
+        assert_eq!(acc, [41]);
+        // Negative halves must sign-extend: (-2)*5 + 3*(-7) = -31.
+        let mut acc = [0i32];
+        microkernel(KernelVariant::Scalar).qmadd_taps(&mut acc, &[pack(-2, 3)], &[&seg[..1]]);
+        assert_eq!(acc, [(-2) * 5 + 3 * 7]);
+        let neg = [pack(5, -7)];
+        let mut acc = [0i32];
+        microkernel(KernelVariant::Scalar).qmadd_taps(&mut acc, &[pack(-2, 3)], &[&neg]);
+        assert_eq!(acc, [(-2) * 5 + 3 * (-7)]);
+    }
+
+    #[test]
+    fn qmadd_taps_matches_scalar_exactly_for_all_variants() {
+        // Pseudo-random packed i16 pairs in the quantized executor's
+        // operand range (activations |v| <= 255, weights |w| <= 127);
+        // every variant must agree bit-for-bit (integer arithmetic).
+        let pack = |lo: i32, hi: i32| (lo & 0xFFFF) | (hi << 16);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move |m: i32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % (2 * m + 1)) - m
+        };
+        for n in [1usize, 5, 8, 31, 32, 63, 200] {
+            for nt in [1usize, 3, 25] {
+                let rows: Vec<Vec<i32>> = (0..nt)
+                    .map(|_| (0..n).map(|_| pack(next(255), next(255))).collect())
+                    .collect();
+                let ws: Vec<i32> = (0..nt).map(|_| pack(next(127), next(127))).collect();
+                let segs: Vec<&[i32]> = rows.iter().map(|r| r.as_slice()).collect();
+                let base: Vec<i32> = (0..n).map(|_| next(1000)).collect();
+                let mut want = base.clone();
+                microkernel(KernelVariant::Scalar).qmadd_taps(&mut want, &ws, &segs);
+                for v in detected_variants() {
+                    let mut got = base.clone();
+                    microkernel(*v).qmadd_taps(&mut got, &ws, &segs);
+                    assert_eq!(got, want, "variant {} n={n} nt={nt}", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qmadd_taps2_matches_two_single_calls_for_all_variants() {
+        let pack = |lo: i32, hi: i32| (lo & 0xFFFF) | (hi << 16);
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = move |m: i32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % (2 * m + 1)) - m
+        };
+        for n in [1usize, 7, 8, 16, 17, 40, 177] {
+            for nt in [1usize, 9, 50] {
+                let rows: Vec<Vec<i32>> = (0..nt)
+                    .map(|_| (0..n).map(|_| pack(next(255), next(255))).collect())
+                    .collect();
+                let ws0: Vec<i32> = (0..nt).map(|_| pack(next(127), next(127))).collect();
+                let ws1: Vec<i32> = (0..nt).map(|_| pack(next(127), next(127))).collect();
+                let segs: Vec<&[i32]> = rows.iter().map(|r| r.as_slice()).collect();
+                let base0: Vec<i32> = (0..n).map(|_| next(1000)).collect();
+                let base1: Vec<i32> = (0..n).map(|_| next(1000)).collect();
+                let (mut want0, mut want1) = (base0.clone(), base1.clone());
+                let sc = microkernel(KernelVariant::Scalar);
+                sc.qmadd_taps(&mut want0, &ws0, &segs);
+                sc.qmadd_taps(&mut want1, &ws1, &segs);
+                for v in detected_variants() {
+                    let (mut got0, mut got1) = (base0.clone(), base1.clone());
+                    microkernel(*v).qmadd_taps2(&mut got0, &mut got1, &ws0, &ws1, &segs);
+                    assert_eq!(got0, want0, "variant {} n={n} nt={nt} lane0", v.name());
+                    assert_eq!(got1, want1, "variant {} n={n} nt={nt} lane1", v.name());
+                }
+            }
+        }
+    }
+
+    /// Adversarial epilogue sweep: every variant's requantization row ops
+    /// must equal the scalar reference bit for bit — including round
+    /// half-ties (odd accumulators against `out_scale` 2.0 land real
+    /// values exactly on `x.5`), clamp saturation from huge accumulators,
+    /// zero-point extremes, PRelu with negative slopes, and tiny negative
+    /// values whose rounding produces `-0.0`.
+    #[test]
+    fn quant_epilogues_match_scalar_exactly_for_all_variants() {
+        let mut state = 0x8091_A2B3_C4D5_E6F7u64;
+        let mut next = move |m: i32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % (2 * m + 1)) - m
+        };
+        let sc = microkernel(KernelVariant::Scalar);
+        for n in [1usize, 5, 8, 13, 24, 100] {
+            for (zp, out_scale) in [(0i32, 2.0f32), (128, 0.0173), (255, 0.5), (37, 3.25e-3)] {
+                for act in [
+                    RowAct::Linear,
+                    RowAct::Relu,
+                    RowAct::PRelu(-0.7),
+                    RowAct::PRelu(0.4),
+                ] {
+                    let e0 = QuantEpilogue {
+                        scale_io: 1.0, // odd accs hit exact .5 ties at out_scale 2.0
+                        bias: 0.25,
+                        act,
+                        out_scale,
+                        zero_point: zp,
+                    };
+                    let e1 = QuantEpilogue {
+                        scale_io: 3.1e-4,
+                        bias: -0.125,
+                        act,
+                        out_scale,
+                        zero_point: zp,
+                    };
+                    // Mix huge magnitudes (clamp saturation on both
+                    // sides) with small ones (tie and -0.0 territory).
+                    let acc0: Vec<i32> = (0..n)
+                        .map(|i| if i % 3 == 0 { next(2_000_000) } else { next(7) })
+                        .collect();
+                    let acc1: Vec<i32> = (0..n).map(|_| next(2_000_000)).collect();
+                    let first: Vec<i32> = (0..n)
+                        .map(|_| ((next(255) & 0xFFFF) | (next(255) << 16)))
+                        .collect();
+
+                    let mut want = vec![0i32; n];
+                    sc.qrequant_pack_row(&acc0, &acc1, &mut want, &e0, Some(&e1));
+                    let mut want_half = vec![0i32; n];
+                    sc.qrequant_pack_row(&acc0, &acc1, &mut want_half, &e0, None);
+                    let mut want_res = vec![0i32; n];
+                    sc.qresidual_pack_row(
+                        &acc0,
+                        &acc1,
+                        &first,
+                        &mut want_res,
+                        &e0,
+                        Some(&e1),
+                        0.021,
+                        0.044,
+                        116,
+                    );
+                    let mut want_head = vec![0f32; n];
+                    sc.qhead_row(&acc0, Some((&first, 0.013)), &mut want_head, &e0);
+                    let mut want_head_plain = vec![0f32; n];
+                    sc.qhead_row(&acc0, None, &mut want_head_plain, &e1);
+                    let floats: Vec<f32> = (0..n).map(|_| next(1000) as f32 * 0.37e-2).collect();
+                    let mut want_q = vec![0i32; n];
+                    sc.qquantize_row(&floats, &mut want_q, 0.01937, zp);
+
+                    for v in detected_variants() {
+                        let mk = microkernel(*v);
+                        let ctx = format!("variant {} n={n} zp={zp} act={act:?}", v.name());
+                        let mut got = vec![0i32; n];
+                        mk.qrequant_pack_row(&acc0, &acc1, &mut got, &e0, Some(&e1));
+                        assert_eq!(got, want, "qrequant_pack_row {ctx}");
+                        let mut got = vec![0i32; n];
+                        mk.qrequant_pack_row(&acc0, &acc1, &mut got, &e0, None);
+                        assert_eq!(got, want_half, "qrequant_pack_row(half) {ctx}");
+                        let mut got = vec![0i32; n];
+                        mk.qresidual_pack_row(
+                            &acc0,
+                            &acc1,
+                            &first,
+                            &mut got,
+                            &e0,
+                            Some(&e1),
+                            0.021,
+                            0.044,
+                            116,
+                        );
+                        assert_eq!(got, want_res, "qresidual_pack_row {ctx}");
+                        let mut got = vec![0f32; n];
+                        mk.qhead_row(&acc0, Some((&first, 0.013)), &mut got, &e0);
+                        let same = got
+                            .iter()
+                            .zip(&want_head)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        assert!(same, "qhead_row {ctx}");
+                        let mut got = vec![0f32; n];
+                        mk.qhead_row(&acc0, None, &mut got, &e1);
+                        let same = got
+                            .iter()
+                            .zip(&want_head_plain)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        assert!(same, "qhead_row(no residual) {ctx}");
+                        let mut got = vec![0i32; n];
+                        mk.qquantize_row(&floats, &mut got, 0.01937, zp);
+                        assert_eq!(got, want_q, "qquantize_row {ctx}");
+                    }
                 }
             }
         }

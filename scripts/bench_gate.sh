@@ -65,6 +65,43 @@ if [[ -f BENCH_infer.json ]]; then
         echo "sesr-infer-simd: FAILED — autotuner chose scalar on an AVX2 machine" >&2
         exit 1
     fi
+
+    # sesr-infer-int8: beyond the relative regression check above (the
+    # CLI gate already compares results.<arch>.int8_images_per_sec
+    # against the baseline), hold the int8 lane to its absolute floor —
+    # the quantized plan must clear INT8_SPEEDUP_FLOOR x the f32 planned
+    # path on every architecture in the report. The ratio is measured
+    # within one run on one box, so unlike raw throughput it does not
+    # swing with background load; a drop below the floor means the int8
+    # path itself slowed down (or the lane silently vanished).
+    echo "-- bench-gate: sesr-infer-int8 (quantized lane floor) --"
+    int8_floor="${INT8_SPEEDUP_FLOOR:-1.4}"
+    speedups="$(grep -o '"int8_speedup_vs_planned":[0-9.]*' "$tmp/BENCH_infer.json" \
+        | cut -d: -f2)"
+    if [[ -z "$speedups" ]]; then
+        echo "sesr-infer-int8: FAILED — fresh report has no int8 lane" >&2
+        exit 1
+    fi
+    echo "sesr-infer-int8: speedups vs planned: $(echo "$speedups" | tr '\n' ' ')(floor ${int8_floor}x)"
+    if command -v python3 >/dev/null 2>&1; then
+        if ! python3 - "$int8_floor" $speedups <<'PY'
+import sys
+floor = float(sys.argv[1])
+bad = [s for s in sys.argv[2:] if float(s) < floor]
+if bad:
+    print(f"sesr-infer-int8: FAILED — int8 speedup(s) {bad} below {floor}x floor",
+          file=sys.stderr)
+    sys.exit(1)
+PY
+        then exit 1; fi
+    else
+        for s in $speedups; do
+            if ! awk -v s="$s" -v f="$int8_floor" 'BEGIN { exit !(s >= f) }'; then
+                echo "sesr-infer-int8: FAILED — int8 speedup $s below ${int8_floor}x floor" >&2
+                exit 1
+            fi
+        done
+    fi
 else
     echo "bench-gate: no BENCH_infer.json baseline; skipping infer gate" >&2
 fi

@@ -17,6 +17,8 @@
 #   autoscale   bounded-rebalancing proptest + elastic scaling chaos soak
 #   video       streaming-video session tests + video-bench smoke run
 #   infer       planned-inference identity + zero-allocation proofs
+#   int8        quantized-plan oracle identity + zero-allocation proofs,
+#               epilogue kernel sweep, engine precision grading/fallback
 #   simd        kernel unsafe-hygiene audit + scalar/SIMD identity tests
 #               (both dispatch legs: default detection and force-scalar)
 #   bench-smoke serve-bench smoke run + JSON well-formedness check
@@ -153,6 +155,24 @@ step_infer() {
     cargo test -q --offline -p sesr-core --test zero_alloc
 }
 
+step_int8() {
+    # The int8 serving path's load-bearing guarantees: the quantized
+    # plan's bit-identity to the QuantizedSesr oracle across
+    # architectures/shapes/bands/variants/threads (property sweep), zero
+    # steady-state heap allocations, quantizer edge cases, the
+    # kernel-level requantization-epilogue identity sweep (round ties,
+    # clamp saturation, zero-point extremes, -0.0), and the engine's
+    # PSNR-budget grading with silent f32 fallback plus the autoscaler's
+    # warm-decision replication.
+    cargo test -q --offline -p sesr-quant --test proptest_quant
+    cargo test -q --offline -p sesr-quant --test zero_alloc_int8
+    cargo test -q --offline -p sesr-quant --test edge_cases
+    cargo test -q --offline -p sesr-tensor quant_epilogues
+    cargo test -q --offline -p sesr-tensor qmadd
+    cargo test -q --offline -p sesr-serve --test engine int8
+    cargo test -q --offline -p sesr-serve --test autoscale int8
+}
+
 step_simd() {
     # Unsafe hygiene in the kernel crate: the crate-level lint wall must
     # stay up, and every `unsafe` site must carry a `// SAFETY:` block
@@ -223,7 +243,7 @@ step_bench_gate() {
     ./scripts/bench_gate.sh
 }
 
-ALL_STEPS=(fmt build test clippy serve chaos router router-bench autoscale video infer simd bench-smoke bench-gate)
+ALL_STEPS=(fmt build test clippy serve chaos router router-bench autoscale video infer int8 simd bench-smoke bench-gate)
 
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
